@@ -1,0 +1,41 @@
+// Fig. 1 reproduction: GPU frequency and temperature trace of an LG G4
+// running a GTA San Andreas-class load. The paper's trace: ~600 MHz for the
+// first ~10 minutes, then the thermal governor collapses the frequency to
+// ~100 MHz and the part stays hot for the rest of the session.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gb;
+  const double duration = bench::default_duration(1500.0);  // 25 minutes
+
+  sim::SessionConfig config = bench::paper_config(
+      apps::g1_gta_san_andreas(), device::lg_g4(), duration);
+  config.collect_gpu_trace = true;
+  const sim::SessionResult result = sim::run_session(config);
+
+  bench::print_header("Fig. 1: GPU frequency trace (LG G4, G1-class load)");
+  std::printf("%-10s %-12s %-12s\n", "t (min)", "freq (MHz)", "temp (C)");
+  bench::print_rule();
+  double first_throttle_s = -1.0;
+  for (std::size_t i = 0; i < result.gpu_frequency_trace.size(); ++i) {
+    const auto [t, freq] = result.gpu_frequency_trace[i];
+    const double temp = result.gpu_temperature_trace[i].second;
+    if (first_throttle_s < 0 && freq < 300.0) first_throttle_s = t;
+    // Print one row per 30 simulated seconds.
+    if (static_cast<long>(t) % 30 == 0) {
+      std::printf("%-10.1f %-12.0f %-12.1f\n", t / 60.0, freq, temp);
+    }
+  }
+  bench::print_rule();
+  if (first_throttle_s >= 0) {
+    std::printf("First throttle event at %.1f min (paper: ~10 min).\n",
+                first_throttle_s / 60.0);
+  } else {
+    std::printf("No throttle event within %.1f min.\n", duration / 60.0);
+  }
+  std::printf("Local median FPS over the session: %.1f\n",
+              result.metrics.median_fps);
+  return 0;
+}

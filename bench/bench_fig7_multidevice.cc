@@ -1,0 +1,48 @@
+// Fig. 7 reproduction: FPS metrics of G1 on the Nexus 5 as the number of
+// service devices grows 0..5. Paper: 23 (local) -> 40 (one device) -> 51
+// (three devices), flat beyond three; the internal request buffer holds at
+// most ~3 requests most of the time, which is why extra devices stop
+// helping.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gb;
+  const double duration = bench::default_duration(300.0);
+
+  std::vector<sim::SessionConfig> configs;
+  for (int devices = 0; devices <= 5; ++devices) {
+    sim::SessionConfig config = bench::paper_config(
+        apps::g1_gta_san_andreas(), device::nexus5(), duration);
+    for (int i = 0; i < devices; ++i) {
+      config.service_devices.push_back(device::nvidia_shield());
+    }
+    configs.push_back(std::move(config));
+  }
+  const auto results = bench::run_all(std::move(configs));
+
+  bench::print_header("Fig. 7: FPS vs number of service devices (G1, Nexus 5)");
+  std::printf("%-10s %-12s %-12s %-14s %-12s\n", "devices", "median FPS",
+              "stability", "avg pending", "max pending");
+  bench::print_rule();
+  for (std::size_t n = 0; n < results.size(); ++n) {
+    const auto& r = results[n];
+    const auto& g = r.gbooster;
+    const double avg_pending =
+        g.pending_depth_samples > 0
+            ? static_cast<double>(g.pending_depth_sum) / g.pending_depth_samples
+            : 0.0;
+    std::printf("%-10zu %-12.0f %-12.0f%% %-14.2f %-12llu\n", n,
+                r.metrics.median_fps, r.metrics.fps_stability * 100.0,
+                avg_pending,
+                static_cast<unsigned long long>(g.pending_depth_max));
+  }
+  bench::print_rule();
+  std::printf(
+      "Paper shape: a large jump at one device, a further rise to ~51 FPS by\n"
+      "three devices, then a plateau; the observed request-buffer depth\n"
+      "stays around 3 (generation is CPU-capped), explaining the plateau.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// §IV-B ablation: the reliable-UDP transport against a TCP latency model
+// under increasing packet loss. The paper rejects TCP for its ~40 ms
+// inherent delay; the ARQ transport's measured delivery latency stays far
+// below it until loss gets extreme.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "net/medium.h"
+#include "net/reliable.h"
+#include "net/tcp_model.h"
+#include "runtime/event_loop.h"
+
+namespace {
+
+using namespace gb;
+
+// Measures mean delivery latency of 60 KB messages (one frame's worth of
+// compressed commands + encoded image) over a lossy 150 Mbps link.
+double measure_arq_latency_ms(double loss_rate, std::uint64_t seed) {
+  EventLoop loop;
+  net::MediumConfig mc;
+  mc.loss_rate = loss_rate;
+  mc.propagation = ms(0.4);
+  mc.jitter_ms = 0.2;
+  net::Medium medium(loop, mc, Rng(seed), "wifi");
+  net::RadioInterface radio(loop, net::wifi_radio_config(), "radio");
+  net::ReliableEndpoint sender(loop, 1);
+  net::ReliableEndpoint receiver(loop, 2);
+  sender.bind(medium, &radio);
+  receiver.bind(medium, nullptr);
+
+  double total_ms = 0.0;
+  int delivered = 0;
+  SimTime sent_at;
+  receiver.set_handler([&](net::NodeId, net::NodeId, Bytes) {
+    total_ms += (loop.now() - sent_at).ms();
+    ++delivered;
+  });
+  constexpr int kMessages = 200;
+  for (int i = 0; i < kMessages; ++i) {
+    sent_at = loop.now();
+    sender.send(2, Bytes(60000, static_cast<std::uint8_t>(i)));
+    loop.run_until(loop.now() + seconds(5.0));  // drain before the next one
+  }
+  return delivered > 0 ? total_ms / delivered : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gb;
+  bench::print_header("SIV-B: reliable-UDP transport vs TCP model (60 KB msgs)");
+  std::printf("%-12s %-18s %-18s\n", "loss rate", "ARQ measured (ms)",
+              "TCP model (ms)");
+  bench::print_rule();
+  net::TcpModelConfig tcp;
+  for (const double loss : {0.0, 0.01, 0.05, 0.1, 0.2}) {
+    const double arq = measure_arq_latency_ms(loss, 11);
+    const double tcp_ms = net::tcp_expected_latency(60000, tcp, loss).ms();
+    std::printf("%-12.2f %-18.1f %-18.1f\n", loss, arq, tcp_ms);
+  }
+  bench::print_rule();
+  std::printf("Paper: TCP's delayed-ACK machinery imposes ~40 ms in general\n"
+              "settings and grows quickly under loss; the application-layer\n"
+              "ARQ stays near the serialization+propagation floor.\n");
+  return 0;
+}

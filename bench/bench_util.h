@@ -1,0 +1,84 @@
+// Shared helpers for the reproduction benches: canonical session
+// configurations, a small parallel session runner, and table printing.
+//
+// Environment knobs:
+//   GB_QUICK=1          shorten all sessions (smoke-test the harness)
+//   GB_DURATION=<sec>   override the session duration
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "apps/workload.h"
+#include "device/device_profiles.h"
+#include "sim/session.h"
+
+namespace gb::bench {
+
+inline double default_duration(double full_seconds) {
+  if (const char* override_s = std::getenv("GB_DURATION")) {
+    return std::atof(override_s);
+  }
+  if (const char* quick = std::getenv("GB_QUICK"); quick && quick[0] == '1') {
+    return std::min(full_seconds, 60.0);
+  }
+  return full_seconds;
+}
+
+// Canonical session configuration used across the benches: the §VII-A setup
+// (600x480 stream, Shield service device, 150 Mbps WiFi + Bluetooth).
+inline sim::SessionConfig paper_config(const apps::WorkloadSpec& workload,
+                                       const device::DeviceProfile& phone,
+                                       double duration_s) {
+  sim::SessionConfig config;
+  config.workload = workload;
+  config.user_device = phone;
+  config.duration_s = duration_s;
+  config.seed = 20170605;  // ICDCS'17 :)
+  config.gbooster.nominal_width = 600;
+  config.gbooster.nominal_height = 480;
+  config.service.nominal_width = 600;
+  config.service.nominal_height = 480;
+  config.service.render_width = 96;
+  config.service.render_height = 72;
+  config.service.content_sample_every = 8;
+  // Streaming quality used by the prototype (the paper's "low-quality
+  // graphics setting"): keeps typical demand near the Bluetooth boundary.
+  config.service.codec.quality = 70;
+  return config;
+}
+
+// Runs sessions on a small worker pool (sessions are independent and
+// deterministic, so parallel execution does not perturb results).
+inline std::vector<sim::SessionResult> run_all(
+    std::vector<sim::SessionConfig> configs) {
+  std::vector<std::future<sim::SessionResult>> futures;
+  futures.reserve(configs.size());
+  for (auto& config : configs) {
+    futures.push_back(std::async(std::launch::async,
+                                 [cfg = std::move(config)] {
+                                   return sim::run_session(cfg);
+                                 }));
+    // Bound concurrency to roughly the host's small core count.
+    if (futures.size() % 2 == 0) futures.back().wait();
+  }
+  std::vector<sim::SessionResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_rule() {
+  std::printf(
+      "------------------------------------------------------------------\n");
+}
+
+}  // namespace gb::bench

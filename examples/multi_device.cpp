@@ -1,0 +1,62 @@
+// Multi-device offloading walk-through (paper §VI / Fig. 7).
+//
+// Runs the same action game against 0..4 service devices and prints the
+// frame-rate curve plus where each rendering request was dispatched — the
+// Eq. 4 scheduler balancing queued workload, capability, and latency.
+//
+// Build & run:  ./build/examples/multi_device
+#include <cstdio>
+
+#include "apps/workload.h"
+#include "device/device_profiles.h"
+#include "sim/session.h"
+
+int main() {
+  using namespace gb;
+
+  std::printf("G1 (GTA San Andreas class) on a Nexus 5, 60-second sessions\n");
+  std::printf("%-26s %-12s %-12s %-14s\n", "service devices", "median FPS",
+              "response ms", "avg pending");
+  std::printf("--------------------------------------------------------------\n");
+
+  // A heterogeneous fleet: console, desktop, TV box, laptop — Eq. 4 weighs
+  // their capabilities automatically.
+  const std::vector<device::DeviceProfile> fleet = {
+      device::nvidia_shield(), device::dell_optiplex_gtx750ti(),
+      device::minix_neo_u1(), device::dell_m4600()};
+
+  for (std::size_t count = 0; count <= fleet.size(); ++count) {
+    sim::SessionConfig config;
+    config.workload = apps::g1_gta_san_andreas();
+    config.user_device = device::nexus5();
+    config.duration_s = 60.0;
+    config.seed = 99;
+    config.service.render_width = 96;
+    config.service.render_height = 72;
+    config.service.content_sample_every = 8;
+    for (std::size_t i = 0; i < count; ++i) {
+      config.service_devices.push_back(fleet[i]);
+    }
+    const sim::SessionResult result = sim::run_session(config);
+
+    std::string label = count == 0 ? "none (local)" : "";
+    for (std::size_t i = 0; i < count; ++i) {
+      label += (i > 0 ? "+" : "");
+      label += fleet[i].name.substr(0, 9);
+    }
+    const auto& g = result.gbooster;
+    const double pending =
+        g.pending_depth_samples > 0
+            ? static_cast<double>(g.pending_depth_sum) / g.pending_depth_samples
+            : 0.0;
+    std::printf("%-26s %-12.0f %-12.1f %-14.2f\n", label.c_str(),
+                result.metrics.median_fps, result.metrics.avg_response_ms,
+                pending);
+  }
+
+  std::printf(
+      "\nThe curve saturates once the request buffer (≈3 deep, because the\n"
+      "game's render thread caps generation) stops hiding per-device render\n"
+      "time — exactly the Fig. 7 plateau.\n");
+  return 0;
+}

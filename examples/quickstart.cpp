@@ -1,0 +1,104 @@
+// Quickstart: offload one application's rendering to one service device.
+//
+// This walks the whole GBooster pipeline at library level:
+//   1. build a simulated in-home network (WiFi + Bluetooth);
+//   2. start a service device (an Nvidia Shield running the replica);
+//   3. install GBooster's wrapper library into the dynamic-linker model;
+//   4. run an unmodified "game" that just calls OpenGL ES;
+//   5. watch frames come back rendered, encoded, and displayed in order.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "apps/game_app.h"
+#include "apps/workload.h"
+#include "core/gbooster.h"
+#include "core/service_runtime.h"
+#include "device/device_profiles.h"
+#include "gles/direct_backend.h"
+#include "hooking/dynamic_linker.h"
+#include "net/medium.h"
+#include "net/radio.h"
+#include "net/reliable.h"
+#include "runtime/event_loop.h"
+
+int main() {
+  using namespace gb;
+
+  // --- 1. the in-home network -------------------------------------------------
+  EventLoop loop;
+  Rng rng(2017);
+  net::MediumConfig wifi_config;
+  wifi_config.loss_rate = 0.002;
+  net::Medium wifi(loop, wifi_config, rng.fork(), "wifi");
+  net::RadioInterface phone_wifi(loop, net::wifi_radio_config(), "phone-wifi");
+
+  // --- 2. the service device (game console) -----------------------------------
+  core::ServiceRuntimeConfig service_config;
+  service_config.nominal_width = 600;
+  service_config.nominal_height = 480;
+  service_config.render_width = 300;   // replica renders real pixels
+  service_config.render_height = 240;
+  auto console = std::make_unique<core::ServiceRuntime>(
+      loop, /*node=*/100, device::nvidia_shield(), service_config);
+  console->endpoint().bind(wifi, nullptr);
+
+  // --- 3. GBooster on the phone ------------------------------------------------
+  net::ReliableEndpoint phone(loop, /*node=*/1);
+  phone.bind(wifi, &phone_wifi);
+  core::GBoosterConfig gb_config;
+  gb_config.nominal_width = 600;
+  gb_config.nominal_height = 480;
+  core::GBoosterRuntime gbooster(
+      loop, gb_config, phone,
+      {{100, "Nvidia Shield", device::nvidia_shield().gpu.fillrate_pps *
+                                  device::nvidia_shield().gpu_request_efficiency}});
+  phone.set_handler([&](net::NodeId src, net::NodeId stream, Bytes message) {
+    gbooster.on_message(src, stream, std::move(message));
+  });
+
+  // The LD_PRELOAD moment: register the genuine driver, then install the
+  // wrapper in front of it. The application below never knows.
+  hooking::DynamicLinker linker;
+  auto genuine = std::make_unique<gles::DirectBackend>(600, 480,
+                                                       gles::PresentFn{});
+  linker.register_library(
+      hooking::LibraryImage::exporting_all("libGLESv2.so", genuine.get()));
+  gbooster.install(linker);
+  auto gl = linker.link_gles("libGLESv2.so");
+
+  // --- 4. an unmodified application ---------------------------------------------
+  apps::GameApp game(apps::g1_gta_san_andreas(), *gl, 600, 480, rng.fork());
+  game.setup();
+
+  int displayed = 0;
+  gbooster.set_display_handler(
+      [&](std::uint64_t sequence, SimTime latency, const Image& frame) {
+        ++displayed;
+        if (sequence < 5 || sequence % 20 == 0) {
+          std::printf("frame %3llu displayed after %6.1f ms (%dx%d pixels)\n",
+                      static_cast<unsigned long long>(sequence), latency.ms(),
+                      frame.width(), frame.height());
+        }
+      });
+
+  // --- 5. play one simulated second per frame batch ------------------------------
+  std::printf("offloading %s to an %s over in-home WiFi...\n\n",
+              game.spec().name.c_str(), "Nvidia Shield");
+  for (int frame = 0; frame < 60; ++frame) {
+    while (!gbooster.can_issue_frame()) loop.step();
+    game.render_frame(frame / 30.0, /*touch_burst=*/false);
+    loop.run_until(loop.now() + ms(26));  // ~38 FPS issue cadence
+  }
+  loop.run_until(loop.now() + seconds(1.0));
+
+  const auto& stats = gbooster.stats();
+  std::printf("\n%d frames displayed, %.1f KB sent, %.1f KB received\n",
+              displayed, stats.bytes_sent / 1024.0,
+              stats.bytes_received / 1024.0);
+  std::printf("command-cache hit rate: %.0f%%, wrapper memory overhead: %.1f MB\n",
+              stats.render_cache.hit_rate() * 100.0,
+              gbooster.memory_overhead_bytes() / (1024.0 * 1024.0));
+  return displayed > 0 ? 0 : 1;
+}

@@ -1,0 +1,315 @@
+#include "apps/game_app.h"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/geometry.h"
+
+namespace gb::apps {
+namespace {
+
+using namespace gb::gles;
+
+constexpr std::string_view kTexturedVertexShader = R"(
+attribute vec4 a_position;
+attribute vec2 a_uv;
+uniform mat4 u_mvp;
+varying vec2 v_uv;
+void main() {
+  gl_Position = u_mvp * a_position;
+  v_uv = a_uv;
+}
+)";
+
+constexpr std::string_view kTexturedFragmentShader = R"(
+precision mediump float;
+varying vec2 v_uv;
+uniform sampler2D u_tex;
+uniform vec4 u_tint;
+void main() {
+  gl_FragColor = texture2D(u_tex, v_uv) * u_tint;
+}
+)";
+
+constexpr std::string_view kFlatVertexShader = R"(
+attribute vec4 a_position;
+uniform mat4 u_mvp;
+void main() {
+  gl_Position = u_mvp * a_position;
+}
+)";
+
+constexpr std::string_view kFlatFragmentShader = R"(
+precision mediump float;
+uniform vec4 u_color;
+void main() {
+  gl_FragColor = u_color;
+}
+)";
+
+GLuint build_program(GlesApi& gl, std::string_view vs_src,
+                     std::string_view fs_src) {
+  const GLuint vs = gl.glCreateShader(GL_VERTEX_SHADER);
+  gl.glShaderSource(vs, vs_src);
+  gl.glCompileShader(vs);
+  check(gl.glGetShaderiv(vs, GL_COMPILE_STATUS) == 1,
+        "vertex shader failed to compile");
+  const GLuint fs = gl.glCreateShader(GL_FRAGMENT_SHADER);
+  gl.glShaderSource(fs, fs_src);
+  gl.glCompileShader(fs);
+  check(gl.glGetShaderiv(fs, GL_COMPILE_STATUS) == 1,
+        "fragment shader failed to compile");
+  const GLuint program = gl.glCreateProgram();
+  gl.glAttachShader(program, vs);
+  gl.glAttachShader(program, fs);
+  gl.glLinkProgram(program);
+  check(gl.glGetProgramiv(program, GL_LINK_STATUS) == 1,
+        "program failed to link");
+  return program;
+}
+
+}  // namespace
+
+GameApp::GameApp(WorkloadSpec spec, gles::GlesApi& gl, int surface_width,
+                 int surface_height, Rng rng)
+    : spec_(std::move(spec)),
+      gl_(gl),
+      width_(surface_width),
+      height_(surface_height),
+      rng_(rng) {}
+
+void GameApp::upload_texture(GLuint name, int seed) {
+  const int size = spec_.texture_size;
+  std::vector<std::uint8_t> pixels(static_cast<std::size_t>(size) * size * 4);
+  Rng tex_rng(static_cast<std::uint64_t>(seed) * 7919u + 13u);
+  // Procedural content: a checkerboard whose palette and phase depend on the
+  // seed, plus speckle noise, so different scenes produce visually (and
+  // compressively) distinct textures.
+  const std::uint8_t base_r = static_cast<std::uint8_t>(60 + tex_rng.next_below(180));
+  const std::uint8_t base_g = static_cast<std::uint8_t>(60 + tex_rng.next_below(180));
+  const std::uint8_t base_b = static_cast<std::uint8_t>(60 + tex_rng.next_below(180));
+  const int cell = 4 + static_cast<int>(tex_rng.next_below(8));
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const std::size_t at = (static_cast<std::size_t>(y) * size + x) * 4;
+      const bool checker = ((x / cell) + (y / cell)) % 2 == 0;
+      const int noise = static_cast<int>(tex_rng.next_below(32));
+      const auto shade = [&](std::uint8_t base) {
+        const int v = checker ? base + noise : base / 2 + noise;
+        return static_cast<std::uint8_t>(std::min(v, 255));
+      };
+      pixels[at] = shade(base_r);
+      pixels[at + 1] = shade(base_g);
+      pixels[at + 2] = shade(base_b);
+      pixels[at + 3] = 255;
+    }
+  }
+  gl_.glBindTexture(GL_TEXTURE_2D, name);
+  gl_.glTexImage2D(GL_TEXTURE_2D, 0, GL_RGBA, size, size, 0, GL_RGBA,
+                   GL_UNSIGNED_BYTE, pixels.data());
+  gl_.glTexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MIN_FILTER, GL_LINEAR);
+  gl_.glTexParameteri(GL_TEXTURE_2D, GL_TEXTURE_MAG_FILTER, GL_LINEAR);
+  gl_.glTexParameteri(GL_TEXTURE_2D, GL_TEXTURE_WRAP_S, GL_REPEAT);
+  gl_.glTexParameteri(GL_TEXTURE_2D, GL_TEXTURE_WRAP_T, GL_REPEAT);
+}
+
+void GameApp::setup() {
+  textured_program_ =
+      build_program(gl_, kTexturedVertexShader, kTexturedFragmentShader);
+  flat_program_ = build_program(gl_, kFlatVertexShader, kFlatFragmentShader);
+
+  u_mvp_ = gl_.glGetUniformLocation(textured_program_, "u_mvp");
+  u_tint_ = gl_.glGetUniformLocation(textured_program_, "u_tint");
+  u_tex_ = gl_.glGetUniformLocation(textured_program_, "u_tex");
+  a_position_ = gl_.glGetAttribLocation(textured_program_, "a_position");
+  a_uv_ = gl_.glGetAttribLocation(textured_program_, "a_uv");
+  flat_u_mvp_ = gl_.glGetUniformLocation(flat_program_, "u_mvp");
+  flat_u_color_ = gl_.glGetUniformLocation(flat_program_, "u_color");
+  flat_a_position_ = gl_.glGetAttribLocation(flat_program_, "a_position");
+
+  // Stock mesh: an n x n grid of quads in the unit square, interleaved
+  // position (x, y, z) + uv.
+  const int n = spec_.mesh_resolution;
+  std::vector<float> vertices;
+  for (int y = 0; y <= n; ++y) {
+    for (int x = 0; x <= n; ++x) {
+      const float fx = static_cast<float>(x) / static_cast<float>(n);
+      const float fy = static_cast<float>(y) / static_cast<float>(n);
+      vertices.insert(vertices.end(),
+                      {fx - 0.5f, fy - 0.5f, 0.0f, fx, fy});
+    }
+  }
+  std::vector<std::uint16_t> indices;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const auto at = [&](int ix, int iy) {
+        return static_cast<std::uint16_t>(iy * (n + 1) + ix);
+      };
+      indices.insert(indices.end(), {at(x, y), at(x + 1, y), at(x, y + 1),
+                                     at(x + 1, y), at(x + 1, y + 1),
+                                     at(x, y + 1)});
+    }
+  }
+  mesh_index_count_ = static_cast<int>(indices.size());
+
+  GLuint buffers[2] = {};
+  gl_.glGenBuffers(2, buffers);
+  mesh_vbo_ = buffers[0];
+  mesh_ibo_ = buffers[1];
+  gl_.glBindBuffer(GL_ARRAY_BUFFER, mesh_vbo_);
+  gl_.glBufferData(GL_ARRAY_BUFFER,
+                   static_cast<GLsizeiptr>(vertices.size() * sizeof(float)),
+                   vertices.data(), GL_STATIC_DRAW);
+  gl_.glBindBuffer(GL_ELEMENT_ARRAY_BUFFER, mesh_ibo_);
+  gl_.glBufferData(
+      GL_ELEMENT_ARRAY_BUFFER,
+      static_cast<GLsizeiptr>(indices.size() * sizeof(std::uint16_t)),
+      indices.data(), GL_STATIC_DRAW);
+
+  textures_.resize(static_cast<std::size_t>(spec_.resident_textures));
+  gl_.glGenTextures(spec_.resident_textures, textures_.data());
+  for (std::size_t i = 0; i < textures_.size(); ++i) {
+    upload_texture(textures_[i], static_cast<int>(i));
+  }
+
+  gl_.glViewport(0, 0, width_, height_);
+  gl_.glEnable(GL_DEPTH_TEST);
+  gl_.glDepthFunc(GL_LEQUAL);
+  check(gl_.glGetError() == GL_NO_ERROR, "setup left a GL error");
+}
+
+void GameApp::trigger_scene_change() { scene_change_pending_ = true; }
+
+void GameApp::draw_world(double time_seconds, bool touch_burst) {
+  gl_.glUseProgram(textured_program_);
+  gl_.glBindBuffer(GL_ARRAY_BUFFER, mesh_vbo_);
+  gl_.glBindBuffer(GL_ELEMENT_ARRAY_BUFFER, mesh_ibo_);
+  gl_.glEnableVertexAttribArray(static_cast<GLuint>(a_position_));
+  gl_.glEnableVertexAttribArray(static_cast<GLuint>(a_uv_));
+  gl_.glVertexAttribPointer(static_cast<GLuint>(a_position_), 3, GL_FLOAT,
+                            false, 5 * sizeof(float), nullptr);
+  gl_.glVertexAttribPointer(
+      static_cast<GLuint>(a_uv_), 2, GL_FLOAT, false, 5 * sizeof(float),
+      reinterpret_cast<const void*>(3 * sizeof(float)));
+  gl_.glUniform1i(u_tex_, 0);
+  gl_.glActiveTexture(GL_TEXTURE0);
+
+  const Mat4 projection = Mat4::perspective(
+      std::numbers::pi_v<float> / 3.0f,
+      static_cast<float>(width_) / static_cast<float>(height_), 0.1f, 50.0f);
+  const float camera_shake =
+      touch_burst ? 0.15f * std::sin(static_cast<float>(time_seconds) * 37.0f)
+                  : 0.0f;
+
+  const int group_size = std::max(1, spec_.draws_per_transform);
+  for (int i = 0; i < spec_.draw_calls_per_frame; ++i) {
+    // Deterministic per-draw placement; a slice of the draws animates each
+    // frame (animation_intensity), the rest stay byte-identical between
+    // frames — the redundancy the LRU cache exploits. Transforms are
+    // uploaded once per object group, as batching engines do.
+    const bool animated =
+        (i < static_cast<int>(spec_.animation_intensity *
+                              spec_.draw_calls_per_frame)) ||
+        touch_burst;
+    if (i % group_size == 0) {
+      const float phase = static_cast<float>(i) * 0.618f;
+      const float t = animated ? static_cast<float>(time_seconds) : 0.0f;
+      const float angle =
+          t * (0.4f + 0.05f * static_cast<float>(i % 7)) + phase;
+      const Vec3 position{
+          std::fmod(phase * 1.7f, 4.0f) - 2.0f + camera_shake,
+          std::fmod(phase * 2.3f, 3.0f) - 1.5f,
+          -3.0f - static_cast<float>(i % 5)};
+      const Mat4 model = Mat4::translate(position) * Mat4::rotate_z(angle) *
+                         Mat4::rotate_y(angle * 0.7f) *
+                         Mat4::scale({1.2f, 1.2f, 1.2f});
+      const Mat4 mvp = projection * model;
+      gl_.glUniformMatrix4fv(u_mvp_, 1, false, mvp.data());
+      const float tint =
+          animated ? 0.75f + 0.25f * std::sin(t * 2.0f + phase) : 1.0f;
+      gl_.glUniform4f(u_tint_, tint, tint, tint, 1.0f);
+    }
+    // Redundant per-draw state churn, as real engines emit (and as GL
+    // drivers famously filter): identical records that the LRU cache and
+    // LZ4 can collapse.
+    gl_.glDepthFunc(GL_LEQUAL);
+    gl_.glActiveTexture(GL_TEXTURE0);
+    gl_.glTexParameteri(GL_TEXTURE_2D, GL_TEXTURE_WRAP_S, GL_REPEAT);
+    // Frames use a textures_per_frame-wide window into the working set; a
+    // scene change slides the window so different textures get bound.
+    const std::size_t window =
+        std::max<std::size_t>(1, std::min<std::size_t>(
+                                     textures_.size(),
+                                     static_cast<std::size_t>(
+                                         spec_.textures_per_frame)));
+    const std::size_t tex_index =
+        (static_cast<std::size_t>(i) % window +
+         static_cast<std::size_t>(scene_index_)) %
+        textures_.size();
+    gl_.glBindTexture(GL_TEXTURE_2D, textures_[tex_index]);
+    gl_.glDrawElements(GL_TRIANGLES, mesh_index_count_, GL_UNSIGNED_SHORT,
+                       nullptr);
+  }
+  gl_.glDisableVertexAttribArray(static_cast<GLuint>(a_uv_));
+}
+
+void GameApp::draw_hud() {
+  // HUD quads are specified from client memory every frame — the path whose
+  // serialization must be deferred until the draw call reveals the length.
+  gl_.glUseProgram(flat_program_);
+  gl_.glBindBuffer(GL_ARRAY_BUFFER, 0);
+  gl_.glEnable(GL_BLEND);
+  gl_.glBlendFunc(GL_SRC_ALPHA, GL_ONE_MINUS_SRC_ALPHA);
+  gl_.glDisable(GL_DEPTH_TEST);
+
+  const float health =
+      0.4f + 0.6f * std::fabs(std::sin(static_cast<float>(frame_count_) * 0.02f));
+  hud_vertices_ = {
+      -0.95f, 0.90f, 0.0f,                      // health bar, top-left strip
+      -0.95f + 0.5f * health, 0.90f, 0.0f,
+      -0.95f, 0.84f, 0.0f,
+      -0.95f + 0.5f * health, 0.84f, 0.0f,
+  };
+  gl_.glEnableVertexAttribArray(static_cast<GLuint>(flat_a_position_));
+  gl_.glVertexAttribPointer(static_cast<GLuint>(flat_a_position_), 3, GL_FLOAT,
+                            false, 0, hud_vertices_.data());
+  const Mat4 identity = Mat4::identity();
+  gl_.glUniformMatrix4fv(flat_u_mvp_, 1, false, identity.data());
+  gl_.glUniform4f(flat_u_color_, 0.9f, 0.2f, 0.2f, 0.8f);
+  gl_.glDrawArrays(GL_TRIANGLE_STRIP, 0, 4);
+  gl_.glDisableVertexAttribArray(static_cast<GLuint>(flat_a_position_));
+
+  gl_.glDisable(GL_BLEND);
+  gl_.glEnable(GL_DEPTH_TEST);
+}
+
+void GameApp::render_frame(double time_seconds, bool touch_burst) {
+  if (scene_change_pending_) {
+    scene_change_pending_ = false;
+    ++scene_index_;
+    // A scene switch re-uploads part of the texture working set: the bulk
+    // data burst behind the traffic spikes §V-B must predict.
+    const int uploads = 1 + static_cast<int>(rng_.next_below(2));
+    for (int u = 0; u < uploads; ++u) {
+      const std::size_t victim = rng_.next_below(textures_.size());
+      upload_texture(textures_[victim],
+                     scene_index_ * 100 + static_cast<int>(victim));
+    }
+  }
+
+  const float ambience =
+      0.08f + 0.04f * std::sin(static_cast<float>(time_seconds) * 0.2f +
+                               static_cast<float>(scene_index_));
+  gl_.glClearColor(ambience, ambience * 1.2f, ambience * 1.8f, 1.0f);
+  gl_.glClear(GL_COLOR_BUFFER_BIT | GL_DEPTH_BUFFER_BIT);
+
+  draw_world(time_seconds, touch_burst);
+  draw_hud();
+
+  gl_.eglSwapBuffers();
+  ++frame_count_;
+}
+
+}  // namespace gb::apps

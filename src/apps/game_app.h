@@ -1,0 +1,79 @@
+// GameApp: the synthetic application engine. It plays the role of an
+// unmodified Android game — it knows nothing about GBooster and simply calls
+// whatever OpenGL ES implementation the dynamic linker resolved for it, so
+// the identical engine runs on top of the genuine driver (DirectBackend) or
+// GBooster's wrapper (CommandRecorder).
+//
+// The command stream it emits is statistically shaped by a WorkloadSpec:
+// draw-call counts, texture working set, animated-vs-static draw mix, scene
+// changes that re-upload textures, and a HUD drawn from client-memory vertex
+// arrays every frame (exercising the §IV-B deferred-pointer path).
+#pragma once
+
+#include <vector>
+
+#include "apps/workload.h"
+#include "common/rng.h"
+#include "gles/api.h"
+
+namespace gb::apps {
+
+class GameApp {
+ public:
+  GameApp(WorkloadSpec spec, gles::GlesApi& gl, int surface_width,
+          int surface_height, Rng rng);
+
+  // One-time setup: compiles shaders, uploads meshes and the initial texture
+  // set (the "loading screen" phase).
+  void setup();
+
+  // Emits the command stream of one frame and calls eglSwapBuffers.
+  // `time_seconds` drives animation; `touch_burst` marks frames rendered
+  // during a user-interaction burst (bigger scene deltas).
+  void render_frame(double time_seconds, bool touch_burst);
+
+  // Forces a scene change on the next frame (level switch, camera cut):
+  // new texture uploads and a different draw composition.
+  void trigger_scene_change();
+
+  [[nodiscard]] const WorkloadSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] int frames_rendered() const noexcept { return frame_count_; }
+
+ private:
+  void upload_texture(gles::GLuint name, int seed);
+  void draw_world(double time_seconds, bool touch_burst);
+  void draw_hud();
+
+  WorkloadSpec spec_;
+  gles::GlesApi& gl_;
+  int width_;
+  int height_;
+  Rng rng_;
+
+  // GL object names (owned by the context, tracked here).
+  gles::GLuint textured_program_ = 0;
+  gles::GLuint flat_program_ = 0;
+  gles::GLuint mesh_vbo_ = 0;
+  gles::GLuint mesh_ibo_ = 0;
+  std::vector<gles::GLuint> textures_;
+
+  // Cached uniform/attrib locations.
+  gles::GLint u_mvp_ = -1;
+  gles::GLint u_tint_ = -1;
+  gles::GLint u_tex_ = -1;
+  gles::GLint a_position_ = -1;
+  gles::GLint a_uv_ = -1;
+  gles::GLint flat_u_mvp_ = -1;
+  gles::GLint flat_u_color_ = -1;
+  gles::GLint flat_a_position_ = -1;
+
+  int mesh_index_count_ = 0;
+  int scene_index_ = 0;
+  bool scene_change_pending_ = false;
+  int frame_count_ = 0;
+
+  // HUD vertex data lives in client memory and is re-specified per frame.
+  std::vector<float> hud_vertices_;
+};
+
+}  // namespace gb::apps

@@ -1,0 +1,53 @@
+#include "apps/touch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gb::apps {
+
+TouchScript::TouchScript(TouchScriptConfig config, Rng rng) {
+  // Poisson burst arrivals via exponential inter-arrival times.
+  double t = 0.0;
+  while (t < config.duration_s) {
+    const double gap =
+        config.burst_rate_hz > 0.0
+            ? -std::log(std::max(rng.next_double(), 1e-12)) /
+                  config.burst_rate_hz
+            : config.duration_s;
+    t += gap;
+    if (t >= config.duration_s) break;
+    bursts_.emplace_back(t, t + config.burst_duration_s);
+    t += config.burst_duration_s;
+  }
+
+  // Touch events: piecewise-constant rate depending on burst state.
+  double now = 0.0;
+  while (now < config.duration_s) {
+    const bool in_burst = burst_active(now);
+    const double rate =
+        in_burst ? config.burst_touch_rate_hz : config.base_touch_rate_hz;
+    const double gap = rate > 0.0
+                           ? -std::log(std::max(rng.next_double(), 1e-12)) / rate
+                           : config.duration_s;
+    now += gap;
+    if (now < config.duration_s) touch_times_.push_back(now);
+  }
+}
+
+bool TouchScript::burst_active(double t_seconds) const {
+  for (const auto& [start, end] : bursts_) {
+    if (t_seconds >= start && t_seconds < end) return true;
+    if (start > t_seconds) break;
+  }
+  return false;
+}
+
+int TouchScript::touches_in(double t0_seconds, double t1_seconds) const {
+  const auto lo =
+      std::lower_bound(touch_times_.begin(), touch_times_.end(), t0_seconds);
+  const auto hi =
+      std::lower_bound(touch_times_.begin(), touch_times_.end(), t1_seconds);
+  return static_cast<int>(hi - lo);
+}
+
+}  // namespace gb::apps

@@ -1,0 +1,47 @@
+// Scripted touch-event generation — the MonkeyRunner stand-in (§VII-E uses
+// scripted touch sequences for repeatable tests; §V-B reads touchstroke
+// frequency from /proc/interrupts as the key exogenous predictor input).
+//
+// The script is generated once per session from a seed: interaction bursts
+// arrive as a Poisson process, touches arrive at a burst-dependent rate, so
+// touch activity genuinely *leads* the traffic spikes that scene changes
+// cause — the causal structure the ARMAX model exploits.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gb::apps {
+
+struct TouchScriptConfig {
+  double duration_s = 900.0;
+  double burst_rate_hz = 0.1;       // burst arrivals (Poisson)
+  double burst_duration_s = 2.0;
+  double base_touch_rate_hz = 1.0;
+  double burst_touch_rate_hz = 8.0;
+};
+
+class TouchScript {
+ public:
+  TouchScript(TouchScriptConfig config, Rng rng);
+
+  // Is an interaction burst active at time t?
+  [[nodiscard]] bool burst_active(double t_seconds) const;
+
+  // Number of touch events in [t0, t1) — the /proc/interrupts counter delta.
+  [[nodiscard]] int touches_in(double t0_seconds, double t1_seconds) const;
+
+  [[nodiscard]] const std::vector<double>& touch_times() const {
+    return touch_times_;
+  }
+  [[nodiscard]] const std::vector<std::pair<double, double>>& bursts() const {
+    return bursts_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> bursts_;  // [start, end)
+  std::vector<double> touch_times_;                // sorted
+};
+
+}  // namespace gb::apps

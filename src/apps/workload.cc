@@ -1,0 +1,221 @@
+#include "apps/workload.h"
+
+namespace gb::apps {
+
+std::string genre_name(Genre genre) {
+  switch (genre) {
+    case Genre::kAction:
+      return "Action";
+    case Genre::kRolePlaying:
+      return "Role playing";
+    case Genre::kPuzzle:
+      return "Puzzle";
+    case Genre::kUtility:
+      return "Utility";
+  }
+  return "?";
+}
+
+// Calibration notes (see DESIGN.md §5): gpu_workload_pixels sets the local
+// GPU frame time (workload / fillrate); cpu_frame_seconds sets the ceiling
+// remote execution can reach. Numbers are tuned against Fig. 5's Nexus 5 /
+// LG G5 results.
+
+WorkloadSpec g1_gta_san_andreas() {
+  WorkloadSpec w;
+  w.id = "G1";
+  w.name = "GTA San Andreas";
+  w.genre = Genre::kAction;
+  w.package_gb = 2.41;
+  w.draw_calls_per_frame = 96;
+  w.resident_textures = 14;
+  w.textures_per_frame = 8;
+  w.texture_size = 128;
+  w.mesh_resolution = 8;
+  w.gpu_workload_pixels = 155e6;  // Nexus 5: 47 ms local; LG G5: 23 ms
+  w.cpu_frame_seconds = 0.019;    // render-thread path; multi-device ceiling ~51 FPS
+  w.scene_change_rate_hz = 0.25;  // open-world streaming
+  w.animation_intensity = 0.85;
+  w.touch_rate_hz = 2.0;
+  w.touch_burst_rate_hz = 10.0;
+  w.burst_rate_hz = 0.15;
+  w.burst_duration_s = 3.0;
+  w.cpu_background_cores = 1.9;
+  return w;
+}
+
+WorkloadSpec g2_modern_combat() {
+  WorkloadSpec w;
+  w.id = "G2";
+  w.name = "Modern Combat";
+  w.genre = Genre::kAction;
+  w.package_gb = 0.89;
+  w.draw_calls_per_frame = 88;
+  w.resident_textures = 12;
+  w.textures_per_frame = 7;
+  w.texture_size = 128;
+  w.mesh_resolution = 8;
+  w.gpu_workload_pixels = 160e6;  // Nexus 5: ~20.6 FPS local
+  w.cpu_frame_seconds = 0.0185;   // multi-device ceiling ~52 FPS
+  w.scene_change_rate_hz = 0.3;
+  w.animation_intensity = 0.9;    // FPS shooter: whole screen moves
+  w.touch_rate_hz = 2.5;
+  w.touch_burst_rate_hz = 12.0;
+  w.burst_rate_hz = 0.2;
+  w.burst_duration_s = 2.5;
+  w.cpu_background_cores = 1.9;
+  return w;
+}
+
+WorkloadSpec g3_star_wars_kotor() {
+  WorkloadSpec w;
+  w.id = "G3";
+  w.name = "Star Wars: KOTOR";
+  w.genre = Genre::kRolePlaying;
+  w.package_gb = 2.4;
+  w.draw_calls_per_frame = 64;
+  w.resident_textures = 10;
+  w.textures_per_frame = 6;
+  w.texture_size = 128;
+  w.mesh_resolution = 7;
+  w.gpu_workload_pixels = 115e6;  // Nexus 5: ~28.7 FPS local
+  w.cpu_frame_seconds = 0.027;    // offload ceiling ~36 FPS
+  w.scene_change_rate_hz = 0.08;
+  w.animation_intensity = 0.55;
+  w.touch_rate_hz = 1.2;
+  w.touch_burst_rate_hz = 5.0;
+  w.burst_rate_hz = 0.08;
+  w.burst_duration_s = 2.0;
+  w.cpu_background_cores = 1.5;
+  return w;
+}
+
+WorkloadSpec g4_final_fantasy() {
+  WorkloadSpec w;
+  w.id = "G4";
+  w.name = "Final Fantasy";
+  w.genre = Genre::kRolePlaying;
+  w.package_gb = 3.05;
+  w.draw_calls_per_frame = 72;
+  w.resident_textures = 12;
+  w.textures_per_frame = 6;
+  w.texture_size = 128;
+  w.mesh_resolution = 7;
+  w.gpu_workload_pixels = 125e6;  // Nexus 5: ~26.4 FPS local
+  w.cpu_frame_seconds = 0.029;    // offload ceiling ~34 FPS
+  w.scene_change_rate_hz = 0.06;
+  w.animation_intensity = 0.5;
+  w.touch_rate_hz = 1.0;
+  w.touch_burst_rate_hz = 4.0;
+  w.burst_rate_hz = 0.06;
+  w.burst_duration_s = 2.0;
+  w.cpu_background_cores = 1.5;
+  return w;
+}
+
+WorkloadSpec g5_candy_crush() {
+  WorkloadSpec w;
+  w.id = "G5";
+  w.name = "Candy Crush";
+  w.genre = Genre::kPuzzle;
+  w.package_gb = 0.17;
+  w.draw_calls_per_frame = 28;
+  w.resident_textures = 6;
+  w.textures_per_frame = 4;
+  w.texture_size = 64;
+  w.mesh_resolution = 4;
+  w.gpu_workload_pixels = 26e6;  // light fill: ~40% GPU util at 50 FPS
+  w.cpu_frame_seconds = 0.0196;  // render thread caps local play at ~51 FPS
+  w.scene_change_rate_hz = 0.03;
+  w.animation_intensity = 0.15;  // board mostly static
+  w.touch_rate_hz = 0.8;
+  w.touch_burst_rate_hz = 3.0;
+  w.burst_rate_hz = 0.05;
+  w.burst_duration_s = 1.0;
+  w.cpu_background_cores = 0.8;
+  return w;
+}
+
+WorkloadSpec g6_cut_the_rope() {
+  WorkloadSpec w;
+  w.id = "G6";
+  w.name = "Cut the Rope";
+  w.genre = Genre::kPuzzle;
+  w.package_gb = 0.12;
+  w.draw_calls_per_frame = 24;
+  w.resident_textures = 6;
+  w.textures_per_frame = 4;
+  w.texture_size = 64;
+  w.mesh_resolution = 4;
+  w.gpu_workload_pixels = 23e6;  // light fill: ~37% GPU util at 53 FPS
+  w.cpu_frame_seconds = 0.0188;  // render thread caps local play at ~53 FPS
+  w.scene_change_rate_hz = 0.03;
+  w.animation_intensity = 0.2;
+  w.touch_rate_hz = 1.0;
+  w.touch_burst_rate_hz = 3.5;
+  w.burst_rate_hz = 0.05;
+  w.burst_duration_s = 1.2;
+  w.cpu_background_cores = 0.8;
+  return w;
+}
+
+std::vector<WorkloadSpec> all_games() {
+  return {g1_gta_san_andreas(), g2_modern_combat(), g3_star_wars_kotor(),
+          g4_final_fantasy(),   g5_candy_crush(),   g6_cut_the_rope()};
+}
+
+namespace {
+
+WorkloadSpec utility_base() {
+  WorkloadSpec w;
+  w.genre = Genre::kUtility;
+  w.draw_calls_per_frame = 14;
+  w.resident_textures = 4;
+  w.textures_per_frame = 3;
+  w.texture_size = 64;
+  w.mesh_resolution = 2;
+  w.gpu_workload_pixels = 4.5e6;  // 2D UI composition: GPU nearly idle
+  w.cpu_frame_seconds = 0.004;   // 60 FPS easily, both locally and remote
+  w.scene_change_rate_hz = 0.02;
+  w.animation_intensity = 0.05;  // scroll inertia only
+  w.touch_rate_hz = 0.6;
+  w.touch_burst_rate_hz = 2.0;
+  w.burst_rate_hz = 0.04;
+  w.burst_duration_s = 1.0;
+  w.cpu_background_cores = 0.4;
+  return w;
+}
+
+}  // namespace
+
+WorkloadSpec ebook_reader() {
+  WorkloadSpec w = utility_base();
+  w.id = "A1";
+  w.name = "Ebook Reader";
+  w.animation_intensity = 0.03;  // page turns only
+  return w;
+}
+
+WorkloadSpec yahoo_weather() {
+  WorkloadSpec w = utility_base();
+  w.id = "A2";
+  w.name = "Yahoo Weather";
+  w.animation_intensity = 0.08;  // background animation
+  w.gpu_workload_pixels = 6e6;
+  return w;
+}
+
+WorkloadSpec tumblr() {
+  WorkloadSpec w = utility_base();
+  w.id = "A3";
+  w.name = "Tumblr";
+  w.animation_intensity = 0.1;  // feed scrolling
+  w.gpu_workload_pixels = 5.5e6;
+  return w;
+}
+
+std::vector<WorkloadSpec> non_gaming_apps() {
+  return {ebook_reader(), yahoo_weather(), tumblr()};
+}
+
+}  // namespace gb::apps

@@ -1,0 +1,76 @@
+// Synthetic workload catalog standing in for the Table II games and the
+// §VII-E non-gaming applications.
+//
+// Each spec drives the GameApp engine (apps/game_app.h), which emits a real
+// OpenGL ES command stream with these statistics. Parameters are calibrated
+// per genre: action games are GPU-bound with high scene dynamics and touch
+// bursts, role-playing games are moderately heavy with slower scenes, puzzle
+// games are light and mostly static, and the non-gaming apps render 2D UI
+// with almost no per-frame changes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gb::apps {
+
+enum class Genre { kAction, kRolePlaying, kPuzzle, kUtility };
+
+std::string genre_name(Genre genre);
+
+struct WorkloadSpec {
+  std::string id;    // "G1".."G6" or app name
+  std::string name;  // display name, matching Table II
+  Genre genre{};
+  double package_gb = 0.0;  // Table II package size
+
+  // Command-stream shape.
+  int draw_calls_per_frame = 40;
+  int resident_textures = 8;     // texture working set
+  int textures_per_frame = 4;    // bound in a typical frame
+  int texture_size = 64;         // square, px
+  int mesh_resolution = 6;       // grid subdivision of the stock mesh
+  // Draw calls sharing one transform/tint update (engines batch objects into
+  // groups; only group leaders upload fresh uniforms).
+  int draws_per_transform = 4;
+
+  // GPU cost per frame in fillrate-equivalent pixels (Table I units); folds
+  // overdraw and shader cost into the fillrate metric. Calibrated so local
+  // FPS on the evaluation phones matches Fig. 5.
+  double gpu_workload_pixels = 80e6;
+
+  // Game-logic CPU seconds per frame on a cpu_perf_index == 1.0 device.
+  double cpu_frame_seconds = 0.016;
+
+  // Scene dynamics.
+  double scene_change_rate_hz = 0.05;   // big scene switches (new textures)
+  double animation_intensity = 0.5;     // fraction of draws animating / frame
+  double touch_rate_hz = 1.0;           // baseline input rate
+  double touch_burst_rate_hz = 8.0;     // during interaction bursts
+  double burst_rate_hz = 0.1;           // how often bursts begin
+  double burst_duration_s = 2.0;
+
+  int target_fps = 60;  // engine frame cap (§VI-A: ≤ device maximum)
+
+  // Cores' worth of fixed game-simulation work (physics, audio, AI) that
+  // runs regardless of frame rate; drives the §VII-G CPU-usage accounting.
+  // cpu_frame_seconds above is only the per-frame render-thread path.
+  double cpu_background_cores = 1.0;
+};
+
+// Table II games.
+WorkloadSpec g1_gta_san_andreas();
+WorkloadSpec g2_modern_combat();
+WorkloadSpec g3_star_wars_kotor();
+WorkloadSpec g4_final_fantasy();
+WorkloadSpec g5_candy_crush();
+WorkloadSpec g6_cut_the_rope();
+std::vector<WorkloadSpec> all_games();
+
+// §VII-E non-gaming applications.
+WorkloadSpec ebook_reader();
+WorkloadSpec yahoo_weather();
+WorkloadSpec tumblr();
+std::vector<WorkloadSpec> non_gaming_apps();
+
+}  // namespace gb::apps

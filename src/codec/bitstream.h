@@ -1,0 +1,73 @@
+// Bit-granular writer/reader used by the entropy-coding stages of the frame
+// codecs. Bits are packed MSB-first within bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace gb::codec {
+
+class BitWriter {
+ public:
+  void put_bit(bool bit) {
+    current_ = static_cast<std::uint8_t>((current_ << 1) | (bit ? 1 : 0));
+    if (++filled_ == 8) {
+      buf_.push_back(current_);
+      current_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  // Writes the low `count` bits of `value`, most significant first.
+  void put_bits(std::uint32_t value, int count) {
+    for (int i = count - 1; i >= 0; --i) put_bit(((value >> i) & 1) != 0);
+  }
+
+  // Pads the final byte with zero bits and returns the buffer.
+  [[nodiscard]] Bytes finish() {
+    while (filled_ != 0) put_bit(false);
+    return std::move(buf_);
+  }
+
+  [[nodiscard]] std::size_t bit_count() const {
+    return buf_.size() * 8 + filled_;
+  }
+
+ private:
+  Bytes buf_;
+  std::uint8_t current_ = 0;
+  int filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  bool get_bit() {
+    check(bit_pos_ < data_.size() * 8, "bit reader overrun");
+    const std::size_t byte = bit_pos_ / 8;
+    const int shift = 7 - static_cast<int>(bit_pos_ % 8);
+    ++bit_pos_;
+    return ((data_[byte] >> shift) & 1) != 0;
+  }
+
+  std::uint32_t get_bits(int count) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < count; ++i) v = (v << 1) | (get_bit() ? 1u : 0u);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t bits_remaining() const {
+    return data_.size() * 8 - bit_pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t bit_pos_ = 0;
+};
+
+}  // namespace gb::codec

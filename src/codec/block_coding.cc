@@ -1,0 +1,269 @@
+#include "codec/block_coding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gb::codec {
+namespace {
+
+// Standard JPEG Annex K quantization tables.
+constexpr std::array<int, 64> kLumaQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::array<int, 64> kChromaQuant = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+constexpr std::array<int, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+std::array<int, 64> scaled_quant(const std::array<int, 64>& base, int quality) {
+  quality = std::clamp(quality, 1, 100);
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<int, 64> out{};
+  for (int i = 0; i < 64; ++i) {
+    out[static_cast<std::size_t>(i)] = std::clamp(
+        (base[static_cast<std::size_t>(i)] * scale + 50) / 100, 1, 255);
+  }
+  return out;
+}
+
+int bit_size(int v) {
+  int magnitude = std::abs(v);
+  int size = 0;
+  while (magnitude != 0) {
+    magnitude >>= 1;
+    ++size;
+  }
+  return size;
+}
+
+std::uint32_t magnitude_bits(int v, int size) {
+  return v >= 0 ? static_cast<std::uint32_t>(v)
+                : static_cast<std::uint32_t>(v + (1 << size) - 1);
+}
+
+int decode_magnitude(std::uint32_t bits, int size) {
+  if (size == 0) return 0;
+  const std::uint32_t half = 1u << (size - 1);
+  return bits >= half ? static_cast<int>(bits)
+                      : static_cast<int>(bits) - (1 << size) + 1;
+}
+
+struct Ycbcr {
+  float y, cb, cr;
+};
+
+Ycbcr rgb_to_ycbcr(std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+  const float rf = static_cast<float>(r);
+  const float gf = static_cast<float>(g);
+  const float bf = static_cast<float>(b);
+  const float y = 0.299f * rf + 0.587f * gf + 0.114f * bf;
+  return {y, 128.0f + 0.564f * (bf - y), 128.0f + 0.713f * (rf - y)};
+}
+
+std::array<std::uint8_t, 3> ycbcr_to_rgb(float y, float cb, float cr) {
+  const float r = y + 1.402f * (cr - 128.0f);
+  const float g = y - 0.344136f * (cb - 128.0f) - 0.714136f * (cr - 128.0f);
+  const float b = y + 1.772f * (cb - 128.0f);
+  const auto clamp8 = [](float v) {
+    return static_cast<std::uint8_t>(std::clamp(std::lround(v), 0l, 255l));
+  };
+  return {clamp8(r), clamp8(g), clamp8(b)};
+}
+
+}  // namespace
+
+std::array<int, 64> luma_quant(int quality) {
+  return scaled_quant(kLumaQuant, quality);
+}
+
+std::array<int, 64> chroma_quant(int quality) {
+  return scaled_quant(kChromaQuant, quality);
+}
+
+int code_block(const Block8x8& spatial, const std::array<int, 64>& quant,
+               int dc_predictor, std::vector<CodedUnit>& units,
+               Block8x8& recon) {
+  Block8x8 freq = spatial;
+  forward_dct(freq);
+  std::array<int, 64> q{};
+  for (int i = 0; i < 64; ++i) {
+    q[static_cast<std::size_t>(i)] = static_cast<int>(
+        std::lround(freq[static_cast<std::size_t>(i)] /
+                    static_cast<float>(quant[static_cast<std::size_t>(i)])));
+  }
+  const int dc = q[0];
+  const int diff = dc - dc_predictor;
+  const int dsize = bit_size(diff);
+  units.push_back(CodedUnit{static_cast<std::uint8_t>(dsize),
+                            magnitude_bits(diff, dsize),
+                            static_cast<std::uint8_t>(dsize)});
+  int run = 0;
+  for (int i = 1; i < 64; ++i) {
+    const int v =
+        q[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(i)])];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      units.push_back(CodedUnit{kZrlSymbol, 0, 0});
+      run -= 16;
+    }
+    const int size = bit_size(v);
+    units.push_back(
+        CodedUnit{static_cast<std::uint8_t>((run << 4) | size),
+                  magnitude_bits(v, size), static_cast<std::uint8_t>(size)});
+    run = 0;
+  }
+  if (run > 0) units.push_back(CodedUnit{kEobSymbol, 0, 0});
+
+  for (int i = 0; i < 64; ++i) {
+    recon[static_cast<std::size_t>(i)] =
+        static_cast<float>(q[static_cast<std::size_t>(i)] *
+                           quant[static_cast<std::size_t>(i)]);
+  }
+  inverse_dct(recon);
+  return dc;
+}
+
+int decode_block(BitReader& bits, const HuffmanDecoder& huff,
+                 const std::array<int, 64>& quant, int dc_predictor,
+                 Block8x8& recon) {
+  std::array<int, 64> q{};
+  const std::uint8_t dsize = huff.decode(bits);
+  check(dsize <= 15, "bad DC size symbol");
+  const int diff =
+      decode_magnitude(dsize > 0 ? bits.get_bits(dsize) : 0, dsize);
+  const int dc = dc_predictor + diff;
+  q[0] = dc;
+  int i = 1;
+  while (i < 64) {
+    const std::uint8_t symbol = huff.decode(bits);
+    if (symbol == kEobSymbol) break;
+    if (symbol == kZrlSymbol) {
+      i += 16;
+      continue;
+    }
+    const int run = symbol >> 4;
+    const int size = symbol & 0x0f;
+    check(size > 0, "bad AC symbol");
+    i += run;
+    check(i < 64, "AC coefficient index out of range");
+    q[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(i)])] =
+        decode_magnitude(bits.get_bits(size), size);
+    ++i;
+  }
+  for (int k = 0; k < 64; ++k) {
+    recon[static_cast<std::size_t>(k)] =
+        static_cast<float>(q[static_cast<std::size_t>(k)] *
+                           quant[static_cast<std::size_t>(k)]);
+  }
+  inverse_dct(recon);
+  return dc;
+}
+
+Macroblock extract_macroblock(const Image& img, int tx, int ty) {
+  Macroblock mb;
+  std::array<Ycbcr, 256> full{};
+  for (int y = 0; y < 16; ++y) {
+    const int sy = std::min(ty + y, img.height() - 1);
+    for (int x = 0; x < 16; ++x) {
+      const int sx = std::min(tx + x, img.width() - 1);
+      const std::uint8_t* p = img.pixel(sx, sy);
+      full[static_cast<std::size_t>(y * 16 + x)] =
+          rgb_to_ycbcr(p[0], p[1], p[2]);
+    }
+  }
+  for (int i = 0; i < 256; ++i) {
+    mb.y[static_cast<std::size_t>(i)] =
+        full[static_cast<std::size_t>(i)].y - 128.0f;
+  }
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      float cb = 0, cr = 0;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          const Ycbcr& s =
+              full[static_cast<std::size_t>((y * 2 + dy) * 16 + x * 2 + dx)];
+          cb += s.cb;
+          cr += s.cr;
+        }
+      }
+      mb.cb[static_cast<std::size_t>(y * 8 + x)] = cb * 0.25f - 128.0f;
+      mb.cr[static_cast<std::size_t>(y * 8 + x)] = cr * 0.25f - 128.0f;
+    }
+  }
+  return mb;
+}
+
+void store_macroblock(Image& img, int tx, int ty, const Macroblock& mb) {
+  for (int y = 0; y < 16; ++y) {
+    const int dy = ty + y;
+    if (dy >= img.height()) break;
+    for (int x = 0; x < 16; ++x) {
+      const int dx = tx + x;
+      if (dx >= img.width()) break;
+      const float yy = mb.y[static_cast<std::size_t>(y * 16 + x)] + 128.0f;
+      const float cb =
+          mb.cb[static_cast<std::size_t>((y / 2) * 8 + x / 2)] + 128.0f;
+      const float cr =
+          mb.cr[static_cast<std::size_t>((y / 2) * 8 + x / 2)] + 128.0f;
+      const auto rgb = ycbcr_to_rgb(yy, cb, cr);
+      std::uint8_t* p = img.pixel(dx, dy);
+      p[0] = rgb[0];
+      p[1] = rgb[1];
+      p[2] = rgb[2];
+      p[3] = 255;
+    }
+  }
+}
+
+Block8x8 y_subblock(const std::array<float, 256>& plane, int bx, int by) {
+  Block8x8 block{};
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      block[static_cast<std::size_t>(y * 8 + x)] =
+          plane[static_cast<std::size_t>((by * 8 + y) * 16 + bx * 8 + x)];
+    }
+  }
+  return block;
+}
+
+void set_y_subblock(std::array<float, 256>& plane, int bx, int by,
+                    const Block8x8& block) {
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      plane[static_cast<std::size_t>((by * 8 + y) * 16 + bx * 8 + x)] =
+          block[static_cast<std::size_t>(y * 8 + x)];
+    }
+  }
+}
+
+int tile_max_delta(const Image& a, const Image& b, int tx, int ty, int size) {
+  int max_delta = 0;
+  for (int y = ty; y < std::min(ty + size, a.height()); ++y) {
+    for (int x = tx; x < std::min(tx + size, a.width()); ++x) {
+      const std::uint8_t* pa = a.pixel(x, y);
+      const std::uint8_t* pb = b.pixel(x, y);
+      for (int c = 0; c < 3; ++c) {
+        max_delta = std::max(max_delta, std::abs(static_cast<int>(pa[c]) -
+                                                 static_cast<int>(pb[c])));
+      }
+    }
+  }
+  return max_delta;
+}
+
+}  // namespace gb::codec

@@ -1,0 +1,66 @@
+// Shared JPEG-style transform-coding machinery used by both frame codecs:
+// quality-scaled quantization tables, (run,size) symbol generation with
+// in-loop reconstruction, canonical-Huffman entropy helpers, RGB<->YCbCr
+// conversion, and 4:2:0 macroblock plane handling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "codec/bitstream.h"
+#include "codec/dct.h"
+#include "codec/huffman.h"
+#include "common/image.h"
+
+namespace gb::codec {
+
+// Quality-scaled (1..100) JPEG Annex-K quantization tables.
+std::array<int, 64> luma_quant(int quality);
+std::array<int, 64> chroma_quant(int quality);
+
+// A symbol plus optional raw magnitude bits, buffered so a per-frame Huffman
+// table can be built before the bitstream is written.
+struct CodedUnit {
+  std::uint8_t symbol;
+  std::uint32_t bits;
+  std::uint8_t bit_count;
+};
+
+inline constexpr std::uint8_t kEobSymbol = 0x00;
+inline constexpr std::uint8_t kZrlSymbol = 0xF0;
+
+// Transforms, quantizes and run-length codes one 8x8 block. Appends symbols
+// to `units`, writes the dequantized in-loop reconstruction to `recon`, and
+// returns the quantized DC coefficient (the caller's next DC predictor).
+int code_block(const Block8x8& spatial, const std::array<int, 64>& quant,
+               int dc_predictor, std::vector<CodedUnit>& units,
+               Block8x8& recon);
+
+// Inverse of code_block over a bitstream; returns the new DC predictor.
+int decode_block(BitReader& bits, const HuffmanDecoder& huff,
+                 const std::array<int, 64>& quant, int dc_predictor,
+                 Block8x8& recon);
+
+// Planar 16x16 macroblock in 4:2:0, level-shifted by -128.
+struct Macroblock {
+  std::array<float, 256> y{};
+  std::array<float, 64> cb{};
+  std::array<float, 64> cr{};
+};
+
+// Extracts a macroblock at (tx, ty) with edge replication at image borders.
+Macroblock extract_macroblock(const Image& img, int tx, int ty);
+
+// Writes a reconstructed macroblock back into `img`, clipping at borders.
+void store_macroblock(Image& img, int tx, int ty, const Macroblock& mb);
+
+// Access to the four 8x8 luma sub-blocks of a 16x16 plane.
+Block8x8 y_subblock(const std::array<float, 256>& plane, int bx, int by);
+void set_y_subblock(std::array<float, 256>& plane, int bx, int by,
+                    const Block8x8& block);
+
+// Largest per-channel absolute RGB difference within a size x size tile.
+int tile_max_delta(const Image& a, const Image& b, int tx, int ty, int size);
+
+}  // namespace gb::codec

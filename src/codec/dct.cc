@@ -1,0 +1,92 @@
+#include "codec/dct.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace gb::codec {
+namespace {
+
+// Precomputed cos((2x+1) u pi / 16) basis and normalization factors.
+struct DctTables {
+  std::array<std::array<float, 8>, 8> cosine{};  // [u][x]
+  std::array<float, 8> alpha{};
+
+  DctTables() {
+    for (int u = 0; u < 8; ++u) {
+      alpha[static_cast<std::size_t>(u)] =
+          u == 0 ? 1.0f / std::numbers::sqrt2_v<float> : 1.0f;
+      for (int x = 0; x < 8; ++x) {
+        cosine[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)] =
+            std::cos((2.0f * static_cast<float>(x) + 1.0f) *
+                     static_cast<float>(u) * std::numbers::pi_v<float> / 16.0f);
+      }
+    }
+  }
+};
+
+const DctTables& tables() {
+  static const DctTables t;
+  return t;
+}
+
+}  // namespace
+
+void forward_dct(Block8x8& block) {
+  const DctTables& t = tables();
+  Block8x8 tmp{};
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      float sum = 0.0f;
+      for (int x = 0; x < 8; ++x) {
+        sum += block[static_cast<std::size_t>(y * 8 + x)] *
+               t.cosine[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+      }
+      tmp[static_cast<std::size_t>(y * 8 + u)] =
+          sum * 0.5f * t.alpha[static_cast<std::size_t>(u)];
+    }
+  }
+  // Columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      float sum = 0.0f;
+      for (int y = 0; y < 8; ++y) {
+        sum += tmp[static_cast<std::size_t>(y * 8 + u)] *
+               t.cosine[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      }
+      block[static_cast<std::size_t>(v * 8 + u)] =
+          sum * 0.5f * t.alpha[static_cast<std::size_t>(v)];
+    }
+  }
+}
+
+void inverse_dct(Block8x8& block) {
+  const DctTables& t = tables();
+  Block8x8 tmp{};
+  // Columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      float sum = 0.0f;
+      for (int v = 0; v < 8; ++v) {
+        sum += t.alpha[static_cast<std::size_t>(v)] *
+               block[static_cast<std::size_t>(v * 8 + u)] *
+               t.cosine[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      }
+      tmp[static_cast<std::size_t>(y * 8 + u)] = sum * 0.5f;
+    }
+  }
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      float sum = 0.0f;
+      for (int u = 0; u < 8; ++u) {
+        sum += t.alpha[static_cast<std::size_t>(u)] *
+               tmp[static_cast<std::size_t>(y * 8 + u)] *
+               t.cosine[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+      }
+      block[static_cast<std::size_t>(y * 8 + x)] = sum * 0.5f;
+    }
+  }
+}
+
+}  // namespace gb::codec

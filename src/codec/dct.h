@@ -1,0 +1,17 @@
+// 8x8 forward/inverse DCT-II used by the JPEG-style intra coder.
+#pragma once
+
+#include <array>
+
+namespace gb::codec {
+
+using Block8x8 = std::array<float, 64>;
+
+// In-place separable forward DCT (orthonormal scaling, matching the JPEG
+// convention where the DC term is 8x the block mean after level shift).
+void forward_dct(Block8x8& block);
+
+// Inverse of forward_dct.
+void inverse_dct(Block8x8& block);
+
+}  // namespace gb::codec

@@ -1,0 +1,59 @@
+// Canonical Huffman coding over a byte alphabet, used for the (run,size)
+// symbols of the frame codecs. Code lengths are limited to 16 bits and the
+// table is serialized as a 256-entry length array so the decoder rebuilds
+// the identical canonical code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "codec/bitstream.h"
+
+namespace gb::codec {
+
+struct HuffmanCode {
+  std::uint16_t bits = 0;
+  std::uint8_t length = 0;  // 0 means the symbol does not occur
+};
+
+class HuffmanEncoder {
+ public:
+  // Builds a length-limited canonical code from symbol frequencies
+  // (unused symbols get length 0).
+  explicit HuffmanEncoder(std::span<const std::uint64_t> frequencies);
+
+  void encode(BitWriter& out, std::uint8_t symbol) const;
+  // Serializes the code-length table (one nibble-packed byte per 2 symbols).
+  void write_table(ByteWriter& out) const;
+  [[nodiscard]] const std::array<HuffmanCode, 256>& codes() const {
+    return codes_;
+  }
+
+ private:
+  std::array<HuffmanCode, 256> codes_{};
+};
+
+class HuffmanDecoder {
+ public:
+  // Rebuilds the canonical code from a serialized length table.
+  static std::optional<HuffmanDecoder> from_table(ByteReader& in);
+
+  [[nodiscard]] std::uint8_t decode(BitReader& in) const;
+
+ private:
+  HuffmanDecoder() = default;
+  // first_code[len], first_symbol_index[len] for canonical decoding.
+  std::array<std::uint32_t, 17> first_code_{};
+  std::array<std::uint32_t, 17> count_{};
+  std::array<std::uint32_t, 17> symbol_offset_{};
+  std::vector<std::uint8_t> symbols_;  // sorted by (length, symbol)
+};
+
+// Builds canonical code lengths (<=16) from frequencies; exposed for tests.
+std::array<std::uint8_t, 256> build_code_lengths(
+    std::span<const std::uint64_t> frequencies);
+
+}  // namespace gb::codec

@@ -1,0 +1,177 @@
+#include "codec/turbo_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "codec/block_coding.h"
+#include "common/error.h"
+
+namespace gb::codec {
+
+TurboEncoder::TurboEncoder(TurboConfig config) : config_(config) {
+  check(config_.tile_size == 16, "turbo codec supports 16x16 tiles");
+}
+
+void TurboEncoder::reset() { reference_ = Image(); }
+
+Bytes TurboEncoder::encode(const Image& frame) {
+  check(!frame.empty(), "cannot encode empty frame");
+  const bool keyframe = reference_.width() != frame.width() ||
+                        reference_.height() != frame.height();
+
+  const int tiles_x = (frame.width() + 15) / 16;
+  const int tiles_y = (frame.height() + 15) / 16;
+  const int tile_count = tiles_x * tiles_y;
+
+  // Pass 1: choose tiles and produce coded units. Change detection compares
+  // raw source frames (tiles are coded intra, so the decoder's copy of a
+  // skipped tile still approximates the unchanged source — no drift).
+  std::vector<std::uint8_t> coded_bitmap(
+      static_cast<std::size_t>((tile_count + 7) / 8), 0);
+  std::vector<CodedUnit> units;
+  const auto luma_q = luma_quant(config_.quality);
+  const auto chroma_q = chroma_quant(config_.quality);
+
+  int dc_y = 0, dc_cb = 0, dc_cr = 0;
+  int tiles_coded = 0;
+  for (int t = 0; t < tile_count; ++t) {
+    const int tx = (t % tiles_x) * 16;
+    const int ty = (t / tiles_x) * 16;
+    if (!keyframe && tile_max_delta(frame, reference_, tx, ty, 16) <=
+                         config_.skip_threshold) {
+      continue;
+    }
+    coded_bitmap[static_cast<std::size_t>(t / 8)] |=
+        static_cast<std::uint8_t>(1u << (t % 8));
+    ++tiles_coded;
+
+    const Macroblock mb = extract_macroblock(frame, tx, ty);
+    Block8x8 recon{};  // unused: intra tiles need no in-loop reference
+    for (int by = 0; by < 2; ++by) {
+      for (int bx = 0; bx < 2; ++bx) {
+        dc_y = code_block(y_subblock(mb.y, bx, by), luma_q, dc_y, units, recon);
+      }
+    }
+    {
+      Block8x8 cb_in{};
+      std::copy(mb.cb.begin(), mb.cb.end(), cb_in.begin());
+      dc_cb = code_block(cb_in, chroma_q, dc_cb, units, recon);
+    }
+    {
+      Block8x8 cr_in{};
+      std::copy(mb.cr.begin(), mb.cr.end(), cr_in.begin());
+      dc_cr = code_block(cr_in, chroma_q, dc_cr, units, recon);
+    }
+  }
+  reference_ = frame;  // next frame's change detector baseline
+
+  // Pass 2: entropy-code against a per-frame canonical Huffman table. A
+  // fully-skipped frame (static scene) carries no table and no payload —
+  // the common case the incremental design exists for.
+  ByteWriter out;
+  out.u16(narrow<std::uint16_t>(frame.width()));
+  out.u16(narrow<std::uint16_t>(frame.height()));
+  out.u8(static_cast<std::uint8_t>(config_.quality));
+  out.u8(keyframe ? 1 : 0);
+  out.raw(coded_bitmap);
+  out.u8(tiles_coded > 0 ? 1 : 0);
+  if (tiles_coded > 0) {
+    std::array<std::uint64_t, 256> freq{};
+    for (const CodedUnit& u : units) freq[u.symbol]++;
+    const HuffmanEncoder huff(freq);
+    huff.write_table(out);
+    BitWriter bits;
+    for (const CodedUnit& u : units) {
+      huff.encode(bits, u.symbol);
+      if (u.bit_count > 0) bits.put_bits(u.bits, u.bit_count);
+    }
+    out.blob(bits.finish());
+  }
+
+  stats_ = TurboFrameStats{keyframe, tile_count, tiles_coded, out.size()};
+  return out.take();
+}
+
+std::optional<Image> TurboDecoder::decode(std::span<const std::uint8_t> data) {
+  try {
+    ByteReader in(data);
+    const int width = in.u16();
+    const int height = in.u16();
+    const int quality = in.u8();
+    const bool keyframe = in.u8() != 0;
+    if (width == 0 || height == 0) return std::nullopt;
+    if (keyframe || reference_.width() != width ||
+        reference_.height() != height) {
+      if (!keyframe) return std::nullopt;  // lost sync: need a keyframe
+      reference_ = Image(width, height);
+    }
+    const int tiles_x = (width + 15) / 16;
+    const int tiles_y = (height + 15) / 16;
+    const int tile_count = tiles_x * tiles_y;
+    const auto bitmap = in.raw(static_cast<std::size_t>((tile_count + 7) / 8));
+    if (in.u8() == 0) return reference_;  // nothing coded: frame unchanged
+    auto huff = HuffmanDecoder::from_table(in);
+    if (!huff) return std::nullopt;
+    const auto payload = in.blob();
+    BitReader bits(payload);
+
+    const auto luma_q = luma_quant(quality);
+    const auto chroma_q = chroma_quant(quality);
+    int dc_y = 0, dc_cb = 0, dc_cr = 0;
+    for (int t = 0; t < tile_count; ++t) {
+      if ((bitmap[static_cast<std::size_t>(t / 8)] & (1u << (t % 8))) == 0) {
+        continue;
+      }
+      const int tx = (t % tiles_x) * 16;
+      const int ty = (t / tiles_x) * 16;
+      Macroblock mb;
+      for (int by = 0; by < 2; ++by) {
+        for (int bx = 0; bx < 2; ++bx) {
+          Block8x8 recon{};
+          dc_y = decode_block(bits, *huff, luma_q, dc_y, recon);
+          set_y_subblock(mb.y, bx, by, recon);
+        }
+      }
+      {
+        Block8x8 recon{};
+        dc_cb = decode_block(bits, *huff, chroma_q, dc_cb, recon);
+        std::copy(recon.begin(), recon.end(), mb.cb.begin());
+      }
+      {
+        Block8x8 recon{};
+        dc_cr = decode_block(bits, *huff, chroma_q, dc_cr, recon);
+        std::copy(recon.begin(), recon.end(), mb.cr.begin());
+      }
+      store_macroblock(reference_, tx, ty, mb);
+    }
+    return reference_;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+double psnr(const Image& a, const Image& b) {
+  check(a.width() == b.width() && a.height() == b.height(),
+        "psnr requires equal dimensions");
+  double sum_sq = 0.0;
+  std::size_t samples = 0;
+  for (int y = 0; y < a.height(); ++y) {
+    const std::uint8_t* ra = a.row(y);
+    const std::uint8_t* rb = b.row(y);
+    for (int x = 0; x < a.width(); ++x) {
+      for (int c = 0; c < 3; ++c) {
+        const double d = static_cast<double>(ra[x * 4 + c]) -
+                         static_cast<double>(rb[x * 4 + c]);
+        sum_sq += d * d;
+        ++samples;
+      }
+    }
+  }
+  if (sum_sq == 0.0) return std::numeric_limits<double>::infinity();
+  const double mse = sum_sq / static_cast<double>(samples);
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace gb::codec

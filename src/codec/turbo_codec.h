@@ -1,0 +1,74 @@
+// "Turbo" frame codec (§V-A): instead of a full video encoder — too slow on
+// the ARM CPUs of most service devices — GBooster ships incremental updates
+// between consecutive frames, intra-coding only the tiles that changed with
+// a JPEG-style transform coder.
+//
+// Pipeline per frame:
+//   1. split into 16x16 tiles; diff against the *reconstructed* previous
+//      frame (in-loop reference, so encoder and decoder never drift);
+//   2. changed tiles are converted RGB -> YCbCr 4:2:0 and coded as 8x8
+//      DCT blocks with quality-scaled quantization;
+//   3. (run,size) symbols are entropy-coded with a per-frame canonical
+//      Huffman table.
+//
+// The first frame (or reset) is a keyframe: every tile is coded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/image.h"
+
+namespace gb::codec {
+
+struct TurboConfig {
+  int quality = 75;      // 1..100, JPEG-style quality scaling
+  int tile_size = 16;    // must be a multiple of 16 (4:2:0 macroblocks)
+  // Tiles whose max per-channel delta vs. the reference is at or below this
+  // threshold are skipped (0 = exact-change detection).
+  int skip_threshold = 2;
+};
+
+struct TurboFrameStats {
+  bool keyframe = false;
+  int tiles_total = 0;
+  int tiles_coded = 0;
+  std::size_t encoded_bytes = 0;
+};
+
+class TurboEncoder {
+ public:
+  explicit TurboEncoder(TurboConfig config = {});
+
+  // Encodes `frame`; dimensions must stay constant across a session (the
+  // encoder resets itself with a keyframe if they change).
+  [[nodiscard]] Bytes encode(const Image& frame);
+
+  // Forces the next frame to be a keyframe.
+  void reset();
+
+  [[nodiscard]] const TurboFrameStats& last_stats() const { return stats_; }
+
+ private:
+  TurboConfig config_;
+  Image reference_;  // in-loop reconstructed previous frame
+  TurboFrameStats stats_;
+};
+
+class TurboDecoder {
+ public:
+  // Decodes the next frame of the stream; returns std::nullopt on malformed
+  // input. Frames must be presented in encode order.
+  [[nodiscard]] std::optional<Image> decode(std::span<const std::uint8_t> data);
+
+ private:
+  Image reference_;
+};
+
+// Peak signal-to-noise ratio between same-sized images, in dB over the RGB
+// channels (alpha ignored). Returns +inf for identical images.
+double psnr(const Image& a, const Image& b);
+
+}  // namespace gb::codec

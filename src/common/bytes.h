@@ -1,0 +1,164 @@
+// Byte-buffer reader/writer used by the wire format, the compressors, and
+// the codecs. Little-endian fixed-width encoding plus LEB128 varints.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gb {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Append-only serializer. All multi-byte values are little-endian regardless
+// of host order so serialized command streams are portable across devices.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+
+  void f32(float v) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_le(bits);
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_le(bits);
+  }
+
+  // Unsigned LEB128; compact for the small object ids and counts that
+  // dominate GLES command streams.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  // Length-prefixed blob.
+  void blob(std::span<const std::uint8_t> data) {
+    varint(data.size());
+    raw(data);
+  }
+
+  void str(std::string_view s) {
+    varint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+// Sequential deserializer over a borrowed byte span; throws gb::Error on
+// truncated input (a hard protocol violation, never an expected condition
+// because the reliable transport below us delivers whole messages).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  std::uint8_t u8() { return data_[need(1)]; }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(read_le<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(read_le<std::uint64_t>()); }
+
+  float f32() {
+    const std::uint32_t bits = read_le<std::uint32_t>();
+    float v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = read_le<std::uint64_t>();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      check(shift < 64, "varint too long");
+      const std::uint8_t byte = u8();
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    const std::size_t at = need(n);
+    return data_.subspan(at, n);
+  }
+
+  std::span<const std::uint8_t> blob() { return raw(narrow<std::size_t>(varint())); }
+
+  std::string str() {
+    const auto view = blob();
+    return std::string(view.begin(), view.end());
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  // Reserves n bytes and returns the offset they start at.
+  std::size_t need(std::size_t n) {
+    check(pos_ + n <= data_.size(), "byte reader overrun");
+    const std::size_t at = pos_;
+    pos_ += n;
+    return at;
+  }
+
+  template <typename T>
+  T read_le() {
+    const std::size_t at = need(sizeof(T));
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[at + i]) << (8 * i)));
+    }
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gb

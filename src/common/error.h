@@ -1,0 +1,52 @@
+// Error-handling primitives shared across all gbooster modules.
+//
+// The library uses exceptions for contract and environment failures (per the
+// C++ Core Guidelines E.2): constructors that cannot establish invariants and
+// operations that cannot meet postconditions throw gb::Error. Hot paths that
+// can legitimately fail (e.g. codec probing) return std::optional instead.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace gb {
+
+// Base exception for all gbooster failures. Carries the throw site so that
+// simulation failures (which are often far from their root cause) are
+// diagnosable without a debugger.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what,
+                 std::source_location loc = std::source_location::current())
+      : std::runtime_error(std::string(loc.file_name()) + ":" +
+                           std::to_string(loc.line()) + ": " + what) {}
+};
+
+// Throws gb::Error when `condition` is false. Used to enforce invariants in
+// all build types; simulation correctness depends on these checks, so they
+// are not compiled out in release builds.
+inline void check(bool condition, const char* message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) throw Error(message, loc);
+}
+
+// Checked integral narrowing (Core Guidelines ES.46). Throws when the value
+// does not round-trip through the destination type.
+template <typename To, typename From>
+  requires std::is_arithmetic_v<To> && std::is_arithmetic_v<From>
+constexpr To narrow(From value,
+                    std::source_location loc = std::source_location::current()) {
+  const To result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      (std::is_signed_v<From> != std::is_signed_v<To> &&
+       ((value < From{}) != (result < To{})))) {
+    throw Error("narrowing conversion lost information", loc);
+  }
+  return result;
+}
+
+}  // namespace gb

@@ -1,0 +1,173 @@
+// Minimal linear algebra for the software GLES pipeline and the synthetic
+// app engine: column-vector Vec2/3/4 and column-major Mat4, mirroring OpenGL
+// conventions so shader and app code reads like ordinary GL client code.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace gb {
+
+struct Vec2 {
+  float x = 0, y = 0;
+};
+
+struct Vec3 {
+  float x = 0, y = 0, z = 0;
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(Vec3 a, float s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+};
+
+constexpr float dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+constexpr Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline Vec3 normalize(Vec3 v) {
+  const float len = std::sqrt(dot(v, v));
+  if (len == 0.0f) return v;
+  return v * (1.0f / len);
+}
+
+struct Vec4 {
+  float x = 0, y = 0, z = 0, w = 0;
+
+  friend constexpr Vec4 operator+(Vec4 a, Vec4 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z, a.w + b.w};
+  }
+  friend constexpr Vec4 operator-(Vec4 a, Vec4 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z, a.w - b.w};
+  }
+  friend constexpr Vec4 operator*(Vec4 a, float s) {
+    return {a.x * s, a.y * s, a.z * s, a.w * s};
+  }
+  friend constexpr Vec4 operator*(Vec4 a, Vec4 b) {
+    return {a.x * b.x, a.y * b.y, a.z * b.z, a.w * b.w};
+  }
+};
+
+constexpr float dot(Vec4 a, Vec4 b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z + a.w * b.w;
+}
+
+// Column-major 4x4 matrix; m[c][r] like OpenGL's memory layout, so raw
+// uniform uploads can memcpy straight into shader registers.
+struct Mat4 {
+  std::array<std::array<float, 4>, 4> m{};
+
+  static constexpr Mat4 identity() {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) r.m[i][i] = 1.0f;
+    return r;
+  }
+
+  static Mat4 translate(Vec3 t) {
+    Mat4 r = identity();
+    r.m[3][0] = t.x;
+    r.m[3][1] = t.y;
+    r.m[3][2] = t.z;
+    return r;
+  }
+
+  static Mat4 scale(Vec3 s) {
+    Mat4 r;
+    r.m[0][0] = s.x;
+    r.m[1][1] = s.y;
+    r.m[2][2] = s.z;
+    r.m[3][3] = 1.0f;
+    return r;
+  }
+
+  static Mat4 rotate_z(float radians) {
+    Mat4 r = identity();
+    const float c = std::cos(radians);
+    const float s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][1] = s;
+    r.m[1][0] = -s;
+    r.m[1][1] = c;
+    return r;
+  }
+
+  static Mat4 rotate_y(float radians) {
+    Mat4 r = identity();
+    const float c = std::cos(radians);
+    const float s = std::sin(radians);
+    r.m[0][0] = c;
+    r.m[0][2] = -s;
+    r.m[2][0] = s;
+    r.m[2][2] = c;
+    return r;
+  }
+
+  static Mat4 rotate_x(float radians) {
+    Mat4 r = identity();
+    const float c = std::cos(radians);
+    const float s = std::sin(radians);
+    r.m[1][1] = c;
+    r.m[1][2] = s;
+    r.m[2][1] = -s;
+    r.m[2][2] = c;
+    return r;
+  }
+
+  // Right-handed perspective projection, identical to gluPerspective.
+  static Mat4 perspective(float fovy_radians, float aspect, float znear,
+                          float zfar) {
+    Mat4 r;
+    const float f = 1.0f / std::tan(fovy_radians / 2.0f);
+    r.m[0][0] = f / aspect;
+    r.m[1][1] = f;
+    r.m[2][2] = (zfar + znear) / (znear - zfar);
+    r.m[2][3] = -1.0f;
+    r.m[3][2] = (2.0f * zfar * znear) / (znear - zfar);
+    return r;
+  }
+
+  static Mat4 ortho(float l, float r_, float b, float t, float n, float f) {
+    Mat4 r;
+    r.m[0][0] = 2.0f / (r_ - l);
+    r.m[1][1] = 2.0f / (t - b);
+    r.m[2][2] = -2.0f / (f - n);
+    r.m[3][0] = -(r_ + l) / (r_ - l);
+    r.m[3][1] = -(t + b) / (t - b);
+    r.m[3][2] = -(f + n) / (f - n);
+    r.m[3][3] = 1.0f;
+    return r;
+  }
+
+  friend Mat4 operator*(const Mat4& a, const Mat4& b) {
+    Mat4 r;
+    for (int c = 0; c < 4; ++c) {
+      for (int row = 0; row < 4; ++row) {
+        float sum = 0.0f;
+        for (int k = 0; k < 4; ++k) sum += a.m[k][row] * b.m[c][k];
+        r.m[c][row] = sum;
+      }
+    }
+    return r;
+  }
+
+  friend Vec4 operator*(const Mat4& a, Vec4 v) {
+    return {
+        a.m[0][0] * v.x + a.m[1][0] * v.y + a.m[2][0] * v.z + a.m[3][0] * v.w,
+        a.m[0][1] * v.x + a.m[1][1] * v.y + a.m[2][1] * v.z + a.m[3][1] * v.w,
+        a.m[0][2] * v.x + a.m[1][2] * v.y + a.m[2][2] * v.z + a.m[3][2] * v.w,
+        a.m[0][3] * v.x + a.m[1][3] * v.y + a.m[2][3] * v.z + a.m[3][3] * v.w};
+  }
+
+  // Pointer to 16 contiguous floats, suitable for glUniformMatrix4fv.
+  [[nodiscard]] const float* data() const noexcept { return m[0].data(); }
+  [[nodiscard]] float* data() noexcept { return m[0].data(); }
+};
+
+}  // namespace gb

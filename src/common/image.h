@@ -1,0 +1,80 @@
+// RGBA8888 image container shared by the GLES framebuffer, the frame codecs,
+// and the presentation pipeline.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gb {
+
+// Tightly-packed RGBA image, row-major, origin at the top-left (display
+// convention; the GLES framebuffer flips at read-out like glReadPixels).
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height) : width_(width), height_(height) {
+    check(width >= 0 && height >= 0, "negative image dimensions");
+    pixels_.resize(static_cast<std::size_t>(width) * height * 4, 0);
+  }
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] bool empty() const noexcept { return pixels_.empty(); }
+  [[nodiscard]] std::size_t byte_size() const noexcept { return pixels_.size(); }
+  [[nodiscard]] std::size_t pixel_count() const noexcept {
+    return static_cast<std::size_t>(width_) * height_;
+  }
+
+  [[nodiscard]] std::uint8_t* data() noexcept { return pixels_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return pixels_.data();
+  }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return pixels_;
+  }
+
+  // Unchecked in release spirit but bounds-verified: simulation correctness
+  // beats raw speed everywhere except the rasterizer inner loop, which uses
+  // row pointers instead.
+  [[nodiscard]] std::uint8_t* pixel(int x, int y) {
+    check(x >= 0 && x < width_ && y >= 0 && y < height_, "pixel out of range");
+    return pixels_.data() + (static_cast<std::size_t>(y) * width_ + x) * 4;
+  }
+  [[nodiscard]] const std::uint8_t* pixel(int x, int y) const {
+    check(x >= 0 && x < width_ && y >= 0 && y < height_, "pixel out of range");
+    return pixels_.data() + (static_cast<std::size_t>(y) * width_ + x) * 4;
+  }
+
+  [[nodiscard]] std::uint8_t* row(int y) noexcept {
+    return pixels_.data() + static_cast<std::size_t>(y) * width_ * 4;
+  }
+  [[nodiscard]] const std::uint8_t* row(int y) const noexcept {
+    return pixels_.data() + static_cast<std::size_t>(y) * width_ * 4;
+  }
+
+  void fill(std::uint8_t r, std::uint8_t g, std::uint8_t b,
+            std::uint8_t a = 255) noexcept {
+    for (std::size_t i = 0; i + 3 < pixels_.size(); i += 4) {
+      pixels_[i] = r;
+      pixels_[i + 1] = g;
+      pixels_[i + 2] = b;
+      pixels_[i + 3] = a;
+    }
+  }
+
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.pixels_ == b.pixels_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace gb

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (packet loss, workload jitter,
+// touch timing) draws from explicitly seeded Rng instances that are threaded
+// through constructors. Nothing in the library reads global entropy, so every
+// test and bench run is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace gb {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, and trivially
+// seedable. Implemented locally so results do not depend on the standard
+// library's unspecified distribution algorithms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  // Standard normal via Marsaglia polar method.
+  double next_gaussian() noexcept;
+
+  // Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  // Derives an independent child generator; used to give each simulation
+  // actor its own stream without correlated draws.
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace gb

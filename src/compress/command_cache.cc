@@ -1,0 +1,104 @@
+#include "compress/command_cache.h"
+
+#include "common/error.h"
+
+namespace gb::compress {
+
+std::uint64_t record_hash(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+CommandCache::CommandCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+bool CommandCache::touch(std::uint64_t hash) {
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void CommandCache::insert(std::uint64_t hash, Bytes bytes) {
+  if (touch(hash)) return;
+  resident_bytes_ += bytes.size();
+  lru_.push_front(Entry{hash, std::move(bytes)});
+  entries_[hash] = lru_.begin();
+  while (resident_bytes_ > capacity_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    resident_bytes_ -= victim.bytes.size();
+    entries_.erase(victim.hash);
+    lru_.pop_back();
+  }
+}
+
+const Bytes* CommandCache::find(std::uint64_t hash) const {
+  const auto it = entries_.find(hash);
+  return it == entries_.end() ? nullptr : &it->second->bytes;
+}
+
+namespace {
+
+// Per-record flags in the encoded stream.
+constexpr std::uint8_t kInline = 0;
+constexpr std::uint8_t kCached = 1;
+
+}  // namespace
+
+Bytes encode_frame_with_cache(const wire::FrameCommands& frame,
+                              CommandCache& cache, CacheStats& stats) {
+  ByteWriter out;
+  out.varint(frame.sequence);
+  out.varint(frame.records.size());
+  for (const wire::CommandRecord& record : frame.records) {
+    const std::uint64_t hash = record_hash(record.bytes);
+    stats.bytes_in += record.bytes.size();
+    if (cache.touch(hash)) {
+      stats.hits++;
+      out.u8(kCached);
+      out.u64(hash);
+      stats.bytes_out += 1 + 8;
+    } else {
+      stats.misses++;
+      out.u8(kInline);
+      out.blob(record.bytes);
+      stats.bytes_out += 1 + record.bytes.size();
+      cache.insert(hash, record.bytes);
+    }
+  }
+  return out.take();
+}
+
+wire::FrameCommands decode_frame_with_cache(std::span<const std::uint8_t> data,
+                                            CommandCache& cache) {
+  ByteReader in(data);
+  wire::FrameCommands frame;
+  frame.sequence = in.varint();
+  const std::uint64_t count = in.varint();
+  frame.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t flag = in.u8();
+    wire::CommandRecord record;
+    if (flag == kCached) {
+      const std::uint64_t hash = in.u64();
+      const Bytes* cached = cache.find(hash);
+      check(cached != nullptr, "receiver cache missing referenced record");
+      record.bytes = *cached;
+      cache.touch(hash);
+    } else {
+      check(flag == kInline, "bad cache flag in frame stream");
+      const auto bytes = in.blob();
+      record.bytes.assign(bytes.begin(), bytes.end());
+      cache.insert(record_hash(record.bytes), record.bytes);
+    }
+    frame.records.push_back(std::move(record));
+  }
+  check(in.done(), "trailing bytes after frame stream");
+  return frame;
+}
+
+}  // namespace gb::compress

@@ -1,0 +1,77 @@
+// LRU redundancy elimination for graphics command streams (§V-A).
+//
+// Consecutive frames repeat most of their command records verbatim (same
+// state setup, same geometry, slightly different uniforms). Both endpoints
+// maintain an identical LRU cache of recently transmitted records; the
+// sender replaces a cached record with its 8-byte content hash, and the
+// receiver resolves the hash back to the record bytes. Cache updates are a
+// deterministic function of the encoded stream, so the two sides never
+// disagree without a transport-integrity violation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "wire/protocol.h"
+
+namespace gb::compress {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_in = 0;    // raw record bytes presented
+  std::uint64_t bytes_out = 0;   // bytes after reference substitution
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+// 64-bit FNV-1a over record bytes. Collisions would silently corrupt the
+// replayed stream; at 2^64 with a few thousand live records the probability
+// is negligible for the simulator's purposes.
+std::uint64_t record_hash(std::span<const std::uint8_t> bytes);
+
+// One side's cache: an LRU of record-hash -> record-bytes with a byte-budget
+// capacity, mirroring "caching the latest and frequent commands".
+class CommandCache {
+ public:
+  explicit CommandCache(std::size_t capacity_bytes = 4 << 20);
+
+  // Returns true when `hash` is cached, marking it most-recently-used.
+  bool touch(std::uint64_t hash);
+  // Inserts a record (evicting LRU entries over budget).
+  void insert(std::uint64_t hash, Bytes bytes);
+  // Looks up a record by hash; nullptr when absent.
+  [[nodiscard]] const Bytes* find(std::uint64_t hash) const;
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t resident_bytes() const { return resident_bytes_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash;
+    Bytes bytes;
+  };
+
+  std::size_t capacity_bytes_;
+  std::size_t resident_bytes_ = 0;
+  std::list<Entry> lru_;  // front == most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> entries_;
+};
+
+// Encodes a frame's records against the sender cache: cached records become
+// references, new ones are sent inline and inserted. Stats accumulate.
+Bytes encode_frame_with_cache(const wire::FrameCommands& frame,
+                              CommandCache& cache, CacheStats& stats);
+
+// Decodes the stream produced above against the receiver cache (which must
+// have seen every prior frame of this session in order).
+wire::FrameCommands decode_frame_with_cache(std::span<const std::uint8_t> data,
+                                            CommandCache& cache);
+
+}  // namespace gb::compress

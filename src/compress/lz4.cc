@@ -1,0 +1,146 @@
+#include "compress/lz4.h"
+
+#include <cstring>
+
+namespace gb::compress {
+namespace {
+
+constexpr int kMinMatch = 4;
+// The spec requires the last match to start at least 12 bytes before the
+// block end and the final 5 bytes to be literals.
+constexpr std::size_t kLastLiterals = 5;
+constexpr std::size_t kMatchSafeguard = 12;
+constexpr std::size_t kHashLog = 16;
+constexpr std::uint32_t kMaxOffset = 0xffff;
+
+std::uint32_t read32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint32_t hash4(std::uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashLog);
+}
+
+void write_length(Bytes& out, std::size_t length) {
+  while (length >= 255) {
+    out.push_back(255);
+    length -= 255;
+  }
+  out.push_back(static_cast<std::uint8_t>(length));
+}
+
+}  // namespace
+
+Bytes lz4_compress(std::span<const std::uint8_t> input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  const std::size_t n = input.size();
+  const std::uint8_t* src = input.data();
+
+  std::vector<std::uint32_t> table(1u << kHashLog, 0);  // position + 1
+
+  std::size_t anchor = 0;  // start of the pending literal run
+  std::size_t pos = 0;
+
+  const auto emit_sequence = [&](std::size_t literal_len, std::size_t match_pos,
+                                 std::size_t match_len) {
+    const std::size_t lit_nibble = literal_len < 15 ? literal_len : 15;
+    const std::size_t match_extra = match_len - kMinMatch;
+    const std::size_t match_nibble = match_extra < 15 ? match_extra : 15;
+    out.push_back(static_cast<std::uint8_t>((lit_nibble << 4) | match_nibble));
+    if (lit_nibble == 15) write_length(out, literal_len - 15);
+    out.insert(out.end(), src + anchor, src + anchor + literal_len);
+    const std::uint32_t offset =
+        static_cast<std::uint32_t>(pos - match_pos);
+    out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+    out.push_back(static_cast<std::uint8_t>(offset >> 8));
+    if (match_nibble == 15) write_length(out, match_extra - 15);
+  };
+
+  if (n >= kMatchSafeguard) {
+    const std::size_t match_limit = n - kLastLiterals;
+    const std::size_t search_limit = n - kMatchSafeguard;
+    while (pos <= search_limit) {
+      const std::uint32_t sequence = read32(src + pos);
+      const std::uint32_t h = hash4(sequence);
+      const std::uint32_t candidate_plus1 = table[h];
+      table[h] = static_cast<std::uint32_t>(pos) + 1;
+      if (candidate_plus1 != 0) {
+        const std::size_t candidate = candidate_plus1 - 1;
+        if (pos - candidate <= kMaxOffset &&
+            read32(src + candidate) == sequence) {
+          // Extend the match forward.
+          std::size_t match_len = kMinMatch;
+          while (pos + match_len < match_limit &&
+                 src[candidate + match_len] == src[pos + match_len]) {
+            ++match_len;
+          }
+          emit_sequence(pos - anchor, candidate, match_len);
+          pos += match_len;
+          anchor = pos;
+          continue;
+        }
+      }
+      ++pos;
+    }
+  }
+
+  // Final literal run (token with match nibble 0 and no offset).
+  const std::size_t tail = n - anchor;
+  const std::size_t lit_nibble = tail < 15 ? tail : 15;
+  out.push_back(static_cast<std::uint8_t>(lit_nibble << 4));
+  if (lit_nibble == 15) write_length(out, tail - 15);
+  out.insert(out.end(), src + anchor, src + n);
+  return out;
+}
+
+std::optional<Bytes> lz4_decompress(std::span<const std::uint8_t> block,
+                                    std::size_t expected_size) {
+  Bytes out;
+  out.reserve(expected_size);
+  std::size_t pos = 0;
+  const std::size_t n = block.size();
+
+  const auto read_extended = [&](std::size_t base) -> std::optional<std::size_t> {
+    std::size_t length = base;
+    if (base == 15) {
+      for (;;) {
+        if (pos >= n) return std::nullopt;
+        const std::uint8_t b = block[pos++];
+        length += b;
+        if (b != 255) break;
+      }
+    }
+    return length;
+  };
+
+  while (pos < n) {
+    const std::uint8_t token = block[pos++];
+    const auto literal_len = read_extended(token >> 4);
+    if (!literal_len) return std::nullopt;
+    if (pos + *literal_len > n) return std::nullopt;
+    out.insert(out.end(), block.begin() + pos, block.begin() + pos + *literal_len);
+    pos += *literal_len;
+    if (pos == n) break;  // final literal run has no match part
+
+    if (pos + 2 > n) return std::nullopt;
+    const std::size_t offset = static_cast<std::size_t>(block[pos]) |
+                               (static_cast<std::size_t>(block[pos + 1]) << 8);
+    pos += 2;
+    if (offset == 0 || offset > out.size()) return std::nullopt;
+    const auto match_extra = read_extended(token & 0x0f);
+    if (!match_extra) return std::nullopt;
+    const std::size_t match_len = *match_extra + kMinMatch;
+    // Overlapping copies are the norm (RLE-style matches); copy bytewise.
+    std::size_t from = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + i]);
+    }
+  }
+  if (out.size() != expected_size) return std::nullopt;
+  return out;
+}
+
+}  // namespace gb::compress

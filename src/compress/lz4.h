@@ -1,0 +1,30 @@
+// LZ4 block-format codec implemented from scratch (§V-A uses LZ4 as the
+// "light-weight general stream compression" for graphics command traffic).
+//
+// The encoder uses a 4-byte hash table match finder and produces standard
+// LZ4 block sequences: a token with literal/match length nibbles, optional
+// length extension bytes, little-endian 16-bit match offsets, and a final
+// literal run. The decoder is format-compatible with the encoder's output.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace gb::compress {
+
+// Compresses `input` into an LZ4 block. The result always round-trips via
+// lz4_decompress; for incompressible input it may exceed the input size by a
+// small bound (worst case input + input/255 + 16).
+[[nodiscard]] Bytes lz4_compress(std::span<const std::uint8_t> input);
+
+// Decompresses a block produced by lz4_compress. `expected_size` is the
+// exact original length (carried out-of-band by the wire framing). Returns
+// std::nullopt on malformed input.
+[[nodiscard]] std::optional<Bytes> lz4_decompress(
+    std::span<const std::uint8_t> block, std::size_t expected_size);
+
+}  // namespace gb::compress

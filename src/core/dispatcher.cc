@@ -1,0 +1,65 @@
+#include "core/dispatcher.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gb::core {
+
+Dispatcher::Dispatcher(std::vector<ServiceDeviceInfo> devices,
+                       DispatchPolicy policy)
+    : policy_(policy) {
+  check(!devices.empty(), "dispatcher needs at least one service device");
+  for (ServiceDeviceInfo& info : devices) {
+    check(info.capability_pps > 0.0, "device capability must be positive");
+    devices_.push_back(Entry{std::move(info)});
+  }
+}
+
+std::size_t Dispatcher::pick(double workload_pixels) {
+  if (policy_ == DispatchPolicy::kRoundRobin) {
+    return round_robin_next_++ % devices_.size();
+  }
+  if (policy_ == DispatchPolicy::kRandom) {
+    lcg_state_ = lcg_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::size_t>((lcg_state_ >> 33) % devices_.size());
+  }
+  std::size_t best = 0;
+  double best_cost = 0.0;
+  for (std::size_t j = 0; j < devices_.size(); ++j) {
+    const Entry& d = devices_[j];
+    const double cost =
+        (d.queued_workload + workload_pixels) / d.info.capability_pps +
+        d.delay_estimate.seconds();
+    if (j == 0 || cost < best_cost) {
+      best = j;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void Dispatcher::on_assigned(std::size_t index, double workload_pixels) {
+  devices_[index].queued_workload += workload_pixels;
+}
+
+void Dispatcher::on_abandoned(std::size_t index, double workload_pixels) {
+  Entry& d = devices_[index];
+  d.queued_workload = std::max(0.0, d.queued_workload - workload_pixels);
+}
+
+void Dispatcher::on_completed(std::size_t index, double workload_pixels,
+                              SimTime round_trip) {
+  Entry& d = devices_[index];
+  d.queued_workload = std::max(0.0, d.queued_workload - workload_pixels);
+  // EWMA so a transient stall does not permanently poison the estimate. The
+  // delay term excludes the service time itself: subtract the request's own
+  // compute share, floored at a minimum network latency.
+  const double service_s = workload_pixels / d.info.capability_pps;
+  const double network_s = std::max(round_trip.seconds() - service_s, 0.0005);
+  constexpr double kAlpha = 0.2;
+  d.delay_estimate = seconds((1.0 - kAlpha) * d.delay_estimate.seconds() +
+                             kAlpha * network_s);
+}
+
+}  // namespace gb::core

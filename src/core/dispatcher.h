@@ -1,0 +1,80 @@
+// Multi-device request dispatcher (§VI-C).
+//
+// Each rendering request of workload r is assigned to the service device
+// minimizing expected completion time:
+//
+//     n = argmin_j (w^j + r) / c^j + l^j        (Eq. 4)
+//
+// where w^j is the workload already queued on device j, c^j its processing
+// capability (pixels/s), and l^j the measured round-trip delay to it. The
+// dispatcher tracks w^j from its own assignments and completion
+// notifications, and keeps an EWMA of l^j from frame-result round trips.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/medium.h"
+#include "runtime/sim_clock.h"
+
+namespace gb::core {
+
+// Assignment policy ablation: the paper's Eq. 4 against naive baselines.
+enum class DispatchPolicy {
+  kEq4,         // argmin (w + r)/c + l  (the paper)
+  kRoundRobin,  // ignore capability and load
+  kRandom,      // uniform pick (deterministic LCG, seeded)
+};
+
+struct ServiceDeviceInfo {
+  net::NodeId node = 0;
+  std::string name;
+  double capability_pps = 0.0;  // c^j: effective fillrate, pixels/second
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(std::vector<ServiceDeviceInfo> devices,
+                      DispatchPolicy policy = DispatchPolicy::kEq4);
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] const ServiceDeviceInfo& device(std::size_t i) const {
+    return devices_[i].info;
+  }
+
+  // Picks the device index for a request of `workload_pixels` according to
+  // the configured policy (Eq. 4 by default).
+  [[nodiscard]] std::size_t pick(double workload_pixels);
+
+  // Bookkeeping: a request was sent to / completed by device `index`.
+  void on_assigned(std::size_t index, double workload_pixels);
+  void on_completed(std::size_t index, double workload_pixels,
+                    SimTime round_trip);
+  // Releases the queued-workload share of a request whose result was lost
+  // for good, without feeding the (meaningless) elapsed time into the
+  // latency estimate.
+  void on_abandoned(std::size_t index, double workload_pixels);
+
+  // Current Eq. 4 inputs, exposed for tests and reports.
+  [[nodiscard]] double queued_workload(std::size_t index) const {
+    return devices_[index].queued_workload;
+  }
+  [[nodiscard]] SimTime estimated_delay(std::size_t index) const {
+    return devices_[index].delay_estimate;
+  }
+
+ private:
+  struct Entry {
+    ServiceDeviceInfo info;
+    double queued_workload = 0.0;        // w^j
+    SimTime delay_estimate = ms(2.0);    // l^j (EWMA of round trips)
+  };
+
+  std::vector<Entry> devices_;
+  DispatchPolicy policy_;
+  std::size_t round_robin_next_ = 0;
+  std::uint64_t lcg_state_ = 0x853c49e6748fea9bULL;
+};
+
+}  // namespace gb::core

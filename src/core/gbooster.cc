@@ -1,0 +1,209 @@
+#include "core/gbooster.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gb::core {
+
+GBoosterRuntime::GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
+                                 net::ReliableEndpoint& endpoint,
+                                 std::vector<ServiceDeviceInfo> devices)
+    : loop_(loop),
+      config_(config),
+      endpoint_(endpoint),
+      dispatcher_(devices, config.dispatch_policy) {
+  for (const ServiceDeviceInfo& d : devices) {
+    device_nodes_.push_back(d.node);
+    render_caches_.push_back(std::make_unique<compress::CommandCache>());
+  }
+  recorder_ = std::make_unique<wire::CommandRecorder>(
+      config_.nominal_width, config_.nominal_height,
+      [this](wire::FrameCommands frame) { return on_frame(std::move(frame)); });
+}
+
+void GBoosterRuntime::install(hooking::DynamicLinker& linker,
+                              const std::string& soname) {
+  linker.register_library(
+      hooking::LibraryImage::exporting_all(soname, recorder_.get()));
+  std::vector<std::string> preload = linker.preload();
+  preload.insert(preload.begin(), soname);
+  linker.set_preload(std::move(preload));
+}
+
+std::size_t GBoosterRuntime::memory_overhead_bytes() const {
+  std::size_t total = recorder_->overhead_bytes();
+  total += state_cache_.resident_bytes();
+  for (const auto& cache : render_caches_) total += cache->resident_bytes();
+  return total;
+}
+
+bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
+  check(!device_nodes_.empty(), "no service devices configured");
+  const std::uint64_t sequence = frame.sequence;
+
+  // Eq. 4 inputs.
+  const double workload = workload_override_
+                              ? workload_override_()
+                              : recorder_->last_frame_profile().workload_pixels;
+  const std::size_t device_index = dispatcher_.pick(workload);
+  dispatcher_.on_assigned(device_index, workload);
+
+  // Multi-device consistency (§VI-B): the frame's state-mutating records go
+  // to everyone; single-device sessions skip the redundant copy.
+  Bytes state_message;
+  if (device_nodes_.size() > 1) {
+    wire::FrameCommands state_records;
+    state_records.sequence = sequence;
+    for (const wire::CommandRecord& record : frame.records) {
+      if (wire::mutates_shared_state(record.op())) {
+        state_records.records.push_back(record);
+      }
+    }
+    StateHeader header;
+    header.sequence = sequence;
+    header.renderer_node = device_nodes_[device_index];
+    state_message = make_state_message(header, state_records, state_cache_,
+                                       stats_.state_cache);
+  }
+
+  RenderRequestHeader header;
+  header.sequence = sequence;
+  header.workload_pixels = workload;
+  header.priority = config_.request_priority;
+  Bytes render_message = make_render_message(
+      header, frame, *render_caches_[device_index], stats_.render_cache);
+
+  // Charge the user-device CPU for serialization + compression; the packed
+  // bytes leave once the (single) packing core gets through them.
+  const std::size_t total_bytes = render_message.size() + state_message.size();
+  const double serialize_s = static_cast<double>(total_bytes) * 8.0 /
+                                 config_.serialize_throughput_bps +
+                             0.0003;
+  stats_.serialize_seconds += serialize_s;
+  cpu_busy_until_ =
+      std::max(cpu_busy_until_, loop_.now()) + seconds(serialize_s);
+
+  stats_.frames_offloaded++;
+  stats_.bytes_sent += total_bytes;
+  const std::uint64_t depth = in_flight_.size() + 1;
+  stats_.pending_depth_sum += depth;
+  stats_.pending_depth_samples++;
+  stats_.pending_depth_max = std::max(stats_.pending_depth_max, depth);
+  if (!state_message.empty()) stats_.state_messages++;
+
+  in_flight_[sequence] =
+      InFlight{loop_.now(), device_index, workload, total_bytes, serialize_s};
+
+  const net::NodeId renderer = device_nodes_[device_index];
+  loop_.schedule_at(
+      cpu_busy_until_,
+      [this, renderer, state_message = std::move(state_message),
+       render_message = std::move(render_message)]() mutable {
+        if (!state_message.empty()) {
+          endpoint_.send_multicast(config_.state_group, device_nodes_,
+                                   std::move(state_message));
+        }
+        endpoint_.send(renderer, std::move(render_message));
+      });
+  return true;
+}
+
+void GBoosterRuntime::on_message(net::NodeId src, net::NodeId stream,
+                                 Bytes message) {
+  (void)src;
+  (void)stream;
+  if (peek_kind(message) != MsgKind::kFrame) return;
+  auto parsed = parse_frame_message(message);
+  check(parsed.has_value(), "malformed frame result");
+  const std::uint64_t sequence = parsed->header.sequence;
+  const auto it = in_flight_.find(sequence);
+  if (it == in_flight_.end()) return;  // duplicate
+  const InFlight flight = it->second;
+  in_flight_.erase(it);
+
+  dispatcher_.on_completed(flight.device_index, flight.workload,
+                           loop_.now() - flight.issued);
+  stats_.bytes_received += parsed->header.nominal_bytes;
+
+  // Decode cost on the user device (Turbo decode of the nominal-resolution
+  // stream), charged before the frame becomes displayable.
+  const double decode_s = static_cast<double>(config_.nominal_width) *
+                          config_.nominal_height / (config_.decode_mpps * 1e6);
+  stats_.decode_seconds += decode_s;
+
+  // Eq. 5's t_p estimate for this frame: everything offloading adds on top
+  // of rendering itself.
+  const double bandwidth_bps =
+      config_.link_bandwidth_bps ? config_.link_bandwidth_bps() : 150e6;
+  const double uplink_s =
+      static_cast<double>(flight.sent_bytes) * 8.0 / bandwidth_bps + 0.001;
+  const double downlink_s =
+      static_cast<double>(parsed->header.nominal_bytes) * 8.0 / bandwidth_bps +
+      0.001;
+  const double encode_s = static_cast<double>(config_.nominal_width) *
+                          config_.nominal_height /
+                          (config_.service_encode_mpps * 1e6);
+  stats_.t_p_ms_sum +=
+      (flight.serialize_s + uplink_s + encode_s + downlink_s + decode_s) *
+      1000.0;
+
+  ReadyFrame ready;
+  ready.issued = flight.issued;
+  ready.displayable_at = loop_.now() + seconds(decode_s);
+  if (parsed->header.has_content) {
+    auto image = decoder_.decode(parsed->encoded_content);
+    if (image) ready.content = std::move(*image);
+  }
+  ready_.emplace(sequence, std::move(ready));
+
+  loop_.schedule_after(seconds(decode_s), [this] { present_in_order(); });
+}
+
+void GBoosterRuntime::present_in_order() {
+  // §VI-C: requests may complete out of order across devices; results are
+  // displayed strictly by sequence number.
+  while (true) {
+    const auto it = ready_.find(next_display_sequence_);
+    if (it == ready_.end()) {
+      // Liveness: if the expected result never arrives (its message was
+      // abandoned by the transport), later completed frames must not wait
+      // forever. Skip the hole once it is older than the gap timeout.
+      if (!ready_.empty()) {
+        const SimTime oldest = ready_.begin()->second.displayable_at;
+        if (loop_.now() - oldest >= config_.display_gap_timeout) {
+          stats_.frames_dropped +=
+              ready_.begin()->first - next_display_sequence_;
+          // Release the dispatcher bookkeeping of the lost requests so their
+          // phantom workload stops biasing Eq. 4.
+          for (auto lost = in_flight_.begin();
+               lost != in_flight_.end() &&
+               lost->first < ready_.begin()->first;) {
+            dispatcher_.on_abandoned(lost->second.device_index,
+                                     lost->second.workload);
+            lost = in_flight_.erase(lost);
+          }
+          next_display_sequence_ = ready_.begin()->first;
+          continue;
+        }
+        loop_.schedule_at(oldest + config_.display_gap_timeout,
+                          [this] { present_in_order(); });
+      }
+      return;
+    }
+    if (it->second.displayable_at > loop_.now()) {
+      loop_.schedule_at(it->second.displayable_at,
+                        [this] { present_in_order(); });
+      return;
+    }
+    ReadyFrame frame = std::move(it->second);
+    ready_.erase(it);
+    const std::uint64_t sequence = next_display_sequence_++;
+    stats_.frames_displayed++;
+    if (display_) {
+      display_(sequence, loop_.now() - frame.issued, frame.content);
+    }
+  }
+}
+
+}  // namespace gb::core

@@ -1,0 +1,182 @@
+// GBoosterRuntime — the user-device side of the system (Fig. 2).
+//
+// It owns the wrapper library (a wire::CommandRecorder implementing the full
+// GLES API), installs it into the dynamic-linker model under LD_PRELOAD so
+// unmodified applications bind to it (§IV-A), and processes each finished
+// frame:
+//
+//   1. profile the frame (workload r, command/texture counts for §V-B);
+//   2. pick a service device via Eq. 4 (§VI-C);
+//   3. multi-device: multicast the frame's state-mutating records to every
+//      replica (§VI-B) and unicast the complete frame to the renderer;
+//      single-device: just send the frame;
+//   4. all payloads go through the LRU command cache + LZ4 (§V-A) and the
+//      reliable-UDP endpoint, whose route the interface switcher manages;
+//   5. returned frames are decoded and displayed in sequence order (§VI-C),
+//      with the modified SwapBuffer semantics (§VI-A) allowing up to
+//      `max_pending_requests` frames in flight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "codec/turbo_codec.h"
+#include "compress/command_cache.h"
+#include "core/dispatcher.h"
+#include "core/offload_protocol.h"
+#include "hooking/dynamic_linker.h"
+#include "net/reliable.h"
+#include "runtime/event_loop.h"
+#include "wire/recorder.h"
+
+namespace gb::core {
+
+struct GBoosterConfig {
+  int nominal_width = 600;
+  int nominal_height = 480;
+  // §VI-A: rewritten SwapBuffer returns immediately; up to this many
+  // rendering requests may be buffered in flight. 1 reproduces the stock
+  // blocking behaviour. The cap is deliberately generous: generation is
+  // CPU-bound, so the *observed* depth stays around 3 — the paper's
+  // "internal buffer possesses at most 3 requests most of the time".
+  int max_pending_requests = 6;
+  // Multicast group id for state replication.
+  net::NodeId state_group = 0xff00;
+  // User-device CPU throughput constants for the offload intermediate steps
+  // (serialize+compress on send, image decode on receive). These feed both
+  // pipeline latency and the §VII-G CPU-overhead accounting.
+  double serialize_throughput_bps = 1.2e9;
+  double decode_mpps = 140.0;  // Turbo decode is ~3x cheaper than encode
+  // Estimate inputs for Eq. 5's t_p (the offload intermediate time): the
+  // service devices' Turbo encode rate and a probe for the current link
+  // bandwidth (wired to the interface switcher's active medium).
+  double service_encode_mpps = 90.0;
+  std::function<double()> link_bandwidth_bps;
+  // Urgency of this user's rendering requests when sharing service devices
+  // with other users (§VIII); lower = more time-critical.
+  int request_priority = 0;
+  // In-order display (§VI-C) must not deadlock if a frame result is lost for
+  // good (transport abandoned after max retries): when the next-expected
+  // sequence has been missing this long while later results wait, it is
+  // declared dropped and the stream resumes.
+  SimTime display_gap_timeout = seconds(2.0);
+  // Request-assignment policy across service devices (Eq. 4 by default;
+  // the alternatives exist for the scheduling ablation).
+  DispatchPolicy dispatch_policy = DispatchPolicy::kEq4;
+};
+
+struct GBoosterStats {
+  std::uint64_t frames_offloaded = 0;
+  std::uint64_t frames_displayed = 0;
+  std::uint64_t state_messages = 0;
+  std::uint64_t bytes_sent = 0;      // post-compression payload bytes
+  std::uint64_t bytes_received = 0;  // encoded frame bytes
+  double serialize_seconds = 0.0;    // user-device CPU spent packing
+  double decode_seconds = 0.0;       // user-device CPU spent decoding
+  // Sum over displayed frames of Eq. 5's t_p (ms): serialize + uplink +
+  // encode + downlink + decode — the intermediate steps offloading adds.
+  double t_p_ms_sum = 0.0;
+  compress::CacheStats render_cache;
+  compress::CacheStats state_cache;
+  // Pending-request depth observed at each frame issue (§VII-D's buffer
+  // occupancy study): sum / samples = average, plus the maximum seen.
+  std::uint64_t pending_depth_sum = 0;
+  std::uint64_t pending_depth_samples = 0;
+  std::uint64_t pending_depth_max = 0;
+  // Frames abandoned by the in-order presenter after display_gap_timeout.
+  std::uint64_t frames_dropped = 0;
+};
+
+class GBoosterRuntime {
+ public:
+  // `endpoint` must outlive the runtime and already be bound to its media;
+  // `devices` lists the service devices (Eq. 4 inputs + node addresses).
+  GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
+                  net::ReliableEndpoint& endpoint,
+                  std::vector<ServiceDeviceInfo> devices);
+
+  // Registers the wrapper library with the linker and sets LD_PRELOAD, the
+  // §IV-A injection. After this, any link_gles()/eglGetProcAddress/dlsym
+  // resolution lands in the wrapper.
+  void install(hooking::DynamicLinker& linker,
+               const std::string& soname = "libgbooster.so");
+
+  // The wrapper itself (for direct wiring in tests).
+  [[nodiscard]] gles::GlesApi& wrapper() { return *recorder_; }
+  [[nodiscard]] const wire::CommandRecorder& recorder() const {
+    return *recorder_;
+  }
+
+  // §VI-A flow control: may the application issue another frame right now?
+  [[nodiscard]] bool can_issue_frame() const {
+    return static_cast<int>(in_flight_.size()) < config_.max_pending_requests;
+  }
+  [[nodiscard]] std::size_t pending_requests() const {
+    return in_flight_.size();
+  }
+
+  // Fired when a frame reaches the screen: sequence, issue->display latency,
+  // and the decoded image (empty in analytic mode).
+  using DisplayFn =
+      std::function<void(std::uint64_t sequence, SimTime latency,
+                         const Image& frame)>;
+  void set_display_handler(DisplayFn handler) {
+    display_ = std::move(handler);
+  }
+
+  // Overrides the per-frame GPU workload estimate (Eq. 4's r). When unset,
+  // the recorder's own profile estimate is used.
+  void set_workload_override(std::function<double()> fn) {
+    workload_override_ = std::move(fn);
+  }
+
+  [[nodiscard]] const GBoosterStats& stats() const { return stats_; }
+  [[nodiscard]] Dispatcher& dispatcher() { return dispatcher_; }
+  // §VII-G: wrapper memory overhead (shadow context + queues).
+  [[nodiscard]] std::size_t memory_overhead_bytes() const;
+
+  // Must be called by the owner to route incoming frame messages here.
+  void on_message(net::NodeId src, net::NodeId stream, Bytes message);
+
+ private:
+  bool on_frame(wire::FrameCommands frame);
+  void present_in_order();
+
+  EventLoop& loop_;
+  GBoosterConfig config_;
+  net::ReliableEndpoint& endpoint_;
+  Dispatcher dispatcher_;
+  std::vector<net::NodeId> device_nodes_;
+  std::unique_ptr<wire::CommandRecorder> recorder_;
+
+  compress::CommandCache state_cache_;
+  std::vector<std::unique_ptr<compress::CommandCache>> render_caches_;
+
+  struct InFlight {
+    SimTime issued;
+    std::size_t device_index = 0;
+    double workload = 0.0;
+    std::size_t sent_bytes = 0;
+    double serialize_s = 0.0;
+  };
+  std::map<std::uint64_t, InFlight> in_flight_;
+
+  struct ReadyFrame {
+    SimTime displayable_at;
+    SimTime issued;
+    Image content;
+  };
+  std::map<std::uint64_t, ReadyFrame> ready_;
+  std::uint64_t next_display_sequence_ = 0;
+
+  codec::TurboDecoder decoder_;
+  SimTime cpu_busy_until_;  // serializes the pack/compress CPU work
+  DisplayFn display_;
+  std::function<double()> workload_override_;
+  GBoosterStats stats_;
+};
+
+}  // namespace gb::core

@@ -1,0 +1,118 @@
+#include "core/interface_switcher.h"
+
+namespace gb::core {
+
+InterfaceSwitcher::InterfaceSwitcher(
+    EventLoop& loop, SwitcherConfig config,
+    std::vector<net::ReliableEndpoint*> endpoints, net::Medium& wifi_medium,
+    net::RadioInterface& wifi_radio, net::Medium& bt_medium,
+    net::RadioInterface& bt_radio)
+    : loop_(loop),
+      config_(config),
+      endpoints_(std::move(endpoints)),
+      wifi_medium_(wifi_medium),
+      wifi_radio_(wifi_radio),
+      bt_medium_(bt_medium),
+      bt_radio_(bt_radio),
+      predictor_([&config] {
+        predict::TrafficPredictorConfig p = config.predictor;
+        p.horizon = config.forecast_horizon_intervals;
+        return p;
+      }()) {
+  if (config_.policy == SwitchPolicy::kAlwaysWifi) {
+    wifi_radio_.power_on();
+    route_to_wifi();
+    bt_radio_.power_off();
+  } else {
+    // Sessions start on the low-power interface; the predictor earns the
+    // upgrades.
+    bt_radio_.power_on();
+    route_to_bt();
+    wifi_radio_.power_off();
+  }
+}
+
+double InterfaceSwitcher::bt_capacity_bytes_per_interval() const {
+  return bt_radio_.config().bandwidth_bps / 8.0 * config_.bt_usable_fraction *
+         config_.observe_interval.seconds();
+}
+
+void InterfaceSwitcher::route_to_wifi() {
+  if (!on_wifi_) stats_.upgrades_to_wifi++;
+  on_wifi_ = true;
+  for (net::ReliableEndpoint* endpoint : endpoints_) {
+    endpoint->set_route(&wifi_medium_);
+  }
+}
+
+void InterfaceSwitcher::route_to_bt() {
+  if (on_wifi_) stats_.downgrades_to_bt++;
+  on_wifi_ = false;
+  for (net::ReliableEndpoint* endpoint : endpoints_) {
+    endpoint->set_route(&bt_medium_);
+  }
+}
+
+void InterfaceSwitcher::observe_interval(
+    const predict::TrafficSample& sample) {
+  const double interval_s = config_.observe_interval.seconds();
+  if (on_wifi_) {
+    stats_.seconds_on_wifi += interval_s;
+  } else {
+    stats_.seconds_on_bt += interval_s;
+  }
+
+  const double bt_ceiling = bt_capacity_bytes_per_interval();
+  if (!on_wifi_ && sample.traffic_bytes > bt_ceiling) {
+    stats_.uncovered_demand_intervals++;
+  }
+
+  if (config_.policy == SwitchPolicy::kAlwaysWifi) return;
+
+  predictor_.observe(sample);
+
+  // Queue buildup on the Bluetooth link is a direct signal that offered
+  // load already exceeds capacity — the measured traffic series alone
+  // cannot show it because a saturated link caps what gets through.
+  const bool bt_saturated =
+      !on_wifi_ && bt_medium_.backlog() > config_.observe_interval;
+
+  const bool demand_high =
+      bt_saturated ||
+      (config_.policy == SwitchPolicy::kReactive
+           ? sample.traffic_bytes > bt_ceiling         // react after the fact
+           : predictor_.predicts_exceed(bt_ceiling));  // §V-B: lead the demand
+
+  if (demand_high) {
+    calm_streak_ = 0;
+    if (!wifi_wake_requested_ && !wifi_radio_.usable()) {
+      wifi_radio_.power_on();
+      wifi_wake_requested_ = true;
+    }
+    if (wifi_radio_.usable()) {
+      wifi_wake_requested_ = false;
+      if (!on_wifi_) route_to_wifi();
+    }
+    return;
+  }
+
+  // If a wake was requested and the radio has come up meanwhile, complete
+  // the upgrade even on a calm tick — the demand may be arriving right now.
+  if (wifi_wake_requested_ && wifi_radio_.usable()) {
+    wifi_wake_requested_ = false;
+    route_to_wifi();
+    return;
+  }
+
+  if (on_wifi_) {
+    if (++calm_streak_ >= config_.calm_intervals_before_downgrade) {
+      calm_streak_ = 0;
+      route_to_bt();
+      wifi_radio_.power_off();
+    }
+  } else {
+    calm_streak_ = 0;
+  }
+}
+
+}  // namespace gb::core

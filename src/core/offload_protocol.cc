@@ -1,0 +1,142 @@
+#include "core/offload_protocol.h"
+
+#include "common/error.h"
+
+namespace gb::core {
+namespace {
+
+// kState/kRender bodies: varint uncompressed size + LZ4 block.
+void append_compressed(ByteWriter& out, const Bytes& raw) {
+  const Bytes block = compress::lz4_compress(raw);
+  out.varint(raw.size());
+  out.blob(block);
+}
+
+std::optional<Bytes> read_compressed(ByteReader& in) {
+  const auto raw_size = in.varint();
+  const auto block = in.blob();
+  return compress::lz4_decompress(block, narrow<std::size_t>(raw_size));
+}
+
+}  // namespace
+
+Bytes pack_commands(const wire::FrameCommands& frame,
+                    compress::CommandCache& cache,
+                    compress::CacheStats& stats) {
+  return compress::encode_frame_with_cache(frame, cache, stats);
+}
+
+std::optional<wire::FrameCommands> unpack_commands(
+    std::span<const std::uint8_t> data, compress::CommandCache& cache) {
+  try {
+    return compress::decode_frame_with_cache(data, cache);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+Bytes make_state_message(const StateHeader& header,
+                         const wire::FrameCommands& state_records,
+                         compress::CommandCache& cache,
+                         compress::CacheStats& stats) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(MsgKind::kState));
+  out.varint(header.sequence);
+  out.varint(header.renderer_node);
+  append_compressed(out, pack_commands(state_records, cache, stats));
+  return out.take();
+}
+
+Bytes make_render_message(const RenderRequestHeader& header,
+                          const wire::FrameCommands& frame_records,
+                          compress::CommandCache& cache,
+                          compress::CacheStats& stats) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(MsgKind::kRender));
+  out.varint(header.sequence);
+  out.f64(header.workload_pixels);
+  out.varint(static_cast<std::uint64_t>(header.priority));
+  append_compressed(out, pack_commands(frame_records, cache, stats));
+  return out.take();
+}
+
+Bytes make_frame_message(const FrameResultHeader& header,
+                         std::span<const std::uint8_t> encoded_content) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(MsgKind::kFrame));
+  out.varint(header.sequence);
+  out.u32(header.nominal_bytes);
+  out.u8(header.has_content ? 1 : 0);
+  out.blob(encoded_content);
+  // Pad size-only results so the network carries the nominal byte count —
+  // transmission timing must reflect the real stream even when pixel content
+  // is not being produced (analytic fidelity mode).
+  if (out.size() < header.nominal_bytes) {
+    out.raw(Bytes(header.nominal_bytes - out.size(), 0));
+  }
+  return out.take();
+}
+
+MsgKind peek_kind(std::span<const std::uint8_t> message) {
+  check(!message.empty(), "empty offload message");
+  return static_cast<MsgKind>(message[0]);
+}
+
+std::optional<ParsedState> parse_state_message(
+    std::span<const std::uint8_t> message, compress::CommandCache& cache) {
+  try {
+    ByteReader in(message);
+    check(static_cast<MsgKind>(in.u8()) == MsgKind::kState, "not a state msg");
+    ParsedState parsed;
+    parsed.header.sequence = in.varint();
+    parsed.header.renderer_node = narrow<std::uint32_t>(in.varint());
+    const auto raw = read_compressed(in);
+    if (!raw) return std::nullopt;
+    auto records = unpack_commands(*raw, cache);
+    if (!records) return std::nullopt;
+    parsed.records = std::move(*records);
+    return parsed;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<ParsedRender> parse_render_message(
+    std::span<const std::uint8_t> message, compress::CommandCache& cache) {
+  try {
+    ByteReader in(message);
+    check(static_cast<MsgKind>(in.u8()) == MsgKind::kRender,
+          "not a render msg");
+    ParsedRender parsed;
+    parsed.header.sequence = in.varint();
+    parsed.header.workload_pixels = in.f64();
+    parsed.header.priority = narrow<int>(in.varint());
+    const auto raw = read_compressed(in);
+    if (!raw) return std::nullopt;
+    auto records = unpack_commands(*raw, cache);
+    if (!records) return std::nullopt;
+    parsed.records = std::move(*records);
+    return parsed;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<ParsedFrame> parse_frame_message(
+    std::span<const std::uint8_t> message) {
+  try {
+    ByteReader in(message);
+    check(static_cast<MsgKind>(in.u8()) == MsgKind::kFrame, "not a frame msg");
+    ParsedFrame parsed;
+    parsed.header.sequence = in.varint();
+    parsed.header.nominal_bytes = in.u32();
+    parsed.header.has_content = in.u8() != 0;
+    const auto content = in.blob();
+    parsed.encoded_content.assign(content.begin(), content.end());
+    return parsed;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace gb::core

@@ -1,0 +1,107 @@
+// Message protocol between the GBooster user-device runtime and service
+// devices. Three message kinds flow over the reliable transport:
+//
+//   kState  — state-mutating command records, multicast to every service
+//             device to keep their OpenGL contexts consistent (§VI-B);
+//   kRender — one rendering request (the frame-local records of one frame),
+//             unicast to the device Eq. 4 selected;
+//   kFrame  — the rendered, encoded frame flowing back with its sequence
+//             number for in-order display (§VI-C).
+//
+// Command payloads are encoded against the shared LRU command cache and then
+// LZ4-compressed (§V-A); the framing carries the pre-compression size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "compress/command_cache.h"
+#include "compress/lz4.h"
+#include "wire/protocol.h"
+
+namespace gb::core {
+
+enum class MsgKind : std::uint8_t {
+  kState = 1,
+  kRender = 2,
+  kFrame = 3,
+};
+
+struct RenderRequestHeader {
+  std::uint64_t sequence = 0;
+  double workload_pixels = 0.0;  // Eq. 4's r, profiled on the user device
+  // Request urgency when the service device schedules multiple users
+  // (§VIII): lower = more time-critical. 0 for single-user sessions.
+  int priority = 0;
+};
+
+// In multi-device mode every frame produces exactly one message per service
+// device: the full frame to the chosen renderer and a state-only message to
+// the rest. Devices apply messages in frame-sequence order; `renderer_node`
+// lets a device recognise (and skip applying) the state copy of a frame it
+// is rendering in full.
+struct StateHeader {
+  std::uint64_t sequence = 0;
+  std::uint32_t renderer_node = 0;
+};
+
+struct FrameResultHeader {
+  std::uint64_t sequence = 0;
+  // Size the encoded frame would have at the nominal streaming resolution
+  // (content may be rendered at reduced resolution; see sim fidelity modes).
+  std::uint32_t nominal_bytes = 0;
+  bool has_content = false;
+};
+
+// --- builders -------------------------------------------------------------
+
+// Encodes command records against `cache` and compresses; used for both
+// kState and kRender payload bodies.
+Bytes pack_commands(const wire::FrameCommands& frame,
+                    compress::CommandCache& cache,
+                    compress::CacheStats& stats);
+
+// Inverse of pack_commands.
+std::optional<wire::FrameCommands> unpack_commands(
+    std::span<const std::uint8_t> data, compress::CommandCache& cache);
+
+Bytes make_state_message(const StateHeader& header,
+                         const wire::FrameCommands& state_records,
+                         compress::CommandCache& cache,
+                         compress::CacheStats& stats);
+
+Bytes make_render_message(const RenderRequestHeader& header,
+                          const wire::FrameCommands& frame_records,
+                          compress::CommandCache& cache,
+                          compress::CacheStats& stats);
+
+Bytes make_frame_message(const FrameResultHeader& header,
+                         std::span<const std::uint8_t> encoded_content);
+
+// --- parsing ----------------------------------------------------------------
+
+[[nodiscard]] MsgKind peek_kind(std::span<const std::uint8_t> message);
+
+struct ParsedState {
+  StateHeader header;
+  wire::FrameCommands records;
+};
+std::optional<ParsedState> parse_state_message(
+    std::span<const std::uint8_t> message, compress::CommandCache& cache);
+
+struct ParsedRender {
+  RenderRequestHeader header;
+  wire::FrameCommands records;
+};
+std::optional<ParsedRender> parse_render_message(
+    std::span<const std::uint8_t> message, compress::CommandCache& cache);
+
+struct ParsedFrame {
+  FrameResultHeader header;
+  Bytes encoded_content;  // empty when the result is size-only (analytic)
+};
+std::optional<ParsedFrame> parse_frame_message(
+    std::span<const std::uint8_t> message);
+
+}  // namespace gb::core

@@ -1,0 +1,96 @@
+#include "core/service_runtime.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "wire/decoder.h"
+
+namespace gb::core {
+
+ServiceRuntime::ServiceRuntime(EventLoop& loop, net::NodeId node,
+                               device::DeviceProfile profile,
+                               ServiceRuntimeConfig config)
+    : loop_(loop),
+      node_(node),
+      profile_(std::move(profile)),
+      config_(config),
+      endpoint_(std::make_unique<net::ReliableEndpoint>(loop, node)),
+      gpu_(std::make_unique<device::GpuModel>(loop, profile_.gpu)) {
+  endpoint_->set_handler(
+      [this](net::NodeId src, net::NodeId stream, Bytes message) {
+        on_message(src, stream, std::move(message));
+      });
+}
+
+ServiceRuntime::UserSession& ServiceRuntime::session_for(net::NodeId user) {
+  const auto it = users_.find(user);
+  if (it != users_.end()) return it->second;
+  UserSession session;
+  session.encoder = codec::TurboEncoder(config_.codec);
+  if (config_.render_width > 0 && config_.render_height > 0) {
+    session.backend = std::make_unique<gles::DirectBackend>(
+        config_.render_width, config_.render_height, gles::PresentFn{});
+  }
+  stats_.users_served++;
+  return users_.emplace(user, std::move(session)).first->second;
+}
+
+void ServiceRuntime::on_message(net::NodeId src, net::NodeId stream,
+                                Bytes message) {
+  (void)stream;
+  UserSession& session = session_for(src);
+  const MsgKind kind = peek_kind(message);
+  if (kind == MsgKind::kState) {
+    auto parsed = parse_state_message(message, session.state_cache);
+    check(parsed.has_value(), "malformed state message");
+    if (parsed->header.renderer_node == node_) {
+      // This device renders the frame in full; the state copy was decoded
+      // (keeping the cache mirror consistent) and is otherwise ignored —
+      // its sequence slot is filled by the render message.
+      return;
+    }
+    PendingApply pending;
+    pending.is_render = false;
+    const std::uint64_t seq = parsed->header.sequence;
+    pending.state = std::move(parsed);
+    session.held.emplace(seq, std::move(pending));
+  } else if (kind == MsgKind::kRender) {
+    auto parsed = parse_render_message(message, session.render_cache);
+    check(parsed.has_value(), "malformed render message");
+    PendingApply pending;
+    pending.is_render = true;
+    const std::uint64_t seq = parsed->header.sequence;
+    pending.render = std::move(parsed);
+    session.held.emplace(seq, std::move(pending));
+  } else {
+    throw Error("unexpected message kind at service device");
+  }
+  apply_in_order(src, session);
+}
+
+void ServiceRuntime::apply_in_order(net::NodeId user, UserSession& session) {
+  while (true) {
+    const auto it = session.held.find(session.next_apply_sequence);
+    if (it == session.held.end()) return;
+    PendingApply pending = std::move(it->second);
+    session.held.erase(it);
+    session.next_apply_sequence++;
+    if (pending.is_render) {
+      execute_render(user, session, std::move(*pending.render));
+    } else {
+      // Apply only the state records; the renderer handles the full frame.
+      if (session.backend != nullptr) {
+        try {
+          wire::replay_frame(pending.state->records, *session.backend);
+        } catch (const Error& e) {
+          throw Error("state apply seq " +
+                      std::to_string(session.next_apply_sequence - 1) +
+                      " on node " + std::to_string(node_) + ": " + e.what());
+        }
+      }
+      stats_.state_messages_applied++;
+    }
+  }
+}
+
+}  // namespace gb::core

@@ -1,0 +1,123 @@
+// Service-device runtime (§IV-C, §VI, §VIII): receives GBooster's offload
+// messages, keeps its OpenGL context consistent with the other replicas,
+// executes rendering requests on its GPU, encodes the result with the Turbo
+// codec, and returns it to the user device.
+//
+// Messages are applied in frame-sequence order per user. For a frame this
+// device is rendering, the unicast render message carries the *complete*
+// command sequence (state + draws interleaved as issued); for every other
+// frame it receives the multicast state-only message and applies just the
+// state-mutating records — the §VI-B consistency mechanism.
+//
+// Multi-user (§VIII): the runtime serves any number of user devices
+// simultaneously. Each user gets its own OpenGL context, command-cache
+// mirrors, and apply ordering; all share the one physical GPU, whose queue
+// discipline (FCFS as in the prototype, or priority scheduling as §VIII
+// proposes) comes from the device profile.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "codec/turbo_codec.h"
+#include "compress/command_cache.h"
+#include "core/offload_protocol.h"
+#include "device/device_profiles.h"
+#include "device/gpu_model.h"
+#include "gles/direct_backend.h"
+#include "net/reliable.h"
+#include "runtime/event_loop.h"
+
+namespace gb::core {
+
+struct ServiceRuntimeConfig {
+  // Nominal streaming resolution (what the user device displays).
+  int nominal_width = 600;
+  int nominal_height = 480;
+  // Actual pixel-rendering resolution; 0 disables content rendering
+  // entirely (pure analytic mode — the size model below must be set).
+  int render_width = 300;
+  int render_height = 240;
+  // Render/encode real pixels on every Nth request; in between, the last
+  // measured encoded size is reused (fidelity/speed dial for long sessions).
+  int content_sample_every = 1;
+  // Encoded size scales sub-linearly with pixel count (larger frames of the
+  // same scene compress better per pixel). Empirical exponent measured with
+  // the Turbo codec on the synthetic game content across 96x72..600x480.
+  double size_scale_exponent = 0.79;
+  codec::TurboConfig codec;
+};
+
+struct ServiceRuntimeStats {
+  std::uint64_t requests_rendered = 0;
+  std::uint64_t state_messages_applied = 0;
+  double encode_seconds = 0.0;
+  std::uint64_t encoded_bytes_nominal = 0;
+  std::uint64_t users_served = 0;
+};
+
+class ServiceRuntime {
+ public:
+  ServiceRuntime(EventLoop& loop, net::NodeId node,
+                 device::DeviceProfile profile, ServiceRuntimeConfig config);
+
+  // The endpoint to bind to media; its message handler is installed here.
+  [[nodiscard]] net::ReliableEndpoint& endpoint() { return *endpoint_; }
+  [[nodiscard]] device::GpuModel& gpu() { return *gpu_; }
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] const device::DeviceProfile& profile() const {
+    return profile_;
+  }
+  [[nodiscard]] const ServiceRuntimeStats& stats() const { return stats_; }
+  // Last frame actually rendered+encoded for any user (for pixel tests).
+  [[nodiscard]] const std::optional<Image>& last_rendered_frame() const {
+    return last_frame_;
+  }
+
+  // Analytic encoded-size model used when render_width == 0: maps a render
+  // request to the nominal encoded byte count.
+  using SizeModel = std::function<std::uint32_t(const ParsedRender&)>;
+  void set_size_model(SizeModel model) { size_model_ = std::move(model); }
+
+ private:
+  struct PendingApply {
+    bool is_render = false;
+    std::optional<ParsedState> state;
+    std::optional<ParsedRender> render;
+  };
+
+  // Everything the runtime keeps per connected user device: its own GL
+  // context replica, cache mirrors, frame ordering, and codec state.
+  struct UserSession {
+    compress::CommandCache render_cache;
+    compress::CommandCache state_cache;
+    std::uint64_t next_apply_sequence = 0;
+    std::map<std::uint64_t, PendingApply> held;
+    std::unique_ptr<gles::DirectBackend> backend;  // null in analytic mode
+    codec::TurboEncoder encoder;
+    std::uint64_t content_counter = 0;
+    std::uint32_t last_nominal_bytes = 0;
+  };
+
+  UserSession& session_for(net::NodeId user);
+  void on_message(net::NodeId src, net::NodeId stream, Bytes message);
+  void apply_in_order(net::NodeId user, UserSession& session);
+  void execute_render(net::NodeId user, UserSession& session,
+                      ParsedRender request);
+
+  EventLoop& loop_;
+  net::NodeId node_;
+  device::DeviceProfile profile_;
+  ServiceRuntimeConfig config_;
+  std::unique_ptr<net::ReliableEndpoint> endpoint_;
+  std::unique_ptr<device::GpuModel> gpu_;
+  SizeModel size_model_;
+  std::map<net::NodeId, UserSession> users_;
+  std::optional<Image> last_frame_;
+  ServiceRuntimeStats stats_;
+};
+
+}  // namespace gb::core

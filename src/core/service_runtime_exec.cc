@@ -1,0 +1,106 @@
+// ServiceRuntime::execute_render — split into its own translation unit to
+// keep service_runtime.cc focused on message plumbing.
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+#include "core/service_runtime.h"
+#include "wire/decoder.h"
+
+namespace gb::core {
+
+void ServiceRuntime::execute_render(net::NodeId user, UserSession& session,
+                                    ParsedRender request) {
+  // The replica context must execute work in exact frame order. State-only
+  // messages apply at arrival, so the render frame's commands must also
+  // replay *now* — deferring them past the GPU-timing delay would let a
+  // later frame's state overtake them (bind-to-create would then allocate
+  // object names out of order). GpuModel provides timing only.
+  std::uint32_t nominal_bytes = session.last_nominal_bytes;
+  Bytes content;
+  const bool sample =
+      session.backend != nullptr &&
+      (config_.content_sample_every <= 1 ||
+       session.content_counter++ %
+               static_cast<std::uint64_t>(config_.content_sample_every) ==
+           0);
+  if (session.backend != nullptr) {
+    try {
+      if (sample) {
+        // Full replay: state + draws, then encode the real pixels.
+        wire::replay_frame(request.records, *session.backend);
+      } else {
+        // Unsampled frames still must apply their state-mutating records
+        // (draws only touch the frame's render target and may be skipped;
+        // the next sampled frame redraws from scratch anyway).
+        wire::FrameCommands state_only;
+        for (const wire::CommandRecord& record : request.records.records) {
+          if (wire::mutates_shared_state(record.op())) {
+            state_only.records.push_back(record);
+          }
+        }
+        wire::replay_frame(state_only, *session.backend);
+      }
+    } catch (const Error& e) {
+      throw Error("render replay seq " +
+                  std::to_string(request.header.sequence) + " on node " +
+                  std::to_string(node_) + ": " + e.what());
+    }
+  }
+  if (sample) {
+    const Image& rendered = session.backend->context().color_buffer();
+    last_frame_ = rendered;
+    content = session.encoder.encode(rendered);
+    // Scale the measured size up to the nominal streaming resolution.
+    // Per-frame fixed costs (header, Huffman table) must not be multiplied —
+    // only the per-pixel payload scales (sub-linearly) with area.
+    const double area_ratio = static_cast<double>(config_.nominal_width) *
+                              config_.nominal_height /
+                              (static_cast<double>(config_.render_width) *
+                               config_.render_height);
+    const double scale = std::pow(area_ratio, config_.size_scale_exponent);
+    constexpr double kFixedOverhead = 300.0;
+    const double payload = std::max(
+        0.0, static_cast<double>(content.size()) - kFixedOverhead);
+    nominal_bytes =
+        static_cast<std::uint32_t>(payload * scale + kFixedOverhead);
+    session.last_nominal_bytes = nominal_bytes;
+  } else if (session.backend == nullptr) {
+    check(static_cast<bool>(size_model_),
+          "analytic mode requires a size model");
+    nominal_bytes = size_model_(request);
+    session.last_nominal_bytes = nominal_bytes;
+  }
+
+  const std::uint64_t sequence = request.header.sequence;
+  gpu_->submit(
+      request.header.workload_pixels,
+      [this, user, sequence, nominal_bytes,
+       reply_content = std::move(content)]() mutable {
+        stats_.requests_rendered++;
+
+        // Encoding cost: nominal pixels / this device's Turbo throughput,
+        // charged after the GPU finishes (CPU encode follows render).
+        const double encode_s = static_cast<double>(config_.nominal_width) *
+                                config_.nominal_height /
+                                (profile_.turbo_encode_mpps * 1e6);
+        stats_.encode_seconds += encode_s;
+        stats_.encoded_bytes_nominal += nominal_bytes;
+
+        loop_.schedule_after(
+            seconds(encode_s),
+            [this, user, sequence, nominal_bytes,
+             reply_content = std::move(reply_content)] {
+              FrameResultHeader header;
+              header.sequence = sequence;
+              header.nominal_bytes = std::max<std::uint32_t>(
+                  nominal_bytes, 64);  // floor: headers always flow
+              header.has_content = !reply_content.empty();
+              endpoint_->send(user, make_frame_message(header, reply_content));
+            });
+      },
+      request.header.priority);
+}
+
+}  // namespace gb::core

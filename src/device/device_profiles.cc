@@ -1,0 +1,179 @@
+#include "device/device_profiles.h"
+
+namespace gb::device {
+namespace {
+
+energy::ThermalConfig phone_thermal() {
+  // Calibrated so a fully loaded phone GPU crosses the throttle threshold
+  // after roughly ten minutes (Fig. 1) and recovers within a few minutes of
+  // light load.
+  energy::ThermalConfig t;
+  t.ambient_c = 32.0;
+  // Equilibrium ~128 C at sustained full load; the 85 C throttle point is
+  // reached after ~8-10 minutes (Fig. 1), and the wide hysteresis band keeps
+  // the part at the low frequency for minutes at a time, as the trace shows.
+  t.heating_rate_c_per_s = 0.16;
+  t.time_constant_s = 600.0;
+  t.throttle_at_c = 85.0;
+  t.recover_at_c = 62.0;
+  t.active_cooling = false;
+  return t;
+}
+
+energy::ThermalConfig cooled_thermal() {
+  energy::ThermalConfig t;
+  t.ambient_c = 30.0;
+  t.heating_rate_c_per_s = 0.05;
+  t.time_constant_s = 120.0;
+  t.throttle_at_c = 95.0;
+  t.recover_at_c = 80.0;
+  t.active_cooling = true;  // fans: effectively never throttles
+  return t;
+}
+
+DeviceProfile phone_base() {
+  DeviceProfile d;
+  d.is_mobile = true;
+  d.has_display = true;
+  d.gpu.thermal = phone_thermal();
+  d.gpu.power.full_load_w = 3.0;  // §II: ~3 W GPU, ~5x the CPU's share
+  d.gpu.power.idle_w = 0.08;
+  d.cpu_power.idle_w = 0.25;
+  d.cpu_power.full_load_w = 1.4;
+  d.display_power.on_w = 0.9;
+  d.turbo_encode_mpps = 45.0;  // ARM-class
+  d.video_encode_mpps = 1.0;
+  return d;
+}
+
+DeviceProfile box_base() {
+  DeviceProfile d;
+  d.is_mobile = false;
+  d.has_display = false;
+  // Streamed requests execute one-at-a-time without the batching a native
+  // driver pipeline achieves; calibrated against Fig. 7's single-device FPS.
+  d.gpu_request_efficiency = 0.39;
+  d.gpu.thermal = cooled_thermal();
+  d.gpu.max_frequency_mhz = 1000.0;
+  d.gpu.throttled_frequency_mhz = 800.0;
+  return d;
+}
+
+}  // namespace
+
+DeviceProfile nexus5() {
+  DeviceProfile d = phone_base();
+  d.name = "LG Nexus 5";
+  d.year = 2013;
+  d.cpu_ghz = 2.3;
+  d.cpu_cores = 4;
+  d.cpu_perf_index = 1.0;
+  d.gpu.fillrate_pps = 3.3e9;  // Adreno 330
+  d.gpu.max_frequency_mhz = 600.0;
+  d.gpu.throttled_frequency_mhz = 100.0;
+  return d;
+}
+
+DeviceProfile lg_g5() {
+  DeviceProfile d = phone_base();
+  d.name = "LG G5";
+  d.year = 2016;
+  d.cpu_ghz = 2.15;
+  d.cpu_cores = 4;
+  d.cpu_perf_index = 1.07;  // Kryo vs Krait single-thread
+  d.gpu.fillrate_pps = 6.7e9;  // Adreno 530, Table I
+  d.gpu.max_frequency_mhz = 624.0;
+  d.gpu.throttled_frequency_mhz = 133.0;
+  // A 2016 flagship also sheds heat better than the 2013 chassis.
+  d.gpu.thermal.heating_rate_c_per_s = 0.13;
+  d.turbo_encode_mpps = 90.0;
+  return d;
+}
+
+DeviceProfile galaxy_s5() {
+  DeviceProfile d = phone_base();
+  d.name = "Samsung Galaxy S5";
+  d.year = 2014;
+  d.cpu_ghz = 2.5;
+  d.cpu_cores = 4;
+  d.cpu_perf_index = 1.02;
+  d.gpu.fillrate_pps = 3.6e9;  // Table I
+  return d;
+}
+
+DeviceProfile lg_g4() {
+  DeviceProfile d = phone_base();
+  d.name = "LG G4";
+  d.year = 2015;
+  d.cpu_ghz = 1.8;
+  d.cpu_cores = 6;
+  d.cpu_perf_index = 1.0;
+  d.gpu.fillrate_pps = 4.8e9;  // Table I
+  d.gpu.max_frequency_mhz = 600.0;
+  d.gpu.throttled_frequency_mhz = 100.0;
+  return d;
+}
+
+DeviceProfile nvidia_shield() {
+  DeviceProfile d = box_base();
+  d.name = "Nvidia Shield";
+  d.year = 2015;
+  d.cpu_ghz = 2.0;
+  d.cpu_cores = 4;
+  d.cpu_perf_index = 1.35;
+  d.gpu.fillrate_pps = 16.0e9;  // [14]
+  d.turbo_encode_mpps = 90.0;   // §V-A: Turbo reaches ~90 MP/s
+  d.video_encode_mpps = 1.0;    // x264 on its ARM cores: ~1 MP/s
+  return d;
+}
+
+DeviceProfile minix_neo_u1() {
+  DeviceProfile d = box_base();
+  d.name = "Minix Neo U1";
+  d.year = 2015;
+  d.cpu_ghz = 1.5;
+  d.cpu_cores = 4;
+  d.cpu_perf_index = 0.7;
+  d.gpu.fillrate_pps = 4.0e9;  // Mali-450 class TV box
+  d.turbo_encode_mpps = 40.0;
+  d.video_encode_mpps = 0.6;
+  return d;
+}
+
+DeviceProfile dell_m4600() {
+  DeviceProfile d = box_base();
+  d.name = "Dell M4600";
+  d.year = 2012;
+  d.cpu_ghz = 2.7;
+  d.cpu_cores = 4;
+  d.cpu_perf_index = 2.2;
+  d.gpu.fillrate_pps = 9.0e9;  // Quadro-class laptop GPU
+  d.turbo_encode_mpps = 220.0;
+  d.video_encode_mpps = 9.0;  // x86 with SIMD-optimized x264
+  return d;
+}
+
+DeviceProfile dell_optiplex_gtx750ti() {
+  DeviceProfile d = box_base();
+  d.name = "Dell Optiplex 9010 + GTX 750 Ti";
+  d.year = 2014;
+  d.cpu_ghz = 3.4;
+  d.cpu_cores = 4;
+  d.cpu_perf_index = 2.6;
+  d.gpu.fillrate_pps = 16.3e9;  // GTX 750 Ti fillrate
+  d.turbo_encode_mpps = 280.0;
+  d.video_encode_mpps = 12.0;
+  return d;
+}
+
+std::vector<YearlyRequirement> table1_requirements() {
+  return {
+      {2014, "Modern Combat 5: Blackout", 1.5, 1, 3.6, "Samsung Galaxy S5",
+       2.5, 4, 3.6},
+      {2015, "GTA San Andreas", 1.0, 1, 4.8, "LG G4", 1.8, 6, 4.8},
+      {2016, "The Walking Dead: Michonne", 1.2, 2, 6.7, "LG G5", 2.15, 4,
+       6.7},
+  };
+}
+
+}  // namespace gb::device

@@ -1,0 +1,73 @@
+// Device profiles for the evaluation hardware (§VII-A): the user phones,
+// every service device, and the Table I capability/requirement data.
+//
+// Absolute constants are calibrated so the paper's *shapes* reproduce (see
+// DESIGN.md §5): fillrates come straight from Table I / vendor specs, CPU
+// performance indices and power constants are tuned so local FPS and power
+// match the paper's measurements on the same workloads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/gpu_model.h"
+#include "energy/power_model.h"
+
+namespace gb::device {
+
+struct DeviceProfile {
+  std::string name;
+  int year = 0;
+  bool is_mobile = false;
+
+  // CPU: clock and a single-thread performance index (relative to the
+  // Nexus 5's Krait 400 at 1.0) used to scale per-frame game-logic time.
+  double cpu_ghz = 1.0;
+  int cpu_cores = 4;
+  double cpu_perf_index = 1.0;
+
+  GpuConfig gpu;
+  // Throughput fraction the GPU achieves on *streamed* rendering requests
+  // (request-granular submission defeats the deep pipelining a native driver
+  // enjoys); applies to service devices executing offloaded work. Eq. 4's
+  // c^j is fillrate * this factor.
+  double gpu_request_efficiency = 1.0;
+  energy::CpuPowerConfig cpu_power;
+  energy::DisplayPowerConfig display_power;
+  bool has_display = false;
+
+  // Host-side codec throughput in megapixels/second for the Turbo encoder,
+  // reflecting §V-A's ARM-vs-x86 gap (used to cost the encode stage).
+  double turbo_encode_mpps = 60.0;
+  double video_encode_mpps = 1.0;  // x264-class encoder on this CPU
+};
+
+// --- user devices -------------------------------------------------------------
+DeviceProfile nexus5();     // 2013, Adreno 330 — the old-generation phone
+DeviceProfile lg_g5();      // 2016, Adreno 530 — the new-generation phone
+// Table I mainstream phones.
+DeviceProfile galaxy_s5();  // 2014
+DeviceProfile lg_g4();      // 2015 (the Fig. 1 thermal-trace device)
+
+// --- service devices ------------------------------------------------------------
+DeviceProfile nvidia_shield();   // game console, 16 GP/s
+DeviceProfile minix_neo_u1();    // smart-TV box
+DeviceProfile dell_m4600();      // laptop
+DeviceProfile dell_optiplex_gtx750ti();  // desktop with GTX 750 Ti
+
+// Table I's yearly game requirements versus phone capability.
+struct YearlyRequirement {
+  int year;
+  std::string game;
+  double required_cpu_ghz;
+  int required_cpu_cores;
+  double required_gpu_gps;  // GPixel/s for highest settings at 30+ FPS
+  std::string phone;
+  double phone_cpu_ghz;
+  int phone_cpu_cores;
+  double phone_gpu_gps;
+};
+
+std::vector<YearlyRequirement> table1_requirements();
+
+}  // namespace gb::device

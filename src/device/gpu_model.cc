@@ -1,0 +1,76 @@
+#include "device/gpu_model.h"
+
+#include "common/error.h"
+
+namespace gb::device {
+
+GpuModel::GpuModel(EventLoop& loop, GpuConfig config)
+    : loop_(loop),
+      config_(config),
+      thermal_(config.thermal),
+      last_sync_(loop.now()) {
+  check(config_.fillrate_pps > 0.0, "fillrate must be positive");
+}
+
+double GpuModel::current_frequency_mhz() const {
+  return thermal_.throttled() ? config_.throttled_frequency_mhz
+                              : config_.max_frequency_mhz;
+}
+
+double GpuModel::effective_fillrate_pps() const {
+  return config_.fillrate_pps *
+         (current_frequency_mhz() / config_.max_frequency_mhz);
+}
+
+void GpuModel::sync() {
+  const SimTime now = loop_.now();
+  const SimTime elapsed = now - last_sync_;
+  if (elapsed.us() <= 0) return;
+  const double freq_fraction =
+      current_frequency_mhz() / config_.max_frequency_mhz;
+  const double utilization = busy_ ? 1.0 : 0.0;
+  thermal_.advance(elapsed, utilization, freq_fraction);
+  meter_.add_gpu(elapsed, utilization, freq_fraction, config_.power);
+  if (busy_) busy_seconds_ += elapsed.seconds();
+  last_sync_ = now;
+}
+
+void GpuModel::submit(double workload_pixels, CompletionFn done,
+                      int priority) {
+  check(workload_pixels >= 0.0, "negative workload");
+  sync();
+  queued_workload_ += workload_pixels;
+  queue_.push_back(Request{workload_pixels, std::move(done), priority,
+                           arrivals_++});
+  if (!busy_) start_next();
+}
+
+void GpuModel::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  auto next = queue_.begin();
+  if (config_.scheduling == GpuScheduling::kPriority) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->priority < next->priority ||
+          (it->priority == next->priority && it->arrival < next->arrival)) {
+        next = it;
+      }
+    }
+  }
+  const Request request = std::move(*next);
+  queue_.erase(next);
+  // Service time at the frequency in force when the request starts; the
+  // governor only re-evaluates between requests (non-preemptive execution).
+  const double service_s = request.workload_pixels / effective_fillrate_pps();
+  loop_.schedule_after(seconds(service_s), [this, request] {
+    sync();
+    queued_workload_ -= request.workload_pixels;
+    if (request.done) request.done();
+    start_next();
+  });
+}
+
+}  // namespace gb::device

@@ -1,0 +1,93 @@
+// GPU execution model: a non-preemptive FCFS queue of rendering requests
+// whose service time is workload / effective fillrate — the fillrate-based
+// capability metric of Table I — with thermal throttling modulating the
+// effective fillrate, and energy integration.
+//
+// This is the `c` (capability) and `w` (queued work) provider for the
+// dispatcher's Eq. 4, and the source of the Fig. 1 frequency trace.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "energy/power_model.h"
+#include "energy/thermal.h"
+#include "runtime/event_loop.h"
+
+namespace gb::device {
+
+// How a service device orders concurrent rendering requests (§VIII): the
+// prototype serves multiple users FCFS; priority scheduling lets
+// time-critical applications (fast-paced games) overtake patient ones.
+enum class GpuScheduling {
+  kFcfs,
+  kPriority,  // lower value = more urgent; FIFO within a priority level
+};
+
+struct GpuConfig {
+  // Peak fill capability at maximum frequency, pixels/second (Table I units:
+  // GP/s * 1e9).
+  double fillrate_pps = 3.6e9;
+  double max_frequency_mhz = 600.0;
+  double throttled_frequency_mhz = 100.0;
+  energy::ThermalConfig thermal;
+  energy::GpuPowerConfig power;
+  GpuScheduling scheduling = GpuScheduling::kFcfs;
+};
+
+class GpuModel {
+ public:
+  using CompletionFn = std::function<void()>;
+
+  GpuModel(EventLoop& loop, GpuConfig config);
+
+  // Enqueues a rendering request of `workload_pixels`; `done` fires when the
+  // GPU finishes it. Requests are non-preemptive [31]; ordering follows the
+  // configured scheduling policy. `priority`: lower = more urgent (only
+  // meaningful under kPriority).
+  void submit(double workload_pixels, CompletionFn done, int priority = 0);
+
+  // Eq. 4 inputs -------------------------------------------------------------
+  // Workload of requests queued or in flight, in pixels (the w^j term).
+  [[nodiscard]] double queued_workload_pixels() const noexcept {
+    return queued_workload_;
+  }
+  // Effective capability right now, pixels/second (the c^j term).
+  [[nodiscard]] double effective_fillrate_pps() const;
+
+  // Introspection -------------------------------------------------------------
+  [[nodiscard]] double current_frequency_mhz() const;
+  [[nodiscard]] double temperature_c() const { return thermal_.temperature_c(); }
+  [[nodiscard]] bool throttled() const { return thermal_.throttled(); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] double energy_joules() const { return meter_.joules(); }
+  [[nodiscard]] double busy_seconds() const { return busy_seconds_; }
+
+  // Advances thermal/energy integration to the present (also called
+  // internally at every queue event).
+  void sync();
+
+ private:
+  struct Request {
+    double workload_pixels;
+    CompletionFn done;
+    int priority = 0;
+    std::uint64_t arrival = 0;  // FIFO tie-break within a priority level
+  };
+
+  void start_next();
+
+  EventLoop& loop_;
+  GpuConfig config_;
+  energy::ThermalModel thermal_;
+  energy::EnergyMeter meter_;
+  std::deque<Request> queue_;
+  std::uint64_t arrivals_ = 0;
+  bool busy_ = false;
+  double queued_workload_ = 0.0;
+  double busy_seconds_ = 0.0;
+  SimTime last_sync_;
+};
+
+}  // namespace gb::device

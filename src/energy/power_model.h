@@ -1,0 +1,66 @@
+// Component power accounting for a mobile device (§II and §VII-C).
+//
+// The paper's energy results are *relative* (normalized to local execution),
+// so the model's job is faithful component structure with calibrated
+// constants: a GPU that draws ~3 W under full load (≈5x the CPU, per the
+// §II triangle experiment), a CPU whose power scales with utilization,
+// a display floor, and radios whose energy is tracked by RadioInterface.
+#pragma once
+
+#include <algorithm>
+
+#include "runtime/sim_clock.h"
+
+namespace gb::energy {
+
+struct CpuPowerConfig {
+  double idle_w = 0.25;
+  double full_load_w = 1.4;  // all cores busy
+};
+
+struct GpuPowerConfig {
+  double idle_w = 0.08;
+  double full_load_w = 3.0;  // §II: ~3 W rendering at 60 FPS
+};
+
+struct DisplayPowerConfig {
+  double on_w = 0.9;  // 50% backlight, per the §VII-C test setup
+};
+
+// Integrates component power over piecewise-constant utilization intervals.
+class EnergyMeter {
+ public:
+  // Charges `duration` of CPU activity at `utilization` in [0,1].
+  void add_cpu(SimTime duration, double utilization,
+               const CpuPowerConfig& config) {
+    utilization = std::clamp(utilization, 0.0, 1.0);
+    joules_ += duration.seconds() *
+               (config.idle_w +
+                (config.full_load_w - config.idle_w) * utilization);
+  }
+
+  // Charges GPU time; `frequency_fraction` scales dynamic power (a throttled
+  // GPU burns far less, which is the throttle governor's purpose).
+  void add_gpu(SimTime duration, double utilization, double frequency_fraction,
+               const GpuPowerConfig& config) {
+    utilization = std::clamp(utilization, 0.0, 1.0);
+    frequency_fraction = std::clamp(frequency_fraction, 0.0, 1.0);
+    const double dynamic = (config.full_load_w - config.idle_w) * utilization *
+                           (0.25 + 0.75 * frequency_fraction);
+    joules_ += duration.seconds() * (config.idle_w + dynamic);
+  }
+
+  void add_display(SimTime duration, const DisplayPowerConfig& config) {
+    joules_ += duration.seconds() * config.on_w;
+  }
+
+  // Raw joule contribution (radio totals, codec cost models, ...).
+  void add_joules(double joules) { joules_ += joules; }
+
+  [[nodiscard]] double joules() const noexcept { return joules_; }
+
+ private:
+  double joules_ = 0.0;
+};
+
+}  // namespace gb::energy

@@ -1,0 +1,40 @@
+#include "energy/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gb::energy {
+
+ThermalModel::ThermalModel(ThermalConfig config)
+    : config_(config), temperature_(config.ambient_c) {}
+
+void ThermalModel::advance(SimTime duration, double utilization,
+                           double frequency_fraction) {
+  double remaining = duration.seconds();
+  if (remaining <= 0.0) return;
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  frequency_fraction = std::clamp(frequency_fraction, 0.0, 1.0);
+
+  const double tau = config_.active_cooling
+                         ? config_.time_constant_s / config_.active_cooling_factor
+                         : config_.time_constant_s;
+  // Heat input scales superlinearly with frequency (dynamic power ~ f·V²);
+  // a quadratic term captures why dropping to 1/6th frequency cools the die
+  // quickly.
+  const double heat = config_.heating_rate_c_per_s * utilization *
+                      frequency_fraction * frequency_fraction;
+
+  // Integrate in sub-steps so long idle gaps stay accurate.
+  while (remaining > 0.0) {
+    const double dt = std::min(remaining, 1.0);
+    const double cooling = (temperature_ - config_.ambient_c) / tau;
+    temperature_ += (heat - cooling) * dt;  // forward Euler at <=1 s steps
+    remaining -= dt;
+  }
+  temperature_ = std::max(temperature_, config_.ambient_c);
+
+  if (!throttled_ && temperature_ >= config_.throttle_at_c) throttled_ = true;
+  if (throttled_ && temperature_ <= config_.recover_at_c) throttled_ = false;
+}
+
+}  // namespace gb::energy

@@ -1,0 +1,49 @@
+// GPU thermal model with a throttling governor (§II, Fig. 1).
+//
+// Mobile GPUs heat up under sustained load; when the die temperature crosses
+// a threshold the governor collapses the operating frequency (the paper
+// measures 600 MHz -> 100 MHz on an LG G4 after ~10 minutes of GTA San
+// Andreas) and restores it only after the part cools past a hysteresis
+// band. Service devices with active cooling never reach the threshold —
+// which is exactly why offloading stabilizes frame rates (§VII-B).
+//
+// Temperature follows a lumped RC model integrated piecewise:
+//   dT/dt = heating_rate * utilization - (T - ambient) / time_constant
+#pragma once
+
+#include "runtime/sim_clock.h"
+
+namespace gb::energy {
+
+struct ThermalConfig {
+  double ambient_c = 30.0;
+  double heating_rate_c_per_s = 0.16;  // at 100% utilization, full frequency
+  double time_constant_s = 90.0;       // passive cooling
+  double throttle_at_c = 85.0;
+  double recover_at_c = 70.0;
+  // Actively cooled parts (consoles, PCs) shed heat far faster.
+  bool active_cooling = false;
+  double active_cooling_factor = 8.0;
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalConfig config);
+
+  // Integrates `duration` of operation at `utilization` in [0,1] and
+  // `frequency_fraction` in [0,1] (heat scales with both).
+  void advance(SimTime duration, double utilization,
+               double frequency_fraction);
+
+  [[nodiscard]] double temperature_c() const noexcept { return temperature_; }
+
+  // Governor decision given the current temperature; sticky (hysteresis).
+  [[nodiscard]] bool throttled() const noexcept { return throttled_; }
+
+ private:
+  ThermalConfig config_;
+  double temperature_;
+  bool throttled_ = false;
+};
+
+}  // namespace gb::energy

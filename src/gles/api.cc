@@ -1,0 +1,66 @@
+#include "gles/api.h"
+
+#include <array>
+
+namespace gb::gles {
+
+std::span<const std::string_view> gles_symbol_names() {
+  static constexpr std::array<std::string_view, 53> kNames = {
+      "glGetError",
+      "glClearColor",
+      "glClear",
+      "glViewport",
+      "glScissor",
+      "glEnable",
+      "glDisable",
+      "glBlendFunc",
+      "glDepthFunc",
+      "glCullFace",
+      "glFrontFace",
+      "glGenBuffers",
+      "glDeleteBuffers",
+      "glBindBuffer",
+      "glBufferData",
+      "glBufferSubData",
+      "glGenTextures",
+      "glDeleteTextures",
+      "glActiveTexture",
+      "glBindTexture",
+      "glTexImage2D",
+      "glTexSubImage2D",
+      "glTexParameteri",
+      "glCreateShader",
+      "glDeleteShader",
+      "glShaderSource",
+      "glCompileShader",
+      "glGetShaderiv",
+      "glGetShaderInfoLog",
+      "glCreateProgram",
+      "glDeleteProgram",
+      "glAttachShader",
+      "glBindAttribLocation",
+      "glLinkProgram",
+      "glGetProgramiv",
+      "glUseProgram",
+      "glGetAttribLocation",
+      "glGetUniformLocation",
+      "glUniform1f",
+      "glUniform2f",
+      "glUniform3f",
+      "glUniform4f",
+      "glUniform1i",
+      "glUniformMatrix4fv",
+      "glEnableVertexAttribArray",
+      "glDisableVertexAttribArray",
+      "glVertexAttrib4f",
+      "glVertexAttribPointer",
+      "glDrawArrays",
+      "glDrawElements",
+      "glFlush",
+      "glFinish",
+      "eglSwapBuffers",
+  };
+  return kNames;
+}
+
+}  // namespace gb::gles

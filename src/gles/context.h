@@ -1,0 +1,224 @@
+// The OpenGL ES 2.0-subset state machine — the "server" side of the paper's
+// client/server model (§IV, Fig. 3). One GlContext corresponds to one GPU
+// rendering context on either the user device or a service device.
+//
+// Semantics follow the GLES 2.0 specification for the implemented subset:
+// object name tables, bind-to-edit, client-memory and buffer-offset vertex
+// arrays, stateful uniforms, sticky glGetError, and framebuffer read-back.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/image.h"
+#include "gles/framebuffer.h"
+#include "gles/objects.h"
+#include "gles/types.h"
+
+namespace gb::gles {
+
+// Per-location vertex attribute array state (glVertexAttribPointer).
+struct VertexAttribState {
+  bool enabled = false;
+  GLint size = 4;
+  GLenum type = GL_FLOAT;
+  bool normalized = false;
+  GLsizei stride = 0;
+  // When buffer != 0 the attribute sources from that buffer at `offset`;
+  // otherwise it reads client memory at `client_pointer` (valid only during
+  // the draw call, as in real GLES).
+  GLuint buffer = 0;
+  std::size_t offset = 0;
+  const void* client_pointer = nullptr;
+  // Generic attribute value used when the array is disabled
+  // (glVertexAttrib4f).
+  Vec4 generic_value{0, 0, 0, 1};
+};
+
+// Counters used for workload profiling; the paper's dispatcher (Eq. 4)
+// needs a per-request workload estimate `r`, which we derive from the
+// pixels a request fills — the same fillrate-based unit as Table I.
+struct RenderStats {
+  std::uint64_t draw_calls = 0;
+  std::uint64_t vertices_processed = 0;
+  std::uint64_t triangles_rasterized = 0;
+  std::uint64_t fragments_shaded = 0;
+  std::uint64_t texture_uploads = 0;
+
+  void reset() { *this = RenderStats{}; }
+};
+
+class GlContext {
+ public:
+  static constexpr int kMaxVertexAttribs = 16;
+  static constexpr int kMaxTextureUnits = 8;
+
+  GlContext(int surface_width, int surface_height);
+
+  // --- error handling ------------------------------------------------------
+  GLenum get_error();  // returns and clears the sticky error, like glGetError
+
+  // --- framebuffer ---------------------------------------------------------
+  void clear_color(GLfloat r, GLfloat g, GLfloat b, GLfloat a);
+  void clear(GLbitfield mask);
+  void viewport(GLint x, GLint y, GLsizei width, GLsizei height);
+  void scissor(GLint x, GLint y, GLsizei width, GLsizei height);
+  // Reads the full color buffer (the SwapBuffer path); top-left origin.
+  [[nodiscard]] const Image& color_buffer() const { return framebuffer_.color(); }
+  Image read_pixels() const;
+
+  // --- capabilities & fixed-function state ----------------------------------
+  void enable(GLenum cap);
+  void disable(GLenum cap);
+  [[nodiscard]] bool is_enabled(GLenum cap) const;
+  void blend_func(GLenum sfactor, GLenum dfactor);
+  void depth_func(GLenum func);
+  void cull_face(GLenum mode);
+  void front_face(GLenum mode);
+
+  // --- buffers --------------------------------------------------------------
+  void gen_buffers(GLsizei n, GLuint* out);
+  void delete_buffers(GLsizei n, const GLuint* names);
+  void bind_buffer(GLenum target, GLuint name);
+  void buffer_data(GLenum target, std::span<const std::uint8_t> data,
+                   GLenum usage);
+  void buffer_sub_data(GLenum target, std::size_t offset,
+                       std::span<const std::uint8_t> data);
+
+  // --- textures --------------------------------------------------------------
+  void gen_textures(GLsizei n, GLuint* out);
+  void delete_textures(GLsizei n, const GLuint* names);
+  void active_texture(GLenum unit);
+  void bind_texture(GLenum target, GLuint name);
+  void tex_image_2d(GLenum target, GLint level, GLenum internal_format,
+                    GLsizei width, GLsizei height, GLenum format,
+                    GLenum type, const void* pixels);
+  void tex_sub_image_2d(GLenum target, GLint level, GLint xoffset,
+                        GLint yoffset, GLsizei width, GLsizei height,
+                        GLenum format, GLenum type, const void* pixels);
+  void tex_parameteri(GLenum target, GLenum pname, GLint param);
+
+  // --- shaders & programs ----------------------------------------------------
+  GLuint create_shader(GLenum type);
+  void delete_shader(GLuint shader);
+  void shader_source(GLuint shader, std::string_view source);
+  void compile_shader(GLuint shader);
+  [[nodiscard]] GLint get_shaderiv(GLuint shader, GLenum pname) const;
+  [[nodiscard]] std::string get_shader_info_log(GLuint shader) const;
+
+  GLuint create_program();
+  void delete_program(GLuint program);
+  void attach_shader(GLuint program, GLuint shader);
+  void bind_attrib_location(GLuint program, GLuint index,
+                            std::string_view name);
+  void link_program(GLuint program);
+  [[nodiscard]] GLint get_programiv(GLuint program, GLenum pname) const;
+  [[nodiscard]] std::string get_program_info_log(GLuint program) const;
+  void use_program(GLuint program);
+  [[nodiscard]] GLint get_attrib_location(GLuint program,
+                                          std::string_view name) const;
+  [[nodiscard]] GLint get_uniform_location(GLuint program,
+                                           std::string_view name) const;
+
+  // --- uniforms --------------------------------------------------------------
+  void uniform1f(GLint location, GLfloat x);
+  void uniform2f(GLint location, GLfloat x, GLfloat y);
+  void uniform3f(GLint location, GLfloat x, GLfloat y, GLfloat z);
+  void uniform4f(GLint location, GLfloat x, GLfloat y, GLfloat z, GLfloat w);
+  void uniform1i(GLint location, GLint value);
+  void uniform_matrix4fv(GLint location, bool transpose,
+                         std::span<const GLfloat> value);
+
+  // --- vertex arrays & drawing ------------------------------------------------
+  void enable_vertex_attrib_array(GLuint index);
+  void disable_vertex_attrib_array(GLuint index);
+  void vertex_attrib4f(GLuint index, GLfloat x, GLfloat y, GLfloat z,
+                       GLfloat w);
+  void vertex_attrib_pointer(GLuint index, GLint size, GLenum type,
+                             bool normalized, GLsizei stride,
+                             const void* pointer);
+  void draw_arrays(GLenum mode, GLint first, GLsizei count);
+  void draw_elements(GLenum mode, GLsizei count, GLenum type,
+                     const void* indices);
+
+  // --- introspection for the offload layer -----------------------------------
+  [[nodiscard]] const RenderStats& stats() const noexcept { return stats_; }
+  RenderStats& mutable_stats() noexcept { return stats_; }
+  [[nodiscard]] int surface_width() const noexcept { return framebuffer_.width(); }
+  [[nodiscard]] int surface_height() const noexcept {
+    return framebuffer_.height();
+  }
+  // Approximate resident memory of context-owned objects; drives the paper's
+  // §VII-G memory-overhead accounting.
+  [[nodiscard]] std::size_t object_memory_bytes() const;
+  // Introspection used by the command recorder's shadow context.
+  [[nodiscard]] GLuint array_buffer_binding() const noexcept {
+    return array_buffer_binding_;
+  }
+  [[nodiscard]] GLuint element_buffer_binding() const noexcept {
+    return element_buffer_binding_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> buffer_contents(GLuint name) const;
+  [[nodiscard]] const VertexAttribState& attrib_state(GLuint index) const;
+
+ private:
+  friend class Rasterizer;
+
+  void set_error(GLenum error);
+  BufferObject* bound_buffer(GLenum target);
+  [[nodiscard]] ProgramObject* current_program();
+
+  // Fetches attribute `state` for vertex `vertex_index` as a float Vec4.
+  Vec4 fetch_attribute(const VertexAttribState& state, std::size_t vertex_index);
+  // Resolves the index array for glDrawElements.
+  std::vector<std::uint32_t> gather_indices(GLsizei count, GLenum type,
+                                            const void* indices);
+  void draw_internal(GLenum mode, std::span<const std::uint32_t> indices,
+                     bool sequential, GLint first);
+
+  Framebuffer framebuffer_;
+  GLenum error_ = GL_NO_ERROR;
+
+  // State.
+  Vec4 clear_color_{0, 0, 0, 1};
+  bool depth_test_ = false;
+  bool blend_ = false;
+  bool cull_face_enabled_ = false;
+  bool scissor_test_ = false;
+  GLenum blend_src_ = GL_ONE;
+  GLenum blend_dst_ = GL_ZERO;
+  GLenum depth_func_ = GL_LESS;
+  GLenum cull_mode_ = GL_BACK;
+  GLenum front_face_ = GL_CCW;
+  GLint viewport_[4] = {0, 0, 0, 0};
+  GLint scissor_[4] = {0, 0, 0, 0};
+
+  // Objects.
+  std::map<GLuint, BufferObject> buffers_;
+  std::map<GLuint, TextureObject> textures_;
+  std::map<GLuint, ShaderObject> shaders_;
+  std::map<GLuint, ProgramObject> programs_;
+  GLuint next_buffer_name_ = 1;
+  GLuint next_texture_name_ = 1;
+  GLuint next_shader_name_ = 1;
+  GLuint next_program_name_ = 1;
+
+  // Bindings.
+  GLuint array_buffer_binding_ = 0;
+  GLuint element_buffer_binding_ = 0;
+  int active_texture_unit_ = 0;
+  GLuint texture_bindings_[kMaxTextureUnits] = {};
+  GLuint current_program_name_ = 0;
+
+  VertexAttribState attribs_[kMaxVertexAttribs];
+  RenderStats stats_;
+
+  // Scratch register files reused across draws.
+  std::vector<Vec4> vs_registers_;
+  std::vector<Vec4> fs_registers_;
+};
+
+}  // namespace gb::gles

@@ -1,0 +1,580 @@
+// GlContext draw pipeline: attribute fetch, vertex shading, primitive
+// assembly, perspective-correct triangle rasterization with depth test,
+// fragment shading, and blending. Points and lines get a minimal raster so
+// HUD-style workloads draw something sensible.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "gles/context.h"
+#include "gles/shader_vm.h"
+
+namespace gb::gles {
+namespace {
+
+float decode_component(const std::uint8_t* src, GLenum type, bool normalized) {
+  switch (type) {
+    case GL_FLOAT: {
+      float f = 0;
+      std::memcpy(&f, src, sizeof(f));
+      return f;
+    }
+    case GL_BYTE: {
+      std::int8_t v = 0;
+      std::memcpy(&v, src, sizeof(v));
+      return normalized ? std::max(static_cast<float>(v) / 127.0f, -1.0f)
+                        : static_cast<float>(v);
+    }
+    case GL_UNSIGNED_BYTE: {
+      const std::uint8_t v = *src;
+      return normalized ? static_cast<float>(v) / 255.0f : static_cast<float>(v);
+    }
+    case GL_SHORT: {
+      std::int16_t v = 0;
+      std::memcpy(&v, src, sizeof(v));
+      return normalized ? std::max(static_cast<float>(v) / 32767.0f, -1.0f)
+                        : static_cast<float>(v);
+    }
+    case GL_UNSIGNED_SHORT: {
+      std::uint16_t v = 0;
+      std::memcpy(&v, src, sizeof(v));
+      return normalized ? static_cast<float>(v) / 65535.0f
+                        : static_cast<float>(v);
+    }
+    case GL_INT: {
+      std::int32_t v = 0;
+      std::memcpy(&v, src, sizeof(v));
+      return static_cast<float>(v);
+    }
+    case GL_UNSIGNED_INT: {
+      std::uint32_t v = 0;
+      std::memcpy(&v, src, sizeof(v));
+      return static_cast<float>(v);
+    }
+    default:
+      return 0.0f;
+  }
+}
+
+float blend_factor(GLenum factor, float src_alpha, float dst_alpha,
+                   float src_channel, float dst_channel) {
+  switch (factor) {
+    case GL_ZERO:
+      return 0.0f;
+    case GL_ONE:
+      return 1.0f;
+    case GL_SRC_ALPHA:
+      return src_alpha;
+    case GL_ONE_MINUS_SRC_ALPHA:
+      return 1.0f - src_alpha;
+    case GL_SRC_COLOR:
+      return src_channel;
+    case GL_ONE_MINUS_SRC_COLOR:
+      return 1.0f - src_channel;
+    case GL_DST_ALPHA:
+      return dst_alpha;
+    case GL_ONE_MINUS_DST_ALPHA:
+      return 1.0f - dst_alpha;
+    default:
+      (void)dst_channel;
+      return 1.0f;
+  }
+}
+
+bool depth_passes(GLenum func, float incoming, float stored) {
+  switch (func) {
+    case GL_NEVER:
+      return false;
+    case GL_LESS:
+      return incoming < stored;
+    case GL_EQUAL:
+      return incoming == stored;
+    case GL_LEQUAL:
+      return incoming <= stored;
+    case GL_GREATER:
+      return incoming > stored;
+    case GL_NOTEQUAL:
+      return incoming != stored;
+    case GL_GEQUAL:
+      return incoming >= stored;
+    case GL_ALWAYS:
+    default:
+      return true;
+  }
+}
+
+float wrap_coord(float t, GLenum mode) {
+  if (mode == GL_CLAMP_TO_EDGE) return std::clamp(t, 0.0f, 1.0f);
+  return t - std::floor(t);  // GL_REPEAT
+}
+
+Vec4 fetch_texel(const Image& img, int x, int y) {
+  x = std::clamp(x, 0, img.width() - 1);
+  y = std::clamp(y, 0, img.height() - 1);
+  const std::uint8_t* p = img.pixel(x, y);
+  constexpr float kInv255 = 1.0f / 255.0f;
+  return {p[0] * kInv255, p[1] * kInv255, p[2] * kInv255, p[3] * kInv255};
+}
+
+Vec4 sample_texture(const TextureObject& tex, float u, float v) {
+  const Image& img = tex.image;
+  if (img.empty()) return {0, 0, 0, 1};
+  u = wrap_coord(u, tex.wrap_s);
+  v = wrap_coord(v, tex.wrap_t);
+  const float fx = u * static_cast<float>(img.width()) - 0.5f;
+  const float fy = v * static_cast<float>(img.height()) - 0.5f;
+  if (tex.mag_filter == GL_NEAREST) {
+    return fetch_texel(img, static_cast<int>(std::lround(fx)),
+                       static_cast<int>(std::lround(fy)));
+  }
+  const int x0 = static_cast<int>(std::floor(fx));
+  const int y0 = static_cast<int>(std::floor(fy));
+  const float ax = fx - static_cast<float>(x0);
+  const float ay = fy - static_cast<float>(y0);
+  const Vec4 t00 = fetch_texel(img, x0, y0);
+  const Vec4 t10 = fetch_texel(img, x0 + 1, y0);
+  const Vec4 t01 = fetch_texel(img, x0, y0 + 1);
+  const Vec4 t11 = fetch_texel(img, x0 + 1, y0 + 1);
+  const Vec4 top = t00 + (t10 - t00) * ax;
+  const Vec4 bottom = t01 + (t11 - t01) * ax;
+  return top + (bottom - top) * ay;
+}
+
+// Vertex-stage output captured for rasterization.
+struct ShadedVertex {
+  Vec4 clip;
+  bool shaded = false;
+  std::vector<Vec4> varyings;  // indexed by the program's VaryingLink order
+};
+
+struct ScreenVertex {
+  float x = 0, y = 0;        // pixel coordinates
+  float z = 0;               // depth in [0, 1]
+  float inv_w = 0;           // 1 / clip.w for perspective correction
+  const ShadedVertex* shaded = nullptr;
+};
+
+}  // namespace
+
+Vec4 GlContext::fetch_attribute(const VertexAttribState& state,
+                                std::size_t vertex_index) {
+  if (!state.enabled) return state.generic_value;
+  const int elem = scalar_type_size(state.type);
+  const int stride =
+      state.stride != 0 ? state.stride : elem * state.size;
+  const std::uint8_t* base = nullptr;
+  std::size_t available = 0;
+  if (state.buffer != 0) {
+    const auto it = buffers_.find(state.buffer);
+    if (it == buffers_.end()) return state.generic_value;
+    if (state.offset >= it->second.data.size()) return state.generic_value;
+    base = it->second.data.data() + state.offset;
+    available = it->second.data.size() - state.offset;
+  } else if (state.client_pointer != nullptr) {
+    base = static_cast<const std::uint8_t*>(state.client_pointer);
+    available = static_cast<std::size_t>(-1);  // trusted, like real GLES
+  } else {
+    return state.generic_value;
+  }
+  const std::size_t byte_offset =
+      vertex_index * static_cast<std::size_t>(stride);
+  if (byte_offset + static_cast<std::size_t>(elem) * state.size > available) {
+    return state.generic_value;  // out-of-range buffer reads yield defaults
+  }
+  Vec4 out{0, 0, 0, 1};
+  const std::uint8_t* src = base + byte_offset;
+  float* lanes[4] = {&out.x, &out.y, &out.z, &out.w};
+  for (int c = 0; c < state.size; ++c) {
+    *lanes[c] = decode_component(src + static_cast<std::size_t>(c) * elem,
+                                 state.type, state.normalized);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> GlContext::gather_indices(GLsizei count, GLenum type,
+                                                     const void* indices) {
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const int elem = scalar_type_size(type);
+  const std::uint8_t* base = nullptr;
+  if (element_buffer_binding_ != 0) {
+    const auto it = buffers_.find(element_buffer_binding_);
+    if (it == buffers_.end()) return out;
+    const std::size_t offset = reinterpret_cast<std::size_t>(indices);
+    if (offset + static_cast<std::size_t>(count) * elem >
+        it->second.data.size()) {
+      set_error(GL_INVALID_OPERATION);
+      return out;
+    }
+    base = it->second.data.data() + offset;
+  } else {
+    base = static_cast<const std::uint8_t*>(indices);
+    if (base == nullptr) return out;
+  }
+  for (GLsizei i = 0; i < count; ++i) {
+    const std::uint8_t* src = base + static_cast<std::size_t>(i) * elem;
+    switch (type) {
+      case GL_UNSIGNED_BYTE:
+        out.push_back(*src);
+        break;
+      case GL_UNSIGNED_SHORT: {
+        std::uint16_t v = 0;
+        std::memcpy(&v, src, sizeof(v));
+        out.push_back(v);
+        break;
+      }
+      case GL_UNSIGNED_INT: {
+        std::uint32_t v = 0;
+        std::memcpy(&v, src, sizeof(v));
+        out.push_back(v);
+        break;
+      }
+      default:
+        set_error(GL_INVALID_ENUM);
+        return {};
+    }
+  }
+  return out;
+}
+
+void GlContext::draw_arrays(GLenum mode, GLint first, GLsizei count) {
+  if (count < 0 || first < 0) {
+    set_error(GL_INVALID_VALUE);
+    return;
+  }
+  std::vector<std::uint32_t> indices(static_cast<std::size_t>(count));
+  for (GLsizei i = 0; i < count; ++i) {
+    indices[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(first + i);
+  }
+  draw_internal(mode, indices, /*sequential=*/true, first);
+}
+
+void GlContext::draw_elements(GLenum mode, GLsizei count, GLenum type,
+                              const void* indices) {
+  if (count < 0) {
+    set_error(GL_INVALID_VALUE);
+    return;
+  }
+  const std::vector<std::uint32_t> idx = gather_indices(count, type, indices);
+  if (idx.size() != static_cast<std::size_t>(count)) return;
+  draw_internal(mode, idx, /*sequential=*/false, 0);
+}
+
+void GlContext::draw_internal(GLenum mode,
+                              std::span<const std::uint32_t> indices,
+                              bool sequential, GLint first) {
+  (void)sequential;
+  (void)first;
+  ProgramObject* prog = current_program();
+  if (prog == nullptr || !prog->linked) {
+    set_error(GL_INVALID_OPERATION);
+    return;
+  }
+  if (indices.empty()) return;
+  if (mode != GL_TRIANGLES && mode != GL_TRIANGLE_STRIP &&
+      mode != GL_TRIANGLE_FAN && mode != GL_POINTS && mode != GL_LINES) {
+    set_error(GL_INVALID_ENUM);
+    return;
+  }
+  stats_.draw_calls++;
+
+  // --- prepare register files ------------------------------------------------
+  vs_registers_.assign(prog->vertex.register_file_size, Vec4{});
+  fs_registers_.assign(prog->fragment.register_file_size, Vec4{});
+  load_constants(prog->vertex, vs_registers_);
+  load_constants(prog->fragment, fs_registers_);
+
+  // Sampler slot -> texture unit mapping, and uniform register loads.
+  std::array<int, 16> vs_sampler_units{};
+  std::array<int, 16> fs_sampler_units{};
+  vs_sampler_units.fill(-1);
+  fs_sampler_units.fill(-1);
+  for (const UniformInfo& u : prog->uniforms) {
+    if (u.type == ShaderType::kSampler2D) {
+      const int unit = static_cast<int>(u.value[0]);
+      if (u.vs_sampler_slot >= 0) {
+        vs_sampler_units[static_cast<std::size_t>(u.vs_sampler_slot)] = unit;
+      }
+      if (u.fs_sampler_slot >= 0) {
+        fs_sampler_units[static_cast<std::size_t>(u.fs_sampler_slot)] = unit;
+      }
+      continue;
+    }
+    const int regs = register_count(u.type);
+    for (int r = 0; r < regs; ++r) {
+      const Vec4 v{u.value[static_cast<std::size_t>(r * 4 + 0)],
+                   u.value[static_cast<std::size_t>(r * 4 + 1)],
+                   u.value[static_cast<std::size_t>(r * 4 + 2)],
+                   u.value[static_cast<std::size_t>(r * 4 + 3)]};
+      if (u.vs_register >= 0) {
+        vs_registers_[static_cast<std::size_t>(u.vs_register + r)] = v;
+      }
+      if (u.fs_register >= 0) {
+        fs_registers_[static_cast<std::size_t>(u.fs_register + r)] = v;
+      }
+    }
+  }
+
+  const auto sampler_for = [this](const std::array<int, 16>& units) {
+    return [this, &units](int slot, float u, float v) -> Vec4 {
+      const int unit = units[static_cast<std::size_t>(slot)];
+      if (unit < 0 || unit >= kMaxTextureUnits) return {0, 0, 0, 1};
+      const GLuint name = texture_bindings_[unit];
+      const auto it = textures_.find(name);
+      if (it == textures_.end()) return {0, 0, 0, 1};
+      return sample_texture(it->second, u, v);
+    };
+  };
+  const TextureSampleFn vs_sampler = sampler_for(vs_sampler_units);
+  const TextureSampleFn fs_sampler = sampler_for(fs_sampler_units);
+
+  // --- vertex stage with per-index memoization --------------------------------
+  const std::uint32_t max_index =
+      *std::max_element(indices.begin(), indices.end());
+  std::vector<ShadedVertex> cache(static_cast<std::size_t>(max_index) + 1);
+
+  const auto shade_vertex = [&](std::uint32_t index) -> const ShadedVertex& {
+    ShadedVertex& sv = cache[index];
+    if (sv.shaded) return sv;
+    for (const AttribInfo& attr : prog->attributes) {
+      const Vec4 v = fetch_attribute(
+          attribs_[static_cast<std::size_t>(attr.location)], index);
+      vs_registers_[attr.vs_register] = v;
+    }
+    run_shader(prog->vertex, vs_registers_, vs_sampler);
+    sv.clip = vs_registers_[prog->vertex.position_register];
+    sv.varyings.resize(prog->varyings.size());
+    for (std::size_t i = 0; i < prog->varyings.size(); ++i) {
+      sv.varyings[i] = vs_registers_[prog->varyings[i].vs_register];
+    }
+    sv.shaded = true;
+    stats_.vertices_processed++;
+    return sv;
+  };
+
+  // --- raster target bounds ----------------------------------------------------
+  const int fb_w = framebuffer_.width();
+  const int fb_h = framebuffer_.height();
+  int min_x = std::max(0, viewport_[0]);
+  int min_y = std::max(0, viewport_[1]);
+  int max_x = std::min(fb_w, viewport_[0] + viewport_[2]);
+  int max_y = std::min(fb_h, viewport_[1] + viewport_[3]);
+  if (scissor_test_) {
+    min_x = std::max(min_x, scissor_[0]);
+    min_y = std::max(min_y, scissor_[1]);
+    max_x = std::min(max_x, scissor_[0] + scissor_[2]);
+    max_y = std::min(max_y, scissor_[1] + scissor_[3]);
+  }
+  if (min_x >= max_x || min_y >= max_y) return;
+
+  const auto to_screen = [&](const ShadedVertex& sv) -> ScreenVertex {
+    ScreenVertex out;
+    const float inv_w = 1.0f / sv.clip.w;
+    const float ndc_x = sv.clip.x * inv_w;
+    const float ndc_y = sv.clip.y * inv_w;
+    const float ndc_z = sv.clip.z * inv_w;
+    // Viewport transform; clip-space +Y maps up, framebuffer rows go down.
+    out.x = static_cast<float>(viewport_[0]) +
+            (ndc_x + 1.0f) * 0.5f * static_cast<float>(viewport_[2]);
+    out.y = static_cast<float>(viewport_[1]) +
+            (1.0f - (ndc_y + 1.0f) * 0.5f) * static_cast<float>(viewport_[3]);
+    out.z = (ndc_z + 1.0f) * 0.5f;
+    out.inv_w = inv_w;
+    out.shaded = &sv;
+    return out;
+  };
+
+  // Runs the fragment shader for one pixel with interpolated varyings and
+  // performs depth/blend/write. `bary` are perspective-corrected weights.
+  const auto shade_fragment = [&](int px, int py, float depth,
+                                  const ScreenVertex* v0,
+                                  const ScreenVertex* v1,
+                                  const ScreenVertex* v2, float b0, float b1,
+                                  float b2) {
+    if (depth_test_) {
+      float& stored = framebuffer_.depth(px, py);
+      if (!depth_passes(depth_func_, depth, stored)) return;
+      stored = depth;
+    }
+    for (std::size_t i = 0; i < prog->varyings.size(); ++i) {
+      Vec4 value = v0->shaded->varyings[i] * b0;
+      if (v1 != nullptr) value = value + v1->shaded->varyings[i] * b1;
+      if (v2 != nullptr) value = value + v2->shaded->varyings[i] * b2;
+      fs_registers_[prog->varyings[i].fs_register] = value;
+    }
+    run_shader(prog->fragment, fs_registers_, fs_sampler);
+    const Vec4 color = fs_registers_[prog->fragment.fragcolor_register];
+    stats_.fragments_shaded++;
+
+    std::uint8_t* dst = framebuffer_.color().pixel(px, py);
+    float out[4] = {std::clamp(color.x, 0.0f, 1.0f),
+                    std::clamp(color.y, 0.0f, 1.0f),
+                    std::clamp(color.z, 0.0f, 1.0f),
+                    std::clamp(color.w, 0.0f, 1.0f)};
+    if (blend_) {
+      constexpr float kInv255 = 1.0f / 255.0f;
+      const float dst_rgba[4] = {dst[0] * kInv255, dst[1] * kInv255,
+                                 dst[2] * kInv255, dst[3] * kInv255};
+      const float sa = out[3];
+      const float da = dst_rgba[3];
+      for (int c = 0; c < 4; ++c) {
+        const float sf = blend_factor(blend_src_, sa, da, out[c], dst_rgba[c]);
+        const float df = blend_factor(blend_dst_, sa, da, out[c], dst_rgba[c]);
+        out[c] = std::clamp(out[c] * sf + dst_rgba[c] * df, 0.0f, 1.0f);
+      }
+    }
+    for (int c = 0; c < 4; ++c) {
+      dst[c] = static_cast<std::uint8_t>(std::lround(out[c] * 255.0f));
+    }
+  };
+
+  const auto raster_triangle = [&](const ScreenVertex& a, const ScreenVertex& b,
+                                   const ScreenVertex& c) {
+    // Signed area in screen space; also used for facing.
+    const float area =
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    if (area == 0.0f) return;
+    if (cull_face_enabled_) {
+      // Screen Y points down, so a counter-clockwise triangle in GL terms has
+      // negative screen-space area.
+      const bool front_is_ccw = front_face_ == GL_CCW;
+      const bool is_front = front_is_ccw ? (area < 0.0f) : (area > 0.0f);
+      if ((cull_mode_ == GL_BACK && !is_front) ||
+          (cull_mode_ == GL_FRONT && is_front)) {
+        return;
+      }
+    }
+    stats_.triangles_rasterized++;
+
+    const int bx0 = std::max(min_x, static_cast<int>(std::floor(
+                                        std::min({a.x, b.x, c.x}))));
+    const int by0 = std::max(min_y, static_cast<int>(std::floor(
+                                        std::min({a.y, b.y, c.y}))));
+    const int bx1 = std::min(max_x, static_cast<int>(std::ceil(
+                                        std::max({a.x, b.x, c.x}))));
+    const int by1 = std::min(max_y, static_cast<int>(std::ceil(
+                                        std::max({a.y, b.y, c.y}))));
+    const float inv_area = 1.0f / area;
+
+    // Top-left fill rule: a pixel center exactly on an edge belongs to the
+    // triangle only when that (orientation-normalized) edge is a top or left
+    // edge, so triangles sharing an edge shade each covered pixel exactly
+    // once — no double blending, no cracks.
+    const float orient = area > 0.0f ? 1.0f : -1.0f;
+    const auto accepts_zero = [orient](float from_x, float from_y, float to_x,
+                                       float to_y) {
+      const float dx = (to_x - from_x) * orient;
+      const float dy = (to_y - from_y) * orient;
+      return dy < 0.0f || (dy == 0.0f && dx > 0.0f);
+    };
+    const bool zero0 = accepts_zero(b.x, b.y, c.x, c.y);
+    const bool zero1 = accepts_zero(c.x, c.y, a.x, a.y);
+    const bool zero2 = accepts_zero(a.x, a.y, b.x, b.y);
+
+    for (int py = by0; py < by1; ++py) {
+      for (int px = bx0; px < bx1; ++px) {
+        const float fx = static_cast<float>(px) + 0.5f;
+        const float fy = static_cast<float>(py) + 0.5f;
+        // Barycentric weights via edge functions; consistent sign for either
+        // winding thanks to inv_area.
+        const float w0 = ((b.x - fx) * (c.y - fy) - (b.y - fy) * (c.x - fx)) *
+                         inv_area;
+        const float w1 = ((c.x - fx) * (a.y - fy) - (c.y - fy) * (a.x - fx)) *
+                         inv_area;
+        const float w2 = 1.0f - w0 - w1;
+        if (w0 < 0.0f || w1 < 0.0f || w2 < 0.0f) continue;
+        if ((w0 == 0.0f && !zero0) || (w1 == 0.0f && !zero1) ||
+            (w2 == 0.0f && !zero2)) {
+          continue;
+        }
+        const float depth = w0 * a.z + w1 * b.z + w2 * c.z;
+        if (depth < 0.0f || depth > 1.0f) continue;
+        // Perspective-correct varying weights.
+        const float iw = w0 * a.inv_w + w1 * b.inv_w + w2 * c.inv_w;
+        if (iw == 0.0f) continue;
+        const float p0 = w0 * a.inv_w / iw;
+        const float p1 = w1 * b.inv_w / iw;
+        const float p2 = w2 * c.inv_w / iw;
+        shade_fragment(px, py, depth, &a, &b, &c, p0, p1, p2);
+      }
+    }
+  };
+
+  constexpr float kMinW = 1e-6f;
+  const auto emit_triangle = [&](std::uint32_t i0, std::uint32_t i1,
+                                 std::uint32_t i2) {
+    const ShadedVertex& s0 = shade_vertex(i0);
+    const ShadedVertex& s1 = shade_vertex(i1);
+    const ShadedVertex& s2 = shade_vertex(i2);
+    // Near-plane handling: triangles that cross w<=0 are rejected rather than
+    // clipped; the synthetic scenes keep geometry in front of the camera.
+    if (s0.clip.w <= kMinW || s1.clip.w <= kMinW || s2.clip.w <= kMinW) return;
+    raster_triangle(to_screen(s0), to_screen(s1), to_screen(s2));
+  };
+
+  const auto raster_point = [&](const ScreenVertex& v) {
+    const int px = static_cast<int>(v.x);
+    const int py = static_cast<int>(v.y);
+    if (px < min_x || px >= max_x || py < min_y || py >= max_y) return;
+    if (v.z < 0.0f || v.z > 1.0f) return;
+    shade_fragment(px, py, v.z, &v, nullptr, nullptr, 1.0f, 0.0f, 0.0f);
+  };
+
+  const auto raster_line = [&](const ScreenVertex& a, const ScreenVertex& b) {
+    const float dx = b.x - a.x;
+    const float dy = b.y - a.y;
+    const int steps =
+        std::max(1, static_cast<int>(std::max(std::fabs(dx), std::fabs(dy))));
+    for (int s = 0; s <= steps; ++s) {
+      const float t = static_cast<float>(s) / static_cast<float>(steps);
+      const int px = static_cast<int>(a.x + dx * t);
+      const int py = static_cast<int>(a.y + dy * t);
+      if (px < min_x || px >= max_x || py < min_y || py >= max_y) continue;
+      const float depth = a.z + (b.z - a.z) * t;
+      if (depth < 0.0f || depth > 1.0f) continue;
+      shade_fragment(px, py, depth, &a, &b, nullptr, 1.0f - t, t, 0.0f);
+    }
+  };
+
+  switch (mode) {
+    case GL_TRIANGLES:
+      for (std::size_t i = 0; i + 2 < indices.size(); i += 3) {
+        emit_triangle(indices[i], indices[i + 1], indices[i + 2]);
+      }
+      break;
+    case GL_TRIANGLE_STRIP:
+      for (std::size_t i = 0; i + 2 < indices.size(); ++i) {
+        if (i % 2 == 0) {
+          emit_triangle(indices[i], indices[i + 1], indices[i + 2]);
+        } else {
+          emit_triangle(indices[i + 1], indices[i], indices[i + 2]);
+        }
+      }
+      break;
+    case GL_TRIANGLE_FAN:
+      for (std::size_t i = 1; i + 1 < indices.size(); ++i) {
+        emit_triangle(indices[0], indices[i], indices[i + 1]);
+      }
+      break;
+    case GL_POINTS:
+      for (const std::uint32_t index : indices) {
+        const ShadedVertex& sv = shade_vertex(index);
+        if (sv.clip.w <= kMinW) continue;
+        raster_point(to_screen(sv));
+      }
+      break;
+    case GL_LINES:
+      for (std::size_t i = 0; i + 1 < indices.size(); i += 2) {
+        const ShadedVertex& s0 = shade_vertex(indices[i]);
+        const ShadedVertex& s1 = shade_vertex(indices[i + 1]);
+        if (s0.clip.w <= kMinW || s1.clip.w <= kMinW) continue;
+        raster_line(to_screen(s0), to_screen(s1));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace gb::gles

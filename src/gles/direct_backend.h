@@ -1,0 +1,99 @@
+// The "genuine" OpenGL ES library: a GlesApi implementation that executes
+// every call immediately on a local GlContext (the device's own GPU). This
+// is what an unmodified application binds to when GBooster is not installed.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "gles/api.h"
+#include "gles/context.h"
+
+namespace gb::gles {
+
+// Invoked on eglSwapBuffers with the finished frame. The display system
+// (or a test) owns what happens next.
+using PresentFn = std::function<void(const Image&)>;
+
+class DirectBackend final : public GlesApi {
+ public:
+  DirectBackend(int surface_width, int surface_height, PresentFn present);
+
+  // The underlying context, exposed for tests and for the service-device
+  // executor which replays remote command streams into a DirectBackend.
+  [[nodiscard]] GlContext& context() noexcept { return *context_; }
+  [[nodiscard]] const GlContext& context() const noexcept { return *context_; }
+
+  GLenum glGetError() override;
+  void glClearColor(GLfloat r, GLfloat g, GLfloat b, GLfloat a) override;
+  void glClear(GLbitfield mask) override;
+  void glViewport(GLint x, GLint y, GLsizei w, GLsizei h) override;
+  void glScissor(GLint x, GLint y, GLsizei w, GLsizei h) override;
+  void glEnable(GLenum cap) override;
+  void glDisable(GLenum cap) override;
+  void glBlendFunc(GLenum sfactor, GLenum dfactor) override;
+  void glDepthFunc(GLenum func) override;
+  void glCullFace(GLenum mode) override;
+  void glFrontFace(GLenum mode) override;
+  void glGenBuffers(GLsizei n, GLuint* out) override;
+  void glDeleteBuffers(GLsizei n, const GLuint* names) override;
+  void glBindBuffer(GLenum target, GLuint name) override;
+  void glBufferData(GLenum target, GLsizeiptr size, const void* data,
+                    GLenum usage) override;
+  void glBufferSubData(GLenum target, GLintptr offset, GLsizeiptr size,
+                       const void* data) override;
+  void glGenTextures(GLsizei n, GLuint* out) override;
+  void glDeleteTextures(GLsizei n, const GLuint* names) override;
+  void glActiveTexture(GLenum unit) override;
+  void glBindTexture(GLenum target, GLuint name) override;
+  void glTexImage2D(GLenum target, GLint level, GLenum internal_format,
+                    GLsizei width, GLsizei height, GLint border, GLenum format,
+                    GLenum type, const void* pixels) override;
+  void glTexSubImage2D(GLenum target, GLint level, GLint xoffset, GLint yoffset,
+                       GLsizei width, GLsizei height, GLenum format,
+                       GLenum type, const void* pixels) override;
+  void glTexParameteri(GLenum target, GLenum pname, GLint param) override;
+  GLuint glCreateShader(GLenum type) override;
+  void glDeleteShader(GLuint shader) override;
+  void glShaderSource(GLuint shader, std::string_view source) override;
+  void glCompileShader(GLuint shader) override;
+  GLint glGetShaderiv(GLuint shader, GLenum pname) override;
+  std::string glGetShaderInfoLog(GLuint shader) override;
+  GLuint glCreateProgram() override;
+  void glDeleteProgram(GLuint program) override;
+  void glAttachShader(GLuint program, GLuint shader) override;
+  void glBindAttribLocation(GLuint program, GLuint index,
+                            std::string_view name) override;
+  void glLinkProgram(GLuint program) override;
+  GLint glGetProgramiv(GLuint program, GLenum pname) override;
+  void glUseProgram(GLuint program) override;
+  GLint glGetAttribLocation(GLuint program, std::string_view name) override;
+  GLint glGetUniformLocation(GLuint program, std::string_view name) override;
+  void glUniform1f(GLint location, GLfloat x) override;
+  void glUniform2f(GLint location, GLfloat x, GLfloat y) override;
+  void glUniform3f(GLint location, GLfloat x, GLfloat y, GLfloat z) override;
+  void glUniform4f(GLint location, GLfloat x, GLfloat y, GLfloat z,
+                   GLfloat w) override;
+  void glUniform1i(GLint location, GLint x) override;
+  void glUniformMatrix4fv(GLint location, GLsizei count, GLboolean transpose,
+                          const GLfloat* value) override;
+  void glEnableVertexAttribArray(GLuint index) override;
+  void glDisableVertexAttribArray(GLuint index) override;
+  void glVertexAttrib4f(GLuint index, GLfloat x, GLfloat y, GLfloat z,
+                        GLfloat w) override;
+  void glVertexAttribPointer(GLuint index, GLint size, GLenum type,
+                             GLboolean normalized, GLsizei stride,
+                             const void* pointer) override;
+  void glDrawArrays(GLenum mode, GLint first, GLsizei count) override;
+  void glDrawElements(GLenum mode, GLsizei count, GLenum type,
+                      const void* indices) override;
+  void glFlush() override;
+  void glFinish() override;
+  bool eglSwapBuffers() override;
+
+ private:
+  std::unique_ptr<GlContext> context_;
+  PresentFn present_;
+};
+
+}  // namespace gb::gles

@@ -1,0 +1,42 @@
+// Default framebuffer of a software GL context: RGBA color plane plus a
+// float depth plane. Rows use the display convention (top-left origin);
+// clip-space Y is flipped at viewport transform time.
+#pragma once
+
+#include <vector>
+
+#include "common/image.h"
+
+namespace gb::gles {
+
+class Framebuffer {
+ public:
+  Framebuffer(int width, int height)
+      : color_(width, height),
+        depth_(static_cast<std::size_t>(width) * height, 1.0f) {}
+
+  [[nodiscard]] int width() const noexcept { return color_.width(); }
+  [[nodiscard]] int height() const noexcept { return color_.height(); }
+
+  [[nodiscard]] Image& color() noexcept { return color_; }
+  [[nodiscard]] const Image& color() const noexcept { return color_; }
+
+  [[nodiscard]] float& depth(int x, int y) noexcept {
+    return depth_[static_cast<std::size_t>(y) * color_.width() + x];
+  }
+
+  void clear_color(std::uint8_t r, std::uint8_t g, std::uint8_t b,
+                   std::uint8_t a) {
+    color_.fill(r, g, b, a);
+  }
+
+  void clear_depth(float value) {
+    for (float& d : depth_) d = value;
+  }
+
+ private:
+  Image color_;
+  std::vector<float> depth_;
+};
+
+}  // namespace gb::gles

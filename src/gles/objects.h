@@ -1,0 +1,92 @@
+// GPU-side objects managed by a GlContext: buffers, textures, shaders, and
+// linked programs. These are value types owned by the context's object
+// tables; applications refer to them through GLuint names, as in real GLES.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/image.h"
+#include "gles/shader.h"
+#include "gles/types.h"
+
+namespace gb::gles {
+
+struct BufferObject {
+  Bytes data;
+  GLenum usage = GL_STATIC_DRAW;
+};
+
+struct TextureObject {
+  Image image;
+  GLenum min_filter = GL_LINEAR;
+  GLenum mag_filter = GL_LINEAR;
+  GLenum wrap_s = GL_REPEAT;
+  GLenum wrap_t = GL_REPEAT;
+};
+
+struct ShaderObject {
+  GLenum type = GL_VERTEX_SHADER;
+  std::string source;
+  std::optional<CompiledShader> compiled;
+  std::string info_log;
+};
+
+// A uniform as seen through the program's public location table. The same
+// name may exist in both stages; the linker fuses them into one location so
+// a single glUniform call updates both register files.
+struct UniformInfo {
+  std::string name;
+  ShaderType type{};
+  // Base register in each stage's file; -1 when the stage lacks the uniform.
+  int vs_register = -1;
+  int fs_register = -1;
+  // Sampler slots per stage (for sampler2D uniforms).
+  int vs_sampler_slot = -1;
+  int fs_sampler_slot = -1;
+  // Current value; matrices use all 16 floats, samplers store the texture
+  // unit in value[0].
+  std::array<float, 16> value{};
+};
+
+struct AttribInfo {
+  std::string name;
+  ShaderType type{};
+  int location = -1;
+  std::uint16_t vs_register = 0;
+};
+
+// VS varying register -> FS varying register, with the interpolated width.
+struct VaryingLink {
+  std::uint16_t vs_register = 0;
+  std::uint16_t fs_register = 0;
+  int components = 0;
+};
+
+struct ProgramObject {
+  std::vector<GLuint> attached_shaders;
+  bool linked = false;
+  std::string info_log;
+  // Attribute locations requested via glBindAttribLocation before linking.
+  std::map<std::string, GLint> requested_attrib_locations;
+
+  // Populated by a successful link:
+  CompiledShader vertex;
+  CompiledShader fragment;
+  std::vector<AttribInfo> attributes;
+  std::vector<UniformInfo> uniforms;  // index == uniform location
+  std::vector<VaryingLink> varyings;
+
+  [[nodiscard]] int max_attrib_location() const {
+    int max_loc = -1;
+    for (const auto& a : attributes) max_loc = std::max(max_loc, a.location);
+    return max_loc;
+  }
+};
+
+}  // namespace gb::gles

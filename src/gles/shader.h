@@ -1,0 +1,134 @@
+// Shader programs for the software GPU.
+//
+// The substrate accepts a GLSL-ES-like source language through
+// glShaderSource/glCompileShader, compiles it to a register-based bytecode,
+// and executes it per vertex / per fragment in ShaderVm. The language covers
+// the constructs the synthetic workloads need:
+//
+//   attribute vec4 a_position;        // vertex inputs
+//   uniform mat4 u_mvp;               // uniforms incl. mat4 and sampler2D
+//   varying vec2 v_uv;                // VS->FS interpolants
+//   void main() {
+//     vec4 p = u_mvp * a_position;    // locals, mat*vec, arithmetic
+//     gl_Position = p;
+//     v_uv = a_position.xy;           // swizzles
+//   }
+//
+// Supported expressions: + - * / and unary minus (with scalar broadcast),
+// swizzles, constructors (vec2/3/4), and the intrinsics texture2D, dot,
+// normalize, length, mix, clamp, min, max, abs, fract, sqrt, sin, cos.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace gb::gles {
+
+enum class ShaderKind : std::uint8_t { kVertex, kFragment };
+
+// Static types known to the shader compiler.
+enum class ShaderType : std::uint8_t {
+  kFloat,
+  kVec2,
+  kVec3,
+  kVec4,
+  kMat4,
+  kSampler2D,
+};
+
+// Number of float components a value of this type occupies (mat4 spans four
+// consecutive Vec4 registers).
+constexpr int component_count(ShaderType t) {
+  switch (t) {
+    case ShaderType::kFloat:
+      return 1;
+    case ShaderType::kVec2:
+      return 2;
+    case ShaderType::kVec3:
+      return 3;
+    case ShaderType::kVec4:
+      return 4;
+    case ShaderType::kMat4:
+      return 16;
+    case ShaderType::kSampler2D:
+      return 1;
+  }
+  return 0;
+}
+
+constexpr int register_count(ShaderType t) {
+  return t == ShaderType::kMat4 ? 4 : 1;
+}
+
+enum class Op : std::uint8_t {
+  kMov,        // dst = src0
+  kInsert,     // dst[offset..offset+n) = src0[0..n); imm = offset | n<<4
+  kSwizzle,    // dst[i] = src0[sel_i]; imm packs four 2-bit selectors | n<<8
+  kAdd,        // componentwise arithmetic over all four lanes
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kMatMul,     // dst = Mat4(regs src0..src0+3) * src1
+  kDot,        // dst = broadcast(dot of first `imm` components)
+  kNormalize,  // dst = src0 / length(first `imm` components)
+  kLength,     // dst = broadcast(length of first `imm` components)
+  kMix,        // dst = src0 + (src1 - src0) * src2
+  kClamp,      // dst = min(max(src0, src1), src2)
+  kMin,
+  kMax,
+  kAbs,
+  kFract,
+  kSqrt,
+  kSin,
+  kCos,
+  kTex2D,      // dst = sample(sampler slot imm, u = src0.x, v = src0.y)
+};
+
+struct Instr {
+  Op op{};
+  std::uint16_t dst = 0;
+  std::uint16_t src0 = 0;
+  std::uint16_t src1 = 0;
+  std::uint16_t src2 = 0;
+  std::uint32_t imm = 0;
+};
+
+// A named shader-global slot (attribute, uniform, or varying).
+struct Symbol {
+  std::string name;
+  ShaderType type{};
+  std::uint16_t base_register = 0;
+  // For sampler uniforms: index into the program's sampler-slot table; the
+  // slot holds the texture *unit* assigned via glUniform1i.
+  int sampler_slot = -1;
+};
+
+// Result of compiling one shader stage.
+struct CompiledShader {
+  ShaderKind kind{};
+  std::vector<Instr> code;
+  std::uint16_t register_file_size = 0;
+  std::vector<Symbol> attributes;  // vertex stage only
+  std::vector<Symbol> uniforms;
+  std::vector<Symbol> varyings;
+  // Literal constants preloaded before execution.
+  std::vector<std::pair<std::uint16_t, Vec4>> constants;
+  // Special outputs; 0xffff when the stage does not write them.
+  std::uint16_t position_register = 0xffff;   // gl_Position (vertex)
+  std::uint16_t fragcolor_register = 0xffff;  // gl_FragColor (fragment)
+  int sampler_slot_count = 0;
+};
+
+// Compiles `source`; on failure returns std::nullopt and stores a
+// human-readable message in `error_log` (mirroring glGetShaderInfoLog).
+std::optional<CompiledShader> compile_shader(ShaderKind kind,
+                                             std::string_view source,
+                                             std::string& error_log);
+
+}  // namespace gb::gles

@@ -1,0 +1,633 @@
+// Recursive-descent compiler from the GLSL-ES-like shader language to the
+// register bytecode defined in shader.h. The compiler is a classic three-step
+// pipeline (lex -> parse+typecheck -> emit) collapsed into one pass: each
+// expression production returns the register holding its value.
+#include <cctype>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gles/shader.h"
+
+namespace gb::gles {
+namespace {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kNumber,
+  kPunct,  // single-char punctuation, stored in text
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  float number = 0.0f;
+  int line = 0;
+};
+
+// Thrown internally; converted to a log message at the compile_shader
+// boundary so callers see glGetShaderInfoLog-style behaviour, not exceptions.
+struct CompileError {
+  std::string message;
+  int line;
+};
+
+[[noreturn]] void fail(const std::string& message, int line) {
+  throw CompileError{message, line};
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Token next() {
+    skip_whitespace_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= src_.size()) {
+      t.kind = TokKind::kEnd;
+      return t;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      t.kind = TokKind::kIdent;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      const std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+              ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+               (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E')))) {
+        ++pos_;
+      }
+      t.kind = TokKind::kNumber;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      t.number = std::stof(t.text);
+      return t;
+    }
+    t.kind = TokKind::kPunct;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+ private:
+  void skip_whitespace_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, src_.size());
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// A typed value held in a register range.
+struct Value {
+  ShaderType type{};
+  std::uint16_t reg = 0;
+  int sampler_slot = -1;  // valid when type == kSampler2D
+};
+
+std::optional<ShaderType> parse_type_name(std::string_view name) {
+  if (name == "float") return ShaderType::kFloat;
+  if (name == "vec2") return ShaderType::kVec2;
+  if (name == "vec3") return ShaderType::kVec3;
+  if (name == "vec4") return ShaderType::kVec4;
+  if (name == "mat4") return ShaderType::kMat4;
+  if (name == "sampler2D") return ShaderType::kSampler2D;
+  return std::nullopt;
+}
+
+ShaderType vec_type_of_width(int n, int line) {
+  switch (n) {
+    case 1:
+      return ShaderType::kFloat;
+    case 2:
+      return ShaderType::kVec2;
+    case 3:
+      return ShaderType::kVec3;
+    case 4:
+      return ShaderType::kVec4;
+    default:
+      fail("vector width out of range", line);
+  }
+}
+
+class Compiler {
+ public:
+  Compiler(ShaderKind kind, std::string_view source)
+      : kind_(kind), lexer_(source) {
+    advance();
+  }
+
+  CompiledShader compile() {
+    out_.kind = kind_;
+    while (!(tok_.kind == TokKind::kEnd)) {
+      if (tok_.kind == TokKind::kIdent && tok_.text == "precision") {
+        // `precision mediump float;` — accepted and ignored, as on real
+        // drivers where it only tweaks numeric range.
+        while (!(tok_.kind == TokKind::kPunct && tok_.text == ";") &&
+               tok_.kind != TokKind::kEnd) {
+          advance();
+        }
+        expect_punct(";");
+        continue;
+      }
+      if (tok_.kind == TokKind::kIdent && tok_.text == "void") {
+        parse_main();
+        continue;
+      }
+      parse_global_decl();
+    }
+    if (!saw_main_) fail("missing void main()", tok_.line);
+    out_.register_file_size = next_register_;
+    return std::move(out_);
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  void advance() { tok_ = lexer_.next(); }
+
+  bool accept_punct(std::string_view p) {
+    if (tok_.kind == TokKind::kPunct && tok_.text == p) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_punct(std::string_view p) {
+    if (!accept_punct(p)) {
+      fail("expected '" + std::string(p) + "' before '" + tok_.text + "'",
+           tok_.line);
+    }
+  }
+
+  std::string expect_ident() {
+    if (tok_.kind != TokKind::kIdent) fail("expected identifier", tok_.line);
+    std::string name = tok_.text;
+    advance();
+    return name;
+  }
+
+  // --- register & emit helpers --------------------------------------------
+
+  std::uint16_t alloc_registers(int count) {
+    const std::uint16_t base = next_register_;
+    next_register_ = static_cast<std::uint16_t>(next_register_ + count);
+    return base;
+  }
+
+  std::uint16_t alloc_for(ShaderType t) { return alloc_registers(register_count(t)); }
+
+  void emit(Op op, std::uint16_t dst, std::uint16_t s0 = 0, std::uint16_t s1 = 0,
+            std::uint16_t s2 = 0, std::uint32_t imm = 0) {
+    out_.code.push_back(Instr{op, dst, s0, s1, s2, imm});
+  }
+
+  std::uint16_t constant(Vec4 v) {
+    const std::uint16_t reg = alloc_registers(1);
+    out_.constants.emplace_back(reg, v);
+    return reg;
+  }
+
+  // Broadcasts a scalar value across all four lanes.
+  Value broadcast(Value scalar) {
+    const std::uint16_t dst = alloc_registers(1);
+    emit(Op::kSwizzle, dst, scalar.reg, 0, 0, /*xxxx, n=4*/ 0u | (4u << 8));
+    return Value{ShaderType::kVec4, dst};
+  }
+
+  // --- declarations --------------------------------------------------------
+
+  void parse_global_decl() {
+    if (tok_.kind != TokKind::kIdent) fail("expected declaration", tok_.line);
+    const std::string qualifier = expect_ident();
+    if (qualifier != "attribute" && qualifier != "uniform" &&
+        qualifier != "varying") {
+      fail("unknown qualifier '" + qualifier + "'", tok_.line);
+    }
+    const std::string type_name = expect_ident();
+    const auto type = parse_type_name(type_name);
+    if (!type) fail("unknown type '" + type_name + "'", tok_.line);
+    const std::string name = expect_ident();
+    expect_punct(";");
+
+    if (qualifier == "attribute" && kind_ != ShaderKind::kVertex) {
+      fail("attribute declared in fragment shader", tok_.line);
+    }
+    if (*type == ShaderType::kSampler2D && qualifier != "uniform") {
+      fail("sampler must be a uniform", tok_.line);
+    }
+
+    Symbol sym;
+    sym.name = name;
+    sym.type = *type;
+    if (*type == ShaderType::kSampler2D) {
+      sym.sampler_slot = out_.sampler_slot_count++;
+      sym.base_register = 0;  // samplers live in the slot table, not registers
+    } else {
+      sym.base_register = alloc_for(*type);
+    }
+    if (qualifier == "attribute") out_.attributes.push_back(sym);
+    if (qualifier == "uniform") out_.uniforms.push_back(sym);
+    if (qualifier == "varying") out_.varyings.push_back(sym);
+
+    if (scope_.contains(name)) fail("redeclaration of '" + name + "'", tok_.line);
+    scope_[name] = Value{sym.type, sym.base_register, sym.sampler_slot};
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  void parse_main() {
+    expect_ident();  // 'void'
+    const std::string name = expect_ident();
+    if (name != "main") fail("only 'void main()' is supported", tok_.line);
+    expect_punct("(");
+    expect_punct(")");
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      parse_statement();
+    }
+    saw_main_ = true;
+  }
+
+  void parse_statement() {
+    if (tok_.kind != TokKind::kIdent) fail("expected statement", tok_.line);
+    // Local declaration: `<type> name = expr;`
+    if (const auto type = parse_type_name(tok_.text)) {
+      advance();
+      const std::string name = expect_ident();
+      expect_punct("=");
+      const Value init = parse_expression();
+      expect_punct(";");
+      if (init.type != *type) fail("initializer type mismatch", tok_.line);
+      const std::uint16_t base = alloc_for(*type);
+      move_value(base, init);
+      if (scope_.contains(name)) fail("redeclaration of '" + name + "'", tok_.line);
+      scope_[name] = Value{*type, base};
+      return;
+    }
+    // Assignment to a declared name or builtin output.
+    const std::string name = expect_ident();
+    const Value target = resolve_assignment_target(name);
+    expect_punct("=");
+    const Value rhs = parse_expression();
+    expect_punct(";");
+    if (rhs.type != target.type) {
+      fail("assignment type mismatch for '" + name + "'", tok_.line);
+    }
+    move_value(target.reg, rhs);
+  }
+
+  Value resolve_assignment_target(const std::string& name) {
+    if (name == "gl_Position") {
+      if (kind_ != ShaderKind::kVertex) {
+        fail("gl_Position in fragment shader", tok_.line);
+      }
+      if (out_.position_register == 0xffff) {
+        out_.position_register = alloc_registers(1);
+      }
+      return Value{ShaderType::kVec4, out_.position_register};
+    }
+    if (name == "gl_FragColor") {
+      if (kind_ != ShaderKind::kFragment) {
+        fail("gl_FragColor in vertex shader", tok_.line);
+      }
+      if (out_.fragcolor_register == 0xffff) {
+        out_.fragcolor_register = alloc_registers(1);
+      }
+      return Value{ShaderType::kVec4, out_.fragcolor_register};
+    }
+    const auto it = scope_.find(name);
+    if (it == scope_.end()) fail("assignment to undeclared '" + name + "'", tok_.line);
+    if (it->second.type == ShaderType::kSampler2D) {
+      fail("cannot assign to sampler", tok_.line);
+    }
+    return it->second;
+  }
+
+  void move_value(std::uint16_t dst_base, Value src) {
+    for (int r = 0; r < register_count(src.type); ++r) {
+      emit(Op::kMov, static_cast<std::uint16_t>(dst_base + r),
+           static_cast<std::uint16_t>(src.reg + r));
+    }
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  Value parse_expression() { return parse_additive(); }
+
+  Value parse_additive() {
+    Value lhs = parse_multiplicative();
+    for (;;) {
+      if (accept_punct("+")) {
+        lhs = binary(Op::kAdd, lhs, parse_multiplicative());
+      } else if (accept_punct("-")) {
+        lhs = binary(Op::kSub, lhs, parse_multiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Value parse_multiplicative() {
+    Value lhs = parse_unary();
+    for (;;) {
+      if (accept_punct("*")) {
+        lhs = multiply(lhs, parse_unary());
+      } else if (accept_punct("/")) {
+        lhs = binary(Op::kDiv, lhs, parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Value parse_unary() {
+    if (accept_punct("-")) {
+      const Value v = parse_unary();
+      const std::uint16_t dst = alloc_registers(1);
+      if (v.type == ShaderType::kMat4) fail("cannot negate mat4", tok_.line);
+      emit(Op::kNeg, dst, v.reg);
+      return Value{v.type, dst};
+    }
+    return parse_postfix();
+  }
+
+  Value parse_postfix() {
+    Value v = parse_primary();
+    while (tok_.kind == TokKind::kPunct && tok_.text == ".") {
+      advance();
+      const std::string pattern = expect_ident();
+      v = apply_swizzle(v, pattern);
+    }
+    return v;
+  }
+
+  Value apply_swizzle(Value v, const std::string& pattern) {
+    if (v.type == ShaderType::kMat4 || v.type == ShaderType::kSampler2D) {
+      fail("cannot swizzle this type", tok_.line);
+    }
+    const int width = component_count(v.type);
+    if (pattern.empty() || pattern.size() > 4) {
+      fail("bad swizzle '" + pattern + "'", tok_.line);
+    }
+    std::uint32_t imm = 0;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      int sel = -1;
+      switch (pattern[i]) {
+        case 'x': case 'r': case 's': sel = 0; break;
+        case 'y': case 'g': case 't': sel = 1; break;
+        case 'z': case 'b': case 'p': sel = 2; break;
+        case 'w': case 'a': case 'q': sel = 3; break;
+        default: fail("bad swizzle '" + pattern + "'", tok_.line);
+      }
+      if (sel >= width) fail("swizzle exceeds operand width", tok_.line);
+      imm |= static_cast<std::uint32_t>(sel) << (2 * i);
+    }
+    imm |= static_cast<std::uint32_t>(pattern.size()) << 8;
+    const std::uint16_t dst = alloc_registers(1);
+    emit(Op::kSwizzle, dst, v.reg, 0, 0, imm);
+    return Value{vec_type_of_width(static_cast<int>(pattern.size()), tok_.line),
+                 dst};
+  }
+
+  Value parse_primary() {
+    if (tok_.kind == TokKind::kNumber) {
+      const float n = tok_.number;
+      advance();
+      return Value{ShaderType::kFloat, constant(Vec4{n, n, n, n})};
+    }
+    if (accept_punct("(")) {
+      const Value v = parse_expression();
+      expect_punct(")");
+      return v;
+    }
+    if (tok_.kind != TokKind::kIdent) fail("expected expression", tok_.line);
+    const std::string name = expect_ident();
+
+    if (tok_.kind == TokKind::kPunct && tok_.text == "(") {
+      // Constructor or intrinsic call.
+      if (const auto ctor = parse_type_name(name)) {
+        return parse_constructor(*ctor);
+      }
+      return parse_intrinsic(name);
+    }
+
+    const auto it = scope_.find(name);
+    if (it == scope_.end()) fail("use of undeclared '" + name + "'", tok_.line);
+    return it->second;
+  }
+
+  std::vector<Value> parse_args() {
+    expect_punct("(");
+    std::vector<Value> args;
+    if (!accept_punct(")")) {
+      do {
+        args.push_back(parse_expression());
+      } while (accept_punct(","));
+      expect_punct(")");
+    }
+    return args;
+  }
+
+  Value parse_constructor(ShaderType type) {
+    if (type == ShaderType::kSampler2D || type == ShaderType::kMat4 ||
+        type == ShaderType::kFloat) {
+      fail("unsupported constructor", tok_.line);
+    }
+    const auto args = parse_args();
+    const int width = component_count(type);
+    const std::uint16_t dst = alloc_registers(1);
+
+    // Splat form: vec4(1.0).
+    if (args.size() == 1 && args[0].type == ShaderType::kFloat) {
+      emit(Op::kSwizzle, dst, args[0].reg, 0, 0,
+           0u | (static_cast<std::uint32_t>(width) << 8));
+      return Value{type, dst};
+    }
+
+    int offset = 0;
+    for (const Value& arg : args) {
+      if (arg.type == ShaderType::kMat4 || arg.type == ShaderType::kSampler2D) {
+        fail("bad constructor argument", tok_.line);
+      }
+      const int n = component_count(arg.type);
+      if (offset + n > width) fail("too many constructor components", tok_.line);
+      emit(Op::kInsert, dst, arg.reg, 0, 0,
+           static_cast<std::uint32_t>(offset) |
+               (static_cast<std::uint32_t>(n) << 4));
+      offset += n;
+    }
+    if (offset != width) fail("constructor component count mismatch", tok_.line);
+    return Value{type, dst};
+  }
+
+  Value parse_intrinsic(const std::string& name) {
+    const auto args = parse_args();
+    const auto arity = [&](std::size_t n) {
+      if (args.size() != n) {
+        fail(name + " expects " + std::to_string(n) + " arguments", tok_.line);
+      }
+    };
+    const std::uint16_t dst = alloc_registers(1);
+
+    if (name == "texture2D") {
+      arity(2);
+      if (args[0].type != ShaderType::kSampler2D ||
+          args[1].type != ShaderType::kVec2) {
+        fail("texture2D(sampler2D, vec2) argument mismatch", tok_.line);
+      }
+      emit(Op::kTex2D, dst, args[1].reg, 0, 0,
+           static_cast<std::uint32_t>(args[0].sampler_slot));
+      return Value{ShaderType::kVec4, dst};
+    }
+    if (name == "dot") {
+      arity(2);
+      if (args[0].type != args[1].type) fail("dot operand mismatch", tok_.line);
+      emit(Op::kDot, dst, args[0].reg, args[1].reg, 0,
+           static_cast<std::uint32_t>(component_count(args[0].type)));
+      return Value{ShaderType::kFloat, dst};
+    }
+    if (name == "normalize") {
+      arity(1);
+      emit(Op::kNormalize, dst, args[0].reg, 0, 0,
+           static_cast<std::uint32_t>(component_count(args[0].type)));
+      return Value{args[0].type, dst};
+    }
+    if (name == "length") {
+      arity(1);
+      emit(Op::kLength, dst, args[0].reg, 0, 0,
+           static_cast<std::uint32_t>(component_count(args[0].type)));
+      return Value{ShaderType::kFloat, dst};
+    }
+    if (name == "mix") {
+      arity(3);
+      if (args[0].type != args[1].type) fail("mix operand mismatch", tok_.line);
+      Value t = args[2];
+      if (t.type == ShaderType::kFloat && args[0].type != ShaderType::kFloat) {
+        t = broadcast(t);
+      }
+      emit(Op::kMix, dst, args[0].reg, args[1].reg, t.reg);
+      return Value{args[0].type, dst};
+    }
+    if (name == "clamp") {
+      arity(3);
+      Value lo = args[1];
+      Value hi = args[2];
+      if (lo.type == ShaderType::kFloat && args[0].type != ShaderType::kFloat) {
+        lo = broadcast(lo);
+      }
+      if (hi.type == ShaderType::kFloat && args[0].type != ShaderType::kFloat) {
+        hi = broadcast(hi);
+      }
+      emit(Op::kClamp, dst, args[0].reg, lo.reg, hi.reg);
+      return Value{args[0].type, dst};
+    }
+    if (name == "min" || name == "max") {
+      arity(2);
+      if (args[0].type != args[1].type) fail(name + " operand mismatch", tok_.line);
+      emit(name == "min" ? Op::kMin : Op::kMax, dst, args[0].reg, args[1].reg);
+      return Value{args[0].type, dst};
+    }
+    const auto unary = [&](Op op) {
+      arity(1);
+      emit(op, dst, args[0].reg);
+      return Value{args[0].type, dst};
+    };
+    if (name == "abs") return unary(Op::kAbs);
+    if (name == "fract") return unary(Op::kFract);
+    if (name == "sqrt") return unary(Op::kSqrt);
+    if (name == "sin") return unary(Op::kSin);
+    if (name == "cos") return unary(Op::kCos);
+    fail("unknown function '" + name + "'", tok_.line);
+  }
+
+  // Componentwise binary op with float->vector broadcast on either side.
+  Value binary(Op op, Value lhs, Value rhs) {
+    if (lhs.type == ShaderType::kMat4 || rhs.type == ShaderType::kMat4) {
+      fail("matrix operands only support '*' with a vec4", tok_.line);
+    }
+    if (lhs.type == ShaderType::kFloat && rhs.type != ShaderType::kFloat) {
+      lhs = broadcast(lhs);
+      lhs.type = rhs.type;
+    }
+    if (rhs.type == ShaderType::kFloat && lhs.type != ShaderType::kFloat) {
+      rhs = broadcast(rhs);
+      rhs.type = lhs.type;
+    }
+    if (lhs.type != rhs.type) fail("operand type mismatch", tok_.line);
+    const std::uint16_t dst = alloc_registers(1);
+    emit(op, dst, lhs.reg, rhs.reg);
+    return Value{lhs.type, dst};
+  }
+
+  Value multiply(Value lhs, Value rhs) {
+    if (lhs.type == ShaderType::kMat4 && rhs.type == ShaderType::kVec4) {
+      const std::uint16_t dst = alloc_registers(1);
+      emit(Op::kMatMul, dst, lhs.reg, rhs.reg);
+      return Value{ShaderType::kVec4, dst};
+    }
+    return binary(Op::kMul, lhs, rhs);
+  }
+
+  ShaderKind kind_;
+  Lexer lexer_;
+  Token tok_;
+  bool saw_main_ = false;
+  std::uint16_t next_register_ = 0;
+  std::map<std::string, Value> scope_;
+  CompiledShader out_;
+};
+
+}  // namespace
+
+std::optional<CompiledShader> compile_shader(ShaderKind kind,
+                                             std::string_view source,
+                                             std::string& error_log) {
+  try {
+    return Compiler(kind, source).compile();
+  } catch (const CompileError& e) {
+    error_log = "line " + std::to_string(e.line) + ": " + e.message;
+    return std::nullopt;
+  }
+}
+
+}  // namespace gb::gles

@@ -1,0 +1,168 @@
+#include "gles/shader_vm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gb::gles {
+namespace {
+
+float component(const Vec4& v, int i) {
+  switch (i) {
+    case 0:
+      return v.x;
+    case 1:
+      return v.y;
+    case 2:
+      return v.z;
+    default:
+      return v.w;
+  }
+}
+
+void set_component(Vec4& v, int i, float value) {
+  switch (i) {
+    case 0:
+      v.x = value;
+      break;
+    case 1:
+      v.y = value;
+      break;
+    case 2:
+      v.z = value;
+      break;
+    default:
+      v.w = value;
+      break;
+  }
+}
+
+Vec4 map1(Vec4 v, float (*f)(float)) {
+  return {f(v.x), f(v.y), f(v.z), f(v.w)};
+}
+
+float fract1(float x) { return x - std::floor(x); }
+
+float dot_n(const Vec4& a, const Vec4& b, int n) {
+  float sum = 0.0f;
+  for (int i = 0; i < n; ++i) sum += component(a, i) * component(b, i);
+  return sum;
+}
+
+}  // namespace
+
+void load_constants(const CompiledShader& shader, std::span<Vec4> registers) {
+  for (const auto& [reg, value] : shader.constants) registers[reg] = value;
+}
+
+void run_shader(const CompiledShader& shader, std::span<Vec4> registers,
+                const TextureSampleFn& sample) {
+  check(registers.size() >= shader.register_file_size,
+        "register file too small for shader");
+  for (const Instr& in : shader.code) {
+    const Vec4 a = registers[in.src0];
+    const Vec4 b = registers[in.src1];
+    const Vec4 c = registers[in.src2];
+    Vec4& dst = registers[in.dst];
+    switch (in.op) {
+      case Op::kMov:
+        dst = a;
+        break;
+      case Op::kInsert: {
+        const int offset = static_cast<int>(in.imm & 0xf);
+        const int n = static_cast<int>((in.imm >> 4) & 0xf);
+        for (int i = 0; i < n; ++i) {
+          set_component(dst, offset + i, component(a, i));
+        }
+        break;
+      }
+      case Op::kSwizzle: {
+        const int n = static_cast<int>((in.imm >> 8) & 0xf);
+        Vec4 r = dst;
+        for (int i = 0; i < n; ++i) {
+          set_component(r, i, component(a, static_cast<int>((in.imm >> (2 * i)) & 3)));
+        }
+        dst = r;
+        break;
+      }
+      case Op::kAdd:
+        dst = a + b;
+        break;
+      case Op::kSub:
+        dst = a - b;
+        break;
+      case Op::kMul:
+        dst = a * b;
+        break;
+      case Op::kDiv:
+        dst = {a.x / b.x, a.y / b.y, a.z / b.z, a.w / b.w};
+        break;
+      case Op::kNeg:
+        dst = a * -1.0f;
+        break;
+      case Op::kMatMul: {
+        // src0..src0+3 are the matrix columns.
+        const Vec4 c0 = registers[in.src0];
+        const Vec4 c1 = registers[in.src0 + 1];
+        const Vec4 c2 = registers[in.src0 + 2];
+        const Vec4 c3 = registers[in.src0 + 3];
+        dst = c0 * b.x + c1 * b.y + c2 * b.z + c3 * b.w;
+        break;
+      }
+      case Op::kDot: {
+        const float d = dot_n(a, b, static_cast<int>(in.imm));
+        dst = {d, d, d, d};
+        break;
+      }
+      case Op::kNormalize: {
+        const int n = static_cast<int>(in.imm);
+        const float len = std::sqrt(dot_n(a, a, n));
+        dst = len > 0.0f ? a * (1.0f / len) : a;
+        break;
+      }
+      case Op::kLength: {
+        const float len = std::sqrt(dot_n(a, a, static_cast<int>(in.imm)));
+        dst = {len, len, len, len};
+        break;
+      }
+      case Op::kMix:
+        dst = a + (b - a) * c;
+        break;
+      case Op::kClamp:
+        dst = {std::fmin(std::fmax(a.x, b.x), c.x),
+               std::fmin(std::fmax(a.y, b.y), c.y),
+               std::fmin(std::fmax(a.z, b.z), c.z),
+               std::fmin(std::fmax(a.w, b.w), c.w)};
+        break;
+      case Op::kMin:
+        dst = {std::fmin(a.x, b.x), std::fmin(a.y, b.y), std::fmin(a.z, b.z),
+               std::fmin(a.w, b.w)};
+        break;
+      case Op::kMax:
+        dst = {std::fmax(a.x, b.x), std::fmax(a.y, b.y), std::fmax(a.z, b.z),
+               std::fmax(a.w, b.w)};
+        break;
+      case Op::kAbs:
+        dst = map1(a, +[](float x) { return std::fabs(x); });
+        break;
+      case Op::kFract:
+        dst = map1(a, +[](float x) { return fract1(x); });
+        break;
+      case Op::kSqrt:
+        dst = map1(a, +[](float x) { return std::sqrt(std::fmax(x, 0.0f)); });
+        break;
+      case Op::kSin:
+        dst = map1(a, +[](float x) { return std::sin(x); });
+        break;
+      case Op::kCos:
+        dst = map1(a, +[](float x) { return std::cos(x); });
+        break;
+      case Op::kTex2D:
+        check(static_cast<bool>(sample), "shader samples a texture but no sampler bound");
+        dst = sample(static_cast<int>(in.imm), a.x, a.y);
+        break;
+    }
+  }
+}
+
+}  // namespace gb::gles

@@ -1,0 +1,25 @@
+// Executes compiled shader bytecode over a Vec4 register file.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "common/geometry.h"
+#include "gles/shader.h"
+
+namespace gb::gles {
+
+// Callback giving fragment shaders access to bound textures. `slot` is the
+// shader's sampler slot (already resolved to a texture unit by the caller).
+using TextureSampleFn = std::function<Vec4(int slot, float u, float v)>;
+
+// Runs `shader.code` against `registers` (whose size must be at least
+// shader.register_file_size). Constants are preloaded by the caller via
+// load_constants so a register file can be reused across invocations.
+void run_shader(const CompiledShader& shader, std::span<Vec4> registers,
+                const TextureSampleFn& sample);
+
+// Writes the shader's literal pool into the register file.
+void load_constants(const CompiledShader& shader, std::span<Vec4> registers);
+
+}  // namespace gb::gles

@@ -1,0 +1,147 @@
+// OpenGL ES 2.0 subset: enumerants, handles, and primitive types.
+//
+// Values mirror the Khronos headers so serialized command streams carry the
+// same numeric constants a real GLES trace would, but they are wrapped in
+// scoped gb::gles types rather than preprocessor macros (Core Guidelines
+// Enum.1/ES.31).
+#pragma once
+
+#include <cstdint>
+
+namespace gb::gles {
+
+using GLuint = std::uint32_t;
+using GLint = std::int32_t;
+using GLsizei = std::int32_t;
+using GLenum = std::uint32_t;
+using GLfloat = float;
+using GLboolean = bool;
+using GLbitfield = std::uint32_t;
+using GLintptr = std::intptr_t;
+using GLsizeiptr = std::intptr_t;
+
+// Buffer binding targets.
+inline constexpr GLenum GL_ARRAY_BUFFER = 0x8892;
+inline constexpr GLenum GL_ELEMENT_ARRAY_BUFFER = 0x8893;
+
+// Buffer usage hints (accepted, not acted upon — the software GPU has a
+// single memory space).
+inline constexpr GLenum GL_STATIC_DRAW = 0x88E4;
+inline constexpr GLenum GL_DYNAMIC_DRAW = 0x88E8;
+inline constexpr GLenum GL_STREAM_DRAW = 0x88E0;
+
+// Primitive topologies.
+inline constexpr GLenum GL_POINTS = 0x0000;
+inline constexpr GLenum GL_LINES = 0x0001;
+inline constexpr GLenum GL_TRIANGLES = 0x0004;
+inline constexpr GLenum GL_TRIANGLE_STRIP = 0x0005;
+inline constexpr GLenum GL_TRIANGLE_FAN = 0x0006;
+
+// Scalar types for vertex attributes and indices.
+inline constexpr GLenum GL_BYTE = 0x1400;
+inline constexpr GLenum GL_UNSIGNED_BYTE = 0x1401;
+inline constexpr GLenum GL_SHORT = 0x1402;
+inline constexpr GLenum GL_UNSIGNED_SHORT = 0x1403;
+inline constexpr GLenum GL_INT = 0x1404;
+inline constexpr GLenum GL_UNSIGNED_INT = 0x1405;
+inline constexpr GLenum GL_FLOAT = 0x1406;
+
+// Pixel formats.
+inline constexpr GLenum GL_RGB = 0x1907;
+inline constexpr GLenum GL_RGBA = 0x1908;
+inline constexpr GLenum GL_LUMINANCE = 0x1909;
+
+// Capabilities.
+inline constexpr GLenum GL_DEPTH_TEST = 0x0B71;
+inline constexpr GLenum GL_BLEND = 0x0BE2;
+inline constexpr GLenum GL_CULL_FACE = 0x0B44;
+inline constexpr GLenum GL_SCISSOR_TEST = 0x0C11;
+
+// Depth functions.
+inline constexpr GLenum GL_NEVER = 0x0200;
+inline constexpr GLenum GL_LESS = 0x0201;
+inline constexpr GLenum GL_EQUAL = 0x0202;
+inline constexpr GLenum GL_LEQUAL = 0x0203;
+inline constexpr GLenum GL_GREATER = 0x0204;
+inline constexpr GLenum GL_NOTEQUAL = 0x0205;
+inline constexpr GLenum GL_GEQUAL = 0x0206;
+inline constexpr GLenum GL_ALWAYS = 0x0207;
+
+// Blend factors.
+inline constexpr GLenum GL_ZERO = 0;
+inline constexpr GLenum GL_ONE = 1;
+inline constexpr GLenum GL_SRC_ALPHA = 0x0302;
+inline constexpr GLenum GL_ONE_MINUS_SRC_ALPHA = 0x0303;
+inline constexpr GLenum GL_SRC_COLOR = 0x0300;
+inline constexpr GLenum GL_ONE_MINUS_SRC_COLOR = 0x0301;
+inline constexpr GLenum GL_DST_ALPHA = 0x0304;
+inline constexpr GLenum GL_ONE_MINUS_DST_ALPHA = 0x0305;
+
+// Face culling.
+inline constexpr GLenum GL_FRONT = 0x0404;
+inline constexpr GLenum GL_BACK = 0x0405;
+inline constexpr GLenum GL_CW = 0x0900;
+inline constexpr GLenum GL_CCW = 0x0901;
+
+// Clear bits.
+inline constexpr GLbitfield GL_DEPTH_BUFFER_BIT = 0x00000100;
+inline constexpr GLbitfield GL_COLOR_BUFFER_BIT = 0x00004000;
+
+// Shader kinds and status queries.
+inline constexpr GLenum GL_FRAGMENT_SHADER = 0x8B30;
+inline constexpr GLenum GL_VERTEX_SHADER = 0x8B31;
+inline constexpr GLenum GL_COMPILE_STATUS = 0x8B81;
+inline constexpr GLenum GL_LINK_STATUS = 0x8B82;
+
+// Textures.
+inline constexpr GLenum GL_TEXTURE_2D = 0x0DE1;
+inline constexpr GLenum GL_TEXTURE0 = 0x84C0;
+inline constexpr GLenum GL_TEXTURE_MIN_FILTER = 0x2801;
+inline constexpr GLenum GL_TEXTURE_MAG_FILTER = 0x2800;
+inline constexpr GLenum GL_TEXTURE_WRAP_S = 0x2802;
+inline constexpr GLenum GL_TEXTURE_WRAP_T = 0x2803;
+inline constexpr GLenum GL_NEAREST = 0x2600;
+inline constexpr GLenum GL_LINEAR = 0x2601;
+inline constexpr GLenum GL_REPEAT = 0x2901;
+inline constexpr GLenum GL_CLAMP_TO_EDGE = 0x812F;
+
+// Errors.
+inline constexpr GLenum GL_NO_ERROR = 0;
+inline constexpr GLenum GL_INVALID_ENUM = 0x0500;
+inline constexpr GLenum GL_INVALID_VALUE = 0x0501;
+inline constexpr GLenum GL_INVALID_OPERATION = 0x0502;
+inline constexpr GLenum GL_OUT_OF_MEMORY = 0x0505;
+
+// Returns the byte width of a vertex/index scalar type, or 0 for unknown.
+constexpr int scalar_type_size(GLenum type) {
+  switch (type) {
+    case GL_BYTE:
+    case GL_UNSIGNED_BYTE:
+      return 1;
+    case GL_SHORT:
+    case GL_UNSIGNED_SHORT:
+      return 2;
+    case GL_INT:
+    case GL_UNSIGNED_INT:
+    case GL_FLOAT:
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+// Returns the number of channels for a pixel format, or 0 for unknown.
+constexpr int format_channels(GLenum format) {
+  switch (format) {
+    case GL_LUMINANCE:
+      return 1;
+    case GL_RGB:
+      return 3;
+    case GL_RGBA:
+      return 4;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace gb::gles

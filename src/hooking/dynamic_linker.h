@@ -1,0 +1,183 @@
+// Dynamic-linker model reproducing the three interception paths of §IV-A.
+//
+// On Android, GBooster injects a wrapper libGLESv2 by setting LD_PRELOAD so
+// the dynamic linker resolves GLES symbols against the wrapper before the
+// genuine driver, and additionally rewrites eglGetProcAddress / dlopen /
+// dlsym so the other two lookup styles also land in the wrapper. This module
+// models that machinery: libraries register per-symbol entry-point providers
+// under an soname, a preload list shadows symbol resolution, and the three
+// lookup paths (load-time linking, eglGetProcAddress, dlopen+dlsym) all
+// honour the shadowing.
+//
+// Symbol granularity is real: a wrapper that exports only a subset of the
+// GLES symbols shadows only those; the rest fall through to the genuine
+// library, exactly as with ld.so.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "gles/api.h"
+
+namespace gb::hooking {
+
+using gles::GLboolean;
+using gles::GLbitfield;
+using gles::GLenum;
+using gles::GLfloat;
+using gles::GLint;
+using gles::GLintptr;
+using gles::GLsizei;
+using gles::GLsizeiptr;
+using gles::GLuint;
+
+// The provider of one GLES entry point. In a real process this would be a
+// code address; in the model every symbol of a library resolves to the
+// GlesApi object that implements it, and dispatch stays per-symbol so partial
+// interposition behaves faithfully.
+using SymbolProvider = gles::GlesApi*;
+
+// A loaded shared object: an soname plus its dynamic symbol table.
+struct LibraryImage {
+  std::string soname;
+  std::map<std::string, SymbolProvider, std::less<>> symbols;
+
+  // Convenience: exports every GLES entry point from one implementation,
+  // which is how both the genuine driver and the full wrapper present
+  // themselves.
+  static LibraryImage exporting_all(std::string soname, gles::GlesApi* api);
+};
+
+class DynamicLinker {
+ public:
+  using Handle = std::size_t;  // dlopen handle; 0 is the null handle
+
+  // Installs a library under its soname (ld.so.cache registration).
+  void register_library(LibraryImage image);
+
+  // Sets the LD_PRELOAD list; earlier entries shadow later ones and all of
+  // them shadow normally-loaded libraries.
+  void set_preload(std::vector<std::string> sonames);
+  [[nodiscard]] const std::vector<std::string>& preload() const noexcept {
+    return preload_;
+  }
+
+  // Path 1 — load-time direct linking: resolves every GLES symbol the way
+  // ld.so would bind a DT_NEEDED dependency, honouring LD_PRELOAD per
+  // symbol. Returns a dispatch table the application calls through.
+  [[nodiscard]] std::unique_ptr<gles::GlesApi> link_gles(
+      std::string_view soname) const;
+
+  // Path 2 — eglGetProcAddress: per-symbol lookup, also shadowed by the
+  // preload list (the wrapper rewrites this function on Android; here the
+  // shadowing rule itself produces the rewritten behaviour).
+  [[nodiscard]] SymbolProvider egl_get_proc_address(
+      std::string_view symbol) const;
+
+  // Path 3 — dlopen/dlsym: dlopen of an soname on the preload shadow list
+  // returns the preloaded image's handle, so subsequent dlsym calls land in
+  // the wrapper.
+  [[nodiscard]] Handle dl_open(std::string_view soname) const;
+  [[nodiscard]] SymbolProvider dl_sym(Handle handle,
+                                      std::string_view symbol) const;
+
+  // Resolution used internally and by tests: which provider does `symbol`
+  // bind to when requested from `soname`, given the current preload list?
+  [[nodiscard]] SymbolProvider resolve(std::string_view soname,
+                                       std::string_view symbol) const;
+
+ private:
+  [[nodiscard]] const LibraryImage* find(std::string_view soname) const;
+
+  std::vector<LibraryImage> libraries_;  // insertion order == load order
+  std::vector<std::string> preload_;
+};
+
+// GlesApi implementation that binds each entry point to its per-symbol
+// provider — the application-side view after relocation. Unresolved symbols
+// throw on call (the moral equivalent of a lazy-binding failure).
+class PerSymbolApi final : public gles::GlesApi {
+ public:
+  // `resolve` is invoked once per GLES symbol at construction (eager
+  // binding, RTLD_NOW style).
+  using Resolver = SymbolProvider (*)(const void* ctx, std::string_view symbol);
+  PerSymbolApi(const void* ctx, Resolver resolve);
+
+  GLenum glGetError() override;
+  void glClearColor(GLfloat r, GLfloat g, GLfloat b, GLfloat a) override;
+  void glClear(GLbitfield mask) override;
+  void glViewport(GLint x, GLint y, GLsizei w, GLsizei h) override;
+  void glScissor(GLint x, GLint y, GLsizei w, GLsizei h) override;
+  void glEnable(GLenum cap) override;
+  void glDisable(GLenum cap) override;
+  void glBlendFunc(GLenum sfactor, GLenum dfactor) override;
+  void glDepthFunc(GLenum func) override;
+  void glCullFace(GLenum mode) override;
+  void glFrontFace(GLenum mode) override;
+  void glGenBuffers(GLsizei n, GLuint* out) override;
+  void glDeleteBuffers(GLsizei n, const GLuint* names) override;
+  void glBindBuffer(GLenum target, GLuint name) override;
+  void glBufferData(GLenum target, GLsizeiptr size, const void* data,
+                    GLenum usage) override;
+  void glBufferSubData(GLenum target, GLintptr offset, GLsizeiptr size,
+                       const void* data) override;
+  void glGenTextures(GLsizei n, GLuint* out) override;
+  void glDeleteTextures(GLsizei n, const GLuint* names) override;
+  void glActiveTexture(GLenum unit) override;
+  void glBindTexture(GLenum target, GLuint name) override;
+  void glTexImage2D(GLenum target, GLint level, GLenum internal_format,
+                    GLsizei width, GLsizei height, GLint border, GLenum format,
+                    GLenum type, const void* pixels) override;
+  void glTexSubImage2D(GLenum target, GLint level, GLint xoffset, GLint yoffset,
+                       GLsizei width, GLsizei height, GLenum format,
+                       GLenum type, const void* pixels) override;
+  void glTexParameteri(GLenum target, GLenum pname, GLint param) override;
+  GLuint glCreateShader(GLenum type) override;
+  void glDeleteShader(GLuint shader) override;
+  void glShaderSource(GLuint shader, std::string_view source) override;
+  void glCompileShader(GLuint shader) override;
+  GLint glGetShaderiv(GLuint shader, GLenum pname) override;
+  std::string glGetShaderInfoLog(GLuint shader) override;
+  GLuint glCreateProgram() override;
+  void glDeleteProgram(GLuint program) override;
+  void glAttachShader(GLuint program, GLuint shader) override;
+  void glBindAttribLocation(GLuint program, GLuint index,
+                            std::string_view name) override;
+  void glLinkProgram(GLuint program) override;
+  GLint glGetProgramiv(GLuint program, GLenum pname) override;
+  void glUseProgram(GLuint program) override;
+  GLint glGetAttribLocation(GLuint program, std::string_view name) override;
+  GLint glGetUniformLocation(GLuint program, std::string_view name) override;
+  void glUniform1f(GLint location, GLfloat x) override;
+  void glUniform2f(GLint location, GLfloat x, GLfloat y) override;
+  void glUniform3f(GLint location, GLfloat x, GLfloat y, GLfloat z) override;
+  void glUniform4f(GLint location, GLfloat x, GLfloat y, GLfloat z,
+                   GLfloat w) override;
+  void glUniform1i(GLint location, GLint x) override;
+  void glUniformMatrix4fv(GLint location, GLsizei count, GLboolean transpose,
+                          const GLfloat* value) override;
+  void glEnableVertexAttribArray(GLuint index) override;
+  void glDisableVertexAttribArray(GLuint index) override;
+  void glVertexAttrib4f(GLuint index, GLfloat x, GLfloat y, GLfloat z,
+                        GLfloat w) override;
+  void glVertexAttribPointer(GLuint index, GLint size, GLenum type,
+                             GLboolean normalized, GLsizei stride,
+                             const void* pointer) override;
+  void glDrawArrays(GLenum mode, GLint first, GLsizei count) override;
+  void glDrawElements(GLenum mode, GLsizei count, GLenum type,
+                      const void* indices) override;
+  void glFlush() override;
+  void glFinish() override;
+  bool eglSwapBuffers() override;
+
+ private:
+  [[nodiscard]] gles::GlesApi& bound(std::string_view symbol) const;
+
+  std::map<std::string, SymbolProvider, std::less<>> bindings_;
+};
+
+}  // namespace gb::hooking

@@ -1,0 +1,91 @@
+#include "net/medium.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gb::net {
+
+Medium::Medium(EventLoop& loop, MediumConfig config, Rng rng, std::string name)
+    : loop_(loop), config_(config), rng_(rng), name_(std::move(name)) {}
+
+void Medium::attach(NodeId node, RadioInterface* radio,
+                    DatagramHandler handler) {
+  check(!endpoints_.contains(node), "node already attached to medium");
+  endpoints_[node] = Endpoint{radio, std::move(handler)};
+}
+
+void Medium::join_group(NodeId group, NodeId member) {
+  check(endpoints_.contains(member), "group member not attached");
+  groups_[group].insert(member);
+}
+
+SimTime Medium::backlog() const {
+  const SimTime now = loop_.now();
+  return busy_until_ > now ? busy_until_ - now : SimTime{};
+}
+
+bool Medium::send(NodeId src, NodeId dst, Bytes payload) {
+  const auto src_it = endpoints_.find(src);
+  check(src_it != endpoints_.end(), "sender not attached to medium");
+  RadioInterface* radio = src_it->second.radio;
+  if (radio != nullptr && !radio->usable()) return false;
+
+  // Half-duplex medium: transmissions serialize. Bandwidth comes from the
+  // sender's radio (the slowest element on a LAN path) or, for radio-less
+  // senders, a nominal 1 Gbps wire.
+  const double bandwidth =
+      radio != nullptr ? radio->config().bandwidth_bps : 1e9;
+  const double tx_seconds =
+      static_cast<double>(payload.size()) * 8.0 / bandwidth;
+  const SimTime start = std::max(loop_.now(), busy_until_);
+  const SimTime tx_end = start + seconds(tx_seconds);
+  busy_until_ = tx_end;
+  if (radio != nullptr) radio->note_airtime(seconds(tx_seconds));
+
+  stats_.datagrams_sent++;
+  stats_.bytes_sent += payload.size();
+
+  Datagram datagram{src, dst, std::move(payload)};
+  const auto group_it = groups_.find(dst);
+  if (group_it != groups_.end()) {
+    // Multicast: one transmission, every member hears it (receive airtime is
+    // charged per member — each radio really does receive the bits).
+    for (const NodeId member : group_it->second) {
+      if (member == src) continue;
+      deliver_at(datagram, member, tx_end, seconds(tx_seconds));
+    }
+    return true;
+  }
+  deliver_at(datagram, dst, tx_end, seconds(tx_seconds));
+  return true;
+}
+
+void Medium::deliver_at(const Datagram& datagram, NodeId member, SimTime tx_end,
+                        SimTime tx_duration) {
+  if (rng_.chance(config_.loss_rate)) {
+    stats_.datagrams_lost++;
+    return;
+  }
+  const auto it = endpoints_.find(member);
+  if (it != endpoints_.end() && it->second.radio != nullptr) {
+    it->second.radio->note_airtime(tx_duration);  // receive airtime
+  }
+  const SimTime arrival =
+      tx_end + config_.propagation + ms(rng_.uniform(0.0, config_.jitter_ms));
+  loop_.schedule_at(arrival, [this, datagram, member] {
+    deliver(datagram, member);
+  });
+}
+
+void Medium::deliver(const Datagram& datagram, NodeId member) {
+  const auto it = endpoints_.find(member);
+  if (it == endpoints_.end()) return;  // silently dropped, like real UDP
+  if (it->second.radio != nullptr && !it->second.radio->usable()) {
+    stats_.datagrams_lost++;
+    return;
+  }
+  if (it->second.handler) it->second.handler(datagram);
+}
+
+}  // namespace gb::net

@@ -1,0 +1,86 @@
+// A shared broadcast domain (one WiFi BSS, one Bluetooth piconet, or the
+// Internet path to a cloud server) delivering datagrams between attached
+// nodes with serialization delay, propagation delay, random loss and jitter.
+// UDP multicast is modeled natively: one transmission reaches every group
+// member (§VI-B relies on this to replicate state cheaply).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "net/radio.h"
+#include "runtime/event_loop.h"
+
+namespace gb::net {
+
+using NodeId = std::uint32_t;
+
+struct Datagram {
+  NodeId src = 0;
+  NodeId dst = 0;  // node or multicast group
+  Bytes payload;
+};
+
+using DatagramHandler = std::function<void(const Datagram&)>;
+
+struct MediumConfig {
+  SimTime propagation = ms(0.5);  // one-way
+  double loss_rate = 0.0;         // per-datagram
+  double jitter_ms = 0.2;         // uniform extra delay
+};
+
+struct MediumStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_lost = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Medium {
+ public:
+  Medium(EventLoop& loop, MediumConfig config, Rng rng, std::string name);
+
+  // Attaches a node with its receive handler and the radio that fronts this
+  // medium on that node (nullptr for mains-powered devices where energy
+  // accounting is irrelevant, e.g. the AP-side of the cloud path).
+  void attach(NodeId node, RadioInterface* radio, DatagramHandler handler);
+  void join_group(NodeId group, NodeId member);
+
+  // Queues a datagram. Returns false (dropping it) when the sender's radio
+  // is not usable — the §V-B failure mode of a late WiFi wake-up.
+  bool send(NodeId src, NodeId dst, Bytes payload);
+
+  [[nodiscard]] const MediumStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+
+  // Airtime currently queued ahead of a new transmission (congestion probe
+  // used by the dispatcher's latency term).
+  [[nodiscard]] SimTime backlog() const;
+
+ private:
+  struct Endpoint {
+    RadioInterface* radio = nullptr;
+    DatagramHandler handler;
+  };
+
+  void deliver(const Datagram& datagram, NodeId member);
+  void deliver_at(const Datagram& datagram, NodeId member, SimTime tx_end,
+                  SimTime tx_duration);
+
+  EventLoop& loop_;
+  MediumConfig config_;
+  Rng rng_;
+  std::string name_;
+  std::map<NodeId, Endpoint> endpoints_;
+  std::map<NodeId, std::set<NodeId>> groups_;
+  SimTime busy_until_;
+  MediumStats stats_;
+};
+
+}  // namespace gb::net

@@ -1,0 +1,78 @@
+// Radio interface model: power states, wake-up latency, and energy
+// integration for WiFi and Bluetooth (§V-B).
+//
+// The constants that matter to GBooster's switching policy are modeled
+// explicitly: WiFi offers ~an order of magnitude more bandwidth than
+// Bluetooth at ~an order of magnitude more power, and waking a WiFi radio
+// takes 100 ms (warm) to 500+ ms (needs re-association) — the reason traffic
+// must be *forecast* rather than reacted to.
+#pragma once
+
+#include <string>
+
+#include "runtime/event_loop.h"
+#include "runtime/sim_clock.h"
+
+namespace gb::net {
+
+struct RadioConfig {
+  double bandwidth_bps = 0.0;
+  double power_tx_w = 0.0;    // while transmitting or receiving
+  double power_idle_w = 0.0;  // powered on, no traffic
+  double power_off_w = 0.0;   // suspended
+  SimTime wake_latency_warm = ms(100);
+  SimTime wake_latency_reassociate = ms(500);
+  // Radio falls back to the slow re-association path when it has been off
+  // for longer than this.
+  SimTime reassociate_after = seconds(5.0);
+};
+
+class RadioInterface {
+ public:
+  enum class State { kOff, kWaking, kOn };
+
+  RadioInterface(EventLoop& loop, RadioConfig config, std::string name,
+                 State initial = State::kOn);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool usable() const noexcept { return state_ == State::kOn; }
+  [[nodiscard]] const RadioConfig& config() const noexcept { return config_; }
+
+  // Begins waking the radio; completion is asynchronous (100–500+ ms).
+  void power_on();
+  void power_off();
+
+  // The moment the radio will be (or became) usable; used by the switcher to
+  // decide how much lead time a wake needs.
+  [[nodiscard]] SimTime usable_at() const noexcept { return usable_at_; }
+
+  // Charges transmit/receive airtime (called by the medium).
+  void note_airtime(SimTime duration);
+
+  // Total energy consumed up to the loop's current time.
+  [[nodiscard]] double energy_joules();
+
+ private:
+  void accumulate();
+  [[nodiscard]] double current_power() const;
+
+  EventLoop& loop_;
+  RadioConfig config_;
+  std::string name_;
+  State state_;
+  SimTime usable_at_;
+  SimTime last_off_at_;
+  SimTime last_accumulated_;
+  double energy_joules_ = 0.0;
+  double airtime_pending_s_ = 0.0;  // busy seconds not yet billed
+  EventLoop::EventId wake_event_ = 0;
+};
+
+// Paper-calibrated interface profiles: 802.11n WiFi ([22]: ~2 W at the
+// highest rate, 150 Mbps through the evaluation router) and Bluetooth
+// ([26]: <0.1 W, ~21 Mbps).
+RadioConfig wifi_radio_config();
+RadioConfig bluetooth_radio_config();
+
+}  // namespace gb::net

@@ -1,0 +1,228 @@
+#include "net/reliable.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gb::net {
+namespace {
+
+constexpr std::uint8_t kData = 0;
+constexpr std::uint8_t kAck = 1;
+
+Bytes make_data_payload(std::uint64_t message_id, NodeId stream,
+                        std::uint32_t chunk_index, std::uint32_t chunk_count,
+                        std::span<const std::uint8_t> chunk) {
+  ByteWriter w;
+  w.u8(kData);
+  w.varint(message_id);
+  w.varint(stream);
+  w.varint(chunk_index);
+  w.varint(chunk_count);
+  w.blob(chunk);
+  return w.take();
+}
+
+Bytes make_ack_payload(std::uint64_t message_id, NodeId stream,
+                       std::uint32_t chunk_index) {
+  ByteWriter w;
+  w.u8(kAck);
+  w.varint(message_id);
+  w.varint(stream);
+  w.varint(chunk_index);
+  return w.take();
+}
+
+}  // namespace
+
+ReliableEndpoint::ReliableEndpoint(EventLoop& loop, NodeId self,
+                                   ReliableConfig config)
+    : loop_(loop), self_(self), config_(config) {
+  check(config_.mtu >= 64, "MTU too small");
+}
+
+void ReliableEndpoint::bind(Medium& medium, RadioInterface* radio) {
+  medium.attach(self_, radio,
+                [this](const Datagram& datagram) { on_datagram(datagram); });
+  if (route_ == nullptr) route_ = &medium;
+}
+
+void ReliableEndpoint::set_route(Medium* medium) {
+  check(medium != nullptr, "null route");
+  route_ = medium;
+}
+
+void ReliableEndpoint::transmit(NodeId dst, const Bytes& payload) {
+  check(route_ != nullptr, "endpoint has no route");
+  // A false return (radio asleep) is deliberately ignored: the chunk stays
+  // outstanding and the retransmission timer repairs it, reproducing the
+  // packet loss a late WiFi wake-up causes.
+  (void)route_->send(self_, dst, payload);
+}
+
+void ReliableEndpoint::send(NodeId dst, Bytes message) {
+  start(dst, {dst}, std::move(message), /*multicast=*/false);
+}
+
+void ReliableEndpoint::send_multicast(NodeId group,
+                                      const std::vector<NodeId>& members,
+                                      Bytes message) {
+  check(!members.empty(), "multicast needs at least one member");
+  start(group, members, std::move(message), /*multicast=*/true);
+}
+
+void ReliableEndpoint::start(NodeId stream,
+                             const std::vector<NodeId>& receivers,
+                             Bytes message, bool multicast) {
+  (void)multicast;
+  const std::uint64_t id = next_message_id_[stream]++;
+  OutstandingMessage out;
+  out.stream = stream;
+  const std::size_t chunk_count =
+      message.empty() ? 1 : (message.size() + config_.mtu - 1) / config_.mtu;
+  out.chunks.reserve(chunk_count);
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    const std::size_t begin = c * config_.mtu;
+    const std::size_t end = std::min(message.size(), begin + config_.mtu);
+    OutstandingChunk chunk;
+    chunk.datagram_payload = make_data_payload(
+        id, stream, static_cast<std::uint32_t>(c),
+        static_cast<std::uint32_t>(chunk_count),
+        std::span(message).subspan(begin, end - begin));
+    chunk.pending_acks.insert(receivers.begin(), receivers.end());
+    out.chunks.push_back(std::move(chunk));
+  }
+  out.unacked = out.chunks.size() * receivers.size();
+  out.next_retransmit = loop_.now() + config_.retransmit_timeout;
+  stats_.messages_sent++;
+  stats_.payload_bytes_sent += message.size();
+
+  // Initial transmission: once, to the stream address (node or group).
+  for (const OutstandingChunk& chunk : out.chunks) {
+    transmit(stream, chunk.datagram_payload);
+    stats_.chunks_sent++;
+  }
+  outstanding_.emplace(std::make_pair(stream, id), std::move(out));
+  schedule_retransmit_tick();
+}
+
+void ReliableEndpoint::schedule_retransmit_tick() {
+  if (tick_scheduled_ || outstanding_.empty()) return;
+  tick_scheduled_ = true;
+  loop_.schedule_after(config_.retransmit_timeout, [this] {
+    tick_scheduled_ = false;
+    retransmit_tick();
+  });
+}
+
+void ReliableEndpoint::retransmit_tick() {
+  // Congestion control: when the medium's transmit queue is already deeper
+  // than an RTO, retransmitting only adds fuel — acks are late because the
+  // link is saturated, not because packets died. Defer without charging a
+  // retry (the UDT-style rate-based restraint of [19]).
+  const bool congested =
+      route_ != nullptr && route_->backlog() > config_.retransmit_timeout;
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    OutstandingMessage& msg = it->second;
+    if (congested || loop_.now() < msg.next_retransmit) {
+      ++it;
+      continue;
+    }
+    msg.retries++;
+    if (msg.retries > config_.max_retries) {
+      stats_.messages_abandoned++;
+      it = outstanding_.erase(it);
+      continue;
+    }
+    // Exponential backoff caps the repair rate for persistently lossy paths.
+    const int shift = std::min(msg.retries, 6);
+    msg.next_retransmit =
+        loop_.now() + SimTime::from_us(config_.retransmit_timeout.us()
+                                       << shift);
+    for (const OutstandingChunk& chunk : msg.chunks) {
+      // Repair per straggler with unicast (cheap for the common single-loss
+      // case; the initial pass already used multicast).
+      for (const NodeId receiver : chunk.pending_acks) {
+        transmit(receiver, chunk.datagram_payload);
+        stats_.chunks_sent++;
+        stats_.chunks_retransmitted++;
+      }
+    }
+    ++it;
+  }
+  schedule_retransmit_tick();
+}
+
+void ReliableEndpoint::on_datagram(const Datagram& datagram) {
+  ByteReader r(datagram.payload);
+  const std::uint8_t type = r.u8();
+  if (type == kAck) {
+    handle_ack(datagram);
+  } else if (type == kData) {
+    handle_data(datagram);
+  }
+}
+
+void ReliableEndpoint::handle_ack(const Datagram& datagram) {
+  ByteReader r(datagram.payload);
+  r.u8();  // type
+  const std::uint64_t id = r.varint();
+  const auto stream = narrow<NodeId>(r.varint());
+  const auto chunk_index = narrow<std::uint32_t>(r.varint());
+  const auto it = outstanding_.find(std::make_pair(stream, id));
+  if (it == outstanding_.end()) return;  // duplicate ack after completion
+  OutstandingMessage& msg = it->second;
+  if (chunk_index >= msg.chunks.size()) return;
+  OutstandingChunk& chunk = msg.chunks[chunk_index];
+  if (chunk.pending_acks.erase(datagram.src) > 0) {
+    if (--msg.unacked == 0) outstanding_.erase(it);
+  }
+}
+
+void ReliableEndpoint::handle_data(const Datagram& datagram) {
+  ByteReader r(datagram.payload);
+  r.u8();  // type
+  const std::uint64_t id = r.varint();
+  const auto stream = narrow<NodeId>(r.varint());
+  const auto chunk_index = narrow<std::uint32_t>(r.varint());
+  const auto chunk_count = narrow<std::uint32_t>(r.varint());
+  const auto chunk = r.blob();
+  if (chunk_count == 0 || chunk_index >= chunk_count) return;
+
+  // Always ack, even duplicates (the previous ack may have been lost).
+  transmit(datagram.src, make_ack_payload(id, stream, chunk_index));
+
+  StreamState& state = streams_[{datagram.src, stream}];
+  if (id < state.next_delivery || state.ready.contains(id)) return;
+  PartialMessage& partial = state.partial[id];
+  if (partial.chunks.empty()) partial.chunks.resize(chunk_count);
+  if (chunk_index >= partial.chunks.size()) return;  // inconsistent sender
+  // Duplicate detection: only the single chunk of an empty message can be
+  // legitimately empty, and that message completes on first receipt, so an
+  // empty slot always means "not yet received".
+  if (partial.chunks[chunk_index].empty()) {
+    partial.chunks[chunk_index].assign(chunk.begin(), chunk.end());
+    partial.received++;
+  }
+  if (partial.received < chunk_count) return;
+
+  Bytes message;
+  for (Bytes& piece : partial.chunks) {
+    message.insert(message.end(), piece.begin(), piece.end());
+  }
+  state.partial.erase(id);
+  state.ready.emplace(id, std::move(message));
+
+  // In-order delivery per stream.
+  while (true) {
+    const auto ready_it = state.ready.find(state.next_delivery);
+    if (ready_it == state.ready.end()) break;
+    Bytes payload = std::move(ready_it->second);
+    state.ready.erase(ready_it);
+    state.next_delivery++;
+    stats_.messages_delivered++;
+    if (handler_) handler_(datagram.src, stream, std::move(payload));
+  }
+}
+
+}  // namespace gb::net

@@ -1,0 +1,121 @@
+// Lightweight reliable message transport over lossy datagrams — the
+// application-layer mechanism of §IV-B (the paper rejects TCP for its
+// delayed-ACK latency and implements a UDT-flavoured ARQ instead; [19]).
+//
+// Messages (serialized frames, encoded images) are chunked to the MTU,
+// transmitted immediately, selectively acknowledged per chunk, and
+// retransmitted on timeout. Completed messages are delivered to the
+// application in per-stream order. Multicast sends transmit each chunk once
+// to the group (§VI-B) and track acknowledgements per member; stragglers are
+// repaired with unicast retransmissions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/medium.h"
+#include "runtime/event_loop.h"
+
+namespace gb::net {
+
+struct ReliableConfig {
+  std::size_t mtu = 1400;
+  SimTime retransmit_timeout = ms(30);
+  int max_retries = 50;
+};
+
+struct ReliableStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t chunks_retransmitted = 0;
+  std::uint64_t messages_abandoned = 0;
+  std::uint64_t payload_bytes_sent = 0;
+};
+
+// Delivered message: source node, the stream (unicast dst or group id) it
+// was addressed to, and the reassembled payload.
+using MessageHandler =
+    std::function<void(NodeId src, NodeId stream, Bytes message)>;
+
+class ReliableEndpoint {
+ public:
+  ReliableEndpoint(EventLoop& loop, NodeId self, ReliableConfig config = {});
+
+  // Attaches this endpoint to a medium (it may be attached to several — the
+  // interface switcher moves the default route between them). The endpoint
+  // registers its own datagram handler with the medium.
+  void bind(Medium& medium, RadioInterface* radio);
+
+  // Selects the medium new transmissions (and retransmissions) use — the
+  // "configure the default route" step of §V-B.
+  void set_route(Medium* medium);
+  [[nodiscard]] Medium* route() const noexcept { return route_; }
+
+  void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
+
+  // Sends a message to one node.
+  void send(NodeId dst, Bytes message);
+  // Sends a message to a multicast group whose members are known.
+  void send_multicast(NodeId group, const std::vector<NodeId>& members,
+                      Bytes message);
+
+  [[nodiscard]] const ReliableStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] NodeId id() const noexcept { return self_; }
+  // True when every sent message has been fully acknowledged.
+  [[nodiscard]] bool idle() const noexcept { return outstanding_.empty(); }
+
+ private:
+  struct OutstandingChunk {
+    Bytes datagram_payload;         // pre-serialized data datagram
+    std::set<NodeId> pending_acks;  // receivers still missing this chunk
+  };
+  struct OutstandingMessage {
+    NodeId stream = 0;  // unicast dst or group id (initial transmissions)
+    std::vector<OutstandingChunk> chunks;
+    std::size_t unacked = 0;
+    int retries = 0;
+    SimTime next_retransmit;  // exponential backoff deadline
+  };
+  struct PartialMessage {
+    std::vector<Bytes> chunks;
+    std::size_t received = 0;
+  };
+  struct StreamState {
+    std::uint64_t next_delivery = 0;
+    std::map<std::uint64_t, PartialMessage> partial;
+    std::map<std::uint64_t, Bytes> ready;  // completed, awaiting in-order slot
+  };
+
+  void transmit(NodeId dst, const Bytes& payload);
+  void start(NodeId stream, const std::vector<NodeId>& receivers,
+             Bytes message, bool multicast);
+  void on_datagram(const Datagram& datagram);
+  void handle_data(const Datagram& datagram);
+  void handle_ack(const Datagram& datagram);
+  void schedule_retransmit_tick();
+  void retransmit_tick();
+
+  EventLoop& loop_;
+  NodeId self_;
+  ReliableConfig config_;
+  Medium* route_ = nullptr;
+  MessageHandler handler_;
+  // Message ids are per *stream* (unicast destination or group): receivers
+  // deliver each stream in contiguous id order, so ids must not interleave
+  // across streams.
+  std::map<NodeId, std::uint64_t> next_message_id_;
+  // Outstanding messages keyed by (stream, id) — ids repeat across streams.
+  std::map<std::pair<NodeId, std::uint64_t>, OutstandingMessage> outstanding_;
+  // Reassembly, keyed by (source node, stream id).
+  std::map<std::pair<NodeId, NodeId>, StreamState> streams_;
+  ReliableStats stats_;
+  bool tick_scheduled_ = false;
+};
+
+}  // namespace gb::net

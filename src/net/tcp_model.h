@@ -1,0 +1,46 @@
+// Analytic TCP latency model used for the §IV-B transport comparison.
+//
+// The paper selects reliable-UDP over TCP because TCP's delayed-ACK and
+// retransmission machinery adds an inherent ~40 ms delay [18] that grows
+// sharply under loss. This model estimates the expected one-way delivery
+// latency of a message over a TCP connection with the given link parameters;
+// it is compared against the measured latency of the ARQ transport in
+// bench_transport.
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/sim_clock.h"
+
+namespace gb::net {
+
+struct TcpModelConfig {
+  double bandwidth_bps = 150e6;
+  SimTime rtt = ms(1.0);
+  // Delayed-ACK / Nagle interaction penalty in general settings [18].
+  SimTime delayed_ack_penalty = ms(40.0);
+  // Retransmission timeout charged per lost segment.
+  SimTime rto = ms(200.0);
+  std::size_t mss = 1400;
+};
+
+// Expected delivery latency of a `message_bytes` message at the given
+// per-segment loss rate. Serialization + propagation + the delayed-ACK
+// penalty + expected RTO stalls (loss_rate * segments * RTO).
+inline SimTime tcp_expected_latency(std::size_t message_bytes,
+                                    const TcpModelConfig& config,
+                                    double loss_rate) {
+  const double segments = message_bytes == 0
+                              ? 1.0
+                              : static_cast<double>(
+                                    (message_bytes + config.mss - 1) /
+                                    config.mss);
+  const double serialization_s =
+      static_cast<double>(message_bytes) * 8.0 / config.bandwidth_bps;
+  const double expected_stall_s =
+      loss_rate * segments * config.rto.seconds();
+  return seconds(serialization_s) + SimTime::from_us(config.rtt.us() / 2) +
+         config.delayed_ack_penalty + seconds(expected_stall_s);
+}
+
+}  // namespace gb::net

@@ -1,0 +1,120 @@
+#include "predict/armax.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gb::predict {
+
+ArmaxModel::ArmaxModel(ArmaxOrder order, int exo_signals, double forgetting)
+    : order_(order),
+      exo_signals_(exo_signals),
+      rls_(static_cast<std::size_t>(order.parameter_count(exo_signals)),
+           forgetting),
+      exo_history_(static_cast<std::size_t>(exo_signals)) {
+  check(order.p >= 1 && order.q >= 0 && order.b >= 0, "bad ARMAX order");
+  check(exo_signals >= 0, "bad exogenous signal count");
+  check(exo_signals == 0 || order.b >= 1,
+        "exogenous signals need at least one lag");
+}
+
+void ArmaxModel::build_regressors(std::vector<double>& out) const {
+  out.clear();
+  for (int i = 0; i < order_.p; ++i) {
+    out.push_back(i < static_cast<int>(y_history_.size())
+                      ? y_history_[static_cast<std::size_t>(i)]
+                      : 0.0);
+  }
+  for (int i = 0; i < order_.q; ++i) {
+    out.push_back(i < static_cast<int>(e_history_.size())
+                      ? e_history_[static_cast<std::size_t>(i)]
+                      : 0.0);
+  }
+  for (int s = 0; s < exo_signals_; ++s) {
+    const auto& hist = exo_history_[static_cast<std::size_t>(s)];
+    for (int i = 0; i < order_.b; ++i) {
+      out.push_back(i < static_cast<int>(hist.size())
+                        ? hist[static_cast<std::size_t>(i)]
+                        : 0.0);
+    }
+  }
+}
+
+void ArmaxModel::observe(double y, std::span<const double> exo) {
+  check(static_cast<int>(exo.size()) == exo_signals_,
+        "exogenous input count mismatch");
+  std::vector<double> x;
+  build_regressors(x);
+  const double residual = rls_.update(x, y);
+
+  residual_window_.push_back(residual);
+  if (residual_window_.size() > residual_window_cap_) {
+    residual_window_.pop_front();
+  }
+
+  y_history_.push_front(y);
+  if (static_cast<int>(y_history_.size()) > order_.p) y_history_.pop_back();
+  if (order_.q > 0) {
+    e_history_.push_front(residual);
+    if (static_cast<int>(e_history_.size()) > order_.q) e_history_.pop_back();
+  }
+  for (int s = 0; s < exo_signals_; ++s) {
+    auto& hist = exo_history_[static_cast<std::size_t>(s)];
+    hist.push_front(exo[static_cast<std::size_t>(s)]);
+    if (static_cast<int>(hist.size()) > order_.b) hist.pop_back();
+  }
+}
+
+double ArmaxModel::forecast(int horizon) const {
+  check(horizon >= 1, "forecast horizon must be positive");
+  // Work on copies of the lag state; future innovations have conditional
+  // mean zero, exogenous inputs are held at their latest value.
+  std::deque<double> y_hist = y_history_;
+  std::deque<double> e_hist = e_history_;
+  double value = y_hist.empty() ? 0.0 : y_hist.front();
+  const auto params = rls_.parameters();
+  for (int step = 0; step < horizon; ++step) {
+    double acc = 0.0;
+    std::size_t k = 0;
+    for (int i = 0; i < order_.p; ++i, ++k) {
+      acc += params[k] * (i < static_cast<int>(y_hist.size())
+                              ? y_hist[static_cast<std::size_t>(i)]
+                              : 0.0);
+    }
+    for (int i = 0; i < order_.q; ++i, ++k) {
+      acc += params[k] * (i < static_cast<int>(e_hist.size())
+                              ? e_hist[static_cast<std::size_t>(i)]
+                              : 0.0);
+    }
+    for (int s = 0; s < exo_signals_; ++s) {
+      const auto& hist = exo_history_[static_cast<std::size_t>(s)];
+      const double held = hist.empty() ? 0.0 : hist.front();
+      for (int i = 0; i < order_.b; ++i, ++k) {
+        // Within-history lags stay real; beyond them hold the latest value.
+        acc += params[k] * (i < static_cast<int>(hist.size())
+                                ? hist[static_cast<std::size_t>(i)]
+                                : held);
+      }
+    }
+    value = acc;
+    y_hist.push_front(value);
+    if (static_cast<int>(y_hist.size()) > order_.p) y_hist.pop_back();
+    if (order_.q > 0) {
+      e_hist.push_front(0.0);  // E[e_{t+k}] = 0
+      if (static_cast<int>(e_hist.size()) > order_.q) e_hist.pop_back();
+    }
+  }
+  return value;
+}
+
+double ArmaxModel::aic() const {
+  if (residual_window_.size() < 8) return 1e300;  // not enough evidence yet
+  double rss = 0.0;
+  for (const double r : residual_window_) rss += r * r;
+  const auto n = static_cast<double>(residual_window_.size());
+  const double sigma2 = std::max(rss / n, 1e-12);
+  const double k = static_cast<double>(order_.parameter_count(exo_signals_));
+  return n * std::log(sigma2) + 2.0 * k;
+}
+
+}  // namespace gb::predict

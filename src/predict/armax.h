@@ -1,0 +1,69 @@
+// ARMA(p,q) and ARMAX(p,q,b) time-series models with online recursive
+// estimation (extended least squares) and multi-step forecasting — the §V-B
+// machinery that decides when to pre-wake the WiFi interface.
+//
+//   y_t = e_t + sum_{i=1..p} phi_i y_{t-i} + sum_{i=1..q} theta_i e_{t-i}
+//             + sum_{s} sum_{i=1..b} eta_{s,i} d^s_{t-i}          (Eq. 2/3)
+//
+// The MA regressors use estimated innovations (a-priori residuals), the
+// standard RELS construction. Multiple exogenous signals are supported, each
+// contributing b lagged terms; ARMA is the zero-signal special case.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "predict/rls.h"
+
+namespace gb::predict {
+
+struct ArmaxOrder {
+  int p = 2;  // autoregressive terms
+  int q = 1;  // moving-average terms
+  int b = 1;  // lags per exogenous signal
+
+  [[nodiscard]] int parameter_count(int exo_signals) const {
+    return p + q + b * exo_signals;
+  }
+};
+
+class ArmaxModel {
+ public:
+  ArmaxModel(ArmaxOrder order, int exo_signals,
+             double forgetting = 0.98);
+
+  // Feeds one observation: the series value and the current exogenous
+  // inputs (size must equal exo_signals). Updates parameters online.
+  void observe(double y, std::span<const double> exo = {});
+
+  // E(y_{T+h} | information at T): iterates the model forward, feeding
+  // forecasts back as autoregressive inputs, zeros for future innovations
+  // (their conditional mean), and zero-order-hold exogenous inputs.
+  [[nodiscard]] double forecast(int horizon) const;
+
+  // Raw Akaike Information Criterion over the sliding residual window:
+  // n ln(RSS/n) + 2k. Lower is better; used for the attribute study and for
+  // online order selection.
+  [[nodiscard]] double aic() const;
+
+  [[nodiscard]] const ArmaxOrder& order() const { return order_; }
+  [[nodiscard]] std::size_t samples_seen() const { return rls_.samples_seen(); }
+  [[nodiscard]] std::span<const double> parameters() const {
+    return rls_.parameters();
+  }
+
+ private:
+  void build_regressors(std::vector<double>& out) const;
+
+  ArmaxOrder order_;
+  int exo_signals_;
+  RecursiveLeastSquares rls_;
+  std::deque<double> y_history_;     // most recent first
+  std::deque<double> e_history_;     // innovation estimates, most recent first
+  std::vector<std::deque<double>> exo_history_;  // per signal, recent first
+  std::deque<double> residual_window_;           // for AIC
+  std::size_t residual_window_cap_ = 256;
+};
+
+}  // namespace gb::predict

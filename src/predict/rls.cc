@@ -1,0 +1,60 @@
+#include "predict/rls.h"
+
+#include "common/error.h"
+
+namespace gb::predict {
+
+RecursiveLeastSquares::RecursiveLeastSquares(std::size_t dimension,
+                                             double forgetting,
+                                             double initial_covariance)
+    : forgetting_(forgetting),
+      theta_(dimension, 0.0),
+      p_(dimension * dimension, 0.0),
+      px_(dimension, 0.0) {
+  check(dimension > 0, "RLS needs at least one regressor");
+  check(forgetting > 0.0 && forgetting <= 1.0, "forgetting factor in (0,1]");
+  for (std::size_t i = 0; i < dimension; ++i) {
+    p_[i * dimension + i] = initial_covariance;
+  }
+}
+
+double RecursiveLeastSquares::predict(
+    std::span<const double> regressors) const {
+  check(regressors.size() == theta_.size(), "regressor dimension mismatch");
+  double y = 0.0;
+  for (std::size_t i = 0; i < theta_.size(); ++i) {
+    y += theta_[i] * regressors[i];
+  }
+  return y;
+}
+
+double RecursiveLeastSquares::update(std::span<const double> regressors,
+                                     double target) {
+  const std::size_t n = theta_.size();
+  check(regressors.size() == n, "regressor dimension mismatch");
+  const double residual = target - predict(regressors);
+
+  // px = P * x;  denom = lambda + x^T P x
+  double denom = forgetting_;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += p_[i * n + j] * regressors[j];
+    px_[i] = acc;
+  }
+  for (std::size_t i = 0; i < n; ++i) denom += regressors[i] * px_[i];
+
+  // Gain k = px / denom; theta += k * residual; P = (P - k px^T) / lambda.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double k = px_[i] / denom;
+    theta_[i] += k * residual;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      p_[i * n + j] = (p_[i * n + j] - px_[i] * px_[j] / denom) / forgetting_;
+    }
+  }
+  ++samples_;
+  return residual;
+}
+
+}  // namespace gb::predict

@@ -1,0 +1,40 @@
+// Recursive least squares with exponential forgetting — the online parameter
+// estimator behind the ARMA/ARMAX traffic models (§V-B applies a recursive
+// algorithm for online estimation and updating of model parameters).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gb::predict {
+
+class RecursiveLeastSquares {
+ public:
+  // `dimension` — number of regressors; `forgetting` in (0, 1] weights
+  // recent samples more (1.0 = ordinary RLS); `initial_covariance` sets the
+  // diagonal of P(0) (large = fast initial adaptation).
+  explicit RecursiveLeastSquares(std::size_t dimension,
+                                 double forgetting = 0.98,
+                                 double initial_covariance = 1000.0);
+
+  // Prediction with current parameters: theta^T * x.
+  [[nodiscard]] double predict(std::span<const double> regressors) const;
+
+  // One RLS step with the observed target; returns the a-priori residual
+  // (target - prediction before update).
+  double update(std::span<const double> regressors, double target);
+
+  [[nodiscard]] std::span<const double> parameters() const { return theta_; }
+  [[nodiscard]] std::size_t dimension() const { return theta_.size(); }
+  [[nodiscard]] std::size_t samples_seen() const { return samples_; }
+
+ private:
+  double forgetting_;
+  std::vector<double> theta_;  // parameter estimate
+  std::vector<double> p_;      // covariance matrix, row-major dim x dim
+  std::vector<double> px_;     // scratch: P * x
+  std::size_t samples_ = 0;
+};
+
+}  // namespace gb::predict

@@ -1,0 +1,99 @@
+#include "predict/traffic_predictor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gb::predict {
+
+TrafficPredictor::TrafficPredictor(TrafficPredictorConfig config)
+    : config_(std::move(config)) {
+  check(config_.horizon >= 1, "horizon must be positive");
+  const int exo = static_cast<int>(config_.attributes.size());
+  if (config_.adaptive_order) {
+    // Candidate grid around the configured order; all run online, AIC picks.
+    for (const int p : {1, 2, 3}) {
+      for (const int q : {0, 1, 2}) {
+        candidates_.emplace_back(ArmaxOrder{p, q, config_.order.b}, exo,
+                                 config_.forgetting);
+      }
+    }
+  } else {
+    candidates_.emplace_back(config_.order, exo, config_.forgetting);
+  }
+}
+
+std::vector<double> TrafficPredictor::gather_exo(
+    const TrafficSample& sample) const {
+  std::vector<double> exo;
+  exo.reserve(config_.attributes.size());
+  for (const ExoAttribute a : config_.attributes) exo.push_back(sample.exo(a));
+  return exo;
+}
+
+void TrafficPredictor::observe(const TrafficSample& sample) {
+  const std::vector<double> exo = gather_exo(sample);
+  for (ArmaxModel& model : candidates_) model.observe(sample.traffic_bytes, exo);
+  ++samples_;
+}
+
+const ArmaxModel& TrafficPredictor::best_model() const {
+  const ArmaxModel* best = &candidates_.front();
+  for (const ArmaxModel& model : candidates_) {
+    if (model.aic() < best->aic()) best = &model;
+  }
+  return *best;
+}
+
+double TrafficPredictor::forecast_peak() const {
+  const ArmaxModel& model = best_model();
+  double peak = 0.0;
+  for (int h = 1; h <= config_.horizon; ++h) {
+    peak = std::max(peak, model.forecast(h));
+  }
+  return peak;
+}
+
+bool TrafficPredictor::predicts_exceed(double threshold_bytes) const {
+  return forecast_peak() > threshold_bytes;
+}
+
+double TrafficPredictor::current_aic() const { return best_model().aic(); }
+
+ExceedanceEvaluation evaluate_predictor(std::span<const TrafficSample> trace,
+                                        const TrafficPredictorConfig& config,
+                                        double threshold_bytes, int warmup) {
+  TrafficPredictor predictor(config);
+  ExceedanceEvaluation eval;
+  const int horizon = config.horizon;
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    predictor.observe(trace[t]);
+    if (static_cast<int>(t) < warmup) continue;
+    if (t + static_cast<std::size_t>(horizon) >= trace.size()) break;
+
+    const bool predicted = predictor.predicts_exceed(threshold_bytes);
+    bool actual = false;
+    for (int h = 1; h <= horizon; ++h) {
+      if (trace[t + static_cast<std::size_t>(h)].traffic_bytes >
+          threshold_bytes) {
+        actual = true;
+        break;
+      }
+    }
+    if (actual && predicted) eval.true_positives++;
+    if (actual && !predicted) eval.false_negatives++;
+    if (!actual && predicted) eval.false_positives++;
+    if (!actual && !predicted) eval.true_negatives++;
+  }
+  const int positives = eval.true_positives + eval.false_negatives;
+  const int negatives = eval.true_negatives + eval.false_positives;
+  eval.fn_rate = positives > 0
+                     ? static_cast<double>(eval.false_negatives) / positives
+                     : 0.0;
+  eval.fp_rate = negatives > 0
+                     ? static_cast<double>(eval.false_positives) / negatives
+                     : 0.0;
+  return eval;
+}
+
+}  // namespace gb::predict

@@ -1,0 +1,105 @@
+// Traffic-demand forecasting for the Bluetooth/WiFi interface switcher
+// (§V-B): predicts the traffic volume 500 ms ahead so the WiFi radio can be
+// woken *before* demand exceeds Bluetooth throughput.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "predict/armax.h"
+
+namespace gb::predict {
+
+// The candidate exogenous attributes examined in §V-B. The paper's AIC study
+// selects {kTouchRate, kTextureCount} (attributes 1 and 3).
+enum class ExoAttribute {
+  kTouchRate = 0,     // touchstrokes per interval (/proc/interrupts)
+  kCommandCount = 1,  // graphics commands per frame
+  kTextureCount = 2,  // textures used per frame
+  kCommandDiff = 3,   // differing commands between consecutive frames
+};
+
+inline constexpr int kExoAttributeCount = 4;
+
+// One observation interval of the traffic series plus every candidate
+// exogenous attribute (the predictor picks the subset it was configured
+// with).
+struct TrafficSample {
+  double traffic_bytes = 0.0;
+  double touch_rate = 0.0;
+  double command_count = 0.0;
+  double texture_count = 0.0;
+  double command_diff = 0.0;
+
+  [[nodiscard]] double exo(ExoAttribute a) const {
+    switch (a) {
+      case ExoAttribute::kTouchRate:
+        return touch_rate;
+      case ExoAttribute::kCommandCount:
+        return command_count;
+      case ExoAttribute::kTextureCount:
+        return texture_count;
+      case ExoAttribute::kCommandDiff:
+        return command_diff;
+    }
+    return 0.0;
+  }
+};
+
+struct TrafficPredictorConfig {
+  // Exogenous attribute subset; empty = plain ARMA (Eq. 2).
+  std::vector<ExoAttribute> attributes;
+  ArmaxOrder order{2, 1, 1};
+  // Forecast horizon in observation intervals (5 x 100 ms = the paper's
+  // 500 ms lead time).
+  int horizon = 5;
+  // When set, a small grid of (p, q) candidates runs in parallel and the
+  // AIC-best model makes the forecast — the recursive order-selection
+  // algorithm of [30] as used by the paper.
+  bool adaptive_order = true;
+  double forgetting = 0.98;
+};
+
+class TrafficPredictor {
+ public:
+  explicit TrafficPredictor(TrafficPredictorConfig config);
+
+  void observe(const TrafficSample& sample);
+
+  // Peak forecast traffic over the configured horizon.
+  [[nodiscard]] double forecast_peak() const;
+  // Will demand exceed `threshold_bytes` within the horizon?
+  [[nodiscard]] bool predicts_exceed(double threshold_bytes) const;
+  // AIC of the currently selected model (the §V-B attribute study metric).
+  [[nodiscard]] double current_aic() const;
+  [[nodiscard]] std::size_t samples_seen() const { return samples_; }
+
+ private:
+  [[nodiscard]] const ArmaxModel& best_model() const;
+  std::vector<double> gather_exo(const TrafficSample& sample) const;
+
+  TrafficPredictorConfig config_;
+  std::vector<ArmaxModel> candidates_;
+  std::size_t samples_ = 0;
+};
+
+// Offline evaluation over a recorded trace: at every step after `warmup`,
+// compare "model predicts demand above threshold within horizon" against
+// what the trace actually did. FN rate = missed exceedances / actual
+// exceedances (the costly case: late WiFi wake-up -> lost packets); FP rate
+// = false alarms / actual non-exceedances (cheap: a little wasted energy).
+struct ExceedanceEvaluation {
+  double fn_rate = 0.0;
+  double fp_rate = 0.0;
+  int true_positives = 0;
+  int false_positives = 0;
+  int true_negatives = 0;
+  int false_negatives = 0;
+};
+
+ExceedanceEvaluation evaluate_predictor(std::span<const TrafficSample> trace,
+                                        const TrafficPredictorConfig& config,
+                                        double threshold_bytes,
+                                        int warmup = 50);
+
+}  // namespace gb::predict

@@ -1,0 +1,47 @@
+#include "runtime/event_loop.h"
+
+#include <algorithm>
+
+namespace gb {
+
+EventLoop::EventId EventLoop::schedule_at(SimTime when, Handler handler) {
+  const SimTime at = std::max(when, now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_sequence_++, id, std::move(handler)});
+  return id;
+}
+
+void EventLoop::cancel(EventId id) { cancelled_.push_back(id); }
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the handler must be moved out, so
+    // copy the small fields first and pop before running (the handler may
+    // schedule or cancel further events re-entrantly).
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    const auto cancelled_it =
+        std::find(cancelled_.begin(), cancelled_.end(), event.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    now_ = event.when;
+    event.handler();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (!step()) break;
+  }
+  now_ = std::max(now_, deadline);
+}
+
+std::size_t EventLoop::pending_events() const noexcept {
+  return queue_.size() - std::min(queue_.size(), cancelled_.size());
+}
+
+}  // namespace gb

@@ -1,0 +1,71 @@
+// Discrete-event simulation kernel.
+//
+// Actors (apps, GPUs, network links, radios) schedule closures at future
+// virtual times; EventLoop::run_until drains them in timestamp order. Ties
+// are broken by insertion order so the simulation is fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "runtime/sim_clock.h"
+
+namespace gb {
+
+class EventLoop {
+ public:
+  using Handler = std::function<void()>;
+
+  // Identifies a scheduled event so it can be cancelled.
+  using EventId = std::uint64_t;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  // Schedules `handler` to run at absolute time `when` (clamped to now).
+  EventId schedule_at(SimTime when, Handler handler);
+
+  // Schedules `handler` to run `delay` after the current time.
+  EventId schedule_after(SimTime delay, Handler handler) {
+    return schedule_at(now_ + delay, std::move(handler));
+  }
+
+  // Cancels a pending event; a no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  // Runs events until the queue is empty or the next event is after
+  // `deadline`; virtual time then rests at `deadline`.
+  void run_until(SimTime deadline);
+
+  // Runs a single event if one is pending; returns false when idle.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const noexcept;
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t sequence;  // FIFO tie-break for equal timestamps
+    EventId id;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;
+};
+
+}  // namespace gb

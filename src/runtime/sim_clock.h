@@ -1,0 +1,56 @@
+// Virtual time. The entire system — GPU timing, network links, radio power
+// states, traffic forecasting — runs against SimTime, never wall-clock time,
+// so simulations are deterministic and can cover a 15-minute gameplay session
+// in milliseconds of host CPU.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace gb {
+
+// Monotonic simulated time with microsecond resolution. A strong type (not a
+// bare integer) so durations and instants cannot be mixed accidentally.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime from_us(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime from_ms(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1000.0));
+  }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.us_ + b.us_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.us_ - b.us_);
+  }
+  SimTime& operator+=(SimTime d) {
+    us_ += d.us_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+// Convenience duration factories so call sites read like prose:
+// `clock.advance(ms(16.7))`.
+constexpr SimTime us(std::int64_t v) { return SimTime::from_us(v); }
+constexpr SimTime ms(double v) { return SimTime::from_ms(v); }
+constexpr SimTime seconds(double v) { return SimTime::from_seconds(v); }
+
+}  // namespace gb

@@ -1,0 +1,52 @@
+// OnLive-style cloud remote-rendering comparator (§VII-F).
+//
+// The cloud path differs from GBooster structurally: the whole game runs in
+// a distant datacenter, frames are compressed by a video encoder capped at
+// 30 FPS, and everything crosses a consumer Internet uplink. This analytic
+// model computes the resulting frame rate and response time so
+// bench_cloud_comparison can print the paper's comparison (30 FPS capped,
+// ~150 ms response ≈ 5x GBooster's).
+#pragma once
+
+#include <algorithm>
+
+namespace gb::sim {
+
+struct CloudConfig {
+  double internet_bandwidth_bps = 10e6;  // §VII-F: 10 Mbps connection
+  double internet_rtt_ms = 80.0;         // long-haul path to the datacenter
+  int stream_width = 1280;
+  int stream_height = 720;
+  int encoder_fps_cap = 30;              // the platform's video encoder cap
+  double video_bits_per_pixel = 0.08;    // H.264-class streaming rate
+  double encode_latency_ms = 18.0;       // hardware encoder + pacing
+  double decode_latency_ms = 12.0;       // phone-side video decode
+  double server_render_ms = 8.0;         // datacenter GPU per frame
+};
+
+struct CloudResult {
+  double fps = 0.0;
+  double response_time_ms = 0.0;
+  double stream_mbps = 0.0;
+};
+
+inline CloudResult evaluate_cloud(const CloudConfig& c) {
+  CloudResult r;
+  const double pixels =
+      static_cast<double>(c.stream_width) * c.stream_height;
+  const double frame_bits = pixels * c.video_bits_per_pixel;
+  // Achievable FPS: encoder cap vs what the pipe can carry.
+  const double network_fps = c.internet_bandwidth_bps / frame_bits;
+  r.fps = std::min(static_cast<double>(c.encoder_fps_cap), network_fps);
+  r.stream_mbps = frame_bits * r.fps / 1e6;
+  // Response: input uplink + server render + encode + frame downlink
+  // (serialization at the bottleneck link) + decode + half-frame pacing.
+  const double frame_serialization_ms =
+      frame_bits / c.internet_bandwidth_bps * 1000.0;
+  r.response_time_ms = c.internet_rtt_ms + c.server_render_ms +
+                       c.encode_latency_ms + frame_serialization_ms +
+                       c.decode_latency_ms + 0.5 * 1000.0 / r.fps;
+  return r;
+}
+
+}  // namespace gb::sim

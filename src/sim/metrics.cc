@@ -1,0 +1,48 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+namespace gb::sim {
+
+void MetricsCollector::on_frame_displayed(SimTime when,
+                                          SimTime response_latency) {
+  const auto bucket = static_cast<std::size_t>(when.seconds());
+  if (per_second_.size() <= bucket) per_second_.resize(bucket + 1, 0);
+  per_second_[bucket]++;
+  response_ms_sum_ += response_latency.ms();
+  frames_++;
+}
+
+SessionMetrics MetricsCollector::finalize(SimTime session_duration) const {
+  SessionMetrics m;
+  m.frames_displayed = frames_;
+  m.duration_s = session_duration.seconds();
+  m.fps_timeline = per_second_;
+  if (per_second_.empty() || frames_ == 0) return m;
+
+  // Drop the first and last buckets (session warm-up / partial second) —
+  // the "loading screens and menus" the median is meant to sidestep.
+  std::vector<int> buckets = per_second_;
+  if (buckets.size() > 4) {
+    buckets.erase(buckets.begin());
+    buckets.pop_back();
+  }
+  std::vector<int> sorted = buckets;
+  std::sort(sorted.begin(), sorted.end());
+  m.median_fps = static_cast<double>(sorted[sorted.size() / 2]);
+
+  if (m.median_fps > 0.0) {
+    const double lo = m.median_fps * 0.8;
+    const double hi = m.median_fps * 1.2;
+    int stable = 0;
+    for (const int fps : buckets) {
+      if (fps >= lo && fps <= hi) ++stable;
+    }
+    m.fps_stability = static_cast<double>(stable) /
+                      static_cast<double>(buckets.size());
+  }
+  m.avg_response_ms = response_ms_sum_ / static_cast<double>(frames_);
+  return m;
+}
+
+}  // namespace gb::sim

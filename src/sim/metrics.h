@@ -1,0 +1,40 @@
+// Gameplay experience metrics (§VII-B).
+//
+//   median FPS    — median of per-second frame counts; naturally insensitive
+//                   to loading-screen outliers (0 or 60 FPS spikes);
+//   FPS stability — fraction of the session's seconds whose frame rate lies
+//                   within ±20% of the median;
+//   response time — mean issue-to-display latency of a rendering request
+//                   (Eq. 5: 1000/FPS locally, plus the offload pipeline time
+//                   t_p when remote).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/sim_clock.h"
+
+namespace gb::sim {
+
+struct SessionMetrics {
+  double median_fps = 0.0;
+  double fps_stability = 0.0;      // in [0,1]
+  double avg_response_ms = 0.0;
+  std::uint64_t frames_displayed = 0;
+  double duration_s = 0.0;
+  std::vector<int> fps_timeline;   // frames per second-bucket
+};
+
+class MetricsCollector {
+ public:
+  void on_frame_displayed(SimTime when, SimTime response_latency);
+
+  [[nodiscard]] SessionMetrics finalize(SimTime session_duration) const;
+
+ private:
+  std::vector<int> per_second_;
+  double response_ms_sum_ = 0.0;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace gb::sim

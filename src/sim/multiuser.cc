@@ -1,0 +1,170 @@
+#include "sim/multiuser.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/game_app.h"
+#include "apps/touch.h"
+#include "common/error.h"
+#include "core/gbooster.h"
+#include "core/service_runtime.h"
+#include "gles/direct_backend.h"
+#include "hooking/dynamic_linker.h"
+#include "net/medium.h"
+#include "net/radio.h"
+#include "net/reliable.h"
+#include "runtime/event_loop.h"
+
+namespace gb::sim {
+namespace {
+
+// One user device's full stack: app, wrapper, runtime, pacing state.
+struct User {
+  std::unique_ptr<net::RadioInterface> radio;
+  std::unique_ptr<net::ReliableEndpoint> endpoint;
+  std::unique_ptr<core::GBoosterRuntime> gbooster;
+  std::unique_ptr<hooking::DynamicLinker> linker;
+  std::unique_ptr<gles::DirectBackend> genuine;
+  std::unique_ptr<gles::GlesApi> api;
+  std::unique_ptr<apps::GameApp> app;
+  std::unique_ptr<apps::TouchScript> touch;
+  MetricsCollector metrics;
+  std::vector<double> latencies_ms;
+  std::uint64_t displayed = 0;
+  double cpu_frame_s = 0.016;
+  SimTime next_allowed;
+  bool waiting = false;
+  std::uint64_t frames = 0;
+};
+
+}  // namespace
+
+MultiUserResult run_multiuser_session(const MultiUserConfig& config) {
+  check(!config.users.empty(), "need at least one user");
+  EventLoop loop;
+  Rng rng(config.seed);
+
+  net::MediumConfig wifi_config;
+  wifi_config.loss_rate = 0.002;
+  net::Medium wifi(loop, wifi_config, rng.fork(), "wifi");
+
+  // The shared service device.
+  core::ServiceRuntimeConfig service_config;
+  service_config.render_width = config.render_width;
+  service_config.render_height = config.render_height;
+  service_config.content_sample_every = config.content_sample_every;
+  device::DeviceProfile service_profile = config.service_device;
+  service_profile.gpu.fillrate_pps *= service_profile.gpu_request_efficiency;
+  auto service = std::make_unique<core::ServiceRuntime>(
+      loop, /*node=*/100, service_profile, service_config);
+  service->endpoint().bind(wifi, nullptr);
+
+  std::vector<std::unique_ptr<User>> users;
+  for (std::size_t u = 0; u < config.users.size(); ++u) {
+    const MultiUserParticipant& participant = config.users[u];
+    auto user = std::make_unique<User>();
+    const net::NodeId node = static_cast<net::NodeId>(1 + u);
+    user->radio = std::make_unique<net::RadioInterface>(
+        loop, net::wifi_radio_config(), "user" + std::to_string(u) + "-wifi");
+    user->endpoint = std::make_unique<net::ReliableEndpoint>(loop, node);
+    user->endpoint->bind(wifi, user->radio.get());
+
+    core::GBoosterConfig gb_config;
+    gb_config.max_pending_requests = config.max_pending;
+    gb_config.request_priority = participant.priority;
+    gb_config.state_group = 0xff00 + static_cast<net::NodeId>(u);
+    user->gbooster = std::make_unique<core::GBoosterRuntime>(
+        loop, gb_config, *user->endpoint,
+        std::vector<core::ServiceDeviceInfo>{
+            {100, service_profile.name, service_profile.gpu.fillrate_pps}});
+    core::GBoosterRuntime* gbooster = user->gbooster.get();
+    user->endpoint->set_handler(
+        [gbooster](net::NodeId src, net::NodeId stream, Bytes message) {
+          gbooster->on_message(src, stream, std::move(message));
+        });
+    const double workload = participant.workload.gpu_workload_pixels;
+    user->gbooster->set_workload_override([workload] { return workload; });
+
+    user->linker = std::make_unique<hooking::DynamicLinker>();
+    user->genuine =
+        std::make_unique<gles::DirectBackend>(64, 48, gles::PresentFn{});
+    user->linker->register_library(hooking::LibraryImage::exporting_all(
+        "libGLESv2.so", user->genuine.get()));
+    user->gbooster->install(*user->linker);
+    user->api = user->linker->link_gles("libGLESv2.so");
+
+    user->app = std::make_unique<apps::GameApp>(
+        participant.workload, *user->api, 600, 480, rng.fork());
+    user->app->setup();
+    apps::TouchScriptConfig touch_config;
+    touch_config.duration_s = config.duration_s;
+    touch_config.burst_rate_hz = participant.workload.burst_rate_hz;
+    touch_config.burst_duration_s = participant.workload.burst_duration_s;
+    user->touch =
+        std::make_unique<apps::TouchScript>(touch_config, rng.fork());
+    user->cpu_frame_s = participant.workload.cpu_frame_seconds /
+                        participant.phone.cpu_perf_index;
+    users.push_back(std::move(user));
+  }
+
+  // App pacing loops (same discipline as the single-user simulator).
+  std::vector<std::function<void()>> attempts(users.size());
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    User* user = users[u].get();
+    const apps::WorkloadSpec& spec = config.users[u].workload;
+    const SimTime min_interval = seconds(1.0 / spec.target_fps);
+    attempts[u] = [&, user, u, min_interval] {
+      if (loop.now().seconds() >= config.duration_s) return;
+      if (!user->gbooster->can_issue_frame()) {
+        user->waiting = true;
+        return;
+      }
+      loop.schedule_after(seconds(user->cpu_frame_s), [&, user, u,
+                                                       min_interval] {
+        const double now_s = loop.now().seconds();
+        user->app->render_frame(now_s, user->touch->burst_active(now_s));
+        user->frames++;
+        const SimTime next =
+            std::max(loop.now(), user->next_allowed + min_interval);
+        user->next_allowed = next;
+        loop.schedule_at(next, [&, u] { attempts[u](); });
+      });
+    };
+    user->gbooster->set_display_handler(
+        [&, user, u](std::uint64_t, SimTime latency, const Image&) {
+          user->metrics.on_frame_displayed(loop.now(), latency);
+          user->latencies_ms.push_back(latency.ms());
+          user->displayed++;
+          if (user->waiting) {
+            user->waiting = false;
+            attempts[u]();
+          }
+        });
+  }
+  for (std::size_t u = 0; u < users.size(); ++u) attempts[u]();
+
+  loop.run_until(seconds(config.duration_s));
+
+  MultiUserResult result;
+  for (const auto& user : users) {
+    result.per_user.push_back(
+        user->metrics.finalize(seconds(config.duration_s)));
+    double mean = 0.0;
+    double p95 = 0.0;
+    if (!user->latencies_ms.empty()) {
+      for (const double v : user->latencies_ms) mean += v;
+      mean /= static_cast<double>(user->latencies_ms.size());
+      std::vector<double> sorted = user->latencies_ms;
+      std::sort(sorted.begin(), sorted.end());
+      p95 = sorted[sorted.size() * 95 / 100];
+    }
+    result.mean_latency_ms.push_back(mean);
+    result.p95_latency_ms.push_back(p95);
+  }
+  service->gpu().sync();
+  result.service_gpu_busy_fraction =
+      service->gpu().busy_seconds() / config.duration_s;
+  return result;
+}
+
+}  // namespace gb::sim

@@ -1,0 +1,56 @@
+// Multi-user sessions (§VIII "Towards Multiple Users").
+//
+// Several user devices offload to the *same* service device simultaneously.
+// The paper's prototype queues their rendering requests FCFS and notes the
+// problem: a fast-paced shooter and a patient puzzle game get equal
+// treatment, so the shooter's response time suffers. This harness runs the
+// shared-service scenario under both disciplines — FCFS (the prototype) and
+// the priority scheduling §VIII proposes — and reports per-user metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/workload.h"
+#include "device/device_profiles.h"
+#include "device/gpu_model.h"
+#include "sim/metrics.h"
+
+namespace gb::sim {
+
+struct MultiUserParticipant {
+  apps::WorkloadSpec workload;
+  device::DeviceProfile phone;
+  // §VIII urgency: lower = more time-critical (only matters under
+  // kPriority scheduling at the service device).
+  int priority = 0;
+};
+
+struct MultiUserConfig {
+  std::vector<MultiUserParticipant> users;
+  device::DeviceProfile service_device;  // its gpu.scheduling picks FCFS/prio
+  double duration_s = 120.0;
+  std::uint64_t seed = 1;
+  int render_width = 96;
+  int render_height = 72;
+  int content_sample_every = 8;
+  // In-flight budget per user. Shallow pipelines make per-request queueing
+  // visible in the latency numbers (deep pipelines hide scheduler effects
+  // behind self-queueing).
+  int max_pending = 2;
+};
+
+struct MultiUserResult {
+  // Indexed like config.users.
+  std::vector<SessionMetrics> per_user;
+  // Mean and tail issue->display latency per user (the §VIII response-time
+  // metric — measured end to end, queueing included). The tail is where
+  // FCFS hurts: the urgent user occasionally queues behind a heavy request.
+  std::vector<double> mean_latency_ms;
+  std::vector<double> p95_latency_ms;
+  double service_gpu_busy_fraction = 0.0;
+};
+
+MultiUserResult run_multiuser_session(const MultiUserConfig& config);
+
+}  // namespace gb::sim

@@ -1,0 +1,376 @@
+#include "sim/session.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/game_app.h"
+#include "common/error.h"
+#include "gles/direct_backend.h"
+#include "hooking/dynamic_linker.h"
+#include "net/medium.h"
+#include "net/radio.h"
+#include "net/reliable.h"
+#include "runtime/event_loop.h"
+
+namespace gb::sim {
+namespace {
+
+// Shared app-pacing actor: runs the game loop, charging the render thread's
+// CPU time, capping at target_fps, and blocking when the pipeline's pending
+// budget is exhausted.
+class AppDriver {
+ public:
+  AppDriver(EventLoop& loop, apps::GameApp& app, const apps::TouchScript& touch,
+            const SessionConfig& config, Rng rng)
+      : loop_(loop),
+        app_(app),
+        touch_(touch),
+        config_(config),
+        rng_(rng),
+        cpu_frame_s_(config.workload.cpu_frame_seconds /
+                     config.user_device.cpu_perf_index),
+        min_interval_(seconds(1.0 / config.workload.target_fps)) {}
+
+  // `can_issue` gates the pipeline; `on_frame_emitted` is invoked right
+  // after the app's GLES calls for the frame have been made.
+  std::function<bool()> can_issue;
+  std::function<void()> on_frame_emitted;
+
+  void start() { schedule_attempt(loop_.now()); }
+
+  // Wake the driver after pipeline room opens up.
+  void notify_room() {
+    if (!waiting_for_room_) return;
+    waiting_for_room_ = false;
+    schedule_attempt(loop_.now());
+  }
+
+  [[nodiscard]] std::uint64_t frames_emitted() const { return frames_; }
+  [[nodiscard]] double render_thread_busy_s() const {
+    return static_cast<double>(frames_) * cpu_frame_s_;
+  }
+
+ private:
+  void schedule_attempt(SimTime at) {
+    loop_.schedule_at(std::max(at, next_allowed_), [this] { attempt(); });
+  }
+
+  void attempt() {
+    if (loop_.now().seconds() >= config_.duration_s) return;
+    if (!can_issue()) {
+      waiting_for_room_ = true;
+      return;
+    }
+    // Render-thread work for this frame, then emission.
+    loop_.schedule_after(seconds(cpu_frame_s_), [this] {
+      const double now_s = loop_.now().seconds();
+      const bool burst = touch_.burst_active(now_s);
+      // Scene changes: burst onset or background streaming.
+      if (burst && !last_burst_ && rng_.chance(0.7)) {
+        app_.trigger_scene_change();
+      } else if (rng_.chance(config_.workload.scene_change_rate_hz *
+                             cpu_frame_s_ * 4.0)) {
+        app_.trigger_scene_change();
+      }
+      last_burst_ = burst;
+      app_.render_frame(now_s, burst);
+      ++frames_;
+      if (on_frame_emitted) on_frame_emitted();
+      next_allowed_ = loop_.now() + min_interval_ - seconds(cpu_frame_s_);
+      schedule_attempt(loop_.now());
+    });
+  }
+
+  EventLoop& loop_;
+  apps::GameApp& app_;
+  const apps::TouchScript& touch_;
+  const SessionConfig& config_;
+  Rng rng_;
+  double cpu_frame_s_;
+  SimTime min_interval_;
+  SimTime next_allowed_;
+  bool waiting_for_room_ = false;
+  bool last_burst_ = false;
+  std::uint64_t frames_ = 0;
+};
+
+apps::TouchScript make_touch_script(const SessionConfig& config, Rng rng) {
+  apps::TouchScriptConfig tc;
+  tc.duration_s = config.duration_s;
+  tc.burst_rate_hz = config.workload.burst_rate_hz;
+  tc.burst_duration_s = config.workload.burst_duration_s;
+  tc.base_touch_rate_hz = config.workload.touch_rate_hz;
+  tc.burst_touch_rate_hz = config.workload.touch_burst_rate_hz;
+  return apps::TouchScript(tc, rng);
+}
+
+double cpu_usage_percent(const SessionConfig& config, double render_busy_s,
+                         double offload_busy_s) {
+  const double duration = config.duration_s;
+  const double cores = config.user_device.cpu_cores;
+  const double busy_cores = config.workload.cpu_background_cores +
+                            render_busy_s / duration +
+                            offload_busy_s / duration + 0.35 /* system */;
+  return 100.0 * std::min(1.0, busy_cores / cores);
+}
+
+void sample_gpu_traces(EventLoop& loop, device::GpuModel& gpu,
+                       const SessionConfig& config, SessionResult& result) {
+  if (!config.collect_gpu_trace) return;
+  const double t = loop.now().seconds();
+  gpu.sync();
+  result.gpu_frequency_trace.emplace_back(t, gpu.current_frequency_mhz());
+  result.gpu_temperature_trace.emplace_back(t, gpu.temperature_c());
+  if (t + 2.0 <= config.duration_s) {
+    loop.schedule_after(seconds(2.0), [&loop, &gpu, &config, &result] {
+      sample_gpu_traces(loop, gpu, config, result);
+    });
+  }
+}
+
+SessionResult run_local(const SessionConfig& config) {
+  EventLoop loop;
+  Rng rng(config.seed);
+  SessionResult result;
+
+  // The "genuine driver": a tiny-content DirectBackend (pixels are not used
+  // by any local-session metric; the GPU cost model below provides timing).
+  hooking::DynamicLinker linker;
+  auto backend =
+      std::make_unique<gles::DirectBackend>(64, 48, gles::PresentFn{});
+  linker.register_library(
+      hooking::LibraryImage::exporting_all("libGLESv2.so", backend.get()));
+  auto api = linker.link_gles("libGLESv2.so");
+
+  device::GpuModel gpu(loop, config.user_device.gpu);
+  apps::GameApp app(config.workload, *api, 64, 48, rng.fork());
+  app.setup();
+
+  const apps::TouchScript touch = make_touch_script(config, rng.fork());
+  AppDriver driver(loop, app, touch, config, rng.fork());
+  MetricsCollector metrics;
+
+  // Local pipeline: double buffering — up to 2 rendering requests between
+  // the application and the GPU; SwapBuffers blocks beyond that.
+  int pending = 0;
+  std::uint64_t displayed = 0;
+  driver.can_issue = [&pending] { return pending < 2; };
+  driver.on_frame_emitted = [&] {
+    ++pending;
+    const SimTime issued = loop.now();
+    gpu.submit(config.workload.gpu_workload_pixels,
+               [&, issued] {
+                 --pending;
+                 ++displayed;
+                 metrics.on_frame_displayed(loop.now(), loop.now() - issued);
+                 driver.notify_room();
+               });
+  };
+
+  sample_gpu_traces(loop, gpu, config, result);
+  driver.start();
+  loop.run_until(seconds(config.duration_s));
+
+  result.metrics = metrics.finalize(seconds(config.duration_s));
+  // Local response time is the frame interval (Eq. 5 with t_p = 0).
+  if (result.metrics.median_fps > 0) {
+    result.metrics.avg_response_ms = 1000.0 / result.metrics.median_fps;
+  }
+
+  // Energy: CPU + GPU + display. Radios are off (airplane mode, §VII-C).
+  energy::EnergyMeter cpu_meter;
+  const double usage =
+      cpu_usage_percent(config, driver.render_thread_busy_s(), 0.0);
+  cpu_meter.add_cpu(seconds(config.duration_s), usage / 100.0,
+                    config.user_device.cpu_power);
+  result.energy.cpu_j = cpu_meter.joules();
+  gpu.sync();
+  result.energy.gpu_j = gpu.energy_joules();
+  energy::EnergyMeter display_meter;
+  display_meter.add_display(seconds(config.duration_s),
+                            config.user_device.display_power);
+  result.energy.display_j = display_meter.joules();
+  result.avg_power_w = result.energy.total() / config.duration_s;
+  result.cpu_usage_percent = usage;
+  return result;
+}
+
+SessionResult run_offload(const SessionConfig& config) {
+  check(!config.service_devices.empty(), "offload needs service devices");
+  EventLoop loop;
+  Rng rng(config.seed);
+  SessionResult result;
+
+  // --- network -----------------------------------------------------------
+  net::MediumConfig wifi_cfg;
+  wifi_cfg.propagation = ms(0.4);
+  wifi_cfg.loss_rate = config.wifi_loss_rate;
+  net::MediumConfig bt_cfg;
+  bt_cfg.propagation = ms(1.2);
+  bt_cfg.loss_rate = config.bt_loss_rate;
+  net::Medium wifi(loop, wifi_cfg, rng.fork(), "wifi");
+  net::Medium bt(loop, bt_cfg, rng.fork(), "bt");
+
+  net::RadioInterface user_wifi(loop, net::wifi_radio_config(), "user-wifi");
+  net::RadioInterface user_bt(loop, net::bluetooth_radio_config(), "user-bt");
+
+  constexpr net::NodeId kUserNode = 1;
+  net::ReliableEndpoint user_endpoint(loop, kUserNode);
+  user_endpoint.bind(wifi, &user_wifi);
+  user_endpoint.bind(bt, &user_bt);
+
+  // --- service devices ------------------------------------------------------
+  std::vector<std::unique_ptr<core::ServiceRuntime>> services;
+  std::vector<std::unique_ptr<net::RadioInterface>> service_radios;
+  std::vector<core::ServiceDeviceInfo> device_infos;
+  std::vector<net::ReliableEndpoint*> switched_endpoints{&user_endpoint};
+  for (std::size_t i = 0; i < config.service_devices.size(); ++i) {
+    device::DeviceProfile profile = config.service_devices[i];
+    // Eq. 4's c^j — fillrate derated to streamed-request throughput.
+    profile.gpu.fillrate_pps *= profile.gpu_request_efficiency;
+    const net::NodeId node = static_cast<net::NodeId>(100 + i);
+    auto service = std::make_unique<core::ServiceRuntime>(
+        loop, node, profile, config.service);
+    service_radios.push_back(std::make_unique<net::RadioInterface>(
+        loop, net::wifi_radio_config(), profile.name + "-wifi"));
+    service_radios.push_back(std::make_unique<net::RadioInterface>(
+        loop, net::bluetooth_radio_config(), profile.name + "-bt"));
+    service->endpoint().bind(wifi, (service_radios.end() - 2)->get());
+    service->endpoint().bind(bt, service_radios.back().get());
+    wifi.join_group(config.gbooster.state_group, node);
+    bt.join_group(config.gbooster.state_group, node);
+    device_infos.push_back(core::ServiceDeviceInfo{
+        node, profile.name, profile.gpu.fillrate_pps});
+    switched_endpoints.push_back(&service->endpoint());
+    services.push_back(std::move(service));
+  }
+
+  // --- GBooster -----------------------------------------------------------
+  core::GBoosterConfig gcfg = config.gbooster;
+  gcfg.service_encode_mpps = config.service_devices.front().turbo_encode_mpps;
+  gcfg.link_bandwidth_bps = [&user_endpoint, &wifi] {
+    return user_endpoint.route() == &wifi ? net::wifi_radio_config().bandwidth_bps
+                                          : net::bluetooth_radio_config().bandwidth_bps;
+  };
+  core::GBoosterRuntime gbooster(loop, gcfg, user_endpoint, device_infos);
+  user_endpoint.set_handler(
+      [&gbooster](net::NodeId src, net::NodeId stream, Bytes message) {
+        gbooster.on_message(src, stream, std::move(message));
+      });
+  gbooster.set_workload_override(
+      [&config] { return config.workload.gpu_workload_pixels; });
+
+  core::InterfaceSwitcher switcher(loop, config.switcher, switched_endpoints,
+                                   wifi, user_wifi, bt, user_bt);
+
+  // --- application, hooked through the linker --------------------------------
+  hooking::DynamicLinker linker;
+  auto genuine =
+      std::make_unique<gles::DirectBackend>(64, 48, gles::PresentFn{});
+  linker.register_library(
+      hooking::LibraryImage::exporting_all("libGLESv2.so", genuine.get()));
+  gbooster.install(linker);
+  auto api = linker.link_gles("libGLESv2.so");
+
+  apps::GameApp app(config.workload, *api, config.gbooster.nominal_width,
+                    config.gbooster.nominal_height, rng.fork());
+  app.setup();
+
+  const apps::TouchScript touch = make_touch_script(config, rng.fork());
+  AppDriver driver(loop, app, touch, config, rng.fork());
+  MetricsCollector metrics;
+
+  driver.can_issue = [&gbooster] { return gbooster.can_issue_frame(); };
+  gbooster.set_display_handler(
+      [&](std::uint64_t sequence, SimTime latency, const Image& frame) {
+        (void)sequence;
+        (void)frame;
+        metrics.on_frame_displayed(loop.now(), latency);
+        driver.notify_room();
+      });
+
+  // --- traffic observation (100 ms cadence, §V-B) -----------------------------
+  std::uint64_t last_tx = 0;
+  std::uint64_t last_rx = 0;
+  std::uint64_t last_misses = 0;
+  std::uint64_t total_traffic_bytes = 0;
+  const double interval_s = config.switcher.observe_interval.seconds();
+  std::function<void()> observe = [&] {
+    const double now_s = loop.now().seconds();
+    const auto& stats = gbooster.stats();
+    predict::TrafficSample sample;
+    sample.traffic_bytes =
+        static_cast<double>((stats.bytes_sent - last_tx) +
+                            (stats.bytes_received - last_rx));
+    last_tx = stats.bytes_sent;
+    last_rx = stats.bytes_received;
+    total_traffic_bytes += static_cast<std::uint64_t>(sample.traffic_bytes);
+    sample.touch_rate =
+        touch.touches_in(now_s - interval_s, now_s) / interval_s;
+    const wire::FrameProfile& profile = gbooster.recorder().last_frame_profile();
+    sample.command_count = static_cast<double>(profile.command_count);
+    sample.texture_count = static_cast<double>(profile.texture_bind_count);
+    const std::uint64_t misses = stats.render_cache.misses;
+    sample.command_diff = static_cast<double>(misses - last_misses);
+    last_misses = misses;
+
+    switcher.observe_interval(sample);
+    if (config.collect_traffic_trace) {
+      result.traffic_trace.push_back(sample);
+    }
+    if (now_s + interval_s <= config.duration_s) {
+      loop.schedule_after(config.switcher.observe_interval, observe);
+    }
+  };
+  loop.schedule_after(config.switcher.observe_interval, observe);
+
+  driver.start();
+  loop.run_until(seconds(config.duration_s));
+
+  result.metrics = metrics.finalize(seconds(config.duration_s));
+  // Eq. 5: response = frame interval + offload intermediate time t_p.
+  const auto& gstats = gbooster.stats();
+  if (result.metrics.median_fps > 0 && gstats.frames_displayed > 0) {
+    result.metrics.avg_response_ms =
+        1000.0 / result.metrics.median_fps +
+        gstats.t_p_ms_sum / static_cast<double>(gstats.frames_displayed);
+  }
+
+  // --- energy ------------------------------------------------------------
+  const double offload_cpu_s = gstats.serialize_seconds + gstats.decode_seconds;
+  const double usage = cpu_usage_percent(
+      config, driver.render_thread_busy_s(), offload_cpu_s);
+  energy::EnergyMeter cpu_meter;
+  cpu_meter.add_cpu(seconds(config.duration_s), usage / 100.0,
+                    config.user_device.cpu_power);
+  result.energy.cpu_j = cpu_meter.joules();
+  // The local GPU sits idle for the whole session.
+  energy::EnergyMeter gpu_meter;
+  gpu_meter.add_gpu(seconds(config.duration_s), 0.0, 1.0,
+                    config.user_device.gpu.power);
+  result.energy.gpu_j = gpu_meter.joules();
+  energy::EnergyMeter display_meter;
+  display_meter.add_display(seconds(config.duration_s),
+                            config.user_device.display_power);
+  result.energy.display_j = display_meter.joules();
+  result.energy.wifi_j = user_wifi.energy_joules();
+  result.energy.bt_j = user_bt.energy_joules();
+  result.avg_power_w = result.energy.total() / config.duration_s;
+
+  result.avg_traffic_mbps = static_cast<double>(total_traffic_bytes) * 8.0 /
+                            config.duration_s / 1e6;
+  result.cpu_usage_percent = usage;
+  result.memory_overhead_bytes = gbooster.memory_overhead_bytes();
+  result.switcher = switcher.stats();
+  result.gbooster = gstats;
+  return result;
+}
+
+}  // namespace
+
+SessionResult run_session(const SessionConfig& config) {
+  return config.service_devices.empty() ? run_local(config)
+                                        : run_offload(config);
+}
+
+}  // namespace gb::sim

@@ -1,0 +1,83 @@
+// End-to-end gameplay session simulator — the harness behind Figs. 5/6/7 and
+// Tables III and the §VII-G overhead numbers.
+//
+// A session wires up one user device running a synthetic game (emitting a
+// real GLES command stream), optionally GBooster with one or more service
+// devices on simulated WiFi/Bluetooth media, and plays a scripted-touch
+// gameplay trace for a configurable duration on the virtual clock.
+//
+// Fidelity modes: GPU timing, radios and energy are always simulated in
+// full. Frame *content* (real rasterization + Turbo encoding, which sets the
+// downlink traffic) is produced at a reduced resolution and sampled every
+// Nth frame, then scaled to the nominal stream resolution — see DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "apps/touch.h"
+#include "apps/workload.h"
+#include "core/gbooster.h"
+#include "core/interface_switcher.h"
+#include "core/service_runtime.h"
+#include "device/device_profiles.h"
+#include "predict/traffic_predictor.h"
+#include "sim/metrics.h"
+
+namespace gb::sim {
+
+struct SessionConfig {
+  apps::WorkloadSpec workload;
+  device::DeviceProfile user_device;
+  // Empty => local execution (no GBooster).
+  std::vector<device::DeviceProfile> service_devices;
+  double duration_s = 300.0;
+  std::uint64_t seed = 42;
+
+  core::GBoosterConfig gbooster;
+  core::SwitcherConfig switcher;
+  core::ServiceRuntimeConfig service;
+
+  double wifi_loss_rate = 0.002;
+  double bt_loss_rate = 0.005;
+
+  // Records a per-100ms traffic trace for the §V-B prediction study.
+  bool collect_traffic_trace = false;
+  // Records the per-2s GPU frequency/temperature trace (Fig. 1).
+  bool collect_gpu_trace = false;
+};
+
+struct EnergyBreakdown {
+  double cpu_j = 0.0;
+  double gpu_j = 0.0;
+  double display_j = 0.0;
+  double wifi_j = 0.0;
+  double bt_j = 0.0;
+
+  [[nodiscard]] double total() const {
+    return cpu_j + gpu_j + display_j + wifi_j + bt_j;
+  }
+};
+
+struct SessionResult {
+  SessionMetrics metrics;
+  EnergyBreakdown energy;
+  double avg_power_w = 0.0;
+  double avg_traffic_mbps = 0.0;  // user-device tx+rx at payload level
+  double cpu_usage_percent = 0.0;  // §VII-G
+  std::size_t memory_overhead_bytes = 0;
+
+  core::SwitcherStats switcher;
+  core::GBoosterStats gbooster;
+
+  std::vector<predict::TrafficSample> traffic_trace;
+  // (seconds, MHz) / (seconds, Celsius), sampled every 2 s.
+  std::vector<std::pair<double, double>> gpu_frequency_trace;
+  std::vector<std::pair<double, double>> gpu_temperature_trace;
+};
+
+// Runs a session; dispatches on service_devices.empty().
+SessionResult run_session(const SessionConfig& config);
+
+}  // namespace gb::sim

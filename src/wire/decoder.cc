@@ -1,0 +1,363 @@
+#include "wire/decoder.h"
+
+#include <array>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gb::wire {
+namespace {
+
+// The GenBuffers/GenTextures records carry the names chosen on the user
+// device; the replica must adopt them. Our GlContext's bind-to-create
+// semantics make that work: replaying a bind with an explicit name creates
+// the object under exactly that name, and since the recorder's shadow
+// context and the replica allocate names with the same deterministic
+// counter, Create*/Gen* records always agree with replica allocation.
+void replay_gen(ByteReader& r, gles::GlesApi& target, bool buffers) {
+  const auto n = gb::narrow<gles::GLsizei>(r.varint());
+  std::vector<gles::GLuint> names(static_cast<std::size_t>(n));
+  std::vector<gles::GLuint> expected(static_cast<std::size_t>(n));
+  for (gles::GLsizei i = 0; i < n; ++i) {
+    expected[static_cast<std::size_t>(i)] =
+        gb::narrow<gles::GLuint>(r.varint());
+  }
+  if (buffers) {
+    target.glGenBuffers(n, names.data());
+  } else {
+    target.glGenTextures(n, names.data());
+  }
+  if (names != expected) {
+    throw Error("replica object-name allocation diverged: got " +
+                std::to_string(names.empty() ? 0 : names[0]) + " expected " +
+                std::to_string(expected.empty() ? 0 : expected[0]) +
+                (buffers ? " (buffers)" : " (textures)"));
+  }
+}
+
+}  // namespace
+
+void replay_record(const CommandRecord& record, gles::GlesApi& target) {
+  ByteReader r(record.bytes);
+  const auto code = static_cast<CmdOp>(r.varint());
+  switch (code) {
+    case CmdOp::kClearColor: {
+      const float red = r.f32();
+      const float green = r.f32();
+      const float blue = r.f32();
+      const float alpha = r.f32();
+      target.glClearColor(red, green, blue, alpha);
+      break;
+    }
+    case CmdOp::kClear:
+      target.glClear(r.u32());
+      break;
+    case CmdOp::kViewport: {
+      const auto x = r.i32();
+      const auto y = r.i32();
+      const auto w = r.i32();
+      const auto h = r.i32();
+      target.glViewport(x, y, w, h);
+      break;
+    }
+    case CmdOp::kScissor: {
+      const auto x = r.i32();
+      const auto y = r.i32();
+      const auto w = r.i32();
+      const auto h = r.i32();
+      target.glScissor(x, y, w, h);
+      break;
+    }
+    case CmdOp::kEnable:
+      target.glEnable(r.u32());
+      break;
+    case CmdOp::kDisable:
+      target.glDisable(r.u32());
+      break;
+    case CmdOp::kBlendFunc: {
+      const auto s = r.u32();
+      const auto d = r.u32();
+      target.glBlendFunc(s, d);
+      break;
+    }
+    case CmdOp::kDepthFunc:
+      target.glDepthFunc(r.u32());
+      break;
+    case CmdOp::kCullFace:
+      target.glCullFace(r.u32());
+      break;
+    case CmdOp::kFrontFace:
+      target.glFrontFace(r.u32());
+      break;
+    case CmdOp::kGenBuffers:
+      replay_gen(r, target, /*buffers=*/true);
+      break;
+    case CmdOp::kDeleteBuffers: {
+      const auto n = gb::narrow<gles::GLsizei>(r.varint());
+      std::vector<gles::GLuint> names(static_cast<std::size_t>(n));
+      for (auto& name : names) name = gb::narrow<gles::GLuint>(r.varint());
+      target.glDeleteBuffers(n, names.data());
+      break;
+    }
+    case CmdOp::kBindBuffer: {
+      const auto t = r.u32();
+      const auto name = gb::narrow<gles::GLuint>(r.varint());
+      target.glBindBuffer(t, name);
+      break;
+    }
+    case CmdOp::kBufferData: {
+      const auto t = r.u32();
+      const auto usage = r.u32();
+      const auto data = r.blob();
+      target.glBufferData(t, static_cast<gles::GLsizeiptr>(data.size()),
+                          data.empty() ? nullptr : data.data(), usage);
+      break;
+    }
+    case CmdOp::kBufferSubData: {
+      const auto t = r.u32();
+      const auto offset = gb::narrow<gles::GLintptr>(r.varint());
+      const auto data = r.blob();
+      target.glBufferSubData(t, offset,
+                             static_cast<gles::GLsizeiptr>(data.size()),
+                             data.data());
+      break;
+    }
+    case CmdOp::kGenTextures:
+      replay_gen(r, target, /*buffers=*/false);
+      break;
+    case CmdOp::kDeleteTextures: {
+      const auto n = gb::narrow<gles::GLsizei>(r.varint());
+      std::vector<gles::GLuint> names(static_cast<std::size_t>(n));
+      for (auto& name : names) name = gb::narrow<gles::GLuint>(r.varint());
+      target.glDeleteTextures(n, names.data());
+      break;
+    }
+    case CmdOp::kActiveTexture:
+      target.glActiveTexture(r.u32());
+      break;
+    case CmdOp::kBindTexture: {
+      const auto t = r.u32();
+      const auto name = gb::narrow<gles::GLuint>(r.varint());
+      target.glBindTexture(t, name);
+      break;
+    }
+    case CmdOp::kTexImage2D: {
+      const auto t = r.u32();
+      const auto level = r.i32();
+      const auto internal_format = r.u32();
+      const auto width = r.i32();
+      const auto height = r.i32();
+      const auto format = r.u32();
+      const auto type = r.u32();
+      const auto data = r.blob();
+      target.glTexImage2D(t, level, internal_format, width, height, 0, format,
+                          type, data.empty() ? nullptr : data.data());
+      break;
+    }
+    case CmdOp::kTexSubImage2D: {
+      const auto t = r.u32();
+      const auto level = r.i32();
+      const auto xoffset = r.i32();
+      const auto yoffset = r.i32();
+      const auto width = r.i32();
+      const auto height = r.i32();
+      const auto format = r.u32();
+      const auto type = r.u32();
+      const auto data = r.blob();
+      target.glTexSubImage2D(t, level, xoffset, yoffset, width, height, format,
+                             type, data.empty() ? nullptr : data.data());
+      break;
+    }
+    case CmdOp::kTexParameteri: {
+      const auto t = r.u32();
+      const auto pname = r.u32();
+      const auto param = r.i32();
+      target.glTexParameteri(t, pname, param);
+      break;
+    }
+    case CmdOp::kCreateShader: {
+      const auto type = r.u32();
+      const auto expected = gb::narrow<gles::GLuint>(r.varint());
+      const gles::GLuint got = target.glCreateShader(type);
+      check(got == expected, "replica shader-name allocation diverged");
+      break;
+    }
+    case CmdOp::kDeleteShader:
+      target.glDeleteShader(gb::narrow<gles::GLuint>(r.varint()));
+      break;
+    case CmdOp::kShaderSource: {
+      const auto shader = gb::narrow<gles::GLuint>(r.varint());
+      const std::string source = r.str();
+      target.glShaderSource(shader, source);
+      break;
+    }
+    case CmdOp::kCompileShader:
+      target.glCompileShader(gb::narrow<gles::GLuint>(r.varint()));
+      break;
+    case CmdOp::kCreateProgram: {
+      const auto expected = gb::narrow<gles::GLuint>(r.varint());
+      const gles::GLuint got = target.glCreateProgram();
+      check(got == expected, "replica program-name allocation diverged");
+      break;
+    }
+    case CmdOp::kDeleteProgram:
+      target.glDeleteProgram(gb::narrow<gles::GLuint>(r.varint()));
+      break;
+    case CmdOp::kAttachShader: {
+      const auto program = gb::narrow<gles::GLuint>(r.varint());
+      const auto shader = gb::narrow<gles::GLuint>(r.varint());
+      target.glAttachShader(program, shader);
+      break;
+    }
+    case CmdOp::kBindAttribLocation: {
+      const auto program = gb::narrow<gles::GLuint>(r.varint());
+      const auto index = gb::narrow<gles::GLuint>(r.varint());
+      const std::string name = r.str();
+      target.glBindAttribLocation(program, index, name);
+      break;
+    }
+    case CmdOp::kLinkProgram:
+      target.glLinkProgram(gb::narrow<gles::GLuint>(r.varint()));
+      break;
+    case CmdOp::kUseProgram:
+      target.glUseProgram(gb::narrow<gles::GLuint>(r.varint()));
+      break;
+    case CmdOp::kUniform1f: {
+      const auto loc = r.i32();
+      const auto x = r.f32();
+      target.glUniform1f(loc, x);
+      break;
+    }
+    case CmdOp::kUniform2f: {
+      const auto loc = r.i32();
+      const auto x = r.f32();
+      const auto y = r.f32();
+      target.glUniform2f(loc, x, y);
+      break;
+    }
+    case CmdOp::kUniform3f: {
+      const auto loc = r.i32();
+      const auto x = r.f32();
+      const auto y = r.f32();
+      const auto z = r.f32();
+      target.glUniform3f(loc, x, y, z);
+      break;
+    }
+    case CmdOp::kUniform4f: {
+      const auto loc = r.i32();
+      const auto x = r.f32();
+      const auto y = r.f32();
+      const auto z = r.f32();
+      const auto w = r.f32();
+      target.glUniform4f(loc, x, y, z, w);
+      break;
+    }
+    case CmdOp::kUniform1i: {
+      const auto loc = r.i32();
+      const auto x = r.i32();
+      target.glUniform1i(loc, x);
+      break;
+    }
+    case CmdOp::kUniformMatrix4fv: {
+      const auto loc = r.i32();
+      const bool transpose = r.u8() != 0;
+      std::array<float, 16> m{};
+      for (auto& v : m) v = r.f32();
+      target.glUniformMatrix4fv(loc, 1, transpose, m.data());
+      break;
+    }
+    case CmdOp::kEnableVertexAttribArray:
+      target.glEnableVertexAttribArray(gb::narrow<gles::GLuint>(r.varint()));
+      break;
+    case CmdOp::kDisableVertexAttribArray:
+      target.glDisableVertexAttribArray(gb::narrow<gles::GLuint>(r.varint()));
+      break;
+    case CmdOp::kVertexAttrib4f: {
+      const auto index = gb::narrow<gles::GLuint>(r.varint());
+      const auto x = r.f32();
+      const auto y = r.f32();
+      const auto z = r.f32();
+      const auto w = r.f32();
+      target.glVertexAttrib4f(index, x, y, z, w);
+      break;
+    }
+    case CmdOp::kVertexAttribPointerBuffer: {
+      const auto index = gb::narrow<gles::GLuint>(r.varint());
+      const auto size = r.i32();
+      const auto type = r.u32();
+      const bool normalized = r.u8() != 0;
+      const auto stride = r.i32();
+      const auto offset = r.varint();
+      target.glVertexAttribPointer(
+          index, size, type, normalized, stride,
+          // NOLINTNEXTLINE: GLES encodes buffer offsets as pointers.
+          reinterpret_cast<const void*>(static_cast<std::uintptr_t>(offset)));
+      break;
+    }
+    case CmdOp::kVertexAttribPointerClient: {
+      // The shipped attribute data must outlive the draw that consumes it;
+      // stage it in a scratch buffer object on the replica. To preserve the
+      // caller's GL_ARRAY_BUFFER binding (state consistency!), rebind after.
+      check(false,
+            "kVertexAttribPointerClient must be replayed via replay_frame, "
+            "which owns the staging storage");
+      break;
+    }
+    case CmdOp::kDrawArrays: {
+      const auto mode = r.u32();
+      const auto first = r.i32();
+      const auto count = r.i32();
+      target.glDrawArrays(mode, first, count);
+      break;
+    }
+    case CmdOp::kDrawElementsClient: {
+      const auto mode = r.u32();
+      const auto count = r.i32();
+      const auto type = r.u32();
+      const auto data = r.blob();
+      target.glDrawElements(mode, count, type,
+                            data.empty() ? nullptr : data.data());
+      break;
+    }
+    case CmdOp::kDrawElementsBuffer: {
+      const auto mode = r.u32();
+      const auto count = r.i32();
+      const auto type = r.u32();
+      const auto offset = r.varint();
+      target.glDrawElements(
+          mode, count, type,
+          reinterpret_cast<const void*>(static_cast<std::uintptr_t>(offset)));
+      break;
+    }
+    case CmdOp::kSwapBuffers:
+      target.eglSwapBuffers();
+      break;
+    default:
+      throw Error("unknown command opcode in stream");
+  }
+}
+
+void replay_frame(const FrameCommands& frame, gles::GlesApi& target) {
+  // Client-memory attribute payloads shipped with the frame must stay alive
+  // until the draw that reads them executes; they are staged here and the
+  // pointer command replayed with a pointer into the staging arena.
+  std::vector<std::vector<std::uint8_t>> staged;
+  for (const CommandRecord& record : frame.records) {
+    ByteReader peek(record.bytes);
+    if (static_cast<CmdOp>(peek.varint()) == CmdOp::kVertexAttribPointerClient) {
+      const auto index = gb::narrow<gles::GLuint>(peek.varint());
+      const auto size = peek.i32();
+      const auto type = peek.u32();
+      const bool normalized = peek.u8() != 0;
+      const auto stride = peek.i32();
+      const auto data = peek.blob();
+      staged.emplace_back(data.begin(), data.end());
+      target.glVertexAttribPointer(index, size, type, normalized, stride,
+                                   staged.back().data());
+      continue;
+    }
+    replay_record(record, target);
+  }
+}
+
+}  // namespace wire

@@ -1,0 +1,20 @@
+// Replays serialized command records against any GlesApi — normally a
+// DirectBackend on a service device, which makes the replica "simply act as
+// a relay" feeding commands into its GPU (§IV-C).
+#pragma once
+
+#include <span>
+
+#include "gles/api.h"
+#include "wire/protocol.h"
+
+namespace gb::wire {
+
+// Replays one command record. Throws gb::Error on a malformed record (a
+// protocol violation; the reliable transport guarantees integrity).
+void replay_record(const CommandRecord& record, gles::GlesApi& target);
+
+// Replays a whole frame in order.
+void replay_frame(const FrameCommands& frame, gles::GlesApi& target);
+
+}  // namespace gb::wire

@@ -1,0 +1,103 @@
+// Wire protocol for serialized GLES command streams (§IV-B).
+//
+// A *frame* is the unit the paper calls a "rendering request": every command
+// issued between two SwapBuffer calls. Each command is one self-delimiting
+// record — varint opcode followed by its arguments — so the LRU redundancy
+// cache can treat records as cacheable units and the decoder can replay them
+// one by one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace gb::wire {
+
+enum class CmdOp : std::uint8_t {
+  kClearColor = 1,
+  kClear,
+  kViewport,
+  kScissor,
+  kEnable,
+  kDisable,
+  kBlendFunc,
+  kDepthFunc,
+  kCullFace,
+  kFrontFace,
+  kGenBuffers,
+  kDeleteBuffers,
+  kBindBuffer,
+  kBufferData,
+  kBufferSubData,
+  kGenTextures,
+  kDeleteTextures,
+  kActiveTexture,
+  kBindTexture,
+  kTexImage2D,
+  kTexSubImage2D,
+  kTexParameteri,
+  kCreateShader,
+  kDeleteShader,
+  kShaderSource,
+  kCompileShader,
+  kCreateProgram,
+  kDeleteProgram,
+  kAttachShader,
+  kBindAttribLocation,
+  kLinkProgram,
+  kUseProgram,
+  kUniform1f,
+  kUniform2f,
+  kUniform3f,
+  kUniform4f,
+  kUniform1i,
+  kUniformMatrix4fv,
+  kEnableVertexAttribArray,
+  kDisableVertexAttribArray,
+  kVertexAttrib4f,
+  // Buffer-sourced attribute pointer: serialized at call time (offset only).
+  kVertexAttribPointerBuffer,
+  // Client-memory attribute pointer whose data is shipped inline. Emitted
+  // *deferred*, immediately before the draw that revealed its length (§IV-B).
+  kVertexAttribPointerClient,
+  kDrawArrays,
+  // Indices inline (client-memory index array).
+  kDrawElementsClient,
+  // Indices sourced from the bound element array buffer.
+  kDrawElementsBuffer,
+  kSwapBuffers,
+};
+
+// True for commands that mutate context state that outlives the current
+// frame. In multi-device mode these must be replicated to every service
+// device to keep their OpenGL contexts consistent (§VI-B); draws and clears
+// only affect the current frame's render target and are dispatched to a
+// single device.
+bool mutates_shared_state(CmdOp op);
+
+// One serialized command record.
+struct CommandRecord {
+  Bytes bytes;  // varint opcode + payload
+
+  [[nodiscard]] CmdOp op() const {
+    ByteReader reader(bytes);
+    return static_cast<CmdOp>(reader.varint());
+  }
+};
+
+// All records between two SwapBuffers, in issue order. `sequence` is the
+// rendering-request sequence number used to display results in order when
+// requests complete out of order on different service devices (§VI-C).
+struct FrameCommands {
+  std::uint64_t sequence = 0;
+  std::vector<CommandRecord> records;
+
+  [[nodiscard]] std::size_t total_bytes() const {
+    std::size_t n = 0;
+    for (const CommandRecord& r : records) n += r.bytes.size();
+    return n;
+  }
+};
+
+}  // namespace gb::wire

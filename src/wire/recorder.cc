@@ -1,0 +1,711 @@
+#include "wire/recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace gb::wire {
+namespace {
+
+void op(ByteWriter& w, CmdOp code) { w.varint(static_cast<std::uint64_t>(code)); }
+
+std::span<const std::uint8_t> as_bytes(const void* data, std::size_t size) {
+  return {static_cast<const std::uint8_t*>(data), size};
+}
+
+}  // namespace
+
+bool mutates_shared_state(CmdOp code) {
+  switch (code) {
+    // Frame-local work: rendering into the current request's target.
+    case CmdOp::kClear:
+    case CmdOp::kDrawArrays:
+    case CmdOp::kDrawElementsClient:
+    case CmdOp::kDrawElementsBuffer:
+    case CmdOp::kVertexAttribPointerClient:  // becomes draw-local input data
+    case CmdOp::kSwapBuffers:
+      return false;
+    // Everything else alters the context state machine (bindings, objects,
+    // uniforms, fixed-function toggles) that later frames depend on.
+    default:
+      return true;
+  }
+}
+
+CommandRecorder::CommandRecorder(int surface_width, int surface_height,
+                                 FrameSink sink)
+    : shadow_(std::make_unique<gles::GlContext>(surface_width, surface_height)),
+      sink_(std::move(sink)) {
+  frame_.sequence = next_sequence_++;
+}
+
+CommandRecorder::~CommandRecorder() = default;
+
+void CommandRecorder::push_record(ByteWriter writer) {
+  CommandRecord record;
+  record.bytes = writer.take();
+  profile_.command_count++;
+  profile_.serialized_bytes += record.bytes.size();
+  frame_.records.push_back(std::move(record));
+}
+
+std::size_t CommandRecorder::overhead_bytes() const {
+  return shadow_->object_memory_bytes() + frame_.total_bytes();
+}
+
+// --- queries answered by the shadow context -----------------------------------
+
+GLenum CommandRecorder::glGetError() { return shadow_->get_error(); }
+
+GLint CommandRecorder::glGetShaderiv(GLuint shader, GLenum pname) {
+  return shadow_->get_shaderiv(shader, pname);
+}
+std::string CommandRecorder::glGetShaderInfoLog(GLuint shader) {
+  return shadow_->get_shader_info_log(shader);
+}
+GLint CommandRecorder::glGetProgramiv(GLuint program, GLenum pname) {
+  return shadow_->get_programiv(program, pname);
+}
+GLint CommandRecorder::glGetAttribLocation(GLuint program,
+                                           std::string_view name) {
+  return shadow_->get_attrib_location(program, name);
+}
+GLint CommandRecorder::glGetUniformLocation(GLuint program,
+                                            std::string_view name) {
+  return shadow_->get_uniform_location(program, name);
+}
+
+// --- state commands: shadow + serialize ----------------------------------------
+
+void CommandRecorder::glClearColor(GLfloat r, GLfloat g, GLfloat b, GLfloat a) {
+  shadow_->clear_color(r, g, b, a);
+  ByteWriter w;
+  op(w, CmdOp::kClearColor);
+  w.f32(r);
+  w.f32(g);
+  w.f32(b);
+  w.f32(a);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glClear(GLbitfield mask) {
+  ByteWriter w;
+  op(w, CmdOp::kClear);
+  w.u32(mask);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glViewport(GLint x, GLint y, GLsizei width,
+                                 GLsizei height) {
+  shadow_->viewport(x, y, width, height);
+  ByteWriter w;
+  op(w, CmdOp::kViewport);
+  w.i32(x);
+  w.i32(y);
+  w.i32(width);
+  w.i32(height);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glScissor(GLint x, GLint y, GLsizei width,
+                                GLsizei height) {
+  shadow_->scissor(x, y, width, height);
+  ByteWriter w;
+  op(w, CmdOp::kScissor);
+  w.i32(x);
+  w.i32(y);
+  w.i32(width);
+  w.i32(height);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glEnable(GLenum cap) {
+  shadow_->enable(cap);
+  ByteWriter w;
+  op(w, CmdOp::kEnable);
+  w.u32(cap);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glDisable(GLenum cap) {
+  shadow_->disable(cap);
+  ByteWriter w;
+  op(w, CmdOp::kDisable);
+  w.u32(cap);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glBlendFunc(GLenum sfactor, GLenum dfactor) {
+  shadow_->blend_func(sfactor, dfactor);
+  ByteWriter w;
+  op(w, CmdOp::kBlendFunc);
+  w.u32(sfactor);
+  w.u32(dfactor);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glDepthFunc(GLenum func) {
+  shadow_->depth_func(func);
+  ByteWriter w;
+  op(w, CmdOp::kDepthFunc);
+  w.u32(func);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glCullFace(GLenum mode) {
+  shadow_->cull_face(mode);
+  ByteWriter w;
+  op(w, CmdOp::kCullFace);
+  w.u32(mode);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glFrontFace(GLenum mode) {
+  shadow_->front_face(mode);
+  ByteWriter w;
+  op(w, CmdOp::kFrontFace);
+  w.u32(mode);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glGenBuffers(GLsizei n, GLuint* out) {
+  shadow_->gen_buffers(n, out);
+  ByteWriter w;
+  op(w, CmdOp::kGenBuffers);
+  w.varint(static_cast<std::uint64_t>(n));
+  // Serialize the chosen names so the replica allocates identically.
+  for (GLsizei i = 0; i < n; ++i) w.varint(out[i]);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glDeleteBuffers(GLsizei n, const GLuint* names) {
+  shadow_->delete_buffers(n, names);
+  ByteWriter w;
+  op(w, CmdOp::kDeleteBuffers);
+  w.varint(static_cast<std::uint64_t>(n));
+  for (GLsizei i = 0; i < n; ++i) w.varint(names[i]);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glBindBuffer(GLenum target, GLuint name) {
+  shadow_->bind_buffer(target, name);
+  ByteWriter w;
+  op(w, CmdOp::kBindBuffer);
+  w.u32(target);
+  w.varint(name);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glBufferData(GLenum target, GLsizeiptr size,
+                                   const void* data, GLenum usage) {
+  if (size < 0) return;
+  const std::size_t bytes = static_cast<std::size_t>(size);
+  if (data != nullptr) {
+    shadow_->buffer_data(target, as_bytes(data, bytes), usage);
+  } else {
+    shadow_->buffer_data(target, std::vector<std::uint8_t>(bytes), usage);
+  }
+  ByteWriter w;
+  op(w, CmdOp::kBufferData);
+  w.u32(target);
+  w.u32(usage);
+  if (data != nullptr) {
+    w.blob(as_bytes(data, bytes));
+  } else {
+    w.varint(0);
+  }
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glBufferSubData(GLenum target, GLintptr offset,
+                                      GLsizeiptr size, const void* data) {
+  if (size < 0 || offset < 0 || data == nullptr) return;
+  shadow_->buffer_sub_data(target, static_cast<std::size_t>(offset),
+                           as_bytes(data, static_cast<std::size_t>(size)));
+  ByteWriter w;
+  op(w, CmdOp::kBufferSubData);
+  w.u32(target);
+  w.varint(static_cast<std::uint64_t>(offset));
+  w.blob(as_bytes(data, static_cast<std::size_t>(size)));
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glGenTextures(GLsizei n, GLuint* out) {
+  shadow_->gen_textures(n, out);
+  ByteWriter w;
+  op(w, CmdOp::kGenTextures);
+  w.varint(static_cast<std::uint64_t>(n));
+  for (GLsizei i = 0; i < n; ++i) w.varint(out[i]);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glDeleteTextures(GLsizei n, const GLuint* names) {
+  shadow_->delete_textures(n, names);
+  ByteWriter w;
+  op(w, CmdOp::kDeleteTextures);
+  w.varint(static_cast<std::uint64_t>(n));
+  for (GLsizei i = 0; i < n; ++i) w.varint(names[i]);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glActiveTexture(GLenum unit) {
+  shadow_->active_texture(unit);
+  ByteWriter w;
+  op(w, CmdOp::kActiveTexture);
+  w.u32(unit);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glBindTexture(GLenum target, GLuint name) {
+  shadow_->bind_texture(target, name);
+  profile_.texture_bind_count++;
+  ByteWriter w;
+  op(w, CmdOp::kBindTexture);
+  w.u32(target);
+  w.varint(name);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glTexImage2D(GLenum target, GLint level,
+                                   GLenum internal_format, GLsizei width,
+                                   GLsizei height, GLint border, GLenum format,
+                                   GLenum type, const void* pixels) {
+  (void)border;
+  shadow_->tex_image_2d(target, level, internal_format, width, height, format,
+                        type, pixels);
+  ByteWriter w;
+  op(w, CmdOp::kTexImage2D);
+  w.u32(target);
+  w.i32(level);
+  w.u32(internal_format);
+  w.i32(width);
+  w.i32(height);
+  w.u32(format);
+  w.u32(type);
+  const int channels = gles::format_channels(format);
+  if (pixels != nullptr && channels > 0 && width > 0 && height > 0) {
+    w.blob(as_bytes(pixels, static_cast<std::size_t>(width) * height * channels));
+  } else {
+    w.varint(0);
+  }
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glTexSubImage2D(GLenum target, GLint level, GLint xoffset,
+                                      GLint yoffset, GLsizei width,
+                                      GLsizei height, GLenum format,
+                                      GLenum type, const void* pixels) {
+  shadow_->tex_sub_image_2d(target, level, xoffset, yoffset, width, height,
+                            format, type, pixels);
+  ByteWriter w;
+  op(w, CmdOp::kTexSubImage2D);
+  w.u32(target);
+  w.i32(level);
+  w.i32(xoffset);
+  w.i32(yoffset);
+  w.i32(width);
+  w.i32(height);
+  w.u32(format);
+  w.u32(type);
+  const int channels = gles::format_channels(format);
+  if (pixels != nullptr && channels > 0 && width > 0 && height > 0) {
+    w.blob(as_bytes(pixels, static_cast<std::size_t>(width) * height * channels));
+  } else {
+    w.varint(0);
+  }
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glTexParameteri(GLenum target, GLenum pname,
+                                      GLint param) {
+  shadow_->tex_parameteri(target, pname, param);
+  ByteWriter w;
+  op(w, CmdOp::kTexParameteri);
+  w.u32(target);
+  w.u32(pname);
+  w.i32(param);
+  push_record(std::move(w));
+}
+
+GLuint CommandRecorder::glCreateShader(GLenum type) {
+  const GLuint name = shadow_->create_shader(type);
+  ByteWriter w;
+  op(w, CmdOp::kCreateShader);
+  w.u32(type);
+  w.varint(name);
+  push_record(std::move(w));
+  return name;
+}
+
+void CommandRecorder::glDeleteShader(GLuint shader) {
+  shadow_->delete_shader(shader);
+  ByteWriter w;
+  op(w, CmdOp::kDeleteShader);
+  w.varint(shader);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glShaderSource(GLuint shader, std::string_view source) {
+  shadow_->shader_source(shader, source);
+  ByteWriter w;
+  op(w, CmdOp::kShaderSource);
+  w.varint(shader);
+  w.str(source);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glCompileShader(GLuint shader) {
+  shadow_->compile_shader(shader);
+  ByteWriter w;
+  op(w, CmdOp::kCompileShader);
+  w.varint(shader);
+  push_record(std::move(w));
+}
+
+GLuint CommandRecorder::glCreateProgram() {
+  const GLuint name = shadow_->create_program();
+  ByteWriter w;
+  op(w, CmdOp::kCreateProgram);
+  w.varint(name);
+  push_record(std::move(w));
+  return name;
+}
+
+void CommandRecorder::glDeleteProgram(GLuint program) {
+  shadow_->delete_program(program);
+  ByteWriter w;
+  op(w, CmdOp::kDeleteProgram);
+  w.varint(program);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glAttachShader(GLuint program, GLuint shader) {
+  shadow_->attach_shader(program, shader);
+  ByteWriter w;
+  op(w, CmdOp::kAttachShader);
+  w.varint(program);
+  w.varint(shader);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glBindAttribLocation(GLuint program, GLuint index,
+                                           std::string_view name) {
+  shadow_->bind_attrib_location(program, index, name);
+  ByteWriter w;
+  op(w, CmdOp::kBindAttribLocation);
+  w.varint(program);
+  w.varint(index);
+  w.str(name);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glLinkProgram(GLuint program) {
+  shadow_->link_program(program);
+  ByteWriter w;
+  op(w, CmdOp::kLinkProgram);
+  w.varint(program);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glUseProgram(GLuint program) {
+  shadow_->use_program(program);
+  ByteWriter w;
+  op(w, CmdOp::kUseProgram);
+  w.varint(program);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glUniform1f(GLint location, GLfloat x) {
+  shadow_->uniform1f(location, x);
+  ByteWriter w;
+  op(w, CmdOp::kUniform1f);
+  w.i32(location);
+  w.f32(x);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glUniform2f(GLint location, GLfloat x, GLfloat y) {
+  shadow_->uniform2f(location, x, y);
+  ByteWriter w;
+  op(w, CmdOp::kUniform2f);
+  w.i32(location);
+  w.f32(x);
+  w.f32(y);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glUniform3f(GLint location, GLfloat x, GLfloat y,
+                                  GLfloat z) {
+  shadow_->uniform3f(location, x, y, z);
+  ByteWriter w;
+  op(w, CmdOp::kUniform3f);
+  w.i32(location);
+  w.f32(x);
+  w.f32(y);
+  w.f32(z);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glUniform4f(GLint location, GLfloat x, GLfloat y,
+                                  GLfloat z, GLfloat w_) {
+  shadow_->uniform4f(location, x, y, z, w_);
+  ByteWriter w;
+  op(w, CmdOp::kUniform4f);
+  w.i32(location);
+  w.f32(x);
+  w.f32(y);
+  w.f32(z);
+  w.f32(w_);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glUniform1i(GLint location, GLint x) {
+  shadow_->uniform1i(location, x);
+  ByteWriter w;
+  op(w, CmdOp::kUniform1i);
+  w.i32(location);
+  w.i32(x);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glUniformMatrix4fv(GLint location, GLsizei count,
+                                         GLboolean transpose,
+                                         const GLfloat* value) {
+  if (count < 1 || value == nullptr) return;
+  shadow_->uniform_matrix4fv(location, transpose, std::span(value, 16));
+  ByteWriter w;
+  op(w, CmdOp::kUniformMatrix4fv);
+  w.i32(location);
+  w.u8(transpose ? 1 : 0);
+  for (int i = 0; i < 16; ++i) w.f32(value[i]);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glEnableVertexAttribArray(GLuint index) {
+  shadow_->enable_vertex_attrib_array(index);
+  ByteWriter w;
+  op(w, CmdOp::kEnableVertexAttribArray);
+  w.varint(index);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glDisableVertexAttribArray(GLuint index) {
+  shadow_->disable_vertex_attrib_array(index);
+  ByteWriter w;
+  op(w, CmdOp::kDisableVertexAttribArray);
+  w.varint(index);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glVertexAttrib4f(GLuint index, GLfloat x, GLfloat y,
+                                       GLfloat z, GLfloat w_) {
+  shadow_->vertex_attrib4f(index, x, y, z, w_);
+  ByteWriter w;
+  op(w, CmdOp::kVertexAttrib4f);
+  w.varint(index);
+  w.f32(x);
+  w.f32(y);
+  w.f32(z);
+  w.f32(w_);
+  push_record(std::move(w));
+}
+
+void CommandRecorder::glVertexAttribPointer(GLuint index, GLint size,
+                                            GLenum type, GLboolean normalized,
+                                            GLsizei stride,
+                                            const void* pointer) {
+  shadow_->vertex_attrib_pointer(index, size, type, normalized, stride,
+                                 pointer);
+  if (index >= pending_.size()) return;
+  if (shadow_->array_buffer_binding() != 0) {
+    // Buffer-sourced: length is known (it lives in the buffer object), so
+    // this serializes immediately with just the offset.
+    pending_[index].active = false;
+    ByteWriter w;
+    op(w, CmdOp::kVertexAttribPointerBuffer);
+    w.varint(index);
+    w.i32(size);
+    w.u32(type);
+    w.u8(normalized ? 1 : 0);
+    w.i32(stride);
+    w.varint(reinterpret_cast<std::uint64_t>(pointer));
+    push_record(std::move(w));
+    return;
+  }
+  // Client-memory pointer: the referenced length is unknown until the next
+  // draw call reveals the vertex count — keep it pending (§IV-B).
+  pending_[index] =
+      PendingClientPointer{true, size, type, normalized, stride, pointer};
+}
+
+void CommandRecorder::flush_pending_pointers(std::size_t vertex_count) {
+  // The deferred records are emitted at draw time, when the application may
+  // have re-bound GL_ARRAY_BUFFER since the original call. A client-memory
+  // pointer is only interpreted as such while binding 0 is current, so
+  // bracket the deferred records with an unbind/rebind pair when needed.
+  const gles::GLuint saved_binding = shadow_->array_buffer_binding();
+  bool any_pending = false;
+  for (const PendingClientPointer& p : pending_) any_pending |= p.active;
+  if (any_pending && saved_binding != 0) {
+    ByteWriter w;
+    op(w, CmdOp::kBindBuffer);
+    w.u32(gles::GL_ARRAY_BUFFER);
+    w.varint(0);
+    push_record(std::move(w));
+  }
+  for (std::size_t index = 0; index < pending_.size(); ++index) {
+    PendingClientPointer& p = pending_[index];
+    if (!p.active) continue;
+    const int elem = gles::scalar_type_size(p.type);
+    const std::size_t stride =
+        p.stride != 0 ? static_cast<std::size_t>(p.stride)
+                      : static_cast<std::size_t>(elem) * p.size;
+    // Last vertex needs only its own elements, not a full stride.
+    const std::size_t length =
+        vertex_count == 0
+            ? 0
+            : (vertex_count - 1) * stride +
+                  static_cast<std::size_t>(elem) * p.size;
+    ByteWriter w;
+    op(w, CmdOp::kVertexAttribPointerClient);
+    w.varint(index);
+    w.i32(p.size);
+    w.u32(p.type);
+    w.u8(p.normalized ? 1 : 0);
+    w.i32(p.stride);
+    w.blob(as_bytes(p.pointer, length));
+    push_record(std::move(w));
+    // The record now carries the data; the pointer stays pending because a
+    // later draw with a larger vertex count must re-ship a longer prefix.
+  }
+  if (any_pending && saved_binding != 0) {
+    ByteWriter w;
+    op(w, CmdOp::kBindBuffer);
+    w.u32(gles::GL_ARRAY_BUFFER);
+    w.varint(saved_binding);
+    push_record(std::move(w));
+  }
+}
+
+std::optional<std::uint32_t> CommandRecorder::max_element_index(
+    GLsizei count, GLenum type, const void* indices) const {
+  if (count <= 0) return std::nullopt;
+  const int elem = gles::scalar_type_size(type);
+  const std::uint8_t* base = nullptr;
+  if (shadow_->element_buffer_binding() != 0) {
+    const auto contents =
+        shadow_->buffer_contents(shadow_->element_buffer_binding());
+    const std::size_t offset = reinterpret_cast<std::size_t>(indices);
+    if (offset + static_cast<std::size_t>(count) * elem > contents.size()) {
+      return std::nullopt;
+    }
+    base = contents.data() + offset;
+  } else {
+    base = static_cast<const std::uint8_t*>(indices);
+    if (base == nullptr) return std::nullopt;
+  }
+  std::uint32_t max_index = 0;
+  for (GLsizei i = 0; i < count; ++i) {
+    const std::uint8_t* src = base + static_cast<std::size_t>(i) * elem;
+    std::uint32_t v = 0;
+    switch (type) {
+      case gles::GL_UNSIGNED_BYTE:
+        v = *src;
+        break;
+      case gles::GL_UNSIGNED_SHORT: {
+        std::uint16_t s = 0;
+        std::memcpy(&s, src, sizeof(s));
+        v = s;
+        break;
+      }
+      case gles::GL_UNSIGNED_INT:
+        std::memcpy(&v, src, sizeof(v));
+        break;
+      default:
+        return std::nullopt;
+    }
+    max_index = std::max(max_index, v);
+  }
+  return max_index;
+}
+
+void CommandRecorder::note_draw(GLenum mode, std::size_t vertex_count) {
+  (void)mode;
+  profile_.draw_call_count++;
+  // Fillrate proxy: triangles roughly cover viewport_area * coverage_factor;
+  // we approximate per-request workload as half the surface per 100 vertices,
+  // accumulated per draw. The absolute scale is calibrated in src/device.
+  const double surface_pixels = static_cast<double>(shadow_->surface_width()) *
+                                shadow_->surface_height();
+  profile_.workload_pixels +=
+      surface_pixels * 0.005 * static_cast<double>(vertex_count);
+}
+
+void CommandRecorder::glDrawArrays(GLenum mode, GLint first, GLsizei count) {
+  if (first < 0 || count < 0) return;
+  flush_pending_pointers(static_cast<std::size_t>(first) +
+                         static_cast<std::size_t>(count));
+  ByteWriter w;
+  op(w, CmdOp::kDrawArrays);
+  w.u32(mode);
+  w.i32(first);
+  w.i32(count);
+  push_record(std::move(w));
+  note_draw(mode, static_cast<std::size_t>(count));
+}
+
+void CommandRecorder::glDrawElements(GLenum mode, GLsizei count, GLenum type,
+                                     const void* indices) {
+  if (count < 0) return;
+  const auto max_index = max_element_index(count, type, indices);
+  flush_pending_pointers(max_index ? static_cast<std::size_t>(*max_index) + 1
+                                   : 0);
+  ByteWriter w;
+  if (shadow_->element_buffer_binding() != 0) {
+    op(w, CmdOp::kDrawElementsBuffer);
+    w.u32(mode);
+    w.i32(count);
+    w.u32(type);
+    w.varint(reinterpret_cast<std::uint64_t>(indices));
+  } else {
+    op(w, CmdOp::kDrawElementsClient);
+    w.u32(mode);
+    w.i32(count);
+    w.u32(type);
+    const std::size_t bytes =
+        static_cast<std::size_t>(count) * gles::scalar_type_size(type);
+    if (indices != nullptr) {
+      w.blob(as_bytes(indices, bytes));
+    } else {
+      w.varint(0);
+    }
+  }
+  push_record(std::move(w));
+  note_draw(mode, static_cast<std::size_t>(count));
+}
+
+void CommandRecorder::glFlush() {}
+void CommandRecorder::glFinish() {}
+
+bool CommandRecorder::eglSwapBuffers() {
+  ByteWriter w;
+  op(w, CmdOp::kSwapBuffers);
+  push_record(std::move(w));
+
+  FrameCommands finished = std::move(frame_);
+  frame_ = FrameCommands{};
+  frame_.sequence = next_sequence_++;
+  last_profile_ = profile_;
+  profile_ = FrameProfile{};
+
+  // Client-memory pointers do not survive the frame boundary in this
+  // protocol: applications re-specify them each frame (the common GLES
+  // pattern) and stale host pointers must never be dereferenced later.
+  for (auto& p : pending_) p.active = false;
+
+  if (!sink_) return false;
+  return sink_(std::move(finished));
+}
+
+}  // namespace gb::wire

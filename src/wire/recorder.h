@@ -1,0 +1,176 @@
+// CommandRecorder — the wrapper library GBooster injects (§IV-A/B).
+//
+// Implements the full GlesApi so applications cannot tell it from the real
+// driver. Every call is serialized into the current frame's record list; a
+// *shadow context* (a local GlContext that executes state commands but never
+// draws) answers synchronous queries — glGetError, shader compile status,
+// uniform/attribute locations — without a network round trip, and provides
+// the buffer contents needed to resolve deferred client-memory pointers.
+//
+// The shadow context is also the source of the paper's §VII-G memory
+// overhead: it duplicates buffer/texture storage on the user device.
+//
+// Deferred glVertexAttribPointer (§IV-B): when an application supplies a
+// client-memory pointer, the byte length is unknowable at call time — it is
+// determined by the vertex count of the *next* draw call. The recorder keeps
+// the pointer pending and emits the serialized attribute data immediately
+// before the draw record; the paper observes this reordering is safe because
+// the pointer only takes effect at draw time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "gles/api.h"
+#include "gles/context.h"
+#include "wire/protocol.h"
+
+namespace gb::wire {
+
+using gles::GLboolean;
+using gles::GLbitfield;
+using gles::GLenum;
+using gles::GLfloat;
+using gles::GLint;
+using gles::GLintptr;
+using gles::GLsizei;
+using gles::GLsizeiptr;
+using gles::GLuint;
+
+// Receives each completed frame (rendering request) at SwapBuffers time.
+// Returns true when the frame was accepted and will eventually be displayed
+// (the recorder reports this as the eglSwapBuffers result).
+using FrameSink = std::function<bool(FrameCommands)>;
+
+// Per-frame statistics exposed to the traffic forecaster (§V-B): command
+// count and texture count are the ARMAX exogenous attributes 2 and 3.
+struct FrameProfile {
+  std::size_t command_count = 0;
+  std::size_t texture_bind_count = 0;
+  std::size_t draw_call_count = 0;
+  std::size_t serialized_bytes = 0;
+  // Estimated GPU workload of the frame in shaded pixels; the dispatcher's
+  // `r` term in Eq. 4. Derived from draw-call vertex counts and the current
+  // viewport area, matching the fillrate units of Table I.
+  double workload_pixels = 0.0;
+};
+
+class CommandRecorder final : public gles::GlesApi {
+ public:
+  // `surface_width/height` size the shadow context (and thus the remote
+  // render target); `sink` receives finished frames.
+  CommandRecorder(int surface_width, int surface_height, FrameSink sink);
+  ~CommandRecorder() override;
+
+  // Profile of the most recently completed frame.
+  [[nodiscard]] const FrameProfile& last_frame_profile() const noexcept {
+    return last_profile_;
+  }
+  // Memory attributable to the wrapper layer (shadow context + buffers).
+  [[nodiscard]] std::size_t overhead_bytes() const;
+  [[nodiscard]] const gles::GlContext& shadow() const noexcept {
+    return *shadow_;
+  }
+
+  // GlesApi implementation --------------------------------------------------
+  GLenum glGetError() override;
+  void glClearColor(GLfloat r, GLfloat g, GLfloat b, GLfloat a) override;
+  void glClear(GLbitfield mask) override;
+  void glViewport(GLint x, GLint y, GLsizei w, GLsizei h) override;
+  void glScissor(GLint x, GLint y, GLsizei w, GLsizei h) override;
+  void glEnable(GLenum cap) override;
+  void glDisable(GLenum cap) override;
+  void glBlendFunc(GLenum sfactor, GLenum dfactor) override;
+  void glDepthFunc(GLenum func) override;
+  void glCullFace(GLenum mode) override;
+  void glFrontFace(GLenum mode) override;
+  void glGenBuffers(GLsizei n, GLuint* out) override;
+  void glDeleteBuffers(GLsizei n, const GLuint* names) override;
+  void glBindBuffer(GLenum target, GLuint name) override;
+  void glBufferData(GLenum target, GLsizeiptr size, const void* data,
+                    GLenum usage) override;
+  void glBufferSubData(GLenum target, GLintptr offset, GLsizeiptr size,
+                       const void* data) override;
+  void glGenTextures(GLsizei n, GLuint* out) override;
+  void glDeleteTextures(GLsizei n, const GLuint* names) override;
+  void glActiveTexture(GLenum unit) override;
+  void glBindTexture(GLenum target, GLuint name) override;
+  void glTexImage2D(GLenum target, GLint level, GLenum internal_format,
+                    GLsizei width, GLsizei height, GLint border, GLenum format,
+                    GLenum type, const void* pixels) override;
+  void glTexSubImage2D(GLenum target, GLint level, GLint xoffset, GLint yoffset,
+                       GLsizei width, GLsizei height, GLenum format,
+                       GLenum type, const void* pixels) override;
+  void glTexParameteri(GLenum target, GLenum pname, GLint param) override;
+  GLuint glCreateShader(GLenum type) override;
+  void glDeleteShader(GLuint shader) override;
+  void glShaderSource(GLuint shader, std::string_view source) override;
+  void glCompileShader(GLuint shader) override;
+  GLint glGetShaderiv(GLuint shader, GLenum pname) override;
+  std::string glGetShaderInfoLog(GLuint shader) override;
+  GLuint glCreateProgram() override;
+  void glDeleteProgram(GLuint program) override;
+  void glAttachShader(GLuint program, GLuint shader) override;
+  void glBindAttribLocation(GLuint program, GLuint index,
+                            std::string_view name) override;
+  void glLinkProgram(GLuint program) override;
+  GLint glGetProgramiv(GLuint program, GLenum pname) override;
+  void glUseProgram(GLuint program) override;
+  GLint glGetAttribLocation(GLuint program, std::string_view name) override;
+  GLint glGetUniformLocation(GLuint program, std::string_view name) override;
+  void glUniform1f(GLint location, GLfloat x) override;
+  void glUniform2f(GLint location, GLfloat x, GLfloat y) override;
+  void glUniform3f(GLint location, GLfloat x, GLfloat y, GLfloat z) override;
+  void glUniform4f(GLint location, GLfloat x, GLfloat y, GLfloat z,
+                   GLfloat w) override;
+  void glUniform1i(GLint location, GLint x) override;
+  void glUniformMatrix4fv(GLint location, GLsizei count, GLboolean transpose,
+                          const GLfloat* value) override;
+  void glEnableVertexAttribArray(GLuint index) override;
+  void glDisableVertexAttribArray(GLuint index) override;
+  void glVertexAttrib4f(GLuint index, GLfloat x, GLfloat y, GLfloat z,
+                        GLfloat w) override;
+  void glVertexAttribPointer(GLuint index, GLint size, GLenum type,
+                             GLboolean normalized, GLsizei stride,
+                             const void* pointer) override;
+  void glDrawArrays(GLenum mode, GLint first, GLsizei count) override;
+  void glDrawElements(GLenum mode, GLsizei count, GLenum type,
+                      const void* indices) override;
+  void glFlush() override;
+  void glFinish() override;
+  bool eglSwapBuffers() override;
+
+ private:
+  struct PendingClientPointer {
+    bool active = false;
+    GLint size = 4;
+    GLenum type = 0;
+    bool normalized = false;
+    GLsizei stride = 0;
+    const void* pointer = nullptr;
+  };
+
+  // Appends the writer's bytes as one command record.
+  void push_record(ByteWriter writer);
+  // Emits any pending client-memory attribute pointers sized for
+  // `vertex_count` vertices starting at vertex 0 (§IV-B deferral).
+  void flush_pending_pointers(std::size_t vertex_count);
+  // Largest index referenced by a draw-elements call (to size client arrays).
+  std::optional<std::uint32_t> max_element_index(GLsizei count, GLenum type,
+                                                 const void* indices) const;
+  void note_draw(GLenum mode, std::size_t vertex_count);
+
+  std::unique_ptr<gles::GlContext> shadow_;
+  FrameSink sink_;
+  FrameCommands frame_;
+  FrameProfile profile_;
+  FrameProfile last_profile_;
+  std::uint64_t next_sequence_ = 0;
+  std::array<PendingClientPointer, gles::GlContext::kMaxVertexAttribs>
+      pending_;
+};
+
+}  // namespace gb::wire

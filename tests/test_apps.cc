@@ -1,0 +1,206 @@
+// Tests for the synthetic application engine: workload catalog, command
+// stream shape, scene dynamics, and touch scripting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/game_app.h"
+#include "apps/touch.h"
+#include "apps/workload.h"
+#include "common/rng.h"
+#include "compress/command_cache.h"
+#include "wire/recorder.h"
+
+namespace gb::apps {
+namespace {
+
+TEST(Workloads, CatalogMatchesTableTwo) {
+  const auto games = all_games();
+  ASSERT_EQ(games.size(), 6u);
+  EXPECT_EQ(games[0].id, "G1");
+  EXPECT_EQ(games[0].genre, Genre::kAction);
+  EXPECT_NEAR(games[0].package_gb, 2.41, 1e-9);
+  EXPECT_EQ(games[2].genre, Genre::kRolePlaying);
+  EXPECT_EQ(games[5].genre, Genre::kPuzzle);
+  EXPECT_NEAR(games[5].package_gb, 0.12, 1e-9);
+}
+
+TEST(Workloads, GenreOrderingOfGpuIntensity) {
+  // Action > role-playing > puzzle > utility in GPU demand — the gradient
+  // behind Fig. 5/6's per-genre differences.
+  EXPECT_GT(g1_gta_san_andreas().gpu_workload_pixels,
+            g3_star_wars_kotor().gpu_workload_pixels);
+  EXPECT_GT(g3_star_wars_kotor().gpu_workload_pixels,
+            g5_candy_crush().gpu_workload_pixels);
+  EXPECT_GT(g5_candy_crush().gpu_workload_pixels,
+            ebook_reader().gpu_workload_pixels);
+}
+
+TEST(Workloads, NonGamingAppsBarelyUseGpu) {
+  for (const auto& app : non_gaming_apps()) {
+    EXPECT_LT(app.gpu_workload_pixels, 10e6) << app.name;
+    EXPECT_EQ(app.genre, Genre::kUtility);
+  }
+}
+
+// Renders frames through a recorder and exposes the captured streams.
+struct AppHarness {
+  std::vector<wire::FrameCommands> frames;
+  std::unique_ptr<wire::CommandRecorder> recorder;
+  std::unique_ptr<GameApp> app;
+
+  explicit AppHarness(const WorkloadSpec& spec) {
+    recorder = std::make_unique<wire::CommandRecorder>(
+        64, 48, [this](wire::FrameCommands frame) {
+          frames.push_back(std::move(frame));
+          return true;
+        });
+    app = std::make_unique<GameApp>(spec, *recorder, 64, 48, Rng(5));
+    app->setup();
+  }
+};
+
+TEST(GameApp, SetupLeavesNoGlError) {
+  AppHarness harness(g5_candy_crush());
+  EXPECT_EQ(harness.recorder->glGetError(), gles::GL_NO_ERROR);
+}
+
+TEST(GameApp, EmitsConfiguredDrawCallCount) {
+  const WorkloadSpec spec = g1_gta_san_andreas();
+  AppHarness harness(spec);
+  harness.app->render_frame(0.1, false);
+  ASSERT_EQ(harness.frames.size(), 1u);
+  const auto& profile = harness.recorder->last_frame_profile();
+  // World draws + 1 HUD draw.
+  EXPECT_EQ(profile.draw_call_count,
+            static_cast<std::size_t>(spec.draw_calls_per_frame) + 1);
+  EXPECT_GT(profile.command_count, profile.draw_call_count * 2);
+}
+
+TEST(GameApp, ConsecutiveFramesShareMostCommands) {
+  // The §V-A premise: consecutive frames repeat most records verbatim.
+  AppHarness harness(g5_candy_crush());  // mostly static puzzle board
+  gb::compress::CommandCache cache;
+  gb::compress::CacheStats stats;
+  harness.app->render_frame(0.10, false);
+  harness.app->render_frame(0.15, false);
+  ASSERT_EQ(harness.frames.size(), 2u);
+  gb::compress::encode_frame_with_cache(harness.frames[0], cache, stats);
+  const auto before_hits = stats.hits;
+  gb::compress::encode_frame_with_cache(harness.frames[1], cache, stats);
+  const auto frame2_hits = stats.hits - before_hits;
+  const double hit_fraction =
+      static_cast<double>(frame2_hits) /
+      static_cast<double>(harness.frames[1].records.size());
+  EXPECT_GT(hit_fraction, 0.6);
+}
+
+TEST(GameApp, ActionGamesRepeatLessThanPuzzles) {
+  const auto hit_rate = [](const WorkloadSpec& spec) {
+    AppHarness harness(spec);
+    gb::compress::CommandCache cache;
+    gb::compress::CacheStats stats;
+    harness.app->render_frame(0.10, false);
+    harness.app->render_frame(0.15, false);
+    gb::compress::CacheStats fresh;
+    gb::compress::encode_frame_with_cache(harness.frames[0], cache, fresh);
+    gb::compress::CacheStats second;
+    gb::compress::encode_frame_with_cache(harness.frames[1], cache, second);
+    return second.hit_rate();
+  };
+  EXPECT_LT(hit_rate(g2_modern_combat()), hit_rate(g6_cut_the_rope()));
+}
+
+TEST(GameApp, SceneChangeUploadsTextures) {
+  AppHarness harness(g1_gta_san_andreas());
+  // Frame 0 carries the setup commands (the recorder accumulates them until
+  // the first swap); use a steady-state frame as the baseline.
+  harness.app->render_frame(0.1, false);
+  harness.app->render_frame(0.15, false);
+  const std::size_t baseline = harness.frames.back().total_bytes();
+  harness.app->trigger_scene_change();
+  harness.app->render_frame(0.2, false);
+  const std::size_t with_upload = harness.frames.back().total_bytes();
+  // A 128x128 RGBA upload adds ~64 KB to the frame.
+  EXPECT_GT(with_upload, baseline + 30000);
+}
+
+TEST(GameApp, TouchBurstIncreasesFrameDelta) {
+  AppHarness harness(g4_final_fantasy());
+  gb::compress::CommandCache cache;
+  gb::compress::CacheStats warm;
+  harness.app->render_frame(0.10, false);
+  gb::compress::encode_frame_with_cache(harness.frames[0], cache, warm);
+  harness.app->render_frame(0.15, false);
+  gb::compress::CacheStats calm;
+  gb::compress::encode_frame_with_cache(harness.frames[1], cache, calm);
+  harness.app->render_frame(0.20, true);  // burst
+  gb::compress::CacheStats burst;
+  gb::compress::encode_frame_with_cache(harness.frames[2], cache, burst);
+  EXPECT_GT(burst.misses, calm.misses);
+}
+
+TEST(GameApp, HudUsesDeferredClientPointerEveryFrame) {
+  AppHarness harness(g6_cut_the_rope());
+  harness.app->render_frame(0.1, false);
+  int client_pointer_records = 0;
+  for (const auto& record : harness.frames[0].records) {
+    if (record.op() == wire::CmdOp::kVertexAttribPointerClient) {
+      ++client_pointer_records;
+    }
+  }
+  EXPECT_GE(client_pointer_records, 1);
+}
+
+TEST(TouchScript, DeterministicForSeed) {
+  TouchScriptConfig config;
+  config.duration_s = 60.0;
+  TouchScript a(config, Rng(9));
+  TouchScript b(config, Rng(9));
+  EXPECT_EQ(a.touch_times(), b.touch_times());
+  EXPECT_EQ(a.bursts().size(), b.bursts().size());
+}
+
+TEST(TouchScript, BurstRateRoughlyPoisson) {
+  TouchScriptConfig config;
+  config.duration_s = 2000.0;
+  config.burst_rate_hz = 0.1;
+  config.burst_duration_s = 1.0;
+  TouchScript script(config, Rng(21));
+  // ~0.1 bursts/s with 1 s dead time: expect within a broad band.
+  EXPECT_GT(script.bursts().size(), 100u);
+  EXPECT_LT(script.bursts().size(), 260u);
+}
+
+TEST(TouchScript, TouchRateHigherInsideBursts) {
+  TouchScriptConfig config;
+  config.duration_s = 1000.0;
+  config.base_touch_rate_hz = 1.0;
+  config.burst_touch_rate_hz = 10.0;
+  TouchScript script(config, Rng(33));
+  double burst_seconds = 0.0;
+  int burst_touches = 0;
+  for (const auto& [start, end] : script.bursts()) {
+    burst_seconds += end - start;
+    burst_touches += script.touches_in(start, end);
+  }
+  const int total = script.touches_in(0, config.duration_s);
+  const double calm_rate = (total - burst_touches) /
+                           (config.duration_s - burst_seconds);
+  const double burst_rate = burst_touches / std::max(burst_seconds, 1.0);
+  EXPECT_GT(burst_rate, calm_rate * 3.0);
+}
+
+TEST(TouchScript, TouchesInWindowMatchesManualCount) {
+  TouchScriptConfig config;
+  config.duration_s = 100.0;
+  TouchScript script(config, Rng(2));
+  int manual = 0;
+  for (const double t : script.touch_times()) {
+    if (t >= 10.0 && t < 20.0) ++manual;
+  }
+  EXPECT_EQ(script.touches_in(10.0, 20.0), manual);
+}
+
+}  // namespace
+}  // namespace gb::apps

@@ -1,0 +1,162 @@
+// Tests for the LRU command cache and cache-aware frame encoding (§V-A).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "compress/command_cache.h"
+
+namespace gb::compress {
+namespace {
+
+wire::CommandRecord record_of(const std::string& content) {
+  wire::CommandRecord r;
+  r.bytes.assign(content.begin(), content.end());
+  return r;
+}
+
+wire::FrameCommands frame_of(std::initializer_list<std::string> contents,
+                             std::uint64_t sequence = 0) {
+  wire::FrameCommands f;
+  f.sequence = sequence;
+  for (const auto& c : contents) f.records.push_back(record_of(c));
+  return f;
+}
+
+TEST(CommandCache, InsertFindTouch) {
+  CommandCache cache;
+  const Bytes payload = {1, 2, 3};
+  const std::uint64_t h = record_hash(payload);
+  EXPECT_FALSE(cache.touch(h));
+  cache.insert(h, payload);
+  EXPECT_TRUE(cache.touch(h));
+  ASSERT_NE(cache.find(h), nullptr);
+  EXPECT_EQ(*cache.find(h), payload);
+}
+
+TEST(CommandCache, EvictsLeastRecentlyUsedByBytes) {
+  CommandCache cache(/*capacity_bytes=*/100);
+  const Bytes a(40, 'a');
+  const Bytes b(40, 'b');
+  const Bytes c(40, 'c');
+  cache.insert(record_hash(a), a);
+  cache.insert(record_hash(b), b);
+  cache.touch(record_hash(a));             // a is now most recent
+  cache.insert(record_hash(c), c);         // evicts b
+  EXPECT_TRUE(cache.touch(record_hash(a)));
+  EXPECT_FALSE(cache.touch(record_hash(b)));
+  EXPECT_TRUE(cache.touch(record_hash(c)));
+  EXPECT_LE(cache.resident_bytes(), 100u);
+}
+
+TEST(CommandCache, HashDiffersForDifferentContent) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 4};
+  EXPECT_NE(record_hash(a), record_hash(b));
+}
+
+TEST(FrameCache, FirstFrameAllMissesSecondAllHits) {
+  CommandCache sender;
+  CommandCache receiver;
+  CacheStats stats;
+  const auto frame = frame_of({"use program 1", "bind texture 2", "draw"});
+
+  const Bytes wire1 = encode_frame_with_cache(frame, sender, stats);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+  const auto decoded1 = decode_frame_with_cache(wire1, receiver);
+  ASSERT_EQ(decoded1.records.size(), 3u);
+  EXPECT_EQ(decoded1.records[0].bytes, frame.records[0].bytes);
+
+  const Bytes wire2 = encode_frame_with_cache(frame, sender, stats);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_LT(wire2.size(), wire1.size());
+  const auto decoded2 = decode_frame_with_cache(wire2, receiver);
+  EXPECT_EQ(decoded2.records[2].bytes, frame.records[2].bytes);
+}
+
+TEST(FrameCache, MixedHitMissStream) {
+  CommandCache sender;
+  CommandCache receiver;
+  CacheStats stats;
+  const auto f1 = frame_of({"stable command", "uniform t=1"}, 0);
+  const auto f2 = frame_of({"stable command", "uniform t=2"}, 1);
+  decode_frame_with_cache(encode_frame_with_cache(f1, sender, stats), receiver);
+  const Bytes wire = encode_frame_with_cache(f2, sender, stats);
+  const auto decoded = decode_frame_with_cache(wire, receiver);
+  EXPECT_EQ(stats.hits, 1u);   // "stable command"
+  EXPECT_EQ(stats.misses, 3u);  // f1's two + f2's changed uniform
+  EXPECT_EQ(decoded.records[1].bytes, f2.records[1].bytes);
+}
+
+TEST(FrameCache, SequenceNumberSurvivesEncoding) {
+  CommandCache sender;
+  CommandCache receiver;
+  CacheStats stats;
+  const auto frame = frame_of({"x"}, 1234);
+  const auto decoded = decode_frame_with_cache(
+      encode_frame_with_cache(frame, sender, stats), receiver);
+  EXPECT_EQ(decoded.sequence, 1234u);
+}
+
+TEST(FrameCache, ReceiverMissingHistoryFails) {
+  CommandCache sender;
+  CacheStats stats;
+  const auto frame = frame_of({"cached elsewhere"});
+  encode_frame_with_cache(frame, sender, stats);          // warm sender
+  const Bytes second = encode_frame_with_cache(frame, sender, stats);
+  CommandCache cold_receiver;  // never saw the first transmission
+  EXPECT_THROW(decode_frame_with_cache(second, cold_receiver), Error);
+}
+
+TEST(FrameCache, BytesSavedAccounting) {
+  CommandCache sender;
+  CacheStats stats;
+  std::string big(1000, 'z');
+  const auto frame = frame_of({big});
+  encode_frame_with_cache(frame, sender, stats);
+  encode_frame_with_cache(frame, sender, stats);
+  EXPECT_EQ(stats.bytes_in, 2000u);
+  // Second transmission cost 9 bytes (flag + hash) instead of 1001.
+  EXPECT_LT(stats.bytes_out, 1100u);
+  EXPECT_NEAR(stats.hit_rate(), 0.5, 1e-9);
+}
+
+TEST(FrameCache, EmptyFrameRoundTrips) {
+  CommandCache sender;
+  CommandCache receiver;
+  CacheStats stats;
+  wire::FrameCommands empty;
+  empty.sequence = 7;
+  const auto decoded = decode_frame_with_cache(
+      encode_frame_with_cache(empty, sender, stats), receiver);
+  EXPECT_EQ(decoded.sequence, 7u);
+  EXPECT_TRUE(decoded.records.empty());
+}
+
+TEST(FrameCache, LargeSessionStaysConsistent) {
+  // Property-style: 200 frames of drifting command mixes; receiver must
+  // reconstruct every record exactly despite LRU evictions.
+  CommandCache sender(16 * 1024);
+  CommandCache receiver(16 * 1024);
+  CacheStats stats;
+  for (int i = 0; i < 200; ++i) {
+    wire::FrameCommands frame;
+    frame.sequence = static_cast<std::uint64_t>(i);
+    for (int c = 0; c < 20; ++c) {
+      frame.records.push_back(
+          record_of("cmd " + std::to_string(c % 7) + " arg " +
+                    std::to_string((i / 13) % 5) + std::string(64, 'p')));
+    }
+    const auto decoded = decode_frame_with_cache(
+        encode_frame_with_cache(frame, sender, stats), receiver);
+    ASSERT_EQ(decoded.records.size(), frame.records.size());
+    for (std::size_t r = 0; r < frame.records.size(); ++r) {
+      ASSERT_EQ(decoded.records[r].bytes, frame.records[r].bytes)
+          << "frame " << i << " record " << r;
+    }
+  }
+  EXPECT_GT(stats.hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace gb::compress

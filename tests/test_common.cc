@@ -1,0 +1,250 @@
+// Unit tests for the common module: RNG, byte buffers, checked casts,
+// geometry, and image containers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/geometry.h"
+#include "common/image.h"
+#include "common/rng.h"
+
+namespace gb {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(123);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Narrow, PassesWhenLossless) {
+  EXPECT_EQ(narrow<std::uint8_t>(200), 200);
+  EXPECT_EQ(narrow<std::int16_t>(-5), -5);
+}
+
+TEST(Narrow, ThrowsOnOverflow) {
+  EXPECT_THROW(narrow<std::uint8_t>(256), Error);
+  EXPECT_THROW(narrow<std::uint32_t>(-1), Error);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    check(false, "specific failure");
+    FAIL() << "check did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("specific failure"),
+              std::string::npos);
+  }
+}
+
+TEST(Bytes, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+  w.f32(3.5f);
+  w.f64(-2.25);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_EQ(r.f32(), 3.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_TRUE(r.done());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, Encodes) {
+  ByteWriter w;
+  w.varint(GetParam());
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.varint(), GetParam());
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                      0xFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL));
+
+TEST(Bytes, BlobAndStringRoundTrip) {
+  ByteWriter w;
+  const Bytes payload = {1, 2, 3, 4, 5};
+  w.blob(payload);
+  w.str("hello world");
+  ByteReader r(w.bytes());
+  const auto blob = r.blob();
+  EXPECT_EQ(Bytes(blob.begin(), blob.end()), payload);
+  EXPECT_EQ(r.str(), "hello world");
+}
+
+TEST(Bytes, ReaderThrowsOnOverrun) {
+  const Bytes data = {1, 2};
+  ByteReader r(data);
+  EXPECT_THROW(r.u32(), Error);
+}
+
+TEST(Bytes, ReaderRejectsOverlongVarint) {
+  Bytes data(11, 0x80);
+  ByteReader r(data);
+  EXPECT_THROW(r.varint(), Error);
+}
+
+TEST(Geometry, MatIdentityIsNeutral) {
+  const Mat4 identity = Mat4::identity();
+  const Vec4 v{1, 2, 3, 1};
+  const Vec4 out = identity * v;
+  EXPECT_FLOAT_EQ(out.x, 1);
+  EXPECT_FLOAT_EQ(out.y, 2);
+  EXPECT_FLOAT_EQ(out.z, 3);
+  EXPECT_FLOAT_EQ(out.w, 1);
+}
+
+TEST(Geometry, TranslateMovesPoint) {
+  const Mat4 t = Mat4::translate({1, -2, 3});
+  const Vec4 out = t * Vec4{0, 0, 0, 1};
+  EXPECT_FLOAT_EQ(out.x, 1);
+  EXPECT_FLOAT_EQ(out.y, -2);
+  EXPECT_FLOAT_EQ(out.z, 3);
+}
+
+TEST(Geometry, RotateZQuarterTurn) {
+  const Mat4 r = Mat4::rotate_z(static_cast<float>(M_PI / 2.0));
+  const Vec4 out = r * Vec4{1, 0, 0, 1};
+  EXPECT_NEAR(out.x, 0.0f, 1e-6f);
+  EXPECT_NEAR(out.y, 1.0f, 1e-6f);
+}
+
+TEST(Geometry, MatrixProductMatchesComposition) {
+  const Mat4 a = Mat4::translate({1, 0, 0});
+  const Mat4 b = Mat4::rotate_z(0.3f);
+  const Vec4 v{0.5f, -0.25f, 2.0f, 1.0f};
+  const Vec4 via_product = (a * b) * v;
+  const Vec4 via_steps = a * (b * v);
+  EXPECT_NEAR(via_product.x, via_steps.x, 1e-5f);
+  EXPECT_NEAR(via_product.y, via_steps.y, 1e-5f);
+  EXPECT_NEAR(via_product.z, via_steps.z, 1e-5f);
+}
+
+TEST(Geometry, PerspectiveMapsNearPlaneToMinusOne) {
+  const Mat4 p = Mat4::perspective(1.0f, 1.0f, 1.0f, 10.0f);
+  const Vec4 near_point = p * Vec4{0, 0, -1, 1};
+  EXPECT_NEAR(near_point.z / near_point.w, -1.0f, 1e-5f);
+  const Vec4 far_point = p * Vec4{0, 0, -10, 1};
+  EXPECT_NEAR(far_point.z / far_point.w, 1.0f, 1e-5f);
+}
+
+TEST(Geometry, CrossAndDot) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  const Vec3 z = cross(x, y);
+  EXPECT_FLOAT_EQ(z.z, 1.0f);
+  EXPECT_FLOAT_EQ(dot(x, y), 0.0f);
+  EXPECT_FLOAT_EQ(dot(z, z), 1.0f);
+}
+
+TEST(Geometry, NormalizeUnitLength) {
+  const Vec3 v = normalize({3, 4, 0});
+  EXPECT_NEAR(std::sqrt(dot(v, v)), 1.0f, 1e-6f);
+}
+
+TEST(Image, ConstructionZeroed) {
+  Image img(4, 3);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.byte_size(), 4u * 3u * 4u);
+  EXPECT_EQ(img.pixel(0, 0)[0], 0);
+}
+
+TEST(Image, FillAndEquality) {
+  Image a(8, 8);
+  Image b(8, 8);
+  a.fill(10, 20, 30, 40);
+  EXPECT_NE(a, b);
+  b.fill(10, 20, 30, 40);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.pixel(7, 7)[2], 30);
+}
+
+TEST(Image, PixelBoundsChecked) {
+  Image img(2, 2);
+  EXPECT_THROW(img.pixel(2, 0), Error);
+  EXPECT_THROW(img.pixel(0, -1), Error);
+}
+
+}  // namespace
+}  // namespace gb

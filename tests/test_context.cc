@@ -1,0 +1,540 @@
+// Tests for the GlContext state machine and the software rasterizer.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "gles/context.h"
+
+namespace gb::gles {
+namespace {
+
+constexpr std::string_view kPassthroughVs = R"(
+  attribute vec4 a_position;
+  void main() { gl_Position = a_position; }
+)";
+
+constexpr std::string_view kColorFs = R"(
+  precision mediump float;
+  uniform vec4 u_color;
+  void main() { gl_FragColor = u_color; }
+)";
+
+// Builds and links the standard passthrough+color program, returning its
+// name; registers are fresh in the supplied context.
+GLuint make_color_program(GlContext& gl) {
+  const GLuint vs = gl.create_shader(GL_VERTEX_SHADER);
+  gl.shader_source(vs, kPassthroughVs);
+  gl.compile_shader(vs);
+  EXPECT_EQ(gl.get_shaderiv(vs, GL_COMPILE_STATUS), 1)
+      << gl.get_shader_info_log(vs);
+  const GLuint fs = gl.create_shader(GL_FRAGMENT_SHADER);
+  gl.shader_source(fs, kColorFs);
+  gl.compile_shader(fs);
+  EXPECT_EQ(gl.get_shaderiv(fs, GL_COMPILE_STATUS), 1)
+      << gl.get_shader_info_log(fs);
+  const GLuint prog = gl.create_program();
+  gl.attach_shader(prog, vs);
+  gl.attach_shader(prog, fs);
+  gl.link_program(prog);
+  EXPECT_EQ(gl.get_programiv(prog, GL_LINK_STATUS), 1)
+      << gl.get_program_info_log(prog);
+  return prog;
+}
+
+// Draws a full-viewport quad (two triangles) from client memory.
+void draw_fullscreen_quad(GlContext& gl, GLuint prog) {
+  static const float verts[] = {
+      -1, -1, 0, 1, -1, 0, -1, 1, 0,  // lower-left triangle
+      1,  -1, 0, 1, 1,  0, -1, 1, 0,  // upper-right triangle
+  };
+  const GLint loc = gl.get_attrib_location(prog, "a_position");
+  ASSERT_GE(loc, 0);
+  gl.bind_buffer(GL_ARRAY_BUFFER, 0);
+  gl.enable_vertex_attrib_array(static_cast<GLuint>(loc));
+  gl.vertex_attrib_pointer(static_cast<GLuint>(loc), 3, GL_FLOAT, false, 0,
+                           verts);
+  gl.draw_arrays(GL_TRIANGLES, 0, 6);
+}
+
+TEST(GlContextState, ClearFillsColorBuffer) {
+  GlContext gl(8, 8);
+  gl.clear_color(1.0f, 0.0f, 0.0f, 1.0f);
+  gl.clear(GL_COLOR_BUFFER_BIT);
+  const std::uint8_t* p = gl.color_buffer().pixel(4, 4);
+  EXPECT_EQ(p[0], 255);
+  EXPECT_EQ(p[1], 0);
+  EXPECT_EQ(p[2], 0);
+  EXPECT_EQ(p[3], 255);
+}
+
+TEST(GlContextState, ErrorIsStickyAndCleared) {
+  GlContext gl(4, 4);
+  gl.enable(0xDEAD);        // invalid enum
+  gl.depth_func(0xBEEF);    // would set a second error; first wins
+  EXPECT_EQ(gl.get_error(), GL_INVALID_ENUM);
+  EXPECT_EQ(gl.get_error(), GL_NO_ERROR);
+}
+
+TEST(GlContextState, EnableDisableCapabilities) {
+  GlContext gl(4, 4);
+  EXPECT_FALSE(gl.is_enabled(GL_DEPTH_TEST));
+  gl.enable(GL_DEPTH_TEST);
+  gl.enable(GL_BLEND);
+  EXPECT_TRUE(gl.is_enabled(GL_DEPTH_TEST));
+  EXPECT_TRUE(gl.is_enabled(GL_BLEND));
+  gl.disable(GL_DEPTH_TEST);
+  EXPECT_FALSE(gl.is_enabled(GL_DEPTH_TEST));
+}
+
+TEST(GlContextState, NegativeViewportIsInvalidValue) {
+  GlContext gl(4, 4);
+  gl.viewport(0, 0, -1, 4);
+  EXPECT_EQ(gl.get_error(), GL_INVALID_VALUE);
+}
+
+TEST(GlContextBuffers, GenBindUploadReadback) {
+  GlContext gl(4, 4);
+  GLuint name = 0;
+  gl.gen_buffers(1, &name);
+  EXPECT_NE(name, 0u);
+  gl.bind_buffer(GL_ARRAY_BUFFER, name);
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  gl.buffer_data(GL_ARRAY_BUFFER, data, GL_STATIC_DRAW);
+  const auto contents = gl.buffer_contents(name);
+  ASSERT_EQ(contents.size(), 4u);
+  EXPECT_EQ(contents[2], 3);
+}
+
+TEST(GlContextBuffers, SubDataRespectsBounds) {
+  GlContext gl(4, 4);
+  GLuint name = 0;
+  gl.gen_buffers(1, &name);
+  gl.bind_buffer(GL_ARRAY_BUFFER, name);
+  gl.buffer_data(GL_ARRAY_BUFFER, std::vector<std::uint8_t>(8, 0),
+                 GL_STATIC_DRAW);
+  const std::vector<std::uint8_t> patch = {9, 9};
+  gl.buffer_sub_data(GL_ARRAY_BUFFER, 6, patch);
+  EXPECT_EQ(gl.get_error(), GL_NO_ERROR);
+  gl.buffer_sub_data(GL_ARRAY_BUFFER, 7, patch);  // would overrun
+  EXPECT_EQ(gl.get_error(), GL_INVALID_VALUE);
+}
+
+TEST(GlContextBuffers, UploadWithoutBindingIsInvalidOperation) {
+  GlContext gl(4, 4);
+  gl.buffer_data(GL_ARRAY_BUFFER, std::vector<std::uint8_t>(4, 0),
+                 GL_STATIC_DRAW);
+  EXPECT_EQ(gl.get_error(), GL_INVALID_OPERATION);
+}
+
+TEST(GlContextBuffers, DeleteUnbinds) {
+  GlContext gl(4, 4);
+  GLuint name = 0;
+  gl.gen_buffers(1, &name);
+  gl.bind_buffer(GL_ARRAY_BUFFER, name);
+  gl.delete_buffers(1, &name);
+  EXPECT_EQ(gl.array_buffer_binding(), 0u);
+}
+
+TEST(GlContextTextures, UploadAndFormats) {
+  GlContext gl(4, 4);
+  GLuint tex = 0;
+  gl.gen_textures(1, &tex);
+  gl.active_texture(GL_TEXTURE0);
+  gl.bind_texture(GL_TEXTURE_2D, tex);
+  const std::array<std::uint8_t, 2 * 2 * 3> rgb = {255, 0,   0,  0, 255, 0,
+                                                   0,   0, 255, 9, 9,   9};
+  gl.tex_image_2d(GL_TEXTURE_2D, 0, GL_RGB, 2, 2, GL_RGB, GL_UNSIGNED_BYTE,
+                  rgb.data());
+  EXPECT_EQ(gl.get_error(), GL_NO_ERROR);
+  EXPECT_EQ(gl.stats().texture_uploads, 1u);
+}
+
+TEST(GlContextTextures, SubImageBoundsChecked) {
+  GlContext gl(4, 4);
+  GLuint tex = 0;
+  gl.gen_textures(1, &tex);
+  gl.bind_texture(GL_TEXTURE_2D, tex);
+  std::vector<std::uint8_t> pixels(4 * 4 * 4, 128);
+  gl.tex_image_2d(GL_TEXTURE_2D, 0, GL_RGBA, 4, 4, GL_RGBA, GL_UNSIGNED_BYTE,
+                  pixels.data());
+  gl.tex_sub_image_2d(GL_TEXTURE_2D, 0, 3, 3, 2, 2, GL_RGBA, GL_UNSIGNED_BYTE,
+                      pixels.data());
+  EXPECT_EQ(gl.get_error(), GL_INVALID_VALUE);
+}
+
+TEST(GlContextPrograms, LinkRequiresBothStages) {
+  GlContext gl(4, 4);
+  const GLuint vs = gl.create_shader(GL_VERTEX_SHADER);
+  gl.shader_source(vs, kPassthroughVs);
+  gl.compile_shader(vs);
+  const GLuint prog = gl.create_program();
+  gl.attach_shader(prog, vs);
+  gl.link_program(prog);
+  EXPECT_EQ(gl.get_programiv(prog, GL_LINK_STATUS), 0);
+}
+
+TEST(GlContextPrograms, BindAttribLocationHonored) {
+  GlContext gl(4, 4);
+  const GLuint vs = gl.create_shader(GL_VERTEX_SHADER);
+  gl.shader_source(vs, kPassthroughVs);
+  gl.compile_shader(vs);
+  const GLuint fs = gl.create_shader(GL_FRAGMENT_SHADER);
+  gl.shader_source(fs, kColorFs);
+  gl.compile_shader(fs);
+  const GLuint prog = gl.create_program();
+  gl.attach_shader(prog, vs);
+  gl.attach_shader(prog, fs);
+  gl.bind_attrib_location(prog, 7, "a_position");
+  gl.link_program(prog);
+  ASSERT_EQ(gl.get_programiv(prog, GL_LINK_STATUS), 1);
+  EXPECT_EQ(gl.get_attrib_location(prog, "a_position"), 7);
+}
+
+TEST(GlContextPrograms, UniformLocationAndTypeChecks) {
+  GlContext gl(4, 4);
+  const GLuint prog = make_color_program(gl);
+  gl.use_program(prog);
+  const GLint loc = gl.get_uniform_location(prog, "u_color");
+  ASSERT_GE(loc, 0);
+  EXPECT_EQ(gl.get_uniform_location(prog, "nonexistent"), -1);
+  gl.uniform4f(loc, 1, 0, 0, 1);
+  EXPECT_EQ(gl.get_error(), GL_NO_ERROR);
+  gl.uniform1f(loc, 1.0f);  // wrong type
+  EXPECT_EQ(gl.get_error(), GL_INVALID_OPERATION);
+  gl.uniform4f(-1, 1, 1, 1, 1);  // location -1 silently ignored
+  EXPECT_EQ(gl.get_error(), GL_NO_ERROR);
+}
+
+TEST(GlContextPrograms, UseUnlinkedProgramFails) {
+  GlContext gl(4, 4);
+  const GLuint prog = gl.create_program();
+  gl.use_program(prog);
+  EXPECT_EQ(gl.get_error(), GL_INVALID_OPERATION);
+}
+
+TEST(GlContextDraw, FullscreenQuadFillsViewport) {
+  GlContext gl(16, 16);
+  const GLuint prog = make_color_program(gl);
+  gl.use_program(prog);
+  gl.uniform4f(gl.get_uniform_location(prog, "u_color"), 0, 1, 0, 1);
+  gl.clear_color(0, 0, 0, 1);
+  gl.clear(GL_COLOR_BUFFER_BIT);
+  draw_fullscreen_quad(gl, prog);
+  EXPECT_EQ(gl.get_error(), GL_NO_ERROR);
+  for (const auto [x, y] : {std::pair{0, 0}, {15, 15}, {8, 8}, {0, 15}}) {
+    const std::uint8_t* p = gl.color_buffer().pixel(x, y);
+    EXPECT_EQ(p[1], 255) << "at " << x << "," << y;
+  }
+  EXPECT_GT(gl.stats().fragments_shaded, 200u);
+}
+
+TEST(GlContextDraw, ViewportRestrictsRaster) {
+  GlContext gl(16, 16);
+  const GLuint prog = make_color_program(gl);
+  gl.use_program(prog);
+  gl.uniform4f(gl.get_uniform_location(prog, "u_color"), 1, 1, 1, 1);
+  gl.clear(GL_COLOR_BUFFER_BIT);
+  gl.viewport(0, 8, 8, 8);  // top-left quadrant in screen coordinates
+  draw_fullscreen_quad(gl, prog);
+  int filled = 0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      if (gl.color_buffer().pixel(x, y)[0] == 255) ++filled;
+    }
+  }
+  EXPECT_EQ(filled, 64);
+}
+
+TEST(GlContextDraw, ScissorClipsFragments) {
+  GlContext gl(16, 16);
+  const GLuint prog = make_color_program(gl);
+  gl.use_program(prog);
+  gl.uniform4f(gl.get_uniform_location(prog, "u_color"), 1, 1, 1, 1);
+  gl.clear(GL_COLOR_BUFFER_BIT);
+  gl.enable(GL_SCISSOR_TEST);
+  gl.scissor(4, 4, 4, 4);
+  draw_fullscreen_quad(gl, prog);
+  EXPECT_EQ(gl.color_buffer().pixel(5, 5)[0], 255);
+  EXPECT_EQ(gl.color_buffer().pixel(1, 1)[0], 0);
+}
+
+TEST(GlContextDraw, DepthTestKeepsNearerFragment) {
+  GlContext gl(8, 8);
+  const GLuint prog = make_color_program(gl);
+  gl.use_program(prog);
+  gl.enable(GL_DEPTH_TEST);
+  gl.clear(GL_COLOR_BUFFER_BIT | GL_DEPTH_BUFFER_BIT);
+  const GLint loc = gl.get_attrib_location(prog, "a_position");
+  const GLint color = gl.get_uniform_location(prog, "u_color");
+  gl.enable_vertex_attrib_array(static_cast<GLuint>(loc));
+
+  // Far red quad at z = 0.5, then near green quad at z = -0.5.
+  const float far_quad[] = {-1, -1, 0.5f, 1, -1, 0.5f, -1, 1, 0.5f,
+                            1,  -1, 0.5f, 1, 1,  0.5f, -1, 1, 0.5f};
+  gl.uniform4f(color, 1, 0, 0, 1);
+  gl.vertex_attrib_pointer(static_cast<GLuint>(loc), 3, GL_FLOAT, false, 0,
+                           far_quad);
+  gl.draw_arrays(GL_TRIANGLES, 0, 6);
+  const float near_quad[] = {-1, -1, -0.5f, 1, -1, -0.5f, -1, 1, -0.5f,
+                             1,  -1, -0.5f, 1, 1,  -0.5f, -1, 1, -0.5f};
+  gl.uniform4f(color, 0, 1, 0, 1);
+  gl.vertex_attrib_pointer(static_cast<GLuint>(loc), 3, GL_FLOAT, false, 0,
+                           near_quad);
+  gl.draw_arrays(GL_TRIANGLES, 0, 6);
+  EXPECT_EQ(gl.color_buffer().pixel(4, 4)[1], 255);
+
+  // And drawing the far quad again must NOT overwrite.
+  gl.uniform4f(color, 1, 0, 0, 1);
+  gl.vertex_attrib_pointer(static_cast<GLuint>(loc), 3, GL_FLOAT, false, 0,
+                           far_quad);
+  gl.draw_arrays(GL_TRIANGLES, 0, 6);
+  EXPECT_EQ(gl.color_buffer().pixel(4, 4)[1], 255);
+}
+
+TEST(GlContextDraw, AlphaBlendingMixesColors) {
+  GlContext gl(8, 8);
+  const GLuint prog = make_color_program(gl);
+  gl.use_program(prog);
+  gl.clear_color(0, 0, 0, 1);
+  gl.clear(GL_COLOR_BUFFER_BIT);
+  gl.enable(GL_BLEND);
+  gl.blend_func(GL_SRC_ALPHA, GL_ONE_MINUS_SRC_ALPHA);
+  gl.uniform4f(gl.get_uniform_location(prog, "u_color"), 1, 1, 1, 0.5f);
+  draw_fullscreen_quad(gl, prog);
+  const std::uint8_t v = gl.color_buffer().pixel(4, 4)[0];
+  EXPECT_NEAR(v, 128, 3);
+}
+
+TEST(GlContextDraw, BackfaceCullingDropsClockwise) {
+  GlContext gl(8, 8);
+  const GLuint prog = make_color_program(gl);
+  gl.use_program(prog);
+  gl.uniform4f(gl.get_uniform_location(prog, "u_color"), 1, 1, 1, 1);
+  gl.clear(GL_COLOR_BUFFER_BIT);
+  gl.enable(GL_CULL_FACE);
+  gl.cull_face(GL_BACK);
+  gl.front_face(GL_CCW);
+  const GLint loc = gl.get_attrib_location(prog, "a_position");
+  gl.enable_vertex_attrib_array(static_cast<GLuint>(loc));
+  // Clockwise winding (in GL coordinates) => back-facing => culled.
+  const float cw[] = {-1, -1, 0, -1, 1, 0, 1, -1, 0};
+  gl.vertex_attrib_pointer(static_cast<GLuint>(loc), 3, GL_FLOAT, false, 0, cw);
+  gl.draw_arrays(GL_TRIANGLES, 0, 3);
+  EXPECT_EQ(gl.stats().triangles_rasterized, 0u);
+  // Counter-clockwise => front-facing => drawn.
+  const float ccw[] = {-1, -1, 0, 1, -1, 0, -1, 1, 0};
+  gl.vertex_attrib_pointer(static_cast<GLuint>(loc), 3, GL_FLOAT, false, 0,
+                           ccw);
+  gl.draw_arrays(GL_TRIANGLES, 0, 3);
+  EXPECT_EQ(gl.stats().triangles_rasterized, 1u);
+}
+
+TEST(GlContextDraw, DrawElementsFromBuffers) {
+  GlContext gl(8, 8);
+  const GLuint prog = make_color_program(gl);
+  gl.use_program(prog);
+  gl.uniform4f(gl.get_uniform_location(prog, "u_color"), 0, 0, 1, 1);
+  gl.clear(GL_COLOR_BUFFER_BIT);
+
+  const float verts[] = {-1, -1, 0, 1, -1, 0, 1, 1, 0, -1, 1, 0};
+  const std::uint16_t indices[] = {0, 1, 2, 0, 2, 3};
+  GLuint buffers[2];
+  gl.gen_buffers(2, buffers);
+  gl.bind_buffer(GL_ARRAY_BUFFER, buffers[0]);
+  gl.buffer_data(GL_ARRAY_BUFFER,
+                 std::span(reinterpret_cast<const std::uint8_t*>(verts),
+                           sizeof(verts)),
+                 GL_STATIC_DRAW);
+  gl.bind_buffer(GL_ELEMENT_ARRAY_BUFFER, buffers[1]);
+  gl.buffer_data(GL_ELEMENT_ARRAY_BUFFER,
+                 std::span(reinterpret_cast<const std::uint8_t*>(indices),
+                           sizeof(indices)),
+                 GL_STATIC_DRAW);
+  const GLint loc = gl.get_attrib_location(prog, "a_position");
+  gl.enable_vertex_attrib_array(static_cast<GLuint>(loc));
+  gl.vertex_attrib_pointer(static_cast<GLuint>(loc), 3, GL_FLOAT, false, 0,
+                           nullptr);
+  gl.draw_elements(GL_TRIANGLES, 6, GL_UNSIGNED_SHORT, nullptr);
+  EXPECT_EQ(gl.get_error(), GL_NO_ERROR);
+  EXPECT_EQ(gl.color_buffer().pixel(4, 4)[2], 255);
+  // Vertex cache: 4 unique vertices shaded for 6 indices.
+  EXPECT_EQ(gl.stats().vertices_processed, 4u);
+}
+
+TEST(GlContextDraw, TriangleStripAndFanCoverQuad) {
+  for (const GLenum mode : {GL_TRIANGLE_STRIP, GL_TRIANGLE_FAN}) {
+    GlContext gl(8, 8);
+    const GLuint prog = make_color_program(gl);
+    gl.use_program(prog);
+    gl.uniform4f(gl.get_uniform_location(prog, "u_color"), 1, 0, 1, 1);
+    gl.clear(GL_COLOR_BUFFER_BIT);
+    const GLint loc = gl.get_attrib_location(prog, "a_position");
+    gl.enable_vertex_attrib_array(static_cast<GLuint>(loc));
+    // Strip order: bl, br, tl, tr; fan order: bl, br, tr, tl.
+    const float strip[] = {-1, -1, 0, 1, -1, 0, -1, 1, 0, 1, 1, 0};
+    const float fan[] = {-1, -1, 0, 1, -1, 0, 1, 1, 0, -1, 1, 0};
+    gl.vertex_attrib_pointer(static_cast<GLuint>(loc), 3, GL_FLOAT, false, 0,
+                             mode == GL_TRIANGLE_STRIP ? strip : fan);
+    gl.draw_arrays(mode, 0, 4);
+    EXPECT_EQ(gl.color_buffer().pixel(4, 4)[0], 255) << "mode " << mode;
+    EXPECT_EQ(gl.stats().triangles_rasterized, 2u);
+  }
+}
+
+TEST(GlContextDraw, DisabledAttribUsesGenericValue) {
+  GlContext gl(8, 8);
+  // Shader that colors by attribute; the attribute array stays disabled, so
+  // every vertex reads the glVertexAttrib4f generic value.
+  const GLuint vs = gl.create_shader(GL_VERTEX_SHADER);
+  gl.shader_source(vs, R"(
+      attribute vec4 a_position;
+      attribute vec4 a_color;
+      varying vec4 v_color;
+      void main() { gl_Position = a_position; v_color = a_color; }
+  )");
+  gl.compile_shader(vs);
+  const GLuint fs = gl.create_shader(GL_FRAGMENT_SHADER);
+  gl.shader_source(fs, R"(
+      precision mediump float;
+      varying vec4 v_color;
+      void main() { gl_FragColor = v_color; }
+  )");
+  gl.compile_shader(fs);
+  const GLuint prog = gl.create_program();
+  gl.attach_shader(prog, vs);
+  gl.attach_shader(prog, fs);
+  gl.link_program(prog);
+  ASSERT_EQ(gl.get_programiv(prog, GL_LINK_STATUS), 1)
+      << gl.get_program_info_log(prog);
+  gl.use_program(prog);
+  gl.clear(GL_COLOR_BUFFER_BIT);
+  const GLint pos = gl.get_attrib_location(prog, "a_position");
+  const GLint col = gl.get_attrib_location(prog, "a_color");
+  gl.enable_vertex_attrib_array(static_cast<GLuint>(pos));
+  gl.vertex_attrib4f(static_cast<GLuint>(col), 0.0f, 1.0f, 1.0f, 1.0f);
+  draw_fullscreen_quad(gl, prog);
+  const std::uint8_t* p = gl.color_buffer().pixel(4, 4);
+  EXPECT_EQ(p[0], 0);
+  EXPECT_EQ(p[1], 255);
+  EXPECT_EQ(p[2], 255);
+}
+
+TEST(GlContextDraw, NormalizedByteAttributes) {
+  GlContext gl(8, 8);
+  const GLuint vs = gl.create_shader(GL_VERTEX_SHADER);
+  gl.shader_source(vs, R"(
+      attribute vec4 a_position;
+      attribute vec4 a_color;
+      varying vec4 v_color;
+      void main() { gl_Position = a_position; v_color = a_color; }
+  )");
+  gl.compile_shader(vs);
+  const GLuint fs = gl.create_shader(GL_FRAGMENT_SHADER);
+  gl.shader_source(fs, R"(
+      precision mediump float;
+      varying vec4 v_color;
+      void main() { gl_FragColor = v_color; }
+  )");
+  gl.compile_shader(fs);
+  const GLuint prog = gl.create_program();
+  gl.attach_shader(prog, vs);
+  gl.attach_shader(prog, fs);
+  gl.link_program(prog);
+  gl.use_program(prog);
+  gl.clear(GL_COLOR_BUFFER_BIT);
+  const GLint pos = gl.get_attrib_location(prog, "a_position");
+  const GLint col = gl.get_attrib_location(prog, "a_color");
+  const float verts[] = {-1, -1, 0, 1, -1, 0, -1, 1, 0,
+                         1,  -1, 0, 1, 1,  0, -1, 1, 0};
+  const std::uint8_t colors[] = {255, 0, 0, 255, 255, 0, 0, 255, 255, 0, 0, 255,
+                                 255, 0, 0, 255, 255, 0, 0, 255, 255, 0, 0, 255};
+  gl.enable_vertex_attrib_array(static_cast<GLuint>(pos));
+  gl.enable_vertex_attrib_array(static_cast<GLuint>(col));
+  gl.vertex_attrib_pointer(static_cast<GLuint>(pos), 3, GL_FLOAT, false, 0,
+                           verts);
+  gl.vertex_attrib_pointer(static_cast<GLuint>(col), 4, GL_UNSIGNED_BYTE, true,
+                           0, colors);
+  gl.draw_arrays(GL_TRIANGLES, 0, 6);
+  EXPECT_EQ(gl.color_buffer().pixel(4, 4)[0], 255);
+  EXPECT_EQ(gl.color_buffer().pixel(4, 4)[1], 0);
+}
+
+TEST(GlContextDraw, DrawWithoutProgramIsInvalidOperation) {
+  GlContext gl(4, 4);
+  gl.draw_arrays(GL_TRIANGLES, 0, 3);
+  EXPECT_EQ(gl.get_error(), GL_INVALID_OPERATION);
+}
+
+TEST(GlContextDraw, TexturedQuadSamplesTexture) {
+  GlContext gl(8, 8);
+  const GLuint vs = gl.create_shader(GL_VERTEX_SHADER);
+  gl.shader_source(vs, R"(
+      attribute vec4 a_position;
+      varying vec2 v_uv;
+      void main() {
+        gl_Position = a_position;
+        v_uv = a_position.xy * 0.5 + vec2(0.5, 0.5);
+      }
+  )");
+  gl.compile_shader(vs);
+  ASSERT_EQ(gl.get_shaderiv(vs, GL_COMPILE_STATUS), 1)
+      << gl.get_shader_info_log(vs);
+  const GLuint fs = gl.create_shader(GL_FRAGMENT_SHADER);
+  gl.shader_source(fs, R"(
+      precision mediump float;
+      varying vec2 v_uv;
+      uniform sampler2D u_tex;
+      void main() { gl_FragColor = texture2D(u_tex, v_uv); }
+  )");
+  gl.compile_shader(fs);
+  ASSERT_EQ(gl.get_shaderiv(fs, GL_COMPILE_STATUS), 1)
+      << gl.get_shader_info_log(fs);
+  const GLuint prog = gl.create_program();
+  gl.attach_shader(prog, vs);
+  gl.attach_shader(prog, fs);
+  gl.link_program(prog);
+  ASSERT_EQ(gl.get_programiv(prog, GL_LINK_STATUS), 1);
+  gl.use_program(prog);
+
+  GLuint tex = 0;
+  gl.gen_textures(1, &tex);
+  gl.active_texture(GL_TEXTURE0);
+  gl.bind_texture(GL_TEXTURE_2D, tex);
+  // 1x1 solid orange texture -> whole quad must be orange.
+  const std::uint8_t orange[] = {255, 128, 0, 255};
+  gl.tex_image_2d(GL_TEXTURE_2D, 0, GL_RGBA, 1, 1, GL_RGBA, GL_UNSIGNED_BYTE,
+                  orange);
+  gl.tex_parameteri(GL_TEXTURE_2D, GL_TEXTURE_MAG_FILTER, GL_NEAREST);
+  gl.uniform1i(gl.get_uniform_location(prog, "u_tex"), 0);
+
+  gl.clear(GL_COLOR_BUFFER_BIT);
+  draw_fullscreen_quad(gl, prog);
+  const std::uint8_t* p = gl.color_buffer().pixel(4, 4);
+  EXPECT_EQ(p[0], 255);
+  EXPECT_NEAR(p[1], 128, 2);
+  EXPECT_EQ(p[2], 0);
+}
+
+TEST(GlContextMisc, ObjectMemoryAccounting) {
+  GlContext gl(4, 4);
+  const std::size_t before = gl.object_memory_bytes();
+  GLuint name = 0;
+  gl.gen_buffers(1, &name);
+  gl.bind_buffer(GL_ARRAY_BUFFER, name);
+  gl.buffer_data(GL_ARRAY_BUFFER, std::vector<std::uint8_t>(1024, 0),
+                 GL_STATIC_DRAW);
+  EXPECT_EQ(gl.object_memory_bytes(), before + 1024);
+}
+
+TEST(GlContextMisc, ReadPixelsMatchesColorBuffer) {
+  GlContext gl(4, 4);
+  gl.clear_color(0.2f, 0.4f, 0.6f, 1.0f);
+  gl.clear(GL_COLOR_BUFFER_BIT);
+  const Image copy = gl.read_pixels();
+  EXPECT_EQ(copy, gl.color_buffer());
+}
+
+}  // namespace
+}  // namespace gb::gles

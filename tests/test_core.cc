@@ -1,0 +1,404 @@
+// Tests for GBooster's core: the offload protocol, the Eq. 4 dispatcher, the
+// interface switcher, and end-to-end user-device <-> service-device flows
+// including multi-device state consistency.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/dispatcher.h"
+#include "core/gbooster.h"
+#include "core/interface_switcher.h"
+#include "core/offload_protocol.h"
+#include "core/service_runtime.h"
+#include "device/device_profiles.h"
+#include "gles/direct_backend.h"
+#include "net/medium.h"
+#include "net/reliable.h"
+#include "runtime/event_loop.h"
+
+namespace gb::core {
+namespace {
+
+wire::FrameCommands frame_with(std::initializer_list<std::string> contents) {
+  wire::FrameCommands f;
+  for (const auto& c : contents) {
+    wire::CommandRecord r;
+    r.bytes.assign(c.begin(), c.end());
+    f.records.push_back(std::move(r));
+  }
+  return f;
+}
+
+TEST(OffloadProtocol, RenderMessageRoundTrips) {
+  compress::CommandCache tx;
+  compress::CommandCache rx;
+  compress::CacheStats stats;
+  RenderRequestHeader header;
+  header.sequence = 42;
+  header.workload_pixels = 1.5e8;
+  // Record bytes need a leading varint opcode for CommandRecord::op();
+  // protocol packing itself treats them as opaque.
+  wire::FrameCommands frame = frame_with({"\x01payload-a", "\x02payload-b"});
+  const Bytes message = make_render_message(header, frame, tx, stats);
+  EXPECT_EQ(peek_kind(message), MsgKind::kRender);
+  const auto parsed = parse_render_message(message, rx);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.sequence, 42u);
+  EXPECT_DOUBLE_EQ(parsed->header.workload_pixels, 1.5e8);
+  ASSERT_EQ(parsed->records.records.size(), 2u);
+  EXPECT_EQ(parsed->records.records[1].bytes, frame.records[1].bytes);
+}
+
+TEST(OffloadProtocol, StateMessageCarriesRenderer) {
+  compress::CommandCache tx;
+  compress::CommandCache rx;
+  compress::CacheStats stats;
+  StateHeader header;
+  header.sequence = 9;
+  header.renderer_node = 101;
+  const Bytes message =
+      make_state_message(header, frame_with({"\x03state"}), tx, stats);
+  EXPECT_EQ(peek_kind(message), MsgKind::kState);
+  const auto parsed = parse_state_message(message, rx);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.sequence, 9u);
+  EXPECT_EQ(parsed->header.renderer_node, 101u);
+}
+
+TEST(OffloadProtocol, FrameMessagePadsToNominalSize) {
+  FrameResultHeader header;
+  header.sequence = 3;
+  header.nominal_bytes = 5000;
+  header.has_content = false;
+  const Bytes message = make_frame_message(header, {});
+  EXPECT_GE(message.size(), 5000u);
+  const auto parsed = parse_frame_message(message);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.sequence, 3u);
+  EXPECT_EQ(parsed->header.nominal_bytes, 5000u);
+  EXPECT_FALSE(parsed->header.has_content);
+}
+
+TEST(OffloadProtocol, MalformedMessagesRejected) {
+  compress::CommandCache cache;
+  const Bytes garbage = {static_cast<std::uint8_t>(MsgKind::kRender), 0xff};
+  EXPECT_FALSE(parse_render_message(garbage, cache).has_value());
+  EXPECT_FALSE(parse_frame_message(Bytes{static_cast<std::uint8_t>(
+                   MsgKind::kFrame)}).has_value());
+}
+
+TEST(Dispatcher, PicksFasterDeviceWhenIdle) {
+  Dispatcher d({{100, "slow", 4e9}, {101, "fast", 16e9}});
+  EXPECT_EQ(d.pick(100e6), 1u);
+}
+
+TEST(Dispatcher, QueuedWorkloadRebalances) {
+  // Eq. 4: after loading the fast device, the slow one wins.
+  Dispatcher d({{100, "slow", 4e9}, {101, "fast", 16e9}});
+  // (w + r)/c: fast needs w/16e9 + r/16e9 > r/4e9 => w > 3r.
+  d.on_assigned(1, 400e6);
+  EXPECT_EQ(d.pick(100e6), 0u);
+  d.on_completed(1, 400e6, ms(30));
+  EXPECT_EQ(d.pick(100e6), 1u);
+}
+
+TEST(Dispatcher, HighLatencyDevicePenalized) {
+  Dispatcher d({{100, "near", 8e9}, {101, "far", 8e9}});
+  // Teach the dispatcher that device 1 sits behind a slow path.
+  d.on_assigned(1, 1e6);
+  d.on_completed(1, 1e6, ms(400));
+  EXPECT_EQ(d.pick(50e6), 0u);
+}
+
+TEST(Dispatcher, RequiresDevices) {
+  EXPECT_THROW(Dispatcher({}), Error);
+}
+
+// --- end-to-end offload over the simulated network ------------------------------
+
+struct OffloadFixture {
+  EventLoop loop;
+  net::Medium wifi{loop,
+                   [] {
+                     net::MediumConfig c;
+                     c.loss_rate = 0.0;
+                     c.jitter_ms = 0.0;
+                     return c;
+                   }(),
+                   Rng(4), "wifi"};
+  std::vector<std::unique_ptr<ServiceRuntime>> services;
+  std::unique_ptr<net::ReliableEndpoint> user;
+  std::unique_ptr<GBoosterRuntime> gbooster;
+
+  explicit OffloadFixture(int device_count, GBoosterConfig config = {},
+                          ServiceRuntimeConfig service_config = {
+                              .nominal_width = 64,
+                              .nominal_height = 48,
+                              .render_width = 64,
+                              .render_height = 48,
+                          }) {
+    std::vector<ServiceDeviceInfo> infos;
+    for (int i = 0; i < device_count; ++i) {
+      const auto node = static_cast<net::NodeId>(100 + i);
+      auto service = std::make_unique<ServiceRuntime>(
+          loop, node, device::nvidia_shield(), service_config);
+      service->endpoint().bind(wifi, nullptr);
+      wifi.join_group(config.state_group, node);
+      infos.push_back(
+          ServiceDeviceInfo{node, "shield-" + std::to_string(i), 6e9});
+      services.push_back(std::move(service));
+    }
+    config.nominal_width = service_config.nominal_width;
+    config.nominal_height = service_config.nominal_height;
+    user = std::make_unique<net::ReliableEndpoint>(loop, 1);
+    user->bind(wifi, nullptr);
+    gbooster = std::make_unique<GBoosterRuntime>(loop, config, *user, infos);
+    user->set_handler([this](net::NodeId src, net::NodeId stream, Bytes m) {
+      gbooster->on_message(src, stream, std::move(m));
+    });
+  }
+};
+
+// Drives one simple frame through any GlesApi.
+void issue_simple_frame(gles::GlesApi& gl, float red) {
+  const auto vs = gl.glCreateShader(gles::GL_VERTEX_SHADER);
+  gl.glShaderSource(vs,
+                    "attribute vec4 a_position;"
+                    "void main() { gl_Position = a_position; }");
+  gl.glCompileShader(vs);
+  const auto fs = gl.glCreateShader(gles::GL_FRAGMENT_SHADER);
+  gl.glShaderSource(fs,
+                    "precision mediump float; uniform vec4 u_color;"
+                    "void main() { gl_FragColor = u_color; }");
+  gl.glCompileShader(fs);
+  const auto prog = gl.glCreateProgram();
+  gl.glAttachShader(prog, vs);
+  gl.glAttachShader(prog, fs);
+  gl.glLinkProgram(prog);
+  gl.glUseProgram(prog);
+  gl.glUniform4f(gl.glGetUniformLocation(prog, "u_color"), red, 0.2f, 0.1f, 1);
+  static const float tri[] = {-1, -1, 0, 3, -1, 0, -1, 3, 0};
+  gl.glEnableVertexAttribArray(0);
+  gl.glVertexAttribPointer(0, 3, gles::GL_FLOAT, false, 0, tri);
+  gl.glClear(gles::GL_COLOR_BUFFER_BIT);
+  gl.glDrawArrays(gles::GL_TRIANGLES, 0, 3);
+  gl.eglSwapBuffers();
+}
+
+TEST(EndToEnd, OffloadedFrameComesBackPixelExact) {
+  OffloadFixture fixture(1);
+  Image displayed;
+  std::uint64_t displayed_seq = 999;
+  fixture.gbooster->set_display_handler(
+      [&](std::uint64_t seq, SimTime, const Image& frame) {
+        displayed_seq = seq;
+        displayed = frame;
+      });
+  issue_simple_frame(fixture.gbooster->wrapper(), 0.9f);
+  fixture.loop.run_until(seconds(5.0));
+
+  ASSERT_EQ(displayed_seq, 0u);
+  ASSERT_FALSE(displayed.empty());
+  // Reference: the same frame rendered locally, passed through the same
+  // Turbo encode/decode pair (lossy but deterministic).
+  gles::DirectBackend reference(64, 48, {});
+  issue_simple_frame(reference, 0.9f);
+  codec::TurboEncoder ref_encoder;
+  codec::TurboDecoder ref_decoder;
+  const auto expected =
+      ref_decoder.decode(ref_encoder.encode(reference.context().color_buffer()));
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_EQ(displayed, *expected);
+  EXPECT_EQ(fixture.gbooster->stats().frames_displayed, 1u);
+}
+
+TEST(EndToEnd, PendingBudgetGatesIssuance) {
+  GBoosterConfig config;
+  config.max_pending_requests = 2;
+  OffloadFixture fixture(1, config);
+  EXPECT_TRUE(fixture.gbooster->can_issue_frame());
+  issue_simple_frame(fixture.gbooster->wrapper(), 0.1f);
+  issue_simple_frame(fixture.gbooster->wrapper(), 0.2f);
+  EXPECT_FALSE(fixture.gbooster->can_issue_frame());
+  fixture.loop.run_until(seconds(5.0));
+  EXPECT_TRUE(fixture.gbooster->can_issue_frame());
+  EXPECT_EQ(fixture.gbooster->stats().frames_displayed, 2u);
+}
+
+TEST(EndToEnd, MultiDeviceStateStaysConsistent) {
+  // Three devices; frames round-robin by Eq. 4 as queues fill, yet every
+  // device's context must replay the stream correctly thanks to state
+  // replication. We verify by issuing several frames whose rendering depends
+  // on state set in earlier frames (the program + uniform persist).
+  GBoosterConfig config;
+  config.max_pending_requests = 8;
+  OffloadFixture fixture(3, config);
+  std::vector<std::uint64_t> displayed;
+  fixture.gbooster->set_display_handler(
+      [&](std::uint64_t seq, SimTime, const Image&) {
+        displayed.push_back(seq);
+      });
+
+  gles::GlesApi& gl = fixture.gbooster->wrapper();
+  issue_simple_frame(gl, 0.5f);  // frame 0: full setup
+  for (int i = 1; i < 6; ++i) {
+    // Frames 1..5 re-draw relying on persistent program/uniform state.
+    static const float tri[] = {-1, -1, 0, 3, -1, 0, -1, 3, 0};
+    gl.glEnableVertexAttribArray(0);
+    gl.glVertexAttribPointer(0, 3, gles::GL_FLOAT, false, 0, tri);
+    gl.glClear(gles::GL_COLOR_BUFFER_BIT);
+    gl.glDrawArrays(gles::GL_TRIANGLES, 0, 3);
+    gl.eglSwapBuffers();
+  }
+  fixture.loop.run_until(seconds(20.0));
+
+  ASSERT_EQ(displayed.size(), 6u);
+  // §VI-C: display strictly in sequence order.
+  for (std::size_t i = 0; i < displayed.size(); ++i) {
+    EXPECT_EQ(displayed[i], i);
+  }
+  // Work actually spread across devices.
+  int devices_used = 0;
+  for (const auto& service : fixture.services) {
+    if (service->stats().requests_rendered > 0) ++devices_used;
+    // Devices saw state updates for frames they did not render.
+    if (service->stats().requests_rendered < 6) {
+      EXPECT_GT(service->stats().state_messages_applied, 0u);
+    }
+  }
+  EXPECT_GE(devices_used, 2);
+}
+
+TEST(EndToEnd, MemoryOverheadIsReported) {
+  OffloadFixture fixture(1);
+  issue_simple_frame(fixture.gbooster->wrapper(), 0.3f);
+  fixture.loop.run_until(seconds(2.0));
+  EXPECT_GT(fixture.gbooster->memory_overhead_bytes(), 100u);
+}
+
+// --- interface switcher ----------------------------------------------------------
+
+struct SwitcherFixture {
+  EventLoop loop;
+  net::Medium wifi{loop, {}, Rng(1), "wifi"};
+  net::Medium bt{loop, {}, Rng(2), "bt"};
+  net::RadioInterface wifi_radio{loop, net::wifi_radio_config(), "w"};
+  net::RadioInterface bt_radio{loop, net::bluetooth_radio_config(), "b"};
+  net::ReliableEndpoint endpoint{loop, 1};
+
+  SwitcherFixture() {
+    endpoint.bind(wifi, &wifi_radio);
+    endpoint.bind(bt, &bt_radio);
+  }
+
+  InterfaceSwitcher make(SwitcherConfig config) {
+    return InterfaceSwitcher(loop, config, {&endpoint}, wifi, wifi_radio, bt,
+                             bt_radio);
+  }
+
+  static predict::TrafficSample sample(double bytes, double touch = 0.0) {
+    predict::TrafficSample s;
+    s.traffic_bytes = bytes;
+    s.touch_rate = touch;
+    return s;
+  }
+};
+
+TEST(Switcher, StartsOnBluetoothInPredictiveMode) {
+  SwitcherFixture f;
+  auto switcher = f.make({});
+  EXPECT_FALSE(switcher.on_wifi());
+  EXPECT_FALSE(f.wifi_radio.usable());
+  EXPECT_TRUE(f.bt_radio.usable());
+}
+
+TEST(Switcher, AlwaysWifiPolicyPinsWifi) {
+  SwitcherFixture f;
+  SwitcherConfig config;
+  config.policy = SwitchPolicy::kAlwaysWifi;
+  auto switcher = f.make(config);
+  f.loop.run_until(seconds(1.0));
+  EXPECT_TRUE(switcher.on_wifi());
+  for (int i = 0; i < 100; ++i) {
+    switcher.observe_interval(SwitcherFixture::sample(100.0));
+  }
+  EXPECT_TRUE(switcher.on_wifi());
+  EXPECT_EQ(switcher.stats().downgrades_to_bt, 0u);
+}
+
+TEST(Switcher, RisingDemandWakesWifiAhead) {
+  SwitcherFixture f;
+  SwitcherConfig config;
+  config.predictor.attributes = {predict::ExoAttribute::kTouchRate};
+  auto switcher = f.make(config);
+  const double ceiling = switcher.bt_capacity_bytes_per_interval();
+
+  // Calm phase.
+  for (int i = 0; i < 100; ++i) {
+    switcher.observe_interval(SwitcherFixture::sample(ceiling * 0.1));
+    f.loop.run_until(f.loop.now() + ms(100));
+  }
+  EXPECT_FALSE(switcher.on_wifi());
+
+  // Demand ramps past the Bluetooth ceiling over ~2 s.
+  double demand = ceiling * 0.1;
+  for (int i = 0; i < 60; ++i) {
+    demand *= 1.25;
+    switcher.observe_interval(
+        SwitcherFixture::sample(std::min(demand, ceiling * 4.0), 8.0));
+    f.loop.run_until(f.loop.now() + ms(100));
+  }
+  EXPECT_TRUE(switcher.on_wifi());
+  EXPECT_GE(switcher.stats().upgrades_to_wifi, 1u);
+}
+
+TEST(Switcher, CalmTrafficDowngradesBackToBluetooth) {
+  SwitcherFixture f;
+  SwitcherConfig config;
+  config.policy = SwitchPolicy::kAlwaysWifi;  // start on WiFi
+  auto switcher = f.make(config);
+  (void)switcher;
+
+  SwitcherConfig predictive;
+  predictive.calm_intervals_before_downgrade = 10;
+  SwitcherFixture f2;
+  auto s2 = f2.make(predictive);
+  // Force an upgrade, then feed calm. First push demand up:
+  const double ceiling = s2.bt_capacity_bytes_per_interval();
+  for (int i = 0; i < 50; ++i) {
+    s2.observe_interval(SwitcherFixture::sample(ceiling * 3.0));
+    f2.loop.run_until(f2.loop.now() + ms(100));
+  }
+  ASSERT_TRUE(s2.on_wifi());
+  for (int i = 0; i < 60; ++i) {
+    s2.observe_interval(SwitcherFixture::sample(ceiling * 0.05));
+    f2.loop.run_until(f2.loop.now() + ms(100));
+  }
+  EXPECT_FALSE(s2.on_wifi());
+  EXPECT_GE(s2.stats().downgrades_to_bt, 1u);
+  EXPECT_FALSE(f2.wifi_radio.usable());
+}
+
+TEST(Switcher, ReactivePolicySuffersUncoveredDemand) {
+  // The ablation demonstrating why prediction matters: with a reactive
+  // policy, sudden demand arrives while WiFi is still waking.
+  SwitcherFixture f;
+  SwitcherConfig config;
+  config.policy = SwitchPolicy::kReactive;
+  auto switcher = f.make(config);
+  const double ceiling = switcher.bt_capacity_bytes_per_interval();
+  for (int i = 0; i < 30; ++i) {
+    switcher.observe_interval(SwitcherFixture::sample(ceiling * 0.1));
+    f.loop.run_until(f.loop.now() + ms(100));
+  }
+  // Step demand: several intervals exceed BT before WiFi becomes usable.
+  for (int i = 0; i < 10; ++i) {
+    switcher.observe_interval(SwitcherFixture::sample(ceiling * 3.0));
+    f.loop.run_until(f.loop.now() + ms(100));
+  }
+  EXPECT_GE(switcher.stats().uncovered_demand_intervals, 1u);
+}
+
+}  // namespace
+}  // namespace gb::core

@@ -1,0 +1,203 @@
+// Tests for the energy substrate: the thermal throttle governor (Fig. 1
+// behaviour), component power integration, and the GPU execution model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "device/device_profiles.h"
+#include "device/gpu_model.h"
+#include "energy/power_model.h"
+#include "energy/thermal.h"
+#include "runtime/event_loop.h"
+
+namespace gb {
+namespace {
+
+TEST(Thermal, HeatsUnderLoadCoolsWhenIdle) {
+  energy::ThermalConfig config;
+  config.ambient_c = 30.0;
+  config.heating_rate_c_per_s = 0.2;
+  config.time_constant_s = 300.0;
+  energy::ThermalModel model(config);
+  model.advance(seconds(60.0), 1.0, 1.0);
+  const double hot = model.temperature_c();
+  EXPECT_GT(hot, 38.0);
+  model.advance(seconds(600.0), 0.0, 1.0);
+  EXPECT_LT(model.temperature_c(), hot);
+  EXPECT_GE(model.temperature_c(), config.ambient_c);
+}
+
+TEST(Thermal, ThrottleEngagesWithHysteresis) {
+  energy::ThermalConfig config;
+  config.ambient_c = 30.0;
+  config.heating_rate_c_per_s = 0.5;
+  config.time_constant_s = 300.0;
+  config.throttle_at_c = 85.0;
+  config.recover_at_c = 60.0;
+  energy::ThermalModel model(config);
+  while (!model.throttled()) model.advance(seconds(10.0), 1.0, 1.0);
+  EXPECT_GE(model.temperature_c(), 85.0);
+  // Cooling just below 85 must NOT clear the throttle (hysteresis).
+  while (model.temperature_c() > 70.0) {
+    model.advance(seconds(10.0), 0.0, 1.0);
+  }
+  EXPECT_TRUE(model.throttled());
+  while (model.temperature_c() > 59.0) {
+    model.advance(seconds(10.0), 0.0, 1.0);
+  }
+  EXPECT_FALSE(model.throttled());
+}
+
+TEST(Thermal, ReducedFrequencyHeatsFarLess) {
+  energy::ThermalConfig config;
+  config.heating_rate_c_per_s = 0.3;
+  energy::ThermalModel full(config);
+  energy::ThermalModel throttled(config);
+  full.advance(seconds(100.0), 1.0, 1.0);
+  throttled.advance(seconds(100.0), 1.0, 1.0 / 6.0);  // 600 -> 100 MHz
+  EXPECT_GT(full.temperature_c() - config.ambient_c,
+            10.0 * (throttled.temperature_c() - config.ambient_c));
+}
+
+TEST(Thermal, ActiveCoolingPreventsThrottle) {
+  // The same sustained load that throttles a phone leaves a fan-cooled
+  // console far from its limit — the §VII-B stability explanation.
+  energy::ThermalConfig phone;
+  phone.heating_rate_c_per_s = 0.16;
+  phone.time_constant_s = 600.0;
+  energy::ThermalConfig console = phone;
+  console.active_cooling = true;
+  console.active_cooling_factor = 8.0;
+  energy::ThermalModel phone_model(phone);
+  energy::ThermalModel console_model(console);
+  phone_model.advance(seconds(900.0), 1.0, 1.0);
+  console_model.advance(seconds(900.0), 1.0, 1.0);
+  EXPECT_TRUE(phone_model.throttled());
+  EXPECT_FALSE(console_model.throttled());
+}
+
+TEST(EnergyMeter, CpuPowerInterpolatesWithUtilization) {
+  energy::CpuPowerConfig config;
+  config.idle_w = 0.2;
+  config.full_load_w = 1.2;
+  energy::EnergyMeter meter;
+  meter.add_cpu(seconds(10.0), 0.5, config);
+  EXPECT_NEAR(meter.joules(), 10.0 * 0.7, 1e-9);
+}
+
+TEST(EnergyMeter, GpuAtFullTiltDrawsPaperPower) {
+  // §II: the GPU draws ~3 W when saturated — about 5x the CPU's share.
+  energy::GpuPowerConfig gpu;
+  energy::EnergyMeter meter;
+  meter.add_gpu(seconds(1.0), 1.0, 1.0, gpu);
+  EXPECT_NEAR(meter.joules(), 3.0, 0.05);
+}
+
+TEST(EnergyMeter, ThrottledGpuDrawsMuchLess) {
+  energy::GpuPowerConfig gpu;
+  energy::EnergyMeter full;
+  energy::EnergyMeter throttled;
+  full.add_gpu(seconds(10.0), 1.0, 1.0, gpu);
+  throttled.add_gpu(seconds(10.0), 1.0, 1.0 / 6.0, gpu);
+  EXPECT_LT(throttled.joules(), full.joules() * 0.55);
+}
+
+TEST(GpuModel, ServiceTimeMatchesFillrate) {
+  EventLoop loop;
+  device::GpuConfig config;
+  config.fillrate_pps = 1e9;
+  config.thermal.heating_rate_c_per_s = 0.0;  // isolate timing
+  device::GpuModel gpu(loop, config);
+  SimTime done_at;
+  gpu.submit(100e6, [&] { done_at = loop.now(); });  // 100 Mpx @ 1 GP/s
+  loop.run_until(seconds(1.0));
+  EXPECT_NEAR(done_at.ms(), 100.0, 0.1);
+}
+
+TEST(GpuModel, FcfsQueueingIsNonPreemptive) {
+  EventLoop loop;
+  device::GpuConfig config;
+  config.fillrate_pps = 1e9;
+  config.thermal.heating_rate_c_per_s = 0.0;
+  device::GpuModel gpu(loop, config);
+  std::vector<int> order;
+  SimTime second_done;
+  gpu.submit(50e6, [&] { order.push_back(1); });
+  gpu.submit(50e6, [&] {
+    order.push_back(2);
+    second_done = loop.now();
+  });
+  EXPECT_NEAR(gpu.queued_workload_pixels(), 100e6, 1.0);
+  loop.run_until(seconds(1.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_NEAR(second_done.ms(), 100.0, 0.2);
+  EXPECT_NEAR(gpu.queued_workload_pixels(), 0.0, 1.0);
+}
+
+TEST(GpuModel, ThrottlingCollapsesEffectiveFillrate) {
+  EventLoop loop;
+  device::DeviceProfile phone = device::nexus5();
+  device::GpuModel gpu(loop, phone.gpu);
+  EXPECT_NEAR(gpu.current_frequency_mhz(), 600.0, 1e-9);
+  const double full_rate = gpu.effective_fillrate_pps();
+  // Saturate the GPU for 15 simulated minutes.
+  std::function<void()> pump = [&] {
+    gpu.submit(50e6, [&] {
+      if (loop.now() < seconds(900.0)) pump();
+    });
+  };
+  pump();
+  // Track the frequency over the session: the governor must throttle within
+  // the first ten minutes (Fig. 1) and the effective fillrate collapse.
+  bool throttled_seen = false;
+  double min_effective = full_rate;
+  for (int t = 30; t <= 900; t += 30) {
+    loop.run_until(seconds(t));
+    gpu.sync();
+    throttled_seen |= gpu.throttled();
+    min_effective = std::min(min_effective, gpu.effective_fillrate_pps());
+    if (t <= 180) {
+      EXPECT_FALSE(gpu.throttled()) << "throttled unrealistically early";
+    }
+  }
+  EXPECT_TRUE(throttled_seen);
+  EXPECT_LT(min_effective, full_rate / 5.0);
+  EXPECT_GT(gpu.temperature_c(), 55.0);
+}
+
+TEST(GpuModel, EnergyAccumulatesWithBusyTime) {
+  EventLoop loop;
+  device::GpuConfig config;
+  config.fillrate_pps = 1e9;
+  config.thermal.heating_rate_c_per_s = 0.0;
+  device::GpuModel gpu(loop, config);
+  gpu.submit(500e6, [] {});  // 0.5 s busy
+  loop.run_until(seconds(10.0));
+  gpu.sync();
+  // ~0.5 s at ~3 W plus 9.5 s idle at 0.08 W.
+  EXPECT_NEAR(gpu.energy_joules(), 0.5 * 3.0 + 9.5 * 0.08, 0.2);
+  EXPECT_NEAR(gpu.busy_seconds(), 0.5, 0.01);
+}
+
+TEST(DeviceProfiles, TableOneCapabilitiesMatchPaper) {
+  const auto rows = device::table1_requirements();
+  ASSERT_EQ(rows.size(), 3u);
+  // The paper's core observation: CPU capability exceeds the requirement
+  // while GPU capability only *equals* it — the GPU is the bottleneck.
+  for (const auto& row : rows) {
+    EXPECT_GT(row.phone_cpu_ghz * row.phone_cpu_cores,
+              row.required_cpu_ghz * row.required_cpu_cores);
+    EXPECT_DOUBLE_EQ(row.phone_gpu_gps, row.required_gpu_gps);
+  }
+}
+
+TEST(DeviceProfiles, ServiceDevicesOutmuscleUserDevices) {
+  EXPECT_GT(device::nvidia_shield().gpu.fillrate_pps,
+            device::nexus5().gpu.fillrate_pps * 4);
+  EXPECT_GT(device::dell_optiplex_gtx750ti().gpu.fillrate_pps,
+            device::lg_g5().gpu.fillrate_pps * 2);
+  EXPECT_FALSE(device::nvidia_shield().gpu.thermal.active_cooling == false);
+}
+
+}  // namespace
+}  // namespace gb

@@ -1,0 +1,117 @@
+// Unit tests for the discrete-event kernel and virtual clock.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/event_loop.h"
+#include "runtime/sim_clock.h"
+
+namespace gb {
+namespace {
+
+TEST(SimTime, ConversionsAreConsistent) {
+  EXPECT_EQ(ms(1.0).us(), 1000);
+  EXPECT_EQ(seconds(1.0).us(), 1000000);
+  EXPECT_DOUBLE_EQ(seconds(2.5).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(ms(250.0).seconds(), 0.25);
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const SimTime a = ms(10);
+  const SimTime b = ms(3);
+  EXPECT_EQ((a + b).us(), 13000);
+  EXPECT_EQ((a - b).us(), 7000);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, ms(10));
+}
+
+TEST(EventLoop, RunsEventsInTimestampOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(ms(30), [&] { order.push_back(3); });
+  loop.schedule_at(ms(10), [&] { order.push_back(1); });
+  loop.schedule_at(ms(20), [&] { order.push_back(2); });
+  loop.run_until(ms(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, EqualTimestampsRunFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(ms(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run_until(ms(10));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, NowAdvancesToEventTime) {
+  EventLoop loop;
+  SimTime seen;
+  loop.schedule_at(ms(42), [&] { seen = loop.now(); });
+  loop.run_until(ms(100));
+  EXPECT_EQ(seen, ms(42));
+  EXPECT_EQ(loop.now(), ms(100));
+}
+
+TEST(EventLoop, RunUntilStopsBeforeLaterEvents) {
+  EventLoop loop;
+  bool late_ran = false;
+  loop.schedule_at(ms(200), [&] { late_ran = true; });
+  loop.run_until(ms(100));
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.run_until(ms(300));
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const auto id = loop.schedule_at(ms(10), [&] { ran = true; });
+  loop.cancel(id);
+  loop.run_until(ms(100));
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelIsIdempotentAndSelective) {
+  EventLoop loop;
+  int count = 0;
+  const auto id = loop.schedule_at(ms(10), [&] { ++count; });
+  loop.schedule_at(ms(10), [&] { ++count; });
+  loop.cancel(id);
+  loop.cancel(id);
+  loop.run_until(ms(100));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventLoop, HandlersMayScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(ms(1), recurse);
+  };
+  loop.schedule_after(ms(1), recurse);
+  loop.run_until(ms(100));
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(EventLoop, ScheduleInThePastClampsToNow) {
+  EventLoop loop;
+  loop.run_until(ms(50));
+  SimTime ran_at;
+  loop.schedule_at(ms(10), [&] { ran_at = loop.now(); });
+  loop.run_until(ms(60));
+  EXPECT_EQ(ran_at, ms(50));
+}
+
+TEST(EventLoop, StepReturnsFalseWhenIdle) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.step());
+  loop.schedule_at(ms(1), [] {});
+  EXPECT_TRUE(loop.step());
+  EXPECT_FALSE(loop.step());
+}
+
+}  // namespace
+}  // namespace gb

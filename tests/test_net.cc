@@ -1,0 +1,335 @@
+// Tests for the network substrate: radio power states, the broadcast medium
+// with loss/multicast, and the reliable ARQ transport.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/medium.h"
+#include "net/radio.h"
+#include "net/reliable.h"
+#include "net/tcp_model.h"
+#include "runtime/event_loop.h"
+
+namespace gb::net {
+namespace {
+
+MediumConfig lossless() {
+  MediumConfig c;
+  c.loss_rate = 0.0;
+  c.jitter_ms = 0.0;
+  return c;
+}
+
+TEST(Radio, WakeLatencyWarmVsReassociate) {
+  EventLoop loop;
+  RadioInterface radio(loop, wifi_radio_config(), "wifi",
+                       RadioInterface::State::kOn);
+  radio.power_off();
+  // Short nap: warm wake-up in 100 ms.
+  loop.run_until(seconds(1.0));
+  radio.power_on();
+  EXPECT_EQ(radio.state(), RadioInterface::State::kWaking);
+  EXPECT_EQ((radio.usable_at() - loop.now()).ms(), 100.0);
+  loop.run_until(seconds(1.2));
+  EXPECT_TRUE(radio.usable());
+
+  // Long sleep: re-association path, 500 ms.
+  radio.power_off();
+  loop.run_until(seconds(10.0));
+  radio.power_on();
+  EXPECT_EQ((radio.usable_at() - loop.now()).ms(), 500.0);
+}
+
+TEST(Radio, EnergyScalesWithAirtime) {
+  EventLoop loop;
+  RadioInterface idle(loop, wifi_radio_config(), "idle");
+  RadioInterface busy(loop, wifi_radio_config(), "busy");
+  loop.run_until(seconds(10.0));
+  busy.note_airtime(seconds(5.0));
+  const double idle_j = idle.energy_joules();
+  const double busy_j = busy.energy_joules();
+  // Idle draw 0.55 W for 10 s; busy adds (2.0 - 0.55) * 5.
+  EXPECT_NEAR(idle_j, 5.5, 0.01);
+  EXPECT_NEAR(busy_j, 5.5 + 1.45 * 5.0, 0.01);
+}
+
+TEST(Radio, OffStateIsNearlyFree) {
+  EventLoop loop;
+  RadioInterface radio(loop, wifi_radio_config(), "wifi");
+  radio.power_off();
+  loop.run_until(seconds(100.0));
+  EXPECT_LT(radio.energy_joules(), 1.5);
+}
+
+TEST(Radio, BluetoothOrderOfMagnitudeCheaper) {
+  const RadioConfig wifi = wifi_radio_config();
+  const RadioConfig bt = bluetooth_radio_config();
+  EXPECT_GE(wifi.power_tx_w / bt.power_tx_w, 10.0);
+  EXPECT_GE(wifi.bandwidth_bps / bt.bandwidth_bps, 5.0);
+}
+
+TEST(Medium, DeliversDatagramWithSerializationDelay) {
+  EventLoop loop;
+  Medium medium(loop, lossless(), Rng(1), "wifi");
+  RadioInterface radio(loop, wifi_radio_config(), "a");
+  std::vector<SimTime> arrivals;
+  medium.attach(1, &radio, [&](const Datagram&) {
+    arrivals.push_back(loop.now());
+  });
+  medium.attach(2, nullptr, [&](const Datagram&) {
+    arrivals.push_back(loop.now());
+  });
+  // 150 Mbps, 1.5 MB payload -> 80 ms serialization + 0.4 ms propagation.
+  EXPECT_TRUE(medium.send(1, 2, Bytes(1500000, 0)));
+  loop.run_until(seconds(1.0));
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_NEAR(arrivals[0].ms(), 80.0 + 0.4, 0.5);
+}
+
+TEST(Medium, SendFailsWhenRadioAsleep) {
+  EventLoop loop;
+  Medium medium(loop, lossless(), Rng(1), "wifi");
+  RadioInterface radio(loop, wifi_radio_config(), "a");
+  radio.power_off();
+  medium.attach(1, &radio, {});
+  medium.attach(2, nullptr, {});
+  EXPECT_FALSE(medium.send(1, 2, Bytes(10, 0)));
+}
+
+TEST(Medium, SleepingReceiverDropsDatagram) {
+  EventLoop loop;
+  Medium medium(loop, lossless(), Rng(1), "wifi");
+  RadioInterface rx_radio(loop, wifi_radio_config(), "rx");
+  int received = 0;
+  medium.attach(1, nullptr, {});
+  medium.attach(2, &rx_radio, [&](const Datagram&) { ++received; });
+  rx_radio.power_off();
+  EXPECT_TRUE(medium.send(1, 2, Bytes(10, 0)));
+  loop.run_until(seconds(1.0));
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(medium.stats().datagrams_lost, 1u);
+}
+
+TEST(Medium, LossRateDropsRoughlyExpectedFraction) {
+  EventLoop loop;
+  MediumConfig config;
+  config.loss_rate = 0.3;
+  config.jitter_ms = 0.0;
+  Medium medium(loop, config, Rng(7), "lossy");
+  int received = 0;
+  medium.attach(1, nullptr, {});
+  medium.attach(2, nullptr, [&](const Datagram&) { ++received; });
+  for (int i = 0; i < 1000; ++i) {
+    medium.send(1, 2, Bytes(8, 0));
+  }
+  loop.run_until(seconds(10.0));
+  EXPECT_NEAR(received, 700, 60);
+}
+
+TEST(Medium, MulticastReachesAllMembersWithOneTransmission) {
+  EventLoop loop;
+  Medium medium(loop, lossless(), Rng(1), "wifi");
+  std::map<NodeId, int> received;
+  medium.attach(1, nullptr, {});
+  for (NodeId member = 10; member <= 12; ++member) {
+    medium.attach(member, nullptr,
+                  [&received, member](const Datagram&) { ++received[member]; });
+    medium.join_group(100, member);
+  }
+  EXPECT_TRUE(medium.send(1, 100, Bytes(64, 0)));
+  loop.run_until(seconds(1.0));
+  EXPECT_EQ(received[10], 1);
+  EXPECT_EQ(received[11], 1);
+  EXPECT_EQ(received[12], 1);
+  EXPECT_EQ(medium.stats().datagrams_sent, 1u);
+}
+
+TEST(Medium, TransmissionsSerializeOnSharedAirtime) {
+  EventLoop loop;
+  Medium medium(loop, lossless(), Rng(1), "wifi");
+  RadioInterface radio(loop, wifi_radio_config(), "a");
+  std::vector<SimTime> arrivals;
+  medium.attach(1, &radio, {});
+  medium.attach(2, nullptr,
+                [&](const Datagram&) { arrivals.push_back(loop.now()); });
+  // Two 1.5 MB datagrams: the second starts only after the first finishes.
+  medium.send(1, 2, Bytes(1500000, 0));
+  medium.send(1, 2, Bytes(1500000, 0));
+  loop.run_until(seconds(2.0));
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR((arrivals[1] - arrivals[0]).ms(), 80.0, 1.0);
+}
+
+// --- reliable transport ---------------------------------------------------------
+
+struct ReliablePair {
+  EventLoop loop;
+  Medium medium{loop, lossless(), Rng(3), "m"};
+  ReliableEndpoint sender{loop, 1};
+  ReliableEndpoint receiver{loop, 2};
+  std::vector<Bytes> delivered;
+
+  explicit ReliablePair(double loss = 0.0, std::uint64_t seed = 3)
+      : medium(loop,
+               [&] {
+                 MediumConfig c;
+                 c.loss_rate = loss;
+                 c.jitter_ms = 0.1;
+                 return c;
+               }(),
+               Rng(seed), "m") {
+    sender.bind(medium, nullptr);
+    receiver.bind(medium, nullptr);
+    receiver.set_handler([this](NodeId, NodeId, Bytes message) {
+      delivered.push_back(std::move(message));
+    });
+  }
+};
+
+TEST(Reliable, SmallMessageDelivered) {
+  ReliablePair pair;
+  pair.sender.send(2, Bytes{1, 2, 3});
+  pair.loop.run_until(seconds(1.0));
+  ASSERT_EQ(pair.delivered.size(), 1u);
+  EXPECT_EQ(pair.delivered[0], (Bytes{1, 2, 3}));
+  EXPECT_TRUE(pair.sender.idle());
+}
+
+TEST(Reliable, LargeMessageChunksAndReassembles) {
+  ReliablePair pair;
+  Bytes big(100000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  pair.sender.send(2, big);
+  pair.loop.run_until(seconds(2.0));
+  ASSERT_EQ(pair.delivered.size(), 1u);
+  EXPECT_EQ(pair.delivered[0], big);
+  EXPECT_GT(pair.sender.stats().chunks_sent, 70u);
+}
+
+TEST(Reliable, EmptyMessageDelivered) {
+  ReliablePair pair;
+  pair.sender.send(2, Bytes{});
+  pair.loop.run_until(seconds(1.0));
+  ASSERT_EQ(pair.delivered.size(), 1u);
+  EXPECT_TRUE(pair.delivered[0].empty());
+}
+
+class ReliableLossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReliableLossSweep, AllMessagesDeliveredInOrderUnderLoss) {
+  ReliablePair pair(GetParam(), 17);
+  constexpr int kMessages = 40;
+  for (int i = 0; i < kMessages; ++i) {
+    Bytes msg(2000 + i * 13);
+    for (std::size_t b = 0; b < msg.size(); ++b) {
+      msg[b] = static_cast<std::uint8_t>(i + b);
+    }
+    pair.sender.send(2, std::move(msg));
+  }
+  pair.loop.run_until(seconds(30.0));
+  ASSERT_EQ(pair.delivered.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_EQ(pair.delivered[static_cast<std::size_t>(i)].size(),
+              2000u + static_cast<std::size_t>(i) * 13)
+        << "message " << i << " out of order or corrupted";
+    EXPECT_EQ(pair.delivered[static_cast<std::size_t>(i)][0],
+              static_cast<std::uint8_t>(i));
+  }
+  if (GetParam() > 0.0) {
+    EXPECT_GT(pair.sender.stats().chunks_retransmitted, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, ReliableLossSweep,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.4),
+                         [](const auto& info) {
+                           return "loss" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+TEST(Reliable, MulticastDeliversToAllMembers) {
+  EventLoop loop;
+  MediumConfig config;
+  config.loss_rate = 0.1;
+  Medium medium(loop, config, Rng(5), "m");
+  ReliableEndpoint sender(loop, 1);
+  sender.bind(medium, nullptr);
+  std::map<NodeId, std::vector<Bytes>> delivered;
+  std::vector<std::unique_ptr<ReliableEndpoint>> receivers;
+  for (NodeId node = 10; node <= 12; ++node) {
+    auto receiver = std::make_unique<ReliableEndpoint>(loop, node);
+    receiver->bind(medium, nullptr);
+    receiver->set_handler([&delivered, node](NodeId, NodeId, Bytes message) {
+      delivered[node].push_back(std::move(message));
+    });
+    medium.join_group(200, node);
+    receivers.push_back(std::move(receiver));
+  }
+  for (int i = 0; i < 10; ++i) {
+    sender.send_multicast(200, {10, 11, 12}, Bytes(5000, static_cast<std::uint8_t>(i)));
+  }
+  loop.run_until(seconds(20.0));
+  for (NodeId node = 10; node <= 12; ++node) {
+    ASSERT_EQ(delivered[node].size(), 10u) << "node " << node;
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(delivered[node][static_cast<std::size_t>(i)][0], i);
+    }
+  }
+}
+
+TEST(Reliable, RouteSwitchMidStream) {
+  EventLoop loop;
+  Medium a(loop, lossless(), Rng(1), "a");
+  Medium b(loop, lossless(), Rng(2), "b");
+  ReliableEndpoint sender(loop, 1);
+  ReliableEndpoint receiver(loop, 2);
+  sender.bind(a, nullptr);
+  sender.bind(b, nullptr);
+  receiver.bind(a, nullptr);
+  receiver.bind(b, nullptr);
+  std::vector<Bytes> delivered;
+  receiver.set_handler([&](NodeId, NodeId, Bytes m) {
+    delivered.push_back(std::move(m));
+  });
+  sender.send(2, Bytes{1});
+  loop.run_until(seconds(0.5));
+  sender.set_route(&b);
+  sender.send(2, Bytes{2});
+  loop.run_until(seconds(1.5));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0][0], 1);
+  EXPECT_EQ(delivered[1][0], 2);
+  EXPECT_GT(b.stats().datagrams_sent, 0u);
+}
+
+TEST(Reliable, AbandonsAfterMaxRetries) {
+  EventLoop loop;
+  MediumConfig config;
+  config.loss_rate = 1.0;  // black hole
+  Medium medium(loop, config, Rng(9), "void");
+  ReliableConfig rc;
+  rc.max_retries = 3;
+  ReliableEndpoint sender(loop, 1, rc);
+  sender.bind(medium, nullptr);
+  medium.attach(2, nullptr, {});
+  sender.send(2, Bytes(100, 0));
+  loop.run_until(seconds(5.0));
+  EXPECT_EQ(sender.stats().messages_abandoned, 1u);
+  EXPECT_TRUE(sender.idle());
+}
+
+TEST(TcpModel, DelayedAckFloorAndLossPenalty) {
+  TcpModelConfig config;
+  const SimTime clean = tcp_expected_latency(10000, config, 0.0);
+  EXPECT_GE(clean.ms(), 40.0);  // the §IV-B inherent delay
+  const SimTime lossy = tcp_expected_latency(10000, config, 0.05);
+  EXPECT_GT(lossy.ms(), clean.ms() + 50.0);
+}
+
+}  // namespace
+}  // namespace gb::net

@@ -1,0 +1,112 @@
+// Liveness of the in-order presenter (§VI-C) when a frame result is lost
+// for good: the display stream must skip the hole after the gap timeout
+// instead of stalling forever, and the dispatcher's workload bookkeeping
+// must be released.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/gbooster.h"
+#include "core/service_runtime.h"
+#include "device/device_profiles.h"
+#include "net/medium.h"
+#include "net/reliable.h"
+#include "runtime/event_loop.h"
+
+namespace gb::core {
+namespace {
+
+void issue_tiny_frame(gles::GlesApi& gl) {
+  gl.glClearColor(0.5f, 0.5f, 0.5f, 1.0f);
+  gl.glClear(gles::GL_COLOR_BUFFER_BIT);
+  gl.eglSwapBuffers();
+}
+
+TEST(PresenterLiveness, LostResultIsSkippedAfterGapTimeout) {
+  EventLoop loop;
+  net::MediumConfig mc;
+  mc.loss_rate = 0.0;
+  mc.jitter_ms = 0.0;
+  net::Medium wifi(loop, mc, Rng(4), "wifi");
+
+  ServiceRuntimeConfig service_config;
+  service_config.nominal_width = 64;
+  service_config.nominal_height = 48;
+  service_config.render_width = 64;
+  service_config.render_height = 48;
+  auto service = std::make_unique<ServiceRuntime>(
+      loop, 100, device::nvidia_shield(), service_config);
+  service->endpoint().bind(wifi, nullptr);
+
+  net::ReliableEndpoint user(loop, 1);
+  user.bind(wifi, nullptr);
+  GBoosterConfig config;
+  config.nominal_width = 64;
+  config.nominal_height = 48;
+  config.display_gap_timeout = seconds(0.5);
+  GBoosterRuntime gbooster(loop, config, user, {{100, "shield", 6e9}});
+
+  // Deliver everything except the result for sequence 1 — simulating a
+  // message the transport eventually abandoned.
+  user.set_handler([&](net::NodeId src, net::NodeId stream, Bytes message) {
+    if (peek_kind(message) == MsgKind::kFrame) {
+      const auto parsed = parse_frame_message(message);
+      if (parsed && parsed->header.sequence == 1) return;  // black hole
+    }
+    gbooster.on_message(src, stream, std::move(message));
+  });
+
+  std::vector<std::uint64_t> displayed;
+  gbooster.set_display_handler(
+      [&](std::uint64_t sequence, SimTime, const Image&) {
+        displayed.push_back(sequence);
+      });
+
+  issue_tiny_frame(gbooster.wrapper());
+  issue_tiny_frame(gbooster.wrapper());
+  issue_tiny_frame(gbooster.wrapper());
+  loop.run_until(seconds(5.0));
+
+  // Frame 0 displays normally; frame 1 is declared dropped after the gap
+  // timeout; frame 2 then displays.
+  EXPECT_EQ(displayed, (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_EQ(gbooster.stats().frames_dropped, 1u);
+  EXPECT_EQ(gbooster.pending_requests(), 0u);
+  // The dropped frame's workload no longer biases Eq. 4.
+  EXPECT_DOUBLE_EQ(gbooster.dispatcher().queued_workload(0), 0.0);
+}
+
+TEST(PresenterLiveness, NoSpuriousDropsWhenResultsFlow) {
+  EventLoop loop;
+  net::MediumConfig mc;
+  net::Medium wifi(loop, mc, Rng(4), "wifi");
+  ServiceRuntimeConfig service_config;
+  service_config.nominal_width = 64;
+  service_config.nominal_height = 48;
+  service_config.render_width = 64;
+  service_config.render_height = 48;
+  auto service = std::make_unique<ServiceRuntime>(
+      loop, 100, device::nvidia_shield(), service_config);
+  service->endpoint().bind(wifi, nullptr);
+  net::ReliableEndpoint user(loop, 1);
+  user.bind(wifi, nullptr);
+  GBoosterConfig config;
+  config.nominal_width = 64;
+  config.nominal_height = 48;
+  config.display_gap_timeout = seconds(0.5);
+  GBoosterRuntime gbooster(loop, config, user, {{100, "shield", 6e9}});
+  user.set_handler([&](net::NodeId src, net::NodeId stream, Bytes message) {
+    gbooster.on_message(src, stream, std::move(message));
+  });
+  int displayed = 0;
+  gbooster.set_display_handler(
+      [&](std::uint64_t, SimTime, const Image&) { ++displayed; });
+  for (int i = 0; i < 5; ++i) issue_tiny_frame(gbooster.wrapper());
+  loop.run_until(seconds(5.0));
+  EXPECT_EQ(displayed, 5);
+  EXPECT_EQ(gbooster.stats().frames_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace gb::core

@@ -1,0 +1,173 @@
+// Integration tests over the full session simulator: local execution,
+// single-device offload, energy accounting, and the Fig. 5/6/7 directional
+// effects on short sessions (the benches run the full-length versions).
+#include <gtest/gtest.h>
+
+#include "apps/workload.h"
+#include "device/device_profiles.h"
+#include "sim/cloud_model.h"
+#include "sim/session.h"
+
+namespace gb::sim {
+namespace {
+
+SessionConfig base_config(apps::WorkloadSpec workload, double duration_s) {
+  SessionConfig config;
+  config.workload = std::move(workload);
+  config.user_device = device::nexus5();
+  config.duration_s = duration_s;
+  config.seed = 7;
+  // Speedy content settings for tests.
+  config.service.render_width = 96;
+  config.service.render_height = 72;
+  config.service.content_sample_every = 6;
+  config.gbooster.nominal_width = 600;
+  config.gbooster.nominal_height = 480;
+  return config;
+}
+
+TEST(LocalSession, GpuBoundGameHitsExpectedFps) {
+  auto config = base_config(apps::g1_gta_san_andreas(), 30.0);
+  const SessionResult r = run_session(config);
+  // G1 on the Nexus 5: ~47 ms GPU frames -> low-20s FPS before throttling.
+  EXPECT_GT(r.metrics.median_fps, 17.0);
+  EXPECT_LT(r.metrics.median_fps, 26.0);
+  EXPECT_GT(r.metrics.frames_displayed, 400u);
+}
+
+TEST(LocalSession, PuzzleGameRunsFaster) {
+  auto config = base_config(apps::g5_candy_crush(), 30.0);
+  const SessionResult r = run_session(config);
+  EXPECT_GT(r.metrics.median_fps, 40.0);
+}
+
+TEST(LocalSession, FrameCapRespected) {
+  auto config = base_config(apps::ebook_reader(), 20.0);
+  const SessionResult r = run_session(config);
+  EXPECT_LE(r.metrics.median_fps, 61.0);
+}
+
+TEST(LocalSession, EnergyDominatedByGpuForActionGame) {
+  auto config = base_config(apps::g2_modern_combat(), 30.0);
+  const SessionResult r = run_session(config);
+  EXPECT_GT(r.energy.gpu_j, r.energy.cpu_j);
+  EXPECT_GT(r.energy.total(), 0.0);
+  EXPECT_NEAR(r.avg_power_w, r.energy.total() / 30.0, 1e-6);
+}
+
+TEST(LocalSession, GpuTraceCollectsWhenRequested) {
+  auto config = base_config(apps::g1_gta_san_andreas(), 20.0);
+  config.collect_gpu_trace = true;
+  const SessionResult r = run_session(config);
+  EXPECT_GE(r.gpu_frequency_trace.size(), 9u);
+  EXPECT_EQ(r.gpu_frequency_trace.size(), r.gpu_temperature_trace.size());
+  // Unthrottled at session start.
+  EXPECT_NEAR(r.gpu_frequency_trace.front().second, 600.0, 1e-6);
+}
+
+TEST(OffloadSession, BoostsActionGameFps) {
+  auto local = base_config(apps::g1_gta_san_andreas(), 30.0);
+  const SessionResult local_result = run_session(local);
+
+  auto offload = local;
+  offload.service_devices = {device::nvidia_shield()};
+  const SessionResult offload_result = run_session(offload);
+
+  EXPECT_GT(offload_result.metrics.median_fps,
+            local_result.metrics.median_fps * 1.3);
+  EXPECT_GT(offload_result.gbooster.frames_displayed, 700u);
+}
+
+TEST(OffloadSession, SavesEnergyOnGpuHeavyGame) {
+  auto local = base_config(apps::g2_modern_combat(), 30.0);
+  const SessionResult local_result = run_session(local);
+  auto offload = local;
+  offload.service_devices = {device::nvidia_shield()};
+  const SessionResult offload_result = run_session(offload);
+  EXPECT_LT(offload_result.energy.total(), local_result.energy.total());
+  // The saving comes from the GPU going idle.
+  EXPECT_LT(offload_result.energy.gpu_j, local_result.energy.gpu_j / 5.0);
+}
+
+TEST(OffloadSession, PuzzleGameGainsLittle) {
+  auto local = base_config(apps::g6_cut_the_rope(), 25.0);
+  const SessionResult local_result = run_session(local);
+  auto offload = local;
+  offload.service_devices = {device::nvidia_shield()};
+  const SessionResult offload_result = run_session(offload);
+  // Within ~15% of local: nothing like the action-game gains.
+  EXPECT_LT(offload_result.metrics.median_fps,
+            local_result.metrics.median_fps * 1.15);
+}
+
+TEST(OffloadSession, TrafficTraceCollected) {
+  auto config = base_config(apps::g1_gta_san_andreas(), 20.0);
+  config.service_devices = {device::nvidia_shield()};
+  config.collect_traffic_trace = true;
+  const SessionResult r = run_session(config);
+  EXPECT_GT(r.traffic_trace.size(), 150u);
+  double total = 0;
+  for (const auto& s : r.traffic_trace) total += s.traffic_bytes;
+  EXPECT_GT(total, 1e5);
+  EXPECT_GT(r.avg_traffic_mbps, 0.1);
+}
+
+TEST(OffloadSession, ReportsOverheads) {
+  auto config = base_config(apps::g1_gta_san_andreas(), 15.0);
+  config.service_devices = {device::nvidia_shield()};
+  const SessionResult r = run_session(config);
+  EXPECT_GT(r.memory_overhead_bytes, 10000u);
+  EXPECT_GT(r.cpu_usage_percent, 20.0);
+  EXPECT_LE(r.cpu_usage_percent, 100.0);
+  EXPECT_GT(r.gbooster.bytes_sent, 0u);
+  EXPECT_GT(r.gbooster.bytes_received, 0u);
+}
+
+TEST(OffloadSession, MoreDevicesRaiseActionFps) {
+  auto one = base_config(apps::g1_gta_san_andreas(), 25.0);
+  one.service_devices = {device::nvidia_shield()};
+  const SessionResult r1 = run_session(one);
+
+  auto three = one;
+  three.service_devices = {device::nvidia_shield(), device::nvidia_shield(),
+                           device::nvidia_shield()};
+  const SessionResult r3 = run_session(three);
+  EXPECT_GT(r3.metrics.median_fps, r1.metrics.median_fps * 1.1);
+}
+
+TEST(OffloadSession, NewGenerationPhoneBarelyBenefits) {
+  auto local = base_config(apps::g1_gta_san_andreas(), 25.0);
+  local.user_device = device::lg_g5();
+  const SessionResult local_result = run_session(local);
+  auto offload = local;
+  offload.service_devices = {device::nvidia_shield()};
+  const SessionResult offload_result = run_session(offload);
+  EXPECT_LT(offload_result.metrics.median_fps,
+            local_result.metrics.median_fps * 1.1);
+}
+
+TEST(OffloadSession, SwitcherSpendsTimeOnBothInterfaces) {
+  auto config = base_config(apps::g3_star_wars_kotor(), 25.0);
+  config.service_devices = {device::nvidia_shield()};
+  const SessionResult r = run_session(config);
+  const double total = r.switcher.seconds_on_wifi + r.switcher.seconds_on_bt;
+  EXPECT_GT(total, 20.0);
+}
+
+TEST(CloudModel, ReproducesOnLiveCharacteristics) {
+  const CloudResult cloud = evaluate_cloud(CloudConfig{});
+  EXPECT_NEAR(cloud.fps, 30.0, 1e-9);            // encoder cap
+  EXPECT_GT(cloud.response_time_ms, 120.0);      // ~150 ms in the paper
+  EXPECT_LT(cloud.response_time_ms, 200.0);
+  EXPECT_LE(cloud.stream_mbps, 10.0);            // fits the 10 Mbps pipe
+}
+
+TEST(CloudModel, ThinnerPipeCapsFps) {
+  CloudConfig config;
+  config.internet_bandwidth_bps = 1e6;
+  const CloudResult cloud = evaluate_cloud(config);
+  EXPECT_LT(cloud.fps, 30.0);
+}
+
+}  // namespace
+}  // namespace gb::sim

@@ -1,0 +1,381 @@
+// Tests for command serialization: the recorder (wrapper library), the
+// decoder (service replica), the deferred glVertexAttribPointer path, and
+// pixel-exact local-vs-replayed rendering.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gles/direct_backend.h"
+#include "wire/decoder.h"
+#include "wire/protocol.h"
+#include "wire/recorder.h"
+
+namespace gb::wire {
+namespace {
+
+using gles::DirectBackend;
+using gles::GL_ARRAY_BUFFER;
+using gles::GL_COLOR_BUFFER_BIT;
+using gles::GL_COMPILE_STATUS;
+using gles::GL_FLOAT;
+using gles::GL_FRAGMENT_SHADER;
+using gles::GL_LINK_STATUS;
+using gles::GL_TRIANGLES;
+using gles::GL_UNSIGNED_SHORT;
+using gles::GL_VERTEX_SHADER;
+using gles::GLuint;
+
+constexpr std::string_view kVs = R"(
+  attribute vec4 a_position;
+  void main() { gl_Position = a_position; }
+)";
+constexpr std::string_view kFs = R"(
+  precision mediump float;
+  uniform vec4 u_color;
+  void main() { gl_FragColor = u_color; }
+)";
+
+// Issues a small "frame" against any GlesApi: program setup + one triangle
+// from client memory + swap.
+void issue_frame(gles::GlesApi& gl, float r) {
+  const GLuint vs = gl.glCreateShader(GL_VERTEX_SHADER);
+  gl.glShaderSource(vs, kVs);
+  gl.glCompileShader(vs);
+  ASSERT_EQ(gl.glGetShaderiv(vs, GL_COMPILE_STATUS), 1);
+  const GLuint fs = gl.glCreateShader(GL_FRAGMENT_SHADER);
+  gl.glShaderSource(fs, kFs);
+  gl.glCompileShader(fs);
+  const GLuint prog = gl.glCreateProgram();
+  gl.glAttachShader(prog, vs);
+  gl.glAttachShader(prog, fs);
+  gl.glLinkProgram(prog);
+  ASSERT_EQ(gl.glGetProgramiv(prog, GL_LINK_STATUS), 1);
+  gl.glUseProgram(prog);
+  gl.glUniform4f(gl.glGetUniformLocation(prog, "u_color"), r, 1.0f, 0.0f, 1.0f);
+  static const float verts[] = {-1, -1, 0, 3, -1, 0, -1, 3, 0};
+  const auto loc =
+      static_cast<GLuint>(gl.glGetAttribLocation(prog, "a_position"));
+  gl.glEnableVertexAttribArray(loc);
+  gl.glVertexAttribPointer(loc, 3, GL_FLOAT, false, 0, verts);
+  gl.glClearColor(0, 0, 0, 1);
+  gl.glClear(GL_COLOR_BUFFER_BIT);
+  gl.glDrawArrays(GL_TRIANGLES, 0, 3);
+  gl.eglSwapBuffers();
+}
+
+TEST(Recorder, ReplayMatchesDirectRenderingPixelExact) {
+  // Render directly.
+  DirectBackend direct(32, 32, {});
+  issue_frame(direct, 0.5f);
+
+  // Record, then replay on a replica.
+  std::vector<FrameCommands> frames;
+  CommandRecorder recorder(32, 32, [&frames](FrameCommands frame) {
+    frames.push_back(std::move(frame));
+    return true;
+  });
+  issue_frame(recorder, 0.5f);
+  ASSERT_EQ(frames.size(), 1u);
+
+  DirectBackend replica(32, 32, {});
+  replay_frame(frames[0], replica);
+  EXPECT_EQ(replica.context().color_buffer(), direct.context().color_buffer());
+}
+
+TEST(Recorder, ShadowAnswersQueriesWithoutRoundTrip) {
+  CommandRecorder recorder(8, 8, [](FrameCommands) { return true; });
+  const GLuint vs = recorder.glCreateShader(GL_VERTEX_SHADER);
+  recorder.glShaderSource(vs, "garbage !!");
+  recorder.glCompileShader(vs);
+  EXPECT_EQ(recorder.glGetShaderiv(vs, GL_COMPILE_STATUS), 0);
+  EXPECT_FALSE(recorder.glGetShaderInfoLog(vs).empty());
+  EXPECT_EQ(recorder.glGetError(), gles::GL_NO_ERROR);
+}
+
+TEST(Recorder, DeferredClientPointerEmittedBeforeDraw) {
+  std::vector<FrameCommands> frames;
+  CommandRecorder recorder(8, 8, [&frames](FrameCommands frame) {
+    frames.push_back(std::move(frame));
+    return true;
+  });
+  static const float verts[] = {0, 0, 0, 1, 0, 0, 0, 1, 0};
+  recorder.glVertexAttribPointer(0, 3, GL_FLOAT, false, 0, verts);
+  recorder.glDrawArrays(GL_TRIANGLES, 0, 3);
+  recorder.eglSwapBuffers();
+  ASSERT_EQ(frames.size(), 1u);
+
+  // Expect: [client pointer record, draw record, swap].
+  std::vector<CmdOp> ops;
+  for (const CommandRecord& record : frames[0].records) {
+    ops.push_back(record.op());
+  }
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0], CmdOp::kVertexAttribPointerClient);
+  EXPECT_EQ(ops[1], CmdOp::kDrawArrays);
+  EXPECT_EQ(ops[2], CmdOp::kSwapBuffers);
+
+  // The deferred record carries exactly 3 vertices * 12 bytes.
+  ByteReader r(frames[0].records[0].bytes);
+  r.varint();  // opcode
+  r.varint();  // index
+  r.i32();     // size
+  r.u32();     // type
+  r.u8();      // normalized
+  r.i32();     // stride
+  EXPECT_EQ(r.blob().size(), 36u);
+}
+
+TEST(Recorder, DeferredPointerSizedByMaxElementIndex) {
+  std::vector<FrameCommands> frames;
+  CommandRecorder recorder(8, 8, [&frames](FrameCommands frame) {
+    frames.push_back(std::move(frame));
+    return true;
+  });
+  static const float verts[5 * 3] = {};
+  // Indices reference up to vertex 4 => 5 vertices must ship.
+  static const std::uint16_t indices[] = {0, 2, 4};
+  recorder.glVertexAttribPointer(0, 3, GL_FLOAT, false, 0, verts);
+  recorder.glDrawElements(GL_TRIANGLES, 3, GL_UNSIGNED_SHORT, indices);
+  recorder.eglSwapBuffers();
+  ASSERT_EQ(frames.size(), 1u);
+  ByteReader r(frames[0].records[0].bytes);
+  r.varint();
+  r.varint();
+  r.i32();
+  r.u32();
+  r.u8();
+  r.i32();
+  EXPECT_EQ(r.blob().size(), 5u * 12u);
+}
+
+TEST(Recorder, BufferBoundPointerSerializedImmediately) {
+  std::vector<FrameCommands> frames;
+  CommandRecorder recorder(8, 8, [&frames](FrameCommands frame) {
+    frames.push_back(std::move(frame));
+    return true;
+  });
+  GLuint vbo = 0;
+  recorder.glGenBuffers(1, &vbo);
+  recorder.glBindBuffer(GL_ARRAY_BUFFER, vbo);
+  const std::vector<float> data(12, 0.0f);
+  recorder.glBufferData(GL_ARRAY_BUFFER,
+                        static_cast<gles::GLsizeiptr>(data.size() * 4),
+                        data.data(), gles::GL_STATIC_DRAW);
+  recorder.glVertexAttribPointer(0, 3, GL_FLOAT, false, 0, nullptr);
+  recorder.eglSwapBuffers();
+  ASSERT_EQ(frames.size(), 1u);
+  bool found_buffer_pointer = false;
+  for (const CommandRecord& record : frames[0].records) {
+    if (record.op() == CmdOp::kVertexAttribPointerBuffer) {
+      found_buffer_pointer = true;
+    }
+    EXPECT_NE(record.op(), CmdOp::kVertexAttribPointerClient);
+  }
+  EXPECT_TRUE(found_buffer_pointer);
+}
+
+TEST(Recorder, RebindBracketsDeferredPointerWhenBufferBound) {
+  // Client pointer specified with binding 0, then another buffer bound
+  // before the draw: the deferred record must be bracketed by bind-0 /
+  // rebind records so the replica interprets the pointer correctly.
+  std::vector<FrameCommands> frames;
+  CommandRecorder recorder(8, 8, [&frames](FrameCommands frame) {
+    frames.push_back(std::move(frame));
+    return true;
+  });
+  static const float verts[9] = {};
+  recorder.glVertexAttribPointer(0, 3, GL_FLOAT, false, 0, verts);
+  GLuint vbo = 0;
+  recorder.glGenBuffers(1, &vbo);
+  recorder.glBindBuffer(GL_ARRAY_BUFFER, vbo);  // now binding != 0
+  recorder.glDrawArrays(GL_TRIANGLES, 0, 3);
+  recorder.eglSwapBuffers();
+  ASSERT_EQ(frames.size(), 1u);
+
+  std::vector<CmdOp> ops;
+  for (const CommandRecord& record : frames[0].records) {
+    ops.push_back(record.op());
+  }
+  // gen, bind(vbo), bind(0), client-pointer, bind(vbo), draw, swap
+  ASSERT_GE(ops.size(), 7u);
+  EXPECT_EQ(ops[2], CmdOp::kBindBuffer);
+  EXPECT_EQ(ops[3], CmdOp::kVertexAttribPointerClient);
+  EXPECT_EQ(ops[4], CmdOp::kBindBuffer);
+  EXPECT_EQ(ops[5], CmdOp::kDrawArrays);
+}
+
+TEST(Recorder, FrameProfileCountsCommands) {
+  CommandRecorder recorder(8, 8, [](FrameCommands) { return true; });
+  recorder.glClearColor(0, 0, 0, 1);
+  recorder.glClear(GL_COLOR_BUFFER_BIT);
+  GLuint tex = 0;
+  recorder.glGenTextures(1, &tex);
+  recorder.glBindTexture(gles::GL_TEXTURE_2D, tex);
+  recorder.eglSwapBuffers();
+  const FrameProfile& profile = recorder.last_frame_profile();
+  EXPECT_EQ(profile.command_count, 5u);  // 4 calls + swap
+  EXPECT_EQ(profile.texture_bind_count, 1u);
+  EXPECT_GT(profile.serialized_bytes, 0u);
+}
+
+TEST(Recorder, SequenceNumbersIncrease) {
+  std::vector<std::uint64_t> sequences;
+  CommandRecorder recorder(8, 8, [&sequences](FrameCommands frame) {
+    sequences.push_back(frame.sequence);
+    return true;
+  });
+  recorder.eglSwapBuffers();
+  recorder.eglSwapBuffers();
+  recorder.eglSwapBuffers();
+  EXPECT_EQ(sequences, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(Recorder, SwapReturnsSinkResult) {
+  CommandRecorder ok(8, 8, [](FrameCommands) { return true; });
+  EXPECT_TRUE(ok.eglSwapBuffers());
+  CommandRecorder rejecting(8, 8, [](FrameCommands) { return false; });
+  EXPECT_FALSE(rejecting.eglSwapBuffers());
+}
+
+TEST(Recorder, OverheadGrowsWithShadowObjects) {
+  CommandRecorder recorder(8, 8, [](FrameCommands) { return true; });
+  const std::size_t before = recorder.overhead_bytes();
+  GLuint vbo = 0;
+  recorder.glGenBuffers(1, &vbo);
+  recorder.glBindBuffer(GL_ARRAY_BUFFER, vbo);
+  std::vector<std::uint8_t> big(64 * 1024, 7);
+  recorder.glBufferData(GL_ARRAY_BUFFER,
+                        static_cast<gles::GLsizeiptr>(big.size()), big.data(),
+                        gles::GL_STATIC_DRAW);
+  EXPECT_GT(recorder.overhead_bytes(), before + big.size());
+}
+
+TEST(Decoder, TexturedSceneRoundTripsThroughBuffers) {
+  // A richer frame: buffer-sourced geometry, texture upload, uniforms.
+  const auto drive = [](gles::GlesApi& gl) {
+    const GLuint vs = gl.glCreateShader(GL_VERTEX_SHADER);
+    gl.glShaderSource(vs, R"(
+        attribute vec4 a_position;
+        varying vec2 v_uv;
+        void main() {
+          gl_Position = a_position;
+          v_uv = a_position.xy * 0.5 + vec2(0.5, 0.5);
+        }
+    )");
+    gl.glCompileShader(vs);
+    const GLuint fs = gl.glCreateShader(GL_FRAGMENT_SHADER);
+    gl.glShaderSource(fs, R"(
+        precision mediump float;
+        varying vec2 v_uv;
+        uniform sampler2D u_tex;
+        void main() { gl_FragColor = texture2D(u_tex, v_uv); }
+    )");
+    gl.glCompileShader(fs);
+    const GLuint prog = gl.glCreateProgram();
+    gl.glAttachShader(prog, vs);
+    gl.glAttachShader(prog, fs);
+    gl.glLinkProgram(prog);
+    gl.glUseProgram(prog);
+
+    GLuint tex = 0;
+    gl.glGenTextures(1, &tex);
+    gl.glBindTexture(gles::GL_TEXTURE_2D, tex);
+    std::vector<std::uint8_t> pixels(8 * 8 * 4);
+    for (std::size_t i = 0; i < pixels.size(); i += 4) {
+      pixels[i] = static_cast<std::uint8_t>(i);
+      pixels[i + 3] = 255;
+    }
+    gl.glTexImage2D(gles::GL_TEXTURE_2D, 0, gles::GL_RGBA, 8, 8, 0,
+                    gles::GL_RGBA, gles::GL_UNSIGNED_BYTE, pixels.data());
+    gl.glUniform1i(gl.glGetUniformLocation(prog, "u_tex"), 0);
+
+    const float verts[] = {-1, -1, 0, 1, -1, 0, 1, 1, 0, -1, 1, 0};
+    const std::uint16_t indices[] = {0, 1, 2, 0, 2, 3};
+    GLuint buffers[2];
+    gl.glGenBuffers(2, buffers);
+    gl.glBindBuffer(GL_ARRAY_BUFFER, buffers[0]);
+    gl.glBufferData(GL_ARRAY_BUFFER, sizeof(verts), verts,
+                    gles::GL_STATIC_DRAW);
+    gl.glBindBuffer(gles::GL_ELEMENT_ARRAY_BUFFER, buffers[1]);
+    gl.glBufferData(gles::GL_ELEMENT_ARRAY_BUFFER, sizeof(indices), indices,
+                    gles::GL_STATIC_DRAW);
+    const auto loc =
+        static_cast<GLuint>(gl.glGetAttribLocation(prog, "a_position"));
+    gl.glEnableVertexAttribArray(loc);
+    gl.glVertexAttribPointer(loc, 3, GL_FLOAT, false, 0, nullptr);
+    gl.glClear(GL_COLOR_BUFFER_BIT);
+    gl.glDrawElements(GL_TRIANGLES, 6, GL_UNSIGNED_SHORT, nullptr);
+    gl.eglSwapBuffers();
+  };
+
+  DirectBackend direct(24, 24, {});
+  drive(direct);
+
+  std::vector<FrameCommands> frames;
+  CommandRecorder recorder(24, 24, [&frames](FrameCommands frame) {
+    frames.push_back(std::move(frame));
+    return true;
+  });
+  drive(recorder);
+  ASSERT_EQ(frames.size(), 1u);
+
+  DirectBackend replica(24, 24, {});
+  replay_frame(frames[0], replica);
+  EXPECT_EQ(replica.context().color_buffer(), direct.context().color_buffer());
+}
+
+TEST(Decoder, MultiFrameReplayKeepsStateAcrossFrames) {
+  // Frame 1 sets up state; frame 2 only draws. Replaying both in order on a
+  // replica must produce the same result as direct execution.
+  const auto frame1 = [](gles::GlesApi& gl) {
+    issue_frame(gl, 0.25f);
+  };
+  const auto frame2 = [](gles::GlesApi& gl) {
+    gl.glClear(GL_COLOR_BUFFER_BIT);
+    static const float verts[] = {-1, -1, 0, 3, -1, 0, -1, 3, 0};
+    gl.glVertexAttribPointer(0, 3, GL_FLOAT, false, 0, verts);
+    gl.glDrawArrays(GL_TRIANGLES, 0, 3);
+    gl.eglSwapBuffers();
+  };
+
+  DirectBackend direct(16, 16, {});
+  frame1(direct);
+  frame2(direct);
+
+  std::vector<FrameCommands> frames;
+  CommandRecorder recorder(16, 16, [&frames](FrameCommands frame) {
+    frames.push_back(std::move(frame));
+    return true;
+  });
+  frame1(recorder);
+  frame2(recorder);
+  ASSERT_EQ(frames.size(), 2u);
+
+  DirectBackend replica(16, 16, {});
+  replay_frame(frames[0], replica);
+  replay_frame(frames[1], replica);
+  EXPECT_EQ(replica.context().color_buffer(), direct.context().color_buffer());
+}
+
+TEST(Protocol, StateMutationClassification) {
+  EXPECT_TRUE(mutates_shared_state(CmdOp::kUseProgram));
+  EXPECT_TRUE(mutates_shared_state(CmdOp::kBufferData));
+  EXPECT_TRUE(mutates_shared_state(CmdOp::kTexImage2D));
+  EXPECT_TRUE(mutates_shared_state(CmdOp::kUniform4f));
+  EXPECT_FALSE(mutates_shared_state(CmdOp::kClear));
+  EXPECT_FALSE(mutates_shared_state(CmdOp::kDrawArrays));
+  EXPECT_FALSE(mutates_shared_state(CmdOp::kDrawElementsBuffer));
+  EXPECT_FALSE(mutates_shared_state(CmdOp::kSwapBuffers));
+  EXPECT_FALSE(mutates_shared_state(CmdOp::kVertexAttribPointerClient));
+}
+
+TEST(Decoder, MalformedRecordThrows) {
+  CommandRecord bogus;
+  bogus.bytes = {0xff, 0xff, 0xff};
+  DirectBackend replica(8, 8, {});
+  EXPECT_THROW(replay_record(bogus, replica), Error);
+}
+
+}  // namespace
+}  // namespace gb::wire
