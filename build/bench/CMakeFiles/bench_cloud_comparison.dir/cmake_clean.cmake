@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cloud_comparison.dir/bench_cloud_comparison.cc.o"
+  "CMakeFiles/bench_cloud_comparison.dir/bench_cloud_comparison.cc.o.d"
+  "bench_cloud_comparison"
+  "bench_cloud_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cloud_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

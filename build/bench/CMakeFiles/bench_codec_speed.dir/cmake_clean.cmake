@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codec_speed.dir/bench_codec_speed.cc.o"
+  "CMakeFiles/bench_codec_speed.dir/bench_codec_speed.cc.o.d"
+  "bench_codec_speed"
+  "bench_codec_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codec_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dispatch_ablation.dir/bench_dispatch_ablation.cc.o"
+  "CMakeFiles/bench_dispatch_ablation.dir/bench_dispatch_ablation.cc.o.d"
+  "bench_dispatch_ablation"
+  "bench_dispatch_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dispatch_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_thermal.dir/bench_fig1_thermal.cc.o"
+  "CMakeFiles/bench_fig1_thermal.dir/bench_fig1_thermal.cc.o.d"
+  "bench_fig1_thermal"
+  "bench_fig1_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_multidevice.dir/bench_fig7_multidevice.cc.o"
+  "CMakeFiles/bench_fig7_multidevice.dir/bench_fig7_multidevice.cc.o.d"
+  "bench_fig7_multidevice"
+  "bench_fig7_multidevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_multidevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

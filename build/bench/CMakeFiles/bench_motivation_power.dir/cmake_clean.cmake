@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_power.dir/bench_motivation_power.cc.o"
+  "CMakeFiles/bench_motivation_power.dir/bench_motivation_power.cc.o.d"
+  "bench_motivation_power"
+  "bench_motivation_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

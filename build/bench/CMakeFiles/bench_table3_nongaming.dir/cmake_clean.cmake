@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nongaming.dir/bench_table3_nongaming.cc.o"
+  "CMakeFiles/bench_table3_nongaming.dir/bench_table3_nongaming.cc.o.d"
+  "bench_table3_nongaming"
+  "bench_table3_nongaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nongaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traffic_redundancy.dir/bench_traffic_redundancy.cc.o"
+  "CMakeFiles/bench_traffic_redundancy.dir/bench_traffic_redundancy.cc.o.d"
+  "bench_traffic_redundancy"
+  "bench_traffic_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traffic_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transparent_hooking.dir/transparent_hooking.cpp.o"
+  "CMakeFiles/transparent_hooking.dir/transparent_hooking.cpp.o.d"
+  "transparent_hooking"
+  "transparent_hooking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transparent_hooking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

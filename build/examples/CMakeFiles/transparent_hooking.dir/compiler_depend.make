@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for transparent_hooking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("runtime")
+subdirs("gles")
+subdirs("hooking")
+subdirs("wire")
+subdirs("compress")
+subdirs("codec")
+subdirs("predict")
+subdirs("net")
+subdirs("energy")
+subdirs("device")
+subdirs("apps")
+subdirs("core")
+subdirs("sim")

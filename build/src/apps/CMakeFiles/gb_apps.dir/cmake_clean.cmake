@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_apps.dir/game_app.cc.o"
+  "CMakeFiles/gb_apps.dir/game_app.cc.o.d"
+  "CMakeFiles/gb_apps.dir/touch.cc.o"
+  "CMakeFiles/gb_apps.dir/touch.cc.o.d"
+  "CMakeFiles/gb_apps.dir/workload.cc.o"
+  "CMakeFiles/gb_apps.dir/workload.cc.o.d"
+  "libgb_apps.a"
+  "libgb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/block_coding.cc" "src/codec/CMakeFiles/gb_codec.dir/block_coding.cc.o" "gcc" "src/codec/CMakeFiles/gb_codec.dir/block_coding.cc.o.d"
+  "/root/repo/src/codec/dct.cc" "src/codec/CMakeFiles/gb_codec.dir/dct.cc.o" "gcc" "src/codec/CMakeFiles/gb_codec.dir/dct.cc.o.d"
+  "/root/repo/src/codec/huffman.cc" "src/codec/CMakeFiles/gb_codec.dir/huffman.cc.o" "gcc" "src/codec/CMakeFiles/gb_codec.dir/huffman.cc.o.d"
+  "/root/repo/src/codec/turbo_codec.cc" "src/codec/CMakeFiles/gb_codec.dir/turbo_codec.cc.o" "gcc" "src/codec/CMakeFiles/gb_codec.dir/turbo_codec.cc.o.d"
+  "/root/repo/src/codec/video_ref.cc" "src/codec/CMakeFiles/gb_codec.dir/video_ref.cc.o" "gcc" "src/codec/CMakeFiles/gb_codec.dir/video_ref.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

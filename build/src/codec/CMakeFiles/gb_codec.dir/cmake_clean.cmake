@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_codec.dir/block_coding.cc.o"
+  "CMakeFiles/gb_codec.dir/block_coding.cc.o.d"
+  "CMakeFiles/gb_codec.dir/dct.cc.o"
+  "CMakeFiles/gb_codec.dir/dct.cc.o.d"
+  "CMakeFiles/gb_codec.dir/huffman.cc.o"
+  "CMakeFiles/gb_codec.dir/huffman.cc.o.d"
+  "CMakeFiles/gb_codec.dir/turbo_codec.cc.o"
+  "CMakeFiles/gb_codec.dir/turbo_codec.cc.o.d"
+  "CMakeFiles/gb_codec.dir/video_ref.cc.o"
+  "CMakeFiles/gb_codec.dir/video_ref.cc.o.d"
+  "libgb_codec.a"
+  "libgb_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_common.dir/rng.cc.o"
+  "CMakeFiles/gb_common.dir/rng.cc.o.d"
+  "libgb_common.a"
+  "libgb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

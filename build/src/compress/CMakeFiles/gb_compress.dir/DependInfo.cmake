@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/command_cache.cc" "src/compress/CMakeFiles/gb_compress.dir/command_cache.cc.o" "gcc" "src/compress/CMakeFiles/gb_compress.dir/command_cache.cc.o.d"
+  "/root/repo/src/compress/lz4.cc" "src/compress/CMakeFiles/gb_compress.dir/lz4.cc.o" "gcc" "src/compress/CMakeFiles/gb_compress.dir/lz4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gb_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/gles/CMakeFiles/gb_gles.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

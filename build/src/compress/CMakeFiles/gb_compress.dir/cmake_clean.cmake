@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_compress.dir/command_cache.cc.o"
+  "CMakeFiles/gb_compress.dir/command_cache.cc.o.d"
+  "CMakeFiles/gb_compress.dir/lz4.cc.o"
+  "CMakeFiles/gb_compress.dir/lz4.cc.o.d"
+  "libgb_compress.a"
+  "libgb_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

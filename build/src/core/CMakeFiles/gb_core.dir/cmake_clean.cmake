@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_core.dir/dispatcher.cc.o"
+  "CMakeFiles/gb_core.dir/dispatcher.cc.o.d"
+  "CMakeFiles/gb_core.dir/gbooster.cc.o"
+  "CMakeFiles/gb_core.dir/gbooster.cc.o.d"
+  "CMakeFiles/gb_core.dir/interface_switcher.cc.o"
+  "CMakeFiles/gb_core.dir/interface_switcher.cc.o.d"
+  "CMakeFiles/gb_core.dir/offload_protocol.cc.o"
+  "CMakeFiles/gb_core.dir/offload_protocol.cc.o.d"
+  "CMakeFiles/gb_core.dir/service_runtime.cc.o"
+  "CMakeFiles/gb_core.dir/service_runtime.cc.o.d"
+  "CMakeFiles/gb_core.dir/service_runtime_exec.cc.o"
+  "CMakeFiles/gb_core.dir/service_runtime_exec.cc.o.d"
+  "libgb_core.a"
+  "libgb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device_profiles.cc" "src/device/CMakeFiles/gb_device.dir/device_profiles.cc.o" "gcc" "src/device/CMakeFiles/gb_device.dir/device_profiles.cc.o.d"
+  "/root/repo/src/device/gpu_model.cc" "src/device/CMakeFiles/gb_device.dir/gpu_model.cc.o" "gcc" "src/device/CMakeFiles/gb_device.dir/gpu_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/gb_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_device.dir/device_profiles.cc.o"
+  "CMakeFiles/gb_device.dir/device_profiles.cc.o.d"
+  "CMakeFiles/gb_device.dir/gpu_model.cc.o"
+  "CMakeFiles/gb_device.dir/gpu_model.cc.o.d"
+  "libgb_device.a"
+  "libgb_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

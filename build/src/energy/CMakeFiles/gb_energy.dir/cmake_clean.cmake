@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_energy.dir/thermal.cc.o"
+  "CMakeFiles/gb_energy.dir/thermal.cc.o.d"
+  "libgb_energy.a"
+  "libgb_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gles/api.cc" "src/gles/CMakeFiles/gb_gles.dir/api.cc.o" "gcc" "src/gles/CMakeFiles/gb_gles.dir/api.cc.o.d"
+  "/root/repo/src/gles/context.cc" "src/gles/CMakeFiles/gb_gles.dir/context.cc.o" "gcc" "src/gles/CMakeFiles/gb_gles.dir/context.cc.o.d"
+  "/root/repo/src/gles/context_draw.cc" "src/gles/CMakeFiles/gb_gles.dir/context_draw.cc.o" "gcc" "src/gles/CMakeFiles/gb_gles.dir/context_draw.cc.o.d"
+  "/root/repo/src/gles/direct_backend.cc" "src/gles/CMakeFiles/gb_gles.dir/direct_backend.cc.o" "gcc" "src/gles/CMakeFiles/gb_gles.dir/direct_backend.cc.o.d"
+  "/root/repo/src/gles/shader_compiler.cc" "src/gles/CMakeFiles/gb_gles.dir/shader_compiler.cc.o" "gcc" "src/gles/CMakeFiles/gb_gles.dir/shader_compiler.cc.o.d"
+  "/root/repo/src/gles/shader_vm.cc" "src/gles/CMakeFiles/gb_gles.dir/shader_vm.cc.o" "gcc" "src/gles/CMakeFiles/gb_gles.dir/shader_vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

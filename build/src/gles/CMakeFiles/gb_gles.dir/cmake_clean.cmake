@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_gles.dir/api.cc.o"
+  "CMakeFiles/gb_gles.dir/api.cc.o.d"
+  "CMakeFiles/gb_gles.dir/context.cc.o"
+  "CMakeFiles/gb_gles.dir/context.cc.o.d"
+  "CMakeFiles/gb_gles.dir/context_draw.cc.o"
+  "CMakeFiles/gb_gles.dir/context_draw.cc.o.d"
+  "CMakeFiles/gb_gles.dir/direct_backend.cc.o"
+  "CMakeFiles/gb_gles.dir/direct_backend.cc.o.d"
+  "CMakeFiles/gb_gles.dir/shader_compiler.cc.o"
+  "CMakeFiles/gb_gles.dir/shader_compiler.cc.o.d"
+  "CMakeFiles/gb_gles.dir/shader_vm.cc.o"
+  "CMakeFiles/gb_gles.dir/shader_vm.cc.o.d"
+  "libgb_gles.a"
+  "libgb_gles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_gles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_hooking.dir/dynamic_linker.cc.o"
+  "CMakeFiles/gb_hooking.dir/dynamic_linker.cc.o.d"
+  "libgb_hooking.a"
+  "libgb_hooking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_hooking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

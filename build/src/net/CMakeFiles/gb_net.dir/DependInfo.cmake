@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/medium.cc" "src/net/CMakeFiles/gb_net.dir/medium.cc.o" "gcc" "src/net/CMakeFiles/gb_net.dir/medium.cc.o.d"
+  "/root/repo/src/net/radio.cc" "src/net/CMakeFiles/gb_net.dir/radio.cc.o" "gcc" "src/net/CMakeFiles/gb_net.dir/radio.cc.o.d"
+  "/root/repo/src/net/reliable.cc" "src/net/CMakeFiles/gb_net.dir/reliable.cc.o" "gcc" "src/net/CMakeFiles/gb_net.dir/reliable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gb_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

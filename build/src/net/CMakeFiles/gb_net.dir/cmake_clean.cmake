@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_net.dir/medium.cc.o"
+  "CMakeFiles/gb_net.dir/medium.cc.o.d"
+  "CMakeFiles/gb_net.dir/radio.cc.o"
+  "CMakeFiles/gb_net.dir/radio.cc.o.d"
+  "CMakeFiles/gb_net.dir/reliable.cc.o"
+  "CMakeFiles/gb_net.dir/reliable.cc.o.d"
+  "libgb_net.a"
+  "libgb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

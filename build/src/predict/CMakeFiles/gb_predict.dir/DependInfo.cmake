@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/armax.cc" "src/predict/CMakeFiles/gb_predict.dir/armax.cc.o" "gcc" "src/predict/CMakeFiles/gb_predict.dir/armax.cc.o.d"
+  "/root/repo/src/predict/rls.cc" "src/predict/CMakeFiles/gb_predict.dir/rls.cc.o" "gcc" "src/predict/CMakeFiles/gb_predict.dir/rls.cc.o.d"
+  "/root/repo/src/predict/traffic_predictor.cc" "src/predict/CMakeFiles/gb_predict.dir/traffic_predictor.cc.o" "gcc" "src/predict/CMakeFiles/gb_predict.dir/traffic_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

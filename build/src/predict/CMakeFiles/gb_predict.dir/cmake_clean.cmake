@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_predict.dir/armax.cc.o"
+  "CMakeFiles/gb_predict.dir/armax.cc.o.d"
+  "CMakeFiles/gb_predict.dir/rls.cc.o"
+  "CMakeFiles/gb_predict.dir/rls.cc.o.d"
+  "CMakeFiles/gb_predict.dir/traffic_predictor.cc.o"
+  "CMakeFiles/gb_predict.dir/traffic_predictor.cc.o.d"
+  "libgb_predict.a"
+  "libgb_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_runtime.dir/event_loop.cc.o"
+  "CMakeFiles/gb_runtime.dir/event_loop.cc.o.d"
+  "libgb_runtime.a"
+  "libgb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_sim.dir/metrics.cc.o"
+  "CMakeFiles/gb_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/gb_sim.dir/multiuser.cc.o"
+  "CMakeFiles/gb_sim.dir/multiuser.cc.o.d"
+  "CMakeFiles/gb_sim.dir/session.cc.o"
+  "CMakeFiles/gb_sim.dir/session.cc.o.d"
+  "libgb_sim.a"
+  "libgb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/decoder.cc" "src/wire/CMakeFiles/gb_wire.dir/decoder.cc.o" "gcc" "src/wire/CMakeFiles/gb_wire.dir/decoder.cc.o.d"
+  "/root/repo/src/wire/recorder.cc" "src/wire/CMakeFiles/gb_wire.dir/recorder.cc.o" "gcc" "src/wire/CMakeFiles/gb_wire.dir/recorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gles/CMakeFiles/gb_gles.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_wire.dir/decoder.cc.o"
+  "CMakeFiles/gb_wire.dir/decoder.cc.o.d"
+  "CMakeFiles/gb_wire.dir/recorder.cc.o"
+  "CMakeFiles/gb_wire.dir/recorder.cc.o.d"
+  "libgb_wire.a"
+  "libgb_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

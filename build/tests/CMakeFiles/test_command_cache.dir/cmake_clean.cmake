@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_command_cache.dir/test_command_cache.cc.o"
+  "CMakeFiles/test_command_cache.dir/test_command_cache.cc.o.d"
+  "test_command_cache"
+  "test_command_cache.pdb"
+  "test_command_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_command_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

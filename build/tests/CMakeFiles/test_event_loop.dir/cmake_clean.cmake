@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_loop.dir/test_event_loop.cc.o"
+  "CMakeFiles/test_event_loop.dir/test_event_loop.cc.o.d"
+  "test_event_loop"
+  "test_event_loop.pdb"
+  "test_event_loop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

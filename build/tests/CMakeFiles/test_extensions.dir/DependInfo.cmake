@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/test_extensions.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_extensions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/gb_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/gb_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/gb_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/gb_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gb_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gb_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooking/CMakeFiles/gb_hooking.dir/DependInfo.cmake"
+  "/root/repo/build/src/gles/CMakeFiles/gb_gles.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

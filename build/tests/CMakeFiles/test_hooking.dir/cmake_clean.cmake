@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hooking.dir/test_hooking.cc.o"
+  "CMakeFiles/test_hooking.dir/test_hooking.cc.o.d"
+  "test_hooking"
+  "test_hooking.pdb"
+  "test_hooking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hooking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

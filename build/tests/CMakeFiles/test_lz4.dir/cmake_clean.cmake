@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lz4.dir/test_lz4.cc.o"
+  "CMakeFiles/test_lz4.dir/test_lz4.cc.o.d"
+  "test_lz4"
+  "test_lz4.pdb"
+  "test_lz4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lz4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

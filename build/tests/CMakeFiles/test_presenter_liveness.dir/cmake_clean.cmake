@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_presenter_liveness.dir/test_presenter_liveness.cc.o"
+  "CMakeFiles/test_presenter_liveness.dir/test_presenter_liveness.cc.o.d"
+  "test_presenter_liveness"
+  "test_presenter_liveness.pdb"
+  "test_presenter_liveness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_presenter_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

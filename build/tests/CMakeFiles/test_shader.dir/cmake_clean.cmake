@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shader.dir/test_shader.cc.o"
+  "CMakeFiles/test_shader.dir/test_shader.cc.o.d"
+  "test_shader"
+  "test_shader.pdb"
+  "test_shader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
