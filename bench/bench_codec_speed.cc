@@ -55,6 +55,26 @@ void BM_TurboEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_TurboEncode)->Arg(50)->Arg(75)->Arg(90);
 
+// Thread ablation at fixed quality; wall-clock rate so the counter reflects
+// real scaling, not per-thread CPU accounting. bench_parallel_pipeline runs
+// the same sweep at a larger frame size alongside decode and rasterization.
+void BM_TurboEncodeThreads(benchmark::State& state) {
+  const auto& seq = frames();
+  codec::TurboConfig config{.quality = 75};
+  config.threads = static_cast<int>(state.range(0));
+  codec::TurboEncoder encoder(config);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Bytes out = encoder.encode(seq[i++ % seq.size()]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const double pixels = static_cast<double>(state.iterations()) *
+                        seq[0].pixel_count();
+  state.counters["MP/s"] =
+      benchmark::Counter(pixels / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TurboEncodeThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_ReferenceVideoEncode(benchmark::State& state) {
   const auto& seq = frames();
   codec::ReferenceVideoEncoder encoder(

@@ -1,0 +1,100 @@
+// Thread-scaling benchmark for the parallel frame pipeline: Turbo encode,
+// Turbo decode, and row-band rasterization at 1/2/4/8 worker threads.
+//
+//   ./bench_parallel_pipeline                      # console table
+//   ./bench_parallel_pipeline --benchmark_format=json
+//
+// On a single-core host the >1-thread rows measure scheduling overhead, not
+// speedup; record results from a multi-core machine for scaling claims.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "apps/game_app.h"
+#include "codec/turbo_codec.h"
+#include "common/rng.h"
+#include "gles/direct_backend.h"
+
+using namespace gb;
+
+namespace {
+
+constexpr int kWidth = 640;
+constexpr int kHeight = 480;
+
+// Pre-renders a short animated sequence once per process.
+const std::vector<Image>& frames() {
+  static const std::vector<Image> kFrames = [] {
+    gles::DirectBackend backend(kWidth, kHeight, {});
+    apps::GameApp app(apps::g2_modern_combat(), backend, kWidth, kHeight,
+                      Rng(9));
+    app.setup();
+    std::vector<Image> out;
+    for (int f = 0; f < 8; ++f) {
+      app.render_frame(0.3 + f * 0.04, false);
+      out.push_back(backend.context().color_buffer());
+    }
+    return out;
+  }();
+  return kFrames;
+}
+
+void report_throughput(benchmark::State& state, std::size_t pixels) {
+  state.counters["MP/s"] = benchmark::Counter(
+      static_cast<double>(pixels) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void BM_ParallelEncode(benchmark::State& state) {
+  const auto& seq = frames();
+  codec::TurboConfig config;
+  config.threads = static_cast<int>(state.range(0));
+  codec::TurboEncoder encoder(config);
+  std::size_t i = 0;
+  std::size_t pixels = 0;
+  for (auto _ : state) {
+    const Bytes out = encoder.encode(seq[i++ % seq.size()]);
+    benchmark::DoNotOptimize(out.data());
+    pixels += seq[0].pixel_count();
+  }
+  report_throughput(state, pixels);
+}
+BENCHMARK(BM_ParallelEncode)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ParallelDecode(benchmark::State& state) {
+  const auto& seq = frames();
+  codec::TurboEncoder encoder;
+  std::vector<Bytes> encoded;
+  for (const Image& frame : seq) encoded.push_back(encoder.encode(frame));
+  codec::TurboDecoder decoder(static_cast<int>(state.range(0)));
+  std::size_t i = 0;
+  std::size_t pixels = 0;
+  for (auto _ : state) {
+    const auto out = decoder.decode(encoded[i++ % encoded.size()]);
+    benchmark::DoNotOptimize(out);
+    pixels += seq[0].pixel_count();
+  }
+  report_throughput(state, pixels);
+}
+BENCHMARK(BM_ParallelDecode)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ParallelRaster(benchmark::State& state) {
+  gles::DirectBackend backend(kWidth, kHeight, {});
+  backend.context().set_raster_threads(static_cast<int>(state.range(0)));
+  apps::GameApp app(apps::g2_modern_combat(), backend, kWidth, kHeight,
+                    Rng(9));
+  app.setup();
+  double t = 0.3;
+  std::size_t pixels = 0;
+  for (auto _ : state) {
+    app.render_frame(t, false);
+    t += 0.04;
+    benchmark::DoNotOptimize(backend.context().color_buffer().data());
+    pixels += backend.context().color_buffer().pixel_count();
+  }
+  report_throughput(state, pixels);
+}
+BENCHMARK(BM_ParallelRaster)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the Google-Benchmark-based speed benchmarks and writes one JSON file
+# per binary into an output directory (default: bench-results/).
+#
+#   bench/run_benchmarks.sh [build-dir] [out-dir]
+#
+# JSON output (--benchmark_format=json) is the stable machine-readable
+# interface; EXPERIMENTS.md quotes numbers from these files.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-bench-results}"
+mkdir -p "${out_dir}"
+
+benches=(bench_codec_speed bench_parallel_pipeline)
+
+for bench in "${benches[@]}"; do
+  bin="${build_dir}/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "skip: ${bin} not built" >&2
+    continue
+  fi
+  echo "running ${bench} ..." >&2
+  "${bin}" --benchmark_format=json \
+           --benchmark_out="${out_dir}/${bench}.json" \
+           --benchmark_out_format=json >/dev/null
+  echo "wrote ${out_dir}/${bench}.json" >&2
+done

@@ -84,6 +84,8 @@ std::array<std::uint8_t, 3> ycbcr_to_rgb(float y, float cb, float cr) {
 
 }  // namespace
 
+const std::array<int, 64>& zigzag_order() { return kZigzag; }
+
 std::array<int, 64> luma_quant(int quality) {
   return scaled_quant(kLumaQuant, quality);
 }

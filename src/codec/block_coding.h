@@ -19,6 +19,11 @@ namespace gb::codec {
 std::array<int, 64> luma_quant(int quality);
 std::array<int, 64> chroma_quant(int quality);
 
+// JPEG zigzag scan order: maps coefficient-stream position to raster index
+// within an 8x8 block. Exposed for decoders that buffer (run,size) symbols
+// and rebuild blocks outside decode_block (the parallel Turbo decoder).
+const std::array<int, 64>& zigzag_order();
+
 // A symbol plus optional raw magnitude bits, buffered so a per-frame Huffman
 // table can be built before the bitstream is written.
 struct CodedUnit {

@@ -9,9 +9,190 @@
 #include "common/error.h"
 
 namespace gb::codec {
+namespace {
 
-TurboEncoder::TurboEncoder(TurboConfig config) : config_(config) {
+// Blocks per 16x16 macroblock: 4 luma, then Cb, then Cr.
+constexpr int kBlocksPerTile = 6;
+// A block codes at most a DC unit plus 63 AC units plus an EOB; anything
+// claiming more units per tile than 6 such blocks is malformed.
+constexpr std::uint64_t kMaxUnitsPerTile = kBlocksPerTile * 65;
+
+std::shared_ptr<runtime::ThreadPool> make_pool(int threads) {
+  if (threads == 1) return nullptr;  // serial: no pool, no worker threads
+  return std::make_shared<runtime::ThreadPool>(threads);
+}
+
+// Chunk size that gives each thread a few chunks to balance uneven tiles.
+std::int64_t tile_grain(std::int64_t n, const runtime::ThreadPool* pool) {
+  const int threads = pool != nullptr ? pool->thread_count() : 1;
+  return std::max<std::int64_t>(1, n / (4 * threads));
+}
+
+// Encodes one tile's six blocks with tile-local DC prediction (the v2
+// format change that makes tiles independent).
+void code_tile(const Image& frame, int tx, int ty,
+               const std::array<int, 64>& luma_q,
+               const std::array<int, 64>& chroma_q,
+               std::vector<CodedUnit>& units) {
+  const Macroblock mb = extract_macroblock(frame, tx, ty);
+  Block8x8 recon{};  // unused: intra tiles need no in-loop reference
+  int dc_y = 0;
+  for (int by = 0; by < 2; ++by) {
+    for (int bx = 0; bx < 2; ++bx) {
+      dc_y = code_block(y_subblock(mb.y, bx, by), luma_q, dc_y, units, recon);
+    }
+  }
+  {
+    Block8x8 cb_in{};
+    std::copy(mb.cb.begin(), mb.cb.end(), cb_in.begin());
+    code_block(cb_in, chroma_q, /*dc_predictor=*/0, units, recon);
+  }
+  {
+    Block8x8 cr_in{};
+    std::copy(mb.cr.begin(), mb.cr.end(), cr_in.begin());
+    code_block(cr_in, chroma_q, /*dc_predictor=*/0, units, recon);
+  }
+}
+
+// One entropy-decoded coded unit: the (run,size) symbol plus its
+// sign/magnitude-decoded coefficient value.
+struct DecodedCoeff {
+  std::uint8_t symbol = 0;
+  int value = 0;
+};
+
+// Walks the block structure of a tile's unit sequence. Both the serial
+// symbol scan (which must know how many magnitude bits follow each symbol)
+// and the parallel reconstruction replay the same machine, so they agree on
+// where blocks start and end.
+struct TileWalk {
+  int blocks_done = 0;
+  bool in_block = false;
+  int coeff = 0;  // next zigzag index within the current block
+
+  // Classifies the next unit. Returns false on malformed structure.
+  enum class Unit { kDc, kAc, kEob, kZrl };
+  bool step(std::uint8_t symbol, Unit& kind) {
+    if (!in_block) {
+      if (symbol > 15) return false;  // DC size symbol
+      kind = Unit::kDc;
+      in_block = true;
+      coeff = 1;
+      return true;
+    }
+    if (symbol == kEobSymbol) {
+      kind = Unit::kEob;
+      finish_block();
+      return true;
+    }
+    if (symbol == kZrlSymbol) {
+      kind = Unit::kZrl;
+      coeff += 16;
+      if (coeff >= 64) finish_block();
+      return true;
+    }
+    const int run = symbol >> 4;
+    const int size = symbol & 0x0f;
+    if (size == 0) return false;
+    coeff += run;
+    if (coeff >= 64) return false;
+    kind = Unit::kAc;
+    ++coeff;
+    if (coeff == 64) finish_block();
+    return true;
+  }
+
+  [[nodiscard]] bool tile_complete() const {
+    return !in_block && blocks_done == kBlocksPerTile;
+  }
+
+ private:
+  void finish_block() {
+    in_block = false;
+    ++blocks_done;
+    coeff = 0;
+  }
+};
+
+int decode_magnitude(std::uint32_t bits, int size) {
+  if (size == 0) return 0;
+  const std::uint32_t half = 1u << (size - 1);
+  return bits >= half ? static_cast<int>(bits)
+                      : static_cast<int>(bits) - (1 << size) + 1;
+}
+
+// Rebuilds one tile's pixels from its decoded units (the parallel half of
+// the decoder: dequantize, IDCT, color convert, store).
+void reconstruct_tile(Image& target, int tx, int ty,
+                      std::span<const DecodedCoeff> units,
+                      const std::array<int, 64>& luma_q,
+                      const std::array<int, 64>& chroma_q) {
+  Macroblock mb;
+  TileWalk walk;
+  std::size_t u = 0;
+  int dc_y = 0;
+  int block = 0;
+  while (block < kBlocksPerTile) {
+    std::array<int, 64> q{};
+    const bool is_luma = block < 4;
+    // DC: luma prediction chains across the tile's four Y blocks; chroma
+    // blocks each start from 0.
+    check(u < units.size(), "tile unit underrun");
+    TileWalk::Unit kind;
+    check(walk.step(units[u].symbol, kind) && kind == TileWalk::Unit::kDc,
+          "bad tile block structure");
+    if (is_luma) {
+      dc_y += units[u].value;
+      q[0] = dc_y;
+    } else {
+      q[0] = units[u].value;
+    }
+    ++u;
+    int i = 1;
+    while (walk.in_block) {
+      check(u < units.size(), "tile unit underrun");
+      const DecodedCoeff& unit = units[u];
+      check(walk.step(unit.symbol, kind), "bad tile block structure");
+      ++u;
+      if (kind == TileWalk::Unit::kEob) break;
+      if (kind == TileWalk::Unit::kZrl) {
+        i += 16;
+        continue;
+      }
+      i += unit.symbol >> 4;
+      q[static_cast<std::size_t>(zigzag_order()[static_cast<std::size_t>(i)])] =
+          unit.value;
+      ++i;
+    }
+    const std::array<int, 64>& quant = is_luma ? luma_q : chroma_q;
+    Block8x8 recon{};
+    for (int k = 0; k < 64; ++k) {
+      recon[static_cast<std::size_t>(k)] =
+          static_cast<float>(q[static_cast<std::size_t>(k)] *
+                             quant[static_cast<std::size_t>(k)]);
+    }
+    inverse_dct(recon);
+    if (is_luma) {
+      set_y_subblock(mb.y, block % 2, block / 2, recon);
+    } else if (block == 4) {
+      std::copy(recon.begin(), recon.end(), mb.cb.begin());
+    } else {
+      std::copy(recon.begin(), recon.end(), mb.cr.begin());
+    }
+    ++block;
+  }
+  store_macroblock(target, tx, ty, mb);
+}
+
+}  // namespace
+
+TurboEncoder::TurboEncoder(TurboConfig config)
+    : config_(config), owned_pool_(make_pool(config.threads)) {
   check(config_.tile_size == 16, "turbo codec supports 16x16 tiles");
+}
+
+runtime::ThreadPool* TurboEncoder::pool() const {
+  return shared_pool_ != nullptr ? shared_pool_ : owned_pool_.get();
 }
 
 void TurboEncoder::reset() { reference_ = Image(); }
@@ -24,53 +205,75 @@ Bytes TurboEncoder::encode(const Image& frame) {
   const int tiles_x = (frame.width() + 15) / 16;
   const int tiles_y = (frame.height() + 15) / 16;
   const int tile_count = tiles_x * tiles_y;
+  runtime::ThreadPool* workers = pool();
 
-  // Pass 1: choose tiles and produce coded units. Change detection compares
-  // raw source frames (tiles are coded intra, so the decoder's copy of a
-  // skipped tile still approximates the unchanged source — no drift).
+  // Pass 1a: change detection (parallel over tiles; each tile owns its flag
+  // slot). Comparison is against raw source frames — tiles are coded intra,
+  // so the decoder's copy of a skipped tile still approximates the unchanged
+  // source and never drifts.
+  std::vector<std::uint8_t> coded(static_cast<std::size_t>(tile_count), 1);
+  if (!keyframe) {
+    const auto detect = [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t t = lo; t < hi; ++t) {
+        const int tx = static_cast<int>(t % tiles_x) * 16;
+        const int ty = static_cast<int>(t / tiles_x) * 16;
+        coded[static_cast<std::size_t>(t)] =
+            tile_max_delta(frame, reference_, tx, ty, 16) >
+                    config_.skip_threshold
+                ? 1
+                : 0;
+      }
+    };
+    if (workers != nullptr) {
+      workers->parallel_for(0, tile_count, tile_grain(tile_count, workers),
+                            detect);
+    } else {
+      detect(0, tile_count);
+    }
+  }
+
   std::vector<std::uint8_t> coded_bitmap(
       static_cast<std::size_t>((tile_count + 7) / 8), 0);
-  std::vector<CodedUnit> units;
-  const auto luma_q = luma_quant(config_.quality);
-  const auto chroma_q = chroma_quant(config_.quality);
-
-  int dc_y = 0, dc_cb = 0, dc_cr = 0;
-  int tiles_coded = 0;
+  std::vector<int> coded_tiles;
   for (int t = 0; t < tile_count; ++t) {
-    const int tx = (t % tiles_x) * 16;
-    const int ty = (t / tiles_x) * 16;
-    if (!keyframe && tile_max_delta(frame, reference_, tx, ty, 16) <=
-                         config_.skip_threshold) {
-      continue;
-    }
+    if (coded[static_cast<std::size_t>(t)] == 0) continue;
     coded_bitmap[static_cast<std::size_t>(t / 8)] |=
         static_cast<std::uint8_t>(1u << (t % 8));
-    ++tiles_coded;
+    coded_tiles.push_back(t);
+  }
+  const int tiles_coded = static_cast<int>(coded_tiles.size());
 
-    const Macroblock mb = extract_macroblock(frame, tx, ty);
-    Block8x8 recon{};  // unused: intra tiles need no in-loop reference
-    for (int by = 0; by < 2; ++by) {
-      for (int bx = 0; bx < 2; ++bx) {
-        dc_y = code_block(y_subblock(mb.y, bx, by), luma_q, dc_y, units, recon);
-      }
+  // Pass 1b: transform/quantize/run-length code each coded tile into its own
+  // unit buffer (parallel; DC prediction is tile-local in format v2, so
+  // tiles are fully independent and concatenation in tile order reproduces
+  // the serial bitstream exactly).
+  std::vector<std::vector<CodedUnit>> tile_units(coded_tiles.size());
+  const auto luma_q = luma_quant(config_.quality);
+  const auto chroma_q = chroma_quant(config_.quality);
+  const auto code_tiles = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const int t = coded_tiles[static_cast<std::size_t>(i)];
+      const int tx = (t % tiles_x) * 16;
+      const int ty = (t / tiles_x) * 16;
+      auto& units = tile_units[static_cast<std::size_t>(i)];
+      units.reserve(64);
+      code_tile(frame, tx, ty, luma_q, chroma_q, units);
     }
-    {
-      Block8x8 cb_in{};
-      std::copy(mb.cb.begin(), mb.cb.end(), cb_in.begin());
-      dc_cb = code_block(cb_in, chroma_q, dc_cb, units, recon);
-    }
-    {
-      Block8x8 cr_in{};
-      std::copy(mb.cr.begin(), mb.cr.end(), cr_in.begin());
-      dc_cr = code_block(cr_in, chroma_q, dc_cr, units, recon);
-    }
+  };
+  if (workers != nullptr) {
+    workers->parallel_for(0, tiles_coded, tile_grain(tiles_coded, workers),
+                          code_tiles);
+  } else {
+    code_tiles(0, tiles_coded);
   }
   reference_ = frame;  // next frame's change detector baseline
 
-  // Pass 2: entropy-code against a per-frame canonical Huffman table. A
+  // Pass 2: entropy-code against a per-frame canonical Huffman table
+  // (serial — the symbol stream is one dependent bit sequence). A
   // fully-skipped frame (static scene) carries no table and no payload —
   // the common case the incremental design exists for.
   ByteWriter out;
+  out.u8(kTurboFormatVersion);
   out.u16(narrow<std::uint16_t>(frame.width()));
   out.u16(narrow<std::uint16_t>(frame.height()));
   out.u8(static_cast<std::uint8_t>(config_.quality));
@@ -78,14 +281,21 @@ Bytes TurboEncoder::encode(const Image& frame) {
   out.raw(coded_bitmap);
   out.u8(tiles_coded > 0 ? 1 : 0);
   if (tiles_coded > 0) {
+    // Per-tile unit counts let the decoder split the symbol stream at tile
+    // boundaries and reconstruct tiles in parallel.
+    for (const auto& units : tile_units) out.varint(units.size());
     std::array<std::uint64_t, 256> freq{};
-    for (const CodedUnit& u : units) freq[u.symbol]++;
+    for (const auto& units : tile_units) {
+      for (const CodedUnit& u : units) freq[u.symbol]++;
+    }
     const HuffmanEncoder huff(freq);
     huff.write_table(out);
     BitWriter bits;
-    for (const CodedUnit& u : units) {
-      huff.encode(bits, u.symbol);
-      if (u.bit_count > 0) bits.put_bits(u.bits, u.bit_count);
+    for (const auto& units : tile_units) {
+      for (const CodedUnit& u : units) {
+        huff.encode(bits, u.symbol);
+        if (u.bit_count > 0) bits.put_bits(u.bits, u.bit_count);
+      }
     }
     out.blob(bits.finish());
   }
@@ -94,9 +304,16 @@ Bytes TurboEncoder::encode(const Image& frame) {
   return out.take();
 }
 
+TurboDecoder::TurboDecoder(int threads) : owned_pool_(make_pool(threads)) {}
+
+runtime::ThreadPool* TurboDecoder::pool() const {
+  return shared_pool_ != nullptr ? shared_pool_ : owned_pool_.get();
+}
+
 std::optional<Image> TurboDecoder::decode(std::span<const std::uint8_t> data) {
   try {
     ByteReader in(data);
+    if (in.u8() != kTurboFormatVersion) return std::nullopt;
     const int width = in.u16();
     const int height = in.u16();
     const int quality = in.u8();
@@ -112,39 +329,75 @@ std::optional<Image> TurboDecoder::decode(std::span<const std::uint8_t> data) {
     const int tile_count = tiles_x * tiles_y;
     const auto bitmap = in.raw(static_cast<std::size_t>((tile_count + 7) / 8));
     if (in.u8() == 0) return reference_;  // nothing coded: frame unchanged
+
+    std::vector<int> coded_tiles;
+    for (int t = 0; t < tile_count; ++t) {
+      if ((bitmap[static_cast<std::size_t>(t / 8)] & (1u << (t % 8))) != 0) {
+        coded_tiles.push_back(t);
+      }
+    }
+    std::vector<std::size_t> unit_count(coded_tiles.size());
+    for (std::size_t i = 0; i < coded_tiles.size(); ++i) {
+      const std::uint64_t n = in.varint();
+      if (n > kMaxUnitsPerTile) return std::nullopt;
+      unit_count[i] = static_cast<std::size_t>(n);
+    }
     auto huff = HuffmanDecoder::from_table(in);
     if (!huff) return std::nullopt;
     const auto payload = in.blob();
     BitReader bits(payload);
 
+    // Phase A (serial): entropy-decode the one dependent bit sequence into a
+    // flat unit array, validating that each tile's units form exactly six
+    // complete blocks. The per-symbol magnitude-bit length depends on block
+    // position, so this walk is also the structural parser.
+    std::vector<DecodedCoeff> units;
+    std::size_t total_units = 0;
+    for (const std::size_t c : unit_count) total_units += c;
+    units.reserve(total_units);  // counts are pre-capped by kMaxUnitsPerTile
+    std::vector<std::size_t> tile_offset(coded_tiles.size() + 1, 0);
+    for (std::size_t i = 0; i < coded_tiles.size(); ++i) {
+      TileWalk walk;
+      for (std::size_t u = 0; u < unit_count[i]; ++u) {
+        const std::uint8_t symbol = huff->decode(bits);
+        TileWalk::Unit kind;
+        if (!walk.step(symbol, kind)) return std::nullopt;
+        int size = 0;
+        if (kind == TileWalk::Unit::kDc) {
+          size = symbol;
+        } else if (kind == TileWalk::Unit::kAc) {
+          size = symbol & 0x0f;
+        }
+        const int value =
+            decode_magnitude(size > 0 ? bits.get_bits(size) : 0, size);
+        units.push_back(DecodedCoeff{symbol, value});
+      }
+      if (!walk.tile_complete()) return std::nullopt;
+      tile_offset[i + 1] = units.size();
+    }
+
+    // Phase B (parallel): per-tile dequantize + IDCT + color convert +
+    // store. Tiles own disjoint pixel rectangles, so no write overlaps.
     const auto luma_q = luma_quant(quality);
     const auto chroma_q = chroma_quant(quality);
-    int dc_y = 0, dc_cb = 0, dc_cr = 0;
-    for (int t = 0; t < tile_count; ++t) {
-      if ((bitmap[static_cast<std::size_t>(t / 8)] & (1u << (t % 8))) == 0) {
-        continue;
+    const auto reconstruct = [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const int t = coded_tiles[static_cast<std::size_t>(i)];
+        const int tx = (t % tiles_x) * 16;
+        const int ty = (t / tiles_x) * 16;
+        const std::span<const DecodedCoeff> tile_span(
+            units.data() + tile_offset[static_cast<std::size_t>(i)],
+            tile_offset[static_cast<std::size_t>(i) + 1] -
+                tile_offset[static_cast<std::size_t>(i)]);
+        reconstruct_tile(reference_, tx, ty, tile_span, luma_q, chroma_q);
       }
-      const int tx = (t % tiles_x) * 16;
-      const int ty = (t / tiles_x) * 16;
-      Macroblock mb;
-      for (int by = 0; by < 2; ++by) {
-        for (int bx = 0; bx < 2; ++bx) {
-          Block8x8 recon{};
-          dc_y = decode_block(bits, *huff, luma_q, dc_y, recon);
-          set_y_subblock(mb.y, bx, by, recon);
-        }
-      }
-      {
-        Block8x8 recon{};
-        dc_cb = decode_block(bits, *huff, chroma_q, dc_cb, recon);
-        std::copy(recon.begin(), recon.end(), mb.cb.begin());
-      }
-      {
-        Block8x8 recon{};
-        dc_cr = decode_block(bits, *huff, chroma_q, dc_cr, recon);
-        std::copy(recon.begin(), recon.end(), mb.cr.begin());
-      }
-      store_macroblock(reference_, tx, ty, mb);
+    };
+    runtime::ThreadPool* workers = pool();
+    const std::int64_t n = static_cast<std::int64_t>(coded_tiles.size());
+    if (workers != nullptr) {
+      workers->parallel_for(0, n, tile_grain(n, workers), reconstruct);
+    } else {
+      reconstruct(0, n);
     }
     return reference_;
   } catch (const Error&) {

@@ -12,16 +12,31 @@
 //      Huffman table.
 //
 // The first frame (or reset) is a keyframe: every tile is coded.
+//
+// Format version 2 makes the tile the unit of parallelism: DC prediction
+// resets at every tile boundary and the header records how many coded units
+// each tile contributed, so (a) the encoder's transform/quantize pass runs
+// tiles concurrently on a ThreadPool and concatenates per-tile unit buffers
+// in tile order — the bitstream is byte-identical for any thread count — and
+// (b) the decoder splits the serial Huffman symbol stream at tile boundaries
+// and reconstructs tiles (dequantize, IDCT, color convert, store) in
+// parallel. Entropy coding itself stays serial in both directions.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 
 #include "common/bytes.h"
 #include "common/image.h"
+#include "runtime/thread_pool.h"
 
 namespace gb::codec {
+
+// Bitstream format version carried in the frame header; readers reject
+// anything else. v2 = per-tile DC reset + per-tile unit counts.
+inline constexpr std::uint8_t kTurboFormatVersion = 2;
 
 struct TurboConfig {
   int quality = 75;      // 1..100, JPEG-style quality scaling
@@ -29,6 +44,9 @@ struct TurboConfig {
   // Tiles whose max per-channel delta vs. the reference is at or below this
   // threshold are skipped (0 = exact-change detection).
   int skip_threshold = 2;
+  // Worker threads for the per-tile passes: 1 = serial (no pool), 0 = one
+  // per hardware core. Output is bit-identical for every value.
+  int threads = 1;
 };
 
 struct TurboFrameStats {
@@ -49,21 +67,39 @@ class TurboEncoder {
   // Forces the next frame to be a keyframe.
   void reset();
 
+  // Borrows a shared pool (e.g. the service runtime's) instead of the one
+  // owned per config_.threads. Pass nullptr to return to the owned pool.
+  void set_thread_pool(runtime::ThreadPool* pool) { shared_pool_ = pool; }
+
   [[nodiscard]] const TurboFrameStats& last_stats() const { return stats_; }
 
  private:
+  [[nodiscard]] runtime::ThreadPool* pool() const;
+
   TurboConfig config_;
+  std::shared_ptr<runtime::ThreadPool> owned_pool_;  // null when serial
+  runtime::ThreadPool* shared_pool_ = nullptr;
   Image reference_;  // in-loop reconstructed previous frame
   TurboFrameStats stats_;
 };
 
 class TurboDecoder {
  public:
+  // `threads` as in TurboConfig::threads; decoded images are pixel-identical
+  // for every value.
+  explicit TurboDecoder(int threads = 1);
+
   // Decodes the next frame of the stream; returns std::nullopt on malformed
   // input. Frames must be presented in encode order.
   [[nodiscard]] std::optional<Image> decode(std::span<const std::uint8_t> data);
 
+  void set_thread_pool(runtime::ThreadPool* pool) { shared_pool_ = pool; }
+
  private:
+  [[nodiscard]] runtime::ThreadPool* pool() const;
+
+  std::shared_ptr<runtime::ThreadPool> owned_pool_;  // null when serial
+  runtime::ThreadPool* shared_pool_ = nullptr;
   Image reference_;
 };
 

@@ -79,6 +79,10 @@ wire::FrameCommands decode_frame_with_cache(std::span<const std::uint8_t> data,
   wire::FrameCommands frame;
   frame.sequence = in.varint();
   const std::uint64_t count = in.varint();
+  // Every record costs at least its one-byte flag, so a count beyond the
+  // remaining payload is garbage; reject it before reserving (a wire-supplied
+  // count must never size an allocation unchecked).
+  check(count <= in.remaining(), "record count exceeds payload");
   frame.records.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint8_t flag = in.u8();

@@ -99,7 +99,10 @@ Bytes lz4_compress(std::span<const std::uint8_t> input) {
 std::optional<Bytes> lz4_decompress(std::span<const std::uint8_t> block,
                                     std::size_t expected_size) {
   Bytes out;
-  out.reserve(expected_size);
+  // `expected_size` may come straight off the wire; cap the up-front
+  // allocation and enforce the size bound during decoding so a garbage
+  // header cannot trigger a huge allocation (fuzz robustness).
+  out.reserve(std::min(expected_size, block.size() * 4 + 64));
   std::size_t pos = 0;
   const std::size_t n = block.size();
 
@@ -121,6 +124,7 @@ std::optional<Bytes> lz4_decompress(std::span<const std::uint8_t> block,
     const auto literal_len = read_extended(token >> 4);
     if (!literal_len) return std::nullopt;
     if (pos + *literal_len > n) return std::nullopt;
+    if (out.size() + *literal_len > expected_size) return std::nullopt;
     out.insert(out.end(), block.begin() + pos, block.begin() + pos + *literal_len);
     pos += *literal_len;
     if (pos == n) break;  // final literal run has no match part
@@ -133,6 +137,7 @@ std::optional<Bytes> lz4_decompress(std::span<const std::uint8_t> block,
     const auto match_extra = read_extended(token & 0x0f);
     if (!match_extra) return std::nullopt;
     const std::size_t match_len = *match_extra + kMinMatch;
+    if (out.size() + match_len > expected_size) return std::nullopt;
     // Overlapping copies are the norm (RLE-style matches); copy bytewise.
     std::size_t from = out.size() - offset;
     for (std::size_t i = 0; i < match_len; ++i) {

@@ -12,8 +12,14 @@ void append_compressed(ByteWriter& out, const Bytes& raw) {
   out.blob(block);
 }
 
+// Ceiling on a message's claimed pre-compression size. Real command streams
+// are a few hundred KB per frame; anything bigger is a corrupt or hostile
+// header and must be rejected before allocation (fuzz robustness).
+constexpr std::uint64_t kMaxDecompressedBytes = 64ull * 1024 * 1024;
+
 std::optional<Bytes> read_compressed(ByteReader& in) {
   const auto raw_size = in.varint();
+  if (raw_size > kMaxDecompressedBytes) return std::nullopt;
   const auto block = in.blob();
   return compress::lz4_decompress(block, narrow<std::size_t>(raw_size));
 }

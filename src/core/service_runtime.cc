@@ -15,7 +15,11 @@ ServiceRuntime::ServiceRuntime(EventLoop& loop, net::NodeId node,
       profile_(std::move(profile)),
       config_(config),
       endpoint_(std::make_unique<net::ReliableEndpoint>(loop, node)),
-      gpu_(std::make_unique<device::GpuModel>(loop, profile_.gpu)) {
+      gpu_(std::make_unique<device::GpuModel>(loop, profile_.gpu)),
+      pool_(config.worker_threads == 1
+                ? nullptr
+                : std::make_unique<runtime::ThreadPool>(
+                      config.worker_threads)) {
   endpoint_->set_handler(
       [this](net::NodeId src, net::NodeId stream, Bytes message) {
         on_message(src, stream, std::move(message));
@@ -27,9 +31,15 @@ ServiceRuntime::UserSession& ServiceRuntime::session_for(net::NodeId user) {
   if (it != users_.end()) return it->second;
   UserSession session;
   session.encoder = codec::TurboEncoder(config_.codec);
+  if (pool_ != nullptr) session.encoder.set_thread_pool(pool_.get());
   if (config_.render_width > 0 && config_.render_height > 0) {
     session.backend = std::make_unique<gles::DirectBackend>(
         config_.render_width, config_.render_height, gles::PresentFn{});
+    // Replay rasterization shares the runtime's worker pool: one pool serves
+    // all sessions so concurrent users don't oversubscribe the host.
+    if (pool_ != nullptr) {
+      session.backend->context().set_thread_pool(pool_.get());
+    }
   }
   stats_.users_served++;
   return users_.emplace(user, std::move(session)).first->second;

@@ -30,6 +30,7 @@
 #include "gles/direct_backend.h"
 #include "net/reliable.h"
 #include "runtime/event_loop.h"
+#include "runtime/thread_pool.h"
 
 namespace gb::core {
 
@@ -49,6 +50,10 @@ struct ServiceRuntimeConfig {
   // the Turbo codec on the synthetic game content across 96x72..600x480.
   double size_scale_exponent = 0.79;
   codec::TurboConfig codec;
+  // Host worker threads shared by every user session's replay rasterizer and
+  // Turbo encoder: 1 = serial, 0 = one per hardware core. Results are
+  // bit-identical for every value (see tests/test_parallel.cc).
+  int worker_threads = 1;
 };
 
 struct ServiceRuntimeStats {
@@ -114,6 +119,7 @@ class ServiceRuntime {
   ServiceRuntimeConfig config_;
   std::unique_ptr<net::ReliableEndpoint> endpoint_;
   std::unique_ptr<device::GpuModel> gpu_;
+  std::unique_ptr<runtime::ThreadPool> pool_;  // null when worker_threads == 1
   SizeModel size_model_;
   std::map<net::NodeId, UserSession> users_;
   std::optional<Image> last_frame_;

@@ -20,6 +20,11 @@ GlContext::GlContext(int surface_width, int surface_height)
   scissor_[3] = surface_height;
 }
 
+void GlContext::set_raster_threads(int threads) {
+  owned_pool_ = threads == 1 ? nullptr
+                             : std::make_unique<runtime::ThreadPool>(threads);
+}
+
 GLenum GlContext::get_error() {
   const GLenum e = error_;
   error_ = GL_NO_ERROR;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "gles/framebuffer.h"
 #include "gles/objects.h"
 #include "gles/types.h"
+#include "runtime/thread_pool.h"
 
 namespace gb::gles {
 
@@ -144,6 +146,15 @@ class GlContext {
   void draw_elements(GLenum mode, GLsizei count, GLenum type,
                      const void* indices);
 
+  // --- raster threading ------------------------------------------------------
+  // Fragment shading/depth/blend runs in parallel over framebuffer row bands
+  // (each band exclusively owned by one worker, so output is bit-identical
+  // to the serial rasterizer). 1 = serial, 0 = one thread per core.
+  void set_raster_threads(int threads);
+  // Borrows a shared pool (e.g. the service runtime's) instead of an owned
+  // one; pass nullptr to return to the owned pool.
+  void set_thread_pool(runtime::ThreadPool* pool) { shared_pool_ = pool; }
+
   // --- introspection for the offload layer -----------------------------------
   [[nodiscard]] const RenderStats& stats() const noexcept { return stats_; }
   RenderStats& mutable_stats() noexcept { return stats_; }
@@ -219,6 +230,13 @@ class GlContext {
   // Scratch register files reused across draws.
   std::vector<Vec4> vs_registers_;
   std::vector<Vec4> fs_registers_;
+
+  // Row-band fragment parallelism (null pools = serial rasterization).
+  [[nodiscard]] runtime::ThreadPool* raster_pool() const noexcept {
+    return shared_pool_ != nullptr ? shared_pool_ : owned_pool_.get();
+  }
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+  runtime::ThreadPool* shared_pool_ = nullptr;
 };
 
 }  // namespace gb::gles

@@ -3,6 +3,7 @@
 // fragment shading, and blending. Points and lines get a minimal raster so
 // HUD-style workloads draw something sensible.
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -153,6 +154,24 @@ struct ScreenVertex {
   float z = 0;               // depth in [0, 1]
   float inv_w = 0;           // 1 / clip.w for perspective correction
   const ShadedVertex* shaded = nullptr;
+};
+
+// A triangle that survived culling, with its raster-time derived data, ready
+// to be scan-converted band by band.
+struct AssembledTriangle {
+  ScreenVertex a, b, c;
+  float inv_area = 0;
+  // Top-left fill rule acceptance for each edge's zero-weight case.
+  bool zero0 = false, zero1 = false, zero2 = false;
+  int bx0 = 0, by0 = 0, bx1 = 0, by1 = 0;  // clipped pixel bounding box
+};
+
+// Per-worker fragment state: a private register file (so concurrent bands
+// never share shader scratch space) and a private shaded-fragment count,
+// summed into RenderStats after the bands join.
+struct FragmentLane {
+  std::vector<Vec4>* registers = nullptr;
+  std::uint64_t fragments_shaded = 0;
 };
 
 }  // namespace
@@ -387,8 +406,9 @@ void GlContext::draw_internal(GLenum mode,
 
   // Runs the fragment shader for one pixel with interpolated varyings and
   // performs depth/blend/write. `bary` are perspective-corrected weights.
-  const auto shade_fragment = [&](int px, int py, float depth,
-                                  const ScreenVertex* v0,
+  // All mutable state lives in `lane`, so concurrent row bands stay isolated.
+  const auto shade_fragment = [&](FragmentLane& lane, int px, int py,
+                                  float depth, const ScreenVertex* v0,
                                   const ScreenVertex* v1,
                                   const ScreenVertex* v2, float b0, float b1,
                                   float b2) {
@@ -397,15 +417,16 @@ void GlContext::draw_internal(GLenum mode,
       if (!depth_passes(depth_func_, depth, stored)) return;
       stored = depth;
     }
+    std::vector<Vec4>& regs = *lane.registers;
     for (std::size_t i = 0; i < prog->varyings.size(); ++i) {
       Vec4 value = v0->shaded->varyings[i] * b0;
       if (v1 != nullptr) value = value + v1->shaded->varyings[i] * b1;
       if (v2 != nullptr) value = value + v2->shaded->varyings[i] * b2;
-      fs_registers_[prog->varyings[i].fs_register] = value;
+      regs[prog->varyings[i].fs_register] = value;
     }
-    run_shader(prog->fragment, fs_registers_, fs_sampler);
-    const Vec4 color = fs_registers_[prog->fragment.fragcolor_register];
-    stats_.fragments_shaded++;
+    run_shader(prog->fragment, regs, fs_sampler);
+    const Vec4 color = regs[prog->fragment.fragcolor_register];
+    lane.fragments_shaded++;
 
     std::uint8_t* dst = framebuffer_.color().pixel(px, py);
     float out[4] = {std::clamp(color.x, 0.0f, 1.0f),
@@ -429,8 +450,12 @@ void GlContext::draw_internal(GLenum mode,
     }
   };
 
-  const auto raster_triangle = [&](const ScreenVertex& a, const ScreenVertex& b,
-                                   const ScreenVertex& c) {
+  // Primitive assembly: culling, fill-rule setup, and bounding box. Survivors
+  // are buffered so fragment work can be partitioned into row bands.
+  std::vector<AssembledTriangle> assembled;
+  const auto assemble_triangle = [&](const ScreenVertex& a,
+                                     const ScreenVertex& b,
+                                     const ScreenVertex& c) {
     // Signed area in screen space; also used for facing.
     const float area =
         (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
@@ -447,15 +472,20 @@ void GlContext::draw_internal(GLenum mode,
     }
     stats_.triangles_rasterized++;
 
-    const int bx0 = std::max(min_x, static_cast<int>(std::floor(
-                                        std::min({a.x, b.x, c.x}))));
-    const int by0 = std::max(min_y, static_cast<int>(std::floor(
-                                        std::min({a.y, b.y, c.y}))));
-    const int bx1 = std::min(max_x, static_cast<int>(std::ceil(
-                                        std::max({a.x, b.x, c.x}))));
-    const int by1 = std::min(max_y, static_cast<int>(std::ceil(
-                                        std::max({a.y, b.y, c.y}))));
-    const float inv_area = 1.0f / area;
+    AssembledTriangle tri;
+    tri.a = a;
+    tri.b = b;
+    tri.c = c;
+    tri.bx0 = std::max(min_x, static_cast<int>(std::floor(
+                                  std::min({a.x, b.x, c.x}))));
+    tri.by0 = std::max(min_y, static_cast<int>(std::floor(
+                                  std::min({a.y, b.y, c.y}))));
+    tri.bx1 = std::min(max_x, static_cast<int>(std::ceil(
+                                  std::max({a.x, b.x, c.x}))));
+    tri.by1 = std::min(max_y, static_cast<int>(std::ceil(
+                                  std::max({a.y, b.y, c.y}))));
+    if (tri.bx0 >= tri.bx1 || tri.by0 >= tri.by1) return;
+    tri.inv_area = 1.0f / area;
 
     // Top-left fill rule: a pixel center exactly on an edge belongs to the
     // triangle only when that (orientation-normalized) edge is a top or left
@@ -468,24 +498,36 @@ void GlContext::draw_internal(GLenum mode,
       const float dy = (to_y - from_y) * orient;
       return dy < 0.0f || (dy == 0.0f && dx > 0.0f);
     };
-    const bool zero0 = accepts_zero(b.x, b.y, c.x, c.y);
-    const bool zero1 = accepts_zero(c.x, c.y, a.x, a.y);
-    const bool zero2 = accepts_zero(a.x, a.y, b.x, b.y);
+    tri.zero0 = accepts_zero(b.x, b.y, c.x, c.y);
+    tri.zero1 = accepts_zero(c.x, c.y, a.x, a.y);
+    tri.zero2 = accepts_zero(a.x, a.y, b.x, b.y);
+    assembled.push_back(tri);
+  };
 
-    for (int py = by0; py < by1; ++py) {
-      for (int px = bx0; px < bx1; ++px) {
+  // Scan-converts the rows of `tri` that fall inside [row_lo, row_hi). The
+  // caller guarantees no other thread touches those rows.
+  const auto raster_triangle_rows = [&](const AssembledTriangle& tri,
+                                        int row_lo, int row_hi,
+                                        FragmentLane& lane) {
+    const ScreenVertex& a = tri.a;
+    const ScreenVertex& b = tri.b;
+    const ScreenVertex& c = tri.c;
+    const int y0 = std::max(tri.by0, row_lo);
+    const int y1 = std::min(tri.by1, row_hi);
+    for (int py = y0; py < y1; ++py) {
+      for (int px = tri.bx0; px < tri.bx1; ++px) {
         const float fx = static_cast<float>(px) + 0.5f;
         const float fy = static_cast<float>(py) + 0.5f;
         // Barycentric weights via edge functions; consistent sign for either
         // winding thanks to inv_area.
         const float w0 = ((b.x - fx) * (c.y - fy) - (b.y - fy) * (c.x - fx)) *
-                         inv_area;
+                         tri.inv_area;
         const float w1 = ((c.x - fx) * (a.y - fy) - (c.y - fy) * (a.x - fx)) *
-                         inv_area;
+                         tri.inv_area;
         const float w2 = 1.0f - w0 - w1;
         if (w0 < 0.0f || w1 < 0.0f || w2 < 0.0f) continue;
-        if ((w0 == 0.0f && !zero0) || (w1 == 0.0f && !zero1) ||
-            (w2 == 0.0f && !zero2)) {
+        if ((w0 == 0.0f && !tri.zero0) || (w1 == 0.0f && !tri.zero1) ||
+            (w2 == 0.0f && !tri.zero2)) {
           continue;
         }
         const float depth = w0 * a.z + w1 * b.z + w2 * c.z;
@@ -496,7 +538,7 @@ void GlContext::draw_internal(GLenum mode,
         const float p0 = w0 * a.inv_w / iw;
         const float p1 = w1 * b.inv_w / iw;
         const float p2 = w2 * c.inv_w / iw;
-        shade_fragment(px, py, depth, &a, &b, &c, p0, p1, p2);
+        shade_fragment(lane, px, py, depth, &a, &b, &c, p0, p1, p2);
       }
     }
   };
@@ -510,15 +552,20 @@ void GlContext::draw_internal(GLenum mode,
     // Near-plane handling: triangles that cross w<=0 are rejected rather than
     // clipped; the synthetic scenes keep geometry in front of the camera.
     if (s0.clip.w <= kMinW || s1.clip.w <= kMinW || s2.clip.w <= kMinW) return;
-    raster_triangle(to_screen(s0), to_screen(s1), to_screen(s2));
+    assemble_triangle(to_screen(s0), to_screen(s1), to_screen(s2));
   };
+
+  // Points and lines write sparse, arbitrary pixels; they stay serial on the
+  // caller's register file.
+  FragmentLane serial_lane{&fs_registers_, 0};
 
   const auto raster_point = [&](const ScreenVertex& v) {
     const int px = static_cast<int>(v.x);
     const int py = static_cast<int>(v.y);
     if (px < min_x || px >= max_x || py < min_y || py >= max_y) return;
     if (v.z < 0.0f || v.z > 1.0f) return;
-    shade_fragment(px, py, v.z, &v, nullptr, nullptr, 1.0f, 0.0f, 0.0f);
+    shade_fragment(serial_lane, px, py, v.z, &v, nullptr, nullptr, 1.0f, 0.0f,
+                   0.0f);
   };
 
   const auto raster_line = [&](const ScreenVertex& a, const ScreenVertex& b) {
@@ -533,7 +580,8 @@ void GlContext::draw_internal(GLenum mode,
       if (px < min_x || px >= max_x || py < min_y || py >= max_y) continue;
       const float depth = a.z + (b.z - a.z) * t;
       if (depth < 0.0f || depth > 1.0f) continue;
-      shade_fragment(px, py, depth, &a, &b, nullptr, 1.0f - t, t, 0.0f);
+      shade_fragment(serial_lane, px, py, depth, &a, &b, nullptr, 1.0f - t, t,
+                     0.0f);
     }
   };
 
@@ -575,6 +623,41 @@ void GlContext::draw_internal(GLenum mode,
     default:
       break;
   }
+  stats_.fragments_shaded += serial_lane.fragments_shaded;
+
+  // Fragment stage over the assembled triangles. Each row band is owned by
+  // exactly one worker, and every worker visits triangles in submission
+  // order, so each pixel sees the same depth/blend/write sequence as the
+  // serial rasterizer — output is bit-identical for any thread count.
+  if (assembled.empty()) return;
+  runtime::ThreadPool* workers = raster_pool();
+  if (workers == nullptr || workers->serial()) {
+    FragmentLane lane{&fs_registers_, 0};
+    for (const AssembledTriangle& tri : assembled) {
+      raster_triangle_rows(tri, min_y, max_y, lane);
+    }
+    stats_.fragments_shaded += lane.fragments_shaded;
+    return;
+  }
+  const std::int64_t rows = max_y - min_y;
+  const std::int64_t band_rows =
+      std::max<std::int64_t>(4, rows / (4 * workers->thread_count()));
+  std::atomic<std::uint64_t> total_fragments{0};
+  workers->parallel_for(
+      min_y, max_y, band_rows, [&](std::int64_t row_lo, std::int64_t row_hi) {
+        // Private register file seeded with this draw's constants/uniforms.
+        std::vector<Vec4> registers = fs_registers_;
+        FragmentLane lane{&registers, 0};
+        const int lo = static_cast<int>(row_lo);
+        const int hi = static_cast<int>(row_hi);
+        for (const AssembledTriangle& tri : assembled) {
+          if (tri.by1 <= lo || tri.by0 >= hi) continue;
+          raster_triangle_rows(tri, lo, hi, lane);
+        }
+        total_fragments.fetch_add(lane.fragments_shaded,
+                                  std::memory_order_relaxed);
+      });
+  stats_.fragments_shaded += total_fragments.load(std::memory_order_relaxed);
 }
 
 }  // namespace gb::gles

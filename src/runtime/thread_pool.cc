@@ -1,0 +1,135 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/error.h"
+
+namespace gb::runtime {
+
+// One parallel_for in flight: workers claim chunks from `next` until the
+// range is exhausted. `pending` counts unfinished chunks; the caller waits
+// on it so every side effect of `fn` happens-before parallel_for returns.
+struct ThreadPool::Job {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  std::atomic<std::int64_t> next{0};     // index of the next unclaimed chunk
+  std::int64_t chunk_count = 0;
+  std::atomic<std::int64_t> pending{0};  // chunks not yet finished
+  std::mutex* done_mutex = nullptr;      // the pool's mutex_/done_ pair
+  std::condition_variable* done_cv = nullptr;
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  thread_count_ = std::max(threads, 1);
+  // The calling thread participates in parallel_for, so n threads of
+  // concurrency need n - 1 workers.
+  for (int i = 1; i < thread_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_job(Job& job) {
+  for (;;) {
+    const std::int64_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.chunk_count) return;
+    const std::int64_t lo = job.begin + chunk * job.grain;
+    const std::int64_t hi = std::min(lo + job.grain, job.end);
+    try {
+      (*job.fn)(lo, hi);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    // Copy the notify targets before the decrement: once `pending` hits
+    // zero the caller may return and release its job reference, so only
+    // members read beforehand (or the shared_ptr-kept Job itself) are safe.
+    std::mutex* done_mutex = job.done_mutex;
+    std::condition_variable* done_cv = job.done_cv;
+    if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last chunk done. The mutex bracket orders this against the caller's
+      // predicate check so the notify cannot slip between its check and its
+      // wait (the classic lost-wakeup race).
+      { const std::lock_guard<std::mutex> lock(*done_mutex); }
+      done_cv->notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Sleep until there is a job with unclaimed chunks (a drained job stays
+      // installed until the caller retires it; don't spin on it).
+      wake_.wait(lock, [this] {
+        return stopping_ ||
+               (job_ != nullptr && job_->next.load(std::memory_order_relaxed) <
+                                       job_->chunk_count);
+      });
+      if (stopping_) return;
+      job = job_;  // keeps the job alive past the caller's retirement
+    }
+    run_job(*job);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<std::int64_t>(grain, 1);
+  const std::int64_t chunk_count = (end - begin + grain - 1) / grain;
+  if (workers_.empty() || chunk_count == 1) {
+    // Deterministic serial fallback: chunks run inline in index order.
+    for (std::int64_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(lo + grain, end));
+    }
+    return;
+  }
+
+  const auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->fn = &fn;
+  job->chunk_count = chunk_count;
+  job->pending.store(chunk_count, std::memory_order_relaxed);
+  job->done_mutex = &mutex_;
+  job->done_cv = &done_;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    check(job_ == nullptr, "nested parallel_for on one ThreadPool");
+    job_ = job;
+  }
+  wake_.notify_all();
+  run_job(*job);  // the caller is one of the pool's threads
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&job] {
+      return job->pending.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace gb::runtime

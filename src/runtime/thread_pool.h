@@ -1,0 +1,66 @@
+// Shared worker pool for the per-frame hot paths (Turbo codec tiles,
+// rasterizer row bands, service-device replay+encode). The scheduling model
+// is deliberately simple — chunked parallel_for over an index range with the
+// calling thread participating — because every user of the pool partitions
+// its work into independent, exclusively-owned slices up front; there is no
+// work stealing and no nested submission.
+//
+// Determinism contract: parallel_for invokes `fn` on every chunk exactly
+// once, and callers arrange that chunk outputs are combined in index order,
+// so results are bit-identical for any thread count (the determinism tests
+// in tests/test_parallel.cc pin this property for the codec and rasterizer).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gb::runtime {
+
+class ThreadPool {
+ public:
+  // `threads` is the total concurrency including the calling thread:
+  // 0 picks std::thread::hardware_concurrency(); 1 runs everything inline
+  // on the caller (no worker threads, fully deterministic fallback).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const noexcept { return thread_count_; }
+  [[nodiscard]] bool serial() const noexcept { return workers_.empty(); }
+
+  // Splits [begin, end) into chunks of at most `grain` indices and runs
+  // `fn(chunk_begin, chunk_end)` for each, using the workers plus the
+  // calling thread. Blocks until every chunk has finished. The first
+  // exception thrown by `fn` is rethrown on the caller after completion.
+  // With no workers (threads == 1) the chunks run inline in index order.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  static void run_job(Job& job);
+
+  int thread_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  // At most one active parallel_for at a time. Shared ownership: a worker
+  // holds a reference across its whole claim loop, so the job outlives the
+  // caller's return even if the worker is still spinning on claimed-out
+  // chunks when the last chunk completes.
+  std::shared_ptr<Job> job_;
+  bool stopping_ = false;
+};
+
+}  // namespace gb::runtime
