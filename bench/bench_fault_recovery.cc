@@ -1,0 +1,88 @@
+// Fault-recovery benchmark (DESIGN.md §8): quantifies what device failures
+// cost the player — dropped frames, display stall time, p99 frame latency —
+// across failure scenarios and service-device counts.
+//
+// Scenarios:
+//   none           healthy baseline
+//   burst          Gilbert–Elliott burst loss on both media
+//   crash          device 0 crashes mid-session and never returns
+//   crash-recover  device 0 crashes mid-session and returns later
+//
+//   ./bench_fault_recovery                      # console table
+//   ./bench_fault_recovery --benchmark_format=json
+//
+// Environment knobs: GB_QUICK=1 / GB_DURATION=<sec> (see bench_util.h).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+
+using namespace gb;
+
+namespace {
+
+enum Scenario : int { kNone = 0, kBurst = 1, kCrash = 2, kCrashRecover = 3 };
+
+sim::SessionConfig scenario_config(int scenario, int devices,
+                                   double duration_s) {
+  sim::SessionConfig config =
+      bench::paper_config(apps::g1_gta_san_andreas(), device::nexus5(),
+                          duration_s);
+  for (int d = 0; d < devices; ++d) {
+    config.service_devices.push_back(device::nvidia_shield());
+  }
+  switch (scenario) {
+    case kNone:
+      break;
+    case kBurst:
+      config.fault_burst.enabled = true;
+      config.fault_burst.p_enter_burst = 0.005;
+      config.fault_burst.p_exit_burst = 0.05;
+      config.fault_burst.loss_burst = 0.8;
+      break;
+    case kCrash:
+      config.service_outages.push_back(
+          {0, duration_s * 0.4, duration_s + 1.0});
+      break;
+    case kCrashRecover:
+      config.service_outages.push_back(
+          {0, duration_s * 0.4, duration_s * 0.6});
+      break;
+    default:
+      break;
+  }
+  return config;
+}
+
+void BM_FaultRecovery(benchmark::State& state) {
+  const int scenario = static_cast<int>(state.range(0));
+  const int devices = static_cast<int>(state.range(1));
+  const double duration_s = bench::default_duration(40.0);
+  sim::SessionResult result;
+  for (auto _ : state) {
+    result = sim::run_session(scenario_config(scenario, devices, duration_s));
+  }
+  state.counters["fps"] = result.metrics.median_fps;
+  state.counters["frames_dropped"] =
+      static_cast<double>(result.gbooster.frames_dropped);
+  state.counters["stall_s"] = result.metrics.stall_seconds;
+  state.counters["max_gap_s"] = result.metrics.max_display_gap_s;
+  state.counters["p99_ms"] = result.metrics.p99_response_ms;
+  state.counters["redispatched"] =
+      static_cast<double>(result.gbooster.frames_redispatched);
+  state.counters["local_frames"] =
+      static_cast<double>(result.gbooster.frames_rendered_locally);
+  state.counters["failovers"] =
+      static_cast<double>(result.gbooster.device_failovers);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FaultRecovery)
+    ->ArgNames({"scenario", "devices"})
+    ->ArgsProduct({{kNone, kBurst, kCrash, kCrashRecover}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

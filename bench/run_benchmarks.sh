@@ -12,7 +12,7 @@ build_dir="${1:-build}"
 out_dir="${2:-bench-results}"
 mkdir -p "${out_dir}"
 
-benches=(bench_codec_speed bench_parallel_pipeline)
+benches=(bench_codec_speed bench_parallel_pipeline bench_fault_recovery)
 
 for bench in "${benches[@]}"; do
   bin="${build_dir}/bench/${bench}"

@@ -17,26 +17,65 @@ Dispatcher::Dispatcher(std::vector<ServiceDeviceInfo> devices,
 }
 
 std::size_t Dispatcher::pick(double workload_pixels) {
+  check(healthy_count() > 0, "pick with no healthy service device");
   if (policy_ == DispatchPolicy::kRoundRobin) {
-    return round_robin_next_++ % devices_.size();
+    // Advance past dead devices; healthy_count() > 0 bounds the scan.
+    std::size_t index = round_robin_next_++ % devices_.size();
+    while (devices_[index].dead) index = round_robin_next_++ % devices_.size();
+    return index;
   }
   if (policy_ == DispatchPolicy::kRandom) {
     lcg_state_ = lcg_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    return static_cast<std::size_t>((lcg_state_ >> 33) % devices_.size());
+    std::size_t index =
+        static_cast<std::size_t>((lcg_state_ >> 33) % devices_.size());
+    while (devices_[index].dead) index = (index + 1) % devices_.size();
+    return index;
   }
-  std::size_t best = 0;
+  std::size_t best = devices_.size();
   double best_cost = 0.0;
   for (std::size_t j = 0; j < devices_.size(); ++j) {
     const Entry& d = devices_[j];
+    if (d.dead) continue;  // excluded from Eq. 4's argmin
     const double cost =
         (d.queued_workload + workload_pixels) / d.info.capability_pps +
         d.delay_estimate.seconds();
-    if (j == 0 || cost < best_cost) {
+    if (best == devices_.size() || cost < best_cost) {
       best = j;
       best_cost = cost;
     }
   }
   return best;
+}
+
+std::size_t Dispatcher::healthy_count() const {
+  std::size_t count = 0;
+  for (const Entry& d : devices_) {
+    if (!d.dead) count++;
+  }
+  return count;
+}
+
+bool Dispatcher::record_failure(std::size_t index, int threshold) {
+  Entry& d = devices_[index];
+  if (d.dead) return false;
+  d.consecutive_failures++;
+  if (d.consecutive_failures < threshold) return false;
+  d.dead = true;
+  // Whatever the device had queued died with it; keeping the workload would
+  // bias Eq. 4 against it for its whole recovery.
+  d.queued_workload = 0.0;
+  return true;
+}
+
+bool Dispatcher::record_success(std::size_t index) {
+  Entry& d = devices_[index];
+  d.consecutive_failures = 0;
+  if (!d.dead) return false;
+  d.dead = false;
+  // The revived device starts from a clean slate except its delay estimate,
+  // which decays back via the EWMA as fresh round trips arrive.
+  d.queued_workload = 0.0;
+  return true;
 }
 
 void Dispatcher::on_assigned(std::size_t index, double workload_pixels) {

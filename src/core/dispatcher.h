@@ -56,6 +56,19 @@ class Dispatcher {
   // latency estimate.
   void on_abandoned(std::size_t index, double workload_pixels);
 
+  // Circuit breaker: health signals from heartbeat probes and transport
+  // abandonment. `record_failure` returns true when the failure crossed
+  // `threshold` and transitioned the device to dead (it is then excluded
+  // from every policy's pick until a success reintegrates it);
+  // `record_success` returns true when it revived a dead device. A dead
+  // device's queued workload is discarded — its queue died with it.
+  bool record_failure(std::size_t index, int threshold);
+  bool record_success(std::size_t index);
+  [[nodiscard]] bool healthy(std::size_t index) const {
+    return !devices_[index].dead;
+  }
+  [[nodiscard]] std::size_t healthy_count() const;
+
   // Current Eq. 4 inputs, exposed for tests and reports.
   [[nodiscard]] double queued_workload(std::size_t index) const {
     return devices_[index].queued_workload;
@@ -69,6 +82,8 @@ class Dispatcher {
     ServiceDeviceInfo info;
     double queued_workload = 0.0;        // w^j
     SimTime delay_estimate = ms(2.0);    // l^j (EWMA of round trips)
+    bool dead = false;
+    int consecutive_failures = 0;
   };
 
   std::vector<Entry> devices_;

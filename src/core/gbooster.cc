@@ -3,8 +3,35 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "wire/decoder.h"
 
 namespace gb::core {
+namespace {
+
+// The subset of a frame's records the shadow replica needs between frames.
+wire::FrameCommands state_subset(const wire::FrameCommands& frame) {
+  wire::FrameCommands state;
+  state.sequence = frame.sequence;
+  for (const wire::CommandRecord& record : frame.records) {
+    if (wire::mutates_shared_state(record.op())) {
+      state.records.push_back(record);
+    }
+  }
+  return state;
+}
+
+wire::FrameCommands draw_subset(const wire::FrameCommands& frame) {
+  wire::FrameCommands draws;
+  draws.sequence = frame.sequence;
+  for (const wire::CommandRecord& record : frame.records) {
+    if (!wire::mutates_shared_state(record.op())) {
+      draws.records.push_back(record);
+    }
+  }
+  return draws;
+}
+
+}  // namespace
 
 GBoosterRuntime::GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
                                  net::ReliableEndpoint& endpoint,
@@ -16,14 +43,35 @@ GBoosterRuntime::GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
   for (const ServiceDeviceInfo& d : devices) {
     device_nodes_.push_back(d.node);
     render_caches_.push_back(std::make_unique<compress::CommandCache>());
+    cache_epochs_.push_back(0);
+    apply_floors_.push_back(0);
   }
   recorder_ = std::make_unique<wire::CommandRecorder>(
       config_.nominal_width, config_.nominal_height,
       [this](wire::FrameCommands frame) { return on_frame(std::move(frame)); });
+  endpoint_.set_abandon_handler(
+      [this](net::NodeId stream, std::uint64_t message_id) {
+        on_transport_abandon(stream, message_id);
+      });
+  if (config_.health.enabled) {
+    loop_.schedule_after(config_.health.probe_interval,
+                         [this] { heartbeat_tick(); });
+  }
 }
 
 void GBoosterRuntime::install(hooking::DynamicLinker& linker,
                               const std::string& soname) {
+  // Bind the genuine driver while the preload list still resolves to it:
+  // this handle is the §IV-A escape hatch the local-render fallback draws
+  // through once the wrapper shadows every other lookup path.
+  if (config_.enable_local_fallback && local_gles_ == nullptr) {
+    try {
+      local_gles_ = linker.link_gles("libGLESv2.so");
+    } catch (const Error&) {
+      // No genuine driver registered (pure analytic harness): fallback
+      // frames keep their timing model but produce no replica pixels.
+    }
+  }
   linker.register_library(
       hooking::LibraryImage::exporting_all(soname, recorder_.get()));
   std::vector<std::string> preload = linker.preload();
@@ -38,6 +86,23 @@ std::size_t GBoosterRuntime::memory_overhead_bytes() const {
   return total;
 }
 
+std::optional<std::size_t> GBoosterRuntime::index_of(net::NodeId node) const {
+  for (std::size_t j = 0; j < device_nodes_.size(); ++j) {
+    if (device_nodes_[j] == node) return j;
+  }
+  return std::nullopt;
+}
+
+void GBoosterRuntime::erase_msg_entries(const InFlight& flight) {
+  if (flight.has_render_msg) {
+    msg_to_seq_.erase(
+        {device_nodes_[flight.device_index], flight.render_msg_id});
+  }
+  if (flight.has_state_msg) {
+    msg_to_seq_.erase({config_.state_group, flight.state_msg_id});
+  }
+}
+
 bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
   check(!device_nodes_.empty(), "no service devices configured");
   const std::uint64_t sequence = frame.sequence;
@@ -46,45 +111,59 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
   const double workload = workload_override_
                               ? workload_override_()
                               : recorder_->last_frame_profile().workload_pixels;
-  const std::size_t device_index = dispatcher_.pick(workload);
-  dispatcher_.on_assigned(device_index, workload);
+  const bool no_healthy = dispatcher_.healthy_count() == 0;
+  const bool local = no_healthy && config_.enable_local_fallback;
 
-  // Multi-device consistency (§VI-B): the frame's state-mutating records go
-  // to everyone; single-device sessions skip the redundant copy.
-  Bytes state_message;
-  if (device_nodes_.size() > 1) {
-    wire::FrameCommands state_records;
-    state_records.sequence = sequence;
-    for (const wire::CommandRecord& record : frame.records) {
-      if (wire::mutates_shared_state(record.op())) {
-        state_records.records.push_back(record);
-      }
-    }
-    StateHeader header;
-    header.sequence = sequence;
-    header.renderer_node = device_nodes_[device_index];
-    state_message = make_state_message(header, state_records, state_cache_,
-                                       stats_.state_cache);
+  std::size_t device_index = 0;
+  if (!local) {
+    // With fallback disabled and every device dead, keep sending into the
+    // void (device 0): the display gap timeout then reclaims the frames —
+    // the diagnostic behaviour of a system without graceful degradation.
+    device_index = no_healthy ? 0 : dispatcher_.pick(workload);
+    dispatcher_.on_assigned(device_index, workload);
   }
 
-  RenderRequestHeader header;
-  header.sequence = sequence;
-  header.workload_pixels = workload;
-  header.priority = config_.request_priority;
-  Bytes render_message = make_render_message(
-      header, frame, *render_caches_[device_index], stats_.render_cache);
+  // Multi-device consistency (§VI-B): the frame's state-mutating records go
+  // to everyone — also while every device is down, since the reliable layer
+  // keeps retransmitting and heals recovering replicas. Single-device
+  // sessions skip the redundant copy.
+  Bytes state_message;
+  if (device_nodes_.size() > 1) {
+    StateHeader header;
+    header.sequence = sequence;
+    header.renderer_node = local ? 0 : device_nodes_[device_index];
+    header.cache_epoch = state_epoch_;
+    header.apply_floor = state_apply_floor_;
+    state_message = make_state_message(header, state_subset(frame),
+                                       state_cache_, stats_.state_cache);
+  }
+
+  Bytes render_message;
+  if (!local) {
+    RenderRequestHeader header;
+    header.sequence = sequence;
+    header.workload_pixels = workload;
+    header.priority = config_.request_priority;
+    header.cache_epoch = cache_epochs_[device_index];
+    header.apply_floor = apply_floors_[device_index];
+    render_message = make_render_message(
+        header, frame, *render_caches_[device_index], stats_.render_cache);
+  }
 
   // Charge the user-device CPU for serialization + compression; the packed
   // bytes leave once the (single) packing core gets through them.
   const std::size_t total_bytes = render_message.size() + state_message.size();
-  const double serialize_s = static_cast<double>(total_bytes) * 8.0 /
-                                 config_.serialize_throughput_bps +
-                             0.0003;
-  stats_.serialize_seconds += serialize_s;
-  cpu_busy_until_ =
-      std::max(cpu_busy_until_, loop_.now()) + seconds(serialize_s);
+  double serialize_s = 0.0;
+  if (total_bytes > 0) {
+    serialize_s = static_cast<double>(total_bytes) * 8.0 /
+                      config_.serialize_throughput_bps +
+                  0.0003;
+    stats_.serialize_seconds += serialize_s;
+    cpu_busy_until_ =
+        std::max(cpu_busy_until_, loop_.now()) + seconds(serialize_s);
+  }
 
-  stats_.frames_offloaded++;
+  if (!local) stats_.frames_offloaded++;
   stats_.bytes_sent += total_bytes;
   const std::uint64_t depth = in_flight_.size() + 1;
   stats_.pending_depth_sum += depth;
@@ -92,38 +171,310 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
   stats_.pending_depth_max = std::max(stats_.pending_depth_max, depth);
   if (!state_message.empty()) stats_.state_messages++;
 
-  in_flight_[sequence] =
-      InFlight{loop_.now(), device_index, workload, total_bytes, serialize_s};
+  InFlight flight;
+  flight.issued = loop_.now();
+  flight.device_index = device_index;
+  flight.workload = workload;
+  flight.sent_bytes = total_bytes;
+  flight.serialize_s = serialize_s;
+  flight.local = local;
+  // Shadow replica: offloaded frames contribute their state records now, so
+  // the local context can take over mid-stream; fallback frames replay in
+  // full when they render (exactly once either way).
+  if (!local && local_gles_ != nullptr) {
+    try {
+      wire::replay_frame(state_subset(frame), *local_gles_);
+    } catch (const Error&) {
+      // A divergent replica only degrades fallback pixels, never the stream.
+    }
+  }
+  flight.state_applied_locally = !local;
+  flight.records = std::move(frame);
+  in_flight_.emplace(sequence, std::move(flight));
+
+  if (!state_message.empty() || !render_message.empty()) {
+    const net::NodeId renderer = device_nodes_[device_index];
+    loop_.schedule_at(
+        cpu_busy_until_,
+        [this, sequence, device_index, renderer,
+         state_message = std::move(state_message),
+         render_message = std::move(render_message)]() mutable {
+          if (!state_message.empty()) {
+            const std::uint64_t id = endpoint_.send_multicast(
+                config_.state_group, device_nodes_, std::move(state_message));
+            msg_to_seq_[{config_.state_group, id}] = sequence;
+            const auto it = in_flight_.find(sequence);
+            if (it != in_flight_.end()) {
+              it->second.has_state_msg = true;
+              it->second.state_msg_id = id;
+            }
+          }
+          if (render_message.empty()) return;
+          const auto it = in_flight_.find(sequence);
+          // The frame may have been re-routed (device died) or reclaimed
+          // (gap timeout) while the packing core was busy; don't send stale
+          // payloads to the old renderer.
+          if (it == in_flight_.end() || it->second.local ||
+              it->second.device_index != device_index) {
+            return;
+          }
+          const std::uint64_t id =
+              endpoint_.send(renderer, std::move(render_message));
+          it->second.has_render_msg = true;
+          it->second.render_msg_id = id;
+          msg_to_seq_[{renderer, id}] = sequence;
+        });
+  }
+
+  if (local) render_locally(sequence);
+  return true;
+}
+
+// --- failure handling -------------------------------------------------------
+
+void GBoosterRuntime::heartbeat_tick() {
+  // The endpoint may not be routed yet (runtime constructed before media
+  // binding); probe once transmissions can actually flow.
+  if (endpoint_.route() != nullptr) {
+    for (std::size_t j = 0; j < device_nodes_.size(); ++j) {
+      const std::uint64_t nonce = next_ping_nonce_++;
+      pending_pings_[nonce] = PendingPing{j, loop_.now()};
+      endpoint_.send_unreliable(device_nodes_[j], make_ping_message(nonce));
+      loop_.schedule_after(config_.health.probe_timeout,
+                           [this, nonce] { on_ping_timeout(nonce); });
+    }
+  }
+  loop_.schedule_after(config_.health.probe_interval,
+                       [this] { heartbeat_tick(); });
+}
+
+void GBoosterRuntime::on_ping_timeout(std::uint64_t nonce) {
+  const auto it = pending_pings_.find(nonce);
+  if (it == pending_pings_.end()) return;  // answered in time
+  const std::size_t index = it->second.device_index;
+  pending_pings_.erase(it);
+  stats_.heartbeat_timeouts++;
+  if (dispatcher_.record_failure(index, config_.health.failure_threshold)) {
+    handle_device_death(index);
+  }
+}
+
+void GBoosterRuntime::on_pong(std::uint64_t nonce) {
+  const auto it = pending_pings_.find(nonce);
+  if (it == pending_pings_.end()) return;  // already counted as a timeout
+  const std::size_t index = it->second.device_index;
+  pending_pings_.erase(it);
+  note_device_alive(index);
+}
+
+void GBoosterRuntime::note_device_alive(std::size_t index) {
+  if (dispatcher_.record_success(index)) {
+    stats_.device_reintegrations++;
+  }
+}
+
+void GBoosterRuntime::on_transport_abandon(net::NodeId stream,
+                                           std::uint64_t message_id) {
+  const auto it = msg_to_seq_.find({stream, message_id});
+  if (it == msg_to_seq_.end()) return;
+  const std::uint64_t sequence = it->second;
+  msg_to_seq_.erase(it);
+
+  if (stream == config_.state_group) {
+    // Some replica missed state it can never recover: restart the shared
+    // cache under a new epoch so every mirror resets in lockstep, and tell
+    // receivers not to wait on the lost sequence.
+    state_epoch_++;
+    state_cache_ = compress::CommandCache();
+    stats_.state_epoch_resets++;
+    state_apply_floor_ = std::max(state_apply_floor_, sequence + 1);
+    const auto fit = in_flight_.find(sequence);
+    if (fit != in_flight_.end()) fit->second.has_state_msg = false;
+    return;
+  }
+
+  const auto index = index_of(stream);
+  if (!index.has_value()) return;
+  const auto fit = in_flight_.find(sequence);
+  if (fit == in_flight_.end()) return;  // completed or reclaimed already
+  InFlight& flight = fit->second;
+  if (flight.local || flight.device_index != *index) return;  // stale
+  flight.has_render_msg = false;
+  if (!config_.health.enabled) return;  // monitoring off: gap timeout rules
+  // The transport exhausted its full retry budget toward this device —
+  // decisive evidence on its own.
+  if (dispatcher_.record_failure(*index, 1)) {
+    handle_device_death(*index);  // re-dispatches this frame in its sweep
+  } else {
+    redispatch_frame(sequence);
+  }
+}
+
+void GBoosterRuntime::handle_device_death(std::size_t index) {
+  stats_.device_failovers++;
+  // The device's cache mirror is now unreliable (it may never have decoded
+  // the tail of the stream): restart the pair under a new epoch.
+  render_caches_[index] = std::make_unique<compress::CommandCache>();
+  cache_epochs_[index]++;
+  // Drop outstanding render traffic to the corpse; each abandoned message
+  // fires the abandon handler, which re-dispatches its frame (the breaker
+  // is already open, so those land on healthy devices or the local GPU).
+  endpoint_.abandon_stream(device_nodes_[index]);
+  // Requests already fully delivered (or whose send is still queued behind
+  // the packing core) have no outstanding message: sweep the leftovers.
+  std::vector<std::uint64_t> orphans;
+  for (const auto& [sequence, flight] : in_flight_) {
+    if (!flight.local && flight.device_index == index) {
+      orphans.push_back(sequence);
+    }
+  }
+  for (const std::uint64_t sequence : orphans) redispatch_frame(sequence);
+}
+
+void GBoosterRuntime::redispatch_frame(std::uint64_t sequence) {
+  InFlight& flight = in_flight_.at(sequence);
+  const std::size_t old_index = flight.device_index;
+  dispatcher_.on_abandoned(old_index, flight.workload);
+  if (flight.has_render_msg) {
+    msg_to_seq_.erase({device_nodes_[old_index], flight.render_msg_id});
+    flight.has_render_msg = false;
+  }
+  // The old device will never see this sequence again; when it recovers it
+  // must not wait for it (its state copy, if any, still flows separately).
+  apply_floors_[old_index] =
+      std::max(apply_floors_[old_index], sequence + 1);
+
+  if (dispatcher_.healthy_count() == 0) {
+    if (config_.enable_local_fallback) render_locally(sequence);
+    // Otherwise leave the frame in flight; the presenter's gap timeout
+    // reclaims it.
+    return;
+  }
+  const std::size_t target = dispatcher_.pick(flight.workload);
+  dispatcher_.on_assigned(target, flight.workload);
+  flight.device_index = target;
+  stats_.frames_redispatched++;
+  send_render(sequence, target);
+}
+
+void GBoosterRuntime::send_render(std::uint64_t sequence,
+                                  std::size_t device_index) {
+  InFlight& flight = in_flight_.at(sequence);
+  RenderRequestHeader header;
+  header.sequence = sequence;
+  header.workload_pixels = flight.workload;
+  header.priority = config_.request_priority;
+  // Re-dispatch: the target already holds (or will hold) this frame's state
+  // records from the multicast copy — it must replay draws only.
+  header.redispatch = true;
+  header.cache_epoch = cache_epochs_[device_index];
+  header.apply_floor = apply_floors_[device_index];
+  Bytes message =
+      make_render_message(header, flight.records, *render_caches_[device_index],
+                          stats_.render_cache);
+
+  const double serialize_s = static_cast<double>(message.size()) * 8.0 /
+                                 config_.serialize_throughput_bps +
+                             0.0003;
+  stats_.serialize_seconds += serialize_s;
+  cpu_busy_until_ =
+      std::max(cpu_busy_until_, loop_.now()) + seconds(serialize_s);
+  stats_.bytes_sent += message.size();
+  flight.sent_bytes += message.size();
 
   const net::NodeId renderer = device_nodes_[device_index];
   loop_.schedule_at(
       cpu_busy_until_,
-      [this, renderer, state_message = std::move(state_message),
-       render_message = std::move(render_message)]() mutable {
-        if (!state_message.empty()) {
-          endpoint_.send_multicast(config_.state_group, device_nodes_,
-                                   std::move(state_message));
+      [this, sequence, device_index, renderer,
+       message = std::move(message)]() mutable {
+        const auto it = in_flight_.find(sequence);
+        if (it == in_flight_.end() || it->second.local ||
+            it->second.device_index != device_index) {
+          return;  // re-routed again (or reclaimed) while packing
         }
-        endpoint_.send(renderer, std::move(render_message));
+        const std::uint64_t id = endpoint_.send(renderer, std::move(message));
+        it->second.has_render_msg = true;
+        it->second.render_msg_id = id;
+        msg_to_seq_[{renderer, id}] = sequence;
       });
-  return true;
 }
+
+void GBoosterRuntime::render_locally(std::uint64_t sequence) {
+  InFlight& flight = in_flight_.at(sequence);
+  flight.local = true;
+  stats_.frames_rendered_locally++;
+  // Single-device sessions send no state copies, so a locally-rendered
+  // sequence is a permanent hole in the device's stream: float the floor.
+  if (device_nodes_.size() == 1) {
+    apply_floors_[0] = std::max(apply_floors_[0], sequence + 1);
+  }
+
+  const double render_s = flight.workload / config_.local_capability_pps;
+  stats_.local_render_seconds += render_s;
+  const SimTime start = std::max(loop_.now(), local_busy_until_);
+  local_busy_until_ = start + seconds(render_s);
+
+  loop_.schedule_at(local_busy_until_, [this, sequence] {
+    const auto it = in_flight_.find(sequence);
+    if (it == in_flight_.end()) return;  // reclaimed by the gap timeout
+    InFlight flight = std::move(it->second);
+    in_flight_.erase(it);
+    erase_msg_entries(flight);
+    if (local_gles_ != nullptr) {
+      try {
+        // Frames that were offloaded first already fed their state records
+        // to the replica at issue time; replaying them again would re-run
+        // non-idempotent records (glGen*), so only the draws remain.
+        wire::replay_frame(flight.state_applied_locally
+                               ? draw_subset(flight.records)
+                               : flight.records,
+                           *local_gles_);
+      } catch (const Error&) {
+        // Replica divergence costs pixels, not liveness.
+      }
+    }
+    ReadyFrame ready;
+    ready.issued = flight.issued;
+    ready.displayable_at = loop_.now();
+    ready_.emplace(sequence, std::move(ready));
+    present_in_order();
+  });
+}
+
+// --- results ----------------------------------------------------------------
 
 void GBoosterRuntime::on_message(net::NodeId src, net::NodeId stream,
                                  Bytes message) {
-  (void)src;
   (void)stream;
-  if (peek_kind(message) != MsgKind::kFrame) return;
+  const MsgKind kind = peek_kind(message);
+  if (kind == MsgKind::kPong) {
+    const auto nonce = parse_pong_message(message);
+    if (nonce.has_value()) on_pong(*nonce);
+    return;
+  }
+  if (kind != MsgKind::kFrame) return;
   auto parsed = parse_frame_message(message);
   check(parsed.has_value(), "malformed frame result");
   const std::uint64_t sequence = parsed->header.sequence;
   const auto it = in_flight_.find(sequence);
   if (it == in_flight_.end()) return;  // duplicate
-  const InFlight flight = it->second;
+  InFlight flight = std::move(it->second);
   in_flight_.erase(it);
+  erase_msg_entries(flight);
 
-  dispatcher_.on_completed(flight.device_index, flight.workload,
-                           loop_.now() - flight.issued);
+  const auto src_index = index_of(src);
+  if (src_index.has_value()) note_device_alive(*src_index);
+  if (!flight.local) {
+    if (src_index.has_value() && *src_index == flight.device_index) {
+      dispatcher_.on_completed(flight.device_index, flight.workload,
+                               loop_.now() - flight.issued);
+    } else {
+      // A stale assignee delivered after the frame was re-routed: use the
+      // result, but release the current assignee's phantom workload (its
+      // own result will be ignored as a duplicate).
+      dispatcher_.on_abandoned(flight.device_index, flight.workload);
+    }
+  }
   stats_.bytes_received += parsed->header.nominal_bytes;
 
   // Decode cost on the user device (Turbo decode of the nominal-resolution
@@ -179,8 +530,11 @@ void GBoosterRuntime::present_in_order() {
           for (auto lost = in_flight_.begin();
                lost != in_flight_.end() &&
                lost->first < ready_.begin()->first;) {
-            dispatcher_.on_abandoned(lost->second.device_index,
-                                     lost->second.workload);
+            if (!lost->second.local) {
+              dispatcher_.on_abandoned(lost->second.device_index,
+                                       lost->second.workload);
+            }
+            erase_msg_entries(lost->second);
             lost = in_flight_.erase(lost);
           }
           next_display_sequence_ = ready_.begin()->first;

@@ -15,12 +15,23 @@
 //   5. returned frames are decoded and displayed in sequence order (§VI-C),
 //      with the modified SwapBuffer semantics (§VI-A) allowing up to
 //      `max_pending_requests` frames in flight.
+//
+// Failure handling: a health monitor heartbeats every service device over
+// the transport's unreliable datagram path; consecutive probe losses trip a
+// circuit breaker that removes the device from Eq. 4's argmin. In-flight
+// requests held by a dead device are re-encoded and re-dispatched to the
+// best healthy device (the original frame commands are retained for exactly
+// this), and when no healthy device remains the runtime renders frames on
+// the local GPU through the genuine GLES driver it bound before installing
+// the wrapper (§IV-A linker hook), switching back once a probe succeeds.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "codec/turbo_codec.h"
@@ -33,6 +44,21 @@
 #include "wire/recorder.h"
 
 namespace gb::core {
+
+// Heartbeat-driven failure detector (circuit breaker) for service devices.
+// The transport's own abandonment signal also feeds the breaker, but at a
+// ~90 s horizon (50 retries with backoff); heartbeats are the fast path.
+struct HealthMonitorConfig {
+  bool enabled = true;
+  // Probe cadence per device. Dead devices keep being probed at the same
+  // cadence — that is the breaker's half-open state; a reply reintegrates.
+  SimTime probe_interval = ms(250);
+  // A probe unanswered this long counts as one failure.
+  SimTime probe_timeout = ms(500);
+  // Consecutive failures before the device is declared dead. Frame results
+  // and pongs both reset the count.
+  int failure_threshold = 3;
+};
 
 struct GBoosterConfig {
   int nominal_width = 600;
@@ -66,6 +92,14 @@ struct GBoosterConfig {
   // Request-assignment policy across service devices (Eq. 4 by default;
   // the alternatives exist for the scheduling ablation).
   DispatchPolicy dispatch_policy = DispatchPolicy::kEq4;
+  // Failure detection (heartbeats + circuit breaker).
+  HealthMonitorConfig health;
+  // When every service device is dead, render on the local GPU instead of
+  // stalling until the display gap timeout drops frames.
+  bool enable_local_fallback = true;
+  // Effective fillrate of the local GPU for fallback frames (pixels/s);
+  // sessions wire this to the user device's GPU profile.
+  double local_capability_pps = 4.0e8;
 };
 
 struct GBoosterStats {
@@ -88,19 +122,30 @@ struct GBoosterStats {
   std::uint64_t pending_depth_max = 0;
   // Frames abandoned by the in-order presenter after display_gap_timeout.
   std::uint64_t frames_dropped = 0;
+  // --- failure handling ----------------------------------------------------
+  std::uint64_t frames_redispatched = 0;      // re-sent after device death
+  std::uint64_t frames_rendered_locally = 0;  // fallback path
+  double local_render_seconds = 0.0;          // local GPU busy time
+  std::uint64_t device_failovers = 0;         // healthy -> dead transitions
+  std::uint64_t device_reintegrations = 0;    // dead -> healthy transitions
+  std::uint64_t heartbeat_timeouts = 0;
+  std::uint64_t state_epoch_resets = 0;  // shared state cache restarts
 };
 
 class GBoosterRuntime {
  public:
   // `endpoint` must outlive the runtime and already be bound to its media;
   // `devices` lists the service devices (Eq. 4 inputs + node addresses).
+  // The runtime installs the endpoint's abandon handler; the owner routes
+  // incoming messages to on_message().
   GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
                   net::ReliableEndpoint& endpoint,
                   std::vector<ServiceDeviceInfo> devices);
 
   // Registers the wrapper library with the linker and sets LD_PRELOAD, the
-  // §IV-A injection. After this, any link_gles()/eglGetProcAddress/dlsym
-  // resolution lands in the wrapper.
+  // §IV-A injection. Before the wrapper starts shadowing, the genuine GLES
+  // driver is bound through the same linker — the handle the local-render
+  // fallback draws through.
   void install(hooking::DynamicLinker& linker,
                const std::string& soname = "libgbooster.so");
 
@@ -138,12 +183,47 @@ class GBoosterRuntime {
   // §VII-G: wrapper memory overhead (shadow context + queues).
   [[nodiscard]] std::size_t memory_overhead_bytes() const;
 
-  // Must be called by the owner to route incoming frame messages here.
+  // Must be called by the owner to route incoming messages here (frame
+  // results and heartbeat pongs).
   void on_message(net::NodeId src, net::NodeId stream, Bytes message);
 
  private:
+  struct InFlight {
+    SimTime issued;
+    std::size_t device_index = 0;
+    double workload = 0.0;
+    std::size_t sent_bytes = 0;
+    double serialize_s = 0.0;
+    bool local = false;  // being rendered by the fallback path
+    // Whether this frame's state records have been replayed into the local
+    // shadow replica (done at issue for offloaded frames; guards the
+    // fallback path against applying them twice).
+    bool state_applied_locally = false;
+    // Retained so the frame can be re-encoded for another device (or the
+    // local GPU) if its renderer dies.
+    wire::FrameCommands records;
+    // Transport message ids of this frame's payloads, for mapping abandon
+    // callbacks back to sequences.
+    bool has_render_msg = false;
+    std::uint64_t render_msg_id = 0;
+    bool has_state_msg = false;
+    std::uint64_t state_msg_id = 0;
+  };
+
   bool on_frame(wire::FrameCommands frame);
   void present_in_order();
+  void heartbeat_tick();
+  void on_ping_timeout(std::uint64_t nonce);
+  void on_pong(std::uint64_t nonce);
+  void on_transport_abandon(net::NodeId stream, std::uint64_t message_id);
+  void note_device_alive(std::size_t index);
+  void handle_device_death(std::size_t index);
+  void redispatch_frame(std::uint64_t sequence);
+  void render_locally(std::uint64_t sequence);
+  // Re-encodes the retained frame against `device_index`'s cache and sends.
+  void send_render(std::uint64_t sequence, std::size_t device_index);
+  void erase_msg_entries(const InFlight& flight);
+  [[nodiscard]] std::optional<std::size_t> index_of(net::NodeId node) const;
 
   EventLoop& loop_;
   GBoosterConfig config_;
@@ -154,15 +234,18 @@ class GBoosterRuntime {
 
   compress::CommandCache state_cache_;
   std::vector<std::unique_ptr<compress::CommandCache>> render_caches_;
+  // Cache generations, bumped with each sender-side cache reset so the
+  // receiving mirror restarts in lockstep (see RenderRequestHeader).
+  std::vector<std::uint32_t> cache_epochs_;
+  std::uint32_t state_epoch_ = 0;
+  // Per-device apply floor: sequences below it will never reach the device
+  // (abandoned or rendered locally); carried in render headers.
+  std::vector<std::uint64_t> apply_floors_;
+  std::uint64_t state_apply_floor_ = 0;
 
-  struct InFlight {
-    SimTime issued;
-    std::size_t device_index = 0;
-    double workload = 0.0;
-    std::size_t sent_bytes = 0;
-    double serialize_s = 0.0;
-  };
   std::map<std::uint64_t, InFlight> in_flight_;
+  // (stream, transport message id) -> frame sequence, for abandon handling.
+  std::map<std::pair<net::NodeId, std::uint64_t>, std::uint64_t> msg_to_seq_;
 
   struct ReadyFrame {
     SimTime displayable_at;
@@ -171,6 +254,20 @@ class GBoosterRuntime {
   };
   std::map<std::uint64_t, ReadyFrame> ready_;
   std::uint64_t next_display_sequence_ = 0;
+
+  // Health monitor state: outstanding probes by nonce.
+  struct PendingPing {
+    std::size_t device_index = 0;
+    SimTime sent;
+  };
+  std::map<std::uint64_t, PendingPing> pending_pings_;
+  std::uint64_t next_ping_nonce_ = 1;
+
+  // Local-render fallback: the genuine driver bound via the linker before
+  // the wrapper shadowed it (null when install() was never called or no
+  // genuine GLES library is registered — timing still works, pixels don't).
+  std::unique_ptr<gles::GlesApi> local_gles_;
+  SimTime local_busy_until_;
 
   codec::TurboDecoder decoder_;
   SimTime cpu_busy_until_;  // serializes the pack/compress CPU work

@@ -24,6 +24,28 @@ std::optional<Bytes> read_compressed(ByteReader& in) {
   return compress::lz4_decompress(block, narrow<std::size_t>(raw_size));
 }
 
+// Reads a StateHeader's fields (everything before the compressed body).
+StateHeader read_state_header(ByteReader& in) {
+  StateHeader header;
+  header.sequence = in.varint();
+  header.renderer_node = narrow<std::uint32_t>(in.varint());
+  header.cache_epoch = narrow<std::uint32_t>(in.varint());
+  header.apply_floor = in.varint();
+  return header;
+}
+
+// Reads a RenderRequestHeader's fields (everything before the body).
+RenderRequestHeader read_render_header(ByteReader& in) {
+  RenderRequestHeader header;
+  header.sequence = in.varint();
+  header.workload_pixels = in.f64();
+  header.priority = narrow<int>(in.varint());
+  header.redispatch = in.u8() != 0;
+  header.cache_epoch = narrow<std::uint32_t>(in.varint());
+  header.apply_floor = in.varint();
+  return header;
+}
+
 }  // namespace
 
 Bytes pack_commands(const wire::FrameCommands& frame,
@@ -49,6 +71,8 @@ Bytes make_state_message(const StateHeader& header,
   out.u8(static_cast<std::uint8_t>(MsgKind::kState));
   out.varint(header.sequence);
   out.varint(header.renderer_node);
+  out.varint(header.cache_epoch);
+  out.varint(header.apply_floor);
   append_compressed(out, pack_commands(state_records, cache, stats));
   return out.take();
 }
@@ -62,7 +86,24 @@ Bytes make_render_message(const RenderRequestHeader& header,
   out.varint(header.sequence);
   out.f64(header.workload_pixels);
   out.varint(static_cast<std::uint64_t>(header.priority));
+  out.u8(header.redispatch ? 1 : 0);
+  out.varint(header.cache_epoch);
+  out.varint(header.apply_floor);
   append_compressed(out, pack_commands(frame_records, cache, stats));
+  return out.take();
+}
+
+Bytes make_ping_message(std::uint64_t nonce) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(MsgKind::kPing));
+  out.varint(nonce);
+  return out.take();
+}
+
+Bytes make_pong_message(std::uint64_t nonce) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(MsgKind::kPong));
+  out.varint(nonce);
   return out.take();
 }
 
@@ -94,8 +135,7 @@ std::optional<ParsedState> parse_state_message(
     ByteReader in(message);
     check(static_cast<MsgKind>(in.u8()) == MsgKind::kState, "not a state msg");
     ParsedState parsed;
-    parsed.header.sequence = in.varint();
-    parsed.header.renderer_node = narrow<std::uint32_t>(in.varint());
+    parsed.header = read_state_header(in);
     const auto raw = read_compressed(in);
     if (!raw) return std::nullopt;
     auto records = unpack_commands(*raw, cache);
@@ -114,15 +154,58 @@ std::optional<ParsedRender> parse_render_message(
     check(static_cast<MsgKind>(in.u8()) == MsgKind::kRender,
           "not a render msg");
     ParsedRender parsed;
-    parsed.header.sequence = in.varint();
-    parsed.header.workload_pixels = in.f64();
-    parsed.header.priority = narrow<int>(in.varint());
+    parsed.header = read_render_header(in);
     const auto raw = read_compressed(in);
     if (!raw) return std::nullopt;
     auto records = unpack_commands(*raw, cache);
     if (!records) return std::nullopt;
     parsed.records = std::move(*records);
     return parsed;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<RenderRequestHeader> peek_render_header(
+    std::span<const std::uint8_t> message) {
+  try {
+    ByteReader in(message);
+    check(static_cast<MsgKind>(in.u8()) == MsgKind::kRender,
+          "not a render msg");
+    return read_render_header(in);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<StateHeader> peek_state_header(
+    std::span<const std::uint8_t> message) {
+  try {
+    ByteReader in(message);
+    check(static_cast<MsgKind>(in.u8()) == MsgKind::kState, "not a state msg");
+    return read_state_header(in);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> parse_ping_message(
+    std::span<const std::uint8_t> message) {
+  try {
+    ByteReader in(message);
+    check(static_cast<MsgKind>(in.u8()) == MsgKind::kPing, "not a ping msg");
+    return in.varint();
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> parse_pong_message(
+    std::span<const std::uint8_t> message) {
+  try {
+    ByteReader in(message);
+    check(static_cast<MsgKind>(in.u8()) == MsgKind::kPong, "not a pong msg");
+    return in.varint();
   } catch (const Error&) {
     return std::nullopt;
   }

@@ -26,6 +26,8 @@ enum class MsgKind : std::uint8_t {
   kState = 1,
   kRender = 2,
   kFrame = 3,
+  kPing = 4,  // heartbeat probe (unreliable path)
+  kPong = 5,  // heartbeat reply (unreliable path)
 };
 
 struct RenderRequestHeader {
@@ -34,6 +36,19 @@ struct RenderRequestHeader {
   // Request urgency when the service device schedules multiple users
   // (§VIII): lower = more time-critical. 0 for single-user sessions.
   int priority = 0;
+  // True when this request repeats a frame whose first assignee died. The
+  // receiving device already applied the frame's state records via the
+  // multicast copy, so it must replay draws only (non-idempotent state
+  // records — glGen*, glBufferData — must not run twice).
+  bool redispatch = false;
+  // Generation of the command cache this payload was encoded against. The
+  // user device bumps it when a device's mirror may have diverged (messages
+  // to it were abandoned); the device resets its mirror on a new epoch.
+  std::uint32_t cache_epoch = 0;
+  // Frames below this sequence will never arrive on this stream (rendered
+  // locally during fallback, or their messages were abandoned): the device
+  // fast-forwards its in-order apply cursor past them.
+  std::uint64_t apply_floor = 0;
 };
 
 // In multi-device mode every frame produces exactly one message per service
@@ -44,6 +59,13 @@ struct RenderRequestHeader {
 struct StateHeader {
   std::uint64_t sequence = 0;
   std::uint32_t renderer_node = 0;
+  // Generation of the shared state cache. Bumped (with a sender-side cache
+  // reset) when a state message is abandoned toward any group member, so a
+  // long-dead device that revives cannot decode against a diverged mirror.
+  std::uint32_t cache_epoch = 0;
+  // State sequences below this will never arrive (abandoned); receivers
+  // fast-forward their in-order apply cursor past them.
+  std::uint64_t apply_floor = 0;
 };
 
 struct FrameResultHeader {
@@ -79,9 +101,27 @@ Bytes make_render_message(const RenderRequestHeader& header,
 Bytes make_frame_message(const FrameResultHeader& header,
                          std::span<const std::uint8_t> encoded_content);
 
+// Heartbeat probe/reply for the health monitor; sent over the transport's
+// unreliable datagram path so probes to a dead device accumulate no
+// retransmission state. The nonce matches a pong to its ping.
+Bytes make_ping_message(std::uint64_t nonce);
+Bytes make_pong_message(std::uint64_t nonce);
+
 // --- parsing ----------------------------------------------------------------
 
 [[nodiscard]] MsgKind peek_kind(std::span<const std::uint8_t> message);
+
+// Header-only parses (no command-cache decode): the receiver must learn the
+// cache epoch *before* decoding the body against its mirror.
+std::optional<RenderRequestHeader> peek_render_header(
+    std::span<const std::uint8_t> message);
+std::optional<StateHeader> peek_state_header(
+    std::span<const std::uint8_t> message);
+
+std::optional<std::uint64_t> parse_ping_message(
+    std::span<const std::uint8_t> message);
+std::optional<std::uint64_t> parse_pong_message(
+    std::span<const std::uint8_t> message);
 
 struct ParsedState {
   StateHeader header;

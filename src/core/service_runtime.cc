@@ -48,30 +48,58 @@ ServiceRuntime::UserSession& ServiceRuntime::session_for(net::NodeId user) {
 void ServiceRuntime::on_message(net::NodeId src, net::NodeId stream,
                                 Bytes message) {
   (void)stream;
-  UserSession& session = session_for(src);
   const MsgKind kind = peek_kind(message);
+  if (kind == MsgKind::kPing) {
+    const auto nonce = parse_ping_message(message);
+    if (nonce.has_value()) {
+      endpoint_->send_unreliable(src, make_pong_message(*nonce));
+    }
+    return;
+  }
+  if (kind == MsgKind::kPong) return;
+  UserSession& session = session_for(src);
   if (kind == MsgKind::kState) {
+    const auto header = peek_state_header(message);
+    check(header.has_value(), "malformed state header");
+    // The epoch must be learned before the body is decoded: a decode against
+    // a mirror the sender has already restarted would corrupt silently.
+    if (header->cache_epoch != session.state_epoch) {
+      session.state_cache = compress::CommandCache();
+      session.state_epoch = header->cache_epoch;
+    }
     auto parsed = parse_state_message(message, session.state_cache);
     check(parsed.has_value(), "malformed state message");
-    if (parsed->header.renderer_node == node_) {
-      // This device renders the frame in full; the state copy was decoded
-      // (keeping the cache mirror consistent) and is otherwise ignored —
-      // its sequence slot is filled by the render message.
-      return;
-    }
-    PendingApply pending;
-    pending.is_render = false;
+    fast_forward(session, header->apply_floor);
     const std::uint64_t seq = parsed->header.sequence;
-    pending.state = std::move(parsed);
-    session.held.emplace(seq, std::move(pending));
+    if (seq >= session.next_apply_sequence) {
+      PendingApply& pending = session.held[seq];
+      // The renderer's own state copy only keeps the cache mirror warm; the
+      // slot must wait for the full render message.
+      pending.expect_render = parsed->header.renderer_node == node_;
+      pending.state = std::move(parsed);
+    }
   } else if (kind == MsgKind::kRender) {
+    const auto header = peek_render_header(message);
+    check(header.has_value(), "malformed render header");
+    if (header->cache_epoch != session.render_epoch) {
+      session.render_cache = compress::CommandCache();
+      session.render_epoch = header->cache_epoch;
+    }
     auto parsed = parse_render_message(message, session.render_cache);
     check(parsed.has_value(), "malformed render message");
-    PendingApply pending;
-    pending.is_render = true;
+    fast_forward(session, header->apply_floor);
     const std::uint64_t seq = parsed->header.sequence;
-    pending.render = std::move(parsed);
-    session.held.emplace(seq, std::move(pending));
+    if (seq < session.next_apply_sequence) {
+      // The cursor already passed this sequence. For a redispatched request
+      // the state records were applied from the multicast copy (or skipped
+      // under a floor), so the draws can still run; a plain duplicate is
+      // dropped.
+      if (parsed->header.redispatch) {
+        execute_render(src, session, std::move(*parsed), /*draw_only=*/true);
+      }
+    } else {
+      session.held[seq].render = std::move(parsed);
+    }
   } else {
     throw Error("unexpected message kind at service device");
   }
@@ -82,11 +110,20 @@ void ServiceRuntime::apply_in_order(net::NodeId user, UserSession& session) {
   while (true) {
     const auto it = session.held.find(session.next_apply_sequence);
     if (it == session.held.end()) return;
+    // A state-only slot whose frame this device renders stalls until the
+    // render message lands (only a later floor overrides the wait).
+    if (!it->second.render.has_value() && it->second.expect_render) return;
     PendingApply pending = std::move(it->second);
     session.held.erase(it);
     session.next_apply_sequence++;
-    if (pending.is_render) {
-      execute_render(user, session, std::move(*pending.render));
+    if (pending.render.has_value()) {
+      // Draws-only iff this is a redispatch whose state records were already
+      // applied from the multicast copy. When that copy is still unapplied
+      // in this very slot, the render message (which carries the complete
+      // state+draw sequence) supersedes it — full replay, copy ignored.
+      const bool draw_only = pending.render->header.redispatch &&
+                             !pending.state.has_value();
+      execute_render(user, session, std::move(*pending.render), draw_only);
     } else {
       // Apply only the state records; the renderer handles the full frame.
       if (session.backend != nullptr) {
@@ -99,6 +136,42 @@ void ServiceRuntime::apply_in_order(net::NodeId user, UserSession& session) {
         }
       }
       stats_.state_messages_applied++;
+    }
+  }
+}
+
+void ServiceRuntime::fast_forward(UserSession& session, std::uint64_t floor) {
+  while (session.next_apply_sequence < floor) {
+    const auto it = session.held.find(session.next_apply_sequence);
+    session.next_apply_sequence++;
+    stats_.sequences_fast_forwarded++;
+    if (it == session.held.end()) continue;
+    PendingApply pending = std::move(it->second);
+    session.held.erase(it);
+    if (session.backend == nullptr) continue;
+    // Keep the replica as consistent as the surviving records allow: apply
+    // the state-mutating subset; the draws will never be displayed. Held
+    // renders below a floor were redispatched elsewhere — their state
+    // records still belong to the shared timeline.
+    wire::FrameCommands state_only;
+    const wire::FrameCommands* source = nullptr;
+    if (pending.render.has_value()) {
+      for (const wire::CommandRecord& record : pending.render->records.records) {
+        if (wire::mutates_shared_state(record.op())) {
+          state_only.records.push_back(record);
+        }
+      }
+      source = &state_only;
+    } else if (pending.state.has_value()) {
+      source = &pending.state->records;
+    }
+    if (source == nullptr) continue;
+    try {
+      wire::replay_frame(*source, *session.backend);
+    } catch (const Error&) {
+      // After a recovery, a fresh message's floor can outrun ARQ-healed
+      // older copies; stale below-floor records that no longer apply cleanly
+      // cost replica fidelity, not liveness.
     }
   }
 }

@@ -28,6 +28,7 @@
 #include "device/device_profiles.h"
 #include "device/gpu_model.h"
 #include "gles/direct_backend.h"
+#include "net/fault_plan.h"
 #include "net/reliable.h"
 #include "runtime/event_loop.h"
 #include "runtime/thread_pool.h"
@@ -62,6 +63,11 @@ struct ServiceRuntimeStats {
   double encode_seconds = 0.0;
   std::uint64_t encoded_bytes_nominal = 0;
   std::uint64_t users_served = 0;
+  // Completed GPU work discarded because the device was inside a fault
+  // window when it finished (crash/suspend semantics).
+  std::uint64_t requests_lost_to_faults = 0;
+  // Sequences skipped past via an apply_floor (they will never arrive).
+  std::uint64_t sequences_fast_forwarded = 0;
 };
 
 class ServiceRuntime {
@@ -87,11 +93,19 @@ class ServiceRuntime {
   using SizeModel = std::function<std::uint32_t(const ParsedRender&)>;
   void set_size_model(SizeModel model) { size_model_ = std::move(model); }
 
+  // Fault awareness (optional): when set, GPU work that completes while this
+  // node is inside a fault window is discarded — the crash took it.
+  void set_fault_plan(const net::FaultPlan* plan) { fault_plan_ = plan; }
+
  private:
+  // One frame-sequence slot in the in-order apply queue. The renderer of a
+  // frame receives both the multicast state copy and the unicast render
+  // message; `expect_render` keeps the slot from being consumed as
+  // state-only before the render message arrives.
   struct PendingApply {
-    bool is_render = false;
     std::optional<ParsedState> state;
     std::optional<ParsedRender> render;
+    bool expect_render = false;
   };
 
   // Everything the runtime keeps per connected user device: its own GL
@@ -105,13 +119,23 @@ class ServiceRuntime {
     codec::TurboEncoder encoder;
     std::uint64_t content_counter = 0;
     std::uint32_t last_nominal_bytes = 0;
+    // Cache generations last seen in headers; a mismatch means the sender
+    // reset its cache (after abandoned messages) and the mirror must too.
+    std::uint32_t render_epoch = 0;
+    std::uint32_t state_epoch = 0;
   };
 
   UserSession& session_for(net::NodeId user);
   void on_message(net::NodeId src, net::NodeId stream, Bytes message);
   void apply_in_order(net::NodeId user, UserSession& session);
+  // Advances the apply cursor to `floor`, applying the state records of any
+  // held entries passed over (their draws will never be displayed) and
+  // skipping the gaps.
+  void fast_forward(UserSession& session, std::uint64_t floor);
+  // `draw_only`: the frame repeats a redispatched request whose state records
+  // this device already applied from the multicast copy.
   void execute_render(net::NodeId user, UserSession& session,
-                      ParsedRender request);
+                      ParsedRender request, bool draw_only = false);
 
   EventLoop& loop_;
   net::NodeId node_;
@@ -120,6 +144,7 @@ class ServiceRuntime {
   std::unique_ptr<net::ReliableEndpoint> endpoint_;
   std::unique_ptr<device::GpuModel> gpu_;
   std::unique_ptr<runtime::ThreadPool> pool_;  // null when worker_threads == 1
+  const net::FaultPlan* fault_plan_ = nullptr;
   SizeModel size_model_;
   std::map<net::NodeId, UserSession> users_;
   std::optional<Image> last_frame_;

@@ -11,7 +11,20 @@
 namespace gb::core {
 
 void ServiceRuntime::execute_render(net::NodeId user, UserSession& session,
-                                    ParsedRender request) {
+                                    ParsedRender request, bool draw_only) {
+  if (draw_only) {
+    // Redispatched frame: the state records already ran here via the
+    // multicast copy; running them again would repeat non-idempotent
+    // records (glGen*), so only the draws remain.
+    wire::FrameCommands draws;
+    draws.sequence = request.records.sequence;
+    for (const wire::CommandRecord& record : request.records.records) {
+      if (!wire::mutates_shared_state(record.op())) {
+        draws.records.push_back(record);
+      }
+    }
+    request.records = std::move(draws);
+  }
   // The replica context must execute work in exact frame order. State-only
   // messages apply at arrival, so the render frame's commands must also
   // replay *now* — deferring them past the GPU-timing delay would let a
@@ -78,6 +91,12 @@ void ServiceRuntime::execute_render(net::NodeId user, UserSession& session,
       request.header.workload_pixels,
       [this, user, sequence, nominal_bytes,
        reply_content = std::move(content)]() mutable {
+        // Crash/suspend semantics: work finishing while the node is inside a
+        // fault window went down with it — no result ever leaves the device.
+        if (fault_plan_ != nullptr && fault_plan_->node_down(node_, loop_.now())) {
+          stats_.requests_lost_to_faults++;
+          return;
+        }
         stats_.requests_rendered++;
 
         // Encoding cost: nominal pixels / this device's Turbo throughput,

@@ -1,0 +1,45 @@
+#include "net/fault_plan.h"
+
+namespace gb::net {
+
+FaultPlan::FaultPlan(FaultPlanConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+bool FaultPlan::node_down(NodeId node, SimTime now) const {
+  for (const OutageWindow& w : config_.outages) {
+    if (w.node == node && now >= w.start && now < w.end) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::should_drop(NodeId src, NodeId dst, SimTime now) {
+  if (node_down(src, now) || node_down(dst, now)) {
+    stats_.dropped_by_outage++;
+    return true;
+  }
+  for (const PartitionWindow& p : config_.partitions) {
+    if (p.from == src && p.to == dst && now >= p.start && now < p.end) {
+      stats_.dropped_by_partition++;
+      return true;
+    }
+  }
+  if (config_.burst.enabled) {
+    // Advance the two-state chain once per delivery attempt, then sample the
+    // current state's loss probability.
+    if (in_burst_) {
+      if (rng_.chance(config_.burst.p_exit_burst)) in_burst_ = false;
+    } else if (rng_.chance(config_.burst.p_enter_burst)) {
+      in_burst_ = true;
+      stats_.burst_entries++;
+    }
+    const double loss =
+        in_burst_ ? config_.burst.loss_burst : config_.burst.loss_good;
+    if (rng_.chance(loss)) {
+      stats_.dropped_by_burst++;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gb::net

@@ -1,0 +1,87 @@
+// Deterministic fault injection for the simulated network and service
+// devices. A FaultPlan is a seeded scenario description — scheduled node
+// outage windows (a console powered off or walked out of range), one-way
+// partitions (asymmetric interference), and Gilbert–Elliott burst loss (the
+// §V-B link degradation that motivates Bluetooth↔WiFi switching) — that the
+// Medium consults on every delivery attempt and the ServiceRuntime consults
+// when deciding whether in-flight work survived a crash window.
+//
+// Every decision draws from the plan's own seeded Rng, so a scenario is
+// reproducible bit-for-bit and failure-recovery tests are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/sim_clock.h"
+
+namespace gb::net {
+
+using NodeId = std::uint32_t;
+
+// Two-state Markov loss model: the channel alternates between a good state
+// (residual loss) and a burst state (heavy loss); transition probabilities
+// are per-datagram.
+struct GilbertElliottConfig {
+  bool enabled = false;
+  double p_enter_burst = 0.001;  // good -> burst, per datagram
+  double p_exit_burst = 0.05;    // burst -> good, per datagram
+  double loss_good = 0.0;        // extra loss on top of the medium's own rate
+  double loss_burst = 0.9;
+};
+
+// `node` is unreachable (cannot send or receive) in [start, end). The
+// device's own state survives the window — the semantics of a suspend or an
+// out-of-range excursion; cold-boot state resync is out of scope (DESIGN §8).
+struct OutageWindow {
+  NodeId node = 0;
+  SimTime start;
+  SimTime end;
+};
+
+// Datagrams from `from` to `to` are dropped in [start, end); the reverse
+// direction is unaffected (one-way partition).
+struct PartitionWindow {
+  NodeId from = 0;
+  NodeId to = 0;
+  SimTime start;
+  SimTime end;
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 0x5eedfa17;
+  GilbertElliottConfig burst;
+  std::vector<OutageWindow> outages;
+  std::vector<PartitionWindow> partitions;
+};
+
+struct FaultPlanStats {
+  std::uint64_t dropped_by_outage = 0;
+  std::uint64_t dropped_by_partition = 0;
+  std::uint64_t dropped_by_burst = 0;
+  std::uint64_t burst_entries = 0;  // good->burst transitions
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig config);
+
+  // True while `node` sits inside one of its outage windows.
+  [[nodiscard]] bool node_down(NodeId node, SimTime now) const;
+
+  // Per-delivery-attempt fault decision; advances the Gilbert–Elliott chain,
+  // so the call sequence must be deterministic (it is: the event loop is).
+  [[nodiscard]] bool should_drop(NodeId src, NodeId dst, SimTime now);
+
+  [[nodiscard]] bool in_burst() const noexcept { return in_burst_; }
+  [[nodiscard]] const FaultPlanStats& stats() const noexcept { return stats_; }
+
+ private:
+  FaultPlanConfig config_;
+  Rng rng_;
+  bool in_burst_ = false;
+  FaultPlanStats stats_;
+};
+
+}  // namespace gb::net

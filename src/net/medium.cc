@@ -30,6 +30,11 @@ bool Medium::send(NodeId src, NodeId dst, Bytes payload) {
   check(src_it != endpoints_.end(), "sender not attached to medium");
   RadioInterface* radio = src_it->second.radio;
   if (radio != nullptr && !radio->usable()) return false;
+  // A node inside an outage window cannot transmit: same failure mode as a
+  // sleeping radio — the chunk stays outstanding at the reliable layer.
+  if (fault_plan_ != nullptr && fault_plan_->node_down(src, loop_.now())) {
+    return false;
+  }
 
   // Half-duplex medium: transmissions serialize. Bandwidth comes from the
   // sender's radio (the slowest element on a LAN path) or, for radio-less
@@ -64,6 +69,11 @@ bool Medium::send(NodeId src, NodeId dst, Bytes payload) {
 void Medium::deliver_at(const Datagram& datagram, NodeId member, SimTime tx_end,
                         SimTime tx_duration) {
   if (rng_.chance(config_.loss_rate)) {
+    stats_.datagrams_lost++;
+    return;
+  }
+  if (fault_plan_ != nullptr &&
+      fault_plan_->should_drop(datagram.src, member, loop_.now())) {
     stats_.datagrams_lost++;
     return;
   }

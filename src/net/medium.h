@@ -14,12 +14,11 @@
 
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "net/fault_plan.h"
 #include "net/radio.h"
 #include "runtime/event_loop.h"
 
 namespace gb::net {
-
-using NodeId = std::uint32_t;
 
 struct Datagram {
   NodeId src = 0;
@@ -51,6 +50,10 @@ class Medium {
   void attach(NodeId node, RadioInterface* radio, DatagramHandler handler);
   void join_group(NodeId group, NodeId member);
 
+  // Attaches a fault-injection plan consulted on every transmission and
+  // delivery attempt (nullptr detaches). The plan is shared, not owned.
+  void set_fault_plan(FaultPlan* plan) noexcept { fault_plan_ = plan; }
+
   // Queues a datagram. Returns false (dropping it) when the sender's radio
   // is not usable — the §V-B failure mode of a late WiFi wake-up.
   bool send(NodeId src, NodeId dst, Bytes payload);
@@ -76,6 +79,7 @@ class Medium {
   EventLoop& loop_;
   MediumConfig config_;
   Rng rng_;
+  FaultPlan* fault_plan_ = nullptr;
   std::string name_;
   std::map<NodeId, Endpoint> endpoints_;
   std::map<NodeId, std::set<NodeId>> groups_;

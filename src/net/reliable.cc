@@ -1,6 +1,7 @@
 #include "net/reliable.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.h"
 
@@ -9,9 +10,11 @@ namespace {
 
 constexpr std::uint8_t kData = 0;
 constexpr std::uint8_t kAck = 1;
+constexpr std::uint8_t kRaw = 2;  // unreliable, unordered, unacked
 
 Bytes make_data_payload(std::uint64_t message_id, NodeId stream,
                         std::uint32_t chunk_index, std::uint32_t chunk_count,
+                        std::uint64_t delivery_floor,
                         std::span<const std::uint8_t> chunk) {
   ByteWriter w;
   w.u8(kData);
@@ -19,6 +22,7 @@ Bytes make_data_payload(std::uint64_t message_id, NodeId stream,
   w.varint(stream);
   w.varint(chunk_index);
   w.varint(chunk_count);
+  w.varint(delivery_floor);
   w.blob(chunk);
   return w.take();
 }
@@ -52,29 +56,70 @@ void ReliableEndpoint::set_route(Medium* medium) {
   route_ = medium;
 }
 
-void ReliableEndpoint::transmit(NodeId dst, const Bytes& payload) {
+bool ReliableEndpoint::transmit(NodeId dst, const Bytes& payload) {
   check(route_ != nullptr, "endpoint has no route");
-  // A false return (radio asleep) is deliberately ignored: the chunk stays
-  // outstanding and the retransmission timer repairs it, reproducing the
-  // packet loss a late WiFi wake-up causes.
-  (void)route_->send(self_, dst, payload);
+  return route_->send(self_, dst, payload);
 }
 
-void ReliableEndpoint::send(NodeId dst, Bytes message) {
-  start(dst, {dst}, std::move(message), /*multicast=*/false);
+std::uint64_t ReliableEndpoint::send(NodeId dst, Bytes message) {
+  return start(dst, {dst}, std::move(message), /*multicast=*/false);
 }
 
-void ReliableEndpoint::send_multicast(NodeId group,
-                                      const std::vector<NodeId>& members,
-                                      Bytes message) {
+std::uint64_t ReliableEndpoint::send_multicast(
+    NodeId group, const std::vector<NodeId>& members, Bytes message) {
   check(!members.empty(), "multicast needs at least one member");
-  start(group, members, std::move(message), /*multicast=*/true);
+  return start(group, members, std::move(message), /*multicast=*/true);
 }
 
-void ReliableEndpoint::start(NodeId stream,
-                             const std::vector<NodeId>& receivers,
-                             Bytes message, bool multicast) {
+void ReliableEndpoint::send_unreliable(NodeId dst, Bytes payload) {
+  check(payload.size() + 16 <= config_.mtu, "unreliable payload exceeds MTU");
+  ByteWriter w;
+  w.u8(kRaw);
+  w.blob(payload);
+  stats_.unreliable_sent++;
+  // Fire-and-forget: a source drop here is exactly a lost probe, which is
+  // the signal the health monitor is listening for.
+  (void)transmit(dst, w.take());
+}
+
+std::uint64_t ReliableEndpoint::stream_floor(NodeId stream) const {
+  // Smallest id still outstanding: acked and abandoned messages are both
+  // erased, so the floor naturally steps over abandoned holes while never
+  // passing a message the receiver might still be owed.
+  const auto it = outstanding_.lower_bound(std::make_pair(stream, 0ULL));
+  if (it != outstanding_.end() && it->first.first == stream) {
+    return it->first.second;
+  }
+  const auto next_it = next_message_id_.find(stream);
+  return next_it != next_message_id_.end() ? next_it->second : 0;
+}
+
+void ReliableEndpoint::note_abandoned(NodeId stream, std::uint64_t id) {
+  stats_.messages_abandoned++;
+  if (abandon_handler_) abandon_handler_(stream, id);
+}
+
+std::size_t ReliableEndpoint::abandon_stream(NodeId stream) {
+  std::vector<std::uint64_t> ids;
+  auto it = outstanding_.lower_bound(std::make_pair(stream, 0ULL));
+  while (it != outstanding_.end() && it->first.first == stream) {
+    ids.push_back(it->first.second);
+    it = outstanding_.erase(it);
+  }
+  // Handlers fire after the erase so a re-dispatch they trigger serializes
+  // the already-advanced floor.
+  for (const std::uint64_t id : ids) note_abandoned(stream, id);
+  return ids.size();
+}
+
+std::uint64_t ReliableEndpoint::start(NodeId stream,
+                                      const std::vector<NodeId>& receivers,
+                                      Bytes message, bool multicast) {
   (void)multicast;
+  // Floor before allocating this message's id: with nothing outstanding,
+  // stream_floor returns the id about to be assigned (nothing below it is
+  // owed), never one past it.
+  const std::uint64_t floor = stream_floor(stream);
   const std::uint64_t id = next_message_id_[stream]++;
   OutstandingMessage out;
   out.stream = stream;
@@ -87,29 +132,45 @@ void ReliableEndpoint::start(NodeId stream,
     OutstandingChunk chunk;
     chunk.datagram_payload = make_data_payload(
         id, stream, static_cast<std::uint32_t>(c),
-        static_cast<std::uint32_t>(chunk_count),
+        static_cast<std::uint32_t>(chunk_count), floor,
         std::span(message).subspan(begin, end - begin));
     chunk.pending_acks.insert(receivers.begin(), receivers.end());
     out.chunks.push_back(std::move(chunk));
   }
   out.unacked = out.chunks.size() * receivers.size();
-  out.next_retransmit = loop_.now() + config_.retransmit_timeout;
   stats_.messages_sent++;
   stats_.payload_bytes_sent += message.size();
 
   // Initial transmission: once, to the stream address (node or group).
+  std::size_t transmitted = 0;
   for (const OutstandingChunk& chunk : out.chunks) {
-    transmit(stream, chunk.datagram_payload);
-    stats_.chunks_sent++;
+    if (transmit(stream, chunk.datagram_payload)) {
+      stats_.chunks_sent++;
+      transmitted++;
+    } else {
+      stats_.chunks_dropped_at_source++;
+    }
   }
+  // A chunk the local radio refused never hit the air, so there is no loss
+  // estimate to respect: retry promptly instead of waiting out a full RTO.
+  const SimTime delay =
+      transmitted == 0 ? config_.source_drop_retry : config_.retransmit_timeout;
+  out.next_retransmit = loop_.now() + delay;
   outstanding_.emplace(std::make_pair(stream, id), std::move(out));
-  schedule_retransmit_tick();
+  schedule_retransmit_tick(delay);
+  return id;
 }
 
-void ReliableEndpoint::schedule_retransmit_tick() {
-  if (tick_scheduled_ || outstanding_.empty()) return;
+void ReliableEndpoint::schedule_retransmit_tick(SimTime delay) {
+  if (outstanding_.empty()) return;
+  const SimTime target = loop_.now() + delay;
+  if (tick_scheduled_) {
+    if (next_tick_at_ <= target) return;  // an earlier tick already covers it
+    loop_.cancel(tick_event_);
+  }
   tick_scheduled_ = true;
-  loop_.schedule_after(config_.retransmit_timeout, [this] {
+  next_tick_at_ = target;
+  tick_event_ = loop_.schedule_at(target, [this] {
     tick_scheduled_ = false;
     retransmit_tick();
   });
@@ -120,37 +181,64 @@ void ReliableEndpoint::retransmit_tick() {
   // than an RTO, retransmitting only adds fuel — acks are late because the
   // link is saturated, not because packets died. Defer without charging a
   // retry (the UDT-style rate-based restraint of [19]).
-  const bool congested =
-      route_ != nullptr && route_->backlog() > config_.retransmit_timeout;
+  if (route_ != nullptr && route_->backlog() > config_.retransmit_timeout) {
+    schedule_retransmit_tick(config_.retransmit_timeout);
+    return;
+  }
+  const SimTime now = loop_.now();
+  std::vector<std::pair<NodeId, std::uint64_t>> abandoned;
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
     OutstandingMessage& msg = it->second;
-    if (congested || loop_.now() < msg.next_retransmit) {
+    if (now < msg.next_retransmit) {
       ++it;
       continue;
     }
     msg.retries++;
     if (msg.retries > config_.max_retries) {
-      stats_.messages_abandoned++;
+      abandoned.push_back(it->first);
       it = outstanding_.erase(it);
       continue;
     }
-    // Exponential backoff caps the repair rate for persistently lossy paths.
-    const int shift = std::min(msg.retries, 6);
-    msg.next_retransmit =
-        loop_.now() + SimTime::from_us(config_.retransmit_timeout.us()
-                                       << shift);
+    std::size_t attempted = 0;
+    std::size_t transmitted = 0;
     for (const OutstandingChunk& chunk : msg.chunks) {
       // Repair per straggler with unicast (cheap for the common single-loss
       // case; the initial pass already used multicast).
       for (const NodeId receiver : chunk.pending_acks) {
-        transmit(receiver, chunk.datagram_payload);
-        stats_.chunks_sent++;
-        stats_.chunks_retransmitted++;
+        attempted++;
+        if (transmit(receiver, chunk.datagram_payload)) {
+          stats_.chunks_sent++;
+          stats_.chunks_retransmitted++;
+          transmitted++;
+        } else {
+          stats_.chunks_dropped_at_source++;
+        }
       }
+    }
+    if (attempted > 0 && transmitted == 0) {
+      // Nothing reached the air: the failure is local (radio asleep, own
+      // node down), not path loss. Un-charge the retry so a long radio nap
+      // cannot burn through the abandonment budget, and retry promptly.
+      msg.retries--;
+      msg.next_retransmit = now + config_.source_drop_retry;
+    } else {
+      // Exponential backoff caps the repair rate for persistently lossy
+      // paths.
+      const int shift = std::min(msg.retries, 6);
+      msg.next_retransmit =
+          now + SimTime::from_us(config_.retransmit_timeout.us() << shift);
     }
     ++it;
   }
-  schedule_retransmit_tick();
+  for (const auto& [stream, id] : abandoned) note_abandoned(stream, id);
+
+  if (outstanding_.empty()) return;
+  SimTime earliest = outstanding_.begin()->second.next_retransmit;
+  for (const auto& [key, msg] : outstanding_) {
+    earliest = std::min(earliest, msg.next_retransmit);
+  }
+  schedule_retransmit_tick(earliest > now ? earliest - now
+                                          : config_.source_drop_retry);
 }
 
 void ReliableEndpoint::on_datagram(const Datagram& datagram) {
@@ -160,6 +248,8 @@ void ReliableEndpoint::on_datagram(const Datagram& datagram) {
     handle_ack(datagram);
   } else if (type == kData) {
     handle_data(datagram);
+  } else if (type == kRaw) {
+    handle_unreliable(datagram);
   }
 }
 
@@ -179,6 +269,29 @@ void ReliableEndpoint::handle_ack(const Datagram& datagram) {
   }
 }
 
+void ReliableEndpoint::handle_unreliable(const Datagram& datagram) {
+  ByteReader r(datagram.payload);
+  r.u8();  // type
+  const auto payload = r.blob();
+  stats_.unreliable_delivered++;
+  if (handler_) {
+    handler_(datagram.src, datagram.dst, Bytes(payload.begin(), payload.end()));
+  }
+}
+
+void ReliableEndpoint::flush_ready(NodeId src, NodeId stream,
+                                   StreamState& state) {
+  while (true) {
+    const auto ready_it = state.ready.find(state.next_delivery);
+    if (ready_it == state.ready.end()) break;
+    Bytes payload = std::move(ready_it->second);
+    state.ready.erase(ready_it);
+    state.next_delivery++;
+    stats_.messages_delivered++;
+    if (handler_) handler_(src, stream, std::move(payload));
+  }
+}
+
 void ReliableEndpoint::handle_data(const Datagram& datagram) {
   ByteReader r(datagram.payload);
   r.u8();  // type
@@ -186,6 +299,7 @@ void ReliableEndpoint::handle_data(const Datagram& datagram) {
   const auto stream = narrow<NodeId>(r.varint());
   const auto chunk_index = narrow<std::uint32_t>(r.varint());
   const auto chunk_count = narrow<std::uint32_t>(r.varint());
+  const std::uint64_t floor = r.varint();
   const auto chunk = r.blob();
   if (chunk_count == 0 || chunk_index >= chunk_count) return;
 
@@ -193,6 +307,21 @@ void ReliableEndpoint::handle_data(const Datagram& datagram) {
   transmit(datagram.src, make_ack_payload(id, stream, chunk_index));
 
   StreamState& state = streams_[{datagram.src, stream}];
+  if (floor > state.next_delivery) {
+    // The sender abandoned everything below `floor`: deliver the messages
+    // that did complete, drop the holes, and never wait on them again.
+    while (!state.ready.empty() && state.ready.begin()->first < floor) {
+      const auto ready_it = state.ready.begin();
+      Bytes ready_payload = std::move(ready_it->second);
+      state.ready.erase(ready_it);
+      stats_.messages_delivered++;
+      if (handler_) handler_(datagram.src, stream, std::move(ready_payload));
+    }
+    while (!state.partial.empty() && state.partial.begin()->first < floor) {
+      state.partial.erase(state.partial.begin());
+    }
+    state.next_delivery = floor;
+  }
   if (id < state.next_delivery || state.ready.contains(id)) return;
   PartialMessage& partial = state.partial[id];
   if (partial.chunks.empty()) partial.chunks.resize(chunk_count);
@@ -212,17 +341,7 @@ void ReliableEndpoint::handle_data(const Datagram& datagram) {
   }
   state.partial.erase(id);
   state.ready.emplace(id, std::move(message));
-
-  // In-order delivery per stream.
-  while (true) {
-    const auto ready_it = state.ready.find(state.next_delivery);
-    if (ready_it == state.ready.end()) break;
-    Bytes payload = std::move(ready_it->second);
-    state.ready.erase(ready_it);
-    state.next_delivery++;
-    stats_.messages_delivered++;
-    if (handler_) handler_(datagram.src, stream, std::move(payload));
-  }
+  flush_ready(datagram.src, stream, state);
 }
 
 }  // namespace gb::net

@@ -8,6 +8,15 @@
 // application in per-stream order. Multicast sends transmit each chunk once
 // to the group (§VI-B) and track acknowledgements per member; stragglers are
 // repaired with unicast retransmissions.
+//
+// Failure handling: a message that exhausts its retries is *abandoned* — the
+// sender's abandon handler fires with (stream, id) so upper layers can
+// re-dispatch the payload elsewhere, and a per-stream delivery floor rides on
+// every subsequent data chunk so receivers do not wait forever on the hole
+// an abandoned id leaves in the in-order stream. `abandon_stream` drops every
+// outstanding message to a stream at once (used when a peer is declared
+// dead). `send_unreliable` is a fire-and-forget datagram path for heartbeat
+// probes that must not accumulate retransmission state toward dead peers.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +36,11 @@ struct ReliableConfig {
   std::size_t mtu = 1400;
   SimTime retransmit_timeout = ms(30);
   int max_retries = 50;
+  // Retry delay when the local radio refused the transmission outright (the
+  // chunk never hit the air): much sooner than a full RTO, because the local
+  // condition clears on a known schedule (radio wake) rather than a loss
+  // guess.
+  SimTime source_drop_retry = ms(10);
 };
 
 struct ReliableStats {
@@ -36,12 +50,23 @@ struct ReliableStats {
   std::uint64_t chunks_retransmitted = 0;
   std::uint64_t messages_abandoned = 0;
   std::uint64_t payload_bytes_sent = 0;
+  // Datagrams the local medium refused at the source (radio asleep / own
+  // node inside an outage window); they are retried promptly.
+  std::uint64_t chunks_dropped_at_source = 0;
+  std::uint64_t unreliable_sent = 0;
+  std::uint64_t unreliable_delivered = 0;
 };
 
 // Delivered message: source node, the stream (unicast dst or group id) it
 // was addressed to, and the reassembled payload.
 using MessageHandler =
     std::function<void(NodeId src, NodeId stream, Bytes message)>;
+
+// Fired when a sent message is abandoned (max retries exhausted or
+// abandon_stream): the stream it was addressed to and its message id, as
+// returned by send()/send_multicast().
+using AbandonHandler =
+    std::function<void(NodeId stream, std::uint64_t message_id)>;
 
 class ReliableEndpoint {
  public:
@@ -58,12 +83,23 @@ class ReliableEndpoint {
   [[nodiscard]] Medium* route() const noexcept { return route_; }
 
   void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
+  void set_abandon_handler(AbandonHandler handler) {
+    abandon_handler_ = std::move(handler);
+  }
 
-  // Sends a message to one node.
-  void send(NodeId dst, Bytes message);
+  // Sends a message to one node; returns the message id (per-stream).
+  std::uint64_t send(NodeId dst, Bytes message);
   // Sends a message to a multicast group whose members are known.
-  void send_multicast(NodeId group, const std::vector<NodeId>& members,
-                      Bytes message);
+  std::uint64_t send_multicast(NodeId group, const std::vector<NodeId>& members,
+                               Bytes message);
+  // Fire-and-forget datagram: no chunking, no acks, no retransmission. The
+  // payload must fit the MTU. Delivered straight to the peer's handler.
+  void send_unreliable(NodeId dst, Bytes payload);
+
+  // Drops every outstanding message addressed to `stream`, firing the
+  // abandon handler for each; returns how many were dropped. Used when the
+  // peer is declared dead so stale traffic stops contending for airtime.
+  std::size_t abandon_stream(NodeId stream);
 
   [[nodiscard]] const ReliableStats& stats() const noexcept { return stats_; }
   [[nodiscard]] NodeId id() const noexcept { return self_; }
@@ -92,20 +128,27 @@ class ReliableEndpoint {
     std::map<std::uint64_t, Bytes> ready;  // completed, awaiting in-order slot
   };
 
-  void transmit(NodeId dst, const Bytes& payload);
-  void start(NodeId stream, const std::vector<NodeId>& receivers,
-             Bytes message, bool multicast);
+  bool transmit(NodeId dst, const Bytes& payload);
+  std::uint64_t start(NodeId stream, const std::vector<NodeId>& receivers,
+                      Bytes message, bool multicast);
   void on_datagram(const Datagram& datagram);
   void handle_data(const Datagram& datagram);
   void handle_ack(const Datagram& datagram);
-  void schedule_retransmit_tick();
+  void handle_unreliable(const Datagram& datagram);
+  void schedule_retransmit_tick(SimTime delay);
   void retransmit_tick();
+  // Oldest message id not yet abandoned on `stream` — the receiver-side
+  // delivery floor advertised in every data chunk.
+  [[nodiscard]] std::uint64_t stream_floor(NodeId stream) const;
+  void note_abandoned(NodeId stream, std::uint64_t id);
+  void flush_ready(NodeId src, NodeId stream, StreamState& state);
 
   EventLoop& loop_;
   NodeId self_;
   ReliableConfig config_;
   Medium* route_ = nullptr;
   MessageHandler handler_;
+  AbandonHandler abandon_handler_;
   // Message ids are per *stream* (unicast destination or group): receivers
   // deliver each stream in contiguous id order, so ids must not interleave
   // across streams.
@@ -116,6 +159,8 @@ class ReliableEndpoint {
   std::map<std::pair<NodeId, NodeId>, StreamState> streams_;
   ReliableStats stats_;
   bool tick_scheduled_ = false;
+  SimTime next_tick_at_;
+  EventLoop::EventId tick_event_ = 0;
 };
 
 }  // namespace gb::net

@@ -10,6 +10,17 @@ void MetricsCollector::on_frame_displayed(SimTime when,
   if (per_second_.size() <= bucket) per_second_.resize(bucket + 1, 0);
   per_second_[bucket]++;
   response_ms_sum_ += response_latency.ms();
+  latencies_ms_.push_back(response_latency.ms());
+  if (have_last_display_) {
+    const double gap_s = (when - last_display_).seconds();
+    max_gap_s_ = std::max(max_gap_s_, gap_s);
+    // A gap under ~100 ms reads as a dropped frame or two; past that the
+    // display is visibly frozen — count the excess as stall time.
+    constexpr double kStallThresholdS = 0.1;
+    if (gap_s > kStallThresholdS) stall_s_ += gap_s - kStallThresholdS;
+  }
+  last_display_ = when;
+  have_last_display_ = true;
   frames_++;
 }
 
@@ -42,6 +53,13 @@ SessionMetrics MetricsCollector::finalize(SimTime session_duration) const {
                       static_cast<double>(buckets.size());
   }
   m.avg_response_ms = response_ms_sum_ / static_cast<double>(frames_);
+  m.max_display_gap_s = max_gap_s_;
+  m.stall_seconds = stall_s_;
+  std::vector<double> sorted_lat = latencies_ms_;
+  std::sort(sorted_lat.begin(), sorted_lat.end());
+  m.p99_response_ms =
+      sorted_lat[static_cast<std::size_t>(
+          static_cast<double>(sorted_lat.size() - 1) * 0.99)];
   return m;
 }
 

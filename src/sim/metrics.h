@@ -23,6 +23,14 @@ struct SessionMetrics {
   std::uint64_t frames_displayed = 0;
   double duration_s = 0.0;
   std::vector<int> fps_timeline;   // frames per second-bucket
+  // --- stall metrics (fault-recovery studies) ------------------------------
+  // Longest wall-clock gap between consecutive displayed frames.
+  double max_display_gap_s = 0.0;
+  // Total time the display was visibly frozen: the sum, over inter-frame
+  // gaps longer than 100 ms, of the excess past that threshold.
+  double stall_seconds = 0.0;
+  // 99th-percentile issue-to-display latency.
+  double p99_response_ms = 0.0;
 };
 
 class MetricsCollector {
@@ -33,8 +41,13 @@ class MetricsCollector {
 
  private:
   std::vector<int> per_second_;
+  std::vector<double> latencies_ms_;
   double response_ms_sum_ = 0.0;
   std::uint64_t frames_ = 0;
+  bool have_last_display_ = false;
+  SimTime last_display_;
+  double max_gap_s_ = 0.0;
+  double stall_s_ = 0.0;
 };
 
 }  // namespace gb::sim

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "gles/direct_backend.h"
 #include "hooking/dynamic_linker.h"
+#include "net/fault_plan.h"
 #include "net/medium.h"
 #include "net/radio.h"
 #include "net/reliable.h"
@@ -211,6 +212,28 @@ SessionResult run_offload(const SessionConfig& config) {
   net::Medium wifi(loop, wifi_cfg, rng.fork(), "wifi");
   net::Medium bt(loop, bt_cfg, rng.fork(), "bt");
 
+  // Fault injection: one plan drives both media (and the services' own
+  // crash-window checks), so a scenario is a single seeded description.
+  std::optional<net::FaultPlan> fault_plan;
+  if (!config.service_outages.empty() || config.fault_burst.enabled) {
+    net::FaultPlanConfig fcfg;
+    fcfg.seed = config.fault_seed;
+    fcfg.burst = config.fault_burst;
+    for (const SessionConfig::ServiceOutageSpec& spec :
+         config.service_outages) {
+      check(spec.device_index < config.service_devices.size(),
+            "outage names a device the session does not have");
+      net::OutageWindow window;
+      window.node = static_cast<net::NodeId>(100 + spec.device_index);
+      window.start = seconds(spec.start_s);
+      window.end = seconds(spec.end_s);
+      fcfg.outages.push_back(window);
+    }
+    fault_plan.emplace(std::move(fcfg));
+    wifi.set_fault_plan(&*fault_plan);
+    bt.set_fault_plan(&*fault_plan);
+  }
+
   net::RadioInterface user_wifi(loop, net::wifi_radio_config(), "user-wifi");
   net::RadioInterface user_bt(loop, net::bluetooth_radio_config(), "user-bt");
 
@@ -231,6 +254,7 @@ SessionResult run_offload(const SessionConfig& config) {
     const net::NodeId node = static_cast<net::NodeId>(100 + i);
     auto service = std::make_unique<core::ServiceRuntime>(
         loop, node, profile, config.service);
+    if (fault_plan.has_value()) service->set_fault_plan(&*fault_plan);
     service_radios.push_back(std::make_unique<net::RadioInterface>(
         loop, net::wifi_radio_config(), profile.name + "-wifi"));
     service_radios.push_back(std::make_unique<net::RadioInterface>(
@@ -248,6 +272,7 @@ SessionResult run_offload(const SessionConfig& config) {
   // --- GBooster -----------------------------------------------------------
   core::GBoosterConfig gcfg = config.gbooster;
   gcfg.service_encode_mpps = config.service_devices.front().turbo_encode_mpps;
+  gcfg.local_capability_pps = config.user_device.gpu.fillrate_pps;
   gcfg.link_bandwidth_bps = [&user_endpoint, &wifi] {
     return user_endpoint.route() == &wifi ? net::wifi_radio_config().bandwidth_bps
                                           : net::bluetooth_radio_config().bandwidth_bps;
@@ -344,9 +369,12 @@ SessionResult run_offload(const SessionConfig& config) {
   cpu_meter.add_cpu(seconds(config.duration_s), usage / 100.0,
                     config.user_device.cpu_power);
   result.energy.cpu_j = cpu_meter.joules();
-  // The local GPU sits idle for the whole session.
+  // The local GPU idles except for fallback frames rendered during
+  // all-devices-down windows.
   energy::EnergyMeter gpu_meter;
-  gpu_meter.add_gpu(seconds(config.duration_s), 0.0, 1.0,
+  const double gpu_util =
+      std::min(1.0, gstats.local_render_seconds / config.duration_s);
+  gpu_meter.add_gpu(seconds(config.duration_s), gpu_util, 1.0,
                     config.user_device.gpu.power);
   result.energy.gpu_j = gpu_meter.joules();
   energy::EnergyMeter display_meter;
@@ -363,6 +391,10 @@ SessionResult run_offload(const SessionConfig& config) {
   result.memory_overhead_bytes = gbooster.memory_overhead_bytes();
   result.switcher = switcher.stats();
   result.gbooster = gstats;
+  if (fault_plan.has_value()) result.faults = fault_plan->stats();
+  for (const auto& service : services) {
+    result.requests_lost_to_faults += service->stats().requests_lost_to_faults;
+  }
   return result;
 }
 

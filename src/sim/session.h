@@ -22,6 +22,7 @@
 #include "core/interface_switcher.h"
 #include "core/service_runtime.h"
 #include "device/device_profiles.h"
+#include "net/fault_plan.h"
 #include "predict/traffic_predictor.h"
 #include "sim/metrics.h"
 
@@ -41,6 +42,19 @@ struct SessionConfig {
 
   double wifi_loss_rate = 0.002;
   double bt_loss_rate = 0.005;
+
+  // --- fault injection -----------------------------------------------------
+  // Crash/suspend a service device for [start_s, end_s): it neither sends
+  // nor receives, and GPU work completing inside the window is lost.
+  struct ServiceOutageSpec {
+    std::size_t device_index = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+  };
+  std::vector<ServiceOutageSpec> service_outages;
+  // Gilbert–Elliott burst loss layered on both media (off by default).
+  net::GilbertElliottConfig fault_burst;
+  std::uint64_t fault_seed = 0x5eedfa17;
 
   // Records a per-100ms traffic trace for the §V-B prediction study.
   bool collect_traffic_trace = false;
@@ -70,6 +84,9 @@ struct SessionResult {
 
   core::SwitcherStats switcher;
   core::GBoosterStats gbooster;
+  net::FaultPlanStats faults;
+  // Summed over service devices.
+  std::uint64_t requests_lost_to_faults = 0;
 
   std::vector<predict::TrafficSample> traffic_trace;
   // (seconds, MHz) / (seconds, Celsius), sampled every 2 s.

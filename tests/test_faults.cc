@@ -1,0 +1,335 @@
+// Fault injection and failure recovery (DESIGN.md §8): the FaultPlan
+// primitives, their Medium integration, and the end-to-end recovery paths —
+// heartbeat-driven failure detection, in-flight re-dispatch to a healthy
+// device, local-render fallback when no device survives, and reintegration
+// once a crashed device returns.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "apps/workload.h"
+#include "core/gbooster.h"
+#include "core/service_runtime.h"
+#include "device/device_profiles.h"
+#include "net/fault_plan.h"
+#include "net/medium.h"
+#include "net/reliable.h"
+#include "runtime/event_loop.h"
+#include "sim/session.h"
+
+namespace gb {
+namespace {
+
+// --- FaultPlan primitives ---------------------------------------------------
+
+TEST(FaultPlan, OutageWindowBoundsNodeDown) {
+  net::FaultPlanConfig config;
+  config.outages.push_back({5, seconds(1.0), seconds(2.0)});
+  net::FaultPlan plan(config);
+  EXPECT_FALSE(plan.node_down(5, seconds(0.5)));
+  EXPECT_TRUE(plan.node_down(5, seconds(1.0)));   // [start, end)
+  EXPECT_TRUE(plan.node_down(5, seconds(1.999)));
+  EXPECT_FALSE(plan.node_down(5, seconds(2.0)));
+  EXPECT_FALSE(plan.node_down(6, seconds(1.5)));  // other nodes unaffected
+}
+
+TEST(FaultPlan, OutageDropsBothDirections) {
+  net::FaultPlanConfig config;
+  config.outages.push_back({5, seconds(0.0), seconds(1.0)});
+  net::FaultPlan plan(config);
+  EXPECT_TRUE(plan.should_drop(5, 9, seconds(0.5)));  // down node sending
+  EXPECT_TRUE(plan.should_drop(9, 5, seconds(0.5)));  // down node receiving
+  EXPECT_FALSE(plan.should_drop(9, 5, seconds(1.5)));
+  EXPECT_EQ(plan.stats().dropped_by_outage, 2u);
+}
+
+TEST(FaultPlan, PartitionIsOneWay) {
+  net::FaultPlanConfig config;
+  config.partitions.push_back({1, 2, seconds(0.0), seconds(10.0)});
+  net::FaultPlan plan(config);
+  EXPECT_TRUE(plan.should_drop(1, 2, seconds(5.0)));
+  EXPECT_FALSE(plan.should_drop(2, 1, seconds(5.0)));  // reverse path clear
+  EXPECT_FALSE(plan.should_drop(1, 2, seconds(10.0)));
+  EXPECT_EQ(plan.stats().dropped_by_partition, 1u);
+}
+
+TEST(FaultPlan, GilbertElliottIsDeterministicPerSeed) {
+  net::FaultPlanConfig config;
+  config.burst.enabled = true;
+  config.burst.p_enter_burst = 0.05;
+  config.burst.p_exit_burst = 0.2;
+  config.burst.loss_burst = 1.0;
+  net::FaultPlan a(config);
+  net::FaultPlan b(config);
+  int drops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const bool drop_a = a.should_drop(1, 2, seconds(0.001 * i));
+    const bool drop_b = b.should_drop(1, 2, seconds(0.001 * i));
+    ASSERT_EQ(drop_a, drop_b) << "diverged at attempt " << i;
+    drops += drop_a ? 1 : 0;
+  }
+  EXPECT_GT(a.stats().burst_entries, 0u);
+  EXPECT_EQ(a.stats().burst_entries, b.stats().burst_entries);
+  EXPECT_GT(drops, 0);
+  EXPECT_LT(drops, 2000);
+}
+
+TEST(Medium, OutageWindowDropsDeliveriesThenHeals) {
+  EventLoop loop;
+  net::MediumConfig mc;
+  mc.loss_rate = 0.0;
+  mc.jitter_ms = 0.0;
+  net::Medium medium(loop, mc, Rng(1), "wifi");
+  net::FaultPlanConfig fcfg;
+  fcfg.outages.push_back({2, seconds(0.0), seconds(1.0)});
+  net::FaultPlan plan(fcfg);
+  medium.set_fault_plan(&plan);
+  int received = 0;
+  medium.attach(1, nullptr, {});
+  medium.attach(2, nullptr, [&](const net::Datagram&) { ++received; });
+  EXPECT_TRUE(medium.send(1, 2, Bytes(10, 0)));  // send ok, delivery dropped
+  loop.run_until(seconds(0.5));
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(plan.stats().dropped_by_outage, 1u);
+  loop.run_until(seconds(1.1));
+  EXPECT_TRUE(medium.send(1, 2, Bytes(10, 0)));
+  loop.run_until(seconds(2.0));
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Medium, DownNodeCannotSend) {
+  EventLoop loop;
+  net::MediumConfig mc;
+  mc.loss_rate = 0.0;
+  net::Medium medium(loop, mc, Rng(1), "wifi");
+  net::FaultPlanConfig fcfg;
+  fcfg.outages.push_back({1, seconds(0.0), seconds(1.0)});
+  net::FaultPlan plan(fcfg);
+  medium.set_fault_plan(&plan);
+  medium.attach(1, nullptr, {});
+  medium.attach(2, nullptr, {});
+  EXPECT_FALSE(medium.send(1, 2, Bytes(10, 0)));
+}
+
+// --- recovery scenarios -----------------------------------------------------
+
+void issue_tiny_frame(gles::GlesApi& gl) {
+  gl.glClearColor(0.5f, 0.5f, 0.5f, 1.0f);
+  gl.glClear(gles::GL_COLOR_BUFFER_BIT);
+  gl.eglSwapBuffers();
+}
+
+core::ServiceRuntimeConfig tiny_service_config() {
+  core::ServiceRuntimeConfig config;
+  config.nominal_width = 64;
+  config.nominal_height = 48;
+  config.render_width = 64;
+  config.render_height = 48;
+  return config;
+}
+
+// A service device crashes mid-session while holding in-flight rendering
+// requests; the health monitor must detect it fast, the user runtime must
+// re-dispatch the stranded frames to the surviving device, and the stream
+// must stay continuous — zero dropped frames, recovery well inside the
+// display gap timeout.
+TEST(FaultRecovery, DeviceCrashRedispatchesStrandedFramesWithoutDrops) {
+  EventLoop loop;
+  net::MediumConfig mc;
+  mc.loss_rate = 0.0;
+  mc.jitter_ms = 0.0;
+  net::Medium wifi(loop, mc, Rng(4), "wifi");
+
+  net::FaultPlanConfig fcfg;
+  fcfg.outages.push_back({100, seconds(0.3), seconds(1000.0)});  // permanent
+  net::FaultPlan plan(fcfg);
+  wifi.set_fault_plan(&plan);
+
+  std::vector<std::unique_ptr<core::ServiceRuntime>> services;
+  std::vector<core::ServiceDeviceInfo> infos;
+  core::GBoosterConfig config;
+  config.nominal_width = 64;
+  config.nominal_height = 48;
+  config.display_gap_timeout = seconds(2.0);
+  config.health.probe_interval = ms(50);
+  config.health.probe_timeout = ms(100);
+  config.health.failure_threshold = 3;
+  for (net::NodeId node : {net::NodeId{100}, net::NodeId{101}}) {
+    auto service = std::make_unique<core::ServiceRuntime>(
+        loop, node, device::nvidia_shield(), tiny_service_config());
+    service->endpoint().bind(wifi, nullptr);
+    service->set_fault_plan(&plan);
+    wifi.join_group(config.state_group, node);
+    infos.push_back({node, "shield-" + std::to_string(node), 6e9});
+    services.push_back(std::move(service));
+  }
+
+  net::ReliableEndpoint user(loop, 1);
+  user.bind(wifi, nullptr);
+  core::GBoosterRuntime gbooster(loop, config, user, infos);
+  user.set_handler([&](net::NodeId src, net::NodeId stream, Bytes message) {
+    gbooster.on_message(src, stream, std::move(message));
+  });
+
+  int issued = 0;
+  std::vector<SimTime> displayed_at;
+  gbooster.set_display_handler([&](std::uint64_t, SimTime, const Image&) {
+    displayed_at.push_back(loop.now());
+  });
+  // One frame every 50 ms, through the crash and past recovery.
+  std::function<void()> tick = [&] {
+    if (loop.now().seconds() >= 2.0) return;
+    if (gbooster.can_issue_frame()) {
+      issue_tiny_frame(gbooster.wrapper());
+      ++issued;
+    }
+    loop.schedule_after(ms(50), tick);
+  };
+  tick();
+  loop.run_until(seconds(8.0));
+
+  const auto& stats = gbooster.stats();
+  EXPECT_GT(issued, 20);
+  EXPECT_EQ(stats.frames_displayed, static_cast<std::uint64_t>(issued));
+  EXPECT_EQ(stats.frames_dropped, 0u);
+  EXPECT_GE(stats.device_failovers, 1u);
+  EXPECT_GE(stats.frames_redispatched, 1u);
+  EXPECT_GE(stats.heartbeat_timeouts, 3u);
+  // Recovery must beat the display gap timeout by a wide margin: detection
+  // (3 x 50 ms probes + 100 ms timeout) plus one re-dispatch round trip.
+  double max_gap_s = 0.0;
+  for (std::size_t i = 1; i < displayed_at.size(); ++i) {
+    max_gap_s =
+        std::max(max_gap_s, (displayed_at[i] - displayed_at[i - 1]).seconds());
+  }
+  EXPECT_LT(max_gap_s, 1.0);
+  // Everything re-routed to the survivor; the dead device renders nothing
+  // after the crash (its completions inside the window are lost).
+  EXPECT_GT(services[1]->stats().requests_rendered, 0u);
+}
+
+// Every service device crashes: the runtime must fall back to the local GPU
+// (stream keeps flowing), then return to offloading once the device comes
+// back and answers a probe.
+TEST(FaultRecovery, AllDevicesDownFallsBackLocallyThenReintegrates) {
+  EventLoop loop;
+  net::MediumConfig mc;
+  mc.loss_rate = 0.0;
+  mc.jitter_ms = 0.0;
+  net::Medium wifi(loop, mc, Rng(4), "wifi");
+
+  net::FaultPlanConfig fcfg;
+  fcfg.outages.push_back({100, seconds(0.4), seconds(1.2)});
+  net::FaultPlan plan(fcfg);
+  wifi.set_fault_plan(&plan);
+
+  auto service = std::make_unique<core::ServiceRuntime>(
+      loop, 100, device::nvidia_shield(), tiny_service_config());
+  service->endpoint().bind(wifi, nullptr);
+  service->set_fault_plan(&plan);
+
+  net::ReliableEndpoint user(loop, 1);
+  user.bind(wifi, nullptr);
+  core::GBoosterConfig config;
+  config.nominal_width = 64;
+  config.nominal_height = 48;
+  config.display_gap_timeout = seconds(2.0);
+  config.health.probe_interval = ms(50);
+  config.health.probe_timeout = ms(100);
+  config.health.failure_threshold = 2;
+  core::GBoosterRuntime gbooster(loop, config, user, {{100, "shield", 6e9}});
+  user.set_handler([&](net::NodeId src, net::NodeId stream, Bytes message) {
+    gbooster.on_message(src, stream, std::move(message));
+  });
+  // Clear-only frames profile to zero pixels; give them a real workload so
+  // the local fallback's GPU-time accounting is observable.
+  gbooster.set_workload_override([] { return 1.0e6; });
+
+  int issued = 0;
+  std::uint64_t offloaded_before_crash = 0;
+  std::vector<SimTime> displayed_at;
+  gbooster.set_display_handler([&](std::uint64_t, SimTime, const Image&) {
+    displayed_at.push_back(loop.now());
+  });
+  std::function<void()> tick = [&] {
+    if (loop.now().seconds() >= 3.0) return;
+    if (loop.now().seconds() < 0.4) {
+      offloaded_before_crash = gbooster.stats().frames_offloaded;
+    }
+    if (gbooster.can_issue_frame()) {
+      issue_tiny_frame(gbooster.wrapper());
+      ++issued;
+    }
+    loop.schedule_after(ms(50), tick);
+  };
+  tick();
+  loop.run_until(seconds(8.0));
+
+  const auto& stats = gbooster.stats();
+  EXPECT_GT(issued, 40);
+  EXPECT_EQ(stats.frames_displayed, static_cast<std::uint64_t>(issued));
+  EXPECT_EQ(stats.frames_dropped, 0u);
+  EXPECT_GE(stats.device_failovers, 1u);
+  EXPECT_GE(stats.device_reintegrations, 1u);
+  // The crash window forced local rendering, but not for the whole session.
+  EXPECT_GT(stats.frames_rendered_locally, 0u);
+  EXPECT_LT(stats.frames_rendered_locally, static_cast<std::uint64_t>(issued));
+  EXPECT_GT(stats.local_render_seconds, 0.0);
+  // Offloading resumed after reintegration.
+  EXPECT_GT(stats.frames_offloaded, offloaded_before_crash);
+  double max_gap_s = 0.0;
+  for (std::size_t i = 1; i < displayed_at.size(); ++i) {
+    max_gap_s =
+        std::max(max_gap_s, (displayed_at[i] - displayed_at[i - 1]).seconds());
+  }
+  EXPECT_LT(max_gap_s, 1.0);
+}
+
+// --- full-session integration ----------------------------------------------
+
+TEST(FaultSession, CrashRecoverSessionIsDeterministicAndContinuous) {
+  sim::SessionConfig config;
+  config.workload = apps::g1_gta_san_andreas();
+  config.user_device = device::nexus5();
+  config.service_devices = {device::nvidia_shield()};
+  config.duration_s = 8.0;
+  config.seed = 7;
+  config.service.render_width = 96;
+  config.service.render_height = 72;
+  config.service.content_sample_every = 6;
+  config.service_outages.push_back({0, 3.0, 4.0});
+  config.fault_burst.enabled = true;
+  config.fault_burst.p_enter_burst = 0.002;
+  config.fault_burst.p_exit_burst = 0.1;
+  config.fault_burst.loss_burst = 0.5;
+
+  const sim::SessionResult a = sim::run_session(config);
+  const sim::SessionResult b = sim::run_session(config);
+
+  // The scenario actually exercised its faults...
+  EXPECT_GT(a.faults.dropped_by_outage, 0u);
+  EXPECT_GT(a.faults.dropped_by_burst, 0u);
+  EXPECT_GE(a.gbooster.device_failovers, 1u);
+  EXPECT_GE(a.gbooster.device_reintegrations, 1u);
+  EXPECT_GT(a.gbooster.frames_rendered_locally, 0u);
+  // ...while the stream stayed continuous: detection + fallback beat the
+  // 2 s display gap timeout, so nothing was dropped.
+  EXPECT_EQ(a.gbooster.frames_dropped, 0u);
+  EXPECT_LT(a.metrics.max_display_gap_s, 2.0);
+  EXPECT_GT(a.metrics.frames_displayed, 100u);
+  EXPECT_GT(a.metrics.p99_response_ms, 0.0);
+
+  // ...and deterministically: same seed, same plan, same session.
+  EXPECT_EQ(a.metrics.frames_displayed, b.metrics.frames_displayed);
+  EXPECT_EQ(a.gbooster.frames_redispatched, b.gbooster.frames_redispatched);
+  EXPECT_EQ(a.gbooster.frames_rendered_locally,
+            b.gbooster.frames_rendered_locally);
+  EXPECT_EQ(a.faults.dropped_by_outage, b.faults.dropped_by_outage);
+  EXPECT_EQ(a.faults.dropped_by_burst, b.faults.dropped_by_burst);
+  EXPECT_EQ(a.requests_lost_to_faults, b.requests_lost_to_faults);
+}
+
+}  // namespace
+}  // namespace gb

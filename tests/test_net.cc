@@ -323,6 +323,138 @@ TEST(Reliable, AbandonsAfterMaxRetries) {
   EXPECT_TRUE(sender.idle());
 }
 
+TEST(Reliable, AbandonHandlerReportsStreamAndId) {
+  EventLoop loop;
+  MediumConfig config;
+  config.loss_rate = 1.0;  // black hole
+  Medium medium(loop, config, Rng(9), "void");
+  ReliableConfig rc;
+  rc.max_retries = 3;
+  ReliableEndpoint sender(loop, 1, rc);
+  sender.bind(medium, nullptr);
+  medium.attach(2, nullptr, {});
+  std::vector<std::pair<NodeId, std::uint64_t>> abandoned;
+  sender.set_abandon_handler([&](NodeId stream, std::uint64_t id) {
+    abandoned.emplace_back(stream, id);
+  });
+  const std::uint64_t first = sender.send(2, Bytes(100, 0));
+  const std::uint64_t second = sender.send(2, Bytes(100, 1));
+  loop.run_until(seconds(10.0));
+  ASSERT_EQ(abandoned.size(), 2u);
+  EXPECT_EQ(abandoned[0], (std::pair<NodeId, std::uint64_t>{2, first}));
+  EXPECT_EQ(abandoned[1], (std::pair<NodeId, std::uint64_t>{2, second}));
+  EXPECT_EQ(sender.stats().messages_abandoned, 2u);
+  EXPECT_TRUE(sender.idle());
+}
+
+TEST(Reliable, AbandonStreamDropsAllOutstanding) {
+  EventLoop loop;
+  MediumConfig config;
+  config.loss_rate = 1.0;
+  Medium medium(loop, config, Rng(9), "void");
+  ReliableEndpoint sender(loop, 1);
+  sender.bind(medium, nullptr);
+  medium.attach(2, nullptr, {});
+  medium.attach(3, nullptr, {});
+  std::vector<std::uint64_t> abandoned;
+  sender.set_abandon_handler(
+      [&](NodeId, std::uint64_t id) { abandoned.push_back(id); });
+  sender.send(2, Bytes(100, 0));
+  sender.send(2, Bytes(100, 1));
+  sender.send(3, Bytes(100, 2));  // different stream: must survive
+  loop.run_until(ms(5));
+  EXPECT_EQ(sender.abandon_stream(2), 2u);
+  EXPECT_EQ(abandoned.size(), 2u);
+  EXPECT_FALSE(sender.idle());  // node 3's message is still outstanding
+}
+
+TEST(Reliable, SourceDropRetriesPromptlyWithoutChargingRetries) {
+  // The sender's radio sleeps through the first attempts: the chunks never
+  // hit the air, are counted as source drops, and are retried on the prompt
+  // schedule without burning the abandonment budget.
+  EventLoop loop;
+  Medium medium(loop, lossless(), Rng(3), "m");
+  RadioInterface tx_radio(loop, wifi_radio_config(), "tx");
+  ReliableConfig rc;
+  rc.max_retries = 3;  // would abandon fast if source drops charged retries
+  ReliableEndpoint sender(loop, 1, rc);
+  ReliableEndpoint receiver(loop, 2);
+  sender.bind(medium, &tx_radio);
+  receiver.bind(medium, nullptr);
+  std::vector<Bytes> delivered;
+  receiver.set_handler(
+      [&](NodeId, NodeId, Bytes m) { delivered.push_back(std::move(m)); });
+  tx_radio.power_off();
+  sender.send(2, Bytes(100, 7));
+  // Well past max_retries * source_drop_retry: with retries charged the
+  // message would be abandoned by now.
+  loop.run_until(seconds(1.0));
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_GT(sender.stats().chunks_dropped_at_source, 10u);
+  EXPECT_EQ(sender.stats().messages_abandoned, 0u);
+  tx_radio.power_on();
+  loop.run_until(seconds(3.0));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], Bytes(100, 7));
+}
+
+TEST(Reliable, DeliveryFloorUnsticksReceiverAfterAbandonment) {
+  // Message 0 dies while the receiver's radio sleeps; once the receiver
+  // returns, message 1's chunks carry floor=1 and the receiver must deliver
+  // it instead of waiting forever for the hole.
+  EventLoop loop;
+  Medium medium(loop, lossless(), Rng(3), "m");
+  RadioInterface rx_radio(loop, wifi_radio_config(), "rx");
+  ReliableConfig rc;
+  rc.max_retries = 3;
+  ReliableEndpoint sender(loop, 1, rc);
+  ReliableEndpoint receiver(loop, 2);
+  sender.bind(medium, nullptr);
+  receiver.bind(medium, &rx_radio);
+  std::vector<Bytes> delivered;
+  receiver.set_handler(
+      [&](NodeId, NodeId, Bytes m) { delivered.push_back(std::move(m)); });
+  rx_radio.power_off();
+  sender.send(2, Bytes(100, 0));
+  loop.run_until(seconds(2.0));  // message 0 abandoned into the sleeping radio
+  EXPECT_EQ(sender.stats().messages_abandoned, 1u);
+  rx_radio.power_on();
+  loop.run_until(seconds(3.0));
+  sender.send(2, Bytes(100, 1));
+  loop.run_until(seconds(4.0));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], Bytes(100, 1));
+}
+
+TEST(Reliable, UnreliableDatagramDeliveredWithoutState) {
+  ReliablePair pair;
+  pair.sender.send_unreliable(2, Bytes{9, 9});
+  pair.loop.run_until(seconds(1.0));
+  ASSERT_EQ(pair.delivered.size(), 1u);
+  EXPECT_EQ(pair.delivered[0], (Bytes{9, 9}));
+  EXPECT_EQ(pair.sender.stats().unreliable_sent, 1u);
+  EXPECT_EQ(pair.receiver.stats().unreliable_delivered, 1u);
+  // No acks, no outstanding state.
+  EXPECT_TRUE(pair.sender.idle());
+  EXPECT_EQ(pair.sender.stats().chunks_sent, 0u);
+}
+
+TEST(Reliable, UnreliableLossIsSilent) {
+  EventLoop loop;
+  MediumConfig config;
+  config.loss_rate = 1.0;
+  Medium medium(loop, config, Rng(9), "void");
+  ReliableEndpoint sender(loop, 1);
+  sender.bind(medium, nullptr);
+  medium.attach(2, nullptr, {});
+  for (int i = 0; i < 20; ++i) sender.send_unreliable(2, Bytes{1});
+  loop.run_until(seconds(5.0));
+  // Fire-and-forget: nothing retried, nothing abandoned, endpoint idle.
+  EXPECT_EQ(sender.stats().unreliable_sent, 20u);
+  EXPECT_EQ(sender.stats().messages_abandoned, 0u);
+  EXPECT_TRUE(sender.idle());
+}
+
 TEST(TcpModel, DelayedAckFloorAndLossPenalty) {
   TcpModelConfig config;
   const SimTime clean = tcp_expected_latency(10000, config, 0.0);

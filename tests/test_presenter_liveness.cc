@@ -77,6 +77,56 @@ TEST(PresenterLiveness, LostResultIsSkippedAfterGapTimeout) {
   EXPECT_DOUBLE_EQ(gbooster.dispatcher().queued_workload(0), 0.0);
 }
 
+TEST(PresenterLiveness, ConsecutiveLossesAreDroppedTogether) {
+  EventLoop loop;
+  net::MediumConfig mc;
+  mc.loss_rate = 0.0;
+  mc.jitter_ms = 0.0;
+  net::Medium wifi(loop, mc, Rng(4), "wifi");
+  ServiceRuntimeConfig service_config;
+  service_config.nominal_width = 64;
+  service_config.nominal_height = 48;
+  service_config.render_width = 64;
+  service_config.render_height = 48;
+  auto service = std::make_unique<ServiceRuntime>(
+      loop, 100, device::nvidia_shield(), service_config);
+  service->endpoint().bind(wifi, nullptr);
+  net::ReliableEndpoint user(loop, 1);
+  user.bind(wifi, nullptr);
+  GBoosterConfig config;
+  config.nominal_width = 64;
+  config.nominal_height = 48;
+  config.display_gap_timeout = seconds(0.5);
+  GBoosterRuntime gbooster(loop, config, user, {{100, "shield", 6e9}});
+  // Results for sequences 1 AND 2 vanish: the presenter must count both as
+  // dropped in one sweep and resume at 3.
+  user.set_handler([&](net::NodeId src, net::NodeId stream, Bytes message) {
+    if (peek_kind(message) == MsgKind::kFrame) {
+      const auto parsed = parse_frame_message(message);
+      if (parsed &&
+          (parsed->header.sequence == 1 || parsed->header.sequence == 2)) {
+        return;
+      }
+    }
+    gbooster.on_message(src, stream, std::move(message));
+  });
+  std::vector<std::uint64_t> displayed;
+  std::vector<SimTime> displayed_at;
+  gbooster.set_display_handler(
+      [&](std::uint64_t sequence, SimTime, const Image&) {
+        displayed.push_back(sequence);
+        displayed_at.push_back(loop.now());
+      });
+  for (int i = 0; i < 4; ++i) issue_tiny_frame(gbooster.wrapper());
+  loop.run_until(seconds(5.0));
+  EXPECT_EQ(displayed, (std::vector<std::uint64_t>{0, 3}));
+  EXPECT_EQ(gbooster.stats().frames_dropped, 2u);
+  EXPECT_EQ(gbooster.pending_requests(), 0u);
+  // The skip must not fire before the gap timeout has really elapsed.
+  ASSERT_EQ(displayed_at.size(), 2u);
+  EXPECT_GE((displayed_at[1] - displayed_at[0]).seconds(), 0.5);
+}
+
 TEST(PresenterLiveness, NoSpuriousDropsWhenResultsFlow) {
   EventLoop loop;
   net::MediumConfig mc;
