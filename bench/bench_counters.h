@@ -1,0 +1,35 @@
+// Counter-export helpers for the google-benchmark-based benches. Kept
+// separate from bench_util.h because <benchmark/benchmark.h> plants a
+// static initializer in every including TU, and most benches here are plain
+// table printers that do not link the benchmark library.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/trace.h"
+#include "sim/metrics.h"
+
+namespace gb::bench {
+
+// Exports SessionMetrics::stage_breakdown as benchmark counters
+// (`stage_<name>_ms` = mean per displayed frame, plus `stage_<name>_p99_ms`
+// for the stages that dominate tail latency). The stage means tile the
+// issue-to-display interval, so they sum to `issue_to_display_ms`.
+inline void report_stage_breakdown(benchmark::State& state,
+                                   const sim::SessionMetrics& metrics) {
+  if (!metrics.has_stage_breakdown) return;
+  state.counters["issue_to_display_ms"] = metrics.avg_issue_to_display_ms;
+  for (std::size_t i = 0; i < runtime::kStageCount; ++i) {
+    const sim::StageStats& stage = metrics.stage_breakdown[i];
+    if (stage.count == 0) continue;
+    const std::string name =
+        runtime::stage_name(static_cast<runtime::Stage>(i));
+    state.counters["stage_" + name + "_ms"] = stage.mean_ms;
+    state.counters["stage_" + name + "_p99_ms"] = stage.p99_ms;
+  }
+}
+
+}  // namespace gb::bench

@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "bench_counters.h"
 #include "bench_util.h"
 
 using namespace gb;
@@ -52,6 +53,10 @@ sim::SessionConfig scenario_config(int scenario, int devices,
     default:
       break;
   }
+  // Per-stage latency breakdown rides along in every scenario's JSON —
+  // recovery work shows up as which stage absorbed the failure, not just as
+  // a fatter p99.
+  config.collect_stage_breakdown = true;
   return config;
 }
 
@@ -75,6 +80,10 @@ void BM_FaultRecovery(benchmark::State& state) {
       static_cast<double>(result.gbooster.frames_rendered_locally);
   state.counters["failovers"] =
       static_cast<double>(result.gbooster.device_failovers);
+  state.counters["epoch_resets"] =
+      static_cast<double>(result.gbooster.render_epoch_resets +
+                          result.gbooster.state_epoch_resets);
+  bench::report_stage_breakdown(state, result.metrics);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "apps/game_app.h"
+#include "bench_counters.h"
+#include "bench_util.h"
 #include "codec/turbo_codec.h"
 #include "common/rng.h"
 #include "gles/direct_backend.h"
@@ -94,6 +96,60 @@ void BM_ParallelRaster(benchmark::State& state) {
   report_throughput(state, pixels);
 }
 BENCHMARK(BM_ParallelRaster)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// End-to-end offload session with the per-stage latency breakdown enabled:
+// where the frame time goes (serialize / uplink / remote-exec / turbo-encode
+// / downlink / decode / present) as the service device's worker-thread count
+// scales. The virtual-clock stage means must be identical across thread
+// counts (host parallelism changes wall time only); the wall-time column is
+// what scales.
+void BM_OffloadSessionStages(benchmark::State& state) {
+  const double duration_s = bench::default_duration(20.0);
+  sim::SessionConfig config = bench::paper_config(
+      apps::g1_gta_san_andreas(), device::nexus5(), duration_s);
+  config.service_devices.push_back(device::nvidia_shield());
+  config.service.worker_threads = static_cast<int>(state.range(0));
+  config.collect_stage_breakdown = true;
+  sim::SessionResult result;
+  for (auto _ : state) {
+    result = sim::run_session(config);
+  }
+  state.counters["fps"] = result.metrics.median_fps;
+  bench::report_stage_breakdown(state, result.metrics);
+}
+BENCHMARK(BM_OffloadSessionStages)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Overhead guard for the tracing layer itself: the same session with
+// tracing off (null tracer — every instrumentation site is one pointer
+// compare) vs. on. Compare the wall times of the two rows to bound the
+// enabled-mode cost; a -DGB_DISABLE_TRACING build folds even the compare
+// away.
+void BM_OffloadSessionTracing(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  const double duration_s = bench::default_duration(20.0);
+  sim::SessionConfig config = bench::paper_config(
+      apps::g1_gta_san_andreas(), device::nexus5(), duration_s);
+  config.service_devices.push_back(device::nvidia_shield());
+  config.collect_stage_breakdown = traced;
+  sim::SessionResult result;
+  for (auto _ : state) {
+    result = sim::run_session(config);
+  }
+  state.counters["fps"] = result.metrics.median_fps;
+}
+BENCHMARK(BM_OffloadSessionTracing)
+    ->ArgName("traced")
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -6,6 +6,13 @@
 #
 # JSON output (--benchmark_format=json) is the stable machine-readable
 # interface; EXPERIMENTS.md quotes numbers from these files.
+#
+# Session benches run with the pipeline tracer enabled and export the
+# per-stage latency breakdown as counters: `issue_to_display_ms` plus
+# `stage_<name>_ms` / `stage_<name>_p99_ms` for each pipeline stage
+# (serialize, uplink, remote_exec, turbo_encode, downlink, decode, present,
+# local_render). The stage means tile the issue-to-display interval, so they
+# sum to `issue_to_display_ms` (see DESIGN.md §9).
 set -euo pipefail
 
 build_dir="${1:-build}"

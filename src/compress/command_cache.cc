@@ -24,10 +24,24 @@ bool CommandCache::touch(std::uint64_t hash) {
 }
 
 void CommandCache::insert(std::uint64_t hash, Bytes bytes) {
-  if (touch(hash)) return;
-  resident_bytes_ += bytes.size();
-  lru_.push_front(Entry{hash, std::move(bytes)});
-  entries_[hash] = lru_.begin();
+  const auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    // Same hash, possibly different bytes (FNV-1a collision): the entry must
+    // take the *new* bytes, not keep the old ones — the encoder only sends a
+    // record inline when the resident bytes differ, and both mirrors apply
+    // this same replacement, so they converge on the latest record.
+    Entry& entry = *it->second;
+    if (entry.bytes != bytes) {
+      resident_bytes_ += bytes.size();
+      resident_bytes_ -= entry.bytes.size();
+      entry.bytes = std::move(bytes);
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    resident_bytes_ += bytes.size();
+    lru_.push_front(Entry{hash, std::move(bytes)});
+    entries_[hash] = lru_.begin();
+  }
   while (resident_bytes_ > capacity_bytes_ && lru_.size() > 1) {
     const Entry& victim = lru_.back();
     resident_bytes_ -= victim.bytes.size();
@@ -57,18 +71,30 @@ Bytes encode_frame_with_cache(const wire::FrameCommands& frame,
   for (const wire::CommandRecord& record : frame.records) {
     const std::uint64_t hash = record_hash(record.bytes);
     stats.bytes_in += record.bytes.size();
-    if (cache.touch(hash)) {
+    const std::size_t before = out.size();
+    // A reference is only sound when the resident bytes *are* this record's
+    // bytes — a 64-bit hash match alone would silently substitute a
+    // colliding record on the receiver. The full compare costs one memcmp
+    // against bytes that hash-matched (almost always equal, so it exits on
+    // length or late, exactly once per hit).
+    const Bytes* cached = cache.find(hash);
+    if (cached != nullptr && *cached == record.bytes) {
+      cache.touch(hash);
       stats.hits++;
       out.u8(kCached);
       out.u64(hash);
-      stats.bytes_out += 1 + 8;
+      // The receiver re-checks the resolved record's length against this —
+      // its last line of defense if the mirrors ever diverge.
+      out.varint(record.bytes.size());
     } else {
+      // Miss, or a collision squatting on this hash: send inline; insert()
+      // replaces the colliding entry on both mirrors identically.
       stats.misses++;
       out.u8(kInline);
       out.blob(record.bytes);
-      stats.bytes_out += 1 + record.bytes.size();
       cache.insert(hash, record.bytes);
     }
+    stats.bytes_out += out.size() - before;
   }
   return out.take();
 }
@@ -89,8 +115,11 @@ wire::FrameCommands decode_frame_with_cache(std::span<const std::uint8_t> data,
     wire::CommandRecord record;
     if (flag == kCached) {
       const std::uint64_t hash = in.u64();
+      const std::uint64_t length = in.varint();
       const Bytes* cached = cache.find(hash);
       check(cached != nullptr, "receiver cache missing referenced record");
+      check(cached->size() == length,
+            "cached record length mismatch (mirror divergence)");
       record.bytes = *cached;
       cache.touch(hash);
     } else {

@@ -31,9 +31,11 @@ struct CacheStats {
   }
 };
 
-// 64-bit FNV-1a over record bytes. Collisions would silently corrupt the
-// replayed stream; at 2^64 with a few thousand live records the probability
-// is negligible for the simulator's purposes.
+// 64-bit FNV-1a over record bytes. The hash is a cache key, not a proof of
+// identity: the encoder compares the resident bytes before emitting a
+// reference (a colliding record is sent inline and replaces the entry on
+// both mirrors), and the decoder verifies the on-wire record length against
+// the resolved entry.
 std::uint64_t record_hash(std::span<const std::uint8_t> bytes);
 
 // One side's cache: an LRU of record-hash -> record-bytes with a byte-budget
@@ -44,7 +46,8 @@ class CommandCache {
 
   // Returns true when `hash` is cached, marking it most-recently-used.
   bool touch(std::uint64_t hash);
-  // Inserts a record (evicting LRU entries over budget).
+  // Inserts a record (evicting LRU entries over budget). An existing entry
+  // under the same hash is replaced with the new bytes.
   void insert(std::uint64_t hash, Bytes bytes);
   // Looks up a record by hash; nullptr when absent.
   [[nodiscard]] const Bytes* find(std::uint64_t hash) const;

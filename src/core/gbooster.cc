@@ -39,7 +39,8 @@ GBoosterRuntime::GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
     : loop_(loop),
       config_(config),
       endpoint_(endpoint),
-      dispatcher_(devices, config.dispatch_policy) {
+      dispatcher_(devices, config.dispatch_policy),
+      tracer_(config.tracer) {
   for (const ServiceDeviceInfo& d : devices) {
     device_nodes_.push_back(d.node);
     render_caches_.push_back(std::make_unique<compress::CommandCache>());
@@ -120,8 +121,28 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
     // void (device 0): the display gap timeout then reclaims the frames —
     // the diagnostic behaviour of a system without graceful degradation.
     device_index = no_healthy ? 0 : dispatcher_.pick(workload);
+    if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+      // The Eq. 4 scores behind this pick, one per device (-1 = dead).
+      std::vector<std::pair<std::string, double>> args;
+      args.emplace_back("sequence", static_cast<double>(sequence));
+      args.emplace_back("chosen", static_cast<double>(device_index));
+      for (std::size_t j = 0; j < device_nodes_.size(); ++j) {
+        const double cost =
+            dispatcher_.healthy(j)
+                ? (dispatcher_.queued_workload(j) + workload) /
+                          dispatcher_.device(j).capability_pps +
+                      dispatcher_.estimated_delay(j).seconds()
+                : -1.0;
+        args.emplace_back("eq4_cost_" + std::to_string(j), cost);
+      }
+      tracer_->instant("dispatch", endpoint_.id(), loop_.now(),
+                       std::move(args));
+    }
     dispatcher_.on_assigned(device_index, workload);
   }
+
+  const compress::CacheStats state_cache_before = stats_.state_cache;
+  const compress::CacheStats render_cache_before = stats_.render_cache;
 
   // Multi-device consistency (§VI-B): the frame's state-mutating records go
   // to everyone — also while every device is down, since the reliable layer
@@ -161,6 +182,34 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
     stats_.serialize_seconds += serialize_s;
     cpu_busy_until_ =
         std::max(cpu_busy_until_, loop_.now()) + seconds(serialize_s);
+    if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+      // Queue wait on the packing core counts toward serialize: the span
+      // runs from issue until the payload leaves the user device.
+      tracer_->span(runtime::Stage::kSerialize, endpoint_.id(), sequence,
+                    loop_.now(), cpu_busy_until_);
+      const auto& rc = stats_.render_cache;
+      const auto& sc = stats_.state_cache;
+      const double deduped = static_cast<double>(
+          (rc.bytes_out - render_cache_before.bytes_out) +
+          (sc.bytes_out - state_cache_before.bytes_out));
+      tracer_->instant(
+          "encode", endpoint_.id(), loop_.now(),
+          {{"sequence", static_cast<double>(sequence)},
+           {"cache_hits",
+            static_cast<double>((rc.hits - render_cache_before.hits) +
+                                (sc.hits - state_cache_before.hits))},
+           {"cache_misses",
+            static_cast<double>((rc.misses - render_cache_before.misses) +
+                                (sc.misses - state_cache_before.misses))},
+           {"raw_bytes", static_cast<double>(
+                             (rc.bytes_in - render_cache_before.bytes_in) +
+                             (sc.bytes_in - state_cache_before.bytes_in))},
+           {"deduped_bytes", deduped},
+           {"wire_bytes", static_cast<double>(total_bytes)},
+           {"lz4_ratio", deduped > 0.0
+                             ? static_cast<double>(total_bytes) / deduped
+                             : 1.0}});
+    }
   }
 
   if (!local) stats_.frames_offloaded++;
@@ -194,19 +243,33 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
 
   if (!state_message.empty() || !render_message.empty()) {
     const net::NodeId renderer = device_nodes_[device_index];
+    // The payloads were encoded against the *current* cache generations; if
+    // either mirror restarts while they wait behind the packing core, they
+    // reference a dead epoch and must not be sent (see the epoch checks in
+    // the lambda).
+    const std::uint32_t render_epoch = cache_epochs_[device_index];
+    const std::uint32_t state_epoch = state_epoch_;
     loop_.schedule_at(
         cpu_busy_until_,
-        [this, sequence, device_index, renderer,
+        [this, sequence, device_index, renderer, render_epoch, state_epoch,
          state_message = std::move(state_message),
          render_message = std::move(render_message)]() mutable {
           if (!state_message.empty()) {
-            const std::uint64_t id = endpoint_.send_multicast(
-                config_.state_group, device_nodes_, std::move(state_message));
-            msg_to_seq_[{config_.state_group, id}] = sequence;
-            const auto it = in_flight_.find(sequence);
-            if (it != in_flight_.end()) {
-              it->second.has_state_msg = true;
-              it->second.state_msg_id = id;
+            if (state_epoch != state_epoch_) {
+              // The shared state cache restarted while this payload was
+              // queued; delivering it after the replicas reset would poison
+              // their mirrors again. Drop it and float the floor so nobody
+              // waits on the sequence.
+              state_apply_floor_ = std::max(state_apply_floor_, sequence + 1);
+            } else {
+              const std::uint64_t id = endpoint_.send_multicast(
+                  config_.state_group, device_nodes_, std::move(state_message));
+              msg_to_seq_[{config_.state_group, id}] = sequence;
+              const auto it = in_flight_.find(sequence);
+              if (it != in_flight_.end()) {
+                it->second.has_state_msg = true;
+                it->second.state_msg_id = id;
+              }
             }
           }
           if (render_message.empty()) return;
@@ -218,11 +281,24 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
               it->second.device_index != device_index) {
             return;
           }
+          if (cache_epochs_[device_index] != render_epoch) {
+            // Mirror restarted while this payload was queued: its encoding
+            // references the dead epoch. The device skips the sequence via
+            // the floor on later frames; the presenter's gap timeout
+            // reclaims the frame itself.
+            apply_floors_[device_index] =
+                std::max(apply_floors_[device_index], sequence + 1);
+            return;
+          }
           const std::uint64_t id =
               endpoint_.send(renderer, std::move(render_message));
           it->second.has_render_msg = true;
           it->second.render_msg_id = id;
           msg_to_seq_[{renderer, id}] = sequence;
+          if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+            tracer_->begin(runtime::Stage::kUplink, endpoint_.id(), sequence,
+                           loop_.now());
+          }
         });
   }
 
@@ -270,6 +346,10 @@ void GBoosterRuntime::on_pong(std::uint64_t nonce) {
 void GBoosterRuntime::note_device_alive(std::size_t index) {
   if (dispatcher_.record_success(index)) {
     stats_.device_reintegrations++;
+    if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+      tracer_->instant("device_reintegrated", device_nodes_[index],
+                       loop_.now());
+    }
   }
 }
 
@@ -300,7 +380,23 @@ void GBoosterRuntime::on_transport_abandon(net::NodeId stream,
   InFlight& flight = fit->second;
   if (flight.local || flight.device_index != *index) return;  // stale
   flight.has_render_msg = false;
-  if (!config_.health.enabled) return;  // monitoring off: gap timeout rules
+  // The abandoned message's records were inserted into the sender-side
+  // mirror at encode time, but the device will never decode them — the
+  // mirrors are desynced even if the device is alive and well (it may have
+  // simply sat behind a transient partition). The next frame to it would
+  // reference records it never saw and hard-fail its decode. Restart the
+  // pair under a new epoch, and never wait on the lost sequence.
+  reset_render_mirror(*index);
+  apply_floors_[*index] = std::max(apply_floors_[*index], sequence + 1);
+  if (!config_.health.enabled) {
+    // Monitoring off: no breaker to consult, the gap timeout reclaims the
+    // frame. Other outstanding messages to this device were encoded against
+    // the dead epoch and must not be delivered after the device resets its
+    // mirror — abandoning them re-enters this handler once per message
+    // (safe: the transport erases them all before firing the handlers).
+    endpoint_.abandon_stream(stream);
+    return;
+  }
   // The transport exhausted its full retry budget toward this device —
   // decisive evidence on its own.
   if (dispatcher_.record_failure(*index, 1)) {
@@ -310,12 +406,24 @@ void GBoosterRuntime::on_transport_abandon(net::NodeId stream,
   }
 }
 
-void GBoosterRuntime::handle_device_death(std::size_t index) {
-  stats_.device_failovers++;
-  // The device's cache mirror is now unreliable (it may never have decoded
-  // the tail of the stream): restart the pair under a new epoch.
+void GBoosterRuntime::reset_render_mirror(std::size_t index) {
   render_caches_[index] = std::make_unique<compress::CommandCache>();
   cache_epochs_[index]++;
+  stats_.render_epoch_resets++;
+  if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+    tracer_->instant("render_mirror_reset", device_nodes_[index], loop_.now(),
+                     {{"epoch", static_cast<double>(cache_epochs_[index])}});
+  }
+}
+
+void GBoosterRuntime::handle_device_death(std::size_t index) {
+  stats_.device_failovers++;
+  if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+    tracer_->instant("device_dead", device_nodes_[index], loop_.now());
+  }
+  // The device's cache mirror is now unreliable (it may never have decoded
+  // the tail of the stream): restart the pair under a new epoch.
+  reset_render_mirror(index);
   // Drop outstanding render traffic to the corpse; each abandoned message
   // fires the abandon handler, which re-dispatches its frame (the breaker
   // is already open, so those land on healthy devices or the local GPU).
@@ -383,19 +491,30 @@ void GBoosterRuntime::send_render(std::uint64_t sequence,
   flight.sent_bytes += message.size();
 
   const net::NodeId renderer = device_nodes_[device_index];
+  const std::uint32_t render_epoch = cache_epochs_[device_index];
   loop_.schedule_at(
       cpu_busy_until_,
-      [this, sequence, device_index, renderer,
+      [this, sequence, device_index, renderer, render_epoch,
        message = std::move(message)]() mutable {
         const auto it = in_flight_.find(sequence);
         if (it == in_flight_.end() || it->second.local ||
             it->second.device_index != device_index) {
           return;  // re-routed again (or reclaimed) while packing
         }
+        if (cache_epochs_[device_index] != render_epoch) {
+          // Mirror restarted while this payload was queued (see on_frame).
+          apply_floors_[device_index] =
+              std::max(apply_floors_[device_index], sequence + 1);
+          return;
+        }
         const std::uint64_t id = endpoint_.send(renderer, std::move(message));
         it->second.has_render_msg = true;
         it->second.render_msg_id = id;
         msg_to_seq_[{renderer, id}] = sequence;
+        if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+          tracer_->begin(runtime::Stage::kUplink, endpoint_.id(), sequence,
+                         loop_.now());
+        }
       });
 }
 
@@ -413,6 +532,10 @@ void GBoosterRuntime::render_locally(std::uint64_t sequence) {
   stats_.local_render_seconds += render_s;
   const SimTime start = std::max(loop_.now(), local_busy_until_);
   local_busy_until_ = start + seconds(render_s);
+  if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+    tracer_->span(runtime::Stage::kLocalRender, endpoint_.id(), sequence,
+                  start, local_busy_until_);
+  }
 
   loop_.schedule_at(local_busy_until_, [this, sequence] {
     const auto it = in_flight_.find(sequence);
@@ -482,6 +605,11 @@ void GBoosterRuntime::on_message(net::NodeId src, net::NodeId stream,
   const double decode_s = static_cast<double>(config_.nominal_width) *
                           config_.nominal_height / (config_.decode_mpps * 1e6);
   stats_.decode_seconds += decode_s;
+  if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+    tracer_->end(runtime::Stage::kDownlink, sequence, loop_.now());
+    tracer_->span(runtime::Stage::kDecode, endpoint_.id(), sequence,
+                  loop_.now(), loop_.now() + seconds(decode_s));
+  }
 
   // Eq. 5's t_p estimate for this frame: everything offloading adds on top
   // of rendering itself.
@@ -554,6 +682,12 @@ void GBoosterRuntime::present_in_order() {
     ready_.erase(it);
     const std::uint64_t sequence = next_display_sequence_++;
     stats_.frames_displayed++;
+    if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+      // Present covers the in-order wait: from the moment the frame became
+      // displayable until its predecessors let it reach the screen.
+      tracer_->span(runtime::Stage::kPresent, endpoint_.id(), sequence,
+                    frame.displayable_at, loop_.now());
+    }
     if (display_) {
       display_(sequence, loop_.now() - frame.issued, frame.content);
     }

@@ -41,6 +41,7 @@
 #include "hooking/dynamic_linker.h"
 #include "net/reliable.h"
 #include "runtime/event_loop.h"
+#include "runtime/trace.h"
 #include "wire/recorder.h"
 
 namespace gb::core {
@@ -100,6 +101,10 @@ struct GBoosterConfig {
   // Effective fillrate of the local GPU for fallback frames (pixels/s);
   // sessions wire this to the user device's GPU profile.
   double local_capability_pps = 4.0e8;
+  // Optional pipeline tracer (DESIGN.md §9): per-frame stage spans, dispatch
+  // decisions, breaker transitions. Null = tracing off (one pointer compare
+  // per site). Must outlive the runtime.
+  runtime::Tracer* tracer = nullptr;
 };
 
 struct GBoosterStats {
@@ -129,7 +134,8 @@ struct GBoosterStats {
   std::uint64_t device_failovers = 0;         // healthy -> dead transitions
   std::uint64_t device_reintegrations = 0;    // dead -> healthy transitions
   std::uint64_t heartbeat_timeouts = 0;
-  std::uint64_t state_epoch_resets = 0;  // shared state cache restarts
+  std::uint64_t state_epoch_resets = 0;   // shared state cache restarts
+  std::uint64_t render_epoch_resets = 0;  // per-device cache mirror restarts
 };
 
 class GBoosterRuntime {
@@ -218,6 +224,9 @@ class GBoosterRuntime {
   void on_transport_abandon(net::NodeId stream, std::uint64_t message_id);
   void note_device_alive(std::size_t index);
   void handle_device_death(std::size_t index);
+  // Restarts the (sender, receiver) cache mirror pair of a device under a
+  // new epoch — required whenever an encoded message will never be decoded.
+  void reset_render_mirror(std::size_t index);
   void redispatch_frame(std::uint64_t sequence);
   void render_locally(std::uint64_t sequence);
   // Re-encodes the retained frame against `device_index`'s cache and sends.
@@ -270,6 +279,7 @@ class GBoosterRuntime {
   SimTime local_busy_until_;
 
   codec::TurboDecoder decoder_;
+  runtime::Tracer* tracer_ = nullptr;  // == config_.tracer
   SimTime cpu_busy_until_;  // serializes the pack/compress CPU work
   DisplayFn display_;
   std::function<double()> workload_override_;

@@ -19,15 +19,18 @@ InterfaceSwitcher::InterfaceSwitcher(
         p.horizon = config.forecast_horizon_intervals;
         return p;
       }()) {
+  // Initial routing is session configuration, not a demand-driven switch:
+  // apply_route keeps the upgrade/downgrade counters at zero so experiment
+  // stats count only the predictor's decisions.
   if (config_.policy == SwitchPolicy::kAlwaysWifi) {
     wifi_radio_.power_on();
-    route_to_wifi();
+    apply_route(/*use_wifi=*/true);
     bt_radio_.power_off();
   } else {
     // Sessions start on the low-power interface; the predictor earns the
     // upgrades.
     bt_radio_.power_on();
-    route_to_bt();
+    apply_route(/*use_wifi=*/false);
     wifi_radio_.power_off();
   }
 }
@@ -37,20 +40,39 @@ double InterfaceSwitcher::bt_capacity_bytes_per_interval() const {
          config_.observe_interval.seconds();
 }
 
-void InterfaceSwitcher::route_to_wifi() {
-  if (!on_wifi_) stats_.upgrades_to_wifi++;
-  on_wifi_ = true;
+void InterfaceSwitcher::apply_route(bool use_wifi) {
+  on_wifi_ = use_wifi;
+  net::Medium& medium = use_wifi ? wifi_medium_ : bt_medium_;
   for (net::ReliableEndpoint* endpoint : endpoints_) {
-    endpoint->set_route(&wifi_medium_);
+    endpoint->set_route(&medium);
   }
 }
 
-void InterfaceSwitcher::route_to_bt() {
-  if (on_wifi_) stats_.downgrades_to_bt++;
-  on_wifi_ = false;
-  for (net::ReliableEndpoint* endpoint : endpoints_) {
-    endpoint->set_route(&bt_medium_);
+void InterfaceSwitcher::trace_route(const char* name) {
+  if (runtime::kTracingCompiledIn && config_.tracer != nullptr) {
+    const std::uint32_t track =
+        endpoints_.empty() ? 0 : static_cast<std::uint32_t>(endpoints_[0]->id());
+    config_.tracer->instant(name, track, loop_.now());
   }
+}
+
+void InterfaceSwitcher::route_to_wifi() {
+  if (!on_wifi_) {
+    stats_.upgrades_to_wifi++;
+    trace_route("route_to_wifi");
+  }
+  apply_route(/*use_wifi=*/true);
+  // Both radios awake would double-bill idle power for the whole WiFi phase;
+  // Bluetooth contributes nothing while WiFi carries the traffic.
+  bt_radio_.power_off();
+}
+
+void InterfaceSwitcher::route_to_bt() {
+  if (on_wifi_) {
+    stats_.downgrades_to_bt++;
+    trace_route("route_to_bt");
+  }
+  apply_route(/*use_wifi=*/false);
 }
 
 void InterfaceSwitcher::observe_interval(
@@ -85,6 +107,12 @@ void InterfaceSwitcher::observe_interval(
 
   if (demand_high) {
     calm_streak_ = 0;
+    if (bt_wake_requested_) {
+      // Demand returned while Bluetooth was warming up for a downgrade:
+      // cancel it, the session is staying on WiFi.
+      bt_radio_.power_off();
+      bt_wake_requested_ = false;
+    }
     if (!wifi_wake_requested_ && !wifi_radio_.usable()) {
       wifi_radio_.power_on();
       wifi_wake_requested_ = true;
@@ -105,7 +133,19 @@ void InterfaceSwitcher::observe_interval(
   }
 
   if (on_wifi_) {
-    if (++calm_streak_ >= config_.calm_intervals_before_downgrade) {
+    if (calm_streak_ < config_.calm_intervals_before_downgrade) calm_streak_++;
+    if (calm_streak_ >= config_.calm_intervals_before_downgrade) {
+      // Bluetooth was suspended at the upgrade; it needs its own wake before
+      // it can carry the route. Hold the streak at the threshold while it
+      // warms so the downgrade completes on the first usable tick.
+      if (!bt_radio_.usable()) {
+        if (!bt_wake_requested_) {
+          bt_radio_.power_on();
+          bt_wake_requested_ = true;
+        }
+        return;
+      }
+      bt_wake_requested_ = false;
       calm_streak_ = 0;
       route_to_bt();
       wifi_radio_.power_off();

@@ -23,6 +23,7 @@
 #include "net/reliable.h"
 #include "predict/traffic_predictor.h"
 #include "runtime/event_loop.h"
+#include "runtime/trace.h"
 
 namespace gb::core {
 
@@ -42,6 +43,9 @@ struct SwitcherConfig {
   // Consecutive calm intervals before falling back to Bluetooth.
   int calm_intervals_before_downgrade = 20;
   predict::TrafficPredictorConfig predictor;
+  // Optional pipeline tracer: route changes appear as instants on the user
+  // device's track. Must outlive the switcher.
+  runtime::Tracer* tracer = nullptr;
 };
 
 struct SwitcherStats {
@@ -75,8 +79,12 @@ class InterfaceSwitcher {
   [[nodiscard]] double bt_capacity_bytes_per_interval() const;
 
  private:
+  // Moves the default route without touching the upgrade/downgrade counters —
+  // the constructor's *initial* routing is configuration, not a switch.
+  void apply_route(bool use_wifi);
   void route_to_wifi();
   void route_to_bt();
+  void trace_route(const char* name);
 
   EventLoop& loop_;
   SwitcherConfig config_;
@@ -88,6 +96,7 @@ class InterfaceSwitcher {
   predict::TrafficPredictor predictor_;
   bool on_wifi_ = false;
   bool wifi_wake_requested_ = false;
+  bool bt_wake_requested_ = false;
   int calm_streak_ = 0;
   SwitcherStats stats_;
 };

@@ -81,6 +81,14 @@ void ServiceRuntime::on_message(net::NodeId src, net::NodeId stream,
   } else if (kind == MsgKind::kRender) {
     const auto header = peek_render_header(message);
     check(header.has_value(), "malformed render header");
+    if (runtime::kTracingCompiledIn && config_.tracer != nullptr) {
+      // The transport leg ends here; everything until the GPU completion —
+      // in-order hold, GPU queue, render — is the remote-exec stage.
+      config_.tracer->end(runtime::Stage::kUplink, header->sequence,
+                          loop_.now());
+      config_.tracer->begin(runtime::Stage::kRemoteExec, node_,
+                            header->sequence, loop_.now());
+    }
     if (header->cache_epoch != session.render_epoch) {
       session.render_cache = compress::CommandCache();
       session.render_epoch = header->cache_epoch;

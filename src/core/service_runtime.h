@@ -32,6 +32,7 @@
 #include "net/reliable.h"
 #include "runtime/event_loop.h"
 #include "runtime/thread_pool.h"
+#include "runtime/trace.h"
 
 namespace gb::core {
 
@@ -55,6 +56,11 @@ struct ServiceRuntimeConfig {
   // Turbo encoder: 1 = serial, 0 = one per hardware core. Results are
   // bit-identical for every value (see tests/test_parallel.cc).
   int worker_threads = 1;
+  // Optional pipeline tracer shared with the user-side runtime (DESIGN.md
+  // §9); this device's spans land on its NodeId track. Must outlive the
+  // runtime. Spans are keyed by frame sequence, so tracing a multi-user
+  // runtime interleaves users on one timeline.
+  runtime::Tracer* tracer = nullptr;
 };
 
 struct ServiceRuntimeStats {

@@ -106,6 +106,12 @@ void ServiceRuntime::execute_render(net::NodeId user, UserSession& session,
                                 (profile_.turbo_encode_mpps * 1e6);
         stats_.encode_seconds += encode_s;
         stats_.encoded_bytes_nominal += nominal_bytes;
+        if (runtime::kTracingCompiledIn && config_.tracer != nullptr) {
+          config_.tracer->end(runtime::Stage::kRemoteExec, sequence,
+                              loop_.now());
+          config_.tracer->span(runtime::Stage::kTurboEncode, node_, sequence,
+                               loop_.now(), loop_.now() + seconds(encode_s));
+        }
 
         loop_.schedule_after(
             seconds(encode_s),
@@ -117,6 +123,10 @@ void ServiceRuntime::execute_render(net::NodeId user, UserSession& session,
                   nominal_bytes, 64);  // floor: headers always flow
               header.has_content = !reply_content.empty();
               endpoint_->send(user, make_frame_message(header, reply_content));
+              if (runtime::kTracingCompiledIn && config_.tracer != nullptr) {
+                config_.tracer->begin(runtime::Stage::kDownlink, node_,
+                                      sequence, loop_.now());
+              }
             });
       },
       request.header.priority);

@@ -96,6 +96,11 @@ std::uint64_t ReliableEndpoint::stream_floor(NodeId stream) const {
 
 void ReliableEndpoint::note_abandoned(NodeId stream, std::uint64_t id) {
   stats_.messages_abandoned++;
+  if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+    tracer_->instant("transport_abandon", self_, loop_.now(),
+                     {{"stream", static_cast<double>(stream)},
+                      {"message_id", static_cast<double>(id)}});
+  }
   if (abandon_handler_) abandon_handler_(stream, id);
 }
 
@@ -227,6 +232,12 @@ void ReliableEndpoint::retransmit_tick() {
       const int shift = std::min(msg.retries, 6);
       msg.next_retransmit =
           now + SimTime::from_us(config_.retransmit_timeout.us() << shift);
+      if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+        tracer_->instant("retransmit", self_, now,
+                         {{"stream", static_cast<double>(it->first.first)},
+                          {"message_id", static_cast<double>(it->first.second)},
+                          {"retries", static_cast<double>(msg.retries)}});
+      }
     }
     ++it;
   }

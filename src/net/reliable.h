@@ -29,6 +29,7 @@
 #include "common/bytes.h"
 #include "net/medium.h"
 #include "runtime/event_loop.h"
+#include "runtime/trace.h"
 
 namespace gb::net {
 
@@ -86,6 +87,9 @@ class ReliableEndpoint {
   void set_abandon_handler(AbandonHandler handler) {
     abandon_handler_ = std::move(handler);
   }
+  // Optional pipeline tracer (DESIGN.md §9): emits retry/abandon instants on
+  // this endpoint's NodeId track. Must outlive the endpoint.
+  void set_tracer(runtime::Tracer* tracer) { tracer_ = tracer; }
 
   // Sends a message to one node; returns the message id (per-stream).
   std::uint64_t send(NodeId dst, Bytes message);
@@ -158,6 +162,7 @@ class ReliableEndpoint {
   // Reassembly, keyed by (source node, stream id).
   std::map<std::pair<NodeId, NodeId>, StreamState> streams_;
   ReliableStats stats_;
+  runtime::Tracer* tracer_ = nullptr;
   bool tick_scheduled_ = false;
   SimTime next_tick_at_;
   EventLoop::EventId tick_event_ = 0;

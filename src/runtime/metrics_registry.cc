@@ -1,0 +1,70 @@
+#include "runtime/metrics_registry.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gb::runtime {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  check(!bounds_.empty(), "histogram needs at least one bucket bound");
+  check(std::is_sorted(bounds_.begin(), bounds_.end()),
+        "histogram bounds must ascend");
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  count_++;
+  sum_ += value;
+  max_seen_ = std::max(max_seen_, value);
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::uint64_t next = cumulative + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      if (i == counts_.size() - 1) return max_seen_;  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return max_seen_;
+}
+
+std::vector<double> default_latency_bounds_ms() {
+  return {0.05, 0.1,  0.25, 0.5,  1.0,   2.0,   4.0,    8.0,    16.0,
+          33.0, 66.0, 133.0, 266.0, 533.0, 1066.0, 2133.0, 4266.0};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+}  // namespace gb::runtime

@@ -1,0 +1,91 @@
+// Name-keyed counters, gauges, and fixed-bucket histograms (DESIGN.md §9).
+//
+// The registry is the aggregate companion to the Tracer's raw timeline:
+// spans answer "what happened to frame 8317", histograms answer "what is the
+// p99 of the uplink stage". Buckets are fixed at construction so observe()
+// is a branchless-ish upper_bound + increment — cheap enough for per-frame
+// call sites — and percentiles are extracted at read time by linear
+// interpolation inside the covering bucket.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gb::runtime {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Histogram over fixed upper-bound buckets (ascending), with an implicit
+// overflow bucket past the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  // Quantile in [0, 1] by linear interpolation within the covering bucket;
+  // values in the overflow bucket report the largest observed value.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return counts_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+// Default latency buckets (milliseconds): sub-ms resolution where frame
+// stages live, doubling out to multi-second stalls.
+[[nodiscard]] std::vector<double> default_latency_bounds_ms();
+
+// Owning registry; references returned are stable for its lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // First call fixes the bounds; later calls with the same name return the
+  // existing histogram regardless of `bounds`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = default_latency_bounds_ms());
+
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<Histogram>>&
+  histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace gb::runtime

@@ -1,0 +1,178 @@
+#include "runtime/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gb::runtime {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kSerialize:
+      return "serialize";
+    case Stage::kUplink:
+      return "uplink";
+    case Stage::kRemoteExec:
+      return "remote_exec";
+    case Stage::kTurboEncode:
+      return "turbo_encode";
+    case Stage::kDownlink:
+      return "downlink";
+    case Stage::kDecode:
+      return "decode";
+    case Stage::kPresent:
+      return "present";
+    case Stage::kLocalRender:
+      return "local_render";
+  }
+  return "unknown";
+}
+
+#if defined(GB_DISABLE_TRACING)
+
+void Tracer::span(Stage, std::uint32_t, std::uint64_t, SimTime, SimTime) {}
+void Tracer::begin(Stage, std::uint32_t, std::uint64_t, SimTime) {}
+void Tracer::end(Stage, std::uint64_t, SimTime) {}
+void Tracer::instant(std::string, std::uint32_t, SimTime,
+                     std::vector<std::pair<std::string, double>>) {}
+void Tracer::set_track_name(std::uint32_t, std::string) {}
+
+#else
+
+void Tracer::span(Stage stage, std::uint32_t track, std::uint64_t sequence,
+                  SimTime begin, SimTime end) {
+  spans_.push_back(TraceSpan{stage, track, sequence, begin, end});
+}
+
+void Tracer::begin(Stage stage, std::uint32_t track, std::uint64_t sequence,
+                   SimTime at) {
+  open_[{stage, sequence}] = TraceSpan{stage, track, sequence, at, at};
+}
+
+void Tracer::end(Stage stage, std::uint64_t sequence, SimTime at) {
+  const auto it = open_.find({stage, sequence});
+  if (it == open_.end()) return;  // never begun (or already overwritten+ended)
+  TraceSpan span = it->second;
+  open_.erase(it);
+  span.end = at;
+  spans_.push_back(span);
+}
+
+void Tracer::instant(std::string name, std::uint32_t track, SimTime at,
+                     std::vector<std::pair<std::string, double>> args) {
+  instants_.push_back(
+      TraceInstant{std::move(name), track, at, std::move(args)});
+}
+
+void Tracer::set_track_name(std::uint32_t track, std::string name) {
+  track_names_[track] = std::move(name);
+}
+
+#endif  // GB_DISABLE_TRACING
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+// One pre-rendered trace event, sortable into per-track timestamp order.
+struct RenderedEvent {
+  std::uint32_t tid = 0;
+  std::int64_t ts = 0;
+  int order = 0;  // tie-break: keeps instants after the span opening at ts
+  std::string json;
+};
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  std::vector<RenderedEvent> events;
+  events.reserve(spans_.size() + instants_.size());
+  for (const TraceSpan& span : spans_) {
+    RenderedEvent event;
+    event.tid = span.track;
+    event.ts = span.begin.us();
+    event.order = 0;
+    std::string& json = event.json;
+    json += R"({"ph":"X","pid":1,"tid":)";
+    json += std::to_string(span.track);
+    json += R"(,"name":")";
+    json += stage_name(span.stage);
+    json += R"(","cat":"pipeline","ts":)";
+    json += std::to_string(span.begin.us());
+    json += R"(,"dur":)";
+    json += std::to_string(std::max<std::int64_t>(
+        0, span.end.us() - span.begin.us()));
+    json += R"(,"args":{"sequence":)";
+    json += std::to_string(span.sequence);
+    json += "}}";
+    events.push_back(std::move(event));
+  }
+  for (const TraceInstant& instant : instants_) {
+    RenderedEvent event;
+    event.tid = instant.track;
+    event.ts = instant.ts.us();
+    event.order = 1;
+    std::string& json = event.json;
+    json += R"({"ph":"i","pid":1,"tid":)";
+    json += std::to_string(instant.track);
+    json += R"(,"name":")";
+    append_escaped(json, instant.name);
+    json += R"(","s":"t","ts":)";
+    json += std::to_string(instant.ts.us());
+    json += R"(,"args":{)";
+    bool first = true;
+    for (const auto& [key, value] : instant.args) {
+      if (!first) json += ",";
+      first = false;
+      json += "\"";
+      append_escaped(json, key);
+      json += "\":";
+      append_number(json, value);
+    }
+    json += "}}";
+    events.push_back(std::move(event));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const RenderedEvent& a, const RenderedEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.order < b.order;
+                   });
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, name] : track_names_) {
+    if (!first) out << ",";
+    first = false;
+    std::string escaped;
+    append_escaped(escaped, name);
+    out << R"({"ph":"M","pid":1,"tid":)" << track
+        << R"(,"name":"thread_name","args":{"name":")" << escaped << "\"}}";
+  }
+  for (const RenderedEvent& event : events) {
+    if (!first) out << ",";
+    first = false;
+    out << event.json;
+  }
+  out << "]}";
+}
+
+}  // namespace gb::runtime

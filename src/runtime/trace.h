@@ -1,0 +1,112 @@
+// Low-overhead pipeline tracing (DESIGN.md §9).
+//
+// A Tracer collects per-frame stage spans on the simulated clock — each
+// tagged with the pipeline stage, the device (track) it ran on, and the frame
+// sequence — plus free-form instant events (dispatch decisions, breaker
+// transitions, route changes). Spans either arrive complete (`span`) or are
+// paired across components (`begin` on one device, `end` on another, keyed
+// by (stage, sequence) — how a transport leg measures sender-to-receiver
+// latency). The collected timeline exports as Chrome `trace_event` JSON for
+// chrome://tracing / Perfetto.
+//
+// Cost discipline: every instrumentation site guards with
+// `runtime::kTracingCompiledIn && tracer != nullptr`, so a null tracer costs
+// one pointer compare and a -DGB_DISABLE_TRACING build (cmake option
+// GB_DISABLE_TRACING) folds the whole call away at compile time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/sim_clock.h"
+
+namespace gb::runtime {
+
+#if defined(GB_DISABLE_TRACING)
+inline constexpr bool kTracingCompiledIn = false;
+#else
+inline constexpr bool kTracingCompiledIn = true;
+#endif
+
+// The offload pipeline's stages, in frame order (Eq. 5's decomposition plus
+// the presenter). A displayed frame's spans tile [issue, display] without
+// gaps: serialize covers pack-queue wait + pack + compress, uplink the
+// transport leg to the renderer, remote-exec the in-order hold + GPU queue +
+// render, turbo-encode the result encoding, downlink the return leg, decode
+// the user-side Turbo decode, and present the in-order display wait.
+enum class Stage : std::uint8_t {
+  kSerialize = 0,
+  kUplink,
+  kRemoteExec,
+  kTurboEncode,
+  kDownlink,
+  kDecode,
+  kPresent,
+  kLocalRender,  // fallback frames: local GPU queue + render
+};
+
+inline constexpr std::size_t kStageCount = 8;
+
+[[nodiscard]] const char* stage_name(Stage stage);
+
+// One timed interval on a track (track == the NodeId of the device it ran
+// on; pipeline spans additionally carry the frame sequence).
+struct TraceSpan {
+  Stage stage = Stage::kSerialize;
+  std::uint32_t track = 0;
+  std::uint64_t sequence = 0;
+  SimTime begin;
+  SimTime end;
+};
+
+// A point event with optional numeric arguments (dispatch scores, cache hit
+// counts, ...).
+struct TraceInstant {
+  std::string name;
+  std::uint32_t track = 0;
+  SimTime ts;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+class Tracer {
+ public:
+  // Records a complete span.
+  void span(Stage stage, std::uint32_t track, std::uint64_t sequence,
+            SimTime begin, SimTime end);
+
+  // Opens a span to be closed by `end` with the same (stage, sequence) —
+  // possibly from a different component. Re-opening an already-open key
+  // overwrites it (a re-dispatched frame restarts its transport legs); a key
+  // never closed is dropped at export.
+  void begin(Stage stage, std::uint32_t track, std::uint64_t sequence,
+             SimTime at);
+  void end(Stage stage, std::uint64_t sequence, SimTime at);
+
+  void instant(std::string name, std::uint32_t track, SimTime at,
+               std::vector<std::pair<std::string, double>> args = {});
+
+  void set_track_name(std::uint32_t track, std::string name);
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<TraceInstant>& instants() const {
+    return instants_;
+  }
+
+  // Chrome trace_event JSON: thread_name metadata per track, "X" complete
+  // events (sorted by (tid, ts) so each track is monotonic), "i" instants.
+  void write_chrome_json(std::ostream& out) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+  // Open cross-component spans keyed (stage, sequence).
+  std::map<std::pair<Stage, std::uint64_t>, TraceSpan> open_;
+  std::map<std::uint32_t, std::string> track_names_;
+};
+
+}  // namespace gb::runtime

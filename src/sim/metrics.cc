@@ -1,6 +1,10 @@
 #include "sim/metrics.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
+
+#include "runtime/metrics_registry.h"
 
 namespace gb::sim {
 
@@ -53,6 +57,7 @@ SessionMetrics MetricsCollector::finalize(SimTime session_duration) const {
                       static_cast<double>(buckets.size());
   }
   m.avg_response_ms = response_ms_sum_ / static_cast<double>(frames_);
+  m.avg_issue_to_display_ms = m.avg_response_ms;
   m.max_display_gap_s = max_gap_s_;
   m.stall_seconds = stall_s_;
   std::vector<double> sorted_lat = latencies_ms_;
@@ -61,6 +66,48 @@ SessionMetrics MetricsCollector::finalize(SimTime session_duration) const {
       sorted_lat[static_cast<std::size_t>(
           static_cast<double>(sorted_lat.size() - 1) * 0.99)];
   return m;
+}
+
+void fill_stage_breakdown(const runtime::Tracer& tracer,
+                          SessionMetrics& metrics) {
+  // Only frames that made it to the screen participate: a span belonging to
+  // an abandoned/redispatched attempt that never displayed would otherwise
+  // skew the stage means away from the displayed-latency mean.
+  std::set<std::uint64_t> displayed;
+  for (const runtime::TraceSpan& span : tracer.spans()) {
+    if (span.stage == runtime::Stage::kPresent ||
+        span.stage == runtime::Stage::kLocalRender) {
+      displayed.insert(span.sequence);
+    }
+  }
+  if (displayed.empty()) return;
+
+  // Sum span durations per (stage, displayed sequence) — a stage may emit
+  // several spans for one frame (e.g. a retried uplink), and they add up.
+  std::map<std::pair<runtime::Stage, std::uint64_t>, double> per_frame_ms;
+  for (const runtime::TraceSpan& span : tracer.spans()) {
+    if (!displayed.contains(span.sequence)) continue;
+    per_frame_ms[{span.stage, span.sequence}] += (span.end - span.begin).ms();
+  }
+
+  std::vector<runtime::Histogram> histograms;
+  histograms.reserve(runtime::kStageCount);
+  for (std::size_t i = 0; i < runtime::kStageCount; ++i) {
+    histograms.emplace_back(runtime::default_latency_bounds_ms());
+  }
+  for (const auto& [key, ms] : per_frame_ms) {
+    histograms[static_cast<std::size_t>(key.first)].observe(ms);
+  }
+  for (std::size_t i = 0; i < runtime::kStageCount; ++i) {
+    StageStats& stage = metrics.stage_breakdown[i];
+    const runtime::Histogram& h = histograms[i];
+    stage.count = h.count();
+    stage.total_ms = h.sum();
+    stage.mean_ms = h.count() > 0 ? h.mean() : 0.0;
+    stage.p50_ms = h.percentile(0.5);
+    stage.p99_ms = h.percentile(0.99);
+  }
+  metrics.has_stage_breakdown = true;
 }
 
 }  // namespace gb::sim

@@ -9,12 +9,24 @@
 //                   t_p when remote).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "runtime/sim_clock.h"
+#include "runtime/trace.h"
 
 namespace gb::sim {
+
+// Latency distribution of one pipeline stage across the session's displayed
+// frames (from the tracer's spans; DESIGN.md §9).
+struct StageStats {
+  std::uint64_t count = 0;  // displayed frames with at least one span
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
 
 struct SessionMetrics {
   double median_fps = 0.0;
@@ -31,7 +43,24 @@ struct SessionMetrics {
   double stall_seconds = 0.0;
   // 99th-percentile issue-to-display latency.
   double p99_response_ms = 0.0;
+  // Mean *measured* issue-to-display latency. Unlike avg_response_ms (which
+  // the offload session overwrites with the Eq. 5 model), this is always the
+  // raw mean of the displayed frames' latencies — the quantity the tracer's
+  // per-stage spans must sum to.
+  double avg_issue_to_display_ms = 0.0;
+  // --- per-stage latency breakdown (tracing enabled only) ------------------
+  bool has_stage_breakdown = false;
+  std::array<StageStats, runtime::kStageCount> stage_breakdown{};
 };
+
+// Fills metrics.stage_breakdown from a session's trace: for every frame with
+// a present (or local-render) span, per-stage span durations are summed and
+// fed into fixed-bucket histograms. Stage means over displayed offloaded
+// frames tile the issue-to-display interval, so
+//   sum over stages of mean_ms * (count / frames)  ≈  avg_issue_to_display_ms
+// (exact when every displayed frame took the same path).
+void fill_stage_breakdown(const runtime::Tracer& tracer,
+                          SessionMetrics& metrics);
 
 class MetricsCollector {
  public:

@@ -234,6 +234,15 @@ SessionResult run_offload(const SessionConfig& config) {
     bt.set_fault_plan(&*fault_plan);
   }
 
+  // --- tracing -----------------------------------------------------------
+  // One tracer serves every component; spans interleave on per-node tracks.
+  std::optional<runtime::Tracer> internal_tracer;
+  runtime::Tracer* tracer = config.tracer;
+  if (tracer == nullptr && config.collect_stage_breakdown) {
+    internal_tracer.emplace();
+    tracer = &*internal_tracer;
+  }
+
   net::RadioInterface user_wifi(loop, net::wifi_radio_config(), "user-wifi");
   net::RadioInterface user_bt(loop, net::bluetooth_radio_config(), "user-bt");
 
@@ -241,6 +250,10 @@ SessionResult run_offload(const SessionConfig& config) {
   net::ReliableEndpoint user_endpoint(loop, kUserNode);
   user_endpoint.bind(wifi, &user_wifi);
   user_endpoint.bind(bt, &user_bt);
+  if (tracer != nullptr) {
+    tracer->set_track_name(kUserNode, "user");
+    user_endpoint.set_tracer(tracer);
+  }
 
   // --- service devices ------------------------------------------------------
   std::vector<std::unique_ptr<core::ServiceRuntime>> services;
@@ -252,9 +265,15 @@ SessionResult run_offload(const SessionConfig& config) {
     // Eq. 4's c^j — fillrate derated to streamed-request throughput.
     profile.gpu.fillrate_pps *= profile.gpu_request_efficiency;
     const net::NodeId node = static_cast<net::NodeId>(100 + i);
-    auto service = std::make_unique<core::ServiceRuntime>(
-        loop, node, profile, config.service);
+    core::ServiceRuntimeConfig scfg = config.service;
+    scfg.tracer = tracer;
+    auto service =
+        std::make_unique<core::ServiceRuntime>(loop, node, profile, scfg);
     if (fault_plan.has_value()) service->set_fault_plan(&*fault_plan);
+    if (tracer != nullptr) {
+      tracer->set_track_name(node, profile.name);
+      service->endpoint().set_tracer(tracer);
+    }
     service_radios.push_back(std::make_unique<net::RadioInterface>(
         loop, net::wifi_radio_config(), profile.name + "-wifi"));
     service_radios.push_back(std::make_unique<net::RadioInterface>(
@@ -271,6 +290,7 @@ SessionResult run_offload(const SessionConfig& config) {
 
   // --- GBooster -----------------------------------------------------------
   core::GBoosterConfig gcfg = config.gbooster;
+  gcfg.tracer = tracer;
   gcfg.service_encode_mpps = config.service_devices.front().turbo_encode_mpps;
   gcfg.local_capability_pps = config.user_device.gpu.fillrate_pps;
   gcfg.link_bandwidth_bps = [&user_endpoint, &wifi] {
@@ -285,8 +305,10 @@ SessionResult run_offload(const SessionConfig& config) {
   gbooster.set_workload_override(
       [&config] { return config.workload.gpu_workload_pixels; });
 
-  core::InterfaceSwitcher switcher(loop, config.switcher, switched_endpoints,
-                                   wifi, user_wifi, bt, user_bt);
+  core::SwitcherConfig swcfg = config.switcher;
+  swcfg.tracer = tracer;
+  core::InterfaceSwitcher switcher(loop, swcfg, switched_endpoints, wifi,
+                                   user_wifi, bt, user_bt);
 
   // --- application, hooked through the linker --------------------------------
   hooking::DynamicLinker linker;
@@ -353,7 +375,11 @@ SessionResult run_offload(const SessionConfig& config) {
   loop.run_until(seconds(config.duration_s));
 
   result.metrics = metrics.finalize(seconds(config.duration_s));
+  if (tracer != nullptr && config.collect_stage_breakdown) {
+    fill_stage_breakdown(*tracer, result.metrics);
+  }
   // Eq. 5: response = frame interval + offload intermediate time t_p.
+  // (avg_issue_to_display_ms keeps the measured mean the stage spans sum to.)
   const auto& gstats = gbooster.stats();
   if (result.metrics.median_fps > 0 && gstats.frames_displayed > 0) {
     result.metrics.avg_response_ms =

@@ -24,6 +24,7 @@
 #include "device/device_profiles.h"
 #include "net/fault_plan.h"
 #include "predict/traffic_predictor.h"
+#include "runtime/trace.h"
 #include "sim/metrics.h"
 
 namespace gb::sim {
@@ -60,6 +61,15 @@ struct SessionConfig {
   bool collect_traffic_trace = false;
   // Records the per-2s GPU frequency/temperature trace (Fig. 1).
   bool collect_gpu_trace = false;
+
+  // --- pipeline tracing (DESIGN.md §9) -------------------------------------
+  // Optional tracer shared by the user runtime, transports, service devices
+  // and the interface switcher; null leaves tracing off. Must outlive
+  // run_session (export the Chrome JSON from it afterwards).
+  runtime::Tracer* tracer = nullptr;
+  // Fills SessionMetrics::stage_breakdown from the trace. When `tracer` is
+  // null, an internal tracer is used for the duration of the run.
+  bool collect_stage_breakdown = false;
 };
 
 struct EnergyBreakdown {

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/bytes.h"
 #include "compress/command_cache.h"
 
 namespace gb::compress {
@@ -116,9 +117,58 @@ TEST(FrameCache, BytesSavedAccounting) {
   encode_frame_with_cache(frame, sender, stats);
   encode_frame_with_cache(frame, sender, stats);
   EXPECT_EQ(stats.bytes_in, 2000u);
-  // Second transmission cost 9 bytes (flag + hash) instead of 1001.
+  // Second transmission cost 11 bytes (flag + hash + length) instead of 1001.
   EXPECT_LT(stats.bytes_out, 1100u);
   EXPECT_NEAR(stats.hit_rate(), 0.5, 1e-9);
+}
+
+TEST(FrameCache, HashCollisionSendsInlineAndConverges) {
+  // A 64-bit FNV-1a hash match is a cache *key*, not proof of identity. Set
+  // both mirrors up as if an earlier record collided with this one's hash:
+  // the squatting bytes sit under the hash the new record maps to. The
+  // encoder must notice the bytes differ, send the record inline, and both
+  // mirrors must converge on the new bytes.
+  CommandCache sender;
+  CommandCache receiver;
+  CacheStats stats;
+  const Bytes squatter = {9, 9, 9, 9};
+  const auto frame = frame_of({"the real record"});
+  const std::uint64_t h = record_hash(frame.records[0].bytes);
+  sender.insert(h, squatter);
+  receiver.insert(h, squatter);
+
+  const Bytes wire1 = encode_frame_with_cache(frame, sender, stats);
+  EXPECT_EQ(stats.hits, 0u);  // hash matched, bytes did not: no reference
+  EXPECT_EQ(stats.misses, 1u);
+  const auto decoded1 = decode_frame_with_cache(wire1, receiver);
+  EXPECT_EQ(decoded1.records[0].bytes, frame.records[0].bytes);
+  ASSERT_NE(receiver.find(h), nullptr);
+  EXPECT_EQ(*receiver.find(h), frame.records[0].bytes);  // squatter replaced
+
+  // With the mirrors converged, the second transmission is a sound hit.
+  const Bytes wire2 = encode_frame_with_cache(frame, sender, stats);
+  EXPECT_EQ(stats.hits, 1u);
+  const auto decoded2 = decode_frame_with_cache(wire2, receiver);
+  EXPECT_EQ(decoded2.records[0].bytes, frame.records[0].bytes);
+}
+
+TEST(FrameCache, CachedReferenceLengthMismatchFails) {
+  // A kCached reference carries the record's length; a receiver whose
+  // resident bytes disagree (mirror divergence, or a collision that slipped
+  // a different record under the hash) must refuse to decode rather than
+  // silently substitute.
+  CommandCache receiver;
+  const Bytes resident = {1, 2, 3, 4, 5};
+  const std::uint64_t h = record_hash(resident);
+  receiver.insert(h, resident);
+
+  ByteWriter w;
+  w.varint(0);  // sequence
+  w.varint(1);  // record count
+  w.u8(1);      // kCached
+  w.u64(h);
+  w.varint(resident.size() + 1);  // sender thought the record was longer
+  EXPECT_THROW(decode_frame_with_cache(w.take(), receiver), Error);
 }
 
 TEST(FrameCache, EmptyFrameRoundTrips) {

@@ -287,6 +287,86 @@ TEST(FaultRecovery, AllDevicesDownFallsBackLocallyThenReintegrates) {
   EXPECT_LT(max_gap_s, 1.0);
 }
 
+// Regression: a transport-abandoned render message desynced the cache
+// mirrors without tripping the breaker. The abandoned message's records were
+// inserted into the sender-side mirror at encode time but never decoded by
+// the (alive) device; with no epoch bump, a later frame re-using those
+// records emitted kCached references the device had never seen and its
+// decode hard-failed. The abandon handler must restart the mirror pair under
+// a new epoch even when the device stays healthy.
+TEST(FaultRecovery, AbandonedRenderMessageResetsCacheMirror) {
+  EventLoop loop;
+  net::MediumConfig mc;
+  mc.loss_rate = 0.0;
+  mc.jitter_ms = 0.0;
+  net::Medium wifi(loop, mc, Rng(4), "wifi");
+
+  // One-way partition: requests toward the device vanish, the device itself
+  // never crashes. A tight retry budget exhausts well inside the window.
+  net::FaultPlanConfig fcfg;
+  fcfg.partitions.push_back({1, 100, seconds(0.5), seconds(1.5)});
+  net::FaultPlan plan(fcfg);
+  wifi.set_fault_plan(&plan);
+
+  auto service = std::make_unique<core::ServiceRuntime>(
+      loop, 100, device::nvidia_shield(), tiny_service_config());
+  service->endpoint().bind(wifi, nullptr);
+
+  net::ReliableConfig rc;
+  rc.retransmit_timeout = ms(20);
+  rc.max_retries = 3;
+  net::ReliableEndpoint user(loop, 1, rc);
+  user.bind(wifi, nullptr);
+
+  core::GBoosterConfig config;
+  config.nominal_width = 64;
+  config.nominal_height = 48;
+  config.health.enabled = false;  // isolate the transport-abandon path
+  config.display_gap_timeout = ms(300);
+  // Abandoned frames linger until the gap timeout reclaims them; issuing
+  // must not stall behind them or no later result ever reaches the presenter.
+  config.max_pending_requests = 64;
+  core::GBoosterRuntime gbooster(loop, config, user, {{100, "shield", 6e9}});
+  user.set_handler([&](net::NodeId src, net::NodeId stream, Bytes message) {
+    gbooster.on_message(src, stream, std::move(message));
+  });
+
+  int issued = 0;
+  SimTime last_displayed_at;
+  gbooster.set_display_handler([&](std::uint64_t, SimTime, const Image&) {
+    last_displayed_at = loop.now();
+  });
+  std::function<void()> tick = [&] {
+    if (loop.now().seconds() >= 3.0) return;
+    if (gbooster.can_issue_frame()) {
+      // A fresh clear colour from the partition onward: its records enter
+      // the sender mirror while the device can never receive them, and every
+      // later frame (including post-heal ones) re-uses them as kCached refs.
+      const float c = loop.now().seconds() >= 0.5 ? 0.25f : 0.75f;
+      gbooster.wrapper().glClearColor(c, c, c, 1.0f);
+      gbooster.wrapper().glClear(gles::GL_COLOR_BUFFER_BIT);
+      gbooster.wrapper().eglSwapBuffers();
+      ++issued;
+    }
+    loop.schedule_after(ms(50), tick);
+  };
+  tick();
+  // Without the epoch bump the device's decode throws ("cache missing
+  // referenced record") as soon as a post-heal frame arrives.
+  EXPECT_NO_THROW(loop.run_until(seconds(5.0)));
+
+  const auto& stats = gbooster.stats();
+  EXPECT_GE(user.stats().messages_abandoned, 1u);
+  EXPECT_GE(stats.render_epoch_resets, 1u);
+  EXPECT_EQ(stats.device_failovers, 0u);  // the breaker never tripped
+  // Frames lost to the partition were reclaimed by the gap timeout and the
+  // stream kept flowing after the heal.
+  EXPECT_GT(stats.frames_dropped, 0u);
+  EXPECT_EQ(stats.frames_displayed + stats.frames_dropped,
+            static_cast<std::uint64_t>(issued));
+  EXPECT_GT(last_displayed_at.seconds(), 2.0);
+}
+
 // --- full-session integration ----------------------------------------------
 
 TEST(FaultSession, CrashRecoverSessionIsDeterministicAndContinuous) {

@@ -1,0 +1,150 @@
+// InterfaceSwitcher radio lifecycle and stats (§V-B).
+//
+// The switching decisions themselves (predictive lead time, reactive
+// penalty, saturation detection) are covered by the session-level tests;
+// this suite pins the *mechanics* around them: initial routing must not
+// count as a switch, an upgrade must suspend the Bluetooth radio, and a
+// downgrade must wake it back up before the route moves.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/interface_switcher.h"
+#include "net/medium.h"
+#include "net/radio.h"
+#include "net/reliable.h"
+#include "runtime/event_loop.h"
+
+namespace gb {
+namespace {
+
+using net::RadioInterface;
+
+struct SwitcherHarness {
+  EventLoop loop;
+  net::Medium wifi{loop, net::MediumConfig{}, Rng(1), "wifi"};
+  net::Medium bt{loop, net::MediumConfig{}, Rng(2), "bt"};
+  RadioInterface wifi_radio{loop, net::wifi_radio_config(), "wifi"};
+  RadioInterface bt_radio{loop, net::bluetooth_radio_config(), "bt"};
+  net::ReliableEndpoint endpoint{loop, 1};
+  core::InterfaceSwitcher switcher;
+
+  explicit SwitcherHarness(core::SwitcherConfig config)
+      : switcher(loop, config,
+                 std::vector<net::ReliableEndpoint*>{&endpoint}, wifi,
+                 wifi_radio, bt, bt_radio) {
+    endpoint.bind(wifi, &wifi_radio);
+    endpoint.bind(bt, &bt_radio);
+  }
+
+  // Advances the virtual clock one observation interval and feeds a sample
+  // with the given traffic volume (exogenous attributes zero).
+  void tick(core::SwitcherConfig config, double traffic_bytes) {
+    loop.run_until(loop.now() + config.observe_interval);
+    predict::TrafficSample sample;
+    sample.traffic_bytes = traffic_bytes;
+    switcher.observe_interval(sample);
+  }
+};
+
+core::SwitcherConfig reactive_config() {
+  core::SwitcherConfig config;
+  // Reactive: the switch triggers on the measured volume alone, so a single
+  // over-ceiling sample is a deterministic upgrade signal.
+  config.policy = core::SwitchPolicy::kReactive;
+  config.calm_intervals_before_downgrade = 3;
+  return config;
+}
+
+// Comfortably above the Bluetooth ceiling (21 Mbps * 0.65 * 100 ms ≈ 170 KB).
+constexpr double kHighTraffic = 400e3;
+
+TEST(Switcher, InitialRoutingIsNotCountedAsSwitch) {
+  core::SwitcherConfig config;
+  SwitcherHarness predictive(config);
+  EXPECT_FALSE(predictive.switcher.on_wifi());
+  EXPECT_EQ(predictive.switcher.stats().upgrades_to_wifi, 0u);
+  EXPECT_EQ(predictive.switcher.stats().downgrades_to_bt, 0u);
+  EXPECT_TRUE(predictive.bt_radio.usable());
+  EXPECT_EQ(predictive.wifi_radio.state(), RadioInterface::State::kOff);
+  EXPECT_EQ(predictive.endpoint.route(), &predictive.bt);
+
+  config.policy = core::SwitchPolicy::kAlwaysWifi;
+  SwitcherHarness always(config);
+  EXPECT_TRUE(always.switcher.on_wifi());
+  // The ablation's fixed route is configuration, not an upgrade decision.
+  EXPECT_EQ(always.switcher.stats().upgrades_to_wifi, 0u);
+  EXPECT_TRUE(always.wifi_radio.usable());
+  EXPECT_EQ(always.bt_radio.state(), RadioInterface::State::kOff);
+  EXPECT_EQ(always.endpoint.route(), &always.wifi);
+}
+
+TEST(Switcher, UpgradePowersBluetoothOff) {
+  const core::SwitcherConfig config = reactive_config();
+  SwitcherHarness h(config);
+
+  // First over-ceiling interval: WiFi wake begins (100 ms warm), route still
+  // on Bluetooth because the radio is not usable yet.
+  h.tick(config, kHighTraffic);
+  EXPECT_FALSE(h.switcher.on_wifi());
+  EXPECT_EQ(h.wifi_radio.state(), RadioInterface::State::kWaking);
+  EXPECT_TRUE(h.bt_radio.usable());
+
+  // By the next interval the wake completed; the route moves and the
+  // Bluetooth radio — now carrying nothing — must be suspended.
+  h.tick(config, kHighTraffic);
+  EXPECT_TRUE(h.switcher.on_wifi());
+  EXPECT_EQ(h.switcher.stats().upgrades_to_wifi, 1u);
+  EXPECT_TRUE(h.wifi_radio.usable());
+  EXPECT_EQ(h.bt_radio.state(), RadioInterface::State::kOff);
+  EXPECT_EQ(h.endpoint.route(), &h.wifi);
+}
+
+TEST(Switcher, DowngradeWakesBluetoothBeforeMovingRoute) {
+  const core::SwitcherConfig config = reactive_config();
+  SwitcherHarness h(config);
+  h.tick(config, kHighTraffic);
+  h.tick(config, kHighTraffic);
+  ASSERT_TRUE(h.switcher.on_wifi());
+  ASSERT_EQ(h.bt_radio.state(), RadioInterface::State::kOff);
+
+  // Calm intervals up to the hold-down threshold: the Bluetooth radio needs
+  // its own wake (20 ms warm) before it can carry the route, so the first
+  // at-threshold tick only starts it.
+  for (int i = 0; i < config.calm_intervals_before_downgrade; ++i) {
+    h.tick(config, 0.0);
+  }
+  EXPECT_TRUE(h.switcher.on_wifi());  // not downgraded onto a sleeping radio
+  EXPECT_EQ(h.bt_radio.state(), RadioInterface::State::kWaking);
+
+  // Next tick: Bluetooth is up, the downgrade completes, WiFi suspends.
+  h.tick(config, 0.0);
+  EXPECT_FALSE(h.switcher.on_wifi());
+  EXPECT_EQ(h.switcher.stats().downgrades_to_bt, 1u);
+  EXPECT_TRUE(h.bt_radio.usable());
+  EXPECT_EQ(h.wifi_radio.state(), RadioInterface::State::kOff);
+  EXPECT_EQ(h.endpoint.route(), &h.bt);
+}
+
+TEST(Switcher, DemandDuringBluetoothWakeCancelsDowngrade) {
+  const core::SwitcherConfig config = reactive_config();
+  SwitcherHarness h(config);
+  h.tick(config, kHighTraffic);
+  h.tick(config, kHighTraffic);
+  ASSERT_TRUE(h.switcher.on_wifi());
+  for (int i = 0; i < config.calm_intervals_before_downgrade; ++i) {
+    h.tick(config, 0.0);
+  }
+  ASSERT_EQ(h.bt_radio.state(), RadioInterface::State::kWaking);
+
+  // Demand returns while Bluetooth warms up: the downgrade must be called
+  // off and the radio suspended again — the session stays on WiFi.
+  h.tick(config, kHighTraffic);
+  EXPECT_TRUE(h.switcher.on_wifi());
+  EXPECT_EQ(h.switcher.stats().downgrades_to_bt, 0u);
+  EXPECT_EQ(h.bt_radio.state(), RadioInterface::State::kOff);
+  EXPECT_EQ(h.endpoint.route(), &h.wifi);
+}
+
+}  // namespace
+}  // namespace gb
