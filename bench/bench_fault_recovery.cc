@@ -86,11 +86,55 @@ void BM_FaultRecovery(benchmark::State& state) {
   bench::report_stage_breakdown(state, result.metrics);
 }
 
+// Recovery comparison (DESIGN.md §10): the same crash-recover and burst
+// scenarios under the two state-loss recovery policies — per-straggler
+// GL-state snapshot resync (the default) vs. a fleet-wide state-epoch reset
+// per abandoned multicast (the §8 baseline, `snapshot_recovery = false`).
+// The epoch-reset baseline also leaves the straggler's GL state stale; the
+// correctness half of the comparison is pinned bit-for-bit by
+// `tests/test_snapshot.cc` (SnapshotResync.*BitIdenticalFrames).
+void BM_RecoveryComparison(benchmark::State& state) {
+  const int scenario = static_cast<int>(state.range(0));
+  const int devices = static_cast<int>(state.range(1));
+  const bool snapshots = state.range(2) != 0;
+  const double duration_s = bench::default_duration(40.0);
+  sim::SessionResult result;
+  for (auto _ : state) {
+    sim::SessionConfig config =
+        scenario_config(scenario, devices, duration_s);
+    config.gbooster.snapshot_recovery = snapshots;
+    result = sim::run_session(config);
+  }
+  state.counters["fps"] = result.metrics.median_fps;
+  state.counters["stall_s"] = result.metrics.stall_seconds;
+  state.counters["p99_ms"] = result.metrics.p99_response_ms;
+  state.counters["snapshots_sent"] =
+      static_cast<double>(result.gbooster.snapshots_sent);
+  state.counters["scoped_recoveries"] =
+      static_cast<double>(result.gbooster.scoped_state_recoveries);
+  state.counters["state_epoch_resets"] =
+      static_cast<double>(result.gbooster.state_epoch_resets);
+  state.counters["state_hit_rate"] = result.gbooster.state_cache.hit_rate();
+  state.counters["bytes_sent"] =
+      static_cast<double>(result.gbooster.bytes_sent);
+  state.counters["frames_dropped"] =
+      static_cast<double>(result.gbooster.frames_dropped);
+  state.counters["redispatched"] =
+      static_cast<double>(result.gbooster.frames_redispatched);
+  state.counters["max_gap_s"] = result.metrics.max_display_gap_s;
+}
+
 }  // namespace
 
 BENCHMARK(BM_FaultRecovery)
     ->ArgNames({"scenario", "devices"})
     ->ArgsProduct({{kNone, kBurst, kCrash, kCrashRecover}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_RecoveryComparison)
+    ->ArgNames({"scenario", "devices", "snapshots"})
+    ->ArgsProduct({{kCrash, kCrashRecover}, {2, 3}, {0, 1}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

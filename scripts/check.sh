@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Repo check driver: the tier-1 build + full test suite, then the failure-
+# handling test labels (faults, observability, snapshot) rebuilt and rerun
+# under AddressSanitizer and ThreadSanitizer (CMakeLists.txt GB_SANITIZE).
+#
+#   scripts/check.sh              # tier-1 + asan + tsan
+#   scripts/check.sh tier1        # just the tier-1 build + full ctest
+#   scripts/check.sh asan tsan    # just the sanitizer configurations
+#
+# Sanitizer builds live in build-asan/ and build-tsan/ so they never disturb
+# the primary build/ tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+# The recovery/observability suites, which is where sanitizer findings have
+# historically lived (races in the frame pipeline, lifetime bugs in the
+# failure paths). -L takes a regex; one call covers all three labels.
+SAN_LABELS='faults|observability|snapshot'
+
+run_tier1() {
+  echo "==> tier-1: default build + full ctest"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+}
+
+run_sanitizer() {
+  local name="$1" dir="build-${1}" flag="$2"
+  echo "==> ${name}: GB_SANITIZE=${flag} build + ctest -L '${SAN_LABELS}'"
+  cmake -B "${dir}" -S . -DGB_SANITIZE="${flag}" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L "${SAN_LABELS}"
+}
+
+if [ "$#" -eq 0 ]; then
+  set -- tier1 asan tsan
+fi
+
+for step in "$@"; do
+  case "${step}" in
+    tier1) run_tier1 ;;
+    asan) run_sanitizer asan address ;;
+    tsan) run_sanitizer tsan thread ;;
+    *) echo "unknown step '${step}' (expected tier1|asan|tsan)" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> all checks passed"

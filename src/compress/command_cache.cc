@@ -1,5 +1,7 @@
 #include "compress/command_cache.h"
 
+#include <iterator>
+
 #include "common/error.h"
 
 namespace gb::compress {
@@ -53,6 +55,38 @@ void CommandCache::insert(std::uint64_t hash, Bytes bytes) {
 const Bytes* CommandCache::find(std::uint64_t hash) const {
   const auto it = entries_.find(hash);
   return it == entries_.end() ? nullptr : &it->second->bytes;
+}
+
+Bytes CommandCache::serialize() const {
+  ByteWriter out;
+  out.varint(lru_.size());
+  for (const Entry& entry : lru_) {  // front first == most-recent first
+    out.u64(entry.hash);
+    out.blob(entry.bytes);
+  }
+  return out.take();
+}
+
+CommandCache CommandCache::deserialize(std::span<const std::uint8_t> data,
+                                       std::size_t capacity_bytes) {
+  ByteReader in(data);
+  CommandCache cache(capacity_bytes);
+  const std::uint64_t count = in.varint();
+  check(count <= in.remaining(), "cache entry count exceeds payload");
+  // Entries arrive most-recent first; inserting via push_back keeps the
+  // serialized recency order without churning the LRU list.
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t hash = in.u64();
+    const auto bytes = in.blob();
+    check(!cache.entries_.contains(hash), "duplicate hash in serialized cache");
+    cache.resident_bytes_ += bytes.size();
+    cache.lru_.push_back(Entry{hash, Bytes(bytes.begin(), bytes.end())});
+    cache.entries_[hash] = std::prev(cache.lru_.end());
+  }
+  check(cache.resident_bytes_ <= capacity_bytes || cache.lru_.size() <= 1,
+        "serialized cache exceeds capacity");
+  check(in.done(), "trailing bytes after serialized cache");
+  return cache;
 }
 
 namespace {

@@ -55,6 +55,14 @@ class CommandCache {
   [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
   [[nodiscard]] std::size_t resident_bytes() const { return resident_bytes_; }
 
+  // Serializes the full cache contents in LRU order (most-recent first) so a
+  // snapshot can ship one side's mirror to a fresh replica; deserialize
+  // rebuilds a byte-identical mirror (same entries, same recency order, same
+  // capacity-driven eviction behavior from then on).
+  [[nodiscard]] Bytes serialize() const;
+  static CommandCache deserialize(std::span<const std::uint8_t> data,
+                                  std::size_t capacity_bytes = 4 << 20);
+
  private:
   struct Entry {
     std::uint64_t hash;

@@ -25,11 +25,15 @@ std::size_t Dispatcher::pick(double workload_pixels) {
     return index;
   }
   if (policy_ == DispatchPolicy::kRandom) {
-    lcg_state_ = lcg_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    std::size_t index =
-        static_cast<std::size_t>((lcg_state_ >> 33) % devices_.size());
-    while (devices_[index].dead) index = (index + 1) % devices_.size();
-    return index;
+    // Redraw until a healthy index comes up: conditioning on "healthy" must
+    // preserve uniformity. Linearly probing from a dead index would hand the
+    // dead device's probability mass to its clockwise neighbour.
+    while (true) {
+      lcg_state_ = lcg_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      const std::size_t index =
+          static_cast<std::size_t>((lcg_state_ >> 33) % devices_.size());
+      if (!devices_[index].dead) return index;
+    }
   }
   std::size_t best = devices_.size();
   double best_cost = 0.0;
@@ -72,10 +76,20 @@ bool Dispatcher::record_success(std::size_t index) {
   d.consecutive_failures = 0;
   if (!d.dead) return false;
   d.dead = false;
-  // The revived device starts from a clean slate except its delay estimate,
-  // which decays back via the EWMA as fresh round trips arrive.
+  // The revived device starts from a clean slate: its queued work died with
+  // it, and the pre-death delay estimate — inflated by the very round trips
+  // that tripped the breaker — must not carry over. Eq. 4 would otherwise
+  // rank the device last, it would never be assigned work, and with no
+  // fresh round trips the EWMA could never decay: permanent starvation.
   d.queued_workload = 0.0;
+  d.delay_estimate = kInitialDelayEstimate;
   return true;
+}
+
+std::size_t Dispatcher::add_device(ServiceDeviceInfo info) {
+  check(info.capability_pps > 0.0, "device capability must be positive");
+  devices_.push_back(Entry{std::move(info)});
+  return devices_.size() - 1;
 }
 
 void Dispatcher::on_assigned(std::size_t index, double workload_pixels) {

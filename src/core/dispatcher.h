@@ -33,6 +33,11 @@ struct ServiceDeviceInfo {
   double capability_pps = 0.0;  // c^j: effective fillrate, pixels/second
 };
 
+// l^j before any round trip has been measured — also what a revived device's
+// estimate resets to, so Eq. 4 re-ranks it on fresh evidence rather than on
+// the timeouts that killed it.
+inline const SimTime kInitialDelayEstimate = ms(2.0);
+
 class Dispatcher {
  public:
   explicit Dispatcher(std::vector<ServiceDeviceInfo> devices,
@@ -46,6 +51,10 @@ class Dispatcher {
   // Picks the device index for a request of `workload_pixels` according to
   // the configured policy (Eq. 4 by default).
   [[nodiscard]] std::size_t pick(double workload_pixels);
+
+  // Hot-join: registers a device mid-session; it is immediately eligible
+  // for every policy's pick. Returns its index.
+  std::size_t add_device(ServiceDeviceInfo info);
 
   // Bookkeeping: a request was sent to / completed by device `index`.
   void on_assigned(std::size_t index, double workload_pixels);
@@ -80,8 +89,9 @@ class Dispatcher {
  private:
   struct Entry {
     ServiceDeviceInfo info;
-    double queued_workload = 0.0;        // w^j
-    SimTime delay_estimate = ms(2.0);    // l^j (EWMA of round trips)
+    double queued_workload = 0.0;  // w^j
+    // l^j (EWMA of round trips)
+    SimTime delay_estimate = kInitialDelayEstimate;
     bool dead = false;
     int consecutive_failures = 0;
   };

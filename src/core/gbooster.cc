@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "gles/state_snapshot.h"
 #include "wire/decoder.h"
 
 namespace gb::core {
@@ -46,6 +47,8 @@ GBoosterRuntime::GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
     render_caches_.push_back(std::make_unique<compress::CommandCache>());
     cache_epochs_.push_back(0);
     apply_floors_.push_back(0);
+    needs_snapshot_.push_back(false);
+    snapshot_covers_ids_.push_back(0);
   }
   recorder_ = std::make_unique<wire::CommandRecorder>(
       config_.nominal_width, config_.nominal_height,
@@ -262,9 +265,23 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
               // waits on the sequence.
               state_apply_floor_ = std::max(state_apply_floor_, sequence + 1);
             } else {
+              // Track acks only for devices that can answer: a dead member
+              // would pin the message outstanding for its whole outage. The
+              // excluded member misses the message for real, so flag it for
+              // a revival snapshot (the epoch-reset baseline already reset
+              // once at death; every message since carries the new epoch).
+              std::vector<net::NodeId> members;
+              for (std::size_t i = 0; i < device_nodes_.size(); ++i) {
+                if (dispatcher_.healthy(i)) {
+                  members.push_back(device_nodes_[i]);
+                } else if (config_.snapshot_recovery) {
+                  needs_snapshot_[i] = true;
+                }
+              }
               const std::uint64_t id = endpoint_.send_multicast(
-                  config_.state_group, device_nodes_, std::move(state_message));
+                  config_.state_group, members, std::move(state_message));
               msg_to_seq_[{config_.state_group, id}] = sequence;
+              state_msgs_sent_ = id + 1;
               const auto it = in_flight_.find(sequence);
               if (it != in_flight_.end()) {
                 it->second.has_state_msg = true;
@@ -350,28 +367,96 @@ void GBoosterRuntime::note_device_alive(std::size_t index) {
       tracer_->instant("device_reintegrated", device_nodes_[index],
                        loop_.now());
     }
+    if (!config_.snapshot_recovery) {
+      // Epoch-reset baseline: the missed window is gone for good (death
+      // stopped its state traffic), so jump the replica's apply cursor past
+      // it — the legacy fast-forward reintegration. Its GL state stays
+      // stale; that deficiency is what the snapshot path exists to fix.
+      apply_floors_[index] =
+          std::max(apply_floors_[index], recorder_->next_sequence());
+    }
+  }
+  // A replica that missed state multicasts (abandoned toward it while it was
+  // dead or partitioned) would rejoin with stale GL state: resync it before
+  // Eq. 4 hands it frames again. Also retries a resync whose own message
+  // was abandoned.
+  if (needs_snapshot_[index] && dispatcher_.healthy(index)) {
+    send_snapshot(index);
   }
 }
 
 void GBoosterRuntime::on_transport_abandon(net::NodeId stream,
                                            std::uint64_t message_id) {
+  const auto snap_it = snapshot_msgs_.find({stream, message_id});
+  if (snap_it != snapshot_msgs_.end()) {
+    // The resync itself never arrived; retry on the device's next liveness
+    // signal (pong or frame result).
+    needs_snapshot_[snap_it->second] = true;
+    snapshot_msgs_.erase(snap_it);
+    return;
+  }
   const auto it = msg_to_seq_.find({stream, message_id});
-  if (it == msg_to_seq_.end()) return;
-  const std::uint64_t sequence = it->second;
-  msg_to_seq_.erase(it);
+  const bool tracked = it != msg_to_seq_.end();
+  const std::uint64_t sequence = tracked ? it->second : 0;
+  if (tracked) msg_to_seq_.erase(it);
 
   if (stream == config_.state_group) {
-    // Some replica missed state it can never recover: restart the shared
-    // cache under a new epoch so every mirror resets in lockstep, and tell
-    // receivers not to wait on the lost sequence.
+    // The frame usually displayed long ago — the renderer acked its copy and
+    // drew it — while the transport kept repairing the copies toward the
+    // stragglers, so the in-flight table says nothing about who missed what.
+    // Attribution instead comes from the transport: a multicast abandon
+    // names the receivers that never acked all chunks — everyone else
+    // delivered and applied the message.
+    if (tracked) {
+      const auto fit = in_flight_.find(sequence);
+      if (fit != in_flight_.end()) fit->second.has_state_msg = false;
+    }
+    // When at least one replica is unaffected, resync just the stragglers
+    // with a GL-state snapshot (their decode timelines poison themselves on
+    // the sequence gap and quarantine until it lands) instead of restarting
+    // the shared cache for the whole fleet.
+    std::vector<std::size_t> missed;
+    for (const net::NodeId node : endpoint_.last_abandoned_receivers()) {
+      const auto idx = index_of(node);
+      if (idx.has_value()) missed.push_back(*idx);
+    }
+    if (config_.snapshot_recovery && !missed.empty() &&
+        missed.size() < device_nodes_.size()) {
+      for (const std::size_t idx : missed) {
+        // An outage window abandons one state message per frame; the first
+        // resync covers all of them at once (its mirror and GL state were
+        // captured after every already-sent message), so skip abandons the
+        // last snapshot already absorbed.
+        if (message_id < snapshot_covers_ids_[idx]) continue;
+        if (dispatcher_.healthy(idx)) {
+          if (!snapshot_pending(idx)) send_snapshot(idx);
+        } else {
+          // Dead: the breaker's revival path resyncs it (note_device_alive).
+          needs_snapshot_[idx] = true;
+        }
+      }
+      stats_.scoped_state_recoveries++;
+      return;
+    }
+    // Every replica missed it, the loss cannot be attributed, or snapshot
+    // recovery is disabled (the §8 baseline): restart the shared cache
+    // under a new epoch so every mirror resets in lockstep, and tell
+    // receivers not to wait on the lost sequence. Unattributable losses of
+    // already-completed frames have no sequence to floor — and a completed
+    // frame proves the renderer applied the message, so a total miss is
+    // impossible there.
+    if (!tracked && (config_.snapshot_recovery || missed.empty())) return;
     state_epoch_++;
     state_cache_ = compress::CommandCache();
     stats_.state_epoch_resets++;
-    state_apply_floor_ = std::max(state_apply_floor_, sequence + 1);
-    const auto fit = in_flight_.find(sequence);
-    if (fit != in_flight_.end()) fit->second.has_state_msg = false;
+    // The attributed-but-untracked case (snapshot recovery off) has no
+    // sequence; the epoch bump alone re-bases every replica's timeline.
+    if (tracked) {
+      state_apply_floor_ = std::max(state_apply_floor_, sequence + 1);
+    }
     return;
   }
+  if (!tracked) return;
 
   const auto index = index_of(stream);
   if (!index.has_value()) return;
@@ -428,6 +513,20 @@ void GBoosterRuntime::handle_device_death(std::size_t index) {
   // fires the abandon handler, which re-dispatches its frame (the breaker
   // is already open, so those land on healthy devices or the local GPU).
   endpoint_.abandon_stream(device_nodes_[index]);
+  // Stop repairing state multicasts toward it too: a dead member's pending
+  // acks would spend the whole outage on retransmissions it cannot hear and
+  // hold the group stream floor back for everyone. From here until revival
+  // it misses the state stream for real — heal it on revival with a
+  // GL-state snapshot, or (snapshot recovery off) restart the shared cache
+  // once per death so the new epoch re-bases its decode timeline too.
+  endpoint_.forget_receiver(device_nodes_[index]);
+  if (config_.snapshot_recovery) {
+    needs_snapshot_[index] = true;
+  } else {
+    state_epoch_++;
+    state_cache_ = compress::CommandCache();
+    stats_.state_epoch_resets++;
+  }
   // Requests already fully delivered (or whose send is still queued behind
   // the packing core) have no outstanding message: sweep the leftovers.
   std::vector<std::uint64_t> orphans;
@@ -516,6 +615,81 @@ void GBoosterRuntime::send_render(std::uint64_t sequence,
                          loop_.now());
         }
       });
+}
+
+bool GBoosterRuntime::snapshot_pending(std::size_t index) const {
+  // snapshot_msgs_ keeps acked entries around (only abandonment and
+  // supersession erase them), so consult the transport for liveness.
+  for (const auto& [key, idx] : snapshot_msgs_) {
+    if (idx == index && endpoint_.is_outstanding(key.first, key.second)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void GBoosterRuntime::send_snapshot(std::size_t index) {
+  needs_snapshot_[index] = false;
+  snapshot_covers_ids_[index] = state_msgs_sent_;
+  // At most one resync per device is tracked for retry; older entries for
+  // this device are either acked (harmless) or superseded by this one.
+  std::erase_if(snapshot_msgs_,
+                [index](const auto& kv) { return kv.second == index; });
+  SnapshotHeader header;
+  // Every event-loop callback is a frame boundary: the shadow context holds
+  // exactly the state of frames below next_sequence(), and the state cache
+  // holds exactly the encodings of the state messages built for them — the
+  // snapshot and its mirror are self-consistent by construction.
+  header.sequence = recorder_->next_sequence();
+  header.state_cache_epoch = state_epoch_;
+  header.render_cache_epoch = cache_epochs_[index];
+  const Bytes gl_state =
+      gles::capture_gl_state(recorder_->shadow()).serialize();
+  const Bytes mirror = state_cache_.serialize();
+  Bytes message = make_snapshot_message(header, gl_state, mirror);
+
+  // Charge the packing core for the serialization, but transmit immediately:
+  // a deferred send could straddle an epoch reset and ship a stale mirror.
+  const double serialize_s = static_cast<double>(message.size()) * 8.0 /
+                                 config_.serialize_throughput_bps +
+                             0.0003;
+  stats_.serialize_seconds += serialize_s;
+  cpu_busy_until_ =
+      std::max(cpu_busy_until_, loop_.now()) + seconds(serialize_s);
+  stats_.bytes_sent += message.size();
+  stats_.snapshots_sent++;
+  const net::NodeId node = device_nodes_[index];
+  const std::uint64_t id = endpoint_.send(node, std::move(message));
+  snapshot_msgs_[{node, id}] = index;
+  if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+    tracer_->instant("snapshot_sent", node, loop_.now(),
+                     {{"sequence", static_cast<double>(header.sequence)}});
+  }
+}
+
+std::size_t GBoosterRuntime::add_service_device(const ServiceDeviceInfo& info) {
+  check(!index_of(info.node).has_value(),
+        "hot-join: service device node already present");
+  const bool was_single = device_nodes_.size() == 1;
+  const std::size_t index = dispatcher_.add_device(info);
+  device_nodes_.push_back(info.node);
+  render_caches_.push_back(std::make_unique<compress::CommandCache>());
+  cache_epochs_.push_back(0);
+  apply_floors_.push_back(0);
+  needs_snapshot_.push_back(false);
+  snapshot_covers_ids_.push_back(0);
+  stats_.devices_hot_joined++;
+  if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+    tracer_->instant("device_hot_joined", info.node, loop_.now());
+  }
+  // Bring the newcomer to the present: GL state, state-cache mirror, and
+  // apply cursor all jump to the current sequence.
+  send_snapshot(index);
+  // Leaving single-device mode: state multicasts start with the next frame,
+  // and the incumbent — which has only ever seen full render messages — must
+  // be re-based onto that timeline too.
+  if (was_single) send_snapshot(0);
+  return index;
 }
 
 void GBoosterRuntime::render_locally(std::uint64_t sequence) {

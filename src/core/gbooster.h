@@ -98,6 +98,11 @@ struct GBoosterConfig {
   // When every service device is dead, render on the local GPU instead of
   // stalling until the display gap timeout drops frames.
   bool enable_local_fallback = true;
+  // Heal state-multicast losses with per-straggler GL-state snapshots
+  // (DESIGN.md §10). Off = fall back to a fleet-wide state-epoch reset per
+  // abandoned message, the §8 baseline the recovery comparison benches
+  // against. Hot-join always snapshots regardless.
+  bool snapshot_recovery = true;
   // Effective fillrate of the local GPU for fallback frames (pixels/s);
   // sessions wire this to the user device's GPU profile.
   double local_capability_pps = 4.0e8;
@@ -136,6 +141,12 @@ struct GBoosterStats {
   std::uint64_t heartbeat_timeouts = 0;
   std::uint64_t state_epoch_resets = 0;   // shared state cache restarts
   std::uint64_t render_epoch_resets = 0;  // per-device cache mirror restarts
+  // --- snapshot resync (DESIGN.md §10) ------------------------------------
+  std::uint64_t snapshots_sent = 0;  // GL-state checkpoints shipped
+  // State-multicast abandons attributed to specific stragglers and handled
+  // with a snapshot instead of a fleet-wide epoch reset.
+  std::uint64_t scoped_state_recoveries = 0;
+  std::uint64_t devices_hot_joined = 0;  // devices added mid-session
 };
 
 class GBoosterRuntime {
@@ -193,6 +204,13 @@ class GBoosterRuntime {
   // results and heartbeat pongs).
   void on_message(net::NodeId src, net::NodeId stream, Bytes message);
 
+  // Hot-join (DESIGN.md §10): accepts a new service device mid-session. The
+  // newcomer is brought to the current sequence with a GL-state snapshot and
+  // immediately becomes eligible for dispatch; state multicasts include it
+  // from the next frame on. The caller must have joined the device's radio
+  // to the state multicast group first. Returns the device's index.
+  std::size_t add_service_device(const ServiceDeviceInfo& info);
+
  private:
   struct InFlight {
     SimTime issued;
@@ -229,6 +247,10 @@ class GBoosterRuntime {
   void reset_render_mirror(std::size_t index);
   void redispatch_frame(std::uint64_t sequence);
   void render_locally(std::uint64_t sequence);
+  // Ships a full GL-state checkpoint (shadow context + state-cache mirror)
+  // to one device, re-basing its replica at the recorder's next sequence.
+  void send_snapshot(std::size_t index);
+  [[nodiscard]] bool snapshot_pending(std::size_t index) const;
   // Re-encodes the retained frame against `device_index`'s cache and sends.
   void send_render(std::uint64_t sequence, std::size_t device_index);
   void erase_msg_entries(const InFlight& flight);
@@ -252,9 +274,23 @@ class GBoosterRuntime {
   std::vector<std::uint64_t> apply_floors_;
   std::uint64_t state_apply_floor_ = 0;
 
+  // Devices whose replica missed at least one state multicast while dead:
+  // they must receive a snapshot before re-entering dispatch.
+  std::vector<bool> needs_snapshot_;
+  // An outage abandons one state multicast per frame, but a single snapshot
+  // heals all of them at once: per device, the state-group message ids below
+  // this bound were already covered by a snapshot, so their abandons need no
+  // further resync. (Transport ids on the state-group stream are allocated
+  // 0,1,2,… by this runtime alone.)
+  std::vector<std::uint64_t> snapshot_covers_ids_;
+  std::uint64_t state_msgs_sent_ = 0;
+
   std::map<std::uint64_t, InFlight> in_flight_;
   // (stream, transport message id) -> frame sequence, for abandon handling.
   std::map<std::pair<net::NodeId, std::uint64_t>, std::uint64_t> msg_to_seq_;
+  // Outstanding snapshot messages: (stream, id) -> device index, so an
+  // abandoned resync is retried on the device's next liveness signal.
+  std::map<std::pair<net::NodeId, std::uint64_t>, std::size_t> snapshot_msgs_;
 
   struct ReadyFrame {
     SimTime displayable_at;

@@ -124,6 +124,21 @@ Bytes make_frame_message(const FrameResultHeader& header,
   return out.take();
 }
 
+Bytes make_snapshot_message(const SnapshotHeader& header,
+                            std::span<const std::uint8_t> gl_state,
+                            std::span<const std::uint8_t> cache_mirror) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(MsgKind::kSnapshot));
+  out.varint(header.sequence);
+  out.varint(header.state_cache_epoch);
+  out.varint(header.render_cache_epoch);
+  ByteWriter body;
+  body.blob(gl_state);
+  body.blob(cache_mirror);
+  append_compressed(out, body.take());
+  return out.take();
+}
+
 MsgKind peek_kind(std::span<const std::uint8_t> message) {
   check(!message.empty(), "empty offload message");
   return static_cast<MsgKind>(message[0]);
@@ -222,6 +237,30 @@ std::optional<ParsedFrame> parse_frame_message(
     parsed.header.has_content = in.u8() != 0;
     const auto content = in.blob();
     parsed.encoded_content.assign(content.begin(), content.end());
+    return parsed;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<ParsedSnapshot> parse_snapshot_message(
+    std::span<const std::uint8_t> message) {
+  try {
+    ByteReader in(message);
+    check(static_cast<MsgKind>(in.u8()) == MsgKind::kSnapshot,
+          "not a snapshot msg");
+    ParsedSnapshot parsed;
+    parsed.header.sequence = in.varint();
+    parsed.header.state_cache_epoch = narrow<std::uint32_t>(in.varint());
+    parsed.header.render_cache_epoch = narrow<std::uint32_t>(in.varint());
+    const auto raw = read_compressed(in);
+    if (!raw) return std::nullopt;
+    ByteReader body(*raw);
+    const auto gl_state = body.blob();
+    parsed.gl_state.assign(gl_state.begin(), gl_state.end());
+    const auto cache_mirror = body.blob();
+    parsed.cache_mirror.assign(cache_mirror.begin(), cache_mirror.end());
+    check(body.done(), "trailing bytes after snapshot body");
     return parsed;
   } catch (const Error&) {
     return std::nullopt;

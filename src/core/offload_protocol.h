@@ -26,8 +26,9 @@ enum class MsgKind : std::uint8_t {
   kState = 1,
   kRender = 2,
   kFrame = 3,
-  kPing = 4,  // heartbeat probe (unreliable path)
-  kPong = 5,  // heartbeat reply (unreliable path)
+  kPing = 4,      // heartbeat probe (unreliable path)
+  kPong = 5,      // heartbeat reply (unreliable path)
+  kSnapshot = 6,  // full GL-state checkpoint for replica resync / hot-join
 };
 
 struct RenderRequestHeader {
@@ -68,6 +69,22 @@ struct StateHeader {
   std::uint64_t apply_floor = 0;
 };
 
+// A full checkpoint of the client-side shadow replica, unicast over a
+// device's reliable stream to bring its UserSession to the present: on a
+// breaker revival after missed state multicasts, on hot-join of a device
+// that was not part of the session at start, or as scoped recovery when only
+// this device's state stream was abandoned. Installing it replaces the
+// device's GL context, adopts both cache epochs, replaces the state-cache
+// mirror with the shipped copy, and moves the in-order apply cursor to
+// `sequence` — state messages below that sequence are dropped undecoded.
+struct SnapshotHeader {
+  // First sequence the replica should decode/apply after installing: the
+  // recorder's next frame sequence at capture time.
+  std::uint64_t sequence = 0;
+  std::uint32_t state_cache_epoch = 0;
+  std::uint32_t render_cache_epoch = 0;
+};
+
 struct FrameResultHeader {
   std::uint64_t sequence = 0;
   // Size the encoded frame would have at the nominal streaming resolution
@@ -100,6 +117,13 @@ Bytes make_render_message(const RenderRequestHeader& header,
 
 Bytes make_frame_message(const FrameResultHeader& header,
                          std::span<const std::uint8_t> encoded_content);
+
+// The snapshot body carries two opaque blobs (a serialized GlStateSnapshot
+// and a serialized CommandCache mirror), LZ4-compressed together; the
+// protocol layer does not interpret either.
+Bytes make_snapshot_message(const SnapshotHeader& header,
+                            std::span<const std::uint8_t> gl_state,
+                            std::span<const std::uint8_t> cache_mirror);
 
 // Heartbeat probe/reply for the health monitor; sent over the transport's
 // unreliable datagram path so probes to a dead device accumulate no
@@ -142,6 +166,14 @@ struct ParsedFrame {
   Bytes encoded_content;  // empty when the result is size-only (analytic)
 };
 std::optional<ParsedFrame> parse_frame_message(
+    std::span<const std::uint8_t> message);
+
+struct ParsedSnapshot {
+  SnapshotHeader header;
+  Bytes gl_state;      // serialized gles::GlStateSnapshot
+  Bytes cache_mirror;  // serialized compress::CommandCache
+};
+std::optional<ParsedSnapshot> parse_snapshot_message(
     std::span<const std::uint8_t> message);
 
 }  // namespace gb::core

@@ -1,11 +1,22 @@
 #include "core/service_runtime.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/error.h"
+#include "gles/state_snapshot.h"
 #include "wire/decoder.h"
 
 namespace gb::core {
+namespace {
+
+// Poisoned sessions hold raw state messages for re-decode after the snapshot
+// lands. The backlog is bounded; on overflow it is dropped wholesale — the
+// snapshot's floor re-bases past whatever was lost and later messages
+// re-quarantine from there.
+constexpr std::size_t kMaxQuarantinedState = 4096;
+
+}  // namespace
 
 ServiceRuntime::ServiceRuntime(EventLoop& loop, net::NodeId node,
                                device::DeviceProfile profile,
@@ -59,25 +70,7 @@ void ServiceRuntime::on_message(net::NodeId src, net::NodeId stream,
   if (kind == MsgKind::kPong) return;
   UserSession& session = session_for(src);
   if (kind == MsgKind::kState) {
-    const auto header = peek_state_header(message);
-    check(header.has_value(), "malformed state header");
-    // The epoch must be learned before the body is decoded: a decode against
-    // a mirror the sender has already restarted would corrupt silently.
-    if (header->cache_epoch != session.state_epoch) {
-      session.state_cache = compress::CommandCache();
-      session.state_epoch = header->cache_epoch;
-    }
-    auto parsed = parse_state_message(message, session.state_cache);
-    check(parsed.has_value(), "malformed state message");
-    fast_forward(session, header->apply_floor);
-    const std::uint64_t seq = parsed->header.sequence;
-    if (seq >= session.next_apply_sequence) {
-      PendingApply& pending = session.held[seq];
-      // The renderer's own state copy only keeps the cache mirror warm; the
-      // slot must wait for the full render message.
-      pending.expect_render = parsed->header.renderer_node == node_;
-      pending.state = std::move(parsed);
-    }
+    handle_state_message(session, std::move(message));
   } else if (kind == MsgKind::kRender) {
     const auto header = peek_render_header(message);
     check(header.has_value(), "malformed render header");
@@ -100,18 +93,133 @@ void ServiceRuntime::on_message(net::NodeId src, net::NodeId stream,
     if (seq < session.next_apply_sequence) {
       // The cursor already passed this sequence. For a redispatched request
       // the state records were applied from the multicast copy (or skipped
-      // under a floor), so the draws can still run; a plain duplicate is
-      // dropped.
-      if (parsed->header.redispatch) {
+      // under a floor), so the draws can still run; likewise for a request a
+      // snapshot install jumped over — the restored state stands in for the
+      // records it would have applied. A plain duplicate is dropped.
+      const bool jumped = seq >= session.snapshot_jump_from &&
+                          seq < session.snapshot_jump_to;
+      if (parsed->header.redispatch || jumped) {
         execute_render(src, session, std::move(*parsed), /*draw_only=*/true);
       }
     } else {
       session.held[seq].render = std::move(parsed);
     }
+  } else if (kind == MsgKind::kSnapshot) {
+    auto parsed = parse_snapshot_message(message);
+    check(parsed.has_value(), "malformed snapshot message");
+    install_snapshot(src, session, std::move(*parsed));
   } else {
     throw Error("unexpected message kind at service device");
   }
   apply_in_order(src, session);
+}
+
+void ServiceRuntime::handle_state_message(UserSession& session,
+                                          Bytes message) {
+  const auto header = peek_state_header(message);
+  check(header.has_value(), "malformed state header");
+  const std::uint64_t seq = header->sequence;
+  // An installed snapshot's mirror already reflects this prefix of the
+  // stream; decoding a late copy would double-apply its cache insertions.
+  if (seq < session.state_decode_floor) {
+    stats_.state_messages_skipped_by_snapshot++;
+    return;
+  }
+  // The epoch must be learned before the body is decoded: a decode against
+  // a mirror the sender has already restarted would corrupt silently. A new
+  // epoch also re-bases the decode timeline here — quarantined bytes from
+  // the old epoch can never decode again.
+  if (header->cache_epoch != session.state_epoch) {
+    session.state_cache = compress::CommandCache();
+    session.state_epoch = header->cache_epoch;
+    session.state_poisoned = false;
+    session.quarantined_state.clear();
+    session.expected_state_seq = seq;
+  }
+  // Contiguity guard: within an epoch the sender multicasts state for every
+  // frame in sequence order, so a gap means messages toward this replica
+  // were abandoned while the rest of the group applied them — the mirror
+  // can no longer decode what follows.
+  if (!session.state_poisoned && seq != session.expected_state_seq) {
+    session.state_poisoned = true;
+    stats_.state_decode_poisonings++;
+  }
+  if (!session.state_poisoned) {
+    auto parsed = parse_state_message(message, session.state_cache);
+    if (parsed.has_value()) {
+      session.expected_state_seq = seq + 1;
+      fast_forward(session, header->apply_floor);
+      if (seq >= session.next_apply_sequence) {
+        PendingApply& pending = session.held[seq];
+        // The renderer's own state copy only keeps the cache mirror warm;
+        // the slot must wait for the full render message.
+        pending.expect_render = parsed->header.renderer_node == node_;
+        pending.state = std::move(parsed);
+      }
+      return;
+    }
+    // The body failed to decode even though the timeline was contiguous:
+    // the mirror diverged some other way. Same recovery path.
+    session.state_poisoned = true;
+    stats_.state_decode_poisonings++;
+  }
+  if (session.quarantined_state.size() >= kMaxQuarantinedState) {
+    session.quarantined_state.clear();
+  }
+  session.quarantined_state[seq] = std::move(message);
+  stats_.state_messages_quarantined++;
+}
+
+void ServiceRuntime::install_snapshot(net::NodeId user, UserSession& session,
+                                      ParsedSnapshot snapshot) {
+  const std::uint64_t to = snapshot.header.sequence;
+  if (to < session.next_apply_sequence) {
+    // The replica already advanced past the capture point (e.g. the ARQ
+    // healed the stream before the snapshot's unicast leg arrived).
+    stats_.snapshots_ignored_stale++;
+    return;
+  }
+  if (session.backend != nullptr) {
+    gles::install_gl_state(
+        gles::GlStateSnapshot::deserialize(snapshot.gl_state),
+        session.backend->context());
+  }
+  session.state_cache =
+      compress::CommandCache::deserialize(snapshot.cache_mirror);
+  session.state_epoch = snapshot.header.state_cache_epoch;
+  if (snapshot.header.render_cache_epoch != session.render_epoch) {
+    session.render_cache = compress::CommandCache();
+    session.render_epoch = snapshot.header.render_cache_epoch;
+  }
+  // Held renders the cursor jump passes over still produce frames: their
+  // draws run against the restored state (approximate for requests that
+  // were in flight across the resync, but the presenter gets its result).
+  // State-only slots are superseded by the snapshot itself.
+  std::vector<ParsedRender> passed_renders;
+  for (auto it = session.held.begin();
+       it != session.held.end() && it->first < to;) {
+    if (it->second.render.has_value()) {
+      passed_renders.push_back(std::move(*it->second.render));
+    }
+    it = session.held.erase(it);
+  }
+  session.snapshot_jump_from = session.next_apply_sequence;
+  session.snapshot_jump_to = to;
+  session.next_apply_sequence = to;
+  session.state_decode_floor = to;
+  session.expected_state_seq = to;
+  session.state_poisoned = false;
+  stats_.snapshots_installed++;
+  for (ParsedRender& render : passed_renders) {
+    execute_render(user, session, std::move(render), /*draw_only=*/true);
+  }
+  // Re-feed quarantined state messages in sequence order against the shipped
+  // mirror; anything below the floor is covered by the snapshot already.
+  auto quarantined = std::move(session.quarantined_state);
+  session.quarantined_state.clear();
+  for (auto& [seq, raw] : quarantined) {
+    handle_state_message(session, std::move(raw));
+  }
 }
 
 void ServiceRuntime::apply_in_order(net::NodeId user, UserSession& session) {

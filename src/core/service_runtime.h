@@ -74,6 +74,18 @@ struct ServiceRuntimeStats {
   std::uint64_t requests_lost_to_faults = 0;
   // Sequences skipped past via an apply_floor (they will never arrive).
   std::uint64_t sequences_fast_forwarded = 0;
+  // GL-state snapshots installed (replica resync / hot-join; DESIGN.md §10).
+  std::uint64_t snapshots_installed = 0;
+  // Snapshots dropped because their sequence was behind the apply cursor.
+  std::uint64_t snapshots_ignored_stale = 0;
+  // State messages held undecoded because the session's decode timeline was
+  // poisoned (missed multicast or decode failure), awaiting a snapshot.
+  std::uint64_t state_messages_quarantined = 0;
+  // Times a session's state stream turned poisoned.
+  std::uint64_t state_decode_poisonings = 0;
+  // State messages below a snapshot's floor, dropped undecoded (the shipped
+  // mirror already reflects them).
+  std::uint64_t state_messages_skipped_by_snapshot = 0;
 };
 
 class ServiceRuntime {
@@ -129,10 +141,37 @@ class ServiceRuntime {
     // reset its cache (after abandoned messages) and the mirror must too.
     std::uint32_t render_epoch = 0;
     std::uint32_t state_epoch = 0;
+    // Snapshot/resync machinery (DESIGN.md §10). The sender multicasts a
+    // state message for *every* frame, so within one cache epoch the decode
+    // timeline on the group stream is contiguous; a gap means this replica
+    // missed a message the other replicas applied, and its mirror can no
+    // longer decode later payloads. The session then turns *poisoned*: raw
+    // state messages are quarantined undecoded until a snapshot re-bases the
+    // stream and they are re-fed in order against the shipped mirror.
+    std::uint64_t expected_state_seq = 0;
+    bool state_poisoned = false;
+    std::map<std::uint64_t, Bytes> quarantined_state;
+    // State sequences below this were captured into an installed snapshot's
+    // mirror; late copies are dropped undecoded.
+    std::uint64_t state_decode_floor = 0;
+    // Render sequences in [jump_from, jump_to) were passed over by a
+    // snapshot install; late arrivals still run their draws against the
+    // restored state instead of being dropped as duplicates.
+    std::uint64_t snapshot_jump_from = 0;
+    std::uint64_t snapshot_jump_to = 0;
   };
 
   UserSession& session_for(net::NodeId user);
   void on_message(net::NodeId src, net::NodeId stream, Bytes message);
+  // kState path: epoch/contiguity checks, decode, hold — or quarantine when
+  // the session is poisoned. Re-entered for quarantined raw messages after a
+  // snapshot install.
+  void handle_state_message(UserSession& session, Bytes message);
+  // Installs a GL-state snapshot: replaces the GL context state and the
+  // state-cache mirror, adopts epochs, jumps the apply cursor to the
+  // snapshot sequence, and re-feeds quarantined state messages.
+  void install_snapshot(net::NodeId user, UserSession& session,
+                        ParsedSnapshot snapshot);
   void apply_in_order(net::NodeId user, UserSession& session);
   // Advances the apply cursor to `floor`, applying the state records of any
   // held entries passed over (their draws will never be displayed) and

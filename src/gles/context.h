@@ -22,6 +22,11 @@
 
 namespace gb::gles {
 
+class GlContext;
+struct GlStateSnapshot;
+GlStateSnapshot capture_gl_state(const GlContext& ctx);
+void install_gl_state(const GlStateSnapshot& snapshot, GlContext& ctx);
+
 // Per-location vertex attribute array state (glVertexAttribPointer).
 struct VertexAttribState {
   bool enabled = false;
@@ -177,6 +182,10 @@ class GlContext {
 
  private:
   friend class Rasterizer;
+  // The state-snapshot subsystem reads and writes the complete context
+  // state directly (state_snapshot.cc).
+  friend GlStateSnapshot capture_gl_state(const GlContext& ctx);
+  friend void install_gl_state(const GlStateSnapshot& snapshot, GlContext& ctx);
 
   void set_error(GLenum error);
   BufferObject* bound_buffer(GLenum target);

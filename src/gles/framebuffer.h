@@ -24,6 +24,9 @@ class Framebuffer {
   [[nodiscard]] float& depth(int x, int y) noexcept {
     return depth_[static_cast<std::size_t>(y) * color_.width() + x];
   }
+  [[nodiscard]] float depth(int x, int y) const noexcept {
+    return depth_[static_cast<std::size_t>(y) * color_.width() + x];
+  }
 
   void clear_color(std::uint8_t r, std::uint8_t g, std::uint8_t b,
                    std::uint8_t a) {

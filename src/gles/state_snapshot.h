@@ -1,0 +1,128 @@
+// GL-state snapshot: a serializable checkpoint of a GlContext's complete
+// shadow state (objects + contents, bindings, fixed-function switches,
+// vertex-attrib setup, and the default framebuffer planes). The offload
+// layer captures one from the client-side shadow replica and installs it on
+// a service device to bring a fresh or stale UserSession replica to the
+// current point in the state stream — the checkpoint/restore primitive from
+// "Transparent Checkpoint-Restart for Hardware-Accelerated 3D Graphics"
+// applied to our §VI state-multicast replicas.
+//
+// Client memory pointers (glVertexAttribPointer with no bound buffer) are
+// only valid during a draw call and are deliberately not captured; a
+// snapshot is always taken at a frame boundary where none are live.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/image.h"
+#include "gles/types.h"
+
+namespace gb::gles {
+
+class GlContext;
+
+struct GlStateSnapshot {
+  struct Buffer {
+    GLuint name = 0;
+    GLenum usage = GL_STATIC_DRAW;
+    Bytes data;
+  };
+  struct Texture {
+    GLuint name = 0;
+    GLenum min_filter = GL_LINEAR;
+    GLenum mag_filter = GL_LINEAR;
+    GLenum wrap_s = GL_REPEAT;
+    GLenum wrap_t = GL_REPEAT;
+    Image image;
+  };
+  struct Shader {
+    GLuint name = 0;
+    GLenum type = GL_VERTEX_SHADER;
+    std::string source;
+    bool compiled = false;  // re-compiled from source on install
+  };
+  struct Program {
+    GLuint name = 0;
+    std::vector<GLuint> attached_shaders;
+    std::map<std::string, GLint> requested_attrib_locations;
+    bool linked = false;  // re-linked deterministically on install
+    // Uniform values by location index, valid when linked. The linker
+    // rebuilds the location table in the same order, so values transfer
+    // positionally.
+    std::vector<std::array<float, 16>> uniform_values;
+  };
+  struct Attrib {
+    bool enabled = false;
+    GLint size = 4;
+    GLenum type = GL_FLOAT;
+    bool normalized = false;
+    GLsizei stride = 0;
+    GLuint buffer = 0;
+    std::uint64_t offset = 0;
+    float generic_value[4] = {0, 0, 0, 1};
+  };
+
+  // Surface geometry; a snapshot only installs onto a same-size context.
+  int surface_width = 0;
+  int surface_height = 0;
+
+  // Fixed-function state.
+  float clear_color[4] = {0, 0, 0, 1};
+  bool depth_test = false;
+  bool blend = false;
+  bool cull_face_enabled = false;
+  bool scissor_test = false;
+  GLenum blend_src = GL_ONE;
+  GLenum blend_dst = GL_ZERO;
+  GLenum depth_func = GL_LESS;
+  GLenum cull_mode = GL_BACK;
+  GLenum front_face = GL_CCW;
+  GLint viewport[4] = {0, 0, 0, 0};
+  GLint scissor[4] = {0, 0, 0, 0};
+
+  // Object tables and the name counters that keep replica allocation in
+  // lock-step with the recorder (decoder.cc enforces exact name agreement).
+  std::vector<Buffer> buffers;
+  std::vector<Texture> textures;
+  std::vector<Shader> shaders;
+  std::vector<Program> programs;
+  GLuint next_buffer_name = 1;
+  GLuint next_texture_name = 1;
+  GLuint next_shader_name = 1;
+  GLuint next_program_name = 1;
+
+  // Bindings.
+  GLuint array_buffer_binding = 0;
+  GLuint element_buffer_binding = 0;
+  int active_texture_unit = 0;
+  std::vector<GLuint> texture_bindings;  // kMaxTextureUnits entries
+  GLuint current_program = 0;
+
+  std::vector<Attrib> attribs;  // kMaxVertexAttribs entries
+
+  // Default framebuffer planes, so frames that do not begin with a clear
+  // still render bit-identically after a restore.
+  Image framebuffer_color;
+  std::vector<float> framebuffer_depth;
+
+  [[nodiscard]] Bytes serialize() const;
+  static GlStateSnapshot deserialize(std::span<const std::uint8_t> data);
+};
+
+// Captures the complete state of `ctx`. Safe at any frame boundary.
+[[nodiscard]] GlStateSnapshot capture_gl_state(const GlContext& ctx);
+
+// Replaces the entire state of `ctx` with the snapshot. Shaders are
+// re-compiled from source and programs re-linked (both deterministic), then
+// uniform values are restored by location. Throws gb::Error if the snapshot
+// cannot be faithfully installed (surface size mismatch, or a program that
+// was linked at capture time fails to re-link — e.g. its shaders were
+// deleted after linking, a documented limitation).
+void install_gl_state(const GlStateSnapshot& snapshot, GlContext& ctx);
+
+}  // namespace gb::gles

@@ -94,8 +94,19 @@ std::uint64_t ReliableEndpoint::stream_floor(NodeId stream) const {
   return next_it != next_message_id_.end() ? next_it->second : 0;
 }
 
-void ReliableEndpoint::note_abandoned(NodeId stream, std::uint64_t id) {
+std::vector<NodeId> ReliableEndpoint::unacked_receivers(
+    const OutstandingMessage& msg) {
+  std::set<NodeId> receivers;
+  for (const OutstandingChunk& chunk : msg.chunks) {
+    receivers.insert(chunk.pending_acks.begin(), chunk.pending_acks.end());
+  }
+  return {receivers.begin(), receivers.end()};
+}
+
+void ReliableEndpoint::note_abandoned(NodeId stream, std::uint64_t id,
+                                      std::vector<NodeId> receivers) {
   stats_.messages_abandoned++;
+  last_abandoned_receivers_ = std::move(receivers);
   if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
     tracer_->instant("transport_abandon", self_, loop_.now(),
                      {{"stream", static_cast<double>(stream)},
@@ -105,16 +116,41 @@ void ReliableEndpoint::note_abandoned(NodeId stream, std::uint64_t id) {
 }
 
 std::size_t ReliableEndpoint::abandon_stream(NodeId stream) {
-  std::vector<std::uint64_t> ids;
+  std::vector<std::pair<std::uint64_t, std::vector<NodeId>>> ids;
   auto it = outstanding_.lower_bound(std::make_pair(stream, 0ULL));
   while (it != outstanding_.end() && it->first.first == stream) {
-    ids.push_back(it->first.second);
+    ids.emplace_back(it->first.second, unacked_receivers(it->second));
     it = outstanding_.erase(it);
   }
   // Handlers fire after the erase so a re-dispatch they trigger serializes
   // the already-advanced floor.
-  for (const std::uint64_t id : ids) note_abandoned(stream, id);
+  for (auto& [id, receivers] : ids) {
+    note_abandoned(stream, id, std::move(receivers));
+  }
   return ids.size();
+}
+
+std::size_t ReliableEndpoint::forget_receiver(NodeId member) {
+  std::size_t affected = 0;
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    OutstandingMessage& msg = it->second;
+    bool touched = false;
+    for (OutstandingChunk& chunk : msg.chunks) {
+      if (chunk.pending_acks.erase(member) > 0) {
+        msg.unacked--;
+        touched = true;
+      }
+    }
+    if (touched) ++affected;
+    // Completing here mirrors handle_ack: no abandon fires — the other
+    // receivers all delivered, only the forgotten member missed out.
+    if (msg.unacked == 0) {
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return affected;
 }
 
 std::uint64_t ReliableEndpoint::start(NodeId stream,
@@ -191,7 +227,12 @@ void ReliableEndpoint::retransmit_tick() {
     return;
   }
   const SimTime now = loop_.now();
-  std::vector<std::pair<NodeId, std::uint64_t>> abandoned;
+  struct Abandoned {
+    NodeId stream;
+    std::uint64_t id;
+    std::vector<NodeId> receivers;
+  };
+  std::vector<Abandoned> abandoned;
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
     OutstandingMessage& msg = it->second;
     if (now < msg.next_retransmit) {
@@ -200,7 +241,8 @@ void ReliableEndpoint::retransmit_tick() {
     }
     msg.retries++;
     if (msg.retries > config_.max_retries) {
-      abandoned.push_back(it->first);
+      abandoned.push_back(
+          {it->first.first, it->first.second, unacked_receivers(msg)});
       it = outstanding_.erase(it);
       continue;
     }
@@ -241,7 +283,9 @@ void ReliableEndpoint::retransmit_tick() {
     }
     ++it;
   }
-  for (const auto& [stream, id] : abandoned) note_abandoned(stream, id);
+  for (Abandoned& a : abandoned) {
+    note_abandoned(a.stream, a.id, std::move(a.receivers));
+  }
 
   if (outstanding_.empty()) return;
   SimTime earliest = outstanding_.begin()->second.next_retransmit;

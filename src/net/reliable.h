@@ -105,10 +105,33 @@ class ReliableEndpoint {
   // peer is declared dead so stale traffic stops contending for airtime.
   std::size_t abandon_stream(NodeId stream);
 
+  // Removes `member` from every outstanding message's pending acks without
+  // abandoning the messages: the remaining receivers keep being repaired,
+  // and messages waiting only on `member` complete. Used when a multicast
+  // group member is declared dead — repairs it cannot hear would otherwise
+  // burn airtime for the whole outage and hold the stream floor back. The
+  // caller owns resyncing the member later (it has genuinely missed these
+  // messages). Returns how many messages were affected.
+  std::size_t forget_receiver(NodeId member);
+
+  // Receivers that had not acknowledged every chunk of the most recently
+  // abandoned message — the peers whose copy is actually in doubt (a
+  // multicast abandon usually means one straggler, not the whole group).
+  // Valid while the abandon handler runs; overwritten by the next abandon.
+  [[nodiscard]] const std::vector<NodeId>& last_abandoned_receivers()
+      const noexcept {
+    return last_abandoned_receivers_;
+  }
+
   [[nodiscard]] const ReliableStats& stats() const noexcept { return stats_; }
   [[nodiscard]] NodeId id() const noexcept { return self_; }
   // True when every sent message has been fully acknowledged.
   [[nodiscard]] bool idle() const noexcept { return outstanding_.empty(); }
+  // True while the message is still being delivered/repaired; false once it
+  // fully acked or was abandoned.
+  [[nodiscard]] bool is_outstanding(NodeId stream, std::uint64_t id) const {
+    return outstanding_.contains(std::make_pair(stream, id));
+  }
 
  private:
   struct OutstandingChunk {
@@ -144,7 +167,12 @@ class ReliableEndpoint {
   // Oldest message id not yet abandoned on `stream` — the receiver-side
   // delivery floor advertised in every data chunk.
   [[nodiscard]] std::uint64_t stream_floor(NodeId stream) const;
-  void note_abandoned(NodeId stream, std::uint64_t id);
+  // `receivers` = union of the message's chunks' pending_acks at abandon
+  // time, captured before the outstanding entry is erased.
+  void note_abandoned(NodeId stream, std::uint64_t id,
+                      std::vector<NodeId> receivers);
+  [[nodiscard]] static std::vector<NodeId> unacked_receivers(
+      const OutstandingMessage& msg);
   void flush_ready(NodeId src, NodeId stream, StreamState& state);
 
   EventLoop& loop_;
@@ -162,6 +190,7 @@ class ReliableEndpoint {
   // Reassembly, keyed by (source node, stream id).
   std::map<std::pair<NodeId, NodeId>, StreamState> streams_;
   ReliableStats stats_;
+  std::vector<NodeId> last_abandoned_receivers_;
   runtime::Tracer* tracer_ = nullptr;
   bool tick_scheduled_ = false;
   SimTime next_tick_at_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "runtime/percentile.h"
 
 namespace gb::runtime {
 
@@ -33,10 +34,8 @@ double Histogram::percentile(double q) const {
       if (i == counts_.size() - 1) return max_seen_;  // overflow bucket
       const double lo = i == 0 ? 0.0 : bounds_[i - 1];
       const double hi = bounds_[i];
-      const double within =
-          (target - static_cast<double>(cumulative)) /
-          static_cast<double>(counts_[i]);
-      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+      return lerp_within_bucket(lo, hi, static_cast<double>(cumulative),
+                                static_cast<double>(counts_[i]), target);
     }
     cumulative = next;
   }

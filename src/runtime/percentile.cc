@@ -1,0 +1,25 @@
+#include "runtime/percentile.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace gb::runtime {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
+
+double lerp_within_bucket(double lo, double hi, double cumulative,
+                          double bucket_count, double target) {
+  const double within =
+      std::clamp((target - cumulative) / bucket_count, 0.0, 1.0);
+  return lo + (hi - lo) * within;
+}
+
+}  // namespace gb::runtime

@@ -1,0 +1,29 @@
+// Shared percentile math (DESIGN.md §9): one definition of "the q-th
+// quantile" so per-user reports and the metrics registry agree.
+//
+// `percentile_sorted` is the linear-interpolation estimator on raw samples:
+// rank h = q * (n - 1), lerped between the surrounding order statistics.
+// The report code previously truncated to a nearest rank
+// (`sorted[n * 95 / 100]`), which is badly biased at small n — with ten
+// samples it reports the maximum as the p95 — and indexes one past the end
+// at q = 1.0 when n is a multiple of 100/(100-q).
+#pragma once
+
+#include <span>
+
+namespace gb::runtime {
+
+// Quantile q in [0, 1] of an ascending-sorted sample set; 0.0 when empty.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+// Linear interpolation inside a histogram bucket (lo, hi] holding
+// `bucket_count` observations, with `cumulative` observations in earlier
+// buckets and `target` the cumulative rank being extracted. The same lerp
+// percentile_sorted applies between order statistics, restated for
+// fixed-bucket histograms.
+[[nodiscard]] double lerp_within_bucket(double lo, double hi,
+                                        double cumulative, double bucket_count,
+                                        double target);
+
+}  // namespace gb::runtime

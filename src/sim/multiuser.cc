@@ -14,6 +14,7 @@
 #include "net/radio.h"
 #include "net/reliable.h"
 #include "runtime/event_loop.h"
+#include "runtime/percentile.h"
 
 namespace gb::sim {
 namespace {
@@ -156,7 +157,7 @@ MultiUserResult run_multiuser_session(const MultiUserConfig& config) {
       mean /= static_cast<double>(user->latencies_ms.size());
       std::vector<double> sorted = user->latencies_ms;
       std::sort(sorted.begin(), sorted.end());
-      p95 = sorted[sorted.size() * 95 / 100];
+      p95 = runtime::percentile_sorted(sorted, 0.95);
     }
     result.mean_latency_ms.push_back(mean);
     result.p95_latency_ms.push_back(p95);

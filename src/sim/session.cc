@@ -221,7 +221,8 @@ SessionResult run_offload(const SessionConfig& config) {
     fcfg.burst = config.fault_burst;
     for (const SessionConfig::ServiceOutageSpec& spec :
          config.service_outages) {
-      check(spec.device_index < config.service_devices.size(),
+      check(spec.device_index <
+                config.service_devices.size() + config.hot_joins.size(),
             "outage names a device the session does not have");
       net::OutageWindow window;
       window.node = static_cast<net::NodeId>(100 + spec.device_index);
@@ -256,12 +257,21 @@ SessionResult run_offload(const SessionConfig& config) {
   }
 
   // --- service devices ------------------------------------------------------
+  // Hot-join devices are fully built (runtime, radios, media binding) from
+  // the start — they are powered-on peers — but stay outside the multicast
+  // group and the dispatcher until their join fires below.
+  std::vector<device::DeviceProfile> service_profiles = config.service_devices;
+  const std::size_t initial_count = service_profiles.size();
+  for (const SessionConfig::HotJoinSpec& spec : config.hot_joins) {
+    service_profiles.push_back(spec.profile);
+  }
   std::vector<std::unique_ptr<core::ServiceRuntime>> services;
   std::vector<std::unique_ptr<net::RadioInterface>> service_radios;
   std::vector<core::ServiceDeviceInfo> device_infos;
+  std::vector<core::ServiceDeviceInfo> hot_join_infos;
   std::vector<net::ReliableEndpoint*> switched_endpoints{&user_endpoint};
-  for (std::size_t i = 0; i < config.service_devices.size(); ++i) {
-    device::DeviceProfile profile = config.service_devices[i];
+  for (std::size_t i = 0; i < service_profiles.size(); ++i) {
+    device::DeviceProfile profile = service_profiles[i];
     // Eq. 4's c^j — fillrate derated to streamed-request throughput.
     profile.gpu.fillrate_pps *= profile.gpu_request_efficiency;
     const net::NodeId node = static_cast<net::NodeId>(100 + i);
@@ -280,10 +290,15 @@ SessionResult run_offload(const SessionConfig& config) {
         loop, net::bluetooth_radio_config(), profile.name + "-bt"));
     service->endpoint().bind(wifi, (service_radios.end() - 2)->get());
     service->endpoint().bind(bt, service_radios.back().get());
-    wifi.join_group(config.gbooster.state_group, node);
-    bt.join_group(config.gbooster.state_group, node);
-    device_infos.push_back(core::ServiceDeviceInfo{
-        node, profile.name, profile.gpu.fillrate_pps});
+    const core::ServiceDeviceInfo info{node, profile.name,
+                                       profile.gpu.fillrate_pps};
+    if (i < initial_count) {
+      wifi.join_group(config.gbooster.state_group, node);
+      bt.join_group(config.gbooster.state_group, node);
+      device_infos.push_back(info);
+    } else {
+      hot_join_infos.push_back(info);
+    }
     switched_endpoints.push_back(&service->endpoint());
     services.push_back(std::move(service));
   }
@@ -304,6 +319,18 @@ SessionResult run_offload(const SessionConfig& config) {
       });
   gbooster.set_workload_override(
       [&config] { return config.workload.gpu_workload_pixels; });
+
+  // Hot-joins: enter the multicast group, then hand the device to the
+  // runtime (which snapshots it and opens it to dispatch).
+  for (std::size_t h = 0; h < config.hot_joins.size(); ++h) {
+    const core::ServiceDeviceInfo info = hot_join_infos[h];
+    loop.schedule_at(seconds(config.hot_joins[h].at_s),
+                     [&wifi, &bt, &gbooster, &config, info] {
+                       wifi.join_group(config.gbooster.state_group, info.node);
+                       bt.join_group(config.gbooster.state_group, info.node);
+                       gbooster.add_service_device(info);
+                     });
+  }
 
   core::SwitcherConfig swcfg = config.switcher;
   swcfg.tracer = tracer;

@@ -53,6 +53,15 @@ struct SessionConfig {
     double end_s = 0.0;
   };
   std::vector<ServiceOutageSpec> service_outages;
+  // Hot-join (DESIGN.md §10): a service device that is powered on and bound
+  // to the media from session start but only joins the offload session —
+  // state multicast group, snapshot resync, dispatcher — at `at_s`. Its
+  // device index follows the initial devices, in declaration order.
+  struct HotJoinSpec {
+    device::DeviceProfile profile;
+    double at_s = 0.0;
+  };
+  std::vector<HotJoinSpec> hot_joins;
   // Gilbert–Elliott burst loss layered on both media (off by default).
   net::GilbertElliottConfig fault_burst;
   std::uint64_t fault_seed = 0x5eedfa17;

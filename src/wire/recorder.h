@@ -74,6 +74,13 @@ class CommandRecorder final : public gles::GlesApi {
   [[nodiscard]] const gles::GlContext& shadow() const noexcept {
     return *shadow_;
   }
+  // Sequence the next completed frame will carry. At a frame boundary the
+  // shadow context holds exactly the state of frames below this sequence —
+  // the capture point for GL-state snapshots. (The in-progress frame already
+  // holds its allocated sequence; the internal counter is one past it.)
+  [[nodiscard]] std::uint64_t next_sequence() const noexcept {
+    return frame_.sequence;
+  }
 
   // GlesApi implementation --------------------------------------------------
   GLenum glGetError() override;

@@ -3,6 +3,7 @@
 // including multi-device state consistency.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -113,6 +114,61 @@ TEST(Dispatcher, HighLatencyDevicePenalized) {
 
 TEST(Dispatcher, RequiresDevices) {
   EXPECT_THROW(Dispatcher({}), Error);
+}
+
+// Regression: a device that died behind a congested path revived with its
+// pre-death delay EWMA intact. The timeouts that killed it had pushed the
+// estimate so high that Eq. 4 never selected it again — no traffic, no new
+// round-trip samples, permanent starvation. Revival must reset l^j to the
+// optimistic initial value so fresh evidence re-ranks the device.
+TEST(Dispatcher, RevivalResetsPoisonedDelayEstimate) {
+  Dispatcher d({{100, "a", 8e9}, {101, "b", 8e9}});
+  // Teach device 0 a catastrophic delay, then kill it.
+  d.on_assigned(0, 1e6);
+  d.on_completed(0, 1e6, seconds(30.0));
+  ASSERT_GT(d.estimated_delay(0), seconds(1.0));
+  EXPECT_TRUE(d.record_failure(0, 1));
+  EXPECT_FALSE(d.healthy(0));
+
+  EXPECT_TRUE(d.record_success(0));
+  EXPECT_TRUE(d.healthy(0));
+  EXPECT_EQ(d.estimated_delay(0), kInitialDelayEstimate);
+  // With equal capability and a clean slate, the revived device competes
+  // again: load device 1 and the pick must come back to 0.
+  d.on_assigned(1, 400e6);
+  EXPECT_EQ(d.pick(100e6), 0u);
+}
+
+// Regression: kRandom's dead-device fallback probed linearly from the drawn
+// index, so a dead device's probability mass fell entirely on its successor.
+// The fallback must redraw instead, keeping the pick uniform over survivors.
+TEST(Dispatcher, RandomPolicyStaysUniformAcrossDeadDevice) {
+  Dispatcher d({{100, "a", 8e9}, {101, "b", 8e9}, {102, "c", 8e9},
+                {103, "d", 8e9}},
+               DispatchPolicy::kRandom);
+  EXPECT_TRUE(d.record_failure(1, 1));  // kill device 1
+
+  std::array<int, 4> counts{};
+  const int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) counts[d.pick(1e6)]++;
+
+  EXPECT_EQ(counts[1], 0);
+  // Each survivor should take ~1/3 of the draws. The linear probe gave
+  // device 2 (the dead one's neighbour) ~1/2 and the others ~1/4.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    const double share = static_cast<double>(counts[i]) / kDraws;
+    EXPECT_NEAR(share, 1.0 / 3.0, 0.02) << "device " << i;
+  }
+}
+
+TEST(Dispatcher, AddDeviceJoinsEq4Immediately) {
+  Dispatcher d({{100, "slow", 4e9}});
+  d.on_assigned(0, 400e6);
+  const std::size_t index = d.add_device({101, "fast", 16e9});
+  EXPECT_EQ(index, 1u);
+  EXPECT_EQ(d.device_count(), 2u);
+  EXPECT_TRUE(d.healthy(1));
+  EXPECT_EQ(d.pick(100e6), 1u);  // idle + faster wins at once
 }
 
 // --- end-to-end offload over the simulated network ------------------------------

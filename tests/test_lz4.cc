@@ -154,6 +154,78 @@ TEST(Lz4, LongMatchLengthExtensionRoundTrips) {
   EXPECT_EQ(*out, input);
 }
 
+// Fills `n` bytes with a repeating pattern of the given period; period 0
+// means all-distinct bytes (i % 256 would repeat at 256, but the sweep stays
+// below that).
+Bytes patterned_bytes(std::size_t n, std::size_t period) {
+  Bytes out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(period == 0 ? i : i % period);
+  }
+  return out;
+}
+
+// Exhaustive tiny-input sweep: every size from empty through 64 bytes, with
+// every structure the matcher cares about — all-zero, all-distinct, and
+// periods 1..4 (period 4 == kMinMatch, the shortest emittable match). Sizes
+// 0..11 sit below the 12-byte match safeguard and must round-trip as pure
+// literal runs; 12..16 straddle the boundary where the search window first
+// opens.
+TEST(Lz4, TinySizeAndPatternSweepRoundTrips) {
+  for (std::size_t n = 0; n <= 64; ++n) {
+    for (const std::size_t period : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{2}, std::size_t{3},
+                                     std::size_t{4}}) {
+      const Bytes input = patterned_bytes(n, period);
+      const Bytes block = lz4_compress(input);
+      const auto out = lz4_decompress(block, n);
+      ASSERT_TRUE(out.has_value()) << "n=" << n << " period=" << period;
+      EXPECT_EQ(*out, input) << "n=" << n << " period=" << period;
+    }
+  }
+}
+
+TEST(Lz4, BelowMatchSafeguardEmitsPureLiteralBlock) {
+  // The spec forbids a match starting within the last 12 bytes, so inputs
+  // up to 12 bytes compress to exactly one literal-run token even when
+  // maximally redundant: at n = 12 the search window holds a single
+  // position, whose first occurrence has nothing earlier to match.
+  for (std::size_t n = 0; n <= 12; ++n) {
+    const Bytes input(n, 0x7e);
+    const Bytes block = lz4_compress(input);
+    EXPECT_EQ(block.size(), n + 1) << "n=" << n;  // token byte + n literals
+    const auto out = lz4_decompress(block, n);
+    ASSERT_TRUE(out.has_value()) << "n=" << n;
+    EXPECT_EQ(*out, input) << "n=" << n;
+  }
+  // At 13 the window holds two positions and the first match becomes
+  // emittable; redundant input now shrinks.
+  const Bytes thirteen(13, 0x7e);
+  const Bytes block = lz4_compress(thirteen);
+  EXPECT_LT(block.size(), thirteen.size());
+  const auto out = lz4_decompress(block, thirteen.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, thirteen);
+}
+
+TEST(Lz4, MatchEndsRespectLastLiteralsRule) {
+  // Redundant inputs sized so the greedy match would love to run to the
+  // block end: the emitted match must stop early enough to leave the final
+  // five bytes as literals, for every size near the boundary.
+  for (std::size_t n = 12; n <= 32; ++n) {
+    for (const std::size_t period : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{3}, std::size_t{4}}) {
+      const Bytes input = patterned_bytes(n, period);
+      const Bytes block = lz4_compress(input);
+      const auto out = lz4_decompress(block, n);
+      ASSERT_TRUE(out.has_value()) << "n=" << n << " period=" << period;
+      EXPECT_EQ(*out, input) << "n=" << n << " period=" << period;
+      // Decoding with any other size must fail, not mis-copy.
+      EXPECT_FALSE(lz4_decompress(block, n + 1).has_value());
+    }
+  }
+}
+
 TEST(Lz4, LongLiteralRunRoundTrips) {
   // Incompressible prefix > 270 bytes exercises literal-length extension.
   Bytes input = random_bytes(500, 44);

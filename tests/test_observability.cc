@@ -15,6 +15,7 @@
 #include "apps/workload.h"
 #include "device/device_profiles.h"
 #include "runtime/metrics_registry.h"
+#include "runtime/percentile.h"
 #include "runtime/trace.h"
 #include "sim/session.h"
 
@@ -47,6 +48,53 @@ TEST(Histogram, OverflowBucketReportsMaxSeen) {
   h.observe(50.0);
   h.observe(75.0);
   EXPECT_DOUBLE_EQ(h.percentile(0.99), 75.0);
+}
+
+// --- shared percentile helper ------------------------------------------------
+
+TEST(Percentile, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(runtime::percentile_sorted({}, 0.95), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(runtime::percentile_sorted(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(runtime::percentile_sorted(one, 1.0), 7.0);
+}
+
+// Regression: the per-user report used truncating nearest-rank
+// (`sorted[n * 95 / 100]`), which at small n degenerates — ten samples
+// reported the *maximum* as the p95 — and at q = 1.0 indexed one past the
+// end whenever n was a multiple of 20. The shared helper interpolates
+// between order statistics: rank h = q * (n - 1), lerped.
+TEST(Percentile, SmallSampleInterpolatesInsteadOfTruncating) {
+  std::vector<double> ten(10);
+  for (int i = 0; i < 10; ++i) ten[i] = static_cast<double>(i + 1);
+  // h = 0.95 * 9 = 8.55 => 9 + 0.55 * (10 - 9), not the max.
+  EXPECT_NEAR(runtime::percentile_sorted(ten, 0.95), 9.55, 1e-12);
+  EXPECT_DOUBLE_EQ(runtime::percentile_sorted(ten, 0.5), 5.5);
+  // q = 1.0 is the last order statistic, never one past it.
+  EXPECT_DOUBLE_EQ(runtime::percentile_sorted(ten, 1.0), 10.0);
+  std::vector<double> twenty(20, 3.0);
+  EXPECT_DOUBLE_EQ(runtime::percentile_sorted(twenty, 1.0), 3.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeQuantiles) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(runtime::percentile_sorted(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(runtime::percentile_sorted(v, 1.5), 3.0);
+}
+
+TEST(Percentile, LerpWithinBucketMatchesHistogramMath) {
+  // 10 observations in bucket (0, 10], extracting the median target 5.0:
+  // the same value Histogram::percentile has always pinned.
+  EXPECT_NEAR(runtime::lerp_within_bucket(0.0, 10.0, 0.0, 10.0, 5.0), 5.0,
+              1e-12);
+  EXPECT_NEAR(runtime::lerp_within_bucket(0.0, 10.0, 0.0, 10.0, 10.0), 10.0,
+              1e-12);
+  // Target at or below the cumulative floor clamps to the bucket's lower
+  // edge; beyond the bucket clamps to the upper edge.
+  EXPECT_DOUBLE_EQ(runtime::lerp_within_bucket(10.0, 20.0, 5.0, 2.0, 4.0),
+                   10.0);
+  EXPECT_DOUBLE_EQ(runtime::lerp_within_bucket(10.0, 20.0, 5.0, 2.0, 9.0),
+                   20.0);
 }
 
 TEST(MetricsRegistry, ReturnsStableNamedInstruments) {
