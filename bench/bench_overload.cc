@@ -1,0 +1,102 @@
+// Overload-control benchmark (DESIGN.md §11): what the closed loop —
+// RTT-adaptive retransmission, the AIMD quality governor, and keep-latest
+// load shedding — buys the player when the session is congested.
+//
+// Scenarios:
+//   clean   healthy network (the control: overload machinery should be
+//           close to free when there is nothing to react to)
+//   burst   Gilbert–Elliott burst loss on both media: retransmission storms
+//           inflate the transport backlog and the issue->display tail
+//
+// Each scenario runs twice: `governed=0` is the fixed-30ms-RTO,
+// no-governor baseline (the pre-§11 pipeline); `governed=1` enables
+// adaptive RTO on both endpoints and the QoS governor on the user runtime.
+// The governed run must win on p95 latency and stall time under burst loss
+// while keeping the display stream free of gap-timeout drops.
+//
+//   ./bench_overload                      # console table
+//   ./bench_overload --benchmark_format=json
+//
+// Environment knobs: GB_QUICK=1 / GB_DURATION=<sec> (see bench_util.h).
+#include <benchmark/benchmark.h>
+
+#include "bench_counters.h"
+#include "bench_util.h"
+
+using namespace gb;
+
+namespace {
+
+enum Scenario : int { kClean = 0, kBurst = 1 };
+
+sim::SessionConfig overload_config(int scenario, bool governed,
+                                   double duration_s) {
+  sim::SessionConfig config = bench::paper_config(
+      apps::g2_modern_combat(), device::nexus5(), duration_s);
+  config.service_devices.push_back(device::nvidia_shield());
+  if (scenario == kBurst) {
+    config.fault_burst.enabled = true;
+    config.fault_burst.p_enter_burst = 0.01;
+    config.fault_burst.p_exit_burst = 0.05;
+    config.fault_burst.loss_burst = 0.8;
+  }
+  if (governed) {
+    // Adaptive RTO is the ReliableConfig default; the governor opts in.
+    config.gbooster.qos.enabled = true;
+    // Start the quality ladder at the prototype's streaming quality so the
+    // clean-scenario comparison is apples-to-apples with the baseline.
+    config.gbooster.qos.base_quality = config.service.codec.quality;
+    // The healthy pipeline runs ~160 ms issue->display at full depth (six
+    // frames of self-queueing): the overload thresholds sit above that so
+    // the governor reacts to congestion, not to normal pipelining.
+    config.gbooster.qos.target_p95_ms = 250.0;
+    config.gbooster.qos.depth_overload = config.gbooster.max_pending_requests + 1;
+  } else {
+    config.transport.adaptive_rto = false;
+    config.service.transport.adaptive_rto = false;
+  }
+  return config;
+}
+
+void BM_OverloadDegradation(benchmark::State& state) {
+  const int scenario = static_cast<int>(state.range(0));
+  const bool governed = state.range(1) != 0;
+  const double duration_s = bench::default_duration(40.0);
+  sim::SessionResult result;
+  for (auto _ : state) {
+    result = sim::run_session(overload_config(scenario, governed, duration_s));
+  }
+  const core::GBoosterStats& gb = result.gbooster;
+  state.counters["fps"] = result.metrics.median_fps;
+  state.counters["p95_ms"] = result.metrics.p95_response_ms;
+  state.counters["p99_ms"] = result.metrics.p99_response_ms;
+  state.counters["stall_s"] = result.metrics.stall_seconds;
+  state.counters["max_gap_s"] = result.metrics.max_display_gap_s;
+  // Explicit sheds (governor + service admission) vs implicit losses
+  // (gap-timeout drops): the point of §11 is converting the latter into the
+  // former.
+  state.counters["shed_governor"] = static_cast<double>(
+      gb.frames_shed_window + gb.frames_shed_deadline + gb.frames_shed_void);
+  state.counters["shed_service"] =
+      static_cast<double>(result.requests_shed_admission);
+  state.counters["frames_dropped"] = static_cast<double>(gb.frames_dropped);
+  state.counters["issue_stalls"] = static_cast<double>(gb.issue_stalls);
+  // Ungoverned frames carry no per-frame override; they stream at the
+  // paper_config codec quality (70).
+  state.counters["quality_mean"] =
+      gb.quality_samples > 0 ? static_cast<double>(gb.quality_sum) /
+                                   static_cast<double>(gb.quality_samples)
+                             : 70.0;
+  state.counters["bytes_sent_mb"] =
+      static_cast<double>(gb.bytes_sent) / 1.0e6;
+}
+
+}  // namespace
+
+BENCHMARK(BM_OverloadDegradation)
+    ->ArgNames({"scenario", "governed"})
+    ->ArgsProduct({{kClean, kBurst}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

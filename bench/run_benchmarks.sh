@@ -5,7 +5,9 @@
 #   bench/run_benchmarks.sh [build-dir] [out-dir]
 #
 # JSON output (--benchmark_format=json) is the stable machine-readable
-# interface; EXPERIMENTS.md quotes numbers from these files.
+# interface; EXPERIMENTS.md quotes numbers from these files. Each result is
+# additionally copied to BENCH_<name>.json at the repository root so the
+# latest numbers ride along with the tree (and diffs show when they move).
 #
 # Session benches run with the pipeline tracer enabled and export the
 # per-stage latency breakdown as counters: `issue_to_display_ms` plus
@@ -15,11 +17,13 @@
 # sum to `issue_to_display_ms` (see DESIGN.md §9).
 set -euo pipefail
 
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-build}"
 out_dir="${2:-bench-results}"
 mkdir -p "${out_dir}"
 
-benches=(bench_codec_speed bench_parallel_pipeline bench_fault_recovery)
+benches=(bench_codec_speed bench_parallel_pipeline bench_fault_recovery
+         bench_overload)
 
 for bench in "${benches[@]}"; do
   bin="${build_dir}/bench/${bench}"
@@ -31,5 +35,6 @@ for bench in "${benches[@]}"; do
   "${bin}" --benchmark_format=json \
            --benchmark_out="${out_dir}/${bench}.json" \
            --benchmark_out_format=json >/dev/null
-  echo "wrote ${out_dir}/${bench}.json" >&2
+  cp "${out_dir}/${bench}.json" "${repo_root}/BENCH_${bench#bench_}.json"
+  echo "wrote ${out_dir}/${bench}.json (copied to BENCH_${bench#bench_}.json)" >&2
 done

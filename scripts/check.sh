@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repo check driver: the tier-1 build + full test suite, then the failure-
-# handling test labels (faults, observability, snapshot) rebuilt and rerun
+# handling test labels (faults, observability, snapshot, overload) rebuilt
+# and rerun
 # under AddressSanitizer and ThreadSanitizer (CMakeLists.txt GB_SANITIZE).
 #
 #   scripts/check.sh              # tier-1 + asan + tsan
@@ -14,10 +15,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
-# The recovery/observability suites, which is where sanitizer findings have
-# historically lived (races in the frame pipeline, lifetime bugs in the
-# failure paths). -L takes a regex; one call covers all three labels.
-SAN_LABELS='faults|observability|snapshot'
+# The recovery/observability/overload suites, which is where sanitizer
+# findings have historically lived (races in the frame pipeline, lifetime
+# bugs in the failure and shedding paths). -L takes a regex; one call covers
+# all four labels.
+SAN_LABELS='faults|observability|snapshot|overload'
 
 run_tier1() {
   echo "==> tier-1: default build + full ctest"

@@ -197,6 +197,14 @@ runtime::ThreadPool* TurboEncoder::pool() const {
 
 void TurboEncoder::reset() { reference_ = Image(); }
 
+void TurboEncoder::set_quality(int quality) {
+  config_.quality = std::clamp(quality, 1, 100);
+}
+
+void TurboEncoder::set_skip_threshold(int threshold) {
+  config_.skip_threshold = std::max(threshold, 0);
+}
+
 Bytes TurboEncoder::encode(const Image& frame) {
   check(!frame.empty(), "cannot encode empty frame");
   const bool keyframe = reference_.width() != frame.width() ||

@@ -67,6 +67,14 @@ class TurboEncoder {
   // Forces the next frame to be a keyframe.
   void reset();
 
+  // Mid-stream quality adjustment (QoS governor, DESIGN.md §11): applies
+  // from the next encoded frame. No keyframe or decoder coordination is
+  // needed — every frame's header carries its own quality, and the in-loop
+  // reference tracks the *reconstructed* pixels on both sides.
+  void set_quality(int quality);
+  void set_skip_threshold(int threshold);
+  [[nodiscard]] const TurboConfig& config() const { return config_; }
+
   // Borrows a shared pool (e.g. the service runtime's) instead of the one
   // owned per config_.threads. Pass nullptr to return to the owned pool.
   void set_thread_pool(runtime::ThreadPool* pool) { shared_pool_ = pool; }

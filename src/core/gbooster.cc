@@ -46,6 +46,7 @@ GBoosterRuntime::GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
     device_nodes_.push_back(d.node);
     render_caches_.push_back(std::make_unique<compress::CommandCache>());
     cache_epochs_.push_back(0);
+    mirror_revs_.push_back(0);
     apply_floors_.push_back(0);
     needs_snapshot_.push_back(false);
     snapshot_covers_ids_.push_back(0);
@@ -61,6 +62,62 @@ GBoosterRuntime::GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
     loop_.schedule_after(config_.health.probe_interval,
                          [this] { heartbeat_tick(); });
   }
+  if (config_.qos.enabled) {
+    governor_ = std::make_unique<QosGovernor>(config_.qos);
+    loop_.schedule_after(config_.qos.window, [this] { qos_tick(); });
+  }
+}
+
+std::size_t GBoosterRuntime::active_in_flight() const {
+  std::size_t active = 0;
+  for (const auto& [sequence, flight] : in_flight_) {
+    if (!flight.shed) active++;
+  }
+  return active;
+}
+
+bool GBoosterRuntime::can_issue_frame() {
+  // Under overload the governor shrinks the pending window (DESIGN.md §11):
+  // frames admitted past what the transport can carry only queue behind the
+  // repair traffic and fatten the display tail.
+  const int window = governor_ != nullptr
+                         ? governor_->depth_cap(config_.max_pending_requests)
+                         : config_.max_pending_requests;
+  if (static_cast<int>(active_in_flight()) < window) {
+    return true;
+  }
+  if (governor_ != nullptr) {
+    // All-dead, no fallback: frames are shed at the head (on_frame), so the
+    // application is never throttled against a void.
+    if (!config_.enable_local_fallback && dispatcher_.healthy_count() == 0) {
+      return true;
+    }
+    // Keep-latest: a full window admits the new frame when an older
+    // undispatched one can be shed in its place.
+    for (const auto& [sequence, flight] : in_flight_) {
+      if (!flight.dispatched && !flight.local && !flight.shed) return true;
+    }
+  }
+  stats_.issue_stalls++;
+  return false;
+}
+
+void GBoosterRuntime::qos_tick() {
+  const double backlog_ms =
+      endpoint_.route() != nullptr ? endpoint_.route()->backlog().ms() : 0.0;
+  const std::size_t depth = active_in_flight();
+  if (governor_->evaluate(loop_.now(), backlog_ms, depth)) {
+    if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+      tracer_->instant(
+          "qos_level", endpoint_.id(), loop_.now(),
+          {{"level", static_cast<double>(governor_->level())},
+           {"quality", static_cast<double>(governor_->quality())},
+           {"window_p95_ms", governor_->last_window_p95_ms()},
+           {"backlog_ms", backlog_ms},
+           {"pending_depth", static_cast<double>(depth)}});
+    }
+  }
+  loop_.schedule_after(config_.qos.window, [this] { qos_tick(); });
 }
 
 void GBoosterRuntime::install(hooking::DynamicLinker& linker,
@@ -107,8 +164,28 @@ void GBoosterRuntime::erase_msg_entries(const InFlight& flight) {
   }
 }
 
+void GBoosterRuntime::trace_dispatch(std::uint64_t sequence, double workload,
+                                     std::size_t device_index) {
+  if (!runtime::kTracingCompiledIn || tracer_ == nullptr) return;
+  // The Eq. 4 scores behind this pick, one per device (-1 = dead).
+  std::vector<std::pair<std::string, double>> args;
+  args.emplace_back("sequence", static_cast<double>(sequence));
+  args.emplace_back("chosen", static_cast<double>(device_index));
+  for (std::size_t j = 0; j < device_nodes_.size(); ++j) {
+    const double cost =
+        dispatcher_.healthy(j)
+            ? (dispatcher_.queued_workload(j) + workload) /
+                      dispatcher_.device(j).capability_pps +
+                  dispatcher_.estimated_delay(j).seconds()
+            : -1.0;
+    args.emplace_back("eq4_cost_" + std::to_string(j), cost);
+  }
+  tracer_->instant("dispatch", endpoint_.id(), loop_.now(), std::move(args));
+}
+
 bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
   check(!device_nodes_.empty(), "no service devices configured");
+  if (governor_ != nullptr) return on_frame_governed(std::move(frame));
   const std::uint64_t sequence = frame.sequence;
 
   // Eq. 4 inputs.
@@ -123,24 +200,9 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
     // With fallback disabled and every device dead, keep sending into the
     // void (device 0): the display gap timeout then reclaims the frames —
     // the diagnostic behaviour of a system without graceful degradation.
+    // (The QoS governor path sheds at the head instead.)
     device_index = no_healthy ? 0 : dispatcher_.pick(workload);
-    if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
-      // The Eq. 4 scores behind this pick, one per device (-1 = dead).
-      std::vector<std::pair<std::string, double>> args;
-      args.emplace_back("sequence", static_cast<double>(sequence));
-      args.emplace_back("chosen", static_cast<double>(device_index));
-      for (std::size_t j = 0; j < device_nodes_.size(); ++j) {
-        const double cost =
-            dispatcher_.healthy(j)
-                ? (dispatcher_.queued_workload(j) + workload) /
-                          dispatcher_.device(j).capability_pps +
-                      dispatcher_.estimated_delay(j).seconds()
-                : -1.0;
-        args.emplace_back("eq4_cost_" + std::to_string(j), cost);
-      }
-      tracer_->instant("dispatch", endpoint_.id(), loop_.now(),
-                       std::move(args));
-    }
+    trace_dispatch(sequence, workload, device_index);
     dispatcher_.on_assigned(device_index, workload);
   }
 
@@ -170,6 +232,7 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
     header.priority = config_.request_priority;
     header.cache_epoch = cache_epochs_[device_index];
     header.apply_floor = apply_floors_[device_index];
+    header.mirror_rev = mirror_revs_[device_index]++;
     render_message = make_render_message(
         header, frame, *render_caches_[device_index], stats_.render_cache);
   }
@@ -245,39 +308,58 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
   in_flight_.emplace(sequence, std::move(flight));
 
   if (!state_message.empty() || !render_message.empty()) {
-    const net::NodeId renderer = device_nodes_[device_index];
-    // The payloads were encoded against the *current* cache generations; if
-    // either mirror restarts while they wait behind the packing core, they
-    // reference a dead epoch and must not be sent (see the epoch checks in
-    // the lambda).
-    const std::uint32_t render_epoch = cache_epochs_[device_index];
-    const std::uint32_t state_epoch = state_epoch_;
-    loop_.schedule_at(
-        cpu_busy_until_,
-        [this, sequence, device_index, renderer, render_epoch, state_epoch,
-         state_message = std::move(state_message),
-         render_message = std::move(render_message)]() mutable {
-          if (!state_message.empty()) {
-            if (state_epoch != state_epoch_) {
-              // The shared state cache restarted while this payload was
-              // queued; delivering it after the replicas reset would poison
-              // their mirrors again. Drop it and float the floor so nobody
-              // waits on the sequence.
+    schedule_payload_send(sequence, device_index, std::move(state_message),
+                          std::move(render_message));
+  }
+
+  if (local) render_locally(sequence);
+  return true;
+}
+
+void GBoosterRuntime::schedule_payload_send(std::uint64_t sequence,
+                                            std::size_t device_index,
+                                            Bytes state_message,
+                                            Bytes render_message) {
+  const net::NodeId renderer = device_nodes_[device_index];
+  // The payloads were encoded against the *current* cache generations; if
+  // either mirror restarts while they wait behind the packing core, they
+  // reference a dead epoch and must not be sent (see the epoch checks in
+  // the lambda).
+  const std::uint32_t render_epoch = cache_epochs_[device_index];
+  const std::uint32_t state_epoch = state_epoch_;
+  loop_.schedule_at(
+      cpu_busy_until_,
+      [this, sequence, device_index, renderer, render_epoch, state_epoch,
+       state_message = std::move(state_message),
+       render_message = std::move(render_message)]() mutable {
+        if (!state_message.empty()) {
+          if (state_epoch != state_epoch_) {
+            // The shared state cache restarted while this payload was
+            // queued; delivering it after the replicas reset would poison
+            // their mirrors again. Drop it and float the floor so nobody
+            // waits on the sequence.
+            state_apply_floor_ = std::max(state_apply_floor_, sequence + 1);
+          } else {
+            // Track acks only for devices that can answer: a dead member
+            // would pin the message outstanding for its whole outage. The
+            // excluded member misses the message for real, so flag it for
+            // a revival snapshot (the epoch-reset baseline already reset
+            // once at death; every message since carries the new epoch).
+            std::vector<net::NodeId> members;
+            for (std::size_t i = 0; i < device_nodes_.size(); ++i) {
+              if (dispatcher_.healthy(i)) {
+                members.push_back(device_nodes_[i]);
+              } else if (config_.snapshot_recovery) {
+                needs_snapshot_[i] = true;
+              }
+            }
+            if (members.empty()) {
+              // Every replica is dead: there is no one to multicast to (and
+              // send_multicast rejects an empty group). They all miss this
+              // sequence for real — float the floor so nobody waits on it;
+              // the snapshot flags set above heal the replicas on revival.
               state_apply_floor_ = std::max(state_apply_floor_, sequence + 1);
             } else {
-              // Track acks only for devices that can answer: a dead member
-              // would pin the message outstanding for its whole outage. The
-              // excluded member misses the message for real, so flag it for
-              // a revival snapshot (the epoch-reset baseline already reset
-              // once at death; every message since carries the new epoch).
-              std::vector<net::NodeId> members;
-              for (std::size_t i = 0; i < device_nodes_.size(); ++i) {
-                if (dispatcher_.healthy(i)) {
-                  members.push_back(device_nodes_[i]);
-                } else if (config_.snapshot_recovery) {
-                  needs_snapshot_[i] = true;
-                }
-              }
               const std::uint64_t id = endpoint_.send_multicast(
                   config_.state_group, members, std::move(state_message));
               msg_to_seq_[{config_.state_group, id}] = sequence;
@@ -289,38 +371,248 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
               }
             }
           }
-          if (render_message.empty()) return;
-          const auto it = in_flight_.find(sequence);
-          // The frame may have been re-routed (device died) or reclaimed
-          // (gap timeout) while the packing core was busy; don't send stale
-          // payloads to the old renderer.
-          if (it == in_flight_.end() || it->second.local ||
-              it->second.device_index != device_index) {
-            return;
-          }
-          if (cache_epochs_[device_index] != render_epoch) {
-            // Mirror restarted while this payload was queued: its encoding
-            // references the dead epoch. The device skips the sequence via
-            // the floor on later frames; the presenter's gap timeout
-            // reclaims the frame itself.
-            apply_floors_[device_index] =
-                std::max(apply_floors_[device_index], sequence + 1);
-            return;
-          }
-          const std::uint64_t id =
-              endpoint_.send(renderer, std::move(render_message));
-          it->second.has_render_msg = true;
-          it->second.render_msg_id = id;
-          msg_to_seq_[{renderer, id}] = sequence;
-          if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
-            tracer_->begin(runtime::Stage::kUplink, endpoint_.id(), sequence,
-                           loop_.now());
-          }
-        });
+        }
+        if (render_message.empty()) return;
+        const auto it = in_flight_.find(sequence);
+        // The frame may have been re-routed (device died) or reclaimed
+        // (gap timeout) while the packing core was busy; don't send stale
+        // payloads to the old renderer.
+        if (it == in_flight_.end() || it->second.local ||
+            it->second.device_index != device_index) {
+          return;
+        }
+        if (cache_epochs_[device_index] != render_epoch) {
+          // Mirror restarted while this payload was queued: its encoding
+          // references the dead epoch. The device skips the sequence via
+          // the floor on later frames; the presenter's gap timeout
+          // reclaims the frame itself.
+          apply_floors_[device_index] =
+              std::max(apply_floors_[device_index], sequence + 1);
+          return;
+        }
+        const std::uint64_t id =
+            endpoint_.send(renderer, std::move(render_message));
+        it->second.has_render_msg = true;
+        it->second.render_msg_id = id;
+        msg_to_seq_[{renderer, id}] = sequence;
+        if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+          tracer_->begin(runtime::Stage::kUplink, endpoint_.id(), sequence,
+                         loop_.now());
+        }
+      });
+}
+
+// --- governor-mode dispatch (DESIGN.md §11) ---------------------------------
+
+bool GBoosterRuntime::on_frame_governed(wire::FrameCommands frame) {
+  const std::uint64_t sequence = frame.sequence;
+  const double workload = workload_override_
+                              ? workload_override_()
+                              : recorder_->last_frame_profile().workload_pixels;
+  const bool no_healthy = dispatcher_.healthy_count() == 0;
+  const bool local = no_healthy && config_.enable_local_fallback;
+
+  // All devices dead, no fallback: admitting the frame would only flood a
+  // dead device's stream with payloads the gap timeout later reclaims (the
+  // legacy diagnostic behaviour). Shed at the head instead: no transport
+  // traffic, no stall — the presenter steps straight over the sequence.
+  if (no_healthy && !local) {
+    stats_.frames_shed_void++;
+    shed_sequences_.insert(sequence);
+    if (device_nodes_.size() > 1) {
+      // The replicas miss this frame's state records for real (the shadow
+      // context still has them, so a revival snapshot recovers the stream).
+      state_apply_floor_ = std::max(state_apply_floor_, sequence + 1);
+      if (config_.snapshot_recovery) {
+        needs_snapshot_.assign(needs_snapshot_.size(), true);
+      }
+    } else {
+      apply_floors_[0] = std::max(apply_floors_[0], sequence + 1);
+    }
+    if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+      tracer_->instant("frame_shed", endpoint_.id(), loop_.now(),
+                       {{"sequence", static_cast<double>(sequence)},
+                        {"cause_void", 1.0}});
+    }
+    present_in_order();
+    return true;
   }
 
-  if (local) render_locally(sequence);
+  // Keep-latest: when the window is full, the oldest frame still waiting for
+  // the packing core is shed to make room — the new frame carries fresher
+  // input, and a frame that has not been dispatched yet is the only one that
+  // can be reclaimed without desyncing a cache mirror.
+  if (static_cast<int>(active_in_flight()) >=
+      governor_->depth_cap(config_.max_pending_requests)) {
+    for (auto& [old_sequence, old_flight] : in_flight_) {
+      if (!old_flight.dispatched && !old_flight.local && !old_flight.shed) {
+        stats_.frames_shed_window++;
+        mark_shed(old_sequence, old_flight, "window");
+        break;
+      }
+    }
+  }
+
+  std::size_t device_index = 0;
+  if (!local) {
+    device_index = dispatcher_.pick(workload);
+    trace_dispatch(sequence, workload, device_index);
+    dispatcher_.on_assigned(device_index, workload);
+  }
+
+  const std::uint64_t depth = active_in_flight() + 1;
+  stats_.pending_depth_sum += depth;
+  stats_.pending_depth_samples++;
+  stats_.pending_depth_max = std::max(stats_.pending_depth_max, depth);
+
+  InFlight flight;
+  flight.issued = loop_.now();
+  flight.device_index = device_index;
+  flight.workload = workload;
+  flight.local = local;
+  // Shadow replica: same contract as the legacy path (state records feed the
+  // local context at issue for offloaded frames).
+  if (!local && local_gles_ != nullptr) {
+    try {
+      wire::replay_frame(state_subset(frame), *local_gles_);
+    } catch (const Error&) {
+      // A divergent replica only degrades fallback pixels, never the stream.
+    }
+  }
+  flight.state_applied_locally = !local;
+  flight.records = std::move(frame);
+  in_flight_.emplace(sequence, std::move(flight));
+
+  // Encode is deferred to pump pickup — the frame may still be shed, and a
+  // shed frame must never have touched the mirrors. Local frames also flow
+  // through the queue so their state-only multicast encodes in sequence
+  // order against the shared state cache.
+  dispatch_queue_.push_back(sequence);
+  schedule_pump();
   return true;
+}
+
+void GBoosterRuntime::mark_shed(std::uint64_t sequence, InFlight& flight,
+                                const char* cause, bool release_assignment) {
+  flight.shed = true;
+  shed_sequences_.insert(sequence);
+  if (release_assignment) {
+    dispatcher_.on_abandoned(flight.device_index, flight.workload);
+  }
+  // The renderer will never see this sequence; in multi-device mode its
+  // state-only copy still flows (contiguity), so only the render stream
+  // floor floats.
+  apply_floors_[flight.device_index] =
+      std::max(apply_floors_[flight.device_index], sequence + 1);
+  if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+    tracer_->instant("frame_shed", endpoint_.id(), loop_.now(),
+                     {{"sequence", static_cast<double>(sequence)},
+                      {std::string("cause_") + cause, 1.0}});
+  }
+  // Wake the presenter on its own event: it may reclaim in_flight_ entries,
+  // and callers of mark_shed still hold references into the table.
+  loop_.schedule_at(loop_.now(), [this] { present_in_order(); });
+}
+
+void GBoosterRuntime::schedule_pump() {
+  if (pump_scheduled_ || dispatch_queue_.empty()) return;
+  pump_scheduled_ = true;
+  loop_.schedule_at(std::max(loop_.now(), cpu_busy_until_), [this] {
+    pump_scheduled_ = false;
+    pump_dispatch_queue();
+  });
+}
+
+void GBoosterRuntime::pump_dispatch_queue() {
+  while (!dispatch_queue_.empty()) {
+    if (cpu_busy_until_ > loop_.now()) {
+      schedule_pump();
+      return;
+    }
+    const std::uint64_t sequence = dispatch_queue_.front();
+    dispatch_queue_.pop_front();
+    const auto it = in_flight_.find(sequence);
+    if (it == in_flight_.end()) continue;  // reclaimed by the gap timeout
+    InFlight& flight = it->second;
+    if (flight.dispatched) continue;  // re-dispatched by the failure path
+
+    // Deadline shedding: a frame that sat in the queue past the governor's
+    // staleness deadline carries input the player has visually moved past.
+    if (!flight.shed && !flight.local &&
+        loop_.now() - flight.issued > governor_->shed_deadline()) {
+      stats_.frames_shed_deadline++;
+      mark_shed(sequence, flight, "deadline");
+    }
+
+    // Encode now, against the current mirrors. A shed frame still sends its
+    // state-only copy in multi-device mode — a hole in the state stream
+    // would poison every replica's decode timeline — with renderer_node 0 so
+    // every replica applies it. Local frames multicast state the same way.
+    const bool send_render_msg = !flight.shed && !flight.local;
+    Bytes state_message;
+    if (device_nodes_.size() > 1) {
+      StateHeader header;
+      header.sequence = sequence;
+      header.renderer_node =
+          send_render_msg ? device_nodes_[flight.device_index] : 0;
+      header.cache_epoch = state_epoch_;
+      header.apply_floor = state_apply_floor_;
+      state_message = make_state_message(header, state_subset(flight.records),
+                                         state_cache_, stats_.state_cache);
+    }
+    Bytes render_message;
+    if (send_render_msg) {
+      RenderRequestHeader header;
+      header.sequence = sequence;
+      header.workload_pixels = flight.workload;
+      header.priority = config_.request_priority;
+      header.cache_epoch = cache_epochs_[flight.device_index];
+      header.apply_floor = apply_floors_[flight.device_index];
+      header.quality = governor_->quality();
+      header.skip_threshold = governor_->skip_threshold();
+      header.mirror_rev = mirror_revs_[flight.device_index]++;
+      flight.quality = header.quality;
+      render_message =
+          make_render_message(header, flight.records,
+                              *render_caches_[flight.device_index],
+                              stats_.render_cache);
+      flight.dispatched = true;
+      stats_.frames_offloaded++;
+    }
+
+    const std::size_t total_bytes =
+        render_message.size() + state_message.size();
+    if (total_bytes > 0) {
+      const double serialize_s = static_cast<double>(total_bytes) * 8.0 /
+                                     config_.serialize_throughput_bps +
+                                 0.0003;
+      stats_.serialize_seconds += serialize_s;
+      cpu_busy_until_ =
+          std::max(cpu_busy_until_, loop_.now()) + seconds(serialize_s);
+      stats_.bytes_sent += total_bytes;
+      if (send_render_msg) {
+        flight.sent_bytes = total_bytes;
+        flight.serialize_s = serialize_s;
+        if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+          tracer_->span(runtime::Stage::kSerialize, endpoint_.id(), sequence,
+                        loop_.now(), cpu_busy_until_);
+        }
+      }
+      if (!state_message.empty()) stats_.state_messages++;
+      schedule_payload_send(sequence, flight.device_index,
+                            std::move(state_message),
+                            std::move(render_message));
+    }
+    if (flight.local) {
+      render_locally(sequence);
+    } else if (flight.shed) {
+      // Nothing further will reference this frame: its dispatcher assignment
+      // was released at shed time and its state copy (if any) is already in
+      // the transport's hands.
+      erase_msg_entries(flight);
+      in_flight_.erase(it);
+    }
+  }
 }
 
 // --- failure handling -------------------------------------------------------
@@ -456,44 +748,79 @@ void GBoosterRuntime::on_transport_abandon(net::NodeId stream,
     }
     return;
   }
-  if (!tracked) return;
+  // Re-entry from a cohort abandon below (or from handle_device_death's
+  // stream sweep): the initiating call resets the mirror and re-dispatches
+  // every affected frame at once; the map cleanup above is all that is left
+  // to do per message.
+  if (stream_abandon_in_progress_) return;
 
   const auto index = index_of(stream);
   if (!index.has_value()) return;
-  const auto fit = in_flight_.find(sequence);
-  if (fit == in_flight_.end()) return;  // completed or reclaimed already
-  InFlight& flight = fit->second;
-  if (flight.local || flight.device_index != *index) return;  // stale
-  flight.has_render_msg = false;
+
   // The abandoned message's records were inserted into the sender-side
   // mirror at encode time, but the device will never decode them — the
   // mirrors are desynced even if the device is alive and well (it may have
-  // simply sat behind a transient partition). The next frame to it would
-  // reference records it never saw and hard-fail its decode. Restart the
-  // pair under a new epoch, and never wait on the lost sequence.
+  // simply sat behind a transient partition). This holds even when the
+  // frame itself is gone (the presenter's gap timeout reclaimed it while
+  // the transport kept repairing its message) or was re-dispatched
+  // elsewhere: the *stream's* device missed the records either way. The
+  // next frame to it would reference records it never saw and hard-fail its
+  // decode. Restart the pair under a new epoch, and never wait on the lost
+  // sequence.
+  InFlight* flight = nullptr;
+  if (tracked) {
+    const auto fit = in_flight_.find(sequence);
+    if (fit != in_flight_.end() && !fit->second.local &&
+        fit->second.device_index == *index) {
+      flight = &fit->second;
+      flight->has_render_msg = false;
+    }
+  }
   reset_render_mirror(*index);
-  apply_floors_[*index] = std::max(apply_floors_[*index], sequence + 1);
+  if (tracked) {
+    apply_floors_[*index] = std::max(apply_floors_[*index], sequence + 1);
+  }
+  // Every other in-flight render message toward this device is poison now:
+  // it was encoded after the lost message inserted records into the retired
+  // mirror, so decoding it would reference records the device never saw.
+  // Drop the whole cohort and re-dispatch it under the fresh epoch.
+  std::vector<std::uint64_t> poisoned;
+  for (auto& [other_sequence, other] : in_flight_) {
+    if ((!tracked || other_sequence != sequence) && !other.local &&
+        !other.shed && other.device_index == *index && other.has_render_msg) {
+      other.has_render_msg = false;
+      // The cohort's messages die with the stream sweep below; the device
+      // must not hold its in-order apply cursor for them (a redispatched
+      // copy replays past the cursor via its redispatch flag).
+      apply_floors_[*index] =
+          std::max(apply_floors_[*index], other_sequence + 1);
+      poisoned.push_back(other_sequence);
+    }
+  }
+  stream_abandon_in_progress_ = true;
+  endpoint_.abandon_stream(stream);
+  stream_abandon_in_progress_ = false;
   if (!config_.health.enabled) {
-    // Monitoring off: no breaker to consult, the gap timeout reclaims the
-    // frame. Other outstanding messages to this device were encoded against
-    // the dead epoch and must not be delivered after the device resets its
-    // mirror — abandoning them re-enters this handler once per message
-    // (safe: the transport erases them all before firing the handlers).
-    endpoint_.abandon_stream(stream);
+    // Monitoring off: no breaker to consult and no re-dispatch — the gap
+    // timeout reclaims the frames.
     return;
   }
   // The transport exhausted its full retry budget toward this device —
-  // decisive evidence on its own.
+  // decisive evidence on its own (one count for the whole cohort).
   if (dispatcher_.record_failure(*index, 1)) {
-    handle_device_death(*index);  // re-dispatches this frame in its sweep
+    handle_device_death(*index);  // re-dispatches the cohort in its sweep
   } else {
-    redispatch_frame(sequence);
+    if (flight != nullptr) redispatch_frame(sequence);
+    for (const std::uint64_t other_sequence : poisoned) {
+      redispatch_frame(other_sequence);
+    }
   }
 }
 
 void GBoosterRuntime::reset_render_mirror(std::size_t index) {
   render_caches_[index] = std::make_unique<compress::CommandCache>();
   cache_epochs_[index]++;
+  mirror_revs_[index] = 0;
   stats_.render_epoch_resets++;
   if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
     tracer_->instant("render_mirror_reset", device_nodes_[index], loop_.now(),
@@ -509,10 +836,12 @@ void GBoosterRuntime::handle_device_death(std::size_t index) {
   // The device's cache mirror is now unreliable (it may never have decoded
   // the tail of the stream): restart the pair under a new epoch.
   reset_render_mirror(index);
-  // Drop outstanding render traffic to the corpse; each abandoned message
-  // fires the abandon handler, which re-dispatches its frame (the breaker
-  // is already open, so those land on healthy devices or the local GPU).
+  // Drop outstanding render traffic to the corpse; the abandon handler
+  // re-entries only clean up their message mappings (the orphan sweep below
+  // re-dispatches every stranded frame in one pass).
+  stream_abandon_in_progress_ = true;
   endpoint_.abandon_stream(device_nodes_[index]);
+  stream_abandon_in_progress_ = false;
   // Stop repairing state multicasts toward it too: a dead member's pending
   // acks would spend the whole outage on retransmissions it cannot hear and
   // hold the group stream floor back for everyone. From here until revival
@@ -531,7 +860,8 @@ void GBoosterRuntime::handle_device_death(std::size_t index) {
   // the packing core) have no outstanding message: sweep the leftovers.
   std::vector<std::uint64_t> orphans;
   for (const auto& [sequence, flight] : in_flight_) {
-    if (!flight.local && flight.device_index == index) {
+    // Shed frames already released their assignment; only live ones move.
+    if (!flight.local && !flight.shed && flight.device_index == index) {
       orphans.push_back(sequence);
     }
   }
@@ -551,8 +881,25 @@ void GBoosterRuntime::redispatch_frame(std::uint64_t sequence) {
   apply_floors_[old_index] =
       std::max(apply_floors_[old_index], sequence + 1);
 
+  // A frame still waiting in the governor's dispatch queue was never
+  // encoded: the pump routes it (fresh render message to the new target, or
+  // local render) in queue order, so its state-only multicast encodes
+  // against the shared cache in sequence order.
+  const bool queued =
+      governor_ != nullptr && !flight.dispatched && !flight.local;
   if (dispatcher_.healthy_count() == 0) {
-    if (config_.enable_local_fallback) render_locally(sequence);
+    if (config_.enable_local_fallback) {
+      if (queued) {
+        flight.local = true;  // the pump starts the render at pickup
+      } else {
+        render_locally(sequence);
+      }
+    } else if (queued) {
+      // No fallback and nowhere to send: shed instead of letting the pump
+      // encode a payload into the void. The assignment was released above.
+      stats_.frames_shed_void++;
+      mark_shed(sequence, flight, "void", /*release_assignment=*/false);
+    }
     // Otherwise leave the frame in flight; the presenter's gap timeout
     // reclaims it.
     return;
@@ -560,6 +907,7 @@ void GBoosterRuntime::redispatch_frame(std::uint64_t sequence) {
   const std::size_t target = dispatcher_.pick(flight.workload);
   dispatcher_.on_assigned(target, flight.workload);
   flight.device_index = target;
+  if (queued) return;  // never sent anywhere: the pump dispatches normally
   stats_.frames_redispatched++;
   send_render(sequence, target);
 }
@@ -567,6 +915,7 @@ void GBoosterRuntime::redispatch_frame(std::uint64_t sequence) {
 void GBoosterRuntime::send_render(std::uint64_t sequence,
                                   std::size_t device_index) {
   InFlight& flight = in_flight_.at(sequence);
+  flight.dispatched = true;  // the pump must not dispatch it a second time
   RenderRequestHeader header;
   header.sequence = sequence;
   header.workload_pixels = flight.workload;
@@ -576,6 +925,7 @@ void GBoosterRuntime::send_render(std::uint64_t sequence,
   header.redispatch = true;
   header.cache_epoch = cache_epochs_[device_index];
   header.apply_floor = apply_floors_[device_index];
+  header.mirror_rev = mirror_revs_[device_index]++;
   Bytes message =
       make_render_message(header, flight.records, *render_caches_[device_index],
                           stats_.render_cache);
@@ -675,6 +1025,7 @@ std::size_t GBoosterRuntime::add_service_device(const ServiceDeviceInfo& info) {
   device_nodes_.push_back(info.node);
   render_caches_.push_back(std::make_unique<compress::CommandCache>());
   cache_epochs_.push_back(0);
+  mirror_revs_.push_back(0);
   apply_floors_.push_back(0);
   needs_snapshot_.push_back(false);
   snapshot_covers_ids_.push_back(0);
@@ -762,7 +1113,11 @@ void GBoosterRuntime::on_message(net::NodeId src, net::NodeId stream,
   const auto src_index = index_of(src);
   if (src_index.has_value()) note_device_alive(*src_index);
   if (!flight.local) {
-    if (src_index.has_value() && *src_index == flight.device_index) {
+    if (parsed->header.shed) {
+      // Admission control cancelled the GPU pass: release the assignment
+      // without feeding the dispatcher a completion time it never earned.
+      dispatcher_.on_abandoned(flight.device_index, flight.workload);
+    } else if (src_index.has_value() && *src_index == flight.device_index) {
       dispatcher_.on_completed(flight.device_index, flight.workload,
                                loop_.now() - flight.issued);
     } else {
@@ -773,6 +1128,25 @@ void GBoosterRuntime::on_message(net::NodeId src, net::NodeId stream,
     }
   }
   stats_.bytes_received += parsed->header.nominal_bytes;
+
+  if (parsed->header.shed) {
+    stats_.frames_shed_service++;
+    // Content, when present, belonged to a victim the service had already
+    // encoded: feed it to the decoder so the codec reference chain stays
+    // intact, but never display it.
+    if (parsed->header.has_content) {
+      (void)decoder_.decode(parsed->encoded_content);
+    }
+    if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+      tracer_->end(runtime::Stage::kDownlink, sequence, loop_.now());
+      tracer_->instant("frame_shed", endpoint_.id(), loop_.now(),
+                       {{"sequence", static_cast<double>(sequence)},
+                        {"cause_service", 1.0}});
+    }
+    shed_sequences_.insert(sequence);
+    present_in_order();
+    return;
+  }
 
   // Decode cost on the user device (Turbo decode of the nominal-resolution
   // stream), charged before the frame becomes displayable.
@@ -803,6 +1177,7 @@ void GBoosterRuntime::on_message(net::NodeId src, net::NodeId stream,
 
   ReadyFrame ready;
   ready.issued = flight.issued;
+  ready.quality = flight.quality;
   ready.displayable_at = loop_.now() + seconds(decode_s);
   if (parsed->header.has_content) {
     auto image = decoder_.decode(parsed->encoded_content);
@@ -817,6 +1192,13 @@ void GBoosterRuntime::present_in_order() {
   // §VI-C: requests may complete out of order across devices; results are
   // displayed strictly by sequence number.
   while (true) {
+    // Sequences shed by the governor or the service are deliberate drops,
+    // not display gaps: advance past them without waiting out the timeout.
+    shed_sequences_.erase(shed_sequences_.begin(),
+                          shed_sequences_.lower_bound(next_display_sequence_));
+    while (shed_sequences_.erase(next_display_sequence_) != 0) {
+      ++next_display_sequence_;
+    }
     const auto it = ready_.find(next_display_sequence_);
     if (it == ready_.end()) {
       // Liveness: if the expected result never arrives (its message was
@@ -825,21 +1207,36 @@ void GBoosterRuntime::present_in_order() {
       if (!ready_.empty()) {
         const SimTime oldest = ready_.begin()->second.displayable_at;
         if (loop_.now() - oldest >= config_.display_gap_timeout) {
-          stats_.frames_dropped +=
-              ready_.begin()->first - next_display_sequence_;
+          const std::uint64_t gap_end = ready_.begin()->first;
+          std::uint64_t dropped = gap_end - next_display_sequence_;
+          // Shed sequences inside the gap were counted at shed time; they
+          // are not transport losses.
+          for (auto shed = shed_sequences_.begin();
+               shed != shed_sequences_.end() && *shed < gap_end;) {
+            --dropped;
+            shed = shed_sequences_.erase(shed);
+          }
+          stats_.frames_dropped += dropped;
           // Release the dispatcher bookkeeping of the lost requests so their
           // phantom workload stops biasing Eq. 4.
           for (auto lost = in_flight_.begin();
-               lost != in_flight_.end() &&
-               lost->first < ready_.begin()->first;) {
-            if (!lost->second.local) {
-              dispatcher_.on_abandoned(lost->second.device_index,
-                                       lost->second.workload);
+               lost != in_flight_.end() && lost->first < gap_end;) {
+            InFlight& stale = lost->second;
+            if (!stale.local && !stale.shed) {
+              dispatcher_.on_abandoned(stale.device_index, stale.workload);
+              // A governed frame reclaimed before the pump dispatched it
+              // never produced a state message: replicas must not wait for
+              // its sequence.
+              if (!stale.dispatched && governor_ != nullptr &&
+                  device_nodes_.size() > 1) {
+                state_apply_floor_ =
+                    std::max(state_apply_floor_, lost->first + 1);
+              }
             }
-            erase_msg_entries(lost->second);
+            erase_msg_entries(stale);
             lost = in_flight_.erase(lost);
           }
-          next_display_sequence_ = ready_.begin()->first;
+          next_display_sequence_ = gap_end;
           continue;
         }
         loop_.schedule_at(oldest + config_.display_gap_timeout,
@@ -864,6 +1261,13 @@ void GBoosterRuntime::present_in_order() {
     }
     if (display_) {
       display_(sequence, loop_.now() - frame.issued, frame.content);
+    }
+    if (governor_ != nullptr) {
+      governor_->on_frame_displayed((loop_.now() - frame.issued).ms());
+    }
+    if (frame.quality > 0) {
+      stats_.quality_sum += static_cast<std::uint64_t>(frame.quality);
+      stats_.quality_samples++;
     }
   }
 }

@@ -27,10 +27,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -38,6 +40,7 @@
 #include "compress/command_cache.h"
 #include "core/dispatcher.h"
 #include "core/offload_protocol.h"
+#include "core/qos_governor.h"
 #include "hooking/dynamic_linker.h"
 #include "net/reliable.h"
 #include "runtime/event_loop.h"
@@ -110,6 +113,12 @@ struct GBoosterConfig {
   // decisions, breaker transitions. Null = tracing off (one pointer compare
   // per site). Must outlive the runtime.
   runtime::Tracer* tracer = nullptr;
+  // Closed-loop overload control (DESIGN.md §11). Disabled (the default)
+  // reproduces the legacy pipeline byte-for-byte; enabled, frames are
+  // dispatched through a deferred-encode queue so overload can shed them
+  // before they ever touch the cache mirrors, and an AIMD governor trades
+  // codec quality for latency.
+  QosGovernorConfig qos;
 };
 
 struct GBoosterStats {
@@ -130,8 +139,22 @@ struct GBoosterStats {
   std::uint64_t pending_depth_sum = 0;
   std::uint64_t pending_depth_samples = 0;
   std::uint64_t pending_depth_max = 0;
+  // Times the §VI-A swap-buffer gate turned the application away (window
+  // full, nothing sheddable): the stall pressure the app actually felt.
+  std::uint64_t issue_stalls = 0;
   // Frames abandoned by the in-order presenter after display_gap_timeout.
   std::uint64_t frames_dropped = 0;
+  // --- overload control (DESIGN.md §11) ------------------------------------
+  // Shed by the governor, by cause — distinguishable from `frames_dropped`
+  // (reclaimed by the transport/gap machinery) in SessionMetrics:
+  std::uint64_t frames_shed_window = 0;    // keep-latest: window full
+  std::uint64_t frames_shed_deadline = 0;  // stale at dispatch pickup
+  std::uint64_t frames_shed_void = 0;      // all devices dead, no fallback
+  std::uint64_t frames_shed_service = 0;   // service admission control
+  // Delivered encoder quality, summed over displayed frames that carried a
+  // governor override (mean = quality_sum / quality_samples).
+  std::uint64_t quality_sum = 0;
+  std::uint64_t quality_samples = 0;
   // --- failure handling ----------------------------------------------------
   std::uint64_t frames_redispatched = 0;      // re-sent after device death
   std::uint64_t frames_rendered_locally = 0;  // fallback path
@@ -173,12 +196,20 @@ class GBoosterRuntime {
   }
 
   // §VI-A flow control: may the application issue another frame right now?
-  [[nodiscard]] bool can_issue_frame() const {
-    return static_cast<int>(in_flight_.size()) < config_.max_pending_requests;
-  }
+  // With the QoS governor on, a full window still admits a frame when an
+  // older undispatched one can be shed in its place (keep-latest), and the
+  // all-dead/no-fallback case always admits (frames are shed at the head
+  // instead of flooding a dead device's stream). Non-const: refused issues
+  // are counted as stalls.
+  [[nodiscard]] bool can_issue_frame();
   [[nodiscard]] std::size_t pending_requests() const {
     return in_flight_.size();
   }
+  // In-flight frames not already reclaimed by the governor (shed frames
+  // linger only until their state-only copy leaves the dispatch queue).
+  [[nodiscard]] std::size_t active_in_flight() const;
+  // Null when config.qos.enabled is false.
+  [[nodiscard]] const QosGovernor* governor() const { return governor_.get(); }
 
   // Fired when a frame reaches the screen: sequence, issue->display latency,
   // and the decoded image (empty in analytic mode).
@@ -232,9 +263,36 @@ class GBoosterRuntime {
     std::uint64_t render_msg_id = 0;
     bool has_state_msg = false;
     std::uint64_t state_msg_id = 0;
+    // --- governor mode only (legacy path dispatches at issue) --------------
+    // Render payload encoded and handed to the transport (or send_render).
+    bool dispatched = false;
+    // Reclaimed by the governor before dispatch; only its state-only copy
+    // (multi-device) still flows, to keep the state stream contiguous.
+    bool shed = false;
+    // Encoder quality override this frame was dispatched with (0 = none).
+    int quality = 0;
   };
 
   bool on_frame(wire::FrameCommands frame);
+  bool on_frame_governed(wire::FrameCommands frame);
+  // Deferred-encode dispatch (governor mode): frames queue at issue and are
+  // encoded against the cache mirrors only when the packing core picks them
+  // up, so a shed frame never leaves a mirror-desyncing hole.
+  void schedule_pump();
+  void pump_dispatch_queue();
+  // Marks an undispatched frame shed: releases its dispatcher assignment
+  // (unless the caller already did), floats its render-stream floor, and
+  // tells the presenter to skip it.
+  void mark_shed(std::uint64_t sequence, InFlight& flight, const char* cause,
+                 bool release_assignment = true);
+  // One governor control window: sample, decide, re-arm.
+  void qos_tick();
+  void trace_dispatch(std::uint64_t sequence, double workload,
+                      std::size_t device_index);
+  // Sends the (already encoded) payloads of one frame once the packing core
+  // frees up, with the epoch guards both dispatch paths share.
+  void schedule_payload_send(std::uint64_t sequence, std::size_t device_index,
+                             Bytes state_message, Bytes render_message);
   void present_in_order();
   void heartbeat_tick();
   void on_ping_timeout(std::uint64_t nonce);
@@ -268,6 +326,10 @@ class GBoosterRuntime {
   // Cache generations, bumped with each sender-side cache reset so the
   // receiving mirror restarts in lockstep (see RenderRequestHeader).
   std::vector<std::uint32_t> cache_epochs_;
+  // Next mirror_rev to stamp on a render message per device; zeroed with each
+  // epoch reset so the service can spot a hole in the decode chain (messages
+  // the transport delivered past an abandoned predecessor).
+  std::vector<std::uint64_t> mirror_revs_;
   std::uint32_t state_epoch_ = 0;
   // Per-device apply floor: sequences below it will never reach the device
   // (abandoned or rendered locally); carried in render headers.
@@ -288,6 +350,11 @@ class GBoosterRuntime {
   std::map<std::uint64_t, InFlight> in_flight_;
   // (stream, transport message id) -> frame sequence, for abandon handling.
   std::map<std::pair<net::NodeId, std::uint64_t>, std::uint64_t> msg_to_seq_;
+  // True while abandon_stream is tearing down a render stream's outstanding
+  // messages: the initiating caller handles the mirror reset and cohort
+  // re-dispatch once, so the per-message abandon re-entries only clean up
+  // their message mappings.
+  bool stream_abandon_in_progress_ = false;
   // Outstanding snapshot messages: (stream, id) -> device index, so an
   // abandoned resync is retried on the device's next liveness signal.
   std::map<std::pair<net::NodeId, std::uint64_t>, std::size_t> snapshot_msgs_;
@@ -296,9 +363,19 @@ class GBoosterRuntime {
     SimTime displayable_at;
     SimTime issued;
     Image content;
+    int quality = 0;  // encoder quality override the frame carried (0 = none)
   };
   std::map<std::uint64_t, ReadyFrame> ready_;
   std::uint64_t next_display_sequence_ = 0;
+
+  // --- overload control (governor mode; DESIGN.md §11) ---------------------
+  std::unique_ptr<QosGovernor> governor_;
+  // Sequences waiting for the packing core, oldest first.
+  std::deque<std::uint64_t> dispatch_queue_;
+  bool pump_scheduled_ = false;
+  // Shed sequences the presenter must step over without waiting for the
+  // display-gap timeout.
+  std::set<std::uint64_t> shed_sequences_;
 
   // Health monitor state: outstanding probes by nonce.
   struct PendingPing {

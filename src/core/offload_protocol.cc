@@ -43,6 +43,11 @@ RenderRequestHeader read_render_header(ByteReader& in) {
   header.redispatch = in.u8() != 0;
   header.cache_epoch = narrow<std::uint32_t>(in.varint());
   header.apply_floor = in.varint();
+  header.quality = narrow<int>(in.varint());
+  // skip_threshold rides as value+1 so the "keep default" sentinel (-1)
+  // stays varint-encodable.
+  header.skip_threshold = narrow<int>(in.varint()) - 1;
+  header.mirror_rev = in.varint();
   return header;
 }
 
@@ -89,6 +94,9 @@ Bytes make_render_message(const RenderRequestHeader& header,
   out.u8(header.redispatch ? 1 : 0);
   out.varint(header.cache_epoch);
   out.varint(header.apply_floor);
+  out.varint(static_cast<std::uint64_t>(header.quality));
+  out.varint(static_cast<std::uint64_t>(header.skip_threshold + 1));
+  out.varint(header.mirror_rev);
   append_compressed(out, pack_commands(frame_records, cache, stats));
   return out.take();
 }
@@ -114,6 +122,7 @@ Bytes make_frame_message(const FrameResultHeader& header,
   out.varint(header.sequence);
   out.u32(header.nominal_bytes);
   out.u8(header.has_content ? 1 : 0);
+  out.u8(header.shed ? 1 : 0);
   out.blob(encoded_content);
   // Pad size-only results so the network carries the nominal byte count —
   // transmission timing must reflect the real stream even when pixel content
@@ -235,6 +244,7 @@ std::optional<ParsedFrame> parse_frame_message(
     parsed.header.sequence = in.varint();
     parsed.header.nominal_bytes = in.u32();
     parsed.header.has_content = in.u8() != 0;
+    parsed.header.shed = in.u8() != 0;
     const auto content = in.blob();
     parsed.encoded_content.assign(content.begin(), content.end());
     return parsed;

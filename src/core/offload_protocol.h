@@ -50,6 +50,20 @@ struct RenderRequestHeader {
   // locally during fallback, or their messages were abandoned): the device
   // fast-forwards its in-order apply cursor past them.
   std::uint64_t apply_floor = 0;
+  // QoS governor overrides (DESIGN.md §11) for the service-side Turbo
+  // encoder, applied before this frame is encoded. quality 0 and
+  // skip_threshold -1 mean "keep the service default" (governor absent or
+  // disabled).
+  int quality = 0;
+  int skip_threshold = -1;
+  // Position of this message in the epoch's decode chain: incremented per
+  // render message encoded against the device's mirror, reset to zero with
+  // each new cache_epoch. The transport can deliver completed messages past
+  // an abandoned hole (stream-floor skip), but those were encoded after the
+  // hole inserted records the device never decoded — a revision gap tells
+  // the device its mirror is stale and the message must be dropped undecoded
+  // (the sender re-dispatches the affected frames under a fresh epoch).
+  std::uint64_t mirror_rev = 0;
 };
 
 // In multi-device mode every frame produces exactly one message per service
@@ -91,6 +105,12 @@ struct FrameResultHeader {
   // (content may be rendered at reduced resolution; see sim fidelity modes).
   std::uint32_t nominal_bytes = 0;
   bool has_content = false;
+  // Service-side admission control shed this request (DESIGN.md §11): the
+  // GPU pass was cancelled or never queued. State records were still applied
+  // (the replica stays consistent) and any content present must still be fed
+  // to the decoder to keep the codec reference chain intact — but the frame
+  // must not be displayed or counted as delivered.
+  bool shed = false;
 };
 
 // --- builders -------------------------------------------------------------

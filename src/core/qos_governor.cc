@@ -1,0 +1,89 @@
+#include "core/qos_governor.h"
+
+#include <algorithm>
+
+#include "runtime/percentile.h"
+
+namespace gb::core {
+
+QosGovernor::QosGovernor(QosGovernorConfig config) : config_(config) {}
+
+void QosGovernor::on_frame_displayed(double latency_ms) {
+  window_latencies_.push_back(latency_ms);
+}
+
+bool QosGovernor::evaluate(SimTime now, double backlog_ms,
+                           std::size_t pending_depth) {
+  stats_.windows_evaluated++;
+  std::sort(window_latencies_.begin(), window_latencies_.end());
+  const bool has_samples = !window_latencies_.empty();
+  last_p95_ms_ = runtime::percentile_sorted(window_latencies_, 0.95);
+  window_latencies_.clear();
+
+  // Overload is any of: latency past target, transport queue deep, pipeline
+  // deep, or a full window with frames in flight and *nothing* displayed —
+  // the stalled case where there is no latency sample to read.
+  const bool overloaded =
+      (has_samples && last_p95_ms_ > config_.target_p95_ms) ||
+      backlog_ms > config_.backlog_overload_ms ||
+      pending_depth >= config_.depth_overload ||
+      (!has_samples && pending_depth > 0);
+  // Calm requires every signal well inside its threshold (hysteresis band).
+  const bool calm =
+      has_samples &&
+      last_p95_ms_ < config_.low_fraction * config_.target_p95_ms &&
+      backlog_ms < 0.5 * config_.backlog_overload_ms &&
+      pending_depth < config_.depth_overload;
+
+  const int before = level_;
+  if (overloaded) {
+    stats_.windows_overloaded++;
+    calm_windows_ = 0;
+    if (level_ < config_.max_level && now - last_change_ >= config_.min_dwell) {
+      level_ = std::min(config_.max_level, level_ + config_.degrade_step);
+    }
+  } else if (calm) {
+    calm_windows_++;
+    if (level_ > 0 && calm_windows_ >= config_.recover_windows &&
+        now - last_change_ >= config_.min_dwell) {
+      level_ = std::max(0, level_ - config_.recover_step);
+      calm_windows_ = 0;
+    }
+  } else {
+    // Neither overloaded nor inside the calm band: hold the level and the
+    // recovery countdown does not advance.
+    calm_windows_ = 0;
+  }
+  if (level_ != before) {
+    last_change_ = now;
+    if (level_ > before) {
+      stats_.level_raises++;
+    } else {
+      stats_.level_drops++;
+    }
+    stats_.max_level_reached = std::max(stats_.max_level_reached, level_);
+  }
+  return level_ != before;
+}
+
+int QosGovernor::quality() const noexcept {
+  return std::max(config_.min_quality,
+                  config_.base_quality - level_ * config_.quality_step);
+}
+
+int QosGovernor::skip_threshold() const noexcept {
+  return std::min(config_.max_skip_threshold,
+                  config_.base_skip_threshold + level_ * config_.skip_step);
+}
+
+SimTime QosGovernor::shed_deadline() const noexcept {
+  if (config_.shed_deadline > SimTime{}) return config_.shed_deadline;
+  return SimTime::from_ms(2.0 * config_.target_p95_ms);
+}
+
+int QosGovernor::depth_cap(int configured_max) const noexcept {
+  return std::max(std::min(config_.min_depth, configured_max),
+                  configured_max - level_ * config_.depth_step);
+}
+
+}  // namespace gb::core

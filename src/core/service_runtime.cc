@@ -25,7 +25,8 @@ ServiceRuntime::ServiceRuntime(EventLoop& loop, net::NodeId node,
       node_(node),
       profile_(std::move(profile)),
       config_(config),
-      endpoint_(std::make_unique<net::ReliableEndpoint>(loop, node)),
+      endpoint_(std::make_unique<net::ReliableEndpoint>(loop, node,
+                                                        config.transport)),
       gpu_(std::make_unique<device::GpuModel>(loop, profile_.gpu)),
       pool_(config.worker_threads == 1
                 ? nullptr
@@ -85,7 +86,22 @@ void ServiceRuntime::on_message(net::NodeId src, net::NodeId stream,
     if (header->cache_epoch != session.render_epoch) {
       session.render_cache = compress::CommandCache();
       session.render_epoch = header->cache_epoch;
+      session.next_render_rev = 0;
     }
+    // Decode-chain contiguity: the transport delivers completed messages past
+    // an abandoned hole, but those were encoded against mirror state the hole
+    // carried. A revision gap means this (and everything after it, until the
+    // sender's epoch reset arrives) must be dropped undecoded — the sender's
+    // abandon handler re-dispatches the affected frames under a fresh epoch.
+    if (header->mirror_rev != session.next_render_rev) {
+      stats_.renders_dropped_stale++;
+      if (runtime::kTracingCompiledIn && config_.tracer != nullptr) {
+        config_.tracer->end(runtime::Stage::kRemoteExec, header->sequence,
+                            loop_.now());
+      }
+      return;
+    }
+    session.next_render_rev++;
     auto parsed = parse_render_message(message, session.render_cache);
     check(parsed.has_value(), "malformed render message");
     fast_forward(session, header->apply_floor);
@@ -190,6 +206,7 @@ void ServiceRuntime::install_snapshot(net::NodeId user, UserSession& session,
   if (snapshot.header.render_cache_epoch != session.render_epoch) {
     session.render_cache = compress::CommandCache();
     session.render_epoch = snapshot.header.render_cache_epoch;
+    session.next_render_rev = 0;
   }
   // Held renders the cursor jump passes over still produce frames: their
   // draws run against the restored state (approximate for requests that

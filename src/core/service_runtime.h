@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -61,6 +62,15 @@ struct ServiceRuntimeConfig {
   // runtime. Spans are keyed by frame sequence, so tracing a multi-user
   // runtime interleaves users on one timeline.
   runtime::Tracer* tracer = nullptr;
+  // Per-user admission cap on GPU-outstanding requests (DESIGN.md §11);
+  // 0 disables. A request arriving with the cap already outstanding cancels
+  // the user's oldest still-queued request that is no more urgent than the
+  // newcomer (keep-latest) and returns a shed notice for it; when nothing
+  // can be cancelled the newcomer itself is shed after state-only replay.
+  int admission_queue_cap = 0;
+  // Transport configuration for this device's endpoint (adaptive RTO on by
+  // default; benches flip it off for the fixed-timer baseline).
+  net::ReliableConfig transport;
 };
 
 struct ServiceRuntimeStats {
@@ -86,6 +96,14 @@ struct ServiceRuntimeStats {
   // State messages below a snapshot's floor, dropped undecoded (the shipped
   // mirror already reflects them).
   std::uint64_t state_messages_skipped_by_snapshot = 0;
+  // Requests shed by admission control (victims cancelled off the GPU queue
+  // plus newcomers rejected at arrival; DESIGN.md §11).
+  std::uint64_t requests_shed_admission = 0;
+  // Render messages dropped undecoded because a mirror_rev gap showed they
+  // were encoded after a message this stream abandoned — decoding them
+  // against the stale mirror would corrupt (the sender re-dispatches the
+  // frames under a fresh cache epoch).
+  std::uint64_t renders_dropped_stale = 0;
 };
 
 class ServiceRuntime {
@@ -101,6 +119,12 @@ class ServiceRuntime {
     return profile_;
   }
   [[nodiscard]] const ServiceRuntimeStats& stats() const { return stats_; }
+  // Requests of this user shed by admission control (per-user breakdown of
+  // stats().requests_shed_admission).
+  [[nodiscard]] std::uint64_t sheds_for_user(net::NodeId user) const {
+    const auto it = users_.find(user);
+    return it == users_.end() ? 0 : it->second.shed_count;
+  }
   // Last frame actually rendered+encoded for any user (for pixel tests).
   [[nodiscard]] const std::optional<Image>& last_rendered_frame() const {
     return last_frame_;
@@ -141,6 +165,11 @@ class ServiceRuntime {
     // reset its cache (after abandoned messages) and the mirror must too.
     std::uint32_t render_epoch = 0;
     std::uint32_t state_epoch = 0;
+    // Expected mirror_rev of the next render message in this epoch's decode
+    // chain (see RenderRequestHeader::mirror_rev). A gap means the transport
+    // skipped an abandoned message this payload was encoded after; everything
+    // until the next epoch reset is dropped undecoded.
+    std::uint64_t next_render_rev = 0;
     // Snapshot/resync machinery (DESIGN.md §10). The sender multicasts a
     // state message for *every* frame, so within one cache epoch the decode
     // timeline on the group stream is contiguous; a gap means this replica
@@ -159,6 +188,21 @@ class ServiceRuntime {
     // restored state instead of being dropped as duplicates.
     std::uint64_t snapshot_jump_from = 0;
     std::uint64_t snapshot_jump_to = 0;
+    // Requests submitted to the GPU and neither completed nor shed, in
+    // submission order: admission control's per-user depth gauge and victim
+    // pool. The encoded content lives here (replay/encode happen at arrival,
+    // in frame order) so a cancelled victim's bytes can still ride its shed
+    // notice — the user-side decoder must see every encoded frame to keep
+    // the codec reference chain intact.
+    struct PendingResult {
+      std::uint64_t ticket = 0;
+      std::uint64_t sequence = 0;
+      int priority = 0;
+      std::uint32_t nominal_bytes = 0;
+      Bytes content;
+    };
+    std::deque<PendingResult> gpu_outstanding;
+    std::uint64_t shed_count = 0;
   };
 
   UserSession& session_for(net::NodeId user);
@@ -181,6 +225,10 @@ class ServiceRuntime {
   // this device already applied from the multicast copy.
   void execute_render(net::NodeId user, UserSession& session,
                       ParsedRender request, bool draw_only = false);
+  // Sends a kFrame result flagged shed (content may be a cancelled victim's
+  // already-encoded bytes) and counts it globally and per user.
+  void send_shed_notice(net::NodeId user, UserSession& session,
+                        std::uint64_t sequence, Bytes content);
 
   EventLoop& loop_;
   net::NodeId node_;

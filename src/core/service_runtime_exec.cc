@@ -10,8 +10,85 @@
 
 namespace gb::core {
 
+void ServiceRuntime::send_shed_notice(net::NodeId user, UserSession& session,
+                                      std::uint64_t sequence, Bytes content) {
+  stats_.requests_shed_admission++;
+  session.shed_count++;
+  FrameResultHeader header;
+  header.sequence = sequence;
+  // Shed notices are small on the wire: only the (possibly empty) encoded
+  // content plus headers, never padded to the nominal frame size.
+  header.nominal_bytes = 64;
+  header.has_content = !content.empty();
+  header.shed = true;
+  if (runtime::kTracingCompiledIn && config_.tracer != nullptr) {
+    config_.tracer->end(runtime::Stage::kRemoteExec, sequence, loop_.now());
+    config_.tracer->instant("request_shed", node_, loop_.now(),
+                            {{"sequence", static_cast<double>(sequence)},
+                             {"user", static_cast<double>(user)}});
+    config_.tracer->begin(runtime::Stage::kDownlink, node_, sequence,
+                          loop_.now());
+  }
+  endpoint_->send(user, make_frame_message(header, content));
+}
+
 void ServiceRuntime::execute_render(net::NodeId user, UserSession& session,
                                     ParsedRender request, bool draw_only) {
+  const std::uint64_t sequence = request.header.sequence;
+  const int priority = request.header.priority;
+
+  // QoS-governor overrides for the per-user Turbo encoder (DESIGN.md §11).
+  // Quality rides in every frame header of the bitstream, so changing it
+  // mid-stream is decoder-safe.
+  if (request.header.quality > 0) {
+    session.encoder.set_quality(request.header.quality);
+  }
+  if (request.header.skip_threshold >= 0) {
+    session.encoder.set_skip_threshold(request.header.skip_threshold);
+  }
+
+  // Admission control (DESIGN.md §11): with the per-user cap already
+  // outstanding, cancel the user's oldest still-queued request that is no
+  // more urgent than the newcomer (keep-latest). When every outstanding
+  // request is running or more urgent, the newcomer itself is shed — its
+  // state records still replay (replica consistency), but draws, encode,
+  // and GPU time are skipped, and the per-user sample counter is untouched.
+  if (config_.admission_queue_cap > 0 &&
+      session.gpu_outstanding.size() >=
+          static_cast<std::size_t>(config_.admission_queue_cap)) {
+    bool admitted = false;
+    for (auto it = session.gpu_outstanding.begin();
+         it != session.gpu_outstanding.end(); ++it) {
+      if (it->priority < priority) continue;  // more urgent: protected
+      if (!gpu_->cancel(it->ticket)) continue;  // already on the GPU
+      UserSession::PendingResult victim = std::move(*it);
+      session.gpu_outstanding.erase(it);
+      send_shed_notice(user, session, victim.sequence,
+                       std::move(victim.content));
+      admitted = true;
+      break;
+    }
+    if (!admitted) {
+      if (session.backend != nullptr) {
+        wire::FrameCommands state_only;
+        state_only.sequence = request.records.sequence;
+        for (const wire::CommandRecord& record : request.records.records) {
+          if (wire::mutates_shared_state(record.op())) {
+            state_only.records.push_back(record);
+          }
+        }
+        try {
+          wire::replay_frame(state_only, *session.backend);
+        } catch (const Error& e) {
+          throw Error("shed-state apply seq " + std::to_string(sequence) +
+                      " on node " + std::to_string(node_) + ": " + e.what());
+        }
+      }
+      send_shed_notice(user, session, sequence, Bytes{});
+      return;
+    }
+  }
+
   if (draw_only) {
     // Redispatched frame: the state records already ran here via the
     // multicast copy; running them again would repeat non-idempotent
@@ -86,14 +163,34 @@ void ServiceRuntime::execute_render(net::NodeId user, UserSession& session,
     session.last_nominal_bytes = nominal_bytes;
   }
 
-  const std::uint64_t sequence = request.header.sequence;
-  gpu_->submit(
+  // The result's bytes wait in gpu_outstanding rather than in the GPU
+  // completion: admission control may cancel this request off the queue and
+  // return them on a shed notice instead.
+  UserSession::PendingResult record;
+  record.sequence = sequence;
+  record.priority = priority;
+  record.nominal_bytes = nominal_bytes;
+  record.content = std::move(content);
+  session.gpu_outstanding.push_back(std::move(record));
+  session.gpu_outstanding.back().ticket = gpu_->submit(
       request.header.workload_pixels,
-      [this, user, sequence, nominal_bytes,
-       reply_content = std::move(content)]() mutable {
+      [this, user, sequence] {
+        const auto session_it = users_.find(user);
+        if (session_it == users_.end()) return;
+        UserSession& done_session = session_it->second;
+        const auto it = std::find_if(
+            done_session.gpu_outstanding.begin(),
+            done_session.gpu_outstanding.end(),
+            [sequence](const UserSession::PendingResult& r) {
+              return r.sequence == sequence;
+            });
+        if (it == done_session.gpu_outstanding.end()) return;  // shed
+        UserSession::PendingResult result = std::move(*it);
+        done_session.gpu_outstanding.erase(it);
         // Crash/suspend semantics: work finishing while the node is inside a
         // fault window went down with it — no result ever leaves the device.
-        if (fault_plan_ != nullptr && fault_plan_->node_down(node_, loop_.now())) {
+        if (fault_plan_ != nullptr &&
+            fault_plan_->node_down(node_, loop_.now())) {
           stats_.requests_lost_to_faults++;
           return;
         }
@@ -105,7 +202,7 @@ void ServiceRuntime::execute_render(net::NodeId user, UserSession& session,
                                 config_.nominal_height /
                                 (profile_.turbo_encode_mpps * 1e6);
         stats_.encode_seconds += encode_s;
-        stats_.encoded_bytes_nominal += nominal_bytes;
+        stats_.encoded_bytes_nominal += result.nominal_bytes;
         if (runtime::kTracingCompiledIn && config_.tracer != nullptr) {
           config_.tracer->end(runtime::Stage::kRemoteExec, sequence,
                               loop_.now());
@@ -114,22 +211,20 @@ void ServiceRuntime::execute_render(net::NodeId user, UserSession& session,
         }
 
         loop_.schedule_after(
-            seconds(encode_s),
-            [this, user, sequence, nominal_bytes,
-             reply_content = std::move(reply_content)] {
+            seconds(encode_s), [this, user, result = std::move(result)] {
               FrameResultHeader header;
-              header.sequence = sequence;
+              header.sequence = result.sequence;
               header.nominal_bytes = std::max<std::uint32_t>(
-                  nominal_bytes, 64);  // floor: headers always flow
-              header.has_content = !reply_content.empty();
-              endpoint_->send(user, make_frame_message(header, reply_content));
+                  result.nominal_bytes, 64);  // floor: headers always flow
+              header.has_content = !result.content.empty();
+              endpoint_->send(user, make_frame_message(header, result.content));
               if (runtime::kTracingCompiledIn && config_.tracer != nullptr) {
                 config_.tracer->begin(runtime::Stage::kDownlink, node_,
-                                      sequence, loop_.now());
+                                      header.sequence, loop_.now());
               }
             });
       },
-      request.header.priority);
+      priority);
 }
 
 }  // namespace gb::core

@@ -35,14 +35,27 @@ void GpuModel::sync() {
   last_sync_ = now;
 }
 
-void GpuModel::submit(double workload_pixels, CompletionFn done,
-                      int priority) {
+std::uint64_t GpuModel::submit(double workload_pixels, CompletionFn done,
+                               int priority) {
   check(workload_pixels >= 0.0, "negative workload");
   sync();
   queued_workload_ += workload_pixels;
-  queue_.push_back(Request{workload_pixels, std::move(done), priority,
-                           arrivals_++});
+  const std::uint64_t ticket = arrivals_++;
+  queue_.push_back(Request{workload_pixels, std::move(done), priority, ticket});
   if (!busy_) start_next();
+  return ticket;
+}
+
+bool GpuModel::cancel(std::uint64_t ticket) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->arrival == ticket) {
+      sync();
+      queued_workload_ -= it->workload_pixels;
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;  // started (erased from queue_ at start_next) or unknown
 }
 
 void GpuModel::start_next() {

@@ -45,8 +45,15 @@ class GpuModel {
   // Enqueues a rendering request of `workload_pixels`; `done` fires when the
   // GPU finishes it. Requests are non-preemptive [31]; ordering follows the
   // configured scheduling policy. `priority`: lower = more urgent (only
-  // meaningful under kPriority).
-  void submit(double workload_pixels, CompletionFn done, int priority = 0);
+  // meaningful under kPriority). Returns a ticket usable with cancel().
+  std::uint64_t submit(double workload_pixels, CompletionFn done,
+                       int priority = 0);
+
+  // Removes a still-queued request (admission-control shedding, DESIGN.md
+  // §11): its workload leaves the queue and its completion never fires.
+  // Returns false when the request already started or finished — execution
+  // is non-preemptive, so a running request cannot be taken back.
+  bool cancel(std::uint64_t ticket);
 
   // Eq. 4 inputs -------------------------------------------------------------
   // Workload of requests queued or in flight, in pixels (the w^j term).

@@ -1,6 +1,7 @@
 #include "net/reliable.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/error.h"
@@ -69,6 +70,50 @@ std::uint64_t ReliableEndpoint::send_multicast(
     NodeId group, const std::vector<NodeId>& members, Bytes message) {
   check(!members.empty(), "multicast needs at least one member");
   return start(group, members, std::move(message), /*multicast=*/true);
+}
+
+SimTime ReliableEndpoint::current_rto(NodeId receiver) const {
+  if (!config_.adaptive_rto) return config_.retransmit_timeout;
+  const auto it = rtt_.find(receiver);
+  if (it == rtt_.end() || !it->second.has_sample) {
+    return config_.retransmit_timeout;
+  }
+  // RFC 6298 shape: RTO = SRTT + 4·RTTVAR, clamped. The clamp floor guards
+  // against spurious repairs on sub-millisecond LAN paths (the ack may still
+  // be in flight); the ceiling keeps a single inflated estimate from
+  // stalling repair entirely.
+  const double rto_us = it->second.srtt_us + 4.0 * it->second.rttvar_us;
+  return std::clamp(SimTime::from_us(static_cast<std::int64_t>(rto_us)),
+                    config_.rto_min, config_.rto_max);
+}
+
+SimTime ReliableEndpoint::message_rto(const OutstandingMessage& msg) const {
+  if (!config_.adaptive_rto) return config_.retransmit_timeout;
+  SimTime rto;
+  bool any = false;
+  for (const OutstandingChunk& chunk : msg.chunks) {
+    for (const NodeId receiver : chunk.pending_acks) {
+      rto = std::max(rto, current_rto(receiver));
+      any = true;
+    }
+  }
+  return any ? rto : config_.retransmit_timeout;
+}
+
+void ReliableEndpoint::record_rtt_sample(NodeId receiver, SimTime rtt) {
+  RttState& state = rtt_[receiver];
+  const double sample_us = static_cast<double>(rtt.us());
+  if (!state.has_sample) {
+    state.has_sample = true;
+    state.srtt_us = sample_us;
+    state.rttvar_us = sample_us / 2.0;
+  } else {
+    // Jacobson/Karels EWMA: alpha = 1/8, beta = 1/4.
+    state.rttvar_us =
+        0.75 * state.rttvar_us + 0.25 * std::abs(state.srtt_us - sample_us);
+    state.srtt_us = 0.875 * state.srtt_us + 0.125 * sample_us;
+  }
+  stats_.rtt_samples++;
 }
 
 void ReliableEndpoint::send_unreliable(NodeId dst, Bytes payload) {
@@ -179,6 +224,7 @@ std::uint64_t ReliableEndpoint::start(NodeId stream,
     out.chunks.push_back(std::move(chunk));
   }
   out.unacked = out.chunks.size() * receivers.size();
+  out.sent_at = loop_.now();
   stats_.messages_sent++;
   stats_.payload_bytes_sent += message.size();
 
@@ -195,7 +241,7 @@ std::uint64_t ReliableEndpoint::start(NodeId stream,
   // A chunk the local radio refused never hit the air, so there is no loss
   // estimate to respect: retry promptly instead of waiting out a full RTO.
   const SimTime delay =
-      transmitted == 0 ? config_.source_drop_retry : config_.retransmit_timeout;
+      transmitted == 0 ? config_.source_drop_retry : message_rto(out);
   out.next_retransmit = loop_.now() + delay;
   outstanding_.emplace(std::make_pair(stream, id), std::move(out));
   schedule_retransmit_tick(delay);
@@ -221,8 +267,11 @@ void ReliableEndpoint::retransmit_tick() {
   // Congestion control: when the medium's transmit queue is already deeper
   // than an RTO, retransmitting only adds fuel — acks are late because the
   // link is saturated, not because packets died. Defer without charging a
-  // retry (the UDT-style rate-based restraint of [19]).
-  if (route_ != nullptr && route_->backlog() > config_.retransmit_timeout) {
+  // retry (the UDT-style rate-based restraint of [19]). With adaptive RTO
+  // the gate moves per message below (each compares the backlog against its
+  // own receivers' RTO); the fixed-timer baseline keeps the global gate.
+  const SimTime backlog = route_ != nullptr ? route_->backlog() : SimTime{};
+  if (!config_.adaptive_rto && backlog > config_.retransmit_timeout) {
     schedule_retransmit_tick(config_.retransmit_timeout);
     return;
   }
@@ -236,6 +285,15 @@ void ReliableEndpoint::retransmit_tick() {
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
     OutstandingMessage& msg = it->second;
     if (now < msg.next_retransmit) {
+      ++it;
+      continue;
+    }
+    const SimTime base_rto = message_rto(msg);
+    if (config_.adaptive_rto && backlog > base_rto) {
+      // Per-receiver congestion gate: acks toward this message's receivers
+      // cannot possibly have returned while the queue ahead of them is
+      // deeper than their RTO. Defer without charging a retry.
+      msg.next_retransmit = now + base_rto;
       ++it;
       continue;
     }
@@ -266,19 +324,22 @@ void ReliableEndpoint::retransmit_tick() {
       // Nothing reached the air: the failure is local (radio asleep, own
       // node down), not path loss. Un-charge the retry so a long radio nap
       // cannot burn through the abandonment budget, and retry promptly.
+      // Nothing new went airborne either, so the message's RTT samples (if
+      // it is still on its original transmission) stay unambiguous.
       msg.retries--;
       msg.next_retransmit = now + config_.source_drop_retry;
     } else {
-      // Exponential backoff caps the repair rate for persistently lossy
-      // paths.
+      // Exponential backoff on top of the (fixed or adaptive) base RTO caps
+      // the repair rate for persistently lossy paths.
+      if (transmitted > 0) msg.retransmitted = true;
       const int shift = std::min(msg.retries, 6);
-      msg.next_retransmit =
-          now + SimTime::from_us(config_.retransmit_timeout.us() << shift);
+      msg.next_retransmit = now + SimTime::from_us(base_rto.us() << shift);
       if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
         tracer_->instant("retransmit", self_, now,
                          {{"stream", static_cast<double>(it->first.first)},
                           {"message_id", static_cast<double>(it->first.second)},
-                          {"retries", static_cast<double>(msg.retries)}});
+                          {"retries", static_cast<double>(msg.retries)},
+                          {"rto_ms", base_rto.ms()}});
       }
     }
     ++it;
@@ -320,6 +381,11 @@ void ReliableEndpoint::handle_ack(const Datagram& datagram) {
   if (chunk_index >= msg.chunks.size()) return;
   OutstandingChunk& chunk = msg.chunks[chunk_index];
   if (chunk.pending_acks.erase(datagram.src) > 0) {
+    // Karn's algorithm: only messages still on their original transmission
+    // yield RTT samples — after a retransmit the ack is ambiguous.
+    if (config_.adaptive_rto && !msg.retransmitted) {
+      record_rtt_sample(datagram.src, loop_.now() - msg.sent_at);
+    }
     if (--msg.unacked == 0) outstanding_.erase(it);
   }
 }

@@ -35,6 +35,9 @@ namespace gb::net {
 
 struct ReliableConfig {
   std::size_t mtu = 1400;
+  // Base retransmission timeout. With `adaptive_rto` off this is the fixed
+  // timer of §IV-B; with it on, it is only the RTO used before the first RTT
+  // sample for a receiver arrives.
   SimTime retransmit_timeout = ms(30);
   int max_retries = 50;
   // Retry delay when the local radio refused the transmission outright (the
@@ -42,6 +45,14 @@ struct ReliableConfig {
   // condition clears on a known schedule (radio wake) rather than a loss
   // guess.
   SimTime source_drop_retry = ms(10);
+  // RTT-adaptive retransmission (Jacobson/Karels): per-receiver SRTT/RTTVAR
+  // estimated from ack round-trips, RTO = SRTT + 4·RTTVAR clamped to
+  // [rto_min, rto_max]. Messages that were ever retransmitted contribute no
+  // samples (Karn's algorithm — the ack is ambiguous about which copy it
+  // answers). `false` keeps the fixed-timer baseline.
+  bool adaptive_rto = true;
+  SimTime rto_min = ms(5);
+  SimTime rto_max = ms(500);
 };
 
 struct ReliableStats {
@@ -56,6 +67,9 @@ struct ReliableStats {
   std::uint64_t chunks_dropped_at_source = 0;
   std::uint64_t unreliable_sent = 0;
   std::uint64_t unreliable_delivered = 0;
+  // Ack round-trips that updated a receiver's SRTT/RTTVAR estimate (zero
+  // when adaptive_rto is off; retransmitted messages are Karn-excluded).
+  std::uint64_t rtt_samples = 0;
 };
 
 // Delivered message: source node, the stream (unicast dst or group id) it
@@ -125,6 +139,10 @@ class ReliableEndpoint {
 
   [[nodiscard]] const ReliableStats& stats() const noexcept { return stats_; }
   [[nodiscard]] NodeId id() const noexcept { return self_; }
+  // The retransmission timeout currently in force toward `receiver`: the
+  // clamped Jacobson/Karels estimate once a sample exists, the configured
+  // fixed timeout otherwise (or always, with adaptive_rto off).
+  [[nodiscard]] SimTime current_rto(NodeId receiver) const;
   // True when every sent message has been fully acknowledged.
   [[nodiscard]] bool idle() const noexcept { return outstanding_.empty(); }
   // True while the message is still being delivered/repaired; false once it
@@ -144,6 +162,16 @@ class ReliableEndpoint {
     std::size_t unacked = 0;
     int retries = 0;
     SimTime next_retransmit;  // exponential backoff deadline
+    SimTime sent_at;          // initial transmission time (RTT sampling)
+    // Karn's algorithm: once any chunk re-hits the air, an ack no longer
+    // says which copy it answers, so the message stops contributing samples.
+    bool retransmitted = false;
+  };
+  // Jacobson/Karels estimator state, one per receiver node.
+  struct RttState {
+    bool has_sample = false;
+    double srtt_us = 0.0;
+    double rttvar_us = 0.0;
   };
   struct PartialMessage {
     std::vector<Bytes> chunks;
@@ -164,6 +192,11 @@ class ReliableEndpoint {
   void handle_unreliable(const Datagram& datagram);
   void schedule_retransmit_tick(SimTime delay);
   void retransmit_tick();
+  // Base RTO for one message: the worst (largest) current_rto across the
+  // receivers still owing acks — conservative for multicast, so one slow
+  // straggler does not trigger spurious repairs toward the fast members.
+  [[nodiscard]] SimTime message_rto(const OutstandingMessage& msg) const;
+  void record_rtt_sample(NodeId receiver, SimTime rtt);
   // Oldest message id not yet abandoned on `stream` — the receiver-side
   // delivery floor advertised in every data chunk.
   [[nodiscard]] std::uint64_t stream_floor(NodeId stream) const;
@@ -189,6 +222,7 @@ class ReliableEndpoint {
   std::map<std::pair<NodeId, std::uint64_t>, OutstandingMessage> outstanding_;
   // Reassembly, keyed by (source node, stream id).
   std::map<std::pair<NodeId, NodeId>, StreamState> streams_;
+  std::map<NodeId, RttState> rtt_;
   ReliableStats stats_;
   std::vector<NodeId> last_abandoned_receivers_;
   runtime::Tracer* tracer_ = nullptr;

@@ -62,6 +62,9 @@ SessionMetrics MetricsCollector::finalize(SimTime session_duration) const {
   m.stall_seconds = stall_s_;
   std::vector<double> sorted_lat = latencies_ms_;
   std::sort(sorted_lat.begin(), sorted_lat.end());
+  m.p95_response_ms =
+      sorted_lat[static_cast<std::size_t>(
+          static_cast<double>(sorted_lat.size() - 1) * 0.95)];
   m.p99_response_ms =
       sorted_lat[static_cast<std::size_t>(
           static_cast<double>(sorted_lat.size() - 1) * 0.99)];

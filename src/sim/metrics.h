@@ -41,7 +41,9 @@ struct SessionMetrics {
   // Total time the display was visibly frozen: the sum, over inter-frame
   // gaps longer than 100 ms, of the excess past that threshold.
   double stall_seconds = 0.0;
-  // 99th-percentile issue-to-display latency.
+  // Tail issue-to-display latencies. p95 is the QoS governor's control
+  // target (DESIGN.md §11) and the overload benchmark's headline metric.
+  double p95_response_ms = 0.0;
   double p99_response_ms = 0.0;
   // Mean *measured* issue-to-display latency. Unlike avg_response_ms (which
   // the offload session overwrites with the Eq. 5 model), this is always the

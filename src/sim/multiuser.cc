@@ -54,6 +54,7 @@ MultiUserResult run_multiuser_session(const MultiUserConfig& config) {
   service_config.render_width = config.render_width;
   service_config.render_height = config.render_height;
   service_config.content_sample_every = config.content_sample_every;
+  service_config.admission_queue_cap = config.admission_queue_cap;
   device::DeviceProfile service_profile = config.service_device;
   service_profile.gpu.fillrate_pps *= service_profile.gpu_request_efficiency;
   auto service = std::make_unique<core::ServiceRuntime>(
@@ -74,6 +75,7 @@ MultiUserResult run_multiuser_session(const MultiUserConfig& config) {
     gb_config.max_pending_requests = config.max_pending;
     gb_config.request_priority = participant.priority;
     gb_config.state_group = 0xff00 + static_cast<net::NodeId>(u);
+    gb_config.qos = config.qos;
     user->gbooster = std::make_unique<core::GBoosterRuntime>(
         loop, gb_config, *user->endpoint,
         std::vector<core::ServiceDeviceInfo>{
@@ -147,9 +149,16 @@ MultiUserResult run_multiuser_session(const MultiUserConfig& config) {
   loop.run_until(seconds(config.duration_s));
 
   MultiUserResult result;
-  for (const auto& user : users) {
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const auto& user = users[u];
     result.per_user.push_back(
         user->metrics.finalize(seconds(config.duration_s)));
+    result.service_sheds_per_user.push_back(
+        service->sheds_for_user(static_cast<net::NodeId>(1 + u)));
+    const core::GBoosterStats& gstats = user->gbooster->stats();
+    result.governor_sheds_per_user.push_back(gstats.frames_shed_window +
+                                             gstats.frames_shed_deadline +
+                                             gstats.frames_shed_void);
     double mean = 0.0;
     double p95 = 0.0;
     if (!user->latencies_ms.empty()) {

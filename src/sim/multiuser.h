@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "apps/workload.h"
+#include "core/qos_governor.h"
 #include "device/device_profiles.h"
 #include "device/gpu_model.h"
 #include "sim/metrics.h"
@@ -38,6 +39,11 @@ struct MultiUserConfig {
   // visible in the latency numbers (deep pipelines hide scheduler effects
   // behind self-queueing).
   int max_pending = 2;
+  // Service-side per-user admission cap (DESIGN.md §11); 0 disables.
+  int admission_queue_cap = 0;
+  // User-side QoS governor applied to every participant (disabled by
+  // default, like single-user sessions).
+  core::QosGovernorConfig qos;
 };
 
 struct MultiUserResult {
@@ -48,6 +54,12 @@ struct MultiUserResult {
   // FCFS hurts: the urgent user occasionally queues behind a heavy request.
   std::vector<double> mean_latency_ms;
   std::vector<double> p95_latency_ms;
+  // Requests of each user shed by service-side admission control
+  // (DESIGN.md §11); all-zero when admission_queue_cap is 0.
+  std::vector<std::uint64_t> service_sheds_per_user;
+  // Frames each user's own governor shed before dispatch (window/deadline/
+  // void causes combined); all-zero when the governor is disabled.
+  std::vector<std::uint64_t> governor_sheds_per_user;
   double service_gpu_busy_fraction = 0.0;
 };
 

@@ -248,7 +248,7 @@ SessionResult run_offload(const SessionConfig& config) {
   net::RadioInterface user_bt(loop, net::bluetooth_radio_config(), "user-bt");
 
   constexpr net::NodeId kUserNode = 1;
-  net::ReliableEndpoint user_endpoint(loop, kUserNode);
+  net::ReliableEndpoint user_endpoint(loop, kUserNode, config.transport);
   user_endpoint.bind(wifi, &user_wifi);
   user_endpoint.bind(bt, &user_bt);
   if (tracer != nullptr) {
@@ -447,6 +447,8 @@ SessionResult run_offload(const SessionConfig& config) {
   if (fault_plan.has_value()) result.faults = fault_plan->stats();
   for (const auto& service : services) {
     result.requests_lost_to_faults += service->stats().requests_lost_to_faults;
+    result.requests_shed_admission +=
+        service->stats().requests_shed_admission;
   }
   return result;
 }

@@ -23,6 +23,7 @@
 #include "core/service_runtime.h"
 #include "device/device_profiles.h"
 #include "net/fault_plan.h"
+#include "net/reliable.h"
 #include "predict/traffic_predictor.h"
 #include "runtime/trace.h"
 #include "sim/metrics.h"
@@ -43,6 +44,11 @@ struct SessionConfig {
 
   double wifi_loss_rate = 0.002;
   double bt_loss_rate = 0.005;
+
+  // User-endpoint transport configuration (service endpoints read
+  // service.transport). Benches flip adaptive_rto off on both for the
+  // fixed-timer baseline.
+  net::ReliableConfig transport;
 
   // --- fault injection -----------------------------------------------------
   // Crash/suspend a service device for [start_s, end_s): it neither sends
@@ -106,6 +112,7 @@ struct SessionResult {
   net::FaultPlanStats faults;
   // Summed over service devices.
   std::uint64_t requests_lost_to_faults = 0;
+  std::uint64_t requests_shed_admission = 0;
 
   std::vector<predict::TrafficSample> traffic_trace;
   // (seconds, MHz) / (seconds, Celsius), sampled every 2 s.
