@@ -1,5 +1,6 @@
 // Thread-scaling benchmark for the parallel frame pipeline: Turbo encode,
-// Turbo decode, and row-band rasterization at 1/2/4/8 worker threads.
+// Turbo decode, tile-binned (TBDR) vs. row-band rasterization, and fused
+// vs. barrier render+encode at 1/2/4/8 worker threads.
 //
 //   ./bench_parallel_pipeline                      # console table
 //   ./bench_parallel_pipeline --benchmark_format=json
@@ -15,6 +16,7 @@
 #include "bench_util.h"
 #include "codec/turbo_codec.h"
 #include "common/rng.h"
+#include "core/tile_fusion.h"
 #include "gles/direct_backend.h"
 
 using namespace gb;
@@ -79,23 +81,86 @@ void BM_ParallelDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelDecode)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
-void BM_ParallelRaster(benchmark::State& state) {
+// Rasterizes the benchmark scene with either fragment-stage scheduler and
+// reports throughput plus the TBDR stage counters (per frame): tiles with
+// geometry vs. skipped empty tiles, and fragments the early-Z winner pass
+// eliminated without shading. Both modes produce byte-identical pixels
+// (tests/test_tbdr.cc), so the MP/s columns compare like for like.
+void run_raster_bench(benchmark::State& state, gles::RasterMode mode) {
   gles::DirectBackend backend(kWidth, kHeight, {});
+  backend.context().set_raster_mode(mode);
   backend.context().set_raster_threads(static_cast<int>(state.range(0)));
   apps::GameApp app(apps::g2_modern_combat(), backend, kWidth, kHeight,
                     Rng(9));
   app.setup();
+  backend.context().mutable_stats().reset();
   double t = 0.3;
   std::size_t pixels = 0;
+  std::size_t iterations = 0;
   for (auto _ : state) {
     app.render_frame(t, false);
     t += 0.04;
     benchmark::DoNotOptimize(backend.context().color_buffer().data());
     pixels += backend.context().color_buffer().pixel_count();
+    ++iterations;
+  }
+  report_throughput(state, pixels);
+  const gles::RenderStats& stats = backend.context().stats();
+  const double frames = static_cast<double>(iterations > 0 ? iterations : 1);
+  state.counters["tiles_shaded/frame"] =
+      static_cast<double>(stats.tiles_shaded) / frames;
+  state.counters["tiles_empty/frame"] =
+      static_cast<double>(stats.tiles_empty) / frames;
+  state.counters["early_z_culled/frame"] =
+      static_cast<double>(stats.fragments_early_z_culled) / frames;
+}
+
+void BM_ParallelRaster(benchmark::State& state) {
+  run_raster_bench(state, gles::RasterMode::kTileBinned);
+}
+BENCHMARK(BM_ParallelRaster)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_RowBandRaster(benchmark::State& state) {
+  run_raster_bench(state, gles::RasterMode::kRowBand);
+}
+BENCHMARK(BM_RowBandRaster)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Render + encode as the service runtime runs them: the unfused baseline
+// rasterizes the whole frame, hits the full-frame barrier, then encodes;
+// the fused path hands each finished 16x16 render tile straight to the
+// encoder's per-tile pass (core/tile_fusion.h). Same bitstream either way.
+void run_render_encode_bench(benchmark::State& state, bool fused) {
+  gles::DirectBackend backend(kWidth, kHeight, {});
+  backend.context().set_raster_threads(static_cast<int>(state.range(0)));
+  apps::GameApp app(apps::g2_modern_combat(), backend, kWidth, kHeight,
+                    Rng(9));
+  app.setup();
+  codec::TurboConfig config;
+  config.threads = static_cast<int>(state.range(0));
+  codec::TurboEncoder encoder(config);
+  double t = 0.3;
+  std::size_t pixels = 0;
+  for (auto _ : state) {
+    app.render_frame(t, false);
+    t += 0.04;
+    const Bytes out =
+        fused ? core::encode_frame_fused(backend.context(), encoder)
+              : encoder.encode(backend.context().color_buffer());
+    benchmark::DoNotOptimize(out.data());
+    pixels += backend.context().color_buffer().pixel_count();
   }
   report_throughput(state, pixels);
 }
-BENCHMARK(BM_ParallelRaster)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_RenderThenEncode(benchmark::State& state) {
+  run_render_encode_bench(state, /*fused=*/false);
+}
+BENCHMARK(BM_RenderThenEncode)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_FusedRenderEncode(benchmark::State& state) {
+  run_render_encode_bench(state, /*fused=*/true);
+}
+BENCHMARK(BM_FusedRenderEncode)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 // End-to-end offload session with the per-stage latency breakdown enabled:
 // where the frame time goes (serialize / uplink / remote-exec / turbo-encode

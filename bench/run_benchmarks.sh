@@ -4,6 +4,13 @@
 #
 #   bench/run_benchmarks.sh [build-dir] [out-dir]
 #
+# The build directory defaults to build-bench/, a dedicated Release tree
+# this script configures itself (the default build/ is typically a debug
+# tree, and debug numbers are meaningless — historically they got pasted
+# into EXPERIMENTS.md by accident). Passing an explicit build-dir skips the
+# configure step but NOT the check: the script refuses to publish results
+# from a tree whose CMAKE_BUILD_TYPE is not Release.
+#
 # JSON output (--benchmark_format=json) is the stable machine-readable
 # interface; EXPERIMENTS.md quotes numbers from these files. Each result is
 # additionally copied to BENCH_<name>.json at the repository root so the
@@ -14,12 +21,34 @@
 # `stage_<name>_ms` / `stage_<name>_p99_ms` for each pipeline stage
 # (serialize, uplink, remote_exec, turbo_encode, downlink, decode, present,
 # local_render). The stage means tile the issue-to-display interval, so they
-# sum to `issue_to_display_ms` (see DESIGN.md §9).
+# sum to `issue_to_display_ms` (see DESIGN.md §9). bench_parallel_pipeline
+# additionally exports the TBDR rasterizer's tile/early-Z stage counters.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-build}"
+build_dir="${1:-build-bench}"
 out_dir="${2:-bench-results}"
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+if [[ ! -d "${build_dir}" || ! -f "${build_dir}/CMakeCache.txt" ]]; then
+  echo "configuring Release benchmark tree in ${build_dir} ..." >&2
+  cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+                  "${build_dir}/CMakeCache.txt")"
+if [[ "${build_type}" != "Release" ]]; then
+  echo "error: ${build_dir} is a '${build_type:-<unset>}' tree; benchmarks" >&2
+  echo "must come from a Release build. Use the default build-bench dir or" >&2
+  echo "reconfigure with -DCMAKE_BUILD_TYPE=Release." >&2
+  exit 2
+fi
+
+echo "building benchmarks (${build_type}) ..." >&2
+cmake --build "${build_dir}" -j "${JOBS}" >/dev/null
+
 mkdir -p "${out_dir}"
 
 benches=(bench_codec_speed bench_parallel_pipeline bench_fault_recovery

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Repo check driver: the tier-1 build + full test suite, then the failure-
-# handling test labels (faults, observability, snapshot, overload) rebuilt
-# and rerun
-# under AddressSanitizer and ThreadSanitizer (CMakeLists.txt GB_SANITIZE).
+# handling test labels (faults, observability, snapshot, overload, raster)
+# rebuilt and rerun under AddressSanitizer and ThreadSanitizer
+# (CMakeLists.txt GB_SANITIZE), and the rasterizer/codec identity suites
+# rerun with GB_SIMD=OFF to prove the vectorized hot paths are bit-exact
+# against the scalar build.
 #
-#   scripts/check.sh              # tier-1 + asan + tsan
-#   scripts/check.sh tier1        # just the tier-1 build + full ctest
-#   scripts/check.sh asan tsan    # just the sanitizer configurations
+#   scripts/check.sh                   # tier-1 + asan + tsan + nosimd
+#   scripts/check.sh tier1             # just the tier-1 build + full ctest
+#   scripts/check.sh asan tsan         # just the sanitizer configurations
+#   scripts/check.sh nosimd            # just the GB_SIMD=OFF identity run
 #
-# Sanitizer builds live in build-asan/ and build-tsan/ so they never disturb
-# the primary build/ tree.
+# Secondary builds live in build-asan/, build-tsan/ and build-nosimd/ so
+# they never disturb the primary build/ tree.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,9 +20,13 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 # The recovery/observability/overload suites, which is where sanitizer
 # findings have historically lived (races in the frame pipeline, lifetime
-# bugs in the failure and shedding paths). -L takes a regex; one call covers
-# all four labels.
-SAN_LABELS='faults|observability|snapshot|overload'
+# bugs in the failure and shedding paths), plus the tile-binned raster
+# scheduler (concurrent tile rasterization + fused tile encode). -L takes a
+# regex; one call covers all five labels.
+SAN_LABELS='faults|observability|snapshot|overload|raster'
+# Suites whose outputs must not change when GB_SIMD is toggled: the
+# rasterizer identity tests and the codec/LZ4 bitstream tests.
+NOSIMD_LABELS='raster|codec'
 
 run_tier1() {
   echo "==> tier-1: default build + full ctest"
@@ -36,8 +43,16 @@ run_sanitizer() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -L "${SAN_LABELS}"
 }
 
+run_nosimd() {
+  echo "==> nosimd: GB_SIMD=OFF build + ctest -L '${NOSIMD_LABELS}'"
+  cmake -B build-nosimd -S . -DGB_SIMD=OFF >/dev/null
+  cmake --build build-nosimd -j "${JOBS}"
+  ctest --test-dir build-nosimd --output-on-failure -j "${JOBS}" \
+        -L "${NOSIMD_LABELS}"
+}
+
 if [ "$#" -eq 0 ]; then
-  set -- tier1 asan tsan
+  set -- tier1 asan tsan nosimd
 fi
 
 for step in "$@"; do
@@ -45,7 +60,9 @@ for step in "$@"; do
     tier1) run_tier1 ;;
     asan) run_sanitizer asan address ;;
     tsan) run_sanitizer tsan thread ;;
-    *) echo "unknown step '${step}' (expected tier1|asan|tsan)" >&2; exit 2 ;;
+    nosimd) run_nosimd ;;
+    *) echo "unknown step '${step}' (expected tier1|asan|tsan|nosimd)" >&2
+       exit 2 ;;
   esac
 done
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/simd.h"
 
 namespace gb::codec {
 namespace {
@@ -131,6 +132,9 @@ int code_block(const Block8x8& spatial, const std::array<int, 64>& quant,
   }
   if (run > 0) units.push_back(CodedUnit{kEobSymbol, 0, 0});
 
+  // Dequantize for the in-loop reconstruction: exact integer products per
+  // lane, safe to vectorize without changing results.
+  GB_SIMD_LOOP
   for (int i = 0; i < 64; ++i) {
     recon[static_cast<std::size_t>(i)] =
         static_cast<float>(q[static_cast<std::size_t>(i)] *
@@ -167,6 +171,7 @@ int decode_block(BitReader& bits, const HuffmanDecoder& huff,
         decode_magnitude(bits.get_bits(size), size);
     ++i;
   }
+  GB_SIMD_LOOP
   for (int k = 0; k < 64; ++k) {
     recon[static_cast<std::size_t>(k)] =
         static_cast<float>(q[static_cast<std::size_t>(k)] *
@@ -254,15 +259,23 @@ void set_y_subblock(std::array<float, 256>& plane, int bx, int by,
 }
 
 int tile_max_delta(const Image& a, const Image& b, int tx, int ty, int size) {
+  // This runs on every tile of every frame, so it walks row pointers instead
+  // of bounds-checked pixel() calls. The max reduction over |a - b| is exact
+  // integer math: vectorizing it cannot change the result. Alpha lanes are
+  // masked to zero so the comparison stays RGB-only, as before.
   int max_delta = 0;
-  for (int y = ty; y < std::min(ty + size, a.height()); ++y) {
-    for (int x = tx; x < std::min(tx + size, a.width()); ++x) {
-      const std::uint8_t* pa = a.pixel(x, y);
-      const std::uint8_t* pb = b.pixel(x, y);
-      for (int c = 0; c < 3; ++c) {
-        max_delta = std::max(max_delta, std::abs(static_cast<int>(pa[c]) -
-                                                 static_cast<int>(pb[c])));
-      }
+  const int y_end = std::min(ty + size, a.height());
+  const int x_end = std::min(tx + size, a.width());
+  const int lanes = (x_end - tx) * 4;
+  for (int y = ty; y < y_end; ++y) {
+    const std::uint8_t* ra = a.row(y) + static_cast<std::size_t>(tx) * 4;
+    const std::uint8_t* rb = b.row(y) + static_cast<std::size_t>(tx) * 4;
+    GB_SIMD_PRAGMA(omp simd reduction(max : max_delta))
+    for (int i = 0; i < lanes; ++i) {
+      const int d = (i & 3) == 3
+                        ? 0
+                        : static_cast<int>(ra[i]) - static_cast<int>(rb[i]);
+      max_delta = std::max(max_delta, d < 0 ? -d : d);
     }
   }
   return max_delta;

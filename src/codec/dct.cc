@@ -3,12 +3,18 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/simd.h"
+
 namespace gb::codec {
 namespace {
 
-// Precomputed cos((2x+1) u pi / 16) basis and normalization factors.
+// Precomputed cos((2x+1) u pi / 16) basis and normalization factors. The
+// basis is kept in both [u][x] and transposed [x][u] layouts: the separable
+// passes below accumulate all eight output lanes u at once (one lane per
+// SIMD element), so the inner loop wants the u axis contiguous.
 struct DctTables {
-  std::array<std::array<float, 8>, 8> cosine{};  // [u][x]
+  std::array<std::array<float, 8>, 8> cosine{};    // [u][x]
+  std::array<std::array<float, 8>, 8> cosine_t{};  // [x][u]
   std::array<float, 8> alpha{};
 
   DctTables() {
@@ -16,9 +22,11 @@ struct DctTables {
       alpha[static_cast<std::size_t>(u)] =
           u == 0 ? 1.0f / std::numbers::sqrt2_v<float> : 1.0f;
       for (int x = 0; x < 8; ++x) {
-        cosine[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)] =
+        const float c =
             std::cos((2.0f * static_cast<float>(x) + 1.0f) *
                      static_cast<float>(u) * std::numbers::pi_v<float> / 16.0f);
+        cosine[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)] = c;
+        cosine_t[static_cast<std::size_t>(x)][static_cast<std::size_t>(u)] = c;
       }
     }
   }
@@ -31,31 +39,53 @@ const DctTables& tables() {
 
 }  // namespace
 
+// Both transforms accumulate per output lane in ascending input order —
+// exactly the order the scalar dot-product formulation used — so lanes are
+// independent (safe for omp simd) and results stay bit-identical whether or
+// not the loop is vectorized.
+
 void forward_dct(Block8x8& block) {
   const DctTables& t = tables();
   Block8x8 tmp{};
-  // Rows.
+  // Rows: tmp[y][u] = 0.5 * alpha[u] * sum_x block[y][x] * cos[u][x].
   for (int y = 0; y < 8; ++y) {
-    for (int u = 0; u < 8; ++u) {
-      float sum = 0.0f;
-      for (int x = 0; x < 8; ++x) {
-        sum += block[static_cast<std::size_t>(y * 8 + x)] *
-               t.cosine[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+    const float* row = &block[static_cast<std::size_t>(y * 8)];
+    std::array<float, 8> acc{};
+    for (int x = 0; x < 8; ++x) {
+      const float s = row[x];
+      const std::array<float, 8>& basis =
+          t.cosine_t[static_cast<std::size_t>(x)];
+      GB_SIMD_LOOP
+      for (int u = 0; u < 8; ++u) {
+        acc[static_cast<std::size_t>(u)] +=
+            s * basis[static_cast<std::size_t>(u)];
       }
+    }
+    GB_SIMD_LOOP
+    for (int u = 0; u < 8; ++u) {
       tmp[static_cast<std::size_t>(y * 8 + u)] =
-          sum * 0.5f * t.alpha[static_cast<std::size_t>(u)];
+          acc[static_cast<std::size_t>(u)] * 0.5f *
+          t.alpha[static_cast<std::size_t>(u)];
     }
   }
-  // Columns.
-  for (int u = 0; u < 8; ++u) {
-    for (int v = 0; v < 8; ++v) {
-      float sum = 0.0f;
-      for (int y = 0; y < 8; ++y) {
-        sum += tmp[static_cast<std::size_t>(y * 8 + u)] *
-               t.cosine[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+  // Columns: block[v][u] = 0.5 * alpha[v] * sum_y tmp[y][u] * cos[v][y].
+  // Lanes run along u (contiguous within a row of tmp), outputs along v.
+  for (int v = 0; v < 8; ++v) {
+    std::array<float, 8> acc{};
+    for (int y = 0; y < 8; ++y) {
+      const float c =
+          t.cosine[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      const float* row = &tmp[static_cast<std::size_t>(y * 8)];
+      GB_SIMD_LOOP
+      for (int u = 0; u < 8; ++u) {
+        acc[static_cast<std::size_t>(u)] += row[u] * c;
       }
+    }
+    const float scale = 0.5f * t.alpha[static_cast<std::size_t>(v)];
+    GB_SIMD_LOOP
+    for (int u = 0; u < 8; ++u) {
       block[static_cast<std::size_t>(v * 8 + u)] =
-          sum * 0.5f * t.alpha[static_cast<std::size_t>(v)];
+          acc[static_cast<std::size_t>(u)] * scale;
     }
   }
 }
@@ -63,28 +93,42 @@ void forward_dct(Block8x8& block) {
 void inverse_dct(Block8x8& block) {
   const DctTables& t = tables();
   Block8x8 tmp{};
-  // Columns.
-  for (int u = 0; u < 8; ++u) {
-    for (int y = 0; y < 8; ++y) {
-      float sum = 0.0f;
-      for (int v = 0; v < 8; ++v) {
-        sum += t.alpha[static_cast<std::size_t>(v)] *
-               block[static_cast<std::size_t>(v * 8 + u)] *
-               t.cosine[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+  // Columns: tmp[y][u] = 0.5 * sum_v alpha[v] * block[v][u] * cos[v][y].
+  for (int y = 0; y < 8; ++y) {
+    std::array<float, 8> acc{};
+    for (int v = 0; v < 8; ++v) {
+      const float c =
+          t.alpha[static_cast<std::size_t>(v)] *
+          t.cosine[static_cast<std::size_t>(v)][static_cast<std::size_t>(y)];
+      const float* row = &block[static_cast<std::size_t>(v * 8)];
+      GB_SIMD_LOOP
+      for (int u = 0; u < 8; ++u) {
+        acc[static_cast<std::size_t>(u)] += row[u] * c;
       }
-      tmp[static_cast<std::size_t>(y * 8 + u)] = sum * 0.5f;
+    }
+    GB_SIMD_LOOP
+    for (int u = 0; u < 8; ++u) {
+      tmp[static_cast<std::size_t>(y * 8 + u)] =
+          acc[static_cast<std::size_t>(u)] * 0.5f;
     }
   }
-  // Rows.
+  // Rows: block[y][x] = 0.5 * sum_u alpha[u] * tmp[y][u] * cos[u][x].
   for (int y = 0; y < 8; ++y) {
-    for (int x = 0; x < 8; ++x) {
-      float sum = 0.0f;
-      for (int u = 0; u < 8; ++u) {
-        sum += t.alpha[static_cast<std::size_t>(u)] *
-               tmp[static_cast<std::size_t>(y * 8 + u)] *
-               t.cosine[static_cast<std::size_t>(u)][static_cast<std::size_t>(x)];
+    const float* row = &tmp[static_cast<std::size_t>(y * 8)];
+    std::array<float, 8> acc{};
+    for (int u = 0; u < 8; ++u) {
+      const float s = row[u] * t.alpha[static_cast<std::size_t>(u)];
+      const std::array<float, 8>& basis = t.cosine[static_cast<std::size_t>(u)];
+      GB_SIMD_LOOP
+      for (int x = 0; x < 8; ++x) {
+        acc[static_cast<std::size_t>(x)] +=
+            s * basis[static_cast<std::size_t>(x)];
       }
-      block[static_cast<std::size_t>(y * 8 + x)] = sum * 0.5f;
+    }
+    GB_SIMD_LOOP
+    for (int x = 0; x < 8; ++x) {
+      block[static_cast<std::size_t>(y * 8 + x)] =
+          acc[static_cast<std::size_t>(x)] * 0.5f;
     }
   }
 }

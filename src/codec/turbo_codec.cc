@@ -205,79 +205,68 @@ void TurboEncoder::set_skip_threshold(int threshold) {
   config_.skip_threshold = std::max(threshold, 0);
 }
 
-Bytes TurboEncoder::encode(const Image& frame) {
-  check(!frame.empty(), "cannot encode empty frame");
-  const bool keyframe = reference_.width() != frame.width() ||
-                        reference_.height() != frame.height();
+void TurboEncoder::begin_frame(int width, int height) {
+  check(width > 0 && height > 0, "cannot encode empty frame");
+  check(!frame_active_, "begin_frame while a frame is already in flight");
+  frame_active_ = true;
+  frame_keyframe_ =
+      reference_.width() != width || reference_.height() != height;
+  frame_width_ = width;
+  frame_height_ = height;
+  tiles_x_ = (width + 15) / 16;
+  const int tiles_y = (height + 15) / 16;
+  const std::size_t tile_count =
+      static_cast<std::size_t>(tiles_x_) * tiles_y;
+  luma_q_ = luma_quant(config_.quality);
+  chroma_q_ = chroma_quant(config_.quality);
+  tile_coded_.assign(tile_count, 2);  // 2 = not yet submitted
+  tile_units_.resize(tile_count);
+  for (auto& units : tile_units_) units.clear();
+}
 
-  const int tiles_x = (frame.width() + 15) / 16;
-  const int tiles_y = (frame.height() + 15) / 16;
-  const int tile_count = tiles_x * tiles_y;
-  runtime::ThreadPool* workers = pool();
-
-  // Pass 1a: change detection (parallel over tiles; each tile owns its flag
-  // slot). Comparison is against raw source frames — tiles are coded intra,
-  // so the decoder's copy of a skipped tile still approximates the unchanged
-  // source and never drifts.
-  std::vector<std::uint8_t> coded(static_cast<std::size_t>(tile_count), 1);
-  if (!keyframe) {
-    const auto detect = [&](std::int64_t lo, std::int64_t hi) {
-      for (std::int64_t t = lo; t < hi; ++t) {
-        const int tx = static_cast<int>(t % tiles_x) * 16;
-        const int ty = static_cast<int>(t / tiles_x) * 16;
-        coded[static_cast<std::size_t>(t)] =
-            tile_max_delta(frame, reference_, tx, ty, 16) >
-                    config_.skip_threshold
-                ? 1
-                : 0;
-      }
-    };
-    if (workers != nullptr) {
-      workers->parallel_for(0, tile_count, tile_grain(tile_count, workers),
-                            detect);
-    } else {
-      detect(0, tile_count);
-    }
+void TurboEncoder::encode_tile(const Image& frame, int tile_index) {
+  // Change detection and coding both read only this tile's pixel rectangle
+  // (extract_macroblock's edge replication clamps within it), and write only
+  // this tile's slots — concurrent calls for distinct tiles never touch
+  // shared mutable state.
+  const int tx = (tile_index % tiles_x_) * 16;
+  const int ty = (tile_index / tiles_x_) * 16;
+  if (!frame_keyframe_ &&
+      tile_max_delta(frame, reference_, tx, ty, 16) <= config_.skip_threshold) {
+    tile_coded_[static_cast<std::size_t>(tile_index)] = 0;
+    return;
   }
+  auto& units = tile_units_[static_cast<std::size_t>(tile_index)];
+  units.reserve(64);
+  code_tile(frame, tx, ty, luma_q_, chroma_q_, units);
+  tile_coded_[static_cast<std::size_t>(tile_index)] = 1;
+}
+
+Bytes TurboEncoder::finish_frame(const Image& frame) {
+  check(frame_active_, "finish_frame without begin_frame");
+  check(frame.width() == frame_width_ && frame.height() == frame_height_,
+        "frame dimensions changed between begin_frame and finish_frame");
+  frame_active_ = false;
+  const int tile_count = static_cast<int>(tile_coded_.size());
 
   std::vector<std::uint8_t> coded_bitmap(
       static_cast<std::size_t>((tile_count + 7) / 8), 0);
   std::vector<int> coded_tiles;
   for (int t = 0; t < tile_count; ++t) {
-    if (coded[static_cast<std::size_t>(t)] == 0) continue;
+    check(tile_coded_[static_cast<std::size_t>(t)] != 2,
+          "finish_frame with unsubmitted tiles");
+    if (tile_coded_[static_cast<std::size_t>(t)] == 0) continue;
     coded_bitmap[static_cast<std::size_t>(t / 8)] |=
         static_cast<std::uint8_t>(1u << (t % 8));
     coded_tiles.push_back(t);
   }
   const int tiles_coded = static_cast<int>(coded_tiles.size());
-
-  // Pass 1b: transform/quantize/run-length code each coded tile into its own
-  // unit buffer (parallel; DC prediction is tile-local in format v2, so
-  // tiles are fully independent and concatenation in tile order reproduces
-  // the serial bitstream exactly).
-  std::vector<std::vector<CodedUnit>> tile_units(coded_tiles.size());
-  const auto luma_q = luma_quant(config_.quality);
-  const auto chroma_q = chroma_quant(config_.quality);
-  const auto code_tiles = [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const int t = coded_tiles[static_cast<std::size_t>(i)];
-      const int tx = (t % tiles_x) * 16;
-      const int ty = (t / tiles_x) * 16;
-      auto& units = tile_units[static_cast<std::size_t>(i)];
-      units.reserve(64);
-      code_tile(frame, tx, ty, luma_q, chroma_q, units);
-    }
-  };
-  if (workers != nullptr) {
-    workers->parallel_for(0, tiles_coded, tile_grain(tiles_coded, workers),
-                          code_tiles);
-  } else {
-    code_tiles(0, tiles_coded);
-  }
   reference_ = frame;  // next frame's change detector baseline
 
-  // Pass 2: entropy-code against a per-frame canonical Huffman table
-  // (serial — the symbol stream is one dependent bit sequence). A
+  // Entropy pass: per-frame canonical Huffman table, serial — the symbol
+  // stream is one dependent bit sequence. Tiles are concatenated in tile
+  // order regardless of the order encode_tile ran, so the bitstream is
+  // byte-identical for any submission schedule and thread count. A
   // fully-skipped frame (static scene) carries no table and no payload —
   // the common case the incremental design exists for.
   ByteWriter out;
@@ -285,22 +274,26 @@ Bytes TurboEncoder::encode(const Image& frame) {
   out.u16(narrow<std::uint16_t>(frame.width()));
   out.u16(narrow<std::uint16_t>(frame.height()));
   out.u8(static_cast<std::uint8_t>(config_.quality));
-  out.u8(keyframe ? 1 : 0);
+  out.u8(frame_keyframe_ ? 1 : 0);
   out.raw(coded_bitmap);
   out.u8(tiles_coded > 0 ? 1 : 0);
   if (tiles_coded > 0) {
     // Per-tile unit counts let the decoder split the symbol stream at tile
     // boundaries and reconstruct tiles in parallel.
-    for (const auto& units : tile_units) out.varint(units.size());
+    for (const int t : coded_tiles) {
+      out.varint(tile_units_[static_cast<std::size_t>(t)].size());
+    }
     std::array<std::uint64_t, 256> freq{};
-    for (const auto& units : tile_units) {
-      for (const CodedUnit& u : units) freq[u.symbol]++;
+    for (const int t : coded_tiles) {
+      for (const CodedUnit& u : tile_units_[static_cast<std::size_t>(t)]) {
+        freq[u.symbol]++;
+      }
     }
     const HuffmanEncoder huff(freq);
     huff.write_table(out);
     BitWriter bits;
-    for (const auto& units : tile_units) {
-      for (const CodedUnit& u : units) {
+    for (const int t : coded_tiles) {
+      for (const CodedUnit& u : tile_units_[static_cast<std::size_t>(t)]) {
         huff.encode(bits, u.symbol);
         if (u.bit_count > 0) bits.put_bits(u.bits, u.bit_count);
       }
@@ -308,8 +301,31 @@ Bytes TurboEncoder::encode(const Image& frame) {
     out.blob(bits.finish());
   }
 
-  stats_ = TurboFrameStats{keyframe, tile_count, tiles_coded, out.size()};
+  stats_ = TurboFrameStats{frame_keyframe_, tile_count, tiles_coded,
+                           out.size()};
   return out.take();
+}
+
+Bytes TurboEncoder::encode(const Image& frame) {
+  check(!frame.empty(), "cannot encode empty frame");
+  begin_frame(frame.width(), frame.height());
+  // One parallel pass runs change detection and transform/quantize per tile
+  // back to back while the tile is cache-resident (v1 of this function made
+  // two full-frame sweeps with a barrier between them).
+  const std::int64_t tile_count = static_cast<std::int64_t>(tile_units_.size());
+  runtime::ThreadPool* workers = pool();
+  const auto encode_tiles = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      encode_tile(frame, static_cast<int>(t));
+    }
+  };
+  if (workers != nullptr) {
+    workers->parallel_for(0, tile_count, tile_grain(tile_count, workers),
+                          encode_tiles);
+  } else {
+    encode_tiles(0, tile_count);
+  }
+  return finish_frame(frame);
 }
 
 TurboDecoder::TurboDecoder(int threads) : owned_pool_(make_pool(threads)) {}

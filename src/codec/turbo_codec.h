@@ -23,11 +23,14 @@
 // parallel. Entropy coding itself stays serial in both directions.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
+#include "codec/block_coding.h"
 #include "common/bytes.h"
 #include "common/image.h"
 #include "runtime/thread_pool.h"
@@ -61,8 +64,33 @@ class TurboEncoder {
   explicit TurboEncoder(TurboConfig config = {});
 
   // Encodes `frame`; dimensions must stay constant across a session (the
-  // encoder resets itself with a keyframe if they change).
+  // encoder resets itself with a keyframe if they change). Implemented on
+  // top of the per-tile API below, so it is byte-identical to the fused
+  // tile-at-a-time path for any thread count.
   [[nodiscard]] Bytes encode(const Image& frame);
+
+  // --- per-tile path (render-tile -> encode-tile fusion) --------------------
+  // The tile grid matches the rasterizer's (16x16, row-major), so a producer
+  // that finishes tiles out of order — e.g. the tile-binned rasterizer — can
+  // hand each one straight to the encoder while its pixels are cache-hot,
+  // with no full-frame barrier between rasterize and encode.
+  //
+  //   begin_frame(w, h);
+  //   encode_tile(frame, t) for every tile t   (any order; distinct tiles
+  //                                             may run concurrently)
+  //   bytes = finish_frame(frame);             (serial entropy pass)
+  //
+  // encode_tile performs change detection against the reference frame and,
+  // for changed tiles, the transform/quantize/run-length pass. It touches
+  // only tile-owned slots and reads only the tile's own pixel rectangle, so
+  // concurrent calls for distinct tiles are safe. finish_frame checks every
+  // tile was submitted.
+  void begin_frame(int width, int height);
+  void encode_tile(const Image& frame, int tile_index);
+  [[nodiscard]] Bytes finish_frame(const Image& frame);
+  [[nodiscard]] int tile_count() const {
+    return static_cast<int>(tile_units_.size());
+  }
 
   // Forces the next frame to be a keyframe.
   void reset();
@@ -89,6 +117,19 @@ class TurboEncoder {
   runtime::ThreadPool* shared_pool_ = nullptr;
   Image reference_;  // in-loop reconstructed previous frame
   TurboFrameStats stats_;
+
+  // In-flight frame state for the per-tile path (begin_frame .. finish_frame).
+  bool frame_active_ = false;
+  bool frame_keyframe_ = false;
+  int frame_width_ = 0;
+  int frame_height_ = 0;
+  int tiles_x_ = 0;
+  std::array<int, 64> luma_q_{};
+  std::array<int, 64> chroma_q_{};
+  // One slot per tile, each owned exclusively by its encode_tile call:
+  // 0 = skipped, 1 = coded, 2 = not yet submitted.
+  std::vector<std::uint8_t> tile_coded_;
+  std::vector<std::vector<CodedUnit>> tile_units_;
 };
 
 class TurboDecoder {

@@ -1,0 +1,23 @@
+// Portable SIMD gate for the hot-path kernels (CMake option GB_SIMD).
+//
+// GB_SIMD_LOOP marks a lane-independent inner loop for `#pragma omp simd`
+// (compiled with -fopenmp-simd, so no OpenMP runtime is involved); the
+// GB_SIMD_PRAGMA form carries extra clauses such as exact integer
+// reductions. Both expand to nothing when GB_SIMD is off, leaving the plain
+// scalar loop.
+//
+// Contract: a loop may only be marked when each lane computes the same
+// expression the scalar loop would, in the same order — element-wise float
+// math and integer min/max reductions qualify; float sum reductions (which
+// reassociate) do not. That keeps GB_SIMD=ON and =OFF builds byte-identical,
+// which scripts/check.sh verifies by running the determinism and identity
+// suites in both configurations.
+#pragma once
+
+#if defined(GB_SIMD)
+#define GB_SIMD_PRAGMA(directive) _Pragma(#directive)
+#else
+#define GB_SIMD_PRAGMA(directive)
+#endif
+
+#define GB_SIMD_LOOP GB_SIMD_PRAGMA(omp simd)

@@ -52,6 +52,9 @@ ServiceRuntime::UserSession& ServiceRuntime::session_for(net::NodeId user) {
     if (pool_ != nullptr) {
       session.backend->context().set_thread_pool(pool_.get());
     }
+    session.backend->context().set_raster_mode(
+        config_.tile_binned_raster ? gles::RasterMode::kTileBinned
+                                   : gles::RasterMode::kRowBand);
   }
   stats_.users_served++;
   return users_.emplace(user, std::move(session)).first->second;

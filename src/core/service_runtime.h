@@ -57,6 +57,15 @@ struct ServiceRuntimeConfig {
   // Turbo encoder: 1 = serial, 0 = one per hardware core. Results are
   // bit-identical for every value (see tests/test_parallel.cc).
   int worker_threads = 1;
+  // Fragment-stage scheduling for replay rasterization (DESIGN.md §12):
+  // tile-binned TBDR with early-Z overdraw elimination (default) or the
+  // legacy row-band immediate mode. Pixels are bit-identical either way.
+  bool tile_binned_raster = true;
+  // Hand finished render tiles straight to the Turbo encoder's per-tile
+  // pass instead of encoding after a full-frame barrier. Requires (and only
+  // applies to) the tile-binned rasterizer; the bitstream is byte-identical
+  // to the unfused path.
+  bool fused_tile_encode = true;
   // Optional pipeline tracer shared with the user-side runtime (DESIGN.md
   // §9); this device's spans land on its NodeId track. Must outlive the
   // runtime. Spans are keyed by frame sequence, so tracing a multi-user

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "core/service_runtime.h"
+#include "core/tile_fusion.h"
 #include "wire/decoder.h"
 
 namespace gb::core {
@@ -139,9 +140,20 @@ void ServiceRuntime::execute_render(net::NodeId user, UserSession& session,
     }
   }
   if (sample) {
-    const Image& rendered = session.backend->context().color_buffer();
-    last_frame_ = rendered;
-    content = session.encoder.encode(rendered);
+    gles::GlContext& ctx = session.backend->context();
+    if (config_.fused_tile_encode &&
+        ctx.raster_mode() == gles::RasterMode::kTileBinned) {
+      // Render-tile -> encode-tile fusion: each 16x16 tile is handed to the
+      // encoder the moment its pixels are final, removing the full-frame
+      // barrier between rasterize and encode (DESIGN.md §12). Bitstream is
+      // byte-identical to the unfused path below.
+      content = encode_frame_fused(ctx, session.encoder);
+      last_frame_ = ctx.color_buffer();
+    } else {
+      const Image& rendered = ctx.color_buffer();
+      last_frame_ = rendered;
+      content = session.encoder.encode(rendered);
+    }
     // Scale the measured size up to the nominal streaming resolution.
     // Per-frame fixed costs (header, Huffman table) must not be multiplied —
     // only the per-pixel payload scales (sub-linearly) with area.

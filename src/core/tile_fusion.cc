@@ -1,0 +1,19 @@
+#include "core/tile_fusion.h"
+
+namespace gb::core {
+
+Bytes encode_frame_fused(gles::GlContext& ctx, codec::TurboEncoder& encoder) {
+  encoder.begin_frame(ctx.surface_width(), ctx.surface_height());
+  // flush_tiles drives the rasterizer's tile sweep and calls the sink the
+  // moment each tile's pixels are final — concurrently for distinct tiles.
+  // encode_tile only reads the tile's own rectangle and writes tile-owned
+  // slots, so this is safe (see turbo_codec.h).
+  ctx.flush_tiles([&encoder](const Image& color, int tile_index) {
+    encoder.encode_tile(color, tile_index);
+  });
+  // Everything is flushed, so color_buffer() is just the final frame; the
+  // entropy pass and reference update run serially over it.
+  return encoder.finish_frame(ctx.color_buffer());
+}
+
+}  // namespace gb::core

@@ -1,0 +1,29 @@
+// Render-tile -> encode-tile fusion (DESIGN.md §12).
+//
+// The GlContext's TBDR rasterizer finishes the frame one 16x16 tile at a
+// time, and the Turbo encoder's unit of work is the same 16x16 macroblock
+// grid. Fusing the two removes the full-frame barrier between the render
+// and encode pipeline stages: each tile is change-detected and
+// transform-coded by the worker that just rasterized it, while its pixels
+// are hot in cache and while other tiles are still being shaded. Only the
+// (cheap, serial) entropy-coding pass still sees the whole frame.
+//
+// The bitstream is byte-identical to encoder.encode(color_buffer()):
+// per-tile analysis is independent and the serial finish pass walks tiles
+// in index order either way.
+#pragma once
+
+#include "codec/turbo_codec.h"
+#include "common/image.h"
+#include "gles/context.h"
+
+namespace gb::core {
+
+// Drains the context's pending tile-binned draws and encodes the frame in
+// one fused pass. Requires ctx surface dimensions to match what `encoder`
+// was configured for (any size works; the encoder re-grids per frame).
+// Also correct when nothing is pending (e.g. kRowBand mode): the sweep then
+// just encodes already-final tiles in parallel.
+Bytes encode_frame_fused(gles::GlContext& ctx, codec::TurboEncoder& encoder);
+
+}  // namespace gb::core

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "gles/tile_binning.h"
 
 namespace gb::gles {
 
@@ -21,8 +22,39 @@ GlContext::GlContext(int surface_width, int surface_height)
 }
 
 void GlContext::set_raster_threads(int threads) {
+  flush();  // pending tiles must not straddle a pool swap
   owned_pool_ = threads == 1 ? nullptr
                              : std::make_unique<runtime::ThreadPool>(threads);
+}
+
+void GlContext::set_thread_pool(runtime::ThreadPool* pool) {
+  flush();
+  shared_pool_ = pool;
+}
+
+void GlContext::set_raster_mode(RasterMode mode) {
+  flush();
+  raster_mode_ = mode;
+}
+
+void GlContext::set_metrics(runtime::MetricsRegistry* metrics) {
+  flush();
+  metrics_ = metrics;
+}
+
+const Image& GlContext::color_buffer() const {
+  const_cast<GlContext*>(this)->flush();
+  return framebuffer_.color();
+}
+
+const RenderStats& GlContext::stats() const {
+  const_cast<GlContext*>(this)->flush();
+  return stats_;
+}
+
+RenderStats& GlContext::mutable_stats() {
+  flush();
+  return stats_;
 }
 
 GLenum GlContext::get_error() {
@@ -48,6 +80,7 @@ void GlContext::clear(GLbitfield mask) {
     set_error(GL_INVALID_VALUE);
     return;
   }
+  flush();  // deferred draws land before the clear overwrites them
   if (mask & GL_COLOR_BUFFER_BIT) {
     framebuffer_.clear_color(static_cast<std::uint8_t>(clear_color_.x * 255.0f),
                              static_cast<std::uint8_t>(clear_color_.y * 255.0f),
@@ -79,7 +112,10 @@ void GlContext::scissor(GLint x, GLint y, GLsizei width, GLsizei height) {
   scissor_[3] = height;
 }
 
-Image GlContext::read_pixels() const { return framebuffer_.color(); }
+Image GlContext::read_pixels() const {
+  const_cast<GlContext*>(this)->flush();
+  return framebuffer_.color();
+}
 
 // --- capabilities -------------------------------------------------------------
 
@@ -274,6 +310,7 @@ void GlContext::gen_textures(GLsizei n, GLuint* out) {
 }
 
 void GlContext::delete_textures(GLsizei n, const GLuint* names) {
+  flush();  // deferred draws hold TextureObject pointers
   for (GLsizei i = 0; i < n; ++i) {
     textures_.erase(names[i]);
     for (auto& binding : texture_bindings_) {
@@ -325,6 +362,7 @@ void GlContext::tex_image_2d(GLenum target, GLint level, GLenum internal_format,
     set_error(GL_INVALID_OPERATION);
     return;
   }
+  flush();  // deferred draws sample the pre-upload texels
   TextureObject& tex = textures_[name];
   tex.image = Image(width, height);
   stats_.texture_uploads++;
@@ -377,6 +415,7 @@ void GlContext::tex_sub_image_2d(GLenum target, GLint level, GLint xoffset,
     set_error(GL_INVALID_VALUE);
     return;
   }
+  flush();  // deferred draws sample the pre-upload texels
   stats_.texture_uploads++;
   const auto* src = static_cast<const std::uint8_t*>(pixels);
   for (int y = 0; y < height; ++y) {
@@ -413,22 +452,27 @@ void GlContext::tex_parameteri(GLenum target, GLenum pname, GLint param) {
   }
   TextureObject& tex = textures_[name];
   const auto value = static_cast<GLenum>(param);
+  GLenum* field = nullptr;
   switch (pname) {
     case GL_TEXTURE_MIN_FILTER:
-      tex.min_filter = value;
+      field = &tex.min_filter;
       break;
     case GL_TEXTURE_MAG_FILTER:
-      tex.mag_filter = value;
+      field = &tex.mag_filter;
       break;
     case GL_TEXTURE_WRAP_S:
-      tex.wrap_s = value;
+      field = &tex.wrap_s;
       break;
     case GL_TEXTURE_WRAP_T:
-      tex.wrap_t = value;
+      field = &tex.wrap_t;
       break;
     default:
       set_error(GL_INVALID_ENUM);
+      return;
   }
+  if (*field == value) return;  // redundant state — don't break batching
+  flush();  // filter/wrap changes must not affect already-submitted draws
+  *field = value;
 }
 
 // --- shaders & programs -------------------------------------------------------------
@@ -488,6 +532,7 @@ GLuint GlContext::create_program() {
 }
 
 void GlContext::delete_program(GLuint program) {
+  flush();  // deferred draws hold ProgramObject pointers
   programs_.erase(program);
   if (current_program_name_ == program) current_program_name_ = 0;
 }
@@ -522,6 +567,7 @@ void GlContext::link_program(GLuint program) {
     set_error(GL_INVALID_VALUE);
     return;
   }
+  flush();  // relinking mutates the ProgramObject deferred draws point at
   ProgramObject& prog = it->second;
   prog.linked = false;
   prog.info_log.clear();

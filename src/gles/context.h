@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -20,12 +21,35 @@
 #include "gles/types.h"
 #include "runtime/thread_pool.h"
 
+namespace gb::runtime {
+class MetricsRegistry;
+}  // namespace gb::runtime
+
 namespace gb::gles {
 
 class GlContext;
 struct GlStateSnapshot;
 GlStateSnapshot capture_gl_state(const GlContext& ctx);
 void install_gl_state(const GlStateSnapshot& snapshot, GlContext& ctx);
+
+// Deferred tile-binning state (definition lives in context_draw.cc).
+struct TileBinning;
+
+// Fragment-stage scheduling strategy.
+//
+// kTileBinned (default) is the TBDR pipeline: triangle draws are assembled
+// and binned into 16x16 screen tiles but not shaded; at the next flush point
+// every tile is rasterized independently on the thread pool, walking its
+// binned triangles in submission order with early-Z winner tracking (opaque
+// overdraw runs the depth test but shades only the surviving fragment per
+// pixel). Output is bit-identical to kRowBand for any thread count: tiles
+// are disjoint, each pixel replays the exact sequential depth/blend/write
+// order, and a pixel's final color is by definition its last surviving
+// fragment's.
+//
+// kRowBand is the immediate-mode path (each draw call rasterizes to
+// completion over framebuffer row bands), kept as the identity baseline.
+enum class RasterMode { kTileBinned, kRowBand };
 
 // Per-location vertex attribute array state (glVertexAttribPointer).
 struct VertexAttribState {
@@ -52,7 +76,17 @@ struct RenderStats {
   std::uint64_t draw_calls = 0;
   std::uint64_t vertices_processed = 0;
   std::uint64_t triangles_rasterized = 0;
+  // Depth-passing fragments. Counted identically in both raster modes: a
+  // tile-binned candidate that later loses to a closer fragment still counts
+  // (the row-band rasterizer would have shaded it).
   std::uint64_t fragments_shaded = 0;
+  // Of fragments_shaded, how many the tile-binned early-Z pass eliminated
+  // without running the fragment shader (opaque overdraw).
+  std::uint64_t fragments_early_z_culled = 0;
+  // Tile-binned flushes: tiles that had at least one binned triangle vs.
+  // tiles skipped outright.
+  std::uint64_t tiles_shaded = 0;
+  std::uint64_t tiles_empty = 0;
   std::uint64_t texture_uploads = 0;
 
   void reset() { *this = RenderStats{}; }
@@ -62,8 +96,12 @@ class GlContext {
  public:
   static constexpr int kMaxVertexAttribs = 16;
   static constexpr int kMaxTextureUnits = 8;
+  // TBDR screen-tile edge; matches the Turbo codec's macroblock grid so a
+  // finished render tile maps 1:1 onto an encoder tile.
+  static constexpr int kRasterTileSize = 16;
 
   GlContext(int surface_width, int surface_height);
+  ~GlContext();
 
   // --- error handling ------------------------------------------------------
   GLenum get_error();  // returns and clears the sticky error, like glGetError
@@ -74,7 +112,8 @@ class GlContext {
   void viewport(GLint x, GLint y, GLsizei width, GLsizei height);
   void scissor(GLint x, GLint y, GLsizei width, GLsizei height);
   // Reads the full color buffer (the SwapBuffer path); top-left origin.
-  [[nodiscard]] const Image& color_buffer() const { return framebuffer_.color(); }
+  // Flushes pending tile-binned draws first.
+  [[nodiscard]] const Image& color_buffer() const;
   Image read_pixels() const;
 
   // --- capabilities & fixed-function state ----------------------------------
@@ -151,18 +190,38 @@ class GlContext {
   void draw_elements(GLenum mode, GLsizei count, GLenum type,
                      const void* indices);
 
-  // --- raster threading ------------------------------------------------------
-  // Fragment shading/depth/blend runs in parallel over framebuffer row bands
-  // (each band exclusively owned by one worker, so output is bit-identical
-  // to the serial rasterizer). 1 = serial, 0 = one thread per core.
+  // --- raster threading & scheduling -----------------------------------------
+  // Fragment shading/depth/blend runs in parallel — over screen tiles in
+  // kTileBinned mode, over framebuffer row bands in kRowBand mode; either
+  // way each pixel is exclusively owned by one worker, so output is
+  // bit-identical to the serial rasterizer. 1 = serial, 0 = one per core.
   void set_raster_threads(int threads);
   // Borrows a shared pool (e.g. the service runtime's) instead of an owned
   // one; pass nullptr to return to the owned pool.
-  void set_thread_pool(runtime::ThreadPool* pool) { shared_pool_ = pool; }
+  void set_thread_pool(runtime::ThreadPool* pool);
+  void set_raster_mode(RasterMode mode);
+  [[nodiscard]] RasterMode raster_mode() const noexcept { return raster_mode_; }
+  // Optional sink for tile-level observability counters ("raster.*");
+  // pass nullptr to detach. The registry must outlive the context.
+  void set_metrics(runtime::MetricsRegistry* metrics);
+
+  // Drains all deferred tile-binned draws into the framebuffer. A no-op when
+  // nothing is pending (and always in kRowBand mode, which never defers).
+  void flush();
+  // Like flush(), but hands every finished 16x16 screen tile to `sink` the
+  // moment its pixels are final — the render-tile -> encode-tile fusion hook.
+  // The sink is invoked exactly once per tile of the framebuffer's tile grid
+  // (row-major index, including tiles with no pending geometry, whose pixels
+  // are simply already final), possibly concurrently from pool workers for
+  // distinct tiles. The Image reference is the live color buffer; the sink
+  // must only read the given tile's rectangle.
+  using TileSink = std::function<void(const Image& color, int tile_index)>;
+  void flush_tiles(const TileSink& sink);
 
   // --- introspection for the offload layer -----------------------------------
-  [[nodiscard]] const RenderStats& stats() const noexcept { return stats_; }
-  RenderStats& mutable_stats() noexcept { return stats_; }
+  // Flushes pending tile-binned draws so counters reflect submitted work.
+  [[nodiscard]] const RenderStats& stats() const;
+  RenderStats& mutable_stats();
   [[nodiscard]] int surface_width() const noexcept { return framebuffer_.width(); }
   [[nodiscard]] int surface_height() const noexcept {
     return framebuffer_.height();
@@ -198,6 +257,8 @@ class GlContext {
                                             const void* indices);
   void draw_internal(GLenum mode, std::span<const std::uint32_t> indices,
                      bool sequential, GLint first);
+  // Shared implementation of flush()/flush_tiles() (context_draw.cc).
+  void flush_impl(const TileSink* sink);
 
   Framebuffer framebuffer_;
   GLenum error_ = GL_NO_ERROR;
@@ -240,12 +301,17 @@ class GlContext {
   std::vector<Vec4> vs_registers_;
   std::vector<Vec4> fs_registers_;
 
-  // Row-band fragment parallelism (null pools = serial rasterization).
+  // Fragment parallelism (null pools = serial rasterization).
   [[nodiscard]] runtime::ThreadPool* raster_pool() const noexcept {
     return shared_pool_ != nullptr ? shared_pool_ : owned_pool_.get();
   }
   std::unique_ptr<runtime::ThreadPool> owned_pool_;
   runtime::ThreadPool* shared_pool_ = nullptr;
+
+  // Deferred TBDR state; allocated on the first binned draw.
+  RasterMode raster_mode_ = RasterMode::kTileBinned;
+  std::unique_ptr<TileBinning> binning_;
+  runtime::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace gb::gles

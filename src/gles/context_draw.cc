@@ -1,15 +1,37 @@
 // GlContext draw pipeline: attribute fetch, vertex shading, primitive
-// assembly, perspective-correct triangle rasterization with depth test,
-// fragment shading, and blending. Points and lines get a minimal raster so
-// HUD-style workloads draw something sensible.
+// assembly, and the fragment stage in one of two scheduling modes.
+//
+// kTileBinned (default, DESIGN.md §12): the fragment stage is deferred.
+// Each triangle draw runs its vertex stage and primitive assembly eagerly,
+// snapshots the fragment-stage state it depends on (program, registers,
+// resolved textures, depth/blend state), and bins the surviving triangles
+// into 16x16 screen tiles. At the next flush point every tile is rasterized
+// independently — tiles are disjoint, so they parallelize with no barrier —
+// walking its binned triangles in submission order. Opaque (non-blended)
+// triangles run the exact sequential depth test per pixel but record only a
+// per-pixel *winner*; the fragment shader runs once per pixel for the
+// surviving fragment (early-Z overdraw elimination). Blended triangles force
+// pending winners to resolve and then shade in order, so the framebuffer is
+// byte-identical to the immediate-mode rasterizer for any thread count.
+//
+// kRowBand: the original immediate path — each draw rasterizes to completion
+// over framebuffer row bands. Kept as the identity baseline.
+//
+// Points and lines get a minimal serial raster so HUD-style workloads draw
+// something sensible; they flush pending tiles first to preserve order.
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
+#include "common/simd.h"
 #include "gles/context.h"
 #include "gles/shader_vm.h"
+#include "gles/tile_binning.h"
+#include "runtime/metrics_registry.h"
 
 namespace gb::gles {
 namespace {
@@ -142,39 +164,305 @@ Vec4 sample_texture(const TextureObject& tex, float u, float v) {
   return top + (bottom - top) * ay;
 }
 
-// Vertex-stage output captured for rasterization.
-struct ShadedVertex {
-  Vec4 clip;
-  bool shaded = false;
-  std::vector<Vec4> varyings;  // indexed by the program's VaryingLink order
-};
-
-struct ScreenVertex {
-  float x = 0, y = 0;        // pixel coordinates
-  float z = 0;               // depth in [0, 1]
-  float inv_w = 0;           // 1 / clip.w for perspective correction
-  const ShadedVertex* shaded = nullptr;
-};
-
-// A triangle that survived culling, with its raster-time derived data, ready
-// to be scan-converted band by band.
-struct AssembledTriangle {
-  ScreenVertex a, b, c;
-  float inv_area = 0;
-  // Top-left fill rule acceptance for each edge's zero-weight case.
-  bool zero0 = false, zero1 = false, zero2 = false;
-  int bx0 = 0, by0 = 0, bx1 = 0, by1 = 0;  // clipped pixel bounding box
-};
-
-// Per-worker fragment state: a private register file (so concurrent bands
-// never share shader scratch space) and a private shaded-fragment count,
-// summed into RenderStats after the bands join.
+// Per-worker fragment state for the row-band path: a private register file
+// (so concurrent bands never share shader scratch space) and a private
+// shaded-fragment count, summed into RenderStats after the bands join.
 struct FragmentLane {
   std::vector<Vec4>* registers = nullptr;
   std::uint64_t fragments_shaded = 0;
 };
 
 }  // namespace
+
+GlContext::~GlContext() = default;
+
+namespace {
+
+constexpr int kTileSize = GlContext::kRasterTileSize;
+constexpr int kTilePixels = kTileSize * kTileSize;
+
+// Early-Z bookkeeping: the fragment currently winning a pixel's depth race.
+// w2 is recomputed as 1 - w0 - w1 at shade time — the same expression the
+// rasterizer used, so the deferred shade sees bit-identical weights.
+struct PixelWinner {
+  std::int32_t entry = -1;  // index into the tile's bin, -1 = none
+  float w0 = 0.0f;
+  float w1 = 0.0f;
+};
+
+struct TileStats {
+  std::uint64_t candidates = 0;  // depth-passing fragments (legacy count)
+  std::uint64_t shaded = 0;      // fragment shader invocations
+};
+
+// Rasterizes one tile's binned triangles in submission order. Each pixel of
+// the tile is owned exclusively by this call, so tiles parallelize freely.
+TileStats raster_tile(const TileBinning& bin, Framebuffer& fb,
+                      const std::vector<BinEntry>& entries, int tx0, int ty0,
+                      int tx1, int ty1) {
+  TileStats stats;
+  std::array<PixelWinner, kTilePixels> winners{};
+  bool have_winners = false;
+
+  // Per-draw shading state, rebuilt only when the draw changes.
+  std::vector<Vec4> regs;
+  TextureSampleFn sampler;
+  std::uint32_t regs_draw = 0xffffffffu;
+  const auto select_draw = [&](std::uint32_t di) {
+    if (di == regs_draw) return;
+    regs_draw = di;
+    const DeferredDraw& d = bin.draws[di];
+    regs = d.fs_registers;
+    const std::array<const TextureObject*, 16>* texs = &d.fs_textures;
+    sampler = [texs](int slot, float u, float v) -> Vec4 {
+      const TextureObject* tex = (*texs)[static_cast<std::size_t>(slot)];
+      if (tex == nullptr) return {0, 0, 0, 1};
+      return sample_texture(*tex, u, v);
+    };
+  };
+
+  // Interpolates varyings, runs the fragment shader, and returns the shader
+  // color. Left-associated sum matches the immediate rasterizer exactly.
+  const auto run_fragment = [&](const DeferredDraw& d,
+                                const AssembledTriangle& tri, float w0,
+                                float w1, float w2) -> Vec4 {
+    const ScreenVertex& a = tri.a;
+    const ScreenVertex& b = tri.b;
+    const ScreenVertex& c = tri.c;
+    const float iw = w0 * a.inv_w + w1 * b.inv_w + w2 * c.inv_w;
+    const float p0 = w0 * a.inv_w / iw;
+    const float p1 = w1 * b.inv_w / iw;
+    const float p2 = w2 * c.inv_w / iw;
+    const ProgramObject& prog = *d.prog;
+    for (std::size_t i = 0; i < prog.varyings.size(); ++i) {
+      regs[prog.varyings[i].fs_register] = a.shaded->varyings[i] * p0 +
+                                           b.shaded->varyings[i] * p1 +
+                                           c.shaded->varyings[i] * p2;
+    }
+    run_shader(prog.fragment, regs, sampler);
+    stats.shaded++;
+    return regs[prog.fragment.fragcolor_register];
+  };
+
+  // Resolves every pending winner: one fragment-shader run per surviving
+  // pixel. Winners only come from non-blended draws, so the write is a
+  // plain replace — which is also the sequential rasterizer's final value,
+  // since its last depth-passing fragment overwrote all earlier ones.
+  const auto flush_winners = [&]() {
+    if (!have_winners) return;
+    for (int py = ty0; py < ty1; ++py) {
+      for (int px = tx0; px < tx1; ++px) {
+        PixelWinner& w =
+            winners[static_cast<std::size_t>((py - ty0) * kTileSize +
+                                             (px - tx0))];
+        if (w.entry < 0) continue;
+        const BinEntry e = entries[static_cast<std::size_t>(w.entry)];
+        const DeferredDraw& d = bin.draws[e.draw];
+        select_draw(e.draw);
+        const Vec4 color = run_fragment(d, d.tris[e.tri], w.w0, w.w1,
+                                        1.0f - w.w0 - w.w1);
+        std::uint8_t* dst = fb.color().pixel(px, py);
+        dst[0] = static_cast<std::uint8_t>(
+            std::lround(std::clamp(color.x, 0.0f, 1.0f) * 255.0f));
+        dst[1] = static_cast<std::uint8_t>(
+            std::lround(std::clamp(color.y, 0.0f, 1.0f) * 255.0f));
+        dst[2] = static_cast<std::uint8_t>(
+            std::lround(std::clamp(color.z, 0.0f, 1.0f) * 255.0f));
+        dst[3] = static_cast<std::uint8_t>(
+            std::lround(std::clamp(color.w, 0.0f, 1.0f) * 255.0f));
+        w.entry = -1;
+      }
+    }
+    have_winners = false;
+  };
+
+  // Row-sized scratch for the vectorized edge functions.
+  std::array<float, kTileSize> w0_row{}, w1_row{}, w2_row{}, z_row{};
+
+  for (std::size_t pos = 0; pos < entries.size(); ++pos) {
+    const BinEntry e = entries[pos];
+    const DeferredDraw& d = bin.draws[e.draw];
+    const AssembledTriangle& tri = d.tris[e.tri];
+    const ScreenVertex& a = tri.a;
+    const ScreenVertex& b = tri.b;
+    const ScreenVertex& c = tri.c;
+    const int x0 = std::max(tri.bx0, tx0);
+    const int x1 = std::min(tri.bx1, tx1);
+    const int y0 = std::max(tri.by0, ty0);
+    const int y1 = std::min(tri.by1, ty1);
+    const bool blended = d.blend;
+    if (blended) {
+      // Blending reads the destination color, so every earlier fragment must
+      // have landed; after this triangle, winner tracking restarts.
+      flush_winners();
+      select_draw(e.draw);
+    }
+    for (int py = y0; py < y1; ++py) {
+      const float fy = static_cast<float>(py) + 0.5f;
+      const int span = x1 - x0;
+      // Edge functions and depth for the whole row at once. The expressions
+      // are lane-independent and identical to the row-band rasterizer's, so
+      // vectorization cannot change any pixel's weights.
+      GB_SIMD_LOOP
+      for (int i = 0; i < span; ++i) {
+        const float fx = static_cast<float>(x0 + i) + 0.5f;
+        const float w0 =
+            ((b.x - fx) * (c.y - fy) - (b.y - fy) * (c.x - fx)) * tri.inv_area;
+        const float w1 =
+            ((c.x - fx) * (a.y - fy) - (c.y - fy) * (a.x - fx)) * tri.inv_area;
+        const float w2 = 1.0f - w0 - w1;
+        w0_row[static_cast<std::size_t>(i)] = w0;
+        w1_row[static_cast<std::size_t>(i)] = w1;
+        w2_row[static_cast<std::size_t>(i)] = w2;
+        z_row[static_cast<std::size_t>(i)] = w0 * a.z + w1 * b.z + w2 * c.z;
+      }
+      for (int i = 0; i < span; ++i) {
+        const float w0 = w0_row[static_cast<std::size_t>(i)];
+        const float w1 = w1_row[static_cast<std::size_t>(i)];
+        const float w2 = w2_row[static_cast<std::size_t>(i)];
+        if (w0 < 0.0f || w1 < 0.0f || w2 < 0.0f) continue;
+        if ((w0 == 0.0f && !tri.zero0) || (w1 == 0.0f && !tri.zero1) ||
+            (w2 == 0.0f && !tri.zero2)) {
+          continue;
+        }
+        const float depth = z_row[static_cast<std::size_t>(i)];
+        if (depth < 0.0f || depth > 1.0f) continue;
+        const float iw = w0 * a.inv_w + w1 * b.inv_w + w2 * c.inv_w;
+        if (iw == 0.0f) continue;
+        const int px = x0 + i;
+        if (d.depth_test) {
+          float& stored = fb.depth(px, py);
+          if (!depth_passes(d.depth_func, depth, stored)) continue;
+          stored = depth;
+        }
+        stats.candidates++;
+        if (!blended) {
+          PixelWinner& w =
+              winners[static_cast<std::size_t>((py - ty0) * kTileSize +
+                                               (px - tx0))];
+          w.entry = static_cast<std::int32_t>(pos);
+          w.w0 = w0;
+          w.w1 = w1;
+          have_winners = true;
+          continue;
+        }
+        const Vec4 color = run_fragment(d, tri, w0, w1, w2);
+        std::uint8_t* dst = fb.color().pixel(px, py);
+        float out[4] = {std::clamp(color.x, 0.0f, 1.0f),
+                        std::clamp(color.y, 0.0f, 1.0f),
+                        std::clamp(color.z, 0.0f, 1.0f),
+                        std::clamp(color.w, 0.0f, 1.0f)};
+        constexpr float kInv255 = 1.0f / 255.0f;
+        const float dst_rgba[4] = {dst[0] * kInv255, dst[1] * kInv255,
+                                   dst[2] * kInv255, dst[3] * kInv255};
+        const float sa = out[3];
+        const float da = dst_rgba[3];
+        for (int ch = 0; ch < 4; ++ch) {
+          const float sf =
+              blend_factor(d.blend_src, sa, da, out[ch], dst_rgba[ch]);
+          const float df =
+              blend_factor(d.blend_dst, sa, da, out[ch], dst_rgba[ch]);
+          out[ch] = std::clamp(out[ch] * sf + dst_rgba[ch] * df, 0.0f, 1.0f);
+        }
+        for (int ch = 0; ch < 4; ++ch) {
+          dst[ch] = static_cast<std::uint8_t>(std::lround(out[ch] * 255.0f));
+        }
+      }
+    }
+  }
+  flush_winners();
+  return stats;
+}
+
+}  // namespace
+
+void GlContext::flush() {
+  if (binning_ == nullptr || binning_->draws.empty()) return;
+  flush_impl(nullptr);
+}
+
+void GlContext::flush_tiles(const TileSink& sink) { flush_impl(&sink); }
+
+void GlContext::flush_impl(const TileSink* sink) {
+  const int fb_w = framebuffer_.width();
+  const int fb_h = framebuffer_.height();
+  const int tiles_x = (fb_w + kTileSize - 1) / kTileSize;
+  const std::int64_t tile_count =
+      static_cast<std::int64_t>(tiles_x) * ((fb_h + kTileSize - 1) / kTileSize);
+  TileBinning* bin = binning_.get();
+  const bool pending = bin != nullptr && !bin->draws.empty();
+  if (!pending && sink == nullptr) return;
+
+  std::atomic<std::uint64_t> total_candidates{0};
+  std::atomic<std::uint64_t> total_shaded{0};
+  // Per-tile shaded-pixel fraction; each slot is written only by the worker
+  // that owns the tile, then read serially after the join (the registry's
+  // counters and histograms are not thread-safe). -1 marks an empty tile.
+  std::vector<float> occupancy;
+  if (pending) occupancy.assign(static_cast<std::size_t>(tile_count), -1.0f);
+
+  const auto run_tiles = [&](std::int64_t lo, std::int64_t hi) {
+    std::uint64_t candidates = 0;
+    std::uint64_t shaded = 0;
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const int tile_x0 = static_cast<int>(t % tiles_x) * kTileSize;
+      const int tile_y0 = static_cast<int>(t / tiles_x) * kTileSize;
+      const int tile_x1 = std::min(tile_x0 + kTileSize, fb_w);
+      const int tile_y1 = std::min(tile_y0 + kTileSize, fb_h);
+      if (pending && !bin->bins[static_cast<std::size_t>(t)].empty()) {
+        const TileStats ts =
+            raster_tile(*bin, framebuffer_, bin->bins[static_cast<std::size_t>(t)],
+                        tile_x0, tile_y0, tile_x1, tile_y1);
+        candidates += ts.candidates;
+        shaded += ts.shaded;
+        occupancy[static_cast<std::size_t>(t)] =
+            static_cast<float>(ts.shaded) /
+            static_cast<float>((tile_x1 - tile_x0) * (tile_y1 - tile_y0));
+      }
+      // The tile's pixels are final: hand it to the fused consumer while
+      // other tiles may still be rasterizing.
+      if (sink != nullptr) (*sink)(framebuffer_.color(), static_cast<int>(t));
+    }
+    total_candidates.fetch_add(candidates, std::memory_order_relaxed);
+    total_shaded.fetch_add(shaded, std::memory_order_relaxed);
+  };
+
+  runtime::ThreadPool* workers = raster_pool();
+  if (workers == nullptr || workers->serial()) {
+    run_tiles(0, tile_count);
+  } else {
+    const std::int64_t grain = std::max<std::int64_t>(
+        1, tile_count / (4 * workers->thread_count()));
+    workers->parallel_for(0, tile_count, grain, run_tiles);
+  }
+
+  if (!pending) return;
+  std::uint64_t tiles_shaded = 0;
+  for (const float occ : occupancy) {
+    if (occ >= 0.0f) tiles_shaded++;
+  }
+  const std::uint64_t candidates =
+      total_candidates.load(std::memory_order_relaxed);
+  const std::uint64_t shaded = total_shaded.load(std::memory_order_relaxed);
+  stats_.fragments_shaded += candidates;
+  stats_.fragments_early_z_culled += candidates - shaded;
+  stats_.tiles_shaded += tiles_shaded;
+  stats_.tiles_empty += static_cast<std::uint64_t>(tile_count) - tiles_shaded;
+  if (metrics_ != nullptr) {
+    metrics_->counter("raster.tiles_shaded").add(tiles_shaded);
+    metrics_->counter("raster.tiles_empty")
+        .add(static_cast<std::uint64_t>(tile_count) - tiles_shaded);
+    metrics_->counter("raster.fragments_early_z_culled").add(candidates - shaded);
+    runtime::Histogram& occupancy_hist = metrics_->histogram(
+        "raster.tile_occupancy",
+        std::vector<double>{0.125, 0.25, 0.5, 0.75, 0.9, 1.0});
+    for (const float occ : occupancy) {
+      if (occ >= 0.0f) occupancy_hist.observe(occ);
+    }
+  }
+  bin->draws.clear();
+  for (std::vector<BinEntry>& b : bin->bins) b.clear();
+}
 
 Vec4 GlContext::fetch_attribute(const VertexAttribState& state,
                                 std::size_t vertex_index) {
@@ -298,6 +586,14 @@ void GlContext::draw_internal(GLenum mode,
   }
   stats_.draw_calls++;
 
+  const bool triangle_mode = mode == GL_TRIANGLES ||
+                             mode == GL_TRIANGLE_STRIP ||
+                             mode == GL_TRIANGLE_FAN;
+  const bool defer = triangle_mode && raster_mode_ == RasterMode::kTileBinned;
+  // Points and lines (and row-band triangles) write the framebuffer now, so
+  // anything binned earlier must land first.
+  if (!defer) flush();
+
   // --- prepare register files ------------------------------------------------
   vs_registers_.assign(prog->vertex.register_file_size, Vec4{});
   fs_registers_.assign(prog->fragment.register_file_size, Vec4{});
@@ -347,6 +643,21 @@ void GlContext::draw_internal(GLenum mode,
   };
   const TextureSampleFn vs_sampler = sampler_for(vs_sampler_units);
   const TextureSampleFn fs_sampler = sampler_for(fs_sampler_units);
+
+  // Deferred draws must not chase texture bindings later (they may change
+  // before the flush), so resolve sampler slots to texture objects now.
+  // Unresolvable slots sample {0,0,0,1}, exactly like the live lookup.
+  std::array<const TextureObject*, 16> fs_textures{};
+  if (defer) {
+    for (int slot = 0; slot < 16; ++slot) {
+      const int unit = fs_sampler_units[static_cast<std::size_t>(slot)];
+      if (unit < 0 || unit >= kMaxTextureUnits) continue;
+      const auto it = textures_.find(texture_bindings_[unit]);
+      if (it != textures_.end()) {
+        fs_textures[static_cast<std::size_t>(slot)] = &it->second;
+      }
+    }
+  }
 
   // --- vertex stage with per-index memoization --------------------------------
   const std::uint32_t max_index =
@@ -451,7 +762,7 @@ void GlContext::draw_internal(GLenum mode,
   };
 
   // Primitive assembly: culling, fill-rule setup, and bounding box. Survivors
-  // are buffered so fragment work can be partitioned into row bands.
+  // are buffered so fragment work can be partitioned (into tiles or bands).
   std::vector<AssembledTriangle> assembled;
   const auto assemble_triangle = [&](const ScreenVertex& a,
                                      const ScreenVertex& b,
@@ -625,11 +936,53 @@ void GlContext::draw_internal(GLenum mode,
   }
   stats_.fragments_shaded += serial_lane.fragments_shaded;
 
-  // Fragment stage over the assembled triangles. Each row band is owned by
-  // exactly one worker, and every worker visits triangles in submission
-  // order, so each pixel sees the same depth/blend/write sequence as the
-  // serial rasterizer — output is bit-identical for any thread count.
   if (assembled.empty()) return;
+
+  // --- tile-binned path: snapshot the draw and defer the fragment stage ------
+  if (defer) {
+    if (binning_ == nullptr) binning_ = std::make_unique<TileBinning>();
+    TileBinning& bin = *binning_;
+    if (bin.draws.empty()) {
+      bin.tiles_x = (fb_w + kRasterTileSize - 1) / kRasterTileSize;
+      bin.tiles_y = (fb_h + kRasterTileSize - 1) / kRasterTileSize;
+      bin.bins.resize(static_cast<std::size_t>(bin.tiles_x) * bin.tiles_y);
+    }
+    const auto draw_index = static_cast<std::uint32_t>(bin.draws.size());
+    for (std::size_t t = 0; t < assembled.size(); ++t) {
+      const AssembledTriangle& tri = assembled[t];
+      const int tile_x0 = tri.bx0 / kRasterTileSize;
+      const int tile_x1 = (tri.bx1 - 1) / kRasterTileSize;
+      const int tile_y0 = tri.by0 / kRasterTileSize;
+      const int tile_y1 = (tri.by1 - 1) / kRasterTileSize;
+      for (int ty = tile_y0; ty <= tile_y1; ++ty) {
+        for (int tx = tile_x0; tx <= tile_x1; ++tx) {
+          bin.bins[static_cast<std::size_t>(ty * bin.tiles_x + tx)].push_back(
+              BinEntry{draw_index, static_cast<std::uint32_t>(t)});
+        }
+      }
+    }
+    DeferredDraw d;
+    d.prog = prog;
+    d.fs_registers = fs_registers_;
+    d.fs_textures = fs_textures;
+    d.depth_test = depth_test_;
+    d.blend = blend_;
+    d.depth_func = depth_func_;
+    d.blend_src = blend_src_;
+    d.blend_dst = blend_dst_;
+    // Moving the vectors keeps their buffers, so the ScreenVertex pointers
+    // into `cache` stay valid for the life of the deferred draw.
+    d.vertices = std::move(cache);
+    d.tris = std::move(assembled);
+    bin.draws.push_back(std::move(d));
+    return;
+  }
+
+  // --- row-band path: immediate fragment stage -------------------------------
+  // Each row band is owned by exactly one worker, and every worker visits
+  // triangles in submission order, so each pixel sees the same
+  // depth/blend/write sequence as the serial rasterizer — output is
+  // bit-identical for any thread count.
   runtime::ThreadPool* workers = raster_pool();
   if (workers == nullptr || workers->serial()) {
     FragmentLane lane{&fs_registers_, 0};

@@ -178,8 +178,8 @@ void DirectBackend::glDrawElements(GLenum mode, GLsizei count, GLenum type,
   context_->draw_elements(mode, count, type, indices);
 }
 
-void DirectBackend::glFlush() {}
-void DirectBackend::glFinish() {}
+void DirectBackend::glFlush() { context_->flush(); }
+void DirectBackend::glFinish() { context_->flush(); }
 
 bool DirectBackend::eglSwapBuffers() {
   if (present_) present_(context_->color_buffer());

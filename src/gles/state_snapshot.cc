@@ -248,6 +248,9 @@ GlStateSnapshot GlStateSnapshot::deserialize(
 }
 
 GlStateSnapshot capture_gl_state(const GlContext& ctx) {
+  // The snapshot reads the framebuffer directly; deferred tile-binned draws
+  // must land first or they would be silently dropped from the capture.
+  const_cast<GlContext&>(ctx).flush();
   GlStateSnapshot snap;
   snap.surface_width = ctx.framebuffer_.width();
   snap.surface_height = ctx.framebuffer_.height();
@@ -344,6 +347,10 @@ void install_gl_state(const GlStateSnapshot& snap, GlContext& ctx) {
   check(snap.texture_bindings.size() == GlContext::kMaxTextureUnits &&
             snap.attribs.size() == GlContext::kMaxVertexAttribs,
         "snapshot binding tables malformed");
+
+  // Deferred draws reference objects the install below replaces; they must
+  // not survive across a state restore.
+  ctx.flush();
 
   ctx.error_ = GL_NO_ERROR;
   ctx.clear_color_ = {snap.clear_color[0], snap.clear_color[1],

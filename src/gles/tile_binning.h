@@ -1,0 +1,74 @@
+// Deferred tile-binning state for the kTileBinned raster mode (DESIGN.md
+// §12). A triangle draw call runs its vertex stage and primitive assembly
+// eagerly, then snapshots everything the fragment stage needs into a
+// DeferredDraw and scatters (draw, triangle) references into the 16x16
+// screen-tile bins. GlContext::flush() drains the bins tile-parallel.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "gles/objects.h"
+#include "gles/types.h"
+
+namespace gb::gles {
+
+// Vertex-stage output captured for rasterization. Deferred draws own these
+// in a vector whose buffer is moved (never copied), so ScreenVertex::shaded
+// pointers stay valid across the handoff into the bin.
+struct ShadedVertex {
+  Vec4 clip;
+  bool shaded = false;
+  std::vector<Vec4> varyings;  // indexed by the program's VaryingLink order
+};
+
+struct ScreenVertex {
+  float x = 0, y = 0;        // pixel coordinates
+  float z = 0;               // depth in [0, 1]
+  float inv_w = 0;           // 1 / clip.w for perspective correction
+  const ShadedVertex* shaded = nullptr;
+};
+
+// A triangle that survived culling, with its raster-time derived data.
+struct AssembledTriangle {
+  ScreenVertex a, b, c;
+  float inv_area = 0;
+  // Top-left fill rule acceptance for each edge's zero-weight case.
+  bool zero0 = false, zero1 = false, zero2 = false;
+  int bx0 = 0, by0 = 0, bx1 = 0, by1 = 0;  // clipped pixel bounding box
+};
+
+// One triangle draw whose fragment stage has been deferred: everything the
+// tile rasterizer needs, snapshotted at submission time. Mutations that
+// would invalidate the snapshot (texture uploads, program relinks, state
+// restores) force a flush first, so the pointers below stay valid — and the
+// std::map object tables never move their nodes anyway.
+struct DeferredDraw {
+  const ProgramObject* prog = nullptr;
+  std::vector<Vec4> fs_registers;  // constants + uniforms preloaded
+  std::array<const TextureObject*, 16> fs_textures{};  // sampler slot -> tex
+  bool depth_test = false;
+  bool blend = false;
+  GLenum depth_func = GL_LESS;
+  GLenum blend_src = GL_ONE;
+  GLenum blend_dst = GL_ZERO;
+  std::vector<ShadedVertex> vertices;  // backs the ScreenVertex pointers
+  std::vector<AssembledTriangle> tris;
+};
+
+// (draw, triangle) reference; bins list these in submission order.
+struct BinEntry {
+  std::uint32_t draw = 0;
+  std::uint32_t tri = 0;
+};
+
+struct TileBinning {
+  int tiles_x = 0;
+  int tiles_y = 0;
+  std::vector<DeferredDraw> draws;
+  std::vector<std::vector<BinEntry>> bins;  // row-major tile grid
+};
+
+}  // namespace gb::gles
