@@ -11,6 +11,7 @@
 
 #include "runtime/trace.h"
 #include "sim/metrics.h"
+#include "sim/session.h"
 
 namespace gb::bench {
 
@@ -30,6 +31,38 @@ inline void report_stage_breakdown(benchmark::State& state,
     state.counters["stage_" + name + "_ms"] = stage.mean_ms;
     state.counters["stage_" + name + "_p99_ms"] = stage.p99_ms;
   }
+}
+
+// Exports the session's transport health as benchmark counters (DESIGN.md
+// §13): downlink FEC recoveries and the parity overhead the services paid
+// for them (absolute and as a fraction of service payload bytes), multipath
+// reroutes, and the per-path striping split on the user endpoint. Zeroes
+// with FEC/multipath off — the columns exist in every BENCH JSON row so A/B
+// diffs line up.
+inline void report_transport(benchmark::State& state,
+                             const sim::SessionResult& result) {
+  state.counters["fec_recovered"] =
+      static_cast<double>(result.transport.fec_recovered_chunks);
+  state.counters["parity_overhead_b"] =
+      static_cast<double>(result.service_transport.fec_parity_bytes);
+  const double payload =
+      static_cast<double>(result.service_transport.payload_bytes_sent);
+  state.counters["parity_overhead_pct"] =
+      payload > 0.0
+          ? 100.0 *
+                static_cast<double>(result.service_transport.fec_parity_bytes) /
+                payload
+          : 0.0;
+  state.counters["path_reroutes"] =
+      static_cast<double>(result.transport.path_reroutes +
+                          result.service_transport.path_reroutes);
+  state.counters["retransmits"] =
+      static_cast<double>(result.transport.chunks_retransmitted +
+                          result.service_transport.chunks_retransmitted);
+  state.counters["path_wifi_chunks"] =
+      static_cast<double>(result.user_path_wifi.chunks_sent);
+  state.counters["path_bt_chunks"] =
+      static_cast<double>(result.user_path_bt.chunks_sent);
 }
 
 }  // namespace gb::bench

@@ -7,6 +7,7 @@
 //   burst          Gilbert–Elliott burst loss on both media
 //   crash          device 0 crashes mid-session and never returns
 //   crash-recover  device 0 crashes mid-session and returns later
+//   flap           the user's WiFi radio dies mid-session (transport A/B)
 //
 //   ./bench_fault_recovery                      # console table
 //   ./bench_fault_recovery --benchmark_format=json
@@ -23,7 +24,25 @@ using namespace gb;
 
 namespace {
 
-enum Scenario : int { kNone = 0, kBurst = 1, kCrash = 2, kCrashRecover = 3 };
+enum Scenario : int {
+  kNone = 0,
+  kBurst = 1,
+  kCrash = 2,
+  kCrashRecover = 3,
+  kFlap = 4,  // WiFi radio flap mid-session (transport A/B only)
+};
+
+// Transport configurations for the §13 A/B: the pure-ARQ single-route
+// baseline vs. FEC parity groups + multipath striping across WiFi and
+// Bluetooth.
+enum Transport : int { kPureArq = 0, kFecMultipath = 1 };
+
+void apply_transport(sim::SessionConfig& config, int transport) {
+  if (transport != kFecMultipath) return;
+  config.switcher.policy = core::SwitchPolicy::kMultipath;
+  config.transport.fec_group_size = 4;
+  config.service.transport.fec_group_size = 4;
+}
 
 sim::SessionConfig scenario_config(int scenario, int devices,
                                    double duration_s) {
@@ -49,6 +68,12 @@ sim::SessionConfig scenario_config(int scenario, int devices,
     case kCrashRecover:
       config.service_outages.push_back(
           {0, duration_s * 0.4, duration_s * 0.6});
+      break;
+    case kFlap:
+      // The user's WiFi dies for 20% of the session mid-way; Bluetooth
+      // stays up. Single-route transports stall on RTO repair storms, the
+      // multipath transport reroutes.
+      config.link_flaps.push_back({0, duration_s * 0.4, duration_s * 0.6});
       break;
     default:
       break;
@@ -84,6 +109,35 @@ void BM_FaultRecovery(benchmark::State& state) {
       static_cast<double>(result.gbooster.render_epoch_resets +
                           result.gbooster.state_epoch_resets);
   bench::report_stage_breakdown(state, result.metrics);
+  bench::report_transport(state, result);
+}
+
+// Transport comparison (DESIGN.md §13): pure-ARQ single-route vs. XOR-FEC +
+// multipath striping under burst loss and a WiFi radio flap. The robustness
+// claim in EXPERIMENTS.md quotes these rows: under `burst`, FEC+multipath
+// must beat pure ARQ on stall time and p99 while the parity overhead column
+// shows what that cost on the wire.
+void BM_TransportComparison(benchmark::State& state) {
+  const int scenario = static_cast<int>(state.range(0));
+  const int transport = static_cast<int>(state.range(1));
+  const double duration_s = bench::default_duration(40.0);
+  sim::SessionResult result;
+  for (auto _ : state) {
+    sim::SessionConfig config =
+        scenario_config(scenario, /*devices=*/2, duration_s);
+    apply_transport(config, transport);
+    result = sim::run_session(config);
+  }
+  state.counters["fps"] = result.metrics.median_fps;
+  state.counters["stall_s"] = result.metrics.stall_seconds;
+  state.counters["max_gap_s"] = result.metrics.max_display_gap_s;
+  state.counters["p99_ms"] = result.metrics.p99_response_ms;
+  state.counters["frames_dropped"] =
+      static_cast<double>(result.gbooster.frames_dropped);
+  state.counters["abandoned"] =
+      static_cast<double>(result.transport.messages_abandoned +
+                          result.service_transport.messages_abandoned);
+  bench::report_transport(state, result);
 }
 
 // Recovery comparison (DESIGN.md §10): the same crash-recover and burst
@@ -129,6 +183,12 @@ void BM_RecoveryComparison(benchmark::State& state) {
 BENCHMARK(BM_FaultRecovery)
     ->ArgNames({"scenario", "devices"})
     ->ArgsProduct({{kNone, kBurst, kCrash, kCrashRecover}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_TransportComparison)
+    ->ArgNames({"scenario", "transport"})
+    ->ArgsProduct({{kNone, kBurst, kFlap}, {kPureArq, kFecMultipath}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

@@ -89,6 +89,7 @@ void BM_OverloadDegradation(benchmark::State& state) {
                              : 70.0;
   state.counters["bytes_sent_mb"] =
       static_cast<double>(gb.bytes_sent) / 1.0e6;
+  bench::report_transport(state, result);
 }
 
 }  // namespace

@@ -23,6 +23,11 @@
 # local_render). The stage means tile the issue-to-display interval, so they
 # sum to `issue_to_display_ms` (see DESIGN.md §9). bench_parallel_pipeline
 # additionally exports the TBDR rasterizer's tile/early-Z stage counters.
+# bench_fault_recovery and bench_overload also export the DESIGN.md §13
+# transport columns (`fec_recovered`, `parity_overhead_b/_pct`,
+# `path_reroutes`, `path_wifi_chunks`/`path_bt_chunks`, `retransmits`);
+# bench_fault_recovery's BM_TransportComparison rows are the pure-ARQ vs
+# FEC+multipath A/B quoted in EXPERIMENTS.md.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -20,10 +20,11 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 # The recovery/observability/overload suites, which is where sanitizer
 # findings have historically lived (races in the frame pipeline, lifetime
-# bugs in the failure and shedding paths), plus the tile-binned raster
-# scheduler (concurrent tile rasterization + fused tile encode). -L takes a
-# regex; one call covers all five labels.
-SAN_LABELS='faults|observability|snapshot|overload|raster'
+# bugs in the failure and shedding paths), the tile-binned raster
+# scheduler (concurrent tile rasterization + fused tile encode), and the
+# FEC/multipath transport (adversarial parity parsing, crafted-datagram
+# reassembly). -L takes a regex; one call covers all six labels.
+SAN_LABELS='faults|observability|snapshot|overload|raster|transport'
 # Suites whose outputs must not change when GB_SIMD is toggled: the
 # rasterizer identity tests and the codec/LZ4 bitstream tests.
 NOSIMD_LABELS='raster|codec'

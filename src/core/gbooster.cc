@@ -1128,6 +1128,11 @@ void GBoosterRuntime::on_message(net::NodeId src, net::NodeId stream,
     }
   }
   stats_.bytes_received += parsed->header.nominal_bytes;
+  if (governor_ != nullptr && !parsed->header.shed &&
+      parsed->header.nominal_bytes > 0 && flight.quality > 0) {
+    // Downlink frame cost at its encode quality: prices the bitrate ladder.
+    governor_->on_frame_bytes(parsed->header.nominal_bytes, flight.quality);
+  }
 
   if (parsed->header.shed) {
     stats_.frames_shed_service++;

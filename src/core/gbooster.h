@@ -51,7 +51,8 @@ namespace gb::core {
 
 // Heartbeat-driven failure detector (circuit breaker) for service devices.
 // The transport's own abandonment signal also feeds the breaker, but at a
-// ~90 s horizon (50 retries with backoff); heartbeats are the fast path.
+// ~25 s horizon (50 retries, backoff capped at rto_max in adaptive mode);
+// heartbeats are the fast path.
 struct HealthMonitorConfig {
   bool enabled = true;
   // Probe cadence per device. Dead devices keep being probed at the same
@@ -210,6 +211,13 @@ class GBoosterRuntime {
   [[nodiscard]] std::size_t active_in_flight() const;
   // Null when config.qos.enabled is false.
   [[nodiscard]] const QosGovernor* governor() const { return governor_.get(); }
+
+  // Feeds the latest predicted aggregate deliverable capacity (bytes/sec,
+  // from the kMultipath switcher) into the governor's proactive bitrate
+  // ladder. No-op without the governor.
+  void note_capacity_forecast(double bytes_per_sec) {
+    if (governor_ != nullptr) governor_->on_capacity_forecast(bytes_per_sec);
+  }
 
   // Fired when a frame reaches the screen: sequence, issue->display latency,
   // and the decoded image (empty in analytic mode).

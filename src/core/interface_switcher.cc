@@ -18,11 +18,37 @@ InterfaceSwitcher::InterfaceSwitcher(
         predict::TrafficPredictorConfig p = config.predictor;
         p.horizon = config.forecast_horizon_intervals;
         return p;
+      }()),
+      wifi_capacity_([&config, &wifi_radio] {
+        predict::PathCapacityConfig p = config.path_capacity;
+        p.usable_bps =
+            wifi_radio.config().bandwidth_bps * config.wifi_usable_fraction;
+        return p;
+      }()),
+      bt_capacity_([&config, &bt_radio] {
+        predict::PathCapacityConfig p = config.path_capacity;
+        p.usable_bps =
+            bt_radio.config().bandwidth_bps * config.bt_usable_fraction;
+        return p;
       }()) {
   // Initial routing is session configuration, not a demand-driven switch:
   // apply_route keeps the upgrade/downgrade counters at zero so experiment
   // stats count only the predictor's decisions.
-  if (config_.policy == SwitchPolicy::kAlwaysWifi) {
+  if (config_.policy == SwitchPolicy::kMultipath) {
+    // Both radios stay powered for the whole session; the striping weights,
+    // not an exclusive route, decide what each path carries. The route is
+    // still set (to WiFi) so anything sent before the first weight update —
+    // or after a future return to exclusive mode — has a defined path.
+    wifi_radio_.power_on();
+    bt_radio_.power_on();
+    apply_route(/*use_wifi=*/true);
+    wifi_weight_ = wifi_capacity_.predicted_capacity_bps();
+    bt_weight_ = bt_capacity_.predicted_capacity_bps();
+    aggregate_capacity_bps_ = wifi_weight_ + bt_weight_;
+    for (net::ReliableEndpoint* endpoint : endpoints_) {
+      endpoint->set_path_weights({wifi_weight_, bt_weight_});
+    }
+  } else if (config_.policy == SwitchPolicy::kAlwaysWifi) {
     wifi_radio_.power_on();
     apply_route(/*use_wifi=*/true);
     bt_radio_.power_off();
@@ -75,8 +101,49 @@ void InterfaceSwitcher::route_to_bt() {
   apply_route(/*use_wifi=*/false);
 }
 
+void InterfaceSwitcher::observe_multipath(
+    const predict::TrafficSample& sample) {
+  const double interval_s = config_.observe_interval.seconds();
+  stats_.seconds_on_wifi += interval_s;
+  stats_.seconds_on_bt += interval_s;
+  predictor_.observe(sample);  // demand series still feeds the QoS ladder
+
+  wifi_capacity_.observe(wifi_medium_.stats().bytes_sent,
+                         wifi_medium_.stats().bytes_lost);
+  bt_capacity_.observe(bt_medium_.stats().bytes_sent,
+                       bt_medium_.stats().bytes_lost);
+
+  wifi_weight_ = wifi_capacity_.predicted_capacity_bps();
+  bt_weight_ = bt_capacity_.predicted_capacity_bps();
+  const double wifi_floor =
+      config_.path_capacity.min_ratio * wifi_radio_.config().bandwidth_bps *
+      config_.wifi_usable_fraction;
+  const double bt_floor = config_.path_capacity.min_ratio *
+                          bt_radio_.config().bandwidth_bps *
+                          config_.bt_usable_fraction;
+  if (wifi_weight_ <= wifi_floor * 1.0001) stats_.wifi_floor_intervals++;
+  if (bt_weight_ <= bt_floor * 1.0001) stats_.bt_floor_intervals++;
+
+  // The governor's headroom only counts paths that can carry traffic right
+  // now; a waking or faulted radio's forecast is a promise, not capacity.
+  aggregate_capacity_bps_ = (wifi_radio_.usable() ? wifi_weight_ : 0.0) +
+                            (bt_radio_.usable() ? bt_weight_ : 0.0);
+
+  for (net::ReliableEndpoint* endpoint : endpoints_) {
+    endpoint->set_path_weights({wifi_weight_, bt_weight_});
+  }
+  const double capacity_per_interval = aggregate_capacity_bps_ * interval_s;
+  if (sample.traffic_bytes > capacity_per_interval) {
+    stats_.uncovered_demand_intervals++;
+  }
+}
+
 void InterfaceSwitcher::observe_interval(
     const predict::TrafficSample& sample) {
+  if (config_.policy == SwitchPolicy::kMultipath) {
+    observe_multipath(sample);
+    return;
+  }
   const double interval_s = config_.observe_interval.seconds();
   if (on_wifi_) {
     stats_.seconds_on_wifi += interval_s;

@@ -21,6 +21,7 @@
 #include "net/medium.h"
 #include "net/radio.h"
 #include "net/reliable.h"
+#include "predict/path_capacity.h"
 #include "predict/traffic_predictor.h"
 #include "runtime/event_loop.h"
 #include "runtime/trace.h"
@@ -31,6 +32,11 @@ enum class SwitchPolicy {
   kPredictive,
   kAlwaysWifi,
   kReactive,
+  // Concurrent multipath (DESIGN.md §13): both radios stay powered and every
+  // endpoint stripes across both media, weighted each interval by per-path
+  // predicted deliverable capacity (predict::PathCapacityPredictor). There is
+  // no exclusive route to switch; a collapsing path sheds weight instead.
+  kMultipath,
 };
 
 struct SwitcherConfig {
@@ -43,6 +49,12 @@ struct SwitcherConfig {
   // Consecutive calm intervals before falling back to Bluetooth.
   int calm_intervals_before_downgrade = 20;
   predict::TrafficPredictorConfig predictor;
+  // kMultipath only: usable fraction of the WiFi line rate (protocol
+  // overhead; the Bluetooth side reuses bt_usable_fraction) and the per-path
+  // delivery-ratio forecaster configuration. `usable_bps` is derived from
+  // each radio's bandwidth — any value set here is overwritten.
+  double wifi_usable_fraction = 0.85;
+  predict::PathCapacityConfig path_capacity;
   // Optional pipeline tracer: route changes appear as instants on the user
   // device's track. Must outlive the switcher.
   runtime::Tracer* tracer = nullptr;
@@ -54,8 +66,13 @@ struct SwitcherStats {
   // Intervals whose actual demand exceeded Bluetooth while WiFi was not yet
   // usable — the §V-B false-negative cost (latency spikes / frame jitter).
   std::uint64_t uncovered_demand_intervals = 0;
+  // kMultipath: both accrue every interval (both radios carry traffic).
   double seconds_on_wifi = 0.0;
   double seconds_on_bt = 0.0;
+  // kMultipath: intervals in which a path's predicted weight collapsed to
+  // its floor (the scheduler effectively drained to the survivor).
+  std::uint64_t wifi_floor_intervals = 0;
+  std::uint64_t bt_floor_intervals = 0;
 };
 
 class InterfaceSwitcher {
@@ -78,7 +95,18 @@ class InterfaceSwitcher {
   [[nodiscard]] const SwitcherStats& stats() const noexcept { return stats_; }
   [[nodiscard]] double bt_capacity_bytes_per_interval() const;
 
+  // kMultipath: predicted deliverable bytes/sec summed over the currently
+  // usable paths — the aggregate the QoS governor sizes its bitrate ladder
+  // against. Zero under the exclusive policies.
+  [[nodiscard]] double predicted_aggregate_capacity_bps() const noexcept {
+    return aggregate_capacity_bps_;
+  }
+  // kMultipath: the latest per-path weights, bind order {wifi, bt}.
+  [[nodiscard]] double wifi_weight() const noexcept { return wifi_weight_; }
+  [[nodiscard]] double bt_weight() const noexcept { return bt_weight_; }
+
  private:
+  void observe_multipath(const predict::TrafficSample& sample);
   // Moves the default route without touching the upgrade/downgrade counters —
   // the constructor's *initial* routing is configuration, not a switch.
   void apply_route(bool use_wifi);
@@ -94,6 +122,12 @@ class InterfaceSwitcher {
   net::Medium& bt_medium_;
   net::RadioInterface& bt_radio_;
   predict::TrafficPredictor predictor_;
+  // kMultipath per-path forecasters (unused under exclusive policies).
+  predict::PathCapacityPredictor wifi_capacity_;
+  predict::PathCapacityPredictor bt_capacity_;
+  double aggregate_capacity_bps_ = 0.0;
+  double wifi_weight_ = 0.0;
+  double bt_weight_ = 0.0;
   bool on_wifi_ = false;
   bool wifi_wake_requested_ = false;
   bool bt_wake_requested_ = false;

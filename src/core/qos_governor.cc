@@ -12,6 +12,44 @@ void QosGovernor::on_frame_displayed(double latency_ms) {
   window_latencies_.push_back(latency_ms);
 }
 
+void QosGovernor::on_frame_bytes(std::size_t bytes, int quality) {
+  if (quality <= 0) return;
+  // Normalize to what this frame would have cost at base quality (JPEG size
+  // scales roughly linearly with the quality knob over the ladder's range),
+  // so the estimate is comparable across level changes.
+  const double at_base = static_cast<double>(bytes) *
+                         static_cast<double>(config_.base_quality) /
+                         static_cast<double>(quality);
+  base_frame_bytes_ = base_frame_bytes_ == 0.0
+                          ? at_base
+                          : 0.9 * base_frame_bytes_ + 0.1 * at_base;
+}
+
+double QosGovernor::frame_cost_estimate(int level) const {
+  return base_frame_bytes_ *
+         static_cast<double>(quality_for_level(level)) /
+         static_cast<double>(config_.base_quality);
+}
+
+void QosGovernor::on_capacity_forecast(double bytes_per_sec) {
+  if (config_.target_fps <= 0.0 || base_frame_bytes_ == 0.0 ||
+      bytes_per_sec <= 0.0) {
+    proactive_level_ = 0;
+    return;
+  }
+  const double budget_per_frame =
+      config_.capacity_headroom * bytes_per_sec / config_.target_fps;
+  // Lowest rung whose estimated frame fits the per-frame byte budget; if not
+  // even the deepest rung fits, the ladder bottoms out there and the AIMD
+  // loop (backlog will build) plus deadline shedding absorb the rest.
+  int level = 0;
+  while (level < config_.max_level &&
+         frame_cost_estimate(level) > budget_per_frame) {
+    level++;
+  }
+  proactive_level_ = level;
+}
+
 bool QosGovernor::evaluate(SimTime now, double backlog_ms,
                            std::size_t pending_depth) {
   stats_.windows_evaluated++;
@@ -63,17 +101,25 @@ bool QosGovernor::evaluate(SimTime now, double backlog_ms,
     }
     stats_.max_level_reached = std::max(stats_.max_level_reached, level_);
   }
+  if (proactive_level_ > level_) stats_.proactive_limit_windows++;
+  stats_.max_level_reached =
+      std::max(stats_.max_level_reached, effective_level());
   return level_ != before;
 }
 
-int QosGovernor::quality() const noexcept {
+int QosGovernor::quality_for_level(int level) const noexcept {
   return std::max(config_.min_quality,
-                  config_.base_quality - level_ * config_.quality_step);
+                  config_.base_quality - level * config_.quality_step);
+}
+
+int QosGovernor::quality() const noexcept {
+  return quality_for_level(effective_level());
 }
 
 int QosGovernor::skip_threshold() const noexcept {
-  return std::min(config_.max_skip_threshold,
-                  config_.base_skip_threshold + level_ * config_.skip_step);
+  return std::min(
+      config_.max_skip_threshold,
+      config_.base_skip_threshold + effective_level() * config_.skip_step);
 }
 
 SimTime QosGovernor::shed_deadline() const noexcept {
@@ -83,7 +129,7 @@ SimTime QosGovernor::shed_deadline() const noexcept {
 
 int QosGovernor::depth_cap(int configured_max) const noexcept {
   return std::max(std::min(config_.min_depth, configured_max),
-                  configured_max - level_ * config_.depth_step);
+                  configured_max - effective_level() * config_.depth_step);
 }
 
 }  // namespace gb::core

@@ -60,6 +60,16 @@ struct QosGovernorConfig {
   // time is shed (the pipeline is behind; newer frames carry fresher input).
   // Zero derives 2 * target_p95 from the latency target.
   SimTime shed_deadline;
+  // Proactive bitrate ladder (DESIGN.md §13): with a capacity forecast wired
+  // in (the kMultipath switcher's predicted aggregate deliverable rate), the
+  // governor also computes the lowest level whose estimated per-frame bytes
+  // fit inside `capacity_headroom` of the forecast at `target_fps`, and
+  // operates at the stricter (higher) of that and the AIMD level — shrinking
+  // frames *before* the queue builds instead of after the p95 blows through
+  // target. Zero target_fps disables the ladder (AIMD-only, the pre-§13
+  // behaviour).
+  double target_fps = 0.0;
+  double capacity_headroom = 0.85;
   // Pending-window adaptation: level L caps the in-flight window at
   //   max(min_depth, configured_max - L * depth_step)
   // so a congested transport is not fed a full window of frames that can
@@ -77,6 +87,9 @@ struct QosGovernorStats {
   std::uint64_t level_raises = 0;
   std::uint64_t level_drops = 0;
   int max_level_reached = 0;
+  // Windows in which the proactive capacity ladder, not the reactive AIMD
+  // loop, set the effective level (the forecast led the congestion).
+  std::uint64_t proactive_limit_windows = 0;
 };
 
 class QosGovernor {
@@ -87,12 +100,33 @@ class QosGovernor {
   // window.
   void on_frame_displayed(double latency_ms);
 
+  // Feeds one encoded frame's wire size and the quality it was encoded at;
+  // maintains the EWMA per-frame byte estimate (normalized to base_quality)
+  // the bitrate ladder prices its rungs with.
+  void on_frame_bytes(std::size_t bytes, int quality);
+
+  // Feeds the latest predicted aggregate deliverable capacity (bytes/sec)
+  // and recomputes the proactive level. No-op while target_fps is 0, the
+  // byte estimate has no samples yet, or the forecast is non-positive.
+  void on_capacity_forecast(double bytes_per_sec);
+
+  // Estimated wire bytes of one frame encoded at degradation level `level`.
+  [[nodiscard]] double frame_cost_estimate(int level) const;
+
   // Closes the current sample window and runs one control decision against
   // the auxiliary signals sampled now. Returns true when the degradation
   // level changed.
   bool evaluate(SimTime now, double backlog_ms, std::size_t pending_depth);
 
+  // The reactive AIMD level alone; the knobs below apply effective_level().
   [[nodiscard]] int level() const noexcept { return level_; }
+  // The stricter of the AIMD level and the proactive capacity-ladder level.
+  [[nodiscard]] int effective_level() const noexcept {
+    return level_ > proactive_level_ ? level_ : proactive_level_;
+  }
+  [[nodiscard]] int proactive_level() const noexcept {
+    return proactive_level_;
+  }
   [[nodiscard]] int quality() const noexcept;
   [[nodiscard]] int skip_threshold() const noexcept;
   [[nodiscard]] SimTime shed_deadline() const noexcept;
@@ -110,8 +144,13 @@ class QosGovernor {
   }
 
  private:
+  [[nodiscard]] int quality_for_level(int level) const noexcept;
+
   QosGovernorConfig config_;
   int level_ = 0;
+  int proactive_level_ = 0;
+  // EWMA of per-frame wire bytes normalized to base_quality (0 = no samples).
+  double base_frame_bytes_ = 0.0;
   int calm_windows_ = 0;
   SimTime last_change_;
   double last_p95_ms_ = 0.0;

@@ -1,9 +1,38 @@
 #include "net/fault_plan.h"
 
 namespace gb::net {
+namespace {
 
-FaultPlan::FaultPlan(FaultPlanConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {}
+// splitmix64 finalizer: decorrelates per-link seeds derived from one scenario
+// seed. Link 0 keeps the raw seed so single-link scenarios reproduce the
+// historical byte streams exactly.
+std::uint64_t derive_link_seed(std::uint64_t seed, int link) {
+  if (link == 0) return seed;
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(link);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : config_(std::move(config)) {}
+
+FaultPlan::LinkState& FaultPlan::link_state(int link) {
+  auto it = links_.find(link);
+  if (it == links_.end()) {
+    it = links_.emplace(link, LinkState(derive_link_seed(config_.seed, link)))
+             .first;
+  }
+  return it->second;
+}
+
+const GilbertElliottConfig& FaultPlan::burst_config(int link) const {
+  if (link >= 0 && static_cast<std::size_t>(link) < config_.link_bursts.size()) {
+    return config_.link_bursts[static_cast<std::size_t>(link)];
+  }
+  return config_.burst;
+}
 
 bool FaultPlan::node_down(NodeId node, SimTime now) const {
   for (const OutageWindow& w : config_.outages) {
@@ -12,9 +41,22 @@ bool FaultPlan::node_down(NodeId node, SimTime now) const {
   return false;
 }
 
-bool FaultPlan::should_drop(NodeId src, NodeId dst, SimTime now) {
+bool FaultPlan::link_down(int link, NodeId node, SimTime now) const {
+  for (const LinkOutageWindow& w : config_.link_outages) {
+    if (w.link == link && w.node == node && now >= w.start && now < w.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::should_drop(NodeId src, NodeId dst, SimTime now, int link) {
   if (node_down(src, now) || node_down(dst, now)) {
     stats_.dropped_by_outage++;
+    return true;
+  }
+  if (link_down(link, src, now) || link_down(link, dst, now)) {
+    stats_.dropped_by_link_outage++;
     return true;
   }
   for (const PartitionWindow& p : config_.partitions) {
@@ -23,18 +65,22 @@ bool FaultPlan::should_drop(NodeId src, NodeId dst, SimTime now) {
       return true;
     }
   }
-  if (config_.burst.enabled) {
-    // Advance the two-state chain once per delivery attempt, then sample the
-    // current state's loss probability.
-    if (in_burst_) {
-      if (rng_.chance(config_.burst.p_exit_burst)) in_burst_ = false;
-    } else if (rng_.chance(config_.burst.p_enter_burst)) {
-      in_burst_ = true;
+  const GilbertElliottConfig& burst = burst_config(link);
+  if (burst.enabled) {
+    // Advance this link's two-state chain once per delivery attempt, then
+    // sample the current state's loss probability. Chains on different links
+    // evolve from independent seeds: one link bursting says nothing about
+    // the other.
+    LinkState& state = link_state(link);
+    if (state.in_burst) {
+      if (state.rng.chance(burst.p_exit_burst)) state.in_burst = false;
+    } else if (state.rng.chance(burst.p_enter_burst)) {
+      state.in_burst = true;
+      state.burst_entries++;
       stats_.burst_entries++;
     }
-    const double loss =
-        in_burst_ ? config_.burst.loss_burst : config_.burst.loss_good;
-    if (rng_.chance(loss)) {
+    const double loss = state.in_burst ? burst.loss_burst : burst.loss_good;
+    if (state.rng.chance(loss)) {
       stats_.dropped_by_burst++;
       return true;
     }

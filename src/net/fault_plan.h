@@ -1,16 +1,24 @@
 // Deterministic fault injection for the simulated network and service
 // devices. A FaultPlan is a seeded scenario description — scheduled node
 // outage windows (a console powered off or walked out of range), one-way
-// partitions (asymmetric interference), and Gilbert–Elliott burst loss (the
-// §V-B link degradation that motivates Bluetooth↔WiFi switching) — that the
-// Medium consults on every delivery attempt and the ServiceRuntime consults
-// when deciding whether in-flight work survived a crash window.
+// partitions (asymmetric interference), per-link radio flaps, and
+// Gilbert–Elliott burst loss (the §V-B link degradation that motivates
+// Bluetooth↔WiFi switching) — that the Medium consults on every delivery
+// attempt and the ServiceRuntime consults when deciding whether in-flight
+// work survived a crash window.
 //
-// Every decision draws from the plan's own seeded Rng, so a scenario is
+// Every decision draws from the plan's own seeded Rngs, so a scenario is
 // reproducible bit-for-bit and failure-recovery tests are deterministic.
+//
+// Links: each Medium identifies itself with a small integer link id (wifi=0,
+// bt=1 by convention). Loss processes are maintained *per link* with
+// independently derived seeds — WiFi interference and Bluetooth piconet
+// contention are physically unrelated processes, and a shared chain would
+// make any multipath A/B meaningless (both paths would burst in lockstep).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/rng.h"
@@ -49,18 +57,36 @@ struct PartitionWindow {
   SimTime end;
 };
 
+// One *link* of `node` is dead in [start, end) — a radio flap (driver reset,
+// band interference) — while the node itself stays up and its other links
+// keep carrying traffic. Datagrams to or from the node on that link are lost
+// in the air; the sender's transport learns it through missing acks, exactly
+// like path loss (the radio does not know it is flapping).
+struct LinkOutageWindow {
+  int link = 0;
+  NodeId node = 0;
+  SimTime start;
+  SimTime end;
+};
+
 struct FaultPlanConfig {
   std::uint64_t seed = 0x5eedfa17;
+  // Default burst process applied to any link without an entry in
+  // `link_bursts`. Each link still gets its own independently seeded chain.
   GilbertElliottConfig burst;
+  // Per-link overrides: link i uses link_bursts[i] when i < size().
+  std::vector<GilbertElliottConfig> link_bursts;
   std::vector<OutageWindow> outages;
   std::vector<PartitionWindow> partitions;
+  std::vector<LinkOutageWindow> link_outages;
 };
 
 struct FaultPlanStats {
   std::uint64_t dropped_by_outage = 0;
   std::uint64_t dropped_by_partition = 0;
   std::uint64_t dropped_by_burst = 0;
-  std::uint64_t burst_entries = 0;  // good->burst transitions
+  std::uint64_t dropped_by_link_outage = 0;
+  std::uint64_t burst_entries = 0;  // good->burst transitions, all links
 };
 
 class FaultPlan {
@@ -69,18 +95,39 @@ class FaultPlan {
 
   // True while `node` sits inside one of its outage windows.
   [[nodiscard]] bool node_down(NodeId node, SimTime now) const;
+  // True while `node`'s radio on `link` sits inside a link-flap window.
+  [[nodiscard]] bool link_down(int link, NodeId node, SimTime now) const;
 
-  // Per-delivery-attempt fault decision; advances the Gilbert–Elliott chain,
-  // so the call sequence must be deterministic (it is: the event loop is).
-  [[nodiscard]] bool should_drop(NodeId src, NodeId dst, SimTime now);
+  // Per-delivery-attempt fault decision; advances `link`'s Gilbert–Elliott
+  // chain, so the call sequence must be deterministic (it is: the event loop
+  // is). Media identify themselves via `link`.
+  [[nodiscard]] bool should_drop(NodeId src, NodeId dst, SimTime now,
+                                 int link = 0);
 
-  [[nodiscard]] bool in_burst() const noexcept { return in_burst_; }
+  [[nodiscard]] bool in_burst(int link = 0) const noexcept {
+    const auto it = links_.find(link);
+    return it != links_.end() && it->second.in_burst;
+  }
+  [[nodiscard]] std::uint64_t burst_entries(int link) const noexcept {
+    const auto it = links_.find(link);
+    return it != links_.end() ? it->second.burst_entries : 0;
+  }
   [[nodiscard]] const FaultPlanStats& stats() const noexcept { return stats_; }
 
  private:
+  // Per-link Gilbert–Elliott chain with its own independently derived Rng.
+  struct LinkState {
+    Rng rng;
+    bool in_burst = false;
+    std::uint64_t burst_entries = 0;
+    explicit LinkState(std::uint64_t seed) : rng(seed) {}
+  };
+
+  LinkState& link_state(int link);
+  [[nodiscard]] const GilbertElliottConfig& burst_config(int link) const;
+
   FaultPlanConfig config_;
-  Rng rng_;
-  bool in_burst_ = false;
+  std::map<int, LinkState> links_;
   FaultPlanStats stats_;
 };
 

@@ -1,0 +1,88 @@
+#include "net/fec.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gb::net::fec {
+
+void ParityAccumulator::add(std::span<const std::uint8_t> chunk) {
+  if (chunk.size() > parity_.size()) parity_.resize(chunk.size(), 0);
+  for (std::size_t i = 0; i < chunk.size(); ++i) parity_[i] ^= chunk[i];
+  xor_len_ ^= static_cast<std::uint32_t>(chunk.size());
+  count_++;
+}
+
+void ParityAccumulator::finish(ParityPayload& out) {
+  out.parity = std::move(parity_);
+  out.xor_len = xor_len_;
+  out.group_chunks = count_;
+  parity_ = {};
+  xor_len_ = 0;
+  count_ = 0;
+}
+
+Bytes make_parity_payload(const ParityPayload& p) {
+  ByteWriter w;
+  w.u8(kFecParityType);
+  w.varint(p.message_id);
+  w.varint(p.stream);
+  w.varint(p.first_chunk);
+  w.varint(p.group_chunks);
+  w.varint(p.chunk_count);
+  w.varint(p.xor_len);
+  w.blob(p.parity);
+  return w.take();
+}
+
+std::optional<ParityPayload> parse_parity_payload(
+    std::span<const std::uint8_t> payload, std::size_t max_chunk) {
+  ParityPayload p;
+  try {
+    ByteReader r(payload);
+    if (r.u8() != kFecParityType) return std::nullopt;
+    p.message_id = r.varint();
+    p.stream = narrow<NodeId>(r.varint());
+    p.first_chunk = narrow<std::uint32_t>(r.varint());
+    p.group_chunks = narrow<std::uint32_t>(r.varint());
+    p.chunk_count = narrow<std::uint32_t>(r.varint());
+    p.xor_len = narrow<std::uint32_t>(r.varint());
+    const auto parity = r.blob();
+    p.parity.assign(parity.begin(), parity.end());
+    if (!r.done()) return std::nullopt;  // trailing garbage
+  } catch (const Error&) {
+    return std::nullopt;  // truncated / overlong varint / narrowing overflow
+  }
+  // Geometry checks: the group must be non-empty and lie inside the message.
+  if (p.group_chunks == 0 || p.chunk_count == 0) return std::nullopt;
+  if (p.first_chunk >= p.chunk_count) return std::nullopt;
+  if (p.chunk_count - p.first_chunk < p.group_chunks) return std::nullopt;
+  // The XOR of lengths can never exceed the longest chunk's length rounded
+  // up to the next power-of-two bound; the cheap sound check is against the
+  // parity size (every covered chunk fits inside the parity) and the MTU.
+  if (max_chunk != 0 &&
+      (p.parity.size() > max_chunk || p.xor_len > max_chunk)) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+std::optional<Bytes> reconstruct_missing(
+    const ParityPayload& parity,
+    std::span<const std::span<const std::uint8_t>> present) {
+  if (present.size() + 1 != parity.group_chunks) return std::nullopt;
+  std::uint32_t missing_len = parity.xor_len;
+  for (const auto& chunk : present) {
+    if (chunk.size() > parity.parity.size()) return std::nullopt;
+    missing_len ^= static_cast<std::uint32_t>(chunk.size());
+  }
+  if (missing_len > parity.parity.size()) return std::nullopt;
+  Bytes out(parity.parity.begin(), parity.parity.begin() + missing_len);
+  for (const auto& chunk : present) {
+    const std::size_t n = std::min<std::size_t>(chunk.size(), missing_len);
+    for (std::size_t i = 0; i < n; ++i) out[i] ^= chunk[i];
+  }
+  return out;
+}
+
+}  // namespace gb::net::fec

@@ -1,0 +1,80 @@
+// XOR-parity forward error correction for the reliable transport's data
+// chunks (DESIGN.md §13). The sender groups up to `fec_group_size`
+// consecutive chunks of one message and transmits a single parity datagram
+// per group: the bytewise XOR of the chunks (each zero-padded to the longest
+// in the group) plus the XOR of their lengths. A receiver holding all but
+// one chunk of a group can reconstruct the missing one immediately —
+// recovering a single burst casualty at parity-overhead cost instead of an
+// RTO-scale retransmission stall. ARQ stays underneath as the backstop for
+// multi-loss groups and lost parity (parity itself is fire-and-forget).
+//
+// Parity parsing is deliberately defensive: these datagrams cross the same
+// lossy medium as everything else, and a truncated or garbage payload must
+// be rejected, never trusted (see Fuzz.FecParityParserRejectsGarbage).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace gb::net {
+
+using NodeId = std::uint32_t;
+
+namespace fec {
+
+// Datagram type byte for parity payloads on the wire — shares the reliable
+// transport's type-byte namespace (kData=0, kAck=1, kRaw=2, recovered-ack=4).
+inline constexpr std::uint8_t kFecParityType = 3;
+
+// One parity datagram: covers message chunks [first_chunk,
+// first_chunk + group_chunks) of `message_id` on `stream`.
+struct ParityPayload {
+  std::uint64_t message_id = 0;
+  NodeId stream = 0;
+  std::uint32_t first_chunk = 0;   // index of the group's first data chunk
+  std::uint32_t group_chunks = 0;  // chunks covered (>= 1)
+  std::uint32_t chunk_count = 0;   // total chunks of the message
+  std::uint32_t xor_len = 0;       // XOR of the covered chunks' lengths
+  Bytes parity;                    // XOR of zero-padded chunk bytes
+};
+
+// Accumulates the XOR of a group of chunks; `finish()` leaves the parity
+// bytes (sized to the longest chunk seen) and xor_len in `out`.
+class ParityAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> chunk);
+  [[nodiscard]] std::uint32_t chunks_added() const noexcept { return count_; }
+  // Moves the accumulated parity/xor_len into `out` and resets.
+  void finish(ParityPayload& out);
+
+ private:
+  Bytes parity_;
+  std::uint32_t xor_len_ = 0;
+  std::uint32_t count_ = 0;
+};
+
+// Serializes a parity payload into a full datagram payload (leading
+// kFecParityType byte included).
+[[nodiscard]] Bytes make_parity_payload(const ParityPayload& p);
+
+// Parses a datagram payload (including the type byte). Returns nullopt for
+// anything malformed: wrong type, truncated fields, zero/overflowing group
+// geometry, or a parity blob shorter than xor_len implies. `max_chunk` caps
+// plausible chunk sizes (the sender's MTU); 0 disables that check.
+[[nodiscard]] std::optional<ParityPayload> parse_parity_payload(
+    std::span<const std::uint8_t> payload, std::size_t max_chunk = 0);
+
+// Reconstructs the single missing chunk of a group from the parity and the
+// `group_chunks - 1` present chunks. Returns nullopt when the lengths are
+// inconsistent (reconstructed length exceeds the parity size — corrupt or
+// mismatched parity, fall back to ARQ).
+[[nodiscard]] std::optional<Bytes> reconstruct_missing(
+    const ParityPayload& parity,
+    std::span<const std::span<const std::uint8_t>> present);
+
+}  // namespace fec
+}  // namespace gb::net

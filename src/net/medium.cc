@@ -70,11 +70,14 @@ void Medium::deliver_at(const Datagram& datagram, NodeId member, SimTime tx_end,
                         SimTime tx_duration) {
   if (rng_.chance(config_.loss_rate)) {
     stats_.datagrams_lost++;
+    stats_.bytes_lost += datagram.payload.size();
     return;
   }
   if (fault_plan_ != nullptr &&
-      fault_plan_->should_drop(datagram.src, member, loop_.now())) {
+      fault_plan_->should_drop(datagram.src, member, loop_.now(),
+                               fault_link_)) {
     stats_.datagrams_lost++;
+    stats_.bytes_lost += datagram.payload.size();
     return;
   }
   const auto it = endpoints_.find(member);
@@ -93,6 +96,7 @@ void Medium::deliver(const Datagram& datagram, NodeId member) {
   if (it == endpoints_.end()) return;  // silently dropped, like real UDP
   if (it->second.radio != nullptr && !it->second.radio->usable()) {
     stats_.datagrams_lost++;
+    stats_.bytes_lost += datagram.payload.size();
     return;
   }
   if (it->second.handler) it->second.handler(datagram);

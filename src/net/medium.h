@@ -38,6 +38,10 @@ struct MediumStats {
   std::uint64_t datagrams_sent = 0;
   std::uint64_t datagrams_lost = 0;
   std::uint64_t bytes_sent = 0;
+  // Payload bytes of lost deliveries (loss, faults, sleeping receiver) —
+  // with bytes_sent, yields the per-interval delivery ratio the per-path
+  // capacity predictor observes.
+  std::uint64_t bytes_lost = 0;
 };
 
 class Medium {
@@ -52,7 +56,13 @@ class Medium {
 
   // Attaches a fault-injection plan consulted on every transmission and
   // delivery attempt (nullptr detaches). The plan is shared, not owned.
-  void set_fault_plan(FaultPlan* plan) noexcept { fault_plan_ = plan; }
+  // `link` identifies this medium to the plan's per-link fault processes
+  // (wifi=0, bt=1 by convention) so each link's loss chain evolves
+  // independently.
+  void set_fault_plan(FaultPlan* plan, int link = 0) noexcept {
+    fault_plan_ = plan;
+    fault_link_ = link;
+  }
 
   // Queues a datagram. Returns false (dropping it) when the sender's radio
   // is not usable — the §V-B failure mode of a late WiFi wake-up.
@@ -80,6 +90,7 @@ class Medium {
   MediumConfig config_;
   Rng rng_;
   FaultPlan* fault_plan_ = nullptr;
+  int fault_link_ = 0;
   std::string name_;
   std::map<NodeId, Endpoint> endpoints_;
   std::map<NodeId, std::set<NodeId>> groups_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/error.h"
@@ -12,6 +13,11 @@ namespace {
 constexpr std::uint8_t kData = 0;
 constexpr std::uint8_t kAck = 1;
 constexpr std::uint8_t kRaw = 2;  // unreliable, unordered, unacked
+// fec::kFecParityType == 3 (net/fec.h)
+// Ack for an FEC-reconstructed chunk: clears the sender's pending-ack like a
+// normal ack but carries no RTT information (the data copy never arrived, so
+// the round trip would measure the parity path — Karn-style exclusion).
+constexpr std::uint8_t kRecoveredAck = 4;
 
 Bytes make_data_payload(std::uint64_t message_id, NodeId stream,
                         std::uint32_t chunk_index, std::uint32_t chunk_count,
@@ -28,10 +34,10 @@ Bytes make_data_payload(std::uint64_t message_id, NodeId stream,
   return w.take();
 }
 
-Bytes make_ack_payload(std::uint64_t message_id, NodeId stream,
-                       std::uint32_t chunk_index) {
+Bytes make_ack_payload(std::uint8_t type, std::uint64_t message_id,
+                       NodeId stream, std::uint32_t chunk_index) {
   ByteWriter w;
-  w.u8(kAck);
+  w.u8(type);
   w.varint(message_id);
   w.varint(stream);
   w.varint(chunk_index);
@@ -47,8 +53,10 @@ ReliableEndpoint::ReliableEndpoint(EventLoop& loop, NodeId self,
 }
 
 void ReliableEndpoint::bind(Medium& medium, RadioInterface* radio) {
-  medium.attach(self_, radio,
-                [this](const Datagram& datagram) { on_datagram(datagram); });
+  medium.attach(self_, radio, [this, &medium](const Datagram& datagram) {
+    on_datagram(&medium, datagram);
+  });
+  paths_.push_back(Path{&medium, radio});
   if (route_ == nullptr) route_ = &medium;
 }
 
@@ -57,9 +65,133 @@ void ReliableEndpoint::set_route(Medium* medium) {
   route_ = medium;
 }
 
+void ReliableEndpoint::set_path_weights(const std::vector<double>& weights) {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    paths_[i].weight = i < weights.size() ? std::max(0.0, weights[i]) : 0.0;
+  }
+  const bool was_multipath = multipath_;
+  multipath_ = !weights.empty();
+  if (!multipath_ && was_multipath) {
+    for (Path& path : paths_) path.wrr_credit = 0.0;
+  }
+}
+
+bool ReliableEndpoint::path_usable(const Path& path) const {
+  return path.radio == nullptr || path.radio->usable();
+}
+
+int ReliableEndpoint::route_path_index() const {
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (paths_[i].medium == route_) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ReliableEndpoint::PathStats ReliableEndpoint::path_stats(
+    std::size_t path) const {
+  PathStats out;
+  if (path >= paths_.size()) return out;
+  out.chunks_sent = paths_[path].chunks_sent;
+  out.bytes_sent = paths_[path].bytes_sent;
+  out.weight = paths_[path].weight;
+  double srtt_sum = 0.0;
+  int srtt_n = 0;
+  for (const auto& [key, state] : rtt_) {
+    if (key.second == static_cast<int>(path) && state.has_sample) {
+      srtt_sum += state.srtt_us;
+      srtt_n++;
+    }
+  }
+  if (srtt_n > 0) out.srtt_ms = srtt_sum / srtt_n / 1000.0;
+  return out;
+}
+
 bool ReliableEndpoint::transmit(NodeId dst, const Bytes& payload) {
   check(route_ != nullptr, "endpoint has no route");
   return route_->send(self_, dst, payload);
+}
+
+int ReliableEndpoint::transmit_data(NodeId dst, const Bytes& payload,
+                                    int avoid_path) {
+  if (!multipath_) {
+    const int idx = route_path_index();
+    if (!transmit(dst, payload)) return -1;
+    if (idx >= 0) {
+      paths_[idx].chunks_sent++;
+      paths_[idx].bytes_sent += payload.size();
+    }
+    return idx;
+  }
+  // Candidate order: smooth weighted round-robin over the enabled usable
+  // paths. When every enabled path is down, fall back to any usable path
+  // (equal weights) — a surviving link beats a source drop.
+  double total_weight = 0.0;
+  bool any_weighted = false;
+  for (const Path& path : paths_) {
+    if (path.weight > 0.0 && path_usable(path)) {
+      total_weight += path.weight;
+      any_weighted = true;
+    }
+  }
+  std::vector<int> order;
+  order.reserve(paths_.size());
+  if (any_weighted) {
+    for (std::size_t i = 0; i < paths_.size(); ++i) {
+      Path& path = paths_[i];
+      if (path.weight > 0.0 && path_usable(path)) {
+        path.wrr_credit += path.weight;
+        order.push_back(static_cast<int>(i));
+      }
+    }
+    std::sort(order.begin(), order.end(), [this](int a, int b) {
+      if (paths_[a].wrr_credit != paths_[b].wrr_credit) {
+        return paths_[a].wrr_credit > paths_[b].wrr_credit;
+      }
+      return a < b;  // deterministic tie-break
+    });
+  } else {
+    for (std::size_t i = 0; i < paths_.size(); ++i) {
+      if (path_usable(paths_[i])) order.push_back(static_cast<int>(i));
+    }
+  }
+  // A retransmission biases away from the lost copy's path: move it to the
+  // back of the candidate list (still tried last — a sole surviving path
+  // must not be excluded outright).
+  if (avoid_path >= 0 && order.size() > 1) {
+    const auto it = std::find(order.begin(), order.end(), avoid_path);
+    if (it != order.end()) {
+      order.erase(it);
+      order.push_back(avoid_path);
+    }
+  }
+  for (const int idx : order) {
+    Path& path = paths_[static_cast<std::size_t>(idx)];
+    if (path.medium->send(self_, dst, payload)) {
+      if (any_weighted && path.weight > 0.0) path.wrr_credit -= total_weight;
+      path.chunks_sent++;
+      path.bytes_sent += payload.size();
+      return idx;
+    }
+  }
+  return -1;
+}
+
+void ReliableEndpoint::transmit_reply(Medium* via, NodeId dst,
+                                      const Bytes& payload) {
+  if (!multipath_ || via == nullptr) {
+    (void)transmit(dst, payload);
+    return;
+  }
+  // Reply on the arrival path so the sender's round trip measures one path;
+  // if its radio refuses, any other usable path still carries the ack (the
+  // sender then mis-attributes one sample — harmless next to losing it).
+  if (via->send(self_, dst, payload)) return;
+  for (Path& path : paths_) {
+    if (path.medium != via && path_usable(path) &&
+        path.medium->send(self_, dst, payload)) {
+      return;
+    }
+  }
 }
 
 std::uint64_t ReliableEndpoint::send(NodeId dst, Bytes message) {
@@ -72,19 +204,40 @@ std::uint64_t ReliableEndpoint::send_multicast(
   return start(group, members, std::move(message), /*multicast=*/true);
 }
 
-SimTime ReliableEndpoint::current_rto(NodeId receiver) const {
-  if (!config_.adaptive_rto) return config_.retransmit_timeout;
-  const auto it = rtt_.find(receiver);
-  if (it == rtt_.end() || !it->second.has_sample) {
-    return config_.retransmit_timeout;
-  }
+SimTime ReliableEndpoint::clamped_rto(const RttState& state) const {
   // RFC 6298 shape: RTO = SRTT + 4·RTTVAR, clamped. The clamp floor guards
   // against spurious repairs on sub-millisecond LAN paths (the ack may still
   // be in flight); the ceiling keeps a single inflated estimate from
   // stalling repair entirely.
-  const double rto_us = it->second.srtt_us + 4.0 * it->second.rttvar_us;
+  const double rto_us = state.srtt_us + 4.0 * state.rttvar_us;
   return std::clamp(SimTime::from_us(static_cast<std::int64_t>(rto_us)),
                     config_.rto_min, config_.rto_max);
+}
+
+SimTime ReliableEndpoint::current_rto(NodeId receiver) const {
+  if (!config_.adaptive_rto) return config_.retransmit_timeout;
+  SimTime rto;
+  bool any = false;
+  const auto begin =
+      rtt_.lower_bound({receiver, std::numeric_limits<int>::min()});
+  for (auto it = begin; it != rtt_.end() && it->first.first == receiver;
+       ++it) {
+    if (!it->second.has_sample) continue;
+    rto = std::max(rto, clamped_rto(it->second));
+    any = true;
+  }
+  return any ? rto : config_.retransmit_timeout;
+}
+
+SimTime ReliableEndpoint::current_rto_on(NodeId receiver, int path) const {
+  if (!config_.adaptive_rto) return config_.retransmit_timeout;
+  if (path >= 0) {
+    const auto it = rtt_.find({receiver, path});
+    if (it != rtt_.end() && it->second.has_sample) {
+      return clamped_rto(it->second);
+    }
+  }
+  return current_rto(receiver);
 }
 
 SimTime ReliableEndpoint::message_rto(const OutstandingMessage& msg) const {
@@ -93,15 +246,16 @@ SimTime ReliableEndpoint::message_rto(const OutstandingMessage& msg) const {
   bool any = false;
   for (const OutstandingChunk& chunk : msg.chunks) {
     for (const NodeId receiver : chunk.pending_acks) {
-      rto = std::max(rto, current_rto(receiver));
+      rto = std::max(rto, current_rto_on(receiver, chunk.last_path));
       any = true;
     }
   }
   return any ? rto : config_.retransmit_timeout;
 }
 
-void ReliableEndpoint::record_rtt_sample(NodeId receiver, SimTime rtt) {
-  RttState& state = rtt_[receiver];
+void ReliableEndpoint::record_rtt_sample(NodeId receiver, int path,
+                                         SimTime rtt) {
+  RttState& state = rtt_[{receiver, std::max(path, 0)}];
   const double sample_us = static_cast<double>(rtt.us());
   if (!state.has_sample) {
     state.has_sample = true;
@@ -124,7 +278,11 @@ void ReliableEndpoint::send_unreliable(NodeId dst, Bytes payload) {
   stats_.unreliable_sent++;
   // Fire-and-forget: a source drop here is exactly a lost probe, which is
   // the signal the health monitor is listening for.
-  (void)transmit(dst, w.take());
+  if (multipath_) {
+    (void)transmit_data(dst, w.take());
+  } else {
+    (void)transmit(dst, w.take());
+  }
 }
 
 std::uint64_t ReliableEndpoint::stream_floor(NodeId stream) const {
@@ -198,6 +356,39 @@ std::size_t ReliableEndpoint::forget_receiver(NodeId member) {
   return affected;
 }
 
+void ReliableEndpoint::send_parity(NodeId stream, std::uint64_t id,
+                                   std::uint32_t chunk_count,
+                                   const Bytes& message) {
+  // One parity datagram per group of up to fec_group_size chunks,
+  // fire-and-forget: parity is never retransmitted (ARQ underneath repairs
+  // multi-loss groups), tracked, or acked. A single-chunk message gets 1+1
+  // repetition — its parity *is* a second copy.
+  fec::ParityAccumulator acc;
+  std::uint32_t group_first = 0;
+  const auto flush = [&](std::uint32_t first) {
+    fec::ParityPayload p;
+    p.message_id = id;
+    p.stream = stream;
+    p.first_chunk = first;
+    p.chunk_count = chunk_count;
+    acc.finish(p);  // fills group_chunks / xor_len / parity
+    const Bytes payload = fec::make_parity_payload(p);
+    stats_.fec_parity_sent++;
+    stats_.fec_parity_bytes += payload.size();
+    (void)transmit_data(stream, payload);
+  };
+  for (std::uint32_t c = 0; c < chunk_count; ++c) {
+    const std::size_t begin = static_cast<std::size_t>(c) * config_.mtu;
+    const std::size_t end = std::min(message.size(), begin + config_.mtu);
+    acc.add(std::span(message).subspan(begin, end - begin));
+    if (acc.chunks_added() >= config_.fec_group_size) {
+      flush(group_first);
+      group_first = c + 1;
+    }
+  }
+  if (acc.chunks_added() > 0) flush(group_first);
+}
+
 std::uint64_t ReliableEndpoint::start(NodeId stream,
                                       const std::vector<NodeId>& receivers,
                                       Bytes message, bool multicast) {
@@ -230,13 +421,18 @@ std::uint64_t ReliableEndpoint::start(NodeId stream,
 
   // Initial transmission: once, to the stream address (node or group).
   std::size_t transmitted = 0;
-  for (const OutstandingChunk& chunk : out.chunks) {
-    if (transmit(stream, chunk.datagram_payload)) {
+  for (OutstandingChunk& chunk : out.chunks) {
+    const int path = transmit_data(stream, chunk.datagram_payload);
+    if (path >= 0) {
+      chunk.last_path = path;
       stats_.chunks_sent++;
       transmitted++;
     } else {
       stats_.chunks_dropped_at_source++;
     }
+  }
+  if (config_.fec_group_size > 0 && transmitted > 0) {
+    send_parity(stream, id, static_cast<std::uint32_t>(chunk_count), message);
   }
   // A chunk the local radio refused never hit the air, so there is no loss
   // estimate to respect: retry promptly instead of waiting out a full RTO.
@@ -263,6 +459,24 @@ void ReliableEndpoint::schedule_retransmit_tick(SimTime delay) {
   });
 }
 
+SimTime ReliableEndpoint::congestion_backlog() const {
+  if (!multipath_) {
+    return route_ != nullptr ? route_->backlog() : SimTime{};
+  }
+  // Least-backlogged enabled usable path: a repair can go wherever there is
+  // air, so only an all-paths-saturated transport should hold back.
+  bool any = false;
+  SimTime least;
+  for (const Path& path : paths_) {
+    if (path.weight <= 0.0 || !path_usable(path)) continue;
+    const SimTime backlog = path.medium->backlog();
+    if (!any || backlog < least) least = backlog;
+    any = true;
+  }
+  if (!any) return route_ != nullptr ? route_->backlog() : SimTime{};
+  return least;
+}
+
 void ReliableEndpoint::retransmit_tick() {
   // Congestion control: when the medium's transmit queue is already deeper
   // than an RTO, retransmitting only adds fuel — acks are late because the
@@ -270,7 +484,7 @@ void ReliableEndpoint::retransmit_tick() {
   // retry (the UDT-style rate-based restraint of [19]). With adaptive RTO
   // the gate moves per message below (each compares the backlog against its
   // own receivers' RTO); the fixed-timer baseline keeps the global gate.
-  const SimTime backlog = route_ != nullptr ? route_->backlog() : SimTime{};
+  const SimTime backlog = congestion_backlog();
   if (!config_.adaptive_rto && backlog > config_.retransmit_timeout) {
     schedule_retransmit_tick(config_.retransmit_timeout);
     return;
@@ -306,12 +520,21 @@ void ReliableEndpoint::retransmit_tick() {
     }
     std::size_t attempted = 0;
     std::size_t transmitted = 0;
-    for (const OutstandingChunk& chunk : msg.chunks) {
+    for (OutstandingChunk& chunk : msg.chunks) {
       // Repair per straggler with unicast (cheap for the common single-loss
       // case; the initial pass already used multicast).
       for (const NodeId receiver : chunk.pending_acks) {
         attempted++;
-        if (transmit(receiver, chunk.datagram_payload)) {
+        const int path =
+            transmit_data(receiver, chunk.datagram_payload,
+                          /*avoid_path=*/multipath_ ? chunk.last_path : -1);
+        if (path >= 0) {
+          if (multipath_ && chunk.last_path >= 0 && path != chunk.last_path) {
+            // The repair deliberately took the other path — the loss said
+            // more about the old path than about the chunk.
+            stats_.path_reroutes++;
+          }
+          chunk.last_path = path;
           stats_.chunks_sent++;
           stats_.chunks_retransmitted++;
           transmitted++;
@@ -330,10 +553,17 @@ void ReliableEndpoint::retransmit_tick() {
       msg.next_retransmit = now + config_.source_drop_retry;
     } else {
       // Exponential backoff on top of the (fixed or adaptive) base RTO caps
-      // the repair rate for persistently lossy paths.
+      // the repair rate for persistently lossy paths. With adaptive RTO the
+      // configured ceiling also caps the *backed-off* deadline: a dead-path
+      // chunk keeps probing at rto_max cadence instead of hammering minutes
+      // apart (and the abandonment horizon stays bounded).
       if (transmitted > 0) msg.retransmitted = true;
       const int shift = std::min(msg.retries, 6);
-      msg.next_retransmit = now + SimTime::from_us(base_rto.us() << shift);
+      SimTime backoff = SimTime::from_us(base_rto.us() << shift);
+      if (config_.adaptive_rto) {
+        backoff = std::min(backoff, std::max(config_.rto_max, base_rto));
+      }
+      msg.next_retransmit = now + backoff;
       if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
         tracer_->instant("retransmit", self_, now,
                          {{"stream", static_cast<double>(it->first.first)},
@@ -357,19 +587,23 @@ void ReliableEndpoint::retransmit_tick() {
                                           : config_.source_drop_retry);
 }
 
-void ReliableEndpoint::on_datagram(const Datagram& datagram) {
+void ReliableEndpoint::on_datagram(Medium* via, const Datagram& datagram) {
   ByteReader r(datagram.payload);
   const std::uint8_t type = r.u8();
   if (type == kAck) {
-    handle_ack(datagram);
+    handle_ack(datagram, /*recovered=*/false);
   } else if (type == kData) {
-    handle_data(datagram);
+    handle_data(via, datagram);
   } else if (type == kRaw) {
     handle_unreliable(datagram);
+  } else if (type == fec::kFecParityType) {
+    handle_fec_parity(via, datagram);
+  } else if (type == kRecoveredAck) {
+    handle_ack(datagram, /*recovered=*/true);
   }
 }
 
-void ReliableEndpoint::handle_ack(const Datagram& datagram) {
+void ReliableEndpoint::handle_ack(const Datagram& datagram, bool recovered) {
   ByteReader r(datagram.payload);
   r.u8();  // type
   const std::uint64_t id = r.varint();
@@ -381,10 +615,16 @@ void ReliableEndpoint::handle_ack(const Datagram& datagram) {
   if (chunk_index >= msg.chunks.size()) return;
   OutstandingChunk& chunk = msg.chunks[chunk_index];
   if (chunk.pending_acks.erase(datagram.src) > 0) {
-    // Karn's algorithm: only messages still on their original transmission
-    // yield RTT samples — after a retransmit the ack is ambiguous.
-    if (config_.adaptive_rto && !msg.retransmitted) {
-      record_rtt_sample(datagram.src, loop_.now() - msg.sent_at);
+    if (recovered) {
+      // FEC reconstruction: the data chunk itself never arrived, so there is
+      // no data round trip to sample — Karn-style exclusion keeps recovered
+      // chunks from poisoning the estimator with parity-path timing.
+      stats_.fec_recovered_acks++;
+    } else if (config_.adaptive_rto && !msg.retransmitted) {
+      // Karn's algorithm: only messages still on their original transmission
+      // yield RTT samples — after a retransmit the ack is ambiguous.
+      record_rtt_sample(datagram.src, chunk.last_path,
+                        loop_.now() - msg.sent_at);
     }
     if (--msg.unacked == 0) outstanding_.erase(it);
   }
@@ -413,7 +653,111 @@ void ReliableEndpoint::flush_ready(NodeId src, NodeId stream,
   }
 }
 
-void ReliableEndpoint::handle_data(const Datagram& datagram) {
+void ReliableEndpoint::maybe_complete(NodeId src, NodeId stream,
+                                      StreamState& state, std::uint64_t id) {
+  const auto partial_it = state.partial.find(id);
+  if (partial_it == state.partial.end()) return;
+  PartialMessage& partial = partial_it->second;
+  if (partial.received < partial.chunks.size()) return;
+  Bytes message;
+  for (Bytes& piece : partial.chunks) {
+    message.insert(message.end(), piece.begin(), piece.end());
+  }
+  state.partial.erase(partial_it);
+  state.ready.emplace(id, std::move(message));
+  flush_ready(src, stream, state);
+}
+
+void ReliableEndpoint::try_fec_recover(Medium* via, NodeId src, NodeId stream,
+                                       std::uint64_t id,
+                                       PartialMessage& partial) {
+  for (auto it = partial.parity.begin(); it != partial.parity.end();) {
+    const fec::ParityPayload& p = it->second;
+    if (static_cast<std::size_t>(p.first_chunk) + p.group_chunks >
+        partial.chunks.size()) {
+      // Group lies outside the message as the data chunks describe it:
+      // mismatched or corrupt parity.
+      stats_.fec_parity_rejected++;
+      it = partial.parity.erase(it);
+      continue;
+    }
+    std::uint32_t missing = 0;
+    std::uint32_t missing_index = 0;
+    std::vector<std::span<const std::uint8_t>> present;
+    present.reserve(p.group_chunks);
+    for (std::uint32_t c = p.first_chunk; c < p.first_chunk + p.group_chunks;
+         ++c) {
+      // Empty-slot convention: only the single chunk of an empty message can
+      // be legitimately empty, and that message completes on first receipt —
+      // inside a partial, an empty slot always means "not yet received".
+      if (partial.chunks[c].empty()) {
+        missing++;
+        missing_index = c;
+      } else {
+        present.push_back(std::span(partial.chunks[c]));
+      }
+    }
+    if (missing == 0) {
+      it = partial.parity.erase(it);  // group complete, parity spent
+      continue;
+    }
+    if (missing > 1) {
+      ++it;  // not recoverable yet; ARQ or later chunks may close the gap
+      continue;
+    }
+    const auto recovered = fec::reconstruct_missing(p, present);
+    if (!recovered.has_value()) {
+      stats_.fec_parity_rejected++;
+      it = partial.parity.erase(it);
+      continue;
+    }
+    partial.chunks[missing_index] = std::move(*recovered);
+    partial.received++;
+    stats_.fec_recovered_chunks++;
+    // Tell the sender to stop repairing this chunk — with the recovered-ack
+    // type so it clears the pending ack without recording an RTT sample.
+    transmit_reply(via, src,
+                   make_ack_payload(kRecoveredAck, id, stream, missing_index));
+    it = partial.parity.erase(it);
+  }
+}
+
+void ReliableEndpoint::handle_fec_parity(Medium* via,
+                                         const Datagram& datagram) {
+  const auto parsed =
+      fec::parse_parity_payload(datagram.payload, /*max_chunk=*/config_.mtu);
+  if (!parsed.has_value()) {
+    stats_.fec_parity_rejected++;
+    return;
+  }
+  const fec::ParityPayload& p = *parsed;
+  StreamState& state = streams_[{datagram.src, p.stream}];
+  if (p.message_id < state.next_delivery || state.ready.contains(p.message_id))
+    return;  // message already complete or passed by the floor
+  PartialMessage& partial = state.partial[p.message_id];
+  if (partial.chunks.empty() && partial.received == 0) {
+    // Cap parity-first sizing: a garbage chunk_count must not allocate an
+    // absurd slot vector on spec. Data chunks (which carried real bytes
+    // through the medium) stay authoritative for genuinely huge messages.
+    if (p.chunk_count > (1u << 16)) {
+      stats_.fec_parity_rejected++;
+      if (partial.parity.empty()) state.partial.erase(p.message_id);
+      return;
+    }
+    partial.chunks.resize(p.chunk_count);
+    partial.sized_by_parity = true;
+  } else if (partial.chunks.size() != p.chunk_count) {
+    // Parity disagrees with the message geometry the data chunks (or an
+    // earlier parity) established: reject it, trust the data.
+    stats_.fec_parity_rejected++;
+    return;
+  }
+  partial.parity[p.first_chunk] = *parsed;
+  try_fec_recover(via, datagram.src, p.stream, p.message_id, partial);
+  maybe_complete(datagram.src, p.stream, state, p.message_id);
+}
+
+void ReliableEndpoint::handle_data(Medium* via, const Datagram& datagram) {
   ByteReader r(datagram.payload);
   r.u8();  // type
   const std::uint64_t id = r.varint();
@@ -425,7 +769,8 @@ void ReliableEndpoint::handle_data(const Datagram& datagram) {
   if (chunk_count == 0 || chunk_index >= chunk_count) return;
 
   // Always ack, even duplicates (the previous ack may have been lost).
-  transmit(datagram.src, make_ack_payload(id, stream, chunk_index));
+  transmit_reply(via, datagram.src,
+                 make_ack_payload(kAck, id, stream, chunk_index));
 
   StreamState& state = streams_[{datagram.src, stream}];
   if (floor > state.next_delivery) {
@@ -446,7 +791,22 @@ void ReliableEndpoint::handle_data(const Datagram& datagram) {
   if (id < state.next_delivery || state.ready.contains(id)) return;
   PartialMessage& partial = state.partial[id];
   if (partial.chunks.empty()) partial.chunks.resize(chunk_count);
+  if (partial.chunks.size() != chunk_count && partial.sized_by_parity &&
+      partial.received == 0) {
+    // The slots were sized from a parity datagram whose geometry a real data
+    // chunk now contradicts: the data is authoritative — re-size and drop
+    // the impostor parity.
+    partial.chunks.clear();
+    partial.chunks.resize(chunk_count);
+    partial.parity.clear();
+    partial.sized_by_parity = false;
+  }
   if (chunk_index >= partial.chunks.size()) return;  // inconsistent sender
+  if (!partial.chunks.empty() && partial.received == 0 &&
+      !partial.sized_by_parity && partial.chunks.size() != chunk_count) {
+    return;  // inconsistent sender geometry
+  }
+  partial.sized_by_parity = false;
   // Duplicate detection: only the single chunk of an empty message can be
   // legitimately empty, and that message completes on first receipt, so an
   // empty slot always means "not yet received".
@@ -454,15 +814,16 @@ void ReliableEndpoint::handle_data(const Datagram& datagram) {
     partial.chunks[chunk_index].assign(chunk.begin(), chunk.end());
     partial.received++;
   }
-  if (partial.received < chunk_count) return;
-
-  Bytes message;
-  for (Bytes& piece : partial.chunks) {
-    message.insert(message.end(), piece.begin(), piece.end());
+  if (partial.received < chunk_count) {
+    // A freshly stored chunk may have closed a parity group to all-but-one:
+    // attempt reconstruction before waiting on ARQ.
+    if (!partial.parity.empty()) {
+      try_fec_recover(via, datagram.src, stream, id, partial);
+    }
+    maybe_complete(datagram.src, stream, state, id);
+    return;
   }
-  state.partial.erase(id);
-  state.ready.emplace(id, std::move(message));
-  flush_ready(datagram.src, stream, state);
+  maybe_complete(datagram.src, stream, state, id);
 }
 
 }  // namespace gb::net

@@ -9,6 +9,20 @@
 // to the group (§VI-B) and track acknowledgements per member; stragglers are
 // repaired with unicast retransmissions.
 //
+// Loss resilience (DESIGN.md §13): with `fec_group_size` > 0 the sender adds
+// one XOR-parity datagram per group of data chunks, letting the receiver
+// reconstruct any single lost chunk per group immediately — burst loss costs
+// constant parity overhead instead of an RTO-scale stall. Reconstructed
+// chunks are acknowledged with a distinct recovered-ack so they never feed
+// the Jacobson/Karels RTT estimator (Karn-style: the sample would measure
+// the parity path, not the data round trip).
+//
+// Multipath (DESIGN.md §13): `set_path_weights` switches the endpoint from
+// exclusive routing (set_route) to concurrent striping across every bound
+// medium, weighted by per-path predicted capacity. RTT state is kept per
+// (receiver, path); retransmissions prefer a different path than the lost
+// copy took, so a single-path outage is a reroute, not a session stall.
+//
 // Failure handling: a message that exhausts its retries is *abandoned* — the
 // sender's abandon handler fires with (stream, id) so upper layers can
 // re-dispatch the payload elsewhere, and a per-stream delivery floor rides on
@@ -27,6 +41,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "net/fec.h"
 #include "net/medium.h"
 #include "runtime/event_loop.h"
 #include "runtime/trace.h"
@@ -45,14 +60,19 @@ struct ReliableConfig {
   // condition clears on a known schedule (radio wake) rather than a loss
   // guess.
   SimTime source_drop_retry = ms(10);
-  // RTT-adaptive retransmission (Jacobson/Karels): per-receiver SRTT/RTTVAR
-  // estimated from ack round-trips, RTO = SRTT + 4·RTTVAR clamped to
-  // [rto_min, rto_max]. Messages that were ever retransmitted contribute no
-  // samples (Karn's algorithm — the ack is ambiguous about which copy it
-  // answers). `false` keeps the fixed-timer baseline.
+  // RTT-adaptive retransmission (Jacobson/Karels): per-(receiver, path)
+  // SRTT/RTTVAR estimated from ack round-trips, RTO = SRTT + 4·RTTVAR
+  // clamped to [rto_min, rto_max]. Messages that were ever retransmitted
+  // contribute no samples (Karn's algorithm — the ack is ambiguous about
+  // which copy it answers). `false` keeps the fixed-timer baseline.
   bool adaptive_rto = true;
   SimTime rto_min = ms(5);
   SimTime rto_max = ms(500);
+  // XOR-parity FEC over data chunks (net/fec.h): one fire-and-forget parity
+  // datagram per group of up to this many chunks. 0 disables FEC — the wire
+  // byte stream is then byte-identical to the pure-ARQ transport. Receivers
+  // always understand parity regardless of their own setting.
+  std::size_t fec_group_size = 0;
 };
 
 struct ReliableStats {
@@ -67,9 +87,21 @@ struct ReliableStats {
   std::uint64_t chunks_dropped_at_source = 0;
   std::uint64_t unreliable_sent = 0;
   std::uint64_t unreliable_delivered = 0;
-  // Ack round-trips that updated a receiver's SRTT/RTTVAR estimate (zero
-  // when adaptive_rto is off; retransmitted messages are Karn-excluded).
+  // Ack round-trips that updated a (receiver, path) SRTT/RTTVAR estimate
+  // (zero when adaptive_rto is off; retransmitted messages and FEC-recovered
+  // chunks are Karn-excluded).
   std::uint64_t rtt_samples = 0;
+  // --- FEC (fec_group_size > 0 on the sender) ------------------------------
+  std::uint64_t fec_parity_sent = 0;
+  std::uint64_t fec_parity_bytes = 0;      // parity overhead on the wire
+  std::uint64_t fec_recovered_chunks = 0;  // receiver-side reconstructions
+  std::uint64_t fec_parity_rejected = 0;   // malformed/implausible parity
+  // Recovered-acks processed by this sender: pending-ack cleared without an
+  // RTT sample (the chunk never completed a data round trip).
+  std::uint64_t fec_recovered_acks = 0;
+  // --- multipath -----------------------------------------------------------
+  // Repairs deliberately moved to a different path than the lost copy took.
+  std::uint64_t path_reroutes = 0;
 };
 
 // Delivered message: source node, the stream (unicast dst or group id) it
@@ -88,14 +120,39 @@ class ReliableEndpoint {
   ReliableEndpoint(EventLoop& loop, NodeId self, ReliableConfig config = {});
 
   // Attaches this endpoint to a medium (it may be attached to several — the
-  // interface switcher moves the default route between them). The endpoint
-  // registers its own datagram handler with the medium.
+  // interface switcher moves the default route between them, or the
+  // multipath scheduler stripes across all of them). The endpoint registers
+  // its own datagram handler with the medium. Bind order defines path
+  // indices for set_path_weights/path_stats.
   void bind(Medium& medium, RadioInterface* radio);
 
   // Selects the medium new transmissions (and retransmissions) use — the
-  // "configure the default route" step of §V-B.
+  // "configure the default route" step of §V-B. Only honoured in exclusive
+  // mode (multipath disabled).
   void set_route(Medium* medium);
   [[nodiscard]] Medium* route() const noexcept { return route_; }
+
+  // Multipath scheduling: stripes new data chunks across the bound media
+  // using smooth weighted round-robin with these weights (indexed in bind()
+  // order; missing entries are 0 = path disabled). An empty vector returns
+  // to exclusive routing via the current route(). Weights are typically the
+  // per-path predicted capacities from the interface switcher.
+  void set_path_weights(const std::vector<double>& weights);
+  [[nodiscard]] bool multipath() const noexcept { return multipath_; }
+  [[nodiscard]] std::size_t path_count() const noexcept {
+    return paths_.size();
+  }
+
+  // Per-path transmission counters and the mean SRTT (ms) over receivers
+  // with samples on that path (0 before any sample) — the per-path gauges
+  // exported through MetricsRegistry.
+  struct PathStats {
+    std::uint64_t chunks_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    double weight = 0.0;
+    double srtt_ms = 0.0;
+  };
+  [[nodiscard]] PathStats path_stats(std::size_t path) const;
 
   void set_handler(MessageHandler handler) { handler_ = std::move(handler); }
   void set_abandon_handler(AbandonHandler handler) {
@@ -140,8 +197,9 @@ class ReliableEndpoint {
   [[nodiscard]] const ReliableStats& stats() const noexcept { return stats_; }
   [[nodiscard]] NodeId id() const noexcept { return self_; }
   // The retransmission timeout currently in force toward `receiver`: the
-  // clamped Jacobson/Karels estimate once a sample exists, the configured
-  // fixed timeout otherwise (or always, with adaptive_rto off).
+  // worst (largest) clamped Jacobson/Karels estimate across paths with
+  // samples, the configured fixed timeout otherwise (or always, with
+  // adaptive_rto off).
   [[nodiscard]] SimTime current_rto(NodeId receiver) const;
   // True when every sent message has been fully acknowledged.
   [[nodiscard]] bool idle() const noexcept { return outstanding_.empty(); }
@@ -155,6 +213,7 @@ class ReliableEndpoint {
   struct OutstandingChunk {
     Bytes datagram_payload;         // pre-serialized data datagram
     std::set<NodeId> pending_acks;  // receivers still missing this chunk
+    int last_path = -1;             // path index of the latest transmission
   };
   struct OutstandingMessage {
     NodeId stream = 0;  // unicast dst or group id (initial transmissions)
@@ -167,7 +226,7 @@ class ReliableEndpoint {
     // says which copy it answers, so the message stops contributing samples.
     bool retransmitted = false;
   };
-  // Jacobson/Karels estimator state, one per receiver node.
+  // Jacobson/Karels estimator state, one per (receiver node, path index).
   struct RttState {
     bool has_sample = false;
     double srtt_us = 0.0;
@@ -176,27 +235,66 @@ class ReliableEndpoint {
   struct PartialMessage {
     std::vector<Bytes> chunks;
     std::size_t received = 0;
+    // Parity datagrams held for this message, keyed by group first_chunk.
+    std::map<std::uint32_t, fec::ParityPayload> parity;
+    // Chunk-slot vector was sized from a parity datagram (no data chunk seen
+    // yet): a data chunk with different geometry is authoritative and resets.
+    bool sized_by_parity = false;
   };
   struct StreamState {
     std::uint64_t next_delivery = 0;
     std::map<std::uint64_t, PartialMessage> partial;
     std::map<std::uint64_t, Bytes> ready;  // completed, awaiting in-order slot
   };
+  // One bound medium and its striping state.
+  struct Path {
+    Medium* medium = nullptr;
+    RadioInterface* radio = nullptr;
+    double weight = 0.0;
+    double wrr_credit = 0.0;  // smooth weighted round-robin accumulator
+    std::uint64_t chunks_sent = 0;
+    std::uint64_t bytes_sent = 0;
+  };
 
   bool transmit(NodeId dst, const Bytes& payload);
+  // Data-chunk transmission: in exclusive mode, the current route; in
+  // multipath mode, smooth-WRR striping with fallback through the remaining
+  // usable paths when the pick refuses at the source. `avoid_path` biases a
+  // retransmission away from the lost copy's path. Returns the path index
+  // used, or -1 when nothing reached the air.
+  int transmit_data(NodeId dst, const Bytes& payload, int avoid_path = -1);
+  // Reply on the medium the triggering datagram arrived on (multipath mode;
+  // exclusive mode keeps the route) so ack round trips measure one path.
+  void transmit_reply(Medium* via, NodeId dst, const Bytes& payload);
+  [[nodiscard]] bool path_usable(const Path& path) const;
+  [[nodiscard]] int route_path_index() const;
   std::uint64_t start(NodeId stream, const std::vector<NodeId>& receivers,
                       Bytes message, bool multicast);
-  void on_datagram(const Datagram& datagram);
-  void handle_data(const Datagram& datagram);
-  void handle_ack(const Datagram& datagram);
+  void send_parity(NodeId stream, std::uint64_t id, std::uint32_t chunk_count,
+                   const Bytes& message);
+  void on_datagram(Medium* via, const Datagram& datagram);
+  void handle_data(Medium* via, const Datagram& datagram);
+  void handle_ack(const Datagram& datagram, bool recovered);
+  void handle_fec_parity(Medium* via, const Datagram& datagram);
   void handle_unreliable(const Datagram& datagram);
+  // Attempts single-loss reconstruction for every parity group of `partial`
+  // whose member chunks are all-but-one present; acks recovered chunks with
+  // the recovered-ack type (no RTT sample at the sender).
+  void try_fec_recover(Medium* via, NodeId src, NodeId stream,
+                       std::uint64_t id, PartialMessage& partial);
+  // Assembles and queues the message when every chunk is present.
+  void maybe_complete(NodeId src, NodeId stream, StreamState& state,
+                      std::uint64_t id);
   void schedule_retransmit_tick(SimTime delay);
   void retransmit_tick();
-  // Base RTO for one message: the worst (largest) current_rto across the
-  // receivers still owing acks — conservative for multicast, so one slow
-  // straggler does not trigger spurious repairs toward the fast members.
+  // Base RTO for one message: the worst (largest) current RTO across the
+  // (receiver, last-used path) pairs still owing acks — conservative for
+  // multicast, so one slow straggler does not trigger spurious repairs
+  // toward the fast members.
   [[nodiscard]] SimTime message_rto(const OutstandingMessage& msg) const;
-  void record_rtt_sample(NodeId receiver, SimTime rtt);
+  [[nodiscard]] SimTime current_rto_on(NodeId receiver, int path) const;
+  [[nodiscard]] SimTime clamped_rto(const RttState& state) const;
+  void record_rtt_sample(NodeId receiver, int path, SimTime rtt);
   // Oldest message id not yet abandoned on `stream` — the receiver-side
   // delivery floor advertised in every data chunk.
   [[nodiscard]] std::uint64_t stream_floor(NodeId stream) const;
@@ -207,11 +305,17 @@ class ReliableEndpoint {
   [[nodiscard]] static std::vector<NodeId> unacked_receivers(
       const OutstandingMessage& msg);
   void flush_ready(NodeId src, NodeId stream, StreamState& state);
+  // Queued airtime relevant to the congestion gate: the route's backlog in
+  // exclusive mode, the *least* backlogged enabled path in multipath mode
+  // (repairs go wherever there is air).
+  [[nodiscard]] SimTime congestion_backlog() const;
 
   EventLoop& loop_;
   NodeId self_;
   ReliableConfig config_;
   Medium* route_ = nullptr;
+  std::vector<Path> paths_;
+  bool multipath_ = false;
   MessageHandler handler_;
   AbandonHandler abandon_handler_;
   // Message ids are per *stream* (unicast destination or group): receivers
@@ -222,7 +326,7 @@ class ReliableEndpoint {
   std::map<std::pair<NodeId, std::uint64_t>, OutstandingMessage> outstanding_;
   // Reassembly, keyed by (source node, stream id).
   std::map<std::pair<NodeId, NodeId>, StreamState> streams_;
-  std::map<NodeId, RttState> rtt_;
+  std::map<std::pair<NodeId, int>, RttState> rtt_;
   ReliableStats stats_;
   std::vector<NodeId> last_abandoned_receivers_;
   runtime::Tracer* tracer_ = nullptr;

@@ -1,0 +1,43 @@
+#include "predict/path_capacity.h"
+
+#include <algorithm>
+
+namespace gb::predict {
+
+PathCapacityPredictor::PathCapacityPredictor(PathCapacityConfig config)
+    : config_(config),
+      model_(config.order, /*exo_signals=*/0, config.forgetting) {}
+
+void PathCapacityPredictor::observe(std::uint64_t bytes_sent,
+                                    std::uint64_t bytes_lost) {
+  const std::uint64_t delta_sent =
+      bytes_sent >= prev_sent_ ? bytes_sent - prev_sent_ : 0;
+  const std::uint64_t delta_lost =
+      bytes_lost >= prev_lost_ ? bytes_lost - prev_lost_ : 0;
+  prev_sent_ = bytes_sent;
+  prev_lost_ = bytes_lost;
+  // Lost deliveries can exceed sends on a multicast path (one send, several
+  // failed deliveries); normalize by whichever is larger so the ratio stays
+  // in [0, 1].
+  const std::uint64_t offered = std::max(delta_sent, delta_lost);
+  if (offered > 0) {
+    last_ratio_ = 1.0 - static_cast<double>(delta_lost) /
+                            static_cast<double>(offered);
+  }
+  // Idle intervals repeat the last evidence instead of inventing a clean one.
+  model_.observe(last_ratio_);
+  samples_++;
+}
+
+double PathCapacityPredictor::forecast_ratio() const {
+  // Before the model settles, trust the raw observation — RELS needs a few
+  // samples before its forecasts beat a zero-order hold.
+  double ratio = samples_ < 8 ? last_ratio_ : model_.forecast(config_.horizon);
+  return std::clamp(ratio, config_.min_ratio, 1.0);
+}
+
+double PathCapacityPredictor::predicted_capacity_bps() const {
+  return config_.usable_bps * forecast_ratio();
+}
+
+}  // namespace gb::predict

@@ -1,0 +1,69 @@
+// Per-path deliverable-capacity forecasting for the multipath downlink
+// scheduler (DESIGN.md §13).
+//
+// Each network path (WiFi BSS, Bluetooth piconet) exposes cumulative
+// send/loss byte counters (net::MediumStats). Every observation interval the
+// predictor diffs them into a delivery ratio — the fraction of offered bytes
+// that survived the path's loss processes (random loss, burst chains, link
+// flaps, sleeping radios) — and feeds the ratio series into a small ARMAX
+// model. The forecast ratio, multiplied by the link's usable line rate,
+// yields the predicted deliverable capacity the striping scheduler weighs
+// paths by and the QoS governor sums into its bitrate-ladder headroom.
+//
+// An idle interval (nothing offered) carries no loss evidence: the ratio
+// series holds its last value rather than observing a fictitious 1.0, so a
+// path does not look pristine merely because nothing was risked on it.
+#pragma once
+
+#include <cstdint>
+
+#include "predict/armax.h"
+
+namespace gb::predict {
+
+struct PathCapacityConfig {
+  // Usable line rate of the path: nominal link bandwidth times the protocol
+  // overhead fraction (the §V-B usable-fraction treatment, applied per
+  // path).
+  double usable_bps = 0.0;
+  // Ratio-series model: the series is smooth and bounded, so a small order
+  // suffices; loss regimes shift abruptly (burst chains, flaps), so forget
+  // faster than the traffic predictor does.
+  ArmaxOrder order{1, 1, 0};
+  double forgetting = 0.9;
+  // Forecast lead, in observation intervals (matches the switcher's 500 ms).
+  int horizon = 5;
+  // Floor on the predicted ratio: a path is never weighted to exactly zero
+  // by its forecast alone, so some traffic keeps probing it and the series
+  // can observe a recovery. (Hard outages are handled by the transport's
+  // usable-path check, not the weight.)
+  double min_ratio = 0.05;
+};
+
+class PathCapacityPredictor {
+ public:
+  explicit PathCapacityPredictor(PathCapacityConfig config);
+
+  // Feeds one interval's *cumulative* path counters; the predictor diffs
+  // against the previous call. `bytes_sent`/`bytes_lost` are
+  // net::MediumStats::bytes_sent / bytes_lost for the path's medium.
+  void observe(std::uint64_t bytes_sent, std::uint64_t bytes_lost);
+
+  // Predicted deliverable capacity over the horizon, bytes per second.
+  [[nodiscard]] double predicted_capacity_bps() const;
+  // The ratio the forecast is based on, clamped to [min_ratio, 1].
+  [[nodiscard]] double forecast_ratio() const;
+  // Most recent observed (not forecast) delivery ratio.
+  [[nodiscard]] double last_ratio() const noexcept { return last_ratio_; }
+  [[nodiscard]] std::size_t samples_seen() const noexcept { return samples_; }
+
+ private:
+  PathCapacityConfig config_;
+  ArmaxModel model_;
+  std::uint64_t prev_sent_ = 0;
+  std::uint64_t prev_lost_ = 0;
+  double last_ratio_ = 1.0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace gb::predict

@@ -12,6 +12,7 @@
 #include "net/radio.h"
 #include "net/reliable.h"
 #include "runtime/event_loop.h"
+#include "runtime/metrics_registry.h"
 
 namespace gb::sim {
 namespace {
@@ -196,6 +197,26 @@ SessionResult run_local(const SessionConfig& config) {
   return result;
 }
 
+void accumulate_transport(net::ReliableStats& into,
+                          const net::ReliableStats& from) {
+  into.messages_sent += from.messages_sent;
+  into.messages_delivered += from.messages_delivered;
+  into.chunks_sent += from.chunks_sent;
+  into.chunks_retransmitted += from.chunks_retransmitted;
+  into.messages_abandoned += from.messages_abandoned;
+  into.payload_bytes_sent += from.payload_bytes_sent;
+  into.chunks_dropped_at_source += from.chunks_dropped_at_source;
+  into.unreliable_sent += from.unreliable_sent;
+  into.unreliable_delivered += from.unreliable_delivered;
+  into.rtt_samples += from.rtt_samples;
+  into.fec_parity_sent += from.fec_parity_sent;
+  into.fec_parity_bytes += from.fec_parity_bytes;
+  into.fec_recovered_chunks += from.fec_recovered_chunks;
+  into.fec_parity_rejected += from.fec_parity_rejected;
+  into.fec_recovered_acks += from.fec_recovered_acks;
+  into.path_reroutes += from.path_reroutes;
+}
+
 SessionResult run_offload(const SessionConfig& config) {
   check(!config.service_devices.empty(), "offload needs service devices");
   EventLoop loop;
@@ -212,13 +233,19 @@ SessionResult run_offload(const SessionConfig& config) {
   net::Medium wifi(loop, wifi_cfg, rng.fork(), "wifi");
   net::Medium bt(loop, bt_cfg, rng.fork(), "bt");
 
+  constexpr net::NodeId kUserNode = 1;
+
   // Fault injection: one plan drives both media (and the services' own
-  // crash-window checks), so a scenario is a single seeded description.
+  // crash-window checks), so a scenario is a single seeded description. The
+  // media identify themselves by link id (wifi=0, bt=1) so loss chains and
+  // flap windows are per link.
   std::optional<net::FaultPlan> fault_plan;
-  if (!config.service_outages.empty() || config.fault_burst.enabled) {
+  if (!config.service_outages.empty() || config.fault_burst.enabled ||
+      !config.link_bursts.empty() || !config.link_flaps.empty()) {
     net::FaultPlanConfig fcfg;
     fcfg.seed = config.fault_seed;
     fcfg.burst = config.fault_burst;
+    fcfg.link_bursts = config.link_bursts;
     for (const SessionConfig::ServiceOutageSpec& spec :
          config.service_outages) {
       check(spec.device_index <
@@ -230,9 +257,17 @@ SessionResult run_offload(const SessionConfig& config) {
       window.end = seconds(spec.end_s);
       fcfg.outages.push_back(window);
     }
+    for (const SessionConfig::LinkFlapSpec& spec : config.link_flaps) {
+      net::LinkOutageWindow window;
+      window.link = spec.link;
+      window.node = kUserNode;
+      window.start = seconds(spec.start_s);
+      window.end = seconds(spec.end_s);
+      fcfg.link_outages.push_back(window);
+    }
     fault_plan.emplace(std::move(fcfg));
-    wifi.set_fault_plan(&*fault_plan);
-    bt.set_fault_plan(&*fault_plan);
+    wifi.set_fault_plan(&*fault_plan, /*link=*/0);
+    bt.set_fault_plan(&*fault_plan, /*link=*/1);
   }
 
   // --- tracing -----------------------------------------------------------
@@ -247,7 +282,6 @@ SessionResult run_offload(const SessionConfig& config) {
   net::RadioInterface user_wifi(loop, net::wifi_radio_config(), "user-wifi");
   net::RadioInterface user_bt(loop, net::bluetooth_radio_config(), "user-bt");
 
-  constexpr net::NodeId kUserNode = 1;
   net::ReliableEndpoint user_endpoint(loop, kUserNode, config.transport);
   user_endpoint.bind(wifi, &user_wifi);
   user_endpoint.bind(bt, &user_bt);
@@ -389,6 +423,12 @@ SessionResult run_offload(const SessionConfig& config) {
     last_misses = misses;
 
     switcher.observe_interval(sample);
+    if (config.switcher.policy == core::SwitchPolicy::kMultipath) {
+      // The governor's proactive bitrate ladder prices its rungs against the
+      // predicted aggregate deliverable capacity of the striped paths.
+      gbooster.note_capacity_forecast(
+          switcher.predicted_aggregate_capacity_bps());
+    }
     if (config.collect_traffic_trace) {
       result.traffic_trace.push_back(sample);
     }
@@ -445,10 +485,15 @@ SessionResult run_offload(const SessionConfig& config) {
   result.switcher = switcher.stats();
   result.gbooster = gstats;
   if (fault_plan.has_value()) result.faults = fault_plan->stats();
+  result.transport = user_endpoint.stats();
+  result.user_path_wifi = user_endpoint.path_stats(0);
+  result.user_path_bt = user_endpoint.path_stats(1);
   for (const auto& service : services) {
     result.requests_lost_to_faults += service->stats().requests_lost_to_faults;
     result.requests_shed_admission +=
         service->stats().requests_shed_admission;
+    accumulate_transport(result.service_transport,
+                         service->endpoint().stats());
   }
   return result;
 }
@@ -458,6 +503,38 @@ SessionResult run_offload(const SessionConfig& config) {
 SessionResult run_session(const SessionConfig& config) {
   return config.service_devices.empty() ? run_local(config)
                                         : run_offload(config);
+}
+
+void export_transport_metrics(runtime::MetricsRegistry& registry,
+                              const SessionResult& result) {
+  // Downlink resilience counters live on the user endpoint (it reconstructs
+  // and reroutes); parity overhead is spent by the service endpoints.
+  registry.counter("transport_fec_recovered_chunks")
+      .add(result.transport.fec_recovered_chunks);
+  registry.counter("transport_fec_parity_rejected")
+      .add(result.transport.fec_parity_rejected);
+  registry.counter("transport_parity_overhead_bytes")
+      .add(result.service_transport.fec_parity_bytes);
+  registry.counter("transport_fec_parity_sent")
+      .add(result.service_transport.fec_parity_sent);
+  registry.counter("transport_path_reroutes")
+      .add(result.transport.path_reroutes +
+           result.service_transport.path_reroutes);
+  registry.counter("transport_chunks_retransmitted")
+      .add(result.transport.chunks_retransmitted +
+           result.service_transport.chunks_retransmitted);
+  registry.counter("transport_messages_abandoned")
+      .add(result.transport.messages_abandoned +
+           result.service_transport.messages_abandoned);
+  registry.counter("transport_rtt_samples").add(result.transport.rtt_samples);
+  registry.gauge("path_wifi_weight").set(result.user_path_wifi.weight);
+  registry.gauge("path_bt_weight").set(result.user_path_bt.weight);
+  registry.gauge("path_wifi_srtt_ms").set(result.user_path_wifi.srtt_ms);
+  registry.gauge("path_bt_srtt_ms").set(result.user_path_bt.srtt_ms);
+  registry.gauge("path_wifi_bytes_sent")
+      .set(static_cast<double>(result.user_path_wifi.bytes_sent));
+  registry.gauge("path_bt_bytes_sent")
+      .set(static_cast<double>(result.user_path_bt.bytes_sent));
 }
 
 }  // namespace gb::sim

@@ -28,6 +28,10 @@
 #include "runtime/trace.h"
 #include "sim/metrics.h"
 
+namespace gb::runtime {
+class MetricsRegistry;
+}
+
 namespace gb::sim {
 
 struct SessionConfig {
@@ -68,8 +72,22 @@ struct SessionConfig {
     double at_s = 0.0;
   };
   std::vector<HotJoinSpec> hot_joins;
-  // Gilbert–Elliott burst loss layered on both media (off by default).
+  // Gilbert–Elliott burst loss layered on both media (off by default). Each
+  // link always evolves its own independently seeded chain — WiFi
+  // interference and Bluetooth contention are unrelated processes.
   net::GilbertElliottConfig fault_burst;
+  // Per-link burst overrides (wifi=0, bt=1): link i uses link_bursts[i]
+  // when present, `fault_burst` otherwise.
+  std::vector<net::GilbertElliottConfig> link_bursts;
+  // Radio flap on the user device: its `link` (wifi=0, bt=1) is dead in
+  // [start_s, end_s) while the node and its other link stay up — the
+  // single-path outage a multipath transport should survive by rerouting.
+  struct LinkFlapSpec {
+    int link = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+  };
+  std::vector<LinkFlapSpec> link_flaps;
   std::uint64_t fault_seed = 0x5eedfa17;
 
   // Records a per-100ms traffic trace for the §V-B prediction study.
@@ -110,6 +128,15 @@ struct SessionResult {
   core::SwitcherStats switcher;
   core::GBoosterStats gbooster;
   net::FaultPlanStats faults;
+  // User-endpoint transport counters: downlink FEC recoveries, reroutes,
+  // RTT samples (DESIGN.md §13).
+  net::ReliableStats transport;
+  // Summed over service endpoints: uplink counters plus the parity overhead
+  // the services spent protecting the downlink.
+  net::ReliableStats service_transport;
+  // Per-path user-endpoint gauges, bind order {wifi, bt}.
+  net::ReliableEndpoint::PathStats user_path_wifi;
+  net::ReliableEndpoint::PathStats user_path_bt;
   // Summed over service devices.
   std::uint64_t requests_lost_to_faults = 0;
   std::uint64_t requests_shed_admission = 0;
@@ -122,5 +149,13 @@ struct SessionResult {
 
 // Runs a session; dispatches on service_devices.empty().
 SessionResult run_session(const SessionConfig& config);
+
+// Publishes the session's transport counters and per-path gauges (DESIGN.md
+// §13) into a metrics registry under the `transport_` / `path_` prefixes:
+// FEC recoveries, parity overhead bytes, reroutes, retransmissions as
+// counters; per-path striping weight and mean SRTT as gauges. Benches call
+// this to fold transport health into their exported counter sets.
+void export_transport_metrics(runtime::MetricsRegistry& registry,
+                              const SessionResult& result);
 
 }  // namespace gb::sim
