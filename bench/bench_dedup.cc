@@ -1,0 +1,149 @@
+// Cross-session shared-store dedup benchmark (DESIGN.md §14): what the
+// two-tier command cache buys the *second* session of an app.
+//
+// BM_DedupColdStart runs two back-to-back sessions of G2 against one
+// service-side SharedStoreRegistry and reports the second (cold-start)
+// session's uplink. `shared=0` is the baseline — the store exists but no
+// session joins it, so every texture/shader/static-state record is uploaded
+// again from scratch. `shared=1` joins with the app id: the cold-start
+// upload collapses into kSharedRef records against the first session's
+// residue. Headline counters:
+//
+//   cold_bytes_mb    second-session uplink payload over the short window
+//   cold_uplink_ms   WiFi airtime that payload costs — the cold-start
+//                    transfer time the user waits through
+//
+// BM_DedupMultiUser scales same-app users on one service device and reports
+// the total uplink — with the shared store, aggregate bytes grow sub-linearly
+// in the user count because each later joiner refs the first upload.
+//
+//   ./bench_dedup                      # console table
+//   ./bench_dedup --benchmark_format=json
+//
+// Environment knobs: GB_QUICK=1 / GB_DURATION=<sec> (see bench_util.h).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_counters.h"
+#include "bench_util.h"
+#include "compress/shared_store.h"
+#include "net/radio.h"
+#include "sim/multiuser.h"
+
+using namespace gb;
+
+namespace {
+
+constexpr std::uint64_t kAppId = 0x6b2;  // "G2"
+
+sim::SessionConfig dedup_config(
+    bool shared, double duration_s,
+    const std::shared_ptr<compress::SharedStoreRegistry>& registry) {
+  sim::SessionConfig config = bench::paper_config(
+      apps::g2_modern_combat(), device::nexus5(), duration_s);
+  config.service_devices.push_back(device::nvidia_shield());
+  config.service.shared_store = registry;
+  if (shared) {
+    config.gbooster.shared_dedup = true;
+    config.gbooster.app_id = kAppId;
+  }
+  return config;
+}
+
+void BM_DedupColdStart(benchmark::State& state) {
+  const bool shared = state.range(0) != 0;
+  // The warm session runs long enough to stream G2's full working set into
+  // the store; the cold window is short so the second session's numbers are
+  // dominated by cold-start uploads, not steady-state uniforms.
+  const double warm_s = bench::default_duration(20.0);
+  // Just long enough to cover the setup upload plus the first second of
+  // play: the cold-start window the user actually waits through. Longer
+  // windows dilute the A/B with steady-state uniform traffic.
+  const double cold_s = 1.0;
+  sim::SessionResult warm;
+  sim::SessionResult cold;
+  std::size_t store_kb = 0;
+  for (auto _ : state) {
+    auto registry = std::make_shared<compress::SharedStoreRegistry>();
+    warm = sim::run_session(dedup_config(shared, warm_s, registry));
+    cold = sim::run_session(dedup_config(shared, cold_s, registry));
+    store_kb = registry->store_for(kAppId).resident_bytes() / 1024;
+  }
+  const core::GBoosterStats& gb = cold.gbooster;
+  state.counters["cold_bytes_mb"] = static_cast<double>(gb.bytes_sent) / 1e6;
+  // The transfer time the cold-start upload costs the player: airtime for
+  // the payload on the §VII-A WiFi link. Pack/compress CPU is reported
+  // separately — the client still serializes and hashes every record, so
+  // that term is invariant under dedup by design.
+  const double wifi_bps = net::wifi_radio_config().bandwidth_bps;
+  state.counters["cold_uplink_ms"] =
+      static_cast<double>(gb.bytes_sent) * 8.0 / wifi_bps * 1e3;
+  state.counters["cold_serialize_ms"] = gb.serialize_seconds * 1e3;
+  state.counters["cold_fps"] = cold.metrics.median_fps;
+  state.counters["shared_hits"] = static_cast<double>(
+      gb.render_cache.shared_hits + gb.state_cache.shared_hits);
+  state.counters["manifest_entries"] = static_cast<double>(gb.manifest_entries);
+  state.counters["manifest_kb"] = static_cast<double>(gb.manifest_bytes) / 1e3;
+  state.counters["join_hold_frames"] =
+      static_cast<double>(gb.frames_held_for_manifest);
+  state.counters["join_wait_ms"] = gb.manifest_wait_ms;
+  state.counters["warm_bytes_mb"] =
+      static_cast<double>(warm.gbooster.bytes_sent) / 1e6;
+  state.counters["store_kb"] = static_cast<double>(store_kb);
+}
+
+void BM_DedupMultiUser(benchmark::State& state) {
+  const bool shared = state.range(0) != 0;
+  const int user_count = static_cast<int>(state.range(1));
+  const double duration_s = bench::default_duration(20.0);
+  sim::MultiUserResult result;
+  for (auto _ : state) {
+    sim::MultiUserConfig config;
+    config.service_device = device::nvidia_shield();
+    config.duration_s = duration_s;
+    config.seed = 20170605;
+    config.shared_dedup = shared;
+    for (int u = 0; u < user_count; ++u) {
+      sim::MultiUserParticipant participant;
+      participant.workload = apps::g2_modern_combat();
+      participant.phone = device::nexus5();
+      participant.app_id = kAppId;
+      // Stagger joins so each user meets a store its predecessors filled.
+      participant.join_delay_s = u * 1.5;
+      config.users.push_back(participant);
+    }
+    result = sim::run_multiuser_session(config);
+  }
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_shared_hits = 0;
+  for (const std::uint64_t b : result.bytes_sent_per_user) total_bytes += b;
+  for (const std::uint64_t h : result.shared_hits_per_user) {
+    total_shared_hits += h;
+  }
+  state.counters["uplink_total_mb"] = static_cast<double>(total_bytes) / 1e6;
+  state.counters["uplink_per_user_mb"] =
+      static_cast<double>(total_bytes) / 1e6 / user_count;
+  state.counters["shared_hits"] = static_cast<double>(total_shared_hits);
+  state.counters["store_kb"] =
+      static_cast<double>(result.shared_store_resident_bytes) / 1e3;
+  state.counters["mean_latency_ms"] = result.mean_latency_ms.empty()
+                                          ? 0.0
+                                          : result.mean_latency_ms.back();
+}
+
+}  // namespace
+
+BENCHMARK(BM_DedupColdStart)
+    ->ArgNames({"shared"})
+    ->ArgsProduct({{0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_DedupMultiUser)
+    ->ArgNames({"shared", "users"})
+    ->ArgsProduct({{0, 1}, {1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

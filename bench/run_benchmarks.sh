@@ -27,7 +27,8 @@
 # transport columns (`fec_recovered`, `parity_overhead_b/_pct`,
 # `path_reroutes`, `path_wifi_chunks`/`path_bt_chunks`, `retransmits`);
 # bench_fault_recovery's BM_TransportComparison rows are the pure-ARQ vs
-# FEC+multipath A/B quoted in EXPERIMENTS.md.
+# FEC+multipath A/B quoted in EXPERIMENTS.md. bench_dedup's shared=0/1 rows
+# are the DESIGN.md §14 second-session cold-start A/B.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -57,7 +58,7 @@ cmake --build "${build_dir}" -j "${JOBS}" >/dev/null
 mkdir -p "${out_dir}"
 
 benches=(bench_codec_speed bench_parallel_pipeline bench_fault_recovery
-         bench_overload)
+         bench_overload bench_dedup)
 
 for bench in "${benches[@]}"; do
   bin="${build_dir}/bench/${bench}"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Repo check driver: the tier-1 build + full test suite, then the failure-
-# handling test labels (faults, observability, snapshot, overload, raster)
-# rebuilt and rerun under AddressSanitizer and ThreadSanitizer
+# handling test labels (faults, observability, snapshot, overload, raster,
+# transport, dedup) rebuilt and rerun under AddressSanitizer and ThreadSanitizer
 # (CMakeLists.txt GB_SANITIZE), and the rasterizer/codec identity suites
 # rerun with GB_SIMD=OFF to prove the vectorized hot paths are bit-exact
 # against the scalar build.
@@ -21,10 +21,12 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 # The recovery/observability/overload suites, which is where sanitizer
 # findings have historically lived (races in the frame pipeline, lifetime
 # bugs in the failure and shedding paths), the tile-binned raster
-# scheduler (concurrent tile rasterization + fused tile encode), and the
+# scheduler (concurrent tile rasterization + fused tile encode), the
 # FEC/multipath transport (adversarial parity parsing, crafted-datagram
-# reassembly). -L takes a regex; one call covers all six labels.
-SAN_LABELS='faults|observability|snapshot|overload|raster|transport'
+# reassembly), and the shared record store (one mutex-guarded store touched
+# by concurrent sessions, lease-pinned pointer stability). -L takes a
+# regex; one call covers all seven labels.
+SAN_LABELS='faults|observability|snapshot|overload|raster|transport|dedup'
 # Suites whose outputs must not change when GB_SIMD is toggled: the
 # rasterizer identity tests and the codec/LZ4 bitstream tests.
 NOSIMD_LABELS='raster|codec'

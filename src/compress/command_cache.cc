@@ -26,6 +26,22 @@ bool CommandCache::touch(std::uint64_t hash) {
 }
 
 void CommandCache::insert(std::uint64_t hash, Bytes bytes) {
+  if (bytes.size() > capacity_bytes_) {
+    // Oversized-record policy: never resident, never evicts. Without this,
+    // one record bigger than the whole budget walked the eviction loop down
+    // to `lru_.size() == 1` — flushing every other entry — and then stayed
+    // resident over budget. If an entry already holds this hash it is
+    // dropped rather than replaced (the replacement contract says the entry
+    // must take the newest bytes, and the newest bytes are uncacheable);
+    // both mirrors apply the same rule, so they stay in lockstep.
+    const auto it = entries_.find(hash);
+    if (it != entries_.end()) {
+      resident_bytes_ -= it->second->bytes.size();
+      lru_.erase(it->second);
+      entries_.erase(it);
+    }
+    return;
+  }
   const auto it = entries_.find(hash);
   if (it != entries_.end()) {
     // Same hash, possibly different bytes (FNV-1a collision): the entry must
@@ -44,7 +60,10 @@ void CommandCache::insert(std::uint64_t hash, Bytes bytes) {
     lru_.push_front(Entry{hash, std::move(bytes)});
     entries_[hash] = lru_.begin();
   }
-  while (resident_bytes_ > capacity_bytes_ && lru_.size() > 1) {
+  // Every resident record fits the budget on its own (oversized records are
+  // rejected above), so plain LRU eviction always terminates with the new
+  // entry resident and the cache within budget.
+  while (resident_bytes_ > capacity_bytes_) {
     const Entry& victim = lru_.back();
     resident_bytes_ -= victim.bytes.size();
     entries_.erase(victim.hash);
@@ -72,7 +91,11 @@ CommandCache CommandCache::deserialize(std::span<const std::uint8_t> data,
   ByteReader in(data);
   CommandCache cache(capacity_bytes);
   const std::uint64_t count = in.varint();
-  check(count <= in.remaining(), "cache entry count exceeds payload");
+  // Each serialized entry costs at least 9 bytes (8-byte hash + >=1-byte
+  // blob-length varint), so bound the count by that minimum before it sizes
+  // anything — `count <= remaining` let a garbage count ~9x the real
+  // entry capacity through to the per-entry reads.
+  check(count <= in.remaining() / 9, "cache entry count exceeds payload");
   // Entries arrive most-recent first; inserting via push_back keeps the
   // serialized recency order without churning the LRU list.
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -83,7 +106,10 @@ CommandCache CommandCache::deserialize(std::span<const std::uint8_t> data,
     cache.lru_.push_back(Entry{hash, Bytes(bytes.begin(), bytes.end())});
     cache.entries_[hash] = std::prev(cache.lru_.end());
   }
-  check(cache.resident_bytes_ <= capacity_bytes || cache.lru_.size() <= 1,
+  // A live mirror keeps resident <= capacity after every insert (oversized
+  // records are never cached), so a compliant snapshot always satisfies the
+  // strict bound.
+  check(cache.resident_bytes_ <= capacity_bytes,
         "serialized cache exceeds capacity");
   check(in.done(), "trailing bytes after serialized cache");
   return cache;
@@ -94,14 +120,25 @@ namespace {
 // Per-record flags in the encoded stream.
 constexpr std::uint8_t kInline = 0;
 constexpr std::uint8_t kCached = 1;
+// Cross-session shared-store reference (DESIGN.md §14). Same wire shape as
+// kCached (u64 hash + length varint) but resolved from the app's shared
+// store instead of the session mirror, and deliberately invisible to the
+// private LRU on both sides.
+constexpr std::uint8_t kSharedRef = 2;
 
 }  // namespace
 
 Bytes encode_frame_with_cache(const wire::FrameCommands& frame,
-                              CommandCache& cache, CacheStats& stats) {
+                              CommandCache& cache, CacheStats& stats,
+                              const SharedManifest* manifest) {
   ByteWriter out;
   out.varint(frame.sequence);
   out.varint(frame.records.size());
+  // The header varints are real on-wire bytes: bytes_out must cover them or
+  // the reported compression ratio (bytes_in / bytes_out) is flattered by a
+  // few bytes every frame. Invariant (pinned in tests): the sum of encoded
+  // stream sizes equals bytes_out exactly.
+  stats.bytes_out += out.size();
   for (const wire::CommandRecord& record : frame.records) {
     const std::uint64_t hash = record_hash(record.bytes);
     stats.bytes_in += record.bytes.size();
@@ -120,6 +157,19 @@ Bytes encode_frame_with_cache(const wire::FrameCommands& frame,
       // The receiver re-checks the resolved record's length against this —
       // its last line of defense if the mirrors ever diverge.
       out.varint(record.bytes.size());
+    } else if (manifest != nullptr && shareable_record(record.bytes.size()) &&
+               manifest->proves(hash, record.bytes)) {
+      // The service granted this exact payload (hash + verify hash + length
+      // all match): reference the shared copy instead of uploading. The
+      // private mirror is left untouched — its evolution stays a function
+      // of the non-shared stream, so disabling the shared tier cannot
+      // change it. A record whose bytes fail the proof (including a
+      // primary-hash collision with a granted entry) falls through to the
+      // inline path exactly as a private-tier collision does.
+      stats.shared_hits++;
+      out.u8(kSharedRef);
+      out.u64(hash);
+      out.varint(record.bytes.size());
     } else {
       // Miss, or a collision squatting on this hash: send inline; insert()
       // replaces the colliding entry on both mirrors identically.
@@ -134,7 +184,8 @@ Bytes encode_frame_with_cache(const wire::FrameCommands& frame,
 }
 
 wire::FrameCommands decode_frame_with_cache(std::span<const std::uint8_t> data,
-                                            CommandCache& cache) {
+                                            CommandCache& cache,
+                                            const SharedDecodeContext& shared) {
   ByteReader in(data);
   wire::FrameCommands frame;
   frame.sequence = in.varint();
@@ -156,11 +207,30 @@ wire::FrameCommands decode_frame_with_cache(std::span<const std::uint8_t> data,
             "cached record length mismatch (mirror divergence)");
       record.bytes = *cached;
       cache.touch(hash);
+    } else if (flag == kSharedRef) {
+      const std::uint64_t hash = in.u64();
+      const std::uint64_t length = in.varint();
+      check(shared.store != nullptr,
+            "shared record reference without a shared store");
+      // resolve() only serves entries this session's lease holds a ref on,
+      // and leased entries are pinned — so a well-formed sender (one that
+      // only references its granted manifest) can never miss here.
+      const Bytes* resolved = shared.store->resolve(shared.lease, hash, length);
+      check(resolved != nullptr, "shared store missing referenced record");
+      record.bytes = *resolved;
+      // No private-mirror insert/touch: mirrors the encoder exactly.
     } else {
       check(flag == kInline, "bad cache flag in frame stream");
       const auto bytes = in.blob();
       record.bytes.assign(bytes.begin(), bytes.end());
-      cache.insert(record_hash(record.bytes), record.bytes);
+      const std::uint64_t hash = record_hash(record.bytes);
+      cache.insert(hash, record.bytes);
+      // Publish shareable uploads so the *next* session's join manifest
+      // covers them. Content-addressed and refcounted, so re-decodes (frame
+      // re-dispatch, multicast fan-out) are harmless duplicate refs.
+      if (shared.store != nullptr && shareable_record(record.bytes.size())) {
+        shared.store->publish(shared.lease, hash, record.bytes);
+      }
     }
     frame.records.push_back(std::move(record));
   }

@@ -15,19 +15,22 @@
 #include <unordered_map>
 
 #include "common/bytes.h"
+#include "compress/shared_store.h"
 #include "wire/protocol.h"
 
 namespace gb::compress {
 
 struct CacheStats {
-  std::uint64_t hits = 0;
+  std::uint64_t hits = 0;         // session-private LRU reference emitted
+  std::uint64_t shared_hits = 0;  // cross-session shared-store reference
   std::uint64_t misses = 0;
   std::uint64_t bytes_in = 0;    // raw record bytes presented
-  std::uint64_t bytes_out = 0;   // bytes after reference substitution
+  std::uint64_t bytes_out = 0;   // full encoded size, headers included
 
   [[nodiscard]] double hit_rate() const {
-    const std::uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    const std::uint64_t total = hits + shared_hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits + shared_hits) / total;
   }
 };
 
@@ -47,7 +50,12 @@ class CommandCache {
   // Returns true when `hash` is cached, marking it most-recently-used.
   bool touch(std::uint64_t hash);
   // Inserts a record (evicting LRU entries over budget). An existing entry
-  // under the same hash is replaced with the new bytes.
+  // under the same hash is replaced with the new bytes. A record larger than
+  // the whole capacity budget is never cached and evicts nothing — caching
+  // it would be pointless (the next insert flushes it) and the old behavior
+  // let one oversized asset upload empty the entire mirror; if a resident
+  // entry squats on the same hash it is dropped, keeping the "entry takes
+  // the newest bytes" contract deterministic on both mirrors.
   void insert(std::uint64_t hash, Bytes bytes);
   // Looks up a record by hash; nullptr when absent.
   [[nodiscard]] const Bytes* find(std::uint64_t hash) const;
@@ -75,14 +83,36 @@ class CommandCache {
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> entries_;
 };
 
+// Receiver-side handle on the shared tier: the session's store and lease.
+// Default (null store) decodes exactly today's single-tier stream and treats
+// any kSharedRef record as malformed.
+struct SharedDecodeContext {
+  SharedRecordStore* store = nullptr;
+  SharedRecordStore::LeaseId lease = 0;
+};
+
 // Encodes a frame's records against the sender cache: cached records become
-// references, new ones are sent inline and inserted. Stats accumulate.
+// references, new ones are sent inline and inserted. Stats accumulate;
+// `bytes_out` counts the complete encoded stream (frame header included) so
+// the sum of encoded sizes equals the stat exactly.
+//
+// When `manifest` is non-null, a record whose bytes provably match a
+// shared-store manifest entry (primary hash + verify hash + length) is
+// emitted as a kSharedRef instead of an inline upload. Shared references
+// never touch the private LRU on either side, so the private mirrors evolve
+// identically whether or not the shared tier is enabled, and a null manifest
+// reproduces today's wire byte-for-byte.
 Bytes encode_frame_with_cache(const wire::FrameCommands& frame,
-                              CommandCache& cache, CacheStats& stats);
+                              CommandCache& cache, CacheStats& stats,
+                              const SharedManifest* manifest = nullptr);
 
 // Decodes the stream produced above against the receiver cache (which must
-// have seen every prior frame of this session in order).
-wire::FrameCommands decode_frame_with_cache(std::span<const std::uint8_t> data,
-                                            CommandCache& cache);
+// have seen every prior frame of this session in order). With a shared
+// store attached, kSharedRef records resolve from the store, and every
+// shareable inline record is published into it so later sessions' manifests
+// cover this session's uploads.
+wire::FrameCommands decode_frame_with_cache(
+    std::span<const std::uint8_t> data, CommandCache& cache,
+    const SharedDecodeContext& shared = {});
 
 }  // namespace gb::compress

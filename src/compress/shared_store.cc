@@ -1,0 +1,197 @@
+#include "compress/shared_store.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace gb::compress {
+
+std::uint64_t record_verify_hash(std::span<const std::uint8_t> bytes) {
+  // FNV-1a variant with a distinct basis and a post-mix; deliberately not a
+  // function of record_hash so a primary-hash collision gives no information
+  // about a verify-hash collision.
+  std::uint64_t h = 0x6c62272e07bb0142ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x00000100000001b3ULL;
+    h ^= h >> 29;
+  }
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+SharedRecordStore::SharedRecordStore(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+SharedRecordStore::LeaseId SharedRecordStore::open_lease() {
+  std::lock_guard lock(mu_);
+  const LeaseId id = next_lease_++;
+  leases_.emplace(id, std::unordered_set<std::uint64_t>{});
+  return id;
+}
+
+void SharedRecordStore::close_lease(LeaseId lease) {
+  std::lock_guard lock(mu_);
+  const auto it = leases_.find(lease);
+  if (it == leases_.end()) return;
+  for (const std::uint64_t hash : it->second) {
+    const auto ent = entries_.find(hash);
+    if (ent == entries_.end()) continue;
+    Entry& entry = ent->second;
+    if (--entry.refs == 0) {
+      // Newly unreferenced entries go to the back: eviction prefers records
+      // whose last session left longest ago.
+      entry.zero_pos = zero_ref_.insert(zero_ref_.end(), hash);
+      entry.in_zero_list = true;
+    }
+  }
+  leases_.erase(it);
+  evict_over_budget_locked();
+}
+
+void SharedRecordStore::ref_locked(std::uint64_t hash, Entry& entry,
+                                   std::unordered_set<std::uint64_t>& held) {
+  if (!held.insert(hash).second) return;  // lease already holds a ref
+  if (entry.refs++ == 0 && entry.in_zero_list) {
+    zero_ref_.erase(entry.zero_pos);
+    entry.in_zero_list = false;
+  }
+}
+
+std::vector<ManifestEntry> SharedRecordStore::manifest(LeaseId lease) {
+  std::lock_guard lock(mu_);
+  const auto it = leases_.find(lease);
+  check(it != leases_.end(), "manifest() on unknown shared-store lease");
+  std::vector<ManifestEntry> out;
+  out.reserve(entries_.size());
+  for (auto& [hash, entry] : entries_) {
+    ref_locked(hash, entry, it->second);
+    out.push_back(ManifestEntry{hash, entry.verify, entry.bytes.size()});
+  }
+  return out;
+}
+
+bool SharedRecordStore::publish(LeaseId lease, std::uint64_t hash,
+                                std::span<const std::uint8_t> bytes) {
+  std::lock_guard lock(mu_);
+  const auto lease_it = leases_.find(lease);
+  check(lease_it != leases_.end(), "publish() on unknown shared-store lease");
+  const auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    Entry& entry = it->second;
+    if (entry.bytes.size() != bytes.size() ||
+        !std::equal(bytes.begin(), bytes.end(), entry.bytes.begin())) {
+      // Primary-hash collision across sessions: the resident payload keeps
+      // the slot (manifests already granted it) and the new payload is
+      // simply never shared — its sessions keep uploading it inline.
+      stats_.collisions++;
+      return false;
+    }
+    stats_.duplicate_refs++;
+    ref_locked(hash, entry, lease_it->second);
+    return true;
+  }
+  Entry entry;
+  entry.bytes.assign(bytes.begin(), bytes.end());
+  entry.verify = record_verify_hash(bytes);
+  auto [ins, inserted] = entries_.emplace(hash, std::move(entry));
+  (void)inserted;
+  resident_bytes_ += ins->second.bytes.size();
+  stats_.publishes++;
+  ref_locked(hash, ins->second, lease_it->second);
+  evict_over_budget_locked();
+  return true;
+}
+
+const Bytes* SharedRecordStore::resolve(LeaseId lease, std::uint64_t hash,
+                                        std::uint64_t length) {
+  std::lock_guard lock(mu_);
+  const auto lease_it = leases_.find(lease);
+  if (lease_it == leases_.end()) return nullptr;
+  if (!lease_it->second.contains(hash)) return nullptr;
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) return nullptr;  // unreachable: leased == pinned
+  if (it->second.bytes.size() != length) return nullptr;
+  stats_.resolves++;
+  return &it->second.bytes;
+}
+
+void SharedRecordStore::evict_over_budget_locked() {
+  while (resident_bytes_ > capacity_bytes_ && !zero_ref_.empty()) {
+    const std::uint64_t hash = zero_ref_.front();
+    zero_ref_.pop_front();
+    const auto it = entries_.find(hash);
+    resident_bytes_ -= it->second.bytes.size();
+    entries_.erase(it);
+    stats_.evictions++;
+  }
+}
+
+std::size_t SharedRecordStore::entry_count() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+std::size_t SharedRecordStore::resident_bytes() const {
+  std::lock_guard lock(mu_);
+  return resident_bytes_;
+}
+
+std::size_t SharedRecordStore::open_leases() const {
+  std::lock_guard lock(mu_);
+  return leases_.size();
+}
+
+SharedStoreStats SharedRecordStore::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+SharedStoreRegistry::SharedStoreRegistry(std::size_t capacity_bytes_per_app)
+    : capacity_bytes_per_app_(capacity_bytes_per_app) {}
+
+SharedRecordStore& SharedStoreRegistry::store_for(std::uint64_t app_id) {
+  std::lock_guard lock(mu_);
+  auto& slot = stores_[app_id];
+  if (slot == nullptr) {
+    slot = std::make_unique<SharedRecordStore>(capacity_bytes_per_app_);
+  }
+  return *slot;
+}
+
+std::size_t SharedStoreRegistry::app_count() const {
+  std::lock_guard lock(mu_);
+  return stores_.size();
+}
+
+void SharedManifest::add(const ManifestEntry& entry) {
+  const auto [it, inserted] =
+      entries_.emplace(entry.hash, Proof{entry.verify, entry.length});
+  (void)it;
+  if (inserted) payload_bytes_ += entry.length;
+}
+
+bool SharedManifest::proves(std::uint64_t hash,
+                            std::span<const std::uint8_t> bytes) const {
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) return false;
+  if (it->second.length != bytes.size()) return false;
+  return it->second.verify == record_verify_hash(bytes);
+}
+
+void SharedManifest::intersect_with(const SharedManifest& other) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const auto peer = other.entries_.find(it->first);
+    if (peer == other.entries_.end() ||
+        peer->second.verify != it->second.verify ||
+        peer->second.length != it->second.length) {
+      payload_bytes_ -= it->second.length;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace gb::compress

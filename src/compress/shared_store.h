@@ -1,0 +1,191 @@
+// Service-side content-addressed shared record store (ROADMAP item 2).
+//
+// At fleet scale most sessions of the same app replay near-identical command
+// prefixes: the same texture uploads, the same shader sources, the same
+// static-state setup. The per-session CommandCache (command_cache.h) only
+// deduplicates *within* one session's stream; this module adds the second
+// tier — an app-keyed store on the service side that holds one copy of each
+// distinct record payload across *all* sessions of that app.
+//
+// Protocol shape (see DESIGN.md §14):
+//   - A joining client sends its app id (kJoin); the service replies with a
+//     manifest of (hash, verify-hash, length) triples for every record the
+//     app's store currently holds, taking a refcount lease on each entry so
+//     they stay resident for the session's lifetime.
+//   - The client emits a kSharedRef record (flag 2) only when a record's
+//     bytes match a manifest entry on all three of primary hash, independent
+//     verify hash, and exact length. Anything else is sent inline exactly as
+//     today, so a colliding or unknown record degrades to the PR 3 behavior.
+//   - The service publishes every sufficiently large inline record it
+//     decodes into the store (byte-compare on insert: first writer wins, a
+//     hash collision is recorded and never shared), so the *next* session's
+//     manifest covers this session's uploads.
+//
+// Shared entries are intentionally kept out of the session-private LRU on
+// both mirrors: the private tiers stay a deterministic function of the
+// non-shared portion of the stream, and switching the feature off reproduces
+// today's wire byte-for-byte.
+//
+// Thread safety: one store is touched by every session of an app, and
+// sessions may live on different service worker threads, so all public
+// methods are internally synchronized. `resolve()` returns a pointer that is
+// stable for the lease's lifetime — leased entries are never evicted or
+// mutated (entries are immutable once published).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace gb::compress {
+
+// Independent second hash over record bytes (FNV-1a with a different basis,
+// mixed with a different prime schedule). A manifest entry exposes both
+// hashes plus the length; the client only emits a shared reference when all
+// three match its bytes, so a single-hash collision cannot alias a record
+// across sessions (the service additionally byte-compares at publish time).
+std::uint64_t record_verify_hash(std::span<const std::uint8_t> bytes);
+
+// Records below this size are never shared: the big wins are asset payloads
+// (texture/buffer/shader uploads, hundreds of bytes to tens of KB); tiny
+// per-frame records (uniforms, binds) churn and would bloat the manifest.
+inline constexpr std::size_t kShareMinRecordBytes = 96;
+
+[[nodiscard]] inline bool shareable_record(std::size_t size) {
+  return size >= kShareMinRecordBytes;
+}
+
+struct ManifestEntry {
+  std::uint64_t hash = 0;    // record_hash (primary, cache key)
+  std::uint64_t verify = 0;  // record_verify_hash (independent check)
+  std::uint64_t length = 0;  // exact payload length
+};
+
+struct SharedStoreStats {
+  std::uint64_t publishes = 0;       // distinct payloads inserted
+  std::uint64_t duplicate_refs = 0;  // publish found bytes already resident
+  std::uint64_t collisions = 0;      // same hash, different bytes — not shared
+  std::uint64_t resolves = 0;        // kSharedRef lookups served
+  std::uint64_t evictions = 0;       // zero-ref entries dropped for capacity
+};
+
+// One app's shared record pool. Entries are pinned while any session lease
+// references them; entries with no referents survive (that residual is the
+// whole cross-session value) but become evictable oldest-first when the
+// store is over its byte budget.
+class SharedRecordStore {
+ public:
+  using LeaseId = std::uint64_t;
+
+  explicit SharedRecordStore(std::size_t capacity_bytes = 64u << 20);
+
+  // Opens a session lease. Every ref the lease takes (via manifest() or
+  // publish()) is released together by close_lease().
+  [[nodiscard]] LeaseId open_lease();
+  void close_lease(LeaseId lease);
+
+  // Snapshot of the current contents for the join handshake: takes a ref on
+  // every entry under `lease` (pinning them for the session) and returns the
+  // manifest the client may emit shared references against.
+  [[nodiscard]] std::vector<ManifestEntry> manifest(LeaseId lease);
+
+  // Offers an uploaded record payload. Inserts it (or refs the identical
+  // resident copy) under `lease` and returns true; returns false on a
+  // primary-hash collision with different bytes — the colliding payload is
+  // never shared, the first writer keeps the slot.
+  bool publish(LeaseId lease, std::uint64_t hash,
+               std::span<const std::uint8_t> bytes);
+
+  // Resolves a shared reference. Returns the payload only when `lease`
+  // holds a ref on `hash` and the resident length matches; the pointer stays
+  // valid until close_lease(). A null return means the client referenced a
+  // record it was never granted — the caller treats the message as malformed.
+  [[nodiscard]] const Bytes* resolve(LeaseId lease, std::uint64_t hash,
+                                     std::uint64_t length);
+
+  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] std::size_t resident_bytes() const;
+  [[nodiscard]] std::size_t open_leases() const;
+  [[nodiscard]] SharedStoreStats stats() const;
+
+ private:
+  struct Entry {
+    Bytes bytes;
+    std::uint64_t verify = 0;
+    std::uint32_t refs = 0;
+    // Position in zero_ref_ while refs == 0 (eviction order), else invalid.
+    std::list<std::uint64_t>::iterator zero_pos;
+    bool in_zero_list = false;
+  };
+
+  void ref_locked(std::uint64_t hash, Entry& entry,
+                  std::unordered_set<std::uint64_t>& held);
+  void evict_over_budget_locked();
+
+  mutable std::mutex mu_;
+  std::size_t capacity_bytes_;
+  std::size_t resident_bytes_ = 0;
+  LeaseId next_lease_ = 1;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> zero_ref_;  // front == oldest unreferenced
+  std::unordered_map<LeaseId, std::unordered_set<std::uint64_t>> leases_;
+  SharedStoreStats stats_;
+};
+
+// app id -> store. One registry per service fleet; handed to ServiceRuntime
+// via shared_ptr so stores outlive any individual runtime/session (that
+// persistence across sessions is the point).
+class SharedStoreRegistry {
+ public:
+  explicit SharedStoreRegistry(std::size_t capacity_bytes_per_app = 64u << 20);
+
+  // Creates the app's store on first use; the reference is stable for the
+  // registry's lifetime.
+  [[nodiscard]] SharedRecordStore& store_for(std::uint64_t app_id);
+
+  [[nodiscard]] std::size_t app_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_bytes_per_app_;
+  std::map<std::uint64_t, std::unique_ptr<SharedRecordStore>> stores_;
+};
+
+// Client-side view of the service's manifest: the set of records the session
+// may reference instead of uploading. Static after join — the client never
+// speculates about store contents it was not granted.
+class SharedManifest {
+ public:
+  void add(const ManifestEntry& entry);
+
+  // True when `bytes` provably matches a granted entry (primary hash,
+  // verify hash, and length all agree).
+  [[nodiscard]] bool proves(std::uint64_t hash,
+                            std::span<const std::uint8_t> bytes) const;
+
+  // Shrinks this manifest to entries also present (identically) in `other`.
+  // Used for multicast state streams: every receiving device must be able to
+  // resolve every shared ref, so only the intersection is usable.
+  void intersect_with(const SharedManifest& other);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  struct Proof {
+    std::uint64_t verify = 0;
+    std::uint64_t length = 0;
+  };
+  std::unordered_map<std::uint64_t, Proof> entries_;
+  std::uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace gb::compress

@@ -50,6 +50,15 @@ GBoosterRuntime::GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
     apply_floors_.push_back(0);
     needs_snapshot_.push_back(false);
     snapshot_covers_ids_.push_back(0);
+    manifests_.push_back(nullptr);
+  }
+  if (config_.shared_dedup) {
+    join_pending_ = true;
+    loop_.schedule_after(config_.join_delay, [this] { join_tick(); });
+    // The deadline is absolute (not re-armed per retry): a session must
+    // never stall on an unrouted endpoint or a silent service.
+    loop_.schedule_after(config_.join_delay + config_.manifest_wait,
+                         [this] { finish_join(); });
   }
   recorder_ = std::make_unique<wire::CommandRecorder>(
       config_.nominal_width, config_.nominal_height,
@@ -83,7 +92,10 @@ bool GBoosterRuntime::can_issue_frame() {
   const int window = governor_ != nullptr
                          ? governor_->depth_cap(config_.max_pending_requests)
                          : config_.max_pending_requests;
-  if (static_cast<int>(active_in_flight()) < window) {
+  // Frames held for the join handshake occupy window slots: the application
+  // keeps generating up to the window during the manifest wait, then the
+  // whole cohort flows at once.
+  if (static_cast<int>(active_in_flight() + join_hold_.size()) < window) {
     return true;
   }
   if (governor_ != nullptr) {
@@ -185,6 +197,15 @@ void GBoosterRuntime::trace_dispatch(std::uint64_t sequence, double workload,
 
 bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
   check(!device_nodes_.empty(), "no service devices configured");
+  if (join_pending_) {
+    // Holding the cold-start frames until the manifests arrive is what lets
+    // the very first upload ship as shared references; finish_join() replays
+    // them through this path in issue order.
+    if (join_hold_.empty()) join_hold_started_ = loop_.now();
+    stats_.frames_held_for_manifest++;
+    join_hold_.push_back(std::move(frame));
+    return true;
+  }
   if (governor_ != nullptr) return on_frame_governed(std::move(frame));
   const std::uint64_t sequence = frame.sequence;
 
@@ -220,8 +241,9 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
     header.renderer_node = local ? 0 : device_nodes_[device_index];
     header.cache_epoch = state_epoch_;
     header.apply_floor = state_apply_floor_;
-    state_message = make_state_message(header, state_subset(frame),
-                                       state_cache_, stats_.state_cache);
+    state_message =
+        make_state_message(header, state_subset(frame), state_cache_,
+                           stats_.state_cache, state_manifest());
   }
 
   Bytes render_message;
@@ -234,7 +256,8 @@ bool GBoosterRuntime::on_frame(wire::FrameCommands frame) {
     header.apply_floor = apply_floors_[device_index];
     header.mirror_rev = mirror_revs_[device_index]++;
     render_message = make_render_message(
-        header, frame, *render_caches_[device_index], stats_.render_cache);
+        header, frame, *render_caches_[device_index], stats_.render_cache,
+        device_manifest(device_index));
   }
 
   // Charge the user-device CPU for serialization + compression; the packed
@@ -557,8 +580,10 @@ void GBoosterRuntime::pump_dispatch_queue() {
           send_render_msg ? device_nodes_[flight.device_index] : 0;
       header.cache_epoch = state_epoch_;
       header.apply_floor = state_apply_floor_;
-      state_message = make_state_message(header, state_subset(flight.records),
-                                         state_cache_, stats_.state_cache);
+      state_message =
+          make_state_message(header, state_subset(flight.records),
+                             state_cache_, stats_.state_cache,
+                             state_manifest());
     }
     Bytes render_message;
     if (send_render_msg) {
@@ -572,10 +597,9 @@ void GBoosterRuntime::pump_dispatch_queue() {
       header.skip_threshold = governor_->skip_threshold();
       header.mirror_rev = mirror_revs_[flight.device_index]++;
       flight.quality = header.quality;
-      render_message =
-          make_render_message(header, flight.records,
-                              *render_caches_[flight.device_index],
-                              stats_.render_cache);
+      render_message = make_render_message(
+          header, flight.records, *render_caches_[flight.device_index],
+          stats_.render_cache, device_manifest(flight.device_index));
       flight.dispatched = true;
       stats_.frames_offloaded++;
     }
@@ -613,6 +637,92 @@ void GBoosterRuntime::pump_dispatch_queue() {
       in_flight_.erase(it);
     }
   }
+}
+
+// --- shared-store dedup (DESIGN.md §14) -------------------------------------
+
+const compress::SharedManifest* GBoosterRuntime::device_manifest(
+    std::size_t index) const {
+  return manifests_[index].get();
+}
+
+void GBoosterRuntime::join_tick() {
+  // The endpoint may not be routed yet (runtime constructed before media
+  // binding); retry until transmissions can actually flow. The finish_join
+  // deadline armed at construction bounds the wait either way.
+  if (endpoint_.route() == nullptr) {
+    loop_.schedule_after(ms(1), [this] { join_tick(); });
+    return;
+  }
+  if (join_sent_) return;
+  join_sent_ = true;
+  for (const net::NodeId node : device_nodes_) {
+    endpoint_.send(node, make_join_message(config_.app_id));
+  }
+}
+
+void GBoosterRuntime::on_manifest(net::NodeId src,
+                                  std::span<const std::uint8_t> message) {
+  const auto entries = parse_manifest_message(message);
+  check(entries.has_value(), "malformed manifest message");
+  const auto index = index_of(src);
+  if (!index.has_value()) return;
+  auto manifest = std::make_unique<compress::SharedManifest>();
+  for (const compress::ManifestEntry& entry : *entries) manifest->add(entry);
+  manifests_[*index] = std::move(manifest);
+  if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+    tracer_->instant(
+        "manifest_received", src, loop_.now(),
+        {{"entries", static_cast<double>(manifests_[*index]->size())},
+         {"payload_bytes",
+          static_cast<double>(manifests_[*index]->payload_bytes())}});
+  }
+  if (join_pending_) {
+    for (const auto& m : manifests_) {
+      if (m == nullptr) return;  // still waiting on another device
+    }
+    finish_join();
+  } else {
+    // Late reply (after the deadline) or a hot-joined device's grant: render
+    // streams use it from the next frame; the state intersection may become
+    // valid again now that every device has answered.
+    recompute_state_manifest();
+  }
+}
+
+void GBoosterRuntime::finish_join() {
+  if (!join_pending_) return;
+  join_pending_ = false;
+  recompute_state_manifest();
+  for (const auto& m : manifests_) {
+    if (m == nullptr) continue;
+    stats_.manifest_entries = std::max<std::uint64_t>(
+        stats_.manifest_entries, m->size());
+    stats_.manifest_bytes =
+        std::max<std::uint64_t>(stats_.manifest_bytes, m->payload_bytes());
+  }
+  if (join_hold_.empty()) return;
+  stats_.manifest_wait_ms = (loop_.now() - join_hold_started_).ms();
+  std::vector<wire::FrameCommands> held;
+  held.swap(join_hold_);
+  for (wire::FrameCommands& frame : held) {
+    (void)on_frame(std::move(frame));
+  }
+}
+
+void GBoosterRuntime::recompute_state_manifest() {
+  state_manifest_valid_ = false;
+  state_manifest_ = compress::SharedManifest();
+  // Single-device sessions send no state multicasts; nothing to compute.
+  if (!config_.shared_dedup || device_nodes_.size() <= 1) return;
+  for (const auto& m : manifests_) {
+    if (m == nullptr) return;  // a silent device forces inline state uploads
+  }
+  state_manifest_ = *manifests_[0];
+  for (std::size_t j = 1; j < manifests_.size(); ++j) {
+    state_manifest_.intersect_with(*manifests_[j]);
+  }
+  state_manifest_valid_ = true;
 }
 
 // --- failure handling -------------------------------------------------------
@@ -926,9 +1036,9 @@ void GBoosterRuntime::send_render(std::uint64_t sequence,
   header.cache_epoch = cache_epochs_[device_index];
   header.apply_floor = apply_floors_[device_index];
   header.mirror_rev = mirror_revs_[device_index]++;
-  Bytes message =
-      make_render_message(header, flight.records, *render_caches_[device_index],
-                          stats_.render_cache);
+  Bytes message = make_render_message(
+      header, flight.records, *render_caches_[device_index],
+      stats_.render_cache, device_manifest(device_index));
 
   const double serialize_s = static_cast<double>(message.size()) * 8.0 /
                                  config_.serialize_throughput_bps +
@@ -1029,9 +1139,21 @@ std::size_t GBoosterRuntime::add_service_device(const ServiceDeviceInfo& info) {
   apply_floors_.push_back(0);
   needs_snapshot_.push_back(false);
   snapshot_covers_ids_.push_back(0);
+  manifests_.push_back(nullptr);
   stats_.devices_hot_joined++;
   if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
     tracer_->instant("device_hot_joined", info.node, loop_.now());
+  }
+  if (config_.shared_dedup) {
+    // kJoin rides the newcomer's reliable stream ahead of the snapshot
+    // below, so its session binds the shared store before it decodes
+    // anything. The state intersection shrinks to invalid until the
+    // newcomer's manifest arrives — state uploads go inline meanwhile, which
+    // every replica can decode.
+    if (join_sent_) {
+      endpoint_.send(info.node, make_join_message(config_.app_id));
+    }
+    recompute_state_manifest();
   }
   // Bring the newcomer to the present: GL state, state-cache mirror, and
   // apply cursor all jump to the current sequence.
@@ -1098,6 +1220,10 @@ void GBoosterRuntime::on_message(net::NodeId src, net::NodeId stream,
   if (kind == MsgKind::kPong) {
     const auto nonce = parse_pong_message(message);
     if (nonce.has_value()) on_pong(*nonce);
+    return;
+  }
+  if (kind == MsgKind::kManifest) {
+    on_manifest(src, message);
     return;
   }
   if (kind != MsgKind::kFrame) return;

@@ -120,6 +120,23 @@ struct GBoosterConfig {
   // before they ever touch the cache mirrors, and an AIMD governor trades
   // codec quality for latency.
   QosGovernorConfig qos;
+  // --- cross-session shared-store dedup (DESIGN.md §14) --------------------
+  // Announce `app_id` to every service device at session start (kJoin) and
+  // encode against the returned shared-store manifests: records the service
+  // provably holds from earlier sessions of the same app ship as kSharedRef
+  // instead of inline uploads. Off (the default) reproduces today's wire
+  // byte-for-byte.
+  bool shared_dedup = false;
+  std::uint64_t app_id = 0;
+  // Frames issued before the manifests arrive are held (and replayed through
+  // the normal path once they do) so the cold-start upload can use shared
+  // refs; after this deadline the session proceeds with whatever manifests
+  // came back (missing ones mean inline uploads, never a stall).
+  SimTime manifest_wait = ms(250);
+  // Delay before the join handshake is sent; multiuser harnesses stagger
+  // session starts with this so later sessions join against a store the
+  // earlier ones already populated.
+  SimTime join_delay = {};
 };
 
 struct GBoosterStats {
@@ -171,6 +188,16 @@ struct GBoosterStats {
   // with a snapshot instead of a fleet-wide epoch reset.
   std::uint64_t scoped_state_recoveries = 0;
   std::uint64_t devices_hot_joined = 0;  // devices added mid-session
+  // --- shared-store dedup (DESIGN.md §14) ----------------------------------
+  // Largest manifest granted by any device, and the record payload bytes it
+  // covers (bytes this session never has to upload). Shared-reference hit
+  // counts live in render_cache/state_cache.shared_hits.
+  std::uint64_t manifest_entries = 0;
+  std::uint64_t manifest_bytes = 0;
+  // Frames held at session start waiting for the join handshake, and how
+  // long the hold lasted.
+  std::uint64_t frames_held_for_manifest = 0;
+  double manifest_wait_ms = 0.0;
 };
 
 class GBoosterRuntime {
@@ -321,6 +348,22 @@ class GBoosterRuntime {
   void send_render(std::uint64_t sequence, std::size_t device_index);
   void erase_msg_entries(const InFlight& flight);
   [[nodiscard]] std::optional<std::size_t> index_of(net::NodeId node) const;
+  // --- shared-store dedup (DESIGN.md §14) ----------------------------------
+  // Sends kJoin on every device stream (retrying until the endpoint is
+  // routed); the manifest replies (or the manifest_wait deadline) release
+  // the held frames via finish_join().
+  void join_tick();
+  void finish_join();
+  void on_manifest(net::NodeId src, std::span<const std::uint8_t> message);
+  // State multicasts are decoded by every replica, so only the intersection
+  // of all device manifests is safe to reference; recomputed whenever the
+  // device set or a manifest changes (invalid until every device replied).
+  void recompute_state_manifest();
+  [[nodiscard]] const compress::SharedManifest* device_manifest(
+      std::size_t index) const;
+  [[nodiscard]] const compress::SharedManifest* state_manifest() const {
+    return state_manifest_valid_ ? &state_manifest_ : nullptr;
+  }
 
   EventLoop& loop_;
   GBoosterConfig config_;
@@ -384,6 +427,20 @@ class GBoosterRuntime {
   // Shed sequences the presenter must step over without waiting for the
   // display-gap timeout.
   std::set<std::uint64_t> shed_sequences_;
+
+  // --- shared-store dedup (DESIGN.md §14) ----------------------------------
+  // True from construction until every device's manifest arrived or the
+  // manifest_wait deadline fired; frames issued meanwhile are held in
+  // join_hold_ (they still count against the pending window).
+  bool join_pending_ = false;
+  bool join_sent_ = false;
+  SimTime join_hold_started_;
+  std::vector<wire::FrameCommands> join_hold_;
+  // Per-device manifest (null until that device replied), plus the cached
+  // intersection used for state multicasts.
+  std::vector<std::unique_ptr<compress::SharedManifest>> manifests_;
+  compress::SharedManifest state_manifest_;
+  bool state_manifest_valid_ = false;
 
   // Health monitor state: outstanding probes by nonce.
   struct PendingPing {

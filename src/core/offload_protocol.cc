@@ -54,15 +54,16 @@ RenderRequestHeader read_render_header(ByteReader& in) {
 }  // namespace
 
 Bytes pack_commands(const wire::FrameCommands& frame,
-                    compress::CommandCache& cache,
-                    compress::CacheStats& stats) {
-  return compress::encode_frame_with_cache(frame, cache, stats);
+                    compress::CommandCache& cache, compress::CacheStats& stats,
+                    const compress::SharedManifest* manifest) {
+  return compress::encode_frame_with_cache(frame, cache, stats, manifest);
 }
 
 std::optional<wire::FrameCommands> unpack_commands(
-    std::span<const std::uint8_t> data, compress::CommandCache& cache) {
+    std::span<const std::uint8_t> data, compress::CommandCache& cache,
+    const compress::SharedDecodeContext& shared) {
   try {
-    return compress::decode_frame_with_cache(data, cache);
+    return compress::decode_frame_with_cache(data, cache, shared);
   } catch (const Error&) {
     return std::nullopt;
   }
@@ -71,21 +72,23 @@ std::optional<wire::FrameCommands> unpack_commands(
 Bytes make_state_message(const StateHeader& header,
                          const wire::FrameCommands& state_records,
                          compress::CommandCache& cache,
-                         compress::CacheStats& stats) {
+                         compress::CacheStats& stats,
+                         const compress::SharedManifest* manifest) {
   ByteWriter out;
   out.u8(static_cast<std::uint8_t>(MsgKind::kState));
   out.varint(header.sequence);
   out.varint(header.renderer_node);
   out.varint(header.cache_epoch);
   out.varint(header.apply_floor);
-  append_compressed(out, pack_commands(state_records, cache, stats));
+  append_compressed(out, pack_commands(state_records, cache, stats, manifest));
   return out.take();
 }
 
 Bytes make_render_message(const RenderRequestHeader& header,
                           const wire::FrameCommands& frame_records,
                           compress::CommandCache& cache,
-                          compress::CacheStats& stats) {
+                          compress::CacheStats& stats,
+                          const compress::SharedManifest* manifest) {
   ByteWriter out;
   out.u8(static_cast<std::uint8_t>(MsgKind::kRender));
   out.varint(header.sequence);
@@ -97,7 +100,27 @@ Bytes make_render_message(const RenderRequestHeader& header,
   out.varint(static_cast<std::uint64_t>(header.quality));
   out.varint(static_cast<std::uint64_t>(header.skip_threshold + 1));
   out.varint(header.mirror_rev);
-  append_compressed(out, pack_commands(frame_records, cache, stats));
+  append_compressed(out, pack_commands(frame_records, cache, stats, manifest));
+  return out.take();
+}
+
+Bytes make_join_message(std::uint64_t app_id) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(MsgKind::kJoin));
+  out.varint(app_id);
+  return out.take();
+}
+
+Bytes make_manifest_message(
+    std::span<const compress::ManifestEntry> entries) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(MsgKind::kManifest));
+  out.varint(entries.size());
+  for (const compress::ManifestEntry& entry : entries) {
+    out.u64(entry.hash);
+    out.u64(entry.verify);
+    out.varint(entry.length);
+  }
   return out.take();
 }
 
@@ -153,8 +176,48 @@ MsgKind peek_kind(std::span<const std::uint8_t> message) {
   return static_cast<MsgKind>(message[0]);
 }
 
+std::optional<std::uint64_t> parse_join_message(
+    std::span<const std::uint8_t> message) {
+  try {
+    ByteReader in(message);
+    check(static_cast<MsgKind>(in.u8()) == MsgKind::kJoin, "not a join msg");
+    const std::uint64_t app_id = in.varint();
+    check(in.done(), "trailing bytes after join message");
+    return app_id;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::vector<compress::ManifestEntry>> parse_manifest_message(
+    std::span<const std::uint8_t> message) {
+  try {
+    ByteReader in(message);
+    check(static_cast<MsgKind>(in.u8()) == MsgKind::kManifest,
+          "not a manifest msg");
+    const std::uint64_t count = in.varint();
+    // Each entry costs at least 17 bytes (two u64 hashes + a length varint),
+    // so a count beyond remaining/17 is garbage; reject before reserving.
+    check(count <= in.remaining() / 17, "manifest count exceeds payload");
+    std::vector<compress::ManifestEntry> entries;
+    entries.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      compress::ManifestEntry entry;
+      entry.hash = in.u64();
+      entry.verify = in.u64();
+      entry.length = in.varint();
+      entries.push_back(entry);
+    }
+    check(in.done(), "trailing bytes after manifest message");
+    return entries;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
 std::optional<ParsedState> parse_state_message(
-    std::span<const std::uint8_t> message, compress::CommandCache& cache) {
+    std::span<const std::uint8_t> message, compress::CommandCache& cache,
+    const compress::SharedDecodeContext& shared) {
   try {
     ByteReader in(message);
     check(static_cast<MsgKind>(in.u8()) == MsgKind::kState, "not a state msg");
@@ -162,7 +225,7 @@ std::optional<ParsedState> parse_state_message(
     parsed.header = read_state_header(in);
     const auto raw = read_compressed(in);
     if (!raw) return std::nullopt;
-    auto records = unpack_commands(*raw, cache);
+    auto records = unpack_commands(*raw, cache, shared);
     if (!records) return std::nullopt;
     parsed.records = std::move(*records);
     return parsed;
@@ -172,7 +235,8 @@ std::optional<ParsedState> parse_state_message(
 }
 
 std::optional<ParsedRender> parse_render_message(
-    std::span<const std::uint8_t> message, compress::CommandCache& cache) {
+    std::span<const std::uint8_t> message, compress::CommandCache& cache,
+    const compress::SharedDecodeContext& shared) {
   try {
     ByteReader in(message);
     check(static_cast<MsgKind>(in.u8()) == MsgKind::kRender,
@@ -181,7 +245,7 @@ std::optional<ParsedRender> parse_render_message(
     parsed.header = read_render_header(in);
     const auto raw = read_compressed(in);
     if (!raw) return std::nullopt;
-    auto records = unpack_commands(*raw, cache);
+    auto records = unpack_commands(*raw, cache, shared);
     if (!records) return std::nullopt;
     parsed.records = std::move(*records);
     return parsed;

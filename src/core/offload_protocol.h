@@ -29,6 +29,8 @@ enum class MsgKind : std::uint8_t {
   kPing = 4,      // heartbeat probe (unreliable path)
   kPong = 5,      // heartbeat reply (unreliable path)
   kSnapshot = 6,  // full GL-state checkpoint for replica resync / hot-join
+  kJoin = 7,      // client -> service: app id for shared-store dedup
+  kManifest = 8,  // service -> client: shared-store manifest reply
 };
 
 struct RenderRequestHeader {
@@ -116,24 +118,40 @@ struct FrameResultHeader {
 // --- builders -------------------------------------------------------------
 
 // Encodes command records against `cache` and compresses; used for both
-// kState and kRender payload bodies.
+// kState and kRender payload bodies. A non-null `manifest` enables
+// cross-session kSharedRef substitution (DESIGN.md §14); null reproduces
+// today's stream byte-for-byte.
 Bytes pack_commands(const wire::FrameCommands& frame,
-                    compress::CommandCache& cache,
-                    compress::CacheStats& stats);
+                    compress::CommandCache& cache, compress::CacheStats& stats,
+                    const compress::SharedManifest* manifest = nullptr);
 
-// Inverse of pack_commands.
+// Inverse of pack_commands. `shared` supplies the receiver's shared-store
+// lease for resolving kSharedRef records and publishing inline uploads.
 std::optional<wire::FrameCommands> unpack_commands(
-    std::span<const std::uint8_t> data, compress::CommandCache& cache);
+    std::span<const std::uint8_t> data, compress::CommandCache& cache,
+    const compress::SharedDecodeContext& shared = {});
 
 Bytes make_state_message(const StateHeader& header,
                          const wire::FrameCommands& state_records,
                          compress::CommandCache& cache,
-                         compress::CacheStats& stats);
+                         compress::CacheStats& stats,
+                         const compress::SharedManifest* manifest = nullptr);
 
 Bytes make_render_message(const RenderRequestHeader& header,
                           const wire::FrameCommands& frame_records,
                           compress::CommandCache& cache,
-                          compress::CacheStats& stats);
+                          compress::CacheStats& stats,
+                          const compress::SharedManifest* manifest = nullptr);
+
+// Join handshake for the shared-store tier: the client announces its app id
+// on each service device's reliable stream; the device replies with the
+// manifest of record payloads the app's store currently holds (taking a
+// session-lifetime ref on each). Ordering on the reliable stream guarantees
+// the service processes kJoin — binding the session's lease — before any
+// later kState/kRender that might carry shared references.
+Bytes make_join_message(std::uint64_t app_id);
+Bytes make_manifest_message(
+    std::span<const compress::ManifestEntry> entries);
 
 Bytes make_frame_message(const FrameResultHeader& header,
                          std::span<const std::uint8_t> encoded_content);
@@ -167,19 +185,26 @@ std::optional<std::uint64_t> parse_ping_message(
 std::optional<std::uint64_t> parse_pong_message(
     std::span<const std::uint8_t> message);
 
+std::optional<std::uint64_t> parse_join_message(
+    std::span<const std::uint8_t> message);
+std::optional<std::vector<compress::ManifestEntry>> parse_manifest_message(
+    std::span<const std::uint8_t> message);
+
 struct ParsedState {
   StateHeader header;
   wire::FrameCommands records;
 };
 std::optional<ParsedState> parse_state_message(
-    std::span<const std::uint8_t> message, compress::CommandCache& cache);
+    std::span<const std::uint8_t> message, compress::CommandCache& cache,
+    const compress::SharedDecodeContext& shared = {});
 
 struct ParsedRender {
   RenderRequestHeader header;
   wire::FrameCommands records;
 };
 std::optional<ParsedRender> parse_render_message(
-    std::span<const std::uint8_t> message, compress::CommandCache& cache);
+    std::span<const std::uint8_t> message, compress::CommandCache& cache,
+    const compress::SharedDecodeContext& shared = {});
 
 struct ParsedFrame {
   FrameResultHeader header;

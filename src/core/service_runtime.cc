@@ -38,6 +38,33 @@ ServiceRuntime::ServiceRuntime(EventLoop& loop, net::NodeId node,
       });
 }
 
+ServiceRuntime::~ServiceRuntime() {
+  for (auto& [user, session] : users_) {
+    if (session.shared != nullptr) session.shared->close_lease(session.lease);
+  }
+}
+
+void ServiceRuntime::handle_join(net::NodeId src, UserSession& session,
+                                 std::span<const std::uint8_t> message) {
+  const auto app_id = parse_join_message(message);
+  check(app_id.has_value(), "malformed join message");
+  std::vector<compress::ManifestEntry> entries;
+  if (config_.shared_store != nullptr) {
+    if (session.shared == nullptr) {
+      session.shared = &config_.shared_store->store_for(*app_id);
+      session.lease = session.shared->open_lease();
+    }
+    // manifest() refs every current entry under the session's lease, so the
+    // grant can never dangle: leased entries are pinned until this runtime
+    // closes the lease. A duplicate kJoin just re-snapshots (extra refs on
+    // new entries are harmless; the reply supersedes the previous grant).
+    entries = session.shared->manifest(session.lease);
+  }
+  stats_.joins_answered++;
+  stats_.manifest_entries_granted += entries.size();
+  endpoint_->send(src, make_manifest_message(entries));
+}
+
 ServiceRuntime::UserSession& ServiceRuntime::session_for(net::NodeId user) {
   const auto it = users_.find(user);
   if (it != users_.end()) return it->second;
@@ -73,6 +100,10 @@ void ServiceRuntime::on_message(net::NodeId src, net::NodeId stream,
   }
   if (kind == MsgKind::kPong) return;
   UserSession& session = session_for(src);
+  if (kind == MsgKind::kJoin) {
+    handle_join(src, session, message);
+    return;
+  }
   if (kind == MsgKind::kState) {
     handle_state_message(session, std::move(message));
   } else if (kind == MsgKind::kRender) {
@@ -105,7 +136,9 @@ void ServiceRuntime::on_message(net::NodeId src, net::NodeId stream,
       return;
     }
     session.next_render_rev++;
-    auto parsed = parse_render_message(message, session.render_cache);
+    auto parsed =
+        parse_render_message(message, session.render_cache,
+                             shared_ctx(session));
     check(parsed.has_value(), "malformed render message");
     fast_forward(session, header->apply_floor);
     const std::uint64_t seq = parsed->header.sequence;
@@ -164,7 +197,8 @@ void ServiceRuntime::handle_state_message(UserSession& session,
     stats_.state_decode_poisonings++;
   }
   if (!session.state_poisoned) {
-    auto parsed = parse_state_message(message, session.state_cache);
+    auto parsed = parse_state_message(message, session.state_cache,
+                                      shared_ctx(session));
     if (parsed.has_value()) {
       session.expected_state_seq = seq + 1;
       fast_forward(session, header->apply_floor);

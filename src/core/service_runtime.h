@@ -80,6 +80,12 @@ struct ServiceRuntimeConfig {
   // Transport configuration for this device's endpoint (adaptive RTO on by
   // default; benches flip it off for the fixed-timer baseline).
   net::ReliableConfig transport;
+  // Cross-session shared record store (DESIGN.md §14). Shared across every
+  // runtime of a fleet (and across sequential sessions) via shared_ptr; the
+  // stores inside outlive any one runtime — that persistence is the point.
+  // Null disables the feature: kJoin is answered with an empty manifest so
+  // clients proceed without dedup.
+  std::shared_ptr<compress::SharedStoreRegistry> shared_store;
 };
 
 struct ServiceRuntimeStats {
@@ -113,12 +119,20 @@ struct ServiceRuntimeStats {
   // against the stale mirror would corrupt (the sender re-dispatches the
   // frames under a fresh cache epoch).
   std::uint64_t renders_dropped_stale = 0;
+  // Shared-store joins answered (DESIGN.md §14); manifest_entries_granted is
+  // the total entry count across those replies.
+  std::uint64_t joins_answered = 0;
+  std::uint64_t manifest_entries_granted = 0;
 };
 
 class ServiceRuntime {
  public:
   ServiceRuntime(EventLoop& loop, net::NodeId node,
                  device::DeviceProfile profile, ServiceRuntimeConfig config);
+  // Releases every session's shared-store lease: a departing session must
+  // unpin its entries (they stay resident at zero refs until capacity
+  // pressure) without ever invalidating another session's grants.
+  ~ServiceRuntime();
 
   // The endpoint to bind to media; its message handler is installed here.
   [[nodiscard]] net::ReliableEndpoint& endpoint() { return *endpoint_; }
@@ -212,8 +226,21 @@ class ServiceRuntime {
     };
     std::deque<PendingResult> gpu_outstanding;
     std::uint64_t shed_count = 0;
+    // Shared-store binding (DESIGN.md §14), established by kJoin. The lease
+    // pins every granted/published entry for the session's lifetime; closed
+    // in ~ServiceRuntime.
+    compress::SharedRecordStore* shared = nullptr;
+    compress::SharedRecordStore::LeaseId lease = 0;
   };
 
+  // The session's handle for kSharedRef resolution / inline publishing.
+  [[nodiscard]] static compress::SharedDecodeContext shared_ctx(
+      const UserSession& session) {
+    return compress::SharedDecodeContext{session.shared, session.lease};
+  }
+
+  void handle_join(net::NodeId src, UserSession& session,
+                   std::span<const std::uint8_t> message);
   UserSession& session_for(net::NodeId user);
   void on_message(net::NodeId src, net::NodeId stream, Bytes message);
   // kState path: epoch/contiguity checks, decode, hold — or quarantine when

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 
 #include "apps/game_app.h"
 #include "apps/touch.h"
@@ -55,6 +56,14 @@ MultiUserResult run_multiuser_session(const MultiUserConfig& config) {
   service_config.render_height = config.render_height;
   service_config.content_sample_every = config.content_sample_every;
   service_config.admission_queue_cap = config.admission_queue_cap;
+  std::shared_ptr<compress::SharedStoreRegistry> shared_store =
+      config.shared_store;
+  if (config.shared_dedup) {
+    if (shared_store == nullptr) {
+      shared_store = std::make_shared<compress::SharedStoreRegistry>();
+    }
+    service_config.shared_store = shared_store;
+  }
   device::DeviceProfile service_profile = config.service_device;
   service_profile.gpu.fillrate_pps *= service_profile.gpu_request_efficiency;
   auto service = std::make_unique<core::ServiceRuntime>(
@@ -76,6 +85,11 @@ MultiUserResult run_multiuser_session(const MultiUserConfig& config) {
     gb_config.request_priority = participant.priority;
     gb_config.state_group = 0xff00 + static_cast<net::NodeId>(u);
     gb_config.qos = config.qos;
+    if (config.shared_dedup) {
+      gb_config.shared_dedup = true;
+      gb_config.app_id = participant.app_id;
+      gb_config.join_delay = seconds(participant.join_delay_s);
+    }
     user->gbooster = std::make_unique<core::GBoosterRuntime>(
         loop, gb_config, *user->endpoint,
         std::vector<core::ServiceDeviceInfo>{
@@ -159,6 +173,9 @@ MultiUserResult run_multiuser_session(const MultiUserConfig& config) {
     result.governor_sheds_per_user.push_back(gstats.frames_shed_window +
                                              gstats.frames_shed_deadline +
                                              gstats.frames_shed_void);
+    result.bytes_sent_per_user.push_back(gstats.bytes_sent);
+    result.shared_hits_per_user.push_back(gstats.render_cache.shared_hits +
+                                          gstats.state_cache.shared_hits);
     double mean = 0.0;
     double p95 = 0.0;
     if (!user->latencies_ms.empty()) {
@@ -174,6 +191,16 @@ MultiUserResult run_multiuser_session(const MultiUserConfig& config) {
   service->gpu().sync();
   result.service_gpu_busy_fraction =
       service->gpu().busy_seconds() / config.duration_s;
+  if (shared_store != nullptr) {
+    std::set<std::uint64_t> app_ids;
+    for (const MultiUserParticipant& participant : config.users) {
+      app_ids.insert(participant.app_id);
+    }
+    for (const std::uint64_t app_id : app_ids) {
+      result.shared_store_resident_bytes +=
+          shared_store->store_for(app_id).resident_bytes();
+    }
+  }
   return result;
 }
 

@@ -8,10 +8,12 @@
 // the priority scheduling §VIII proposes — and reports per-user metrics.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/workload.h"
+#include "compress/shared_store.h"
 #include "core/qos_governor.h"
 #include "device/device_profiles.h"
 #include "device/gpu_model.h"
@@ -25,6 +27,12 @@ struct MultiUserParticipant {
   // §VIII urgency: lower = more time-critical (only matters under
   // kPriority scheduling at the service device).
   int priority = 0;
+  // Shared-store identity (DESIGN.md §14): users running the same app_id
+  // dedup each other's static record uploads at the service device.
+  std::uint64_t app_id = 0;
+  // Session-start stagger: this user's join handshake (and held frames) wait
+  // this long, so later users join against a store earlier ones populated.
+  double join_delay_s = 0.0;
 };
 
 struct MultiUserConfig {
@@ -44,6 +52,12 @@ struct MultiUserConfig {
   // User-side QoS governor applied to every participant (disabled by
   // default, like single-user sessions).
   core::QosGovernorConfig qos;
+  // Cross-session shared-store dedup (DESIGN.md §14). When enabled, every
+  // user joins with its app_id and the service deduplicates static record
+  // payloads across users in `shared_store` (a fresh registry is created
+  // when null; pass one in to carry residency across harness calls).
+  bool shared_dedup = false;
+  std::shared_ptr<compress::SharedStoreRegistry> shared_store;
 };
 
 struct MultiUserResult {
@@ -61,6 +75,13 @@ struct MultiUserResult {
   // void causes combined); all-zero when the governor is disabled.
   std::vector<std::uint64_t> governor_sheds_per_user;
   double service_gpu_busy_fraction = 0.0;
+  // Uplink payload bytes and shared-reference hits per user (DESIGN.md §14):
+  // with shared_dedup on, later same-app joiners should send fewer bytes and
+  // show nonzero shared hits — the sub-linear-uplink check.
+  std::vector<std::uint64_t> bytes_sent_per_user;
+  std::vector<std::uint64_t> shared_hits_per_user;
+  // Final shared-store occupancy for the app ids in play (0 when disabled).
+  std::uint64_t shared_store_resident_bytes = 0;
 };
 
 MultiUserResult run_multiuser_session(const MultiUserConfig& config);

@@ -183,6 +183,171 @@ TEST(FrameCache, EmptyFrameRoundTrips) {
   EXPECT_TRUE(decoded.records.empty());
 }
 
+TEST(FrameCache, BytesOutCountsEveryWireByte) {
+  // bytes_out must equal the sum of the encoded streams' sizes exactly —
+  // including the frame header varints (sequence + record count), which the
+  // old accounting skipped, flattering the compression ratio by a few bytes
+  // every frame.
+  CommandCache sender;
+  CacheStats stats;
+  std::uint64_t encoded_total = 0;
+  for (int i = 0; i < 20; ++i) {
+    wire::FrameCommands frame;
+    // Multi-byte sequence varints too, so header sizes vary.
+    frame.sequence = static_cast<std::uint64_t>(i) * 1000;
+    frame.records.push_back(record_of("stable " + std::string(100, 's')));
+    frame.records.push_back(record_of("frame " + std::to_string(i)));
+    encoded_total += encode_frame_with_cache(frame, sender, stats).size();
+  }
+  EXPECT_EQ(stats.bytes_out, encoded_total);
+
+  // Empty frames are pure header; they must still be charged.
+  CacheStats empty_stats;
+  wire::FrameCommands empty;
+  empty.sequence = 300;  // two-byte varint
+  const Bytes wire = encode_frame_with_cache(empty, sender, empty_stats);
+  EXPECT_GT(wire.size(), 0u);
+  EXPECT_EQ(empty_stats.bytes_out, wire.size());
+}
+
+TEST(CommandCache, OversizedRecordIsNotCachedAndEvictsNothing) {
+  // A record larger than the whole budget used to walk the eviction loop
+  // down to one entry — flushing everything else — and then stay resident
+  // over budget. Policy now: don't cache it, evict nothing.
+  CommandCache cache(/*capacity_bytes=*/100);
+  const Bytes a(40, 'a');
+  const Bytes b(40, 'b');
+  cache.insert(record_hash(a), a);
+  cache.insert(record_hash(b), b);
+
+  const Bytes huge(150, 'h');
+  cache.insert(record_hash(huge), huge);
+  EXPECT_FALSE(cache.touch(record_hash(huge)));  // not resident
+  EXPECT_TRUE(cache.touch(record_hash(a)));      // survivors intact
+  EXPECT_TRUE(cache.touch(record_hash(b)));
+  EXPECT_EQ(cache.resident_bytes(), 80u);
+}
+
+TEST(CommandCache, OversizedInsertDropsSameHashSquatter) {
+  // The replacement contract says an insert under an existing hash leaves
+  // the *newest* bytes resident. When the newest bytes are uncacheable the
+  // old entry must go — keeping it would let the encoder emit a reference
+  // the mirror contract can't honor after the peer applied the same insert.
+  CommandCache cache(/*capacity_bytes=*/100);
+  const Bytes small(40, 's');
+  const std::uint64_t h = record_hash(small);
+  cache.insert(h, small);
+  ASSERT_TRUE(cache.touch(h));
+
+  Bytes huge(150, 'h');
+  cache.insert(h, huge);  // same hash as if colliding, oversized
+  EXPECT_FALSE(cache.touch(h));
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+}
+
+TEST(FrameCache, OversizedRecordsKeepMirrorsConsistent) {
+  // End-to-end: a record above both mirrors' budget is sent inline every
+  // time (never referenced) and decodes exactly, with the small records
+  // around it still enjoying cache hits.
+  CommandCache sender(/*capacity_bytes=*/256);
+  CommandCache receiver(/*capacity_bytes=*/256);
+  CacheStats stats;
+  const std::string big(1000, 'B');
+  const std::string small_str(64, 's');
+  for (int i = 0; i < 3; ++i) {
+    const auto frame =
+        frame_of({small_str, big}, static_cast<std::uint64_t>(i));
+    const auto decoded = decode_frame_with_cache(
+        encode_frame_with_cache(frame, sender, stats), receiver);
+    ASSERT_EQ(decoded.records.size(), 2u);
+    EXPECT_EQ(decoded.records[0].bytes, frame.records[0].bytes);
+    EXPECT_EQ(decoded.records[1].bytes, frame.records[1].bytes);
+    EXPECT_LE(sender.resident_bytes(), 256u);
+    EXPECT_LE(receiver.resident_bytes(), 256u);
+  }
+  EXPECT_EQ(stats.hits, 2u);    // the small record, frames 1 and 2
+  EXPECT_EQ(stats.misses, 4u);  // the big record every time + small once
+}
+
+TEST(CommandCacheSerialize, RoundTripPreservesContentsAndRecency) {
+  CommandCache cache(1024);
+  const Bytes a(100, 'a');
+  const Bytes b(100, 'b');
+  cache.insert(record_hash(a), a);
+  cache.insert(record_hash(b), b);
+  cache.touch(record_hash(a));
+
+  const Bytes snapshot = cache.serialize();
+  CommandCache restored = CommandCache::deserialize(snapshot, 1024);
+  EXPECT_EQ(restored.resident_bytes(), cache.resident_bytes());
+  ASSERT_NE(restored.find(record_hash(a)), nullptr);
+  EXPECT_EQ(*restored.find(record_hash(a)), a);
+  ASSERT_NE(restored.find(record_hash(b)), nullptr);
+  EXPECT_EQ(*restored.find(record_hash(b)), b);
+}
+
+TEST(CommandCacheSerialize, RejectsCountBeyondMinimumEntryCost) {
+  // Every serialized entry costs at least 9 bytes (u64 hash + 1-byte blob
+  // length). A count that fits the old `count <= remaining` bound but not
+  // the per-entry minimum must be rejected up front.
+  ByteWriter w;
+  w.varint(50);                // claims 50 entries...
+  w.raw(Bytes(60, 0));         // ...in 60 bytes (minimum cost would be 450)
+  EXPECT_THROW(CommandCache::deserialize(w.take(), 1024), Error);
+}
+
+TEST(CommandCacheSerialize, RejectsSnapshotExceedingCapacity) {
+  // The old bound excused any single-entry snapshot from the capacity check
+  // (`|| lru_.size() <= 1`), accepting a mirror state a live cache can never
+  // reach now that oversized records are uncacheable.
+  ByteWriter w;
+  w.varint(1);
+  w.u64(record_hash(Bytes(200, 'x')));
+  w.blob(Bytes(200, 'x'));
+  const Bytes snapshot = w.take();
+  EXPECT_NO_THROW(CommandCache::deserialize(snapshot, 1024));
+  EXPECT_THROW(CommandCache::deserialize(snapshot, 100), Error);
+}
+
+TEST(CommandCacheSerialize, TruncationSweepNeverAcceptsPrefix) {
+  // Any strict prefix of a valid snapshot is malformed: either an entry read
+  // runs out of bytes or the entry-count bound trips. All must throw — and,
+  // under ASan, never read out of bounds.
+  CommandCache cache(4096);
+  for (int i = 0; i < 8; ++i) {
+    const Bytes payload(64 + i, static_cast<std::uint8_t>('a' + i));
+    cache.insert(record_hash(payload), payload);
+  }
+  const Bytes snapshot = cache.serialize();
+  for (std::size_t len = 0; len < snapshot.size(); ++len) {
+    EXPECT_THROW(CommandCache::deserialize(
+                     std::span(snapshot.data(), len), 4096),
+                 Error)
+        << "prefix length " << len;
+  }
+}
+
+TEST(CommandCacheSerialize, GarbageSweepNeverCrashes) {
+  // Deterministic pseudo-random payloads: deserialize must either throw or
+  // produce a well-formed cache — never crash, hang, or over-allocate.
+  std::uint64_t state = 0x2545F4914F6CDD1DULL;
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes garbage(1 + trial % 97);
+    for (auto& byte : garbage) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      byte = static_cast<std::uint8_t>(state);
+    }
+    try {
+      CommandCache cache = CommandCache::deserialize(garbage, 4096);
+      EXPECT_LE(cache.resident_bytes(), 4096u);
+    } catch (const Error&) {
+      // Rejected — fine.
+    }
+  }
+}
+
 TEST(FrameCache, LargeSessionStaysConsistent) {
   // Property-style: 200 frames of drifting command mixes; receiver must
   // reconstruct every record exactly despite LRU evictions.

@@ -1,0 +1,607 @@
+// Two-tier command dedup (DESIGN.md §14): shared-record-store unit tests,
+// encode/decode consistency properties across the private and shared tiers,
+// join/manifest protocol hardening, and end-to-end second-session cold-start
+// behavior over the full session simulator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/workload.h"
+#include "common/bytes.h"
+#include "compress/command_cache.h"
+#include "compress/shared_store.h"
+#include "core/offload_protocol.h"
+#include "device/device_profiles.h"
+#include "sim/multiuser.h"
+#include "sim/session.h"
+
+namespace gb::compress {
+namespace {
+
+Bytes payload_of(const std::string& content) {
+  return Bytes(content.begin(), content.end());
+}
+
+// A record comfortably above kShareMinRecordBytes.
+Bytes big_payload(char fill, std::size_t size = 256) {
+  return Bytes(size, static_cast<std::uint8_t>(fill));
+}
+
+wire::FrameCommands frame_of(std::initializer_list<Bytes> payloads,
+                             std::uint64_t sequence = 0) {
+  wire::FrameCommands f;
+  f.sequence = sequence;
+  for (const Bytes& p : payloads) {
+    wire::CommandRecord r;
+    r.bytes = p;
+    f.records.push_back(std::move(r));
+  }
+  return f;
+}
+
+TEST(VerifyHash, IndependentOfPrimaryHash) {
+  const Bytes a = big_payload('a');
+  const Bytes b = big_payload('b');
+  EXPECT_NE(record_verify_hash(a), record_verify_hash(b));
+  // The two hash functions must not be the same function in disguise.
+  EXPECT_NE(record_hash(a), record_verify_hash(a));
+}
+
+TEST(SharedStore, PublishManifestResolveRoundTrip) {
+  SharedRecordStore store;
+  const Bytes payload = big_payload('p');
+  const std::uint64_t h = record_hash(payload);
+
+  const auto writer = store.open_lease();
+  EXPECT_TRUE(store.publish(writer, h, payload));
+  EXPECT_EQ(store.entry_count(), 1u);
+  EXPECT_EQ(store.resident_bytes(), payload.size());
+
+  const auto reader = store.open_lease();
+  const auto manifest = store.manifest(reader);
+  ASSERT_EQ(manifest.size(), 1u);
+  EXPECT_EQ(manifest[0].hash, h);
+  EXPECT_EQ(manifest[0].verify, record_verify_hash(payload));
+  EXPECT_EQ(manifest[0].length, payload.size());
+
+  const Bytes* resolved = store.resolve(reader, h, payload.size());
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(*resolved, payload);
+
+  store.close_lease(writer);
+  store.close_lease(reader);
+}
+
+TEST(SharedStore, CollisionRecordedAndNeverShared) {
+  SharedRecordStore store;
+  const Bytes first = big_payload('1');
+  const Bytes second = big_payload('2');
+  const std::uint64_t h = record_hash(first);
+
+  const auto lease = store.open_lease();
+  EXPECT_TRUE(store.publish(lease, h, first));
+  // Same primary hash, different bytes: first writer keeps the slot.
+  EXPECT_FALSE(store.publish(lease, h, second));
+  EXPECT_EQ(store.stats().collisions, 1u);
+  EXPECT_EQ(store.entry_count(), 1u);
+
+  const Bytes* resolved = store.resolve(lease, h, first.size());
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(*resolved, first);
+  // The collider's length does not match the resident entry: refused.
+  EXPECT_EQ(store.resolve(lease, h, second.size() + 1), nullptr);
+  store.close_lease(lease);
+}
+
+TEST(SharedStore, DuplicatePublishIsARefNotACopy) {
+  SharedRecordStore store;
+  const Bytes payload = big_payload('d');
+  const std::uint64_t h = record_hash(payload);
+  const auto a = store.open_lease();
+  const auto b = store.open_lease();
+  EXPECT_TRUE(store.publish(a, h, payload));
+  EXPECT_TRUE(store.publish(b, h, payload));
+  EXPECT_EQ(store.entry_count(), 1u);
+  EXPECT_EQ(store.resident_bytes(), payload.size());
+  EXPECT_EQ(store.stats().publishes, 1u);
+  EXPECT_EQ(store.stats().duplicate_refs, 1u);
+  store.close_lease(a);
+  store.close_lease(b);
+}
+
+TEST(SharedStore, SessionLeaveNeverInvalidatesAnotherSessionsRefs) {
+  SharedRecordStore store;
+  const Bytes payload = big_payload('s');
+  const std::uint64_t h = record_hash(payload);
+
+  const auto first_session = store.open_lease();
+  EXPECT_TRUE(store.publish(first_session, h, payload));
+
+  const auto second_session = store.open_lease();
+  ASSERT_EQ(store.manifest(second_session).size(), 1u);
+
+  // The publisher leaves mid-flight; the second session's grant must hold.
+  store.close_lease(first_session);
+  const Bytes* resolved = store.resolve(second_session, h, payload.size());
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(*resolved, payload);
+
+  // And the entry outlives *all* sessions — that residual is the whole
+  // cross-session value.
+  store.close_lease(second_session);
+  EXPECT_EQ(store.open_leases(), 0u);
+  EXPECT_EQ(store.entry_count(), 1u);
+
+  const auto third_session = store.open_lease();
+  EXPECT_EQ(store.manifest(third_session).size(), 1u);
+  store.close_lease(third_session);
+}
+
+TEST(SharedStore, ResolveRequiresAGrantedLease) {
+  SharedRecordStore store;
+  const Bytes payload = big_payload('g');
+  const std::uint64_t h = record_hash(payload);
+  const auto writer = store.open_lease();
+  EXPECT_TRUE(store.publish(writer, h, payload));
+
+  // A lease that never saw this entry via manifest() or publish() must not
+  // resolve it — a client referencing records it was not granted is
+  // malformed, not lucky.
+  const auto stranger = store.open_lease();
+  EXPECT_EQ(store.resolve(stranger, h, payload.size()), nullptr);
+  store.close_lease(writer);
+  store.close_lease(stranger);
+}
+
+TEST(SharedStore, ZeroRefEntriesEvictOldestFirstUnderPressure) {
+  SharedRecordStore store(/*capacity_bytes=*/1024);
+  const auto session = store.open_lease();
+  std::vector<std::uint64_t> hashes;
+  for (int i = 0; i < 8; ++i) {
+    const Bytes payload = big_payload(static_cast<char>('a' + i), 256);
+    hashes.push_back(record_hash(payload));
+    EXPECT_TRUE(store.publish(session, hashes.back(), payload));
+  }
+  // Everything is leased: over budget but nothing evictable.
+  EXPECT_EQ(store.entry_count(), 8u);
+  EXPECT_GT(store.resident_bytes(), 1024u);
+
+  store.close_lease(session);
+  // Lease gone -> evict oldest-first back under budget.
+  EXPECT_LE(store.resident_bytes(), 1024u);
+  EXPECT_GT(store.stats().evictions, 0u);
+
+  // The survivors are the newest payloads.
+  const auto reader = store.open_lease();
+  const auto manifest = store.manifest(reader);
+  EXPECT_EQ(manifest.size(), 4u);
+  store.close_lease(reader);
+}
+
+TEST(SharedStoreRegistry, AppsAreIsolated) {
+  SharedStoreRegistry registry;
+  SharedRecordStore& g1 = registry.store_for(1);
+  SharedRecordStore& g2 = registry.store_for(2);
+  EXPECT_NE(&g1, &g2);
+  EXPECT_EQ(&g1, &registry.store_for(1));
+  EXPECT_EQ(registry.app_count(), 2u);
+
+  const Bytes payload = big_payload('x');
+  const auto lease = g1.open_lease();
+  EXPECT_TRUE(g1.publish(lease, record_hash(payload), payload));
+  EXPECT_EQ(g2.entry_count(), 0u);
+  g1.close_lease(lease);
+}
+
+TEST(SharedStore, ConcurrentSessionsStayConsistent) {
+  // ASan/TSan workout: four sessions hammer one store with the real access
+  // pattern (open, manifest, publish, resolve, close).
+  SharedRecordStore store(/*capacity_bytes=*/1 << 20);
+  std::atomic<int> failures{0};
+  auto session = [&store, &failures](int id) {
+    for (int round = 0; round < 50; ++round) {
+      const auto lease = store.open_lease();
+      const auto manifest = store.manifest(lease);
+      for (const ManifestEntry& entry : manifest) {
+        if (store.resolve(lease, entry.hash, entry.length) == nullptr) {
+          failures.fetch_add(1);
+        }
+      }
+      for (int r = 0; r < 4; ++r) {
+        const Bytes payload =
+            big_payload(static_cast<char>('a' + (id + r + round) % 16), 128);
+        store.publish(lease, record_hash(payload), payload);
+      }
+      store.close_lease(lease);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(session, t);
+  for (auto& thread : threads) thread.join();
+  // Leased entries are pinned: a manifest grant must never fail to resolve.
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.open_leases(), 0u);
+}
+
+TEST(SharedManifest, ProvesOnlyExactTriples) {
+  SharedManifest manifest;
+  const Bytes payload = big_payload('m');
+  const std::uint64_t h = record_hash(payload);
+  ManifestEntry entry{h, record_verify_hash(payload), payload.size()};
+  manifest.add(entry);
+
+  EXPECT_TRUE(manifest.proves(h, payload));
+  // Same primary hash, different bytes (simulated collision): the verify
+  // hash disagrees, so the proof fails and the record goes inline.
+  const Bytes collider = big_payload('c');
+  EXPECT_FALSE(manifest.proves(h, collider));
+  EXPECT_FALSE(manifest.proves(record_hash(collider), collider));
+}
+
+TEST(SharedManifest, IntersectionKeepsOnlyCommonEntries) {
+  const Bytes a = big_payload('a');
+  const Bytes b = big_payload('b');
+  const Bytes c = big_payload('c');
+  auto entry = [](const Bytes& p) {
+    return ManifestEntry{record_hash(p), record_verify_hash(p), p.size()};
+  };
+  SharedManifest left;
+  left.add(entry(a));
+  left.add(entry(b));
+  SharedManifest right;
+  right.add(entry(b));
+  right.add(entry(c));
+  left.intersect_with(right);
+  EXPECT_EQ(left.size(), 1u);
+  EXPECT_TRUE(left.proves(record_hash(b), b));
+  EXPECT_FALSE(left.proves(record_hash(a), a));
+}
+
+// --- two-tier encode/decode properties -------------------------------------
+
+TEST(TwoTierCodec, NullManifestIsByteIdenticalToLegacy) {
+  // The feature-off pin: with no manifest and no store, the encoder and
+  // decoder must produce exactly the single-tier stream of PR 3.
+  CommandCache legacy_sender;
+  CommandCache tiered_sender;
+  CacheStats legacy_stats;
+  CacheStats tiered_stats;
+  SharedManifest empty_manifest;  // granted nothing: proves() always false
+  for (int i = 0; i < 10; ++i) {
+    const auto frame =
+        frame_of({big_payload('t'), payload_of("seq " + std::to_string(i))},
+                 static_cast<std::uint64_t>(i));
+    const Bytes legacy =
+        encode_frame_with_cache(frame, legacy_sender, legacy_stats, nullptr);
+    const Bytes tiered = encode_frame_with_cache(frame, tiered_sender,
+                                                 tiered_stats, &empty_manifest);
+    EXPECT_EQ(legacy, tiered) << "frame " << i;
+  }
+  EXPECT_EQ(legacy_stats.bytes_out, tiered_stats.bytes_out);
+  EXPECT_EQ(tiered_stats.shared_hits, 0u);
+  // Private mirrors evolved identically.
+  EXPECT_EQ(legacy_sender.serialize(), tiered_sender.serialize());
+}
+
+TEST(TwoTierCodec, DecodedFramesIdenticalWithSharedTierOnAndOff) {
+  // Same logical stream, sent twice: once single-tier, once with the second
+  // session's records granted by a warm store. Decoded FrameCommands must be
+  // byte-identical, and the private mirrors must not see shared refs.
+  SharedRecordStore store;
+  const Bytes texture = big_payload('T', 4096);
+  const Bytes shader = big_payload('S', 512);
+
+  // Session 1 uploads inline; its decode side publishes into the store.
+  CommandCache s1_sender;
+  CommandCache s1_receiver;
+  CacheStats s1_stats;
+  const auto s1_lease = store.open_lease();
+  const auto upload = frame_of({texture, shader, payload_of("tiny")}, 1);
+  decode_frame_with_cache(
+      encode_frame_with_cache(upload, s1_sender, s1_stats), s1_receiver,
+      {&store, s1_lease});
+  EXPECT_EQ(store.entry_count(), 2u);  // "tiny" is below the share floor
+
+  // Session 2, variant A: shared tier on.
+  const auto s2_lease = store.open_lease();
+  SharedManifest manifest;
+  for (const ManifestEntry& entry : store.manifest(s2_lease)) {
+    manifest.add(entry);
+  }
+  CommandCache on_sender;
+  CommandCache on_receiver;
+  CacheStats on_stats;
+  // Session 2, variant B: shared tier off.
+  CommandCache off_sender;
+  CommandCache off_receiver;
+  CacheStats off_stats;
+
+  for (int i = 0; i < 5; ++i) {
+    const auto frame = frame_of(
+        {texture, shader, payload_of("frame " + std::to_string(i))},
+        static_cast<std::uint64_t>(i));
+    const auto decoded_on = decode_frame_with_cache(
+        encode_frame_with_cache(frame, on_sender, on_stats, &manifest),
+        on_receiver, {&store, s2_lease});
+    const auto decoded_off = decode_frame_with_cache(
+        encode_frame_with_cache(frame, off_sender, off_stats), off_receiver);
+    ASSERT_EQ(decoded_on.records.size(), decoded_off.records.size());
+    for (std::size_t r = 0; r < decoded_on.records.size(); ++r) {
+      EXPECT_EQ(decoded_on.records[r].bytes, decoded_off.records[r].bytes)
+          << "frame " << i << " record " << r;
+    }
+  }
+  // The cold-start assets shipped as references, not uploads — on every
+  // frame: a shared ref never enters the private mirror, so a proven record
+  // stays on the shared tier for the whole session.
+  EXPECT_EQ(on_stats.shared_hits, 10u);
+  EXPECT_LT(on_stats.bytes_out, off_stats.bytes_out);
+  // Shared refs are invisible to the private tier on BOTH sides: the "on"
+  // mirrors must equal the "off" mirrors minus the records that went shared —
+  // i.e. they simply never saw them inline.
+  EXPECT_EQ(on_receiver.serialize(), on_sender.serialize());
+  store.close_lease(s1_lease);
+  store.close_lease(s2_lease);
+}
+
+TEST(TwoTierCodec, CollisionFallsBackInlineAcrossBothTiers) {
+  // A manifest entry squats on this record's primary hash (store-side
+  // collision); the private mirror also has a squatter. Both tiers must
+  // refuse the reference and the record must go inline — and still decode.
+  SharedRecordStore store;
+  const Bytes real = big_payload('r');
+  const std::uint64_t h = record_hash(real);
+
+  SharedManifest manifest;
+  // Granted entry with the same primary hash but a different verify/length —
+  // what the client sees after a store-side collision kept the first writer.
+  manifest.add(ManifestEntry{h, record_verify_hash(real) ^ 0xdead, 64});
+
+  CommandCache sender;
+  CommandCache receiver;
+  CacheStats stats;
+  const Bytes squatter = big_payload('q');
+  sender.insert(h, squatter);
+  receiver.insert(h, squatter);
+
+  const auto lease = store.open_lease();
+  const auto frame = frame_of({real}, 9);
+  const auto decoded = decode_frame_with_cache(
+      encode_frame_with_cache(frame, sender, stats, &manifest), receiver,
+      {&store, lease});
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.shared_hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(decoded.records[0].bytes, real);
+  store.close_lease(lease);
+}
+
+TEST(TwoTierCodec, RecordsBelowShareFloorNeverGoShared) {
+  const Bytes tiny = payload_of(std::string(kShareMinRecordBytes - 1, 'u'));
+  SharedManifest manifest;
+  manifest.add(
+      ManifestEntry{record_hash(tiny), record_verify_hash(tiny), tiny.size()});
+  CommandCache sender;
+  CacheStats stats;
+  encode_frame_with_cache(frame_of({tiny}), sender, stats, &manifest);
+  EXPECT_EQ(stats.shared_hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(TwoTierCodec, SharedRefWithoutStoreIsMalformed) {
+  SharedRecordStore store;
+  const Bytes payload = big_payload('w');
+  const std::uint64_t h = record_hash(payload);
+  SharedManifest manifest;
+  manifest.add(ManifestEntry{h, record_verify_hash(payload), payload.size()});
+  CommandCache sender;
+  CacheStats stats;
+  const Bytes wire =
+      encode_frame_with_cache(frame_of({payload}), sender, stats, &manifest);
+  ASSERT_EQ(stats.shared_hits, 1u);
+
+  CommandCache receiver;
+  EXPECT_THROW(decode_frame_with_cache(wire, receiver), Error);
+  // And a store whose lease was never granted the entry also refuses.
+  CommandCache receiver2;
+  const auto stranger = store.open_lease();
+  EXPECT_THROW(
+      decode_frame_with_cache(wire, receiver2, {&store, stranger}), Error);
+  store.close_lease(stranger);
+}
+
+TEST(TwoTierCodec, FreshPrivateMirrorStillResolvesSharedRefs) {
+  // Snapshot-install interaction: installing a snapshot replaces the private
+  // mirror wholesale, but shared refs resolve from the store, so a stream of
+  // them decodes against a brand-new mirror.
+  SharedRecordStore store;
+  const Bytes asset = big_payload('A', 1024);
+  const std::uint64_t h = record_hash(asset);
+  const auto lease = store.open_lease();
+  ASSERT_TRUE(store.publish(lease, h, asset));
+  SharedManifest manifest;
+  manifest.add(ManifestEntry{h, record_verify_hash(asset), asset.size()});
+
+  CommandCache sender;
+  CacheStats stats;
+  const Bytes wire =
+      encode_frame_with_cache(frame_of({asset}, 5), sender, stats, &manifest);
+  ASSERT_EQ(stats.shared_hits, 1u);
+
+  // "After install_snapshot": a mirror with unrelated resident state.
+  CommandCache fresh = CommandCache::deserialize(
+      CommandCache(/*capacity_bytes=*/4 << 20).serialize());
+  const auto decoded = decode_frame_with_cache(wire, fresh, {&store, lease});
+  EXPECT_EQ(decoded.records[0].bytes, asset);
+  store.close_lease(lease);
+}
+
+// --- join/manifest protocol -------------------------------------------------
+
+TEST(JoinProtocol, JoinAndManifestRoundTrip) {
+  const Bytes join = core::make_join_message(0xfeedbeef);
+  EXPECT_EQ(core::peek_kind(join), core::MsgKind::kJoin);
+  const auto app_id = core::parse_join_message(join);
+  ASSERT_TRUE(app_id.has_value());
+  EXPECT_EQ(*app_id, 0xfeedbeefu);
+
+  std::vector<ManifestEntry> entries;
+  for (int i = 0; i < 3; ++i) {
+    const Bytes payload = big_payload(static_cast<char>('a' + i));
+    entries.push_back(ManifestEntry{record_hash(payload),
+                                    record_verify_hash(payload),
+                                    payload.size()});
+  }
+  const Bytes msg = core::make_manifest_message(entries);
+  EXPECT_EQ(core::peek_kind(msg), core::MsgKind::kManifest);
+  const auto parsed = core::parse_manifest_message(msg);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*parsed)[i].hash, entries[i].hash);
+    EXPECT_EQ((*parsed)[i].verify, entries[i].verify);
+    EXPECT_EQ((*parsed)[i].length, entries[i].length);
+  }
+}
+
+TEST(JoinProtocol, ManifestCountBeyondPayloadRejected) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(core::MsgKind::kManifest));
+  w.varint(1000);       // claims 1000 entries...
+  w.raw(Bytes(40, 0));  // ...in 40 bytes (minimum cost is 17 each)
+  EXPECT_FALSE(core::parse_manifest_message(w.take()).has_value());
+}
+
+TEST(JoinProtocol, TruncationAndGarbageSweepNeverCrashes) {
+  std::vector<ManifestEntry> entries{
+      ManifestEntry{1, 2, 3}, ManifestEntry{4, 5, 600},
+      ManifestEntry{7, 8, 90000}};
+  const Bytes msg = core::make_manifest_message(entries);
+  for (std::size_t len = 0; len < msg.size(); ++len) {
+    (void)core::parse_manifest_message(std::span(msg.data(), len));
+  }
+  const Bytes join = core::make_join_message(1234567);
+  for (std::size_t len = 0; len < join.size(); ++len) {
+    (void)core::parse_join_message(std::span(join.data(), len));
+  }
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes garbage(1 + trial % 61);
+    for (auto& byte : garbage) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      byte = static_cast<std::uint8_t>(state);
+    }
+    garbage[0] = static_cast<std::uint8_t>(
+        trial % 2 == 0 ? core::MsgKind::kManifest : core::MsgKind::kJoin);
+    (void)core::parse_manifest_message(garbage);
+    (void)core::parse_join_message(garbage);
+  }
+}
+
+}  // namespace
+}  // namespace gb::compress
+
+// --- end-to-end sessions ----------------------------------------------------
+
+namespace gb::sim {
+namespace {
+
+SessionConfig dedup_config(double duration_s) {
+  SessionConfig config;
+  config.workload = apps::g2_modern_combat();
+  config.user_device = device::nexus5();
+  config.service_devices = {device::nvidia_shield()};
+  config.duration_s = duration_s;
+  config.seed = 11;
+  config.service.render_width = 96;
+  config.service.render_height = 72;
+  config.service.content_sample_every = 6;
+  return config;
+}
+
+TEST(DedupSession, FeatureOffIsByteIdenticalWithAndWithoutRegistry) {
+  // With shared_dedup off, a configured registry must change nothing: no
+  // join, no leases, identical traffic. Pinned via the deterministic sim.
+  auto baseline = dedup_config(8.0);
+  const SessionResult without = run_session(baseline);
+
+  auto with_registry = dedup_config(8.0);
+  with_registry.service.shared_store =
+      std::make_shared<compress::SharedStoreRegistry>();
+  const SessionResult with = run_session(with_registry);
+
+  EXPECT_EQ(without.gbooster.bytes_sent, with.gbooster.bytes_sent);
+  EXPECT_EQ(without.gbooster.bytes_received, with.gbooster.bytes_received);
+  EXPECT_EQ(without.metrics.frames_displayed, with.metrics.frames_displayed);
+  EXPECT_EQ(with.gbooster.render_cache.shared_hits, 0u);
+  EXPECT_EQ(with.gbooster.manifest_entries, 0u);
+  // Nothing joined, so nothing was published.
+  EXPECT_EQ(with_registry.service.shared_store->app_count(), 0u);
+}
+
+TEST(DedupSession, SecondSessionColdStartRidesTheSharedStore) {
+  auto registry = std::make_shared<compress::SharedStoreRegistry>();
+
+  auto config = dedup_config(8.0);
+  config.gbooster.shared_dedup = true;
+  config.gbooster.app_id = 42;
+  config.service.shared_store = registry;
+
+  const SessionResult first = run_session(config);
+  // Session 1 joined against an empty store: no grants, frames held briefly.
+  EXPECT_EQ(first.gbooster.manifest_entries, 0u);
+  EXPECT_EQ(first.gbooster.render_cache.shared_hits +
+                first.gbooster.state_cache.shared_hits,
+            0u);
+  // Its uploads persisted past the session's leases.
+  EXPECT_EQ(registry->app_count(), 1u);
+  const std::size_t resident = registry->store_for(42).resident_bytes();
+  EXPECT_GT(resident, 100u * 1024);  // G2's texture set is ~900 KB
+  EXPECT_EQ(registry->store_for(42).open_leases(), 0u);
+
+  const SessionResult second = run_session(config);
+  // Session 2's manifest covered the cold-start assets...
+  EXPECT_GT(second.gbooster.manifest_entries, 0u);
+  EXPECT_GE(second.gbooster.manifest_bytes, resident / 2);
+  // ...so its uploads shrank and shared refs flowed.
+  EXPECT_GT(second.gbooster.render_cache.shared_hits +
+                second.gbooster.state_cache.shared_hits,
+            0u);
+  EXPECT_LT(second.gbooster.bytes_sent, first.gbooster.bytes_sent);
+  // Offload quality did not regress.
+  EXPECT_GE(second.metrics.frames_displayed,
+            first.metrics.frames_displayed * 9 / 10);
+}
+
+TEST(DedupSession, MultiUserSameAppUplinkScalesSubLinearly) {
+  MultiUserConfig config;
+  config.service_device = device::nvidia_shield();
+  config.duration_s = 8.0;
+  config.seed = 3;
+  config.shared_dedup = true;
+  for (int u = 0; u < 2; ++u) {
+    MultiUserParticipant participant;
+    participant.workload = apps::g2_modern_combat();
+    participant.phone = device::nexus5();
+    participant.app_id = 42;
+    // Stagger so user 1 joins against the store user 0 populated.
+    participant.join_delay_s = u * 2.0;
+    config.users.push_back(participant);
+  }
+  const MultiUserResult result = run_multiuser_session(config);
+  ASSERT_EQ(result.bytes_sent_per_user.size(), 2u);
+  ASSERT_EQ(result.shared_hits_per_user.size(), 2u);
+  // The late joiner deduped its cold-start against the early one's uploads.
+  EXPECT_EQ(result.shared_hits_per_user[0], 0u);
+  EXPECT_GT(result.shared_hits_per_user[1], 0u);
+  EXPECT_LT(result.bytes_sent_per_user[1], result.bytes_sent_per_user[0]);
+  EXPECT_GT(result.shared_store_resident_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace gb::sim
