@@ -1,0 +1,140 @@
+// Fleet scale-out and live-migration benchmark (DESIGN.md §15).
+//
+// BM_FleetMigration is the A/B the migration subsystem exists for: one G1
+// session, one scripted device hand-off at t=4 s. `cold=0` is snapshot-driven
+// live migration (drain + GL-state snapshot + cache-mirror transfer, no
+// state-epoch reset); `cold=1` is the disconnect/reconnect-from-scratch
+// baseline. Headline counters:
+//
+//   blackout_ms   longest issue-to-display gap a viewer would see around
+//                 the hand-off (straddling gap included)
+//   frames_lost   frames lost for good from the event to run end
+//                 (presenter reclaims + governor void sheds)
+//
+// BM_FleetChurn scales same-app sessions across a two-device fleet with
+// staggered arrivals/departures and reports placement quality: how evenly
+// Eq. 4 + queue-depth + tenancy spreads sessions, and the latency tail the
+// tenants see.
+//
+//   ./bench_fleet                      # console table
+//   ./bench_fleet --benchmark_format=json
+//
+// Environment knobs: GB_QUICK=1 / GB_DURATION=<sec> (see bench_util.h).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "bench_util.h"
+#include "sim/fleet.h"
+
+using namespace gb;
+
+namespace {
+
+sim::FleetScenarioConfig fleet_config(double duration_s, int devices) {
+  sim::FleetScenarioConfig config;
+  for (int d = 0; d < devices; ++d) {
+    config.devices.push_back(device::nvidia_shield());
+  }
+  config.duration_s = duration_s;
+  config.seed = 20170605;
+  return config;
+}
+
+sim::FleetUserSpec fleet_user(const apps::WorkloadSpec& workload,
+                              double arrive_s = 0.0, double depart_s = 0.0) {
+  sim::FleetUserSpec spec;
+  spec.workload = workload;
+  spec.phone = device::lg_g5();
+  spec.arrive_s = arrive_s;
+  spec.depart_s = depart_s;
+  return spec;
+}
+
+void BM_FleetMigration(benchmark::State& state) {
+  const bool cold = state.range(0) != 0;
+  const double duration_s = bench::default_duration(12.0);
+  sim::FleetScenarioResult result;
+  for (auto _ : state) {
+    sim::FleetScenarioConfig config = fleet_config(duration_s, 2);
+    config.users.push_back(fleet_user(apps::g1_gta_san_andreas()));
+    // Cold leaves the slot dark with no healthy device; the governor sheds
+    // those frames void instead of crashing the legacy pick (and gives both
+    // arms the identical pipeline).
+    config.qos.enabled = true;
+    sim::FleetMigrationSpec migration;
+    migration.user_index = 0;
+    migration.at_s = std::min(4.0, duration_s / 3.0);
+    migration.cold = cold;
+    config.migrations.push_back(migration);
+    result = sim::run_fleet_scenario(config);
+  }
+  const sim::FleetMigrationOutcome& outcome = result.migrations.at(0);
+  state.counters["blackout_ms"] = outcome.blackout_ms;
+  state.counters["frames_lost"] = static_cast<double>(outcome.frames_lost);
+  state.counters["frames_displayed"] =
+      static_cast<double>(result.frames_displayed_per_user.at(0));
+  state.counters["mean_latency_ms"] = result.mean_latency_ms.at(0);
+  state.counters["p95_ms"] = result.p95_latency_ms.at(0);
+  state.counters["p99_ms"] = result.p99_latency_ms.at(0);
+}
+
+void BM_FleetChurn(benchmark::State& state) {
+  const int user_count = static_cast<int>(state.range(0));
+  const double duration_s = bench::default_duration(15.0);
+  sim::FleetScenarioResult result;
+  for (auto _ : state) {
+    sim::FleetScenarioConfig config = fleet_config(duration_s, 2);
+    for (int u = 0; u < user_count; ++u) {
+      // Staggered arrivals; every other session departs mid-run, so the
+      // placement registry sees both growth and release.
+      const double arrive_s = u * 0.8;
+      const double depart_s =
+          (u % 2 == 1) ? duration_s * 0.6 + u * 0.3 : 0.0;
+      config.users.push_back(
+          fleet_user(apps::g5_candy_crush(), arrive_s, depart_s));
+    }
+    result = sim::run_fleet_scenario(config);
+  }
+  std::uint64_t displayed = 0;
+  for (const std::uint64_t f : result.frames_displayed_per_user) {
+    displayed += f;
+  }
+  double worst_p95 = 0.0;
+  for (const double p : result.p95_latency_ms) {
+    worst_p95 = std::max(worst_p95, p);
+  }
+  // Tenancy skew: max sessions any device ever carried minus the even
+  // share — 0 means the tenancy term spread placements perfectly.
+  const double even_share =
+      static_cast<double>(result.fleet.sessions_placed) /
+      static_cast<double>(result.final_sessions_per_device.size());
+  state.counters["frames_displayed"] = static_cast<double>(displayed);
+  state.counters["worst_p95_ms"] = worst_p95;
+  state.counters["placements"] =
+      static_cast<double>(result.fleet.sessions_placed);
+  state.counters["rejected"] =
+      static_cast<double>(result.fleet.placements_rejected);
+  state.counters["released"] =
+      static_cast<double>(result.fleet.sessions_released);
+  state.counters["even_share"] = even_share;
+  state.counters["busy0"] = result.device_busy_fraction.at(0);
+  state.counters["busy1"] = result.device_busy_fraction.at(1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FleetMigration)
+    ->ArgNames({"cold"})
+    ->ArgsProduct({{0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_FleetChurn)
+    ->ArgNames({"users"})
+    ->ArgsProduct({{2, 4, 6}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -28,7 +28,10 @@
 # `path_reroutes`, `path_wifi_chunks`/`path_bt_chunks`, `retransmits`);
 # bench_fault_recovery's BM_TransportComparison rows are the pure-ARQ vs
 # FEC+multipath A/B quoted in EXPERIMENTS.md. bench_dedup's shared=0/1 rows
-# are the DESIGN.md §14 second-session cold-start A/B.
+# are the DESIGN.md §14 second-session cold-start A/B. bench_fleet's
+# cold=0/1 rows are the DESIGN.md §15 live-migration vs cold-restart A/B
+# (`blackout_ms` / `frames_lost`), and its BM_FleetChurn rows report fleet
+# placement quality under session churn.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -58,7 +61,7 @@ cmake --build "${build_dir}" -j "${JOBS}" >/dev/null
 mkdir -p "${out_dir}"
 
 benches=(bench_codec_speed bench_parallel_pipeline bench_fault_recovery
-         bench_overload bench_dedup)
+         bench_overload bench_dedup bench_fleet)
 
 for bench in "${benches[@]}"; do
   bin="${build_dir}/bench/${bench}"

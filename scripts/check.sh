@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Repo check driver: the tier-1 build + full test suite, then the failure-
 # handling test labels (faults, observability, snapshot, overload, raster,
-# transport, dedup) rebuilt and rerun under AddressSanitizer and ThreadSanitizer
+# transport, dedup, fleet) rebuilt and rerun under AddressSanitizer and ThreadSanitizer
 # (CMakeLists.txt GB_SANITIZE), and the rasterizer/codec identity suites
 # rerun with GB_SIMD=OFF to prove the vectorized hot paths are bit-exact
 # against the scalar build.
@@ -23,10 +23,11 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 # bugs in the failure and shedding paths), the tile-binned raster
 # scheduler (concurrent tile rasterization + fused tile encode), the
 # FEC/multipath transport (adversarial parity parsing, crafted-datagram
-# reassembly), and the shared record store (one mutex-guarded store touched
-# by concurrent sessions, lease-pinned pointer stability). -L takes a
-# regex; one call covers all seven labels.
-SAN_LABELS='faults|observability|snapshot|overload|raster|transport|dedup'
+# reassembly), the shared record store (one mutex-guarded store touched
+# by concurrent sessions, lease-pinned pointer stability), and the fleet
+# migration machinery (snapshot transfer + slot swap with frames still in
+# flight). -L takes a regex; one call covers all eight labels.
+SAN_LABELS='faults|observability|snapshot|overload|raster|transport|dedup|fleet'
 # Suites whose outputs must not change when GB_SIMD is toggled: the
 # rasterizer identity tests and the codec/LZ4 bitstream tests.
 NOSIMD_LABELS='raster|codec'

@@ -92,6 +92,19 @@ std::size_t Dispatcher::add_device(ServiceDeviceInfo info) {
   return devices_.size() - 1;
 }
 
+void Dispatcher::replace_device(std::size_t index, ServiceDeviceInfo info) {
+  check(index < devices_.size(), "replace_device: index out of range");
+  check(info.capability_pps > 0.0, "device capability must be positive");
+  Entry& d = devices_[index];
+  d.info = std::move(info);
+  // Same clean slate as record_success: workload, delay estimate, and
+  // breaker counters all described the departed device.
+  d.queued_workload = 0.0;
+  d.delay_estimate = kInitialDelayEstimate;
+  d.dead = false;
+  d.consecutive_failures = 0;
+}
+
 void Dispatcher::on_assigned(std::size_t index, double workload_pixels) {
   devices_[index].queued_workload += workload_pixels;
 }

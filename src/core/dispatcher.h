@@ -56,6 +56,12 @@ class Dispatcher {
   // for every policy's pick. Returns its index.
   std::size_t add_device(ServiceDeviceInfo info);
 
+  // Live migration (DESIGN.md §15): a new physical device takes over the
+  // slot. Queued workload, the delay EWMA, and breaker state all described
+  // the old device and reset — Eq. 4 re-ranks the newcomer on fresh
+  // evidence, exactly like a revived device.
+  void replace_device(std::size_t index, ServiceDeviceInfo info);
+
   // Bookkeeping: a request was sent to / completed by device `index`.
   void on_assigned(std::size_t index, double workload_pixels);
   void on_completed(std::size_t index, double workload_pixels,

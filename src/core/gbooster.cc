@@ -44,6 +44,7 @@ GBoosterRuntime::GBoosterRuntime(EventLoop& loop, GBoosterConfig config,
       tracer_(config.tracer) {
   for (const ServiceDeviceInfo& d : devices) {
     device_nodes_.push_back(d.node);
+    migration_dark_.push_back(0);
     render_caches_.push_back(std::make_unique<compress::CommandCache>());
     cache_epochs_.push_back(0);
     mirror_revs_.push_back(0);
@@ -732,6 +733,7 @@ void GBoosterRuntime::heartbeat_tick() {
   // binding); probe once transmissions can actually flow.
   if (endpoint_.route() != nullptr) {
     for (std::size_t j = 0; j < device_nodes_.size(); ++j) {
+      if (migration_dark_[j]) continue;  // disconnected mid cold-restart
       const std::uint64_t nonce = next_ping_nonce_++;
       pending_pings_[nonce] = PendingPing{j, loop_.now()};
       endpoint_.send_unreliable(device_nodes_[j], make_ping_message(nonce));
@@ -1140,6 +1142,7 @@ std::size_t GBoosterRuntime::add_service_device(const ServiceDeviceInfo& info) {
   needs_snapshot_.push_back(false);
   snapshot_covers_ids_.push_back(0);
   manifests_.push_back(nullptr);
+  migration_dark_.push_back(0);
   stats_.devices_hot_joined++;
   if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
     tracer_->instant("device_hot_joined", info.node, loop_.now());
@@ -1163,6 +1166,149 @@ std::size_t GBoosterRuntime::add_service_device(const ServiceDeviceInfo& info) {
   // be re-based onto that timeline too.
   if (was_single) send_snapshot(0);
   return index;
+}
+
+void GBoosterRuntime::migrate_service_device(std::size_t index,
+                                             const ServiceDeviceInfo& target,
+                                             const MigrationOptions& options) {
+  check(index < device_nodes_.size(), "migrate: device index out of range");
+  check(!index_of(target.node).has_value(),
+        "migrate: target node already present");
+  const net::NodeId old_node = device_nodes_[index];
+  stats_.migrations++;
+  if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+    tracer_->instant("migration_begin", old_node, loop_.now(),
+                     {{"to", static_cast<double>(target.node)},
+                      {"cold", options.cold_restart ? 1.0 : 0.0}});
+  }
+  // Outstanding heartbeat probes raced the redirect; their timeouts must not
+  // charge the slot's new occupant failures it never earned.
+  std::erase_if(pending_pings_, [index](const auto& kv) {
+    return kv.second.device_index == index;
+  });
+  if (options.cold_restart) {
+    stats_.migration_cold_restarts++;
+    cold_restart_device(index, target, options.reconnect_delay);
+    return;
+  }
+
+  // --- drain: unhook in-flight render messages from the old stream --------
+  // The frames stay in flight and the old device keeps rendering them (the
+  // overlap that keeps the blackout near one frame interval); their results
+  // arrive from a node that no longer maps to a slot and are accepted via
+  // the stale-assignee path. The message mappings must go now, though: a
+  // late abandon on the old stream would otherwise reset the *new* device's
+  // mirror.
+  for (auto& [sequence, flight] : in_flight_) {
+    if (flight.local || flight.device_index != index || !flight.has_render_msg)
+      continue;
+    msg_to_seq_.erase({old_node, flight.render_msg_id});
+    flight.has_render_msg = false;
+  }
+
+  // Proof invalidation (the §14 eviction bugfix): the old device's manifest
+  // was granted under a lease the source runtime closes when it releases the
+  // session — after that, capacity pressure may evict records the proofs
+  // still cover, and a kSharedRef against one would dangle. No proof
+  // survives the redirect; the target's kJoin reply re-grants from live
+  // residency, and anything no longer resident ships inline (re-publishing
+  // it for the sessions that follow).
+  manifests_[index] = nullptr;
+  if (config_.shared_dedup && join_sent_) {
+    endpoint_.send(target.node, make_join_message(config_.app_id));
+  }
+
+  // --- re-base + redirect --------------------------------------------------
+  // Fresh render mirror under a new epoch (the target starts empty). The
+  // shared *state* cache and epoch are untouched — redirecting the endpoint
+  // without a state-epoch reset is the point of the mirror transfer; the
+  // other replicas never notice the migration.
+  reset_render_mirror(index);
+  device_nodes_[index] = target.node;
+  dispatcher_.replace_device(index, target);
+  if (config_.shared_dedup) recompute_state_manifest();
+  // Snapshot transfer: shadow GL state + the state-cache mirror, captured at
+  // the recorder's next sequence; install jumps the target's apply cursor
+  // there, and state multicasts (which include the target from the next
+  // frame) decode contiguously from that floor.
+  send_snapshot(index);
+  // Repairs toward the old device continue through the drain window so the
+  // in-flight work it holds actually completes, then stop: a departed node's
+  // pending acks would hold the state-group floor for everyone, and its RTO
+  // state must not leak to whoever recycles the id.
+  loop_.schedule_after(options.drain_timeout, [this, old_node] {
+    if (!index_of(old_node).has_value()) endpoint_.forget_receiver(old_node);
+  });
+}
+
+void GBoosterRuntime::cold_restart_device(std::size_t index,
+                                          ServiceDeviceInfo target,
+                                          SimTime reconnect_delay) {
+  const net::NodeId old_node = device_nodes_[index];
+  // From-scratch baseline: the old endpoint vanishes with everything it
+  // holds, and every repair toward it stops now.
+  migration_dark_[index] = 1;
+  stream_abandon_in_progress_ = true;
+  endpoint_.abandon_stream(old_node);
+  stream_abandon_in_progress_ = false;
+  endpoint_.forget_receiver(old_node);
+  // The frames already in flight toward the vanished endpoint die with it.
+  // The presenter's gap timeout cannot be trusted to reclaim them: it only
+  // notices a hole once some *later* frame completes, and when every pending
+  // frame sat on the dead slot (the common single-device case) none ever
+  // will — the issue window never frees and the session wedges. Count the
+  // losses and release the bookkeeping here instead.
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    InFlight& flight = it->second;
+    if (flight.local || flight.device_index != index) {
+      ++it;
+      continue;
+    }
+    erase_msg_entries(flight);
+    if (!flight.shed) {
+      dispatcher_.on_abandoned(flight.device_index, flight.workload);
+      stats_.frames_dropped++;
+      if (!flight.dispatched && governor_ != nullptr &&
+          device_nodes_.size() > 1) {
+        state_apply_floor_ = std::max(state_apply_floor_, it->first + 1);
+      }
+    }
+    // Marked shed so the presenter advances past the hole without waiting
+    // out the gap timeout (the loss was already counted above).
+    shed_sequences_.insert(it->first);
+    it = in_flight_.erase(it);
+  }
+  loop_.schedule_after(seconds(0.0), [this] { present_in_order(); });
+  // With no mirror transfer to lean on, the reconnecting device can only
+  // decode a state stream that starts over: fleet-wide epoch reset (this is
+  // exactly the disruption live migration avoids).
+  state_epoch_++;
+  state_cache_ = compress::CommandCache();
+  stats_.state_epoch_resets++;
+  manifests_[index] = nullptr;
+  reset_render_mirror(index);
+  if (config_.shared_dedup) recompute_state_manifest();
+  // The slot is dark until the reconnect completes.
+  (void)dispatcher_.record_failure(index, /*threshold=*/1);
+  loop_.schedule_after(reconnect_delay, [this, index,
+                                         target = std::move(target)] {
+    std::erase_if(pending_pings_, [index](const auto& kv) {
+      return kv.second.device_index == index;
+    });
+    migration_dark_[index] = 0;
+    device_nodes_[index] = target.node;
+    dispatcher_.replace_device(index, target);
+    if (config_.shared_dedup) {
+      if (join_sent_) {
+        endpoint_.send(target.node, make_join_message(config_.app_id));
+      }
+      recompute_state_manifest();
+    }
+    send_snapshot(index);
+    if (runtime::kTracingCompiledIn && tracer_ != nullptr) {
+      tracer_->instant("migration_reconnected", target.node, loop_.now());
+    }
+  });
 }
 
 void GBoosterRuntime::render_locally(std::uint64_t sequence) {
@@ -1216,6 +1362,13 @@ void GBoosterRuntime::render_locally(std::uint64_t sequence) {
 void GBoosterRuntime::on_message(net::NodeId src, net::NodeId stream,
                                  Bytes message) {
   (void)stream;
+  // A cold-restarting slot's old device is disconnected: late frame results
+  // and pongs from it must neither display nor revive the breaker (they
+  // would mask the very blackout the baseline measures).
+  if (const auto src_index = index_of(src);
+      src_index.has_value() && migration_dark_[*src_index]) {
+    return;
+  }
   const MsgKind kind = peek_kind(message);
   if (kind == MsgKind::kPong) {
     const auto nonce = parse_pong_message(message);

@@ -139,6 +139,25 @@ struct GBoosterConfig {
   SimTime join_delay = {};
 };
 
+// How migrate_service_device() moves the session's slot to a new physical
+// device (DESIGN.md §15).
+struct MigrationOptions {
+  // false (default): live snapshot migration — the old device drains its
+  // in-flight work while the target is brought current with a GL-state
+  // snapshot + state-cache mirror transfer; the shared state epoch is NOT
+  // reset, so the other replicas never notice. true: the disconnect/
+  // reconnect-from-scratch baseline the A/B benches against — the old
+  // stream is abandoned outright (its in-flight frames are lost to the gap
+  // timeout), the state epoch resets fleet-wide, and the slot stays dark
+  // for reconnect_delay before the target comes up cold.
+  bool cold_restart = false;
+  SimTime reconnect_delay = ms(250);
+  // Live mode: how long the old device keeps being repaired toward after
+  // the redirect (it is still finishing the drained in-flight work). After
+  // this, forget_receiver() drops its pending acks and RTO state.
+  SimTime drain_timeout = ms(500);
+};
+
 struct GBoosterStats {
   std::uint64_t frames_offloaded = 0;
   std::uint64_t frames_displayed = 0;
@@ -188,6 +207,9 @@ struct GBoosterStats {
   // with a snapshot instead of a fleet-wide epoch reset.
   std::uint64_t scoped_state_recoveries = 0;
   std::uint64_t devices_hot_joined = 0;  // devices added mid-session
+  // --- fleet migration (DESIGN.md §15) -------------------------------------
+  std::uint64_t migrations = 0;               // migrate_service_device calls
+  std::uint64_t migration_cold_restarts = 0;  // reconnect-from-scratch mode
   // --- shared-store dedup (DESIGN.md §14) ----------------------------------
   // Largest manifest granted by any device, and the record payload bytes it
   // covers (bytes this session never has to upload). Shared-reference hit
@@ -277,6 +299,21 @@ class GBoosterRuntime {
   // to the state multicast group first. Returns the device's index.
   std::size_t add_service_device(const ServiceDeviceInfo& info);
 
+  // Live session migration (DESIGN.md §15): the service device at `index`
+  // is replaced by `target` — drain (in-flight work finishes on the old
+  // device and its results still display), GL-state snapshot + state-cache
+  // mirror transfer to the target, transport redirect without a state-epoch
+  // reset. Any manifest proofs granted by the old device are invalidated
+  // (its lease closes when the source runtime releases the session, after
+  // which eviction may drop records the proofs cover); the target's kJoin
+  // reply re-grants from live residency. The caller must have joined the
+  // target's radio to the state multicast group (multi-device sessions) and
+  // owns releasing the session on the source runtime. With
+  // options.cold_restart, runs the disconnect/reconnect baseline instead.
+  void migrate_service_device(std::size_t index,
+                              const ServiceDeviceInfo& target,
+                              const MigrationOptions& options = {});
+
  private:
   struct InFlight {
     SimTime issued;
@@ -344,6 +381,10 @@ class GBoosterRuntime {
   // to one device, re-basing its replica at the recorder's next sequence.
   void send_snapshot(std::size_t index);
   [[nodiscard]] bool snapshot_pending(std::size_t index) const;
+  // Cold half of migrate_service_device: tear the old stream down, go dark
+  // for reconnect_delay, then bring `target` up from scratch.
+  void cold_restart_device(std::size_t index, ServiceDeviceInfo target,
+                           SimTime reconnect_delay);
   // Re-encodes the retained frame against `device_index`'s cache and sends.
   void send_render(std::uint64_t sequence, std::size_t device_index);
   void erase_msg_entries(const InFlight& flight);
@@ -370,6 +411,12 @@ class GBoosterRuntime {
   net::ReliableEndpoint& endpoint_;
   Dispatcher dispatcher_;
   std::vector<net::NodeId> device_nodes_;
+  // Slots mid cold-restart migration (DESIGN.md §15): the departed device is
+  // modeled as disconnected — everything it sends (late frame results,
+  // pongs) is dropped and it is not probed — until the reconnect completes
+  // and the slot points at the target. Live migration never sets this: the
+  // old device's drain-window results are the point.
+  std::vector<char> migration_dark_;
   std::unique_ptr<wire::CommandRecorder> recorder_;
 
   compress::CommandCache state_cache_;

@@ -48,6 +48,19 @@ void QosGovernor::on_capacity_forecast(double bytes_per_sec) {
     level++;
   }
   proactive_level_ = level;
+  // Forecast recovery: capacity-attributed AIMD raises unwind here, on the
+  // forecast's clock, not the AIMD dwell clock. Without this the effective
+  // level stays pinned at max(AIMD, proactive) long after the capacity dip
+  // that caused it cleared, because the reactive side still owes
+  // recover_windows calm windows plus min_dwell before its first drop.
+  if (capacity_raised_ > 0 && proactive_level_ < level_) {
+    const int unwind = std::min(capacity_raised_, level_ - proactive_level_);
+    level_ -= unwind;
+    capacity_raised_ -= unwind;
+    calm_windows_ = 0;
+    stats_.level_drops++;
+    stats_.proactive_recoveries++;
+  }
 }
 
 bool QosGovernor::evaluate(SimTime now, double backlog_ms,
@@ -78,7 +91,13 @@ bool QosGovernor::evaluate(SimTime now, double backlog_ms,
     stats_.windows_overloaded++;
     calm_windows_ = 0;
     if (level_ < config_.max_level && now - last_change_ >= config_.min_dwell) {
+      // Attribute the raise: if the proactive ladder was strictly above the
+      // reactive level going in, the forecast already predicted (at least)
+      // this much degradation — the raise is capacity-led and may unwind
+      // straight from on_capacity_forecast when the forecast recovers.
+      const bool capacity_led = proactive_level_ > level_;
       level_ = std::min(config_.max_level, level_ + config_.degrade_step);
+      if (capacity_led) capacity_raised_ += level_ - before;
     }
   } else if (calm) {
     calm_windows_++;
@@ -86,6 +105,9 @@ bool QosGovernor::evaluate(SimTime now, double backlog_ms,
         now - last_change_ >= config_.min_dwell) {
       level_ = std::max(0, level_ - config_.recover_step);
       calm_windows_ = 0;
+      // A calm-path drop retires capacity attribution first: the ledger can
+      // never exceed the level it is attributed against.
+      capacity_raised_ = std::min(capacity_raised_, level_);
     }
   } else {
     // Neither overloaded nor inside the calm band: hold the level and the

@@ -90,6 +90,9 @@ struct QosGovernorStats {
   // Windows in which the proactive capacity ladder, not the reactive AIMD
   // loop, set the effective level (the forecast led the congestion).
   std::uint64_t proactive_limit_windows = 0;
+  // Capacity-forecast recoveries that unwound capacity-attributed AIMD
+  // raises immediately, bypassing the dwell/calm-window clock.
+  std::uint64_t proactive_recoveries = 0;
 };
 
 class QosGovernor {
@@ -149,6 +152,14 @@ class QosGovernor {
   QosGovernorConfig config_;
   int level_ = 0;
   int proactive_level_ = 0;
+  // AIMD raises taken while the proactive ladder was strictly leading the
+  // reactive level — overload the capacity forecast itself predicted. When
+  // the forecast recovers, these unwind immediately in on_capacity_forecast
+  // (no dwell, no calm windows): holding quality degraded through the AIMD
+  // hysteresis clock after the *cause* measurably cleared is the bug this
+  // attribution exists to prevent. Latency-led raises (proactive not
+  // leading at raise time) still recover only through the calm path.
+  int capacity_raised_ = 0;
   // EWMA of per-frame wire bytes normalized to base_quality (0 = no samples).
   double base_frame_bytes_ = 0.0;
   int calm_windows_ = 0;

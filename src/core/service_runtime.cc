@@ -44,6 +44,21 @@ ServiceRuntime::~ServiceRuntime() {
   }
 }
 
+bool ServiceRuntime::release_user(net::NodeId user) {
+  const auto it = users_.find(user);
+  if (it == users_.end()) return false;
+  UserSession& session = it->second;
+  if (session.shared != nullptr) session.shared->close_lease(session.lease);
+  // Still-queued GPU work for this user: cancel what has not started; work
+  // already running completes into a missing-user lookup and is discarded.
+  for (const UserSession::PendingResult& pending : session.gpu_outstanding) {
+    (void)gpu_->cancel(pending.ticket);
+  }
+  users_.erase(it);
+  stats_.users_released++;
+  return true;
+}
+
 void ServiceRuntime::handle_join(net::NodeId src, UserSession& session,
                                  std::span<const std::uint8_t> message) {
   const auto app_id = parse_join_message(message);
@@ -121,6 +136,7 @@ void ServiceRuntime::on_message(net::NodeId src, net::NodeId stream,
       session.render_cache = compress::CommandCache();
       session.render_epoch = header->cache_epoch;
       session.next_render_rev = 0;
+      session.render_poisoned = false;
     }
     // Decode-chain contiguity: the transport delivers completed messages past
     // an abandoned hole, but those were encoded against mirror state the hole
@@ -136,10 +152,27 @@ void ServiceRuntime::on_message(net::NodeId src, net::NodeId stream,
       return;
     }
     session.next_render_rev++;
-    auto parsed =
-        parse_render_message(message, session.render_cache,
-                             shared_ctx(session));
-    check(parsed.has_value(), "malformed render message");
+    std::optional<ParsedRender> parsed;
+    if (!session.render_poisoned) {
+      parsed = parse_render_message(message, session.render_cache,
+                                    shared_ctx(session));
+    }
+    if (!parsed.has_value()) {
+      // Undecodable body — most often a kSharedRef whose record was evicted
+      // after the lease that granted its proof closed (stale manifest). The
+      // mirror may be part-mutated, so poison the render chain for the rest
+      // of this epoch and drop; the sender's next epoch reset (mirror
+      // restart or migration re-join with a fresh manifest) recovers. This
+      // degrades one session instead of crashing a device other tenants of
+      // the fleet depend on.
+      session.render_poisoned = true;
+      stats_.renders_dropped_unresolvable++;
+      if (runtime::kTracingCompiledIn && config_.tracer != nullptr) {
+        config_.tracer->end(runtime::Stage::kRemoteExec, header->sequence,
+                            loop_.now());
+      }
+      return;
+    }
     fast_forward(session, header->apply_floor);
     const std::uint64_t seq = parsed->header.sequence;
     if (seq < session.next_apply_sequence) {

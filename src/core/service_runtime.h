@@ -123,6 +123,14 @@ struct ServiceRuntimeStats {
   // the total entry count across those replies.
   std::uint64_t joins_answered = 0;
   std::uint64_t manifest_entries_granted = 0;
+  // Render messages dropped because a kSharedRef (or other body content)
+  // could not be resolved — e.g. a client replaying a proof whose record was
+  // evicted after its granting lease closed. The shared store is fleet-wide
+  // state no single session controls, so this must degrade the one session,
+  // never crash the device (DESIGN.md §15).
+  std::uint64_t renders_dropped_unresolvable = 0;
+  // Sessions torn down via release_user() (migration drain / user departure).
+  std::uint64_t users_released = 0;
 };
 
 class ServiceRuntime {
@@ -151,6 +159,21 @@ class ServiceRuntime {
   // Last frame actually rendered+encoded for any user (for pixel tests).
   [[nodiscard]] const std::optional<Image>& last_rendered_frame() const {
     return last_frame_;
+  }
+  // Fleet support (DESIGN.md §15): tears down one user's session — closes
+  // its shared-store lease (unpinning its grants; entries go zero-ref and
+  // become evictable under capacity pressure) and discards its GL replica,
+  // mirrors, and queued results. Completions already submitted to the GPU
+  // fire into a missing-user lookup and are dropped. Used when a session
+  // migrates off this device or departs the fleet. Returns false when the
+  // user had no session here.
+  bool release_user(net::NodeId user);
+  // Live sessions on this runtime (fleet tenancy gauge).
+  [[nodiscard]] std::size_t user_count() const noexcept {
+    return users_.size();
+  }
+  [[nodiscard]] bool has_user(net::NodeId user) const {
+    return users_.contains(user);
   }
 
   // Analytic encoded-size model used when render_width == 0: maps a render
@@ -193,6 +216,11 @@ class ServiceRuntime {
     // skipped an abandoned message this payload was encoded after; everything
     // until the next epoch reset is dropped undecoded.
     std::uint64_t next_render_rev = 0;
+    // A render body failed to decode (dangling shared ref / corrupt stream):
+    // the mirror may have been partially mutated, so every later render in
+    // this cache epoch is dropped undecoded. The sender's next epoch reset
+    // (mirror restart or migration re-join) clears it.
+    bool render_poisoned = false;
     // Snapshot/resync machinery (DESIGN.md §10). The sender multicasts a
     // state message for *every* frame, so within one cache epoch the decode
     // timeline on the group stream is contiguous; a gap means this replica

@@ -20,6 +20,13 @@ void Medium::join_group(NodeId group, NodeId member) {
   groups_[group].insert(member);
 }
 
+void Medium::leave_group(NodeId group, NodeId member) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  it->second.erase(member);
+  if (it->second.empty()) groups_.erase(it);
+}
+
 SimTime Medium::backlog() const {
   const SimTime now = loop_.now();
   return busy_until_ > now ? busy_until_ - now : SimTime{};

@@ -53,6 +53,11 @@ class Medium {
   // accounting is irrelevant, e.g. the AP-side of the cloud path).
   void attach(NodeId node, RadioInterface* radio, DatagramHandler handler);
   void join_group(NodeId group, NodeId member);
+  // IGMP-leave equivalent: the member stops receiving the group's traffic.
+  // A service device a session migrated away from must leave that session's
+  // state group, or every later multicast would re-create the session it
+  // just released (DESIGN.md §15). No-op when not a member.
+  void leave_group(NodeId group, NodeId member);
 
   // Attaches a fault-injection plan consulted on every transmission and
   // delivery attempt (nullptr detaches). The plan is shared, not owned.

@@ -353,6 +353,15 @@ std::size_t ReliableEndpoint::forget_receiver(NodeId member) {
       ++it;
     }
   }
+  // Drop the member's Jacobson/Karels state on every path. A node id that
+  // comes back (revival, or a new device recycling the id after migration)
+  // must start from the configured RTO, not inherit a dead link's srtt and
+  // backoff shape; and without this erase the per-(receiver, path) map grows
+  // without bound under fleet churn.
+  auto rtt_it = rtt_.lower_bound({member, std::numeric_limits<int>::min()});
+  while (rtt_it != rtt_.end() && rtt_it->first.first == member) {
+    rtt_it = rtt_.erase(rtt_it);
+  }
   return affected;
 }
 

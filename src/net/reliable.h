@@ -201,6 +201,12 @@ class ReliableEndpoint {
   // samples, the configured fixed timeout otherwise (or always, with
   // adaptive_rto off).
   [[nodiscard]] SimTime current_rto(NodeId receiver) const;
+  // Number of (receiver, path) RTT-estimator entries currently held. Bounded
+  // by live peers × paths: forget_receiver() erases a forgotten member's
+  // entries, so id churn must not grow this.
+  [[nodiscard]] std::size_t rtt_entry_count() const noexcept {
+    return rtt_.size();
+  }
   // True when every sent message has been fully acknowledged.
   [[nodiscard]] bool idle() const noexcept { return outstanding_.empty(); }
   // True while the message is still being delivered/repaired; false once it

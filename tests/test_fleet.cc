@@ -1,0 +1,669 @@
+// Fleet scale-out and live session migration (DESIGN.md §15): dispatcher
+// slot replacement, fleet-level placement (the session-granular Eq. 4
+// extension), live-migration determinism against a never-migrated reference,
+// tracer stage tiling across the migration, the stale shared-store proof
+// regression, and the end-to-end fleet scenarios including the live-vs-cold
+// migration A/B.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/workload.h"
+#include "common/image.h"
+#include "compress/command_cache.h"
+#include "compress/shared_store.h"
+#include "core/dispatcher.h"
+#include "core/gbooster.h"
+#include "core/offload_protocol.h"
+#include "core/service_fleet.h"
+#include "core/service_runtime.h"
+#include "device/device_profiles.h"
+#include "net/medium.h"
+#include "net/reliable.h"
+#include "runtime/event_loop.h"
+#include "runtime/trace.h"
+#include "sim/fleet.h"
+#include "wire/recorder.h"
+
+namespace gb {
+namespace {
+
+#define GB_SKIP_IF_TRACING_COMPILED_OUT()                        \
+  if (!runtime::kTracingCompiledIn) {                            \
+    GTEST_SKIP() << "tracing compiled out (GB_DISABLE_TRACING)"; \
+  }
+
+// --- Dispatcher::replace_device ---------------------------------------------
+
+TEST(DispatcherReplace, ResetsSlotStateForTheNewDevice) {
+  core::Dispatcher dispatcher(
+      {{100, "old", 4e9}, {101, "other", 4e9}});
+  dispatcher.on_assigned(0, 5e6);
+  dispatcher.on_completed(0, 5e6, ms(30));
+  dispatcher.on_assigned(0, 7e6);
+  ASSERT_TRUE(dispatcher.record_failure(0, /*threshold=*/1));
+  ASSERT_FALSE(dispatcher.healthy(0));
+
+  dispatcher.replace_device(0, {102, "new", 8e9});
+
+  // The slot describes the newcomer, not the corpse: healthy, no inherited
+  // queue, and the delay EWMA back at the fresh-evidence initial value —
+  // exactly the revival semantics Eq. 4 re-ranks on.
+  EXPECT_TRUE(dispatcher.healthy(0));
+  EXPECT_EQ(dispatcher.queued_workload(0), 0.0);
+  EXPECT_EQ(dispatcher.estimated_delay(0).us(), core::kInitialDelayEstimate.us());
+  EXPECT_EQ(dispatcher.device(0).node, 102u);
+  EXPECT_EQ(dispatcher.device(0).capability_pps, 8e9);
+  // And it is immediately eligible: with double the capability it wins picks.
+  EXPECT_EQ(dispatcher.pick(1e6), 0u);
+}
+
+// --- ServiceFleet placement --------------------------------------------------
+
+core::ServiceFleet make_fleet(EventLoop& loop, int max_sessions,
+                              std::size_t devices = 2) {
+  core::ServiceFleetConfig config;
+  std::vector<core::FleetDeviceConfig> device_configs;
+  for (std::size_t d = 0; d < devices; ++d) {
+    device_configs.push_back(core::FleetDeviceConfig{
+        static_cast<net::NodeId>(100 + d), device::nvidia_shield(),
+        max_sessions});
+  }
+  return core::ServiceFleet(loop, config, std::move(device_configs));
+}
+
+TEST(FleetPlacement, TenancySpreadsSessionsAcrossEqualDevices) {
+  EventLoop loop;
+  core::ServiceFleet fleet = make_fleet(loop, /*max_sessions=*/8);
+  for (net::NodeId user = 1; user <= 4; ++user) {
+    ASSERT_TRUE(fleet.place_session(user, 1e6).has_value());
+  }
+  // Equal devices, idle GPUs: only the tenancy term differentiates, so the
+  // four sessions alternate instead of piling onto the first device.
+  EXPECT_EQ(fleet.session_count(0), 2u);
+  EXPECT_EQ(fleet.session_count(1), 2u);
+  EXPECT_EQ(fleet.stats().sessions_placed, 4u);
+  EXPECT_EQ(fleet.stats().placements_rejected, 0u);
+}
+
+TEST(FleetPlacement, FullFleetRejectsPlacement) {
+  EventLoop loop;
+  core::ServiceFleet fleet = make_fleet(loop, /*max_sessions=*/1);
+  EXPECT_TRUE(fleet.place_session(1, 1e6).has_value());
+  EXPECT_TRUE(fleet.place_session(2, 1e6).has_value());
+  // Both devices at their cap: admission control refuses at fleet level.
+  EXPECT_FALSE(fleet.place_session(3, 1e6).has_value());
+  EXPECT_EQ(fleet.stats().placements_rejected, 1u);
+  EXPECT_EQ(fleet.stats().sessions_placed, 2u);
+
+  // Released headroom re-opens admission.
+  EXPECT_TRUE(fleet.release_session(1));
+  EXPECT_TRUE(fleet.place_session(3, 1e6).has_value());
+  EXPECT_EQ(fleet.stats().sessions_released, 1u);
+  EXPECT_FALSE(fleet.session_device(1).has_value());
+  EXPECT_TRUE(fleet.session_device(3).has_value());
+}
+
+TEST(FleetPlacement, GpuBacklogSteersPlacementAway) {
+  EventLoop loop;
+  core::ServiceFleet fleet = make_fleet(loop, /*max_sessions=*/8);
+  // Pile queued GPU work (and queue depth) onto device 0.
+  for (int i = 0; i < 10; ++i) {
+    fleet.runtime(0).gpu().submit(5e8, [] {});
+  }
+  EXPECT_GT(fleet.placement_score(0, 1e6), fleet.placement_score(1, 1e6));
+  const auto placed = fleet.place_session(1, 1e6);
+  ASSERT_TRUE(placed.has_value());
+  EXPECT_EQ(*placed, 1u);
+}
+
+TEST(FleetPlacement, RebalanceFlagsOnlyARealHotSpot) {
+  EventLoop loop;
+  core::ServiceFleet fleet = make_fleet(loop, /*max_sessions=*/8);
+  ASSERT_TRUE(fleet.place_session(1, 1e6).has_value());
+  ASSERT_TRUE(fleet.place_session(2, 1e6).has_value());
+  // One session each, idle GPUs: balanced, nothing to move.
+  EXPECT_FALSE(fleet.pick_rebalance(1e6).has_value());
+
+  // A deep queue on device 0 makes it the hot spot; device 1 has headroom.
+  for (int i = 0; i < 20; ++i) {
+    fleet.runtime(0).gpu().submit(5e8, [] {});
+  }
+  const auto suggestion = fleet.pick_rebalance(1e6);
+  ASSERT_TRUE(suggestion.has_value());
+  EXPECT_EQ(suggestion->first, 0u);
+  EXPECT_EQ(suggestion->second, 1u);
+  EXPECT_EQ(fleet.stats().rebalances_suggested, 1u);
+}
+
+// --- live-migration determinism ----------------------------------------------
+
+core::ServiceRuntimeConfig tiny_service_config(runtime::Tracer* tracer) {
+  core::ServiceRuntimeConfig config;
+  config.nominal_width = 64;
+  config.nominal_height = 48;
+  config.render_width = 64;
+  config.render_height = 48;
+  config.tracer = tracer;
+  return config;
+}
+
+// One scenario run over a lossless medium: a user runtime against a set of
+// initial devices plus one standby target (always constructed and bound so
+// the reference and migration runs share an identical world), optionally
+// migrating one slot onto the target mid-session. Records every displayed
+// frame by sequence so runs can be compared pixel-for-pixel.
+struct MigrationScenarioConfig {
+  std::vector<core::ServiceDeviceInfo> devices;
+  core::ServiceDeviceInfo target{102, "target", 6e9};
+  double migrate_at_s = -1.0;  // < 0: reference run, no migration
+  std::size_t migrate_index = 0;
+  core::MigrationOptions options;
+  std::function<void(gles::GlesApi&, int)> frame;
+  double issue_until_s = 2.0;
+  double run_until_s = 6.0;
+  runtime::Tracer* tracer = nullptr;
+};
+
+struct MigrationScenarioResult {
+  std::map<std::uint64_t, Image> displayed;
+  core::GBoosterStats user;
+  // Initial devices in order, then the standby target last.
+  std::vector<core::ServiceRuntimeStats> services;
+};
+
+MigrationScenarioResult run_migration_scenario(
+    const MigrationScenarioConfig& sc) {
+  EventLoop loop;
+  net::MediumConfig mc;
+  mc.loss_rate = 0.0;
+  mc.jitter_ms = 0.0;
+  net::Medium wifi(loop, mc, Rng(4), "wifi");
+
+  core::GBoosterConfig config;
+  config.nominal_width = 64;
+  config.nominal_height = 48;
+  config.health.probe_interval = ms(50);
+  config.health.probe_timeout = ms(100);
+  config.display_gap_timeout = seconds(2.0);
+  config.tracer = sc.tracer;
+
+  std::vector<std::unique_ptr<core::ServiceRuntime>> services;
+  for (const core::ServiceDeviceInfo& info : sc.devices) {
+    auto service = std::make_unique<core::ServiceRuntime>(
+        loop, info.node, device::nvidia_shield(),
+        tiny_service_config(sc.tracer));
+    service->endpoint().bind(wifi, nullptr);
+    wifi.join_group(config.state_group, info.node);
+    services.push_back(std::move(service));
+  }
+  // The standby target exists in both runs; only the migration run ever
+  // joins it to the state group or sends it traffic.
+  auto target_service = std::make_unique<core::ServiceRuntime>(
+      loop, sc.target.node, device::nvidia_shield(),
+      tiny_service_config(sc.tracer));
+  target_service->endpoint().bind(wifi, nullptr);
+
+  net::ReliableConfig rc;
+  rc.retransmit_timeout = ms(20);
+  rc.max_retries = 3;
+  net::ReliableEndpoint user(loop, 1, rc);
+  user.bind(wifi, nullptr);
+  core::GBoosterRuntime gbooster(loop, config, user, sc.devices);
+  user.set_handler([&](net::NodeId src, net::NodeId stream, Bytes message) {
+    gbooster.on_message(src, stream, std::move(message));
+  });
+  gbooster.set_workload_override([] { return 5.0e6; });
+
+  MigrationScenarioResult result;
+  gbooster.set_display_handler(
+      [&](std::uint64_t sequence, SimTime, const Image& frame) {
+        result.displayed[sequence] = frame;
+      });
+
+  if (sc.migrate_at_s >= 0.0) {
+    const net::NodeId old_node = sc.devices[sc.migrate_index].node;
+    loop.schedule_at(seconds(sc.migrate_at_s), [&] {
+      wifi.join_group(config.state_group, sc.target.node);
+      gbooster.migrate_service_device(sc.migrate_index, sc.target,
+                                      sc.options);
+    });
+    // Once the drain window closes the source runtime releases the session
+    // and the old device leaves the state group — the fleet-side half of the
+    // migration contract.
+    loop.schedule_at(
+        seconds(sc.migrate_at_s) + sc.options.drain_timeout + ms(100),
+        [&, old_node] {
+          services[sc.migrate_index]->release_user(1);
+          wifi.leave_group(config.state_group, old_node);
+        });
+  }
+
+  int index = 0;
+  std::function<void()> tick = [&] {
+    if (loop.now().seconds() >= sc.issue_until_s) return;
+    if (gbooster.can_issue_frame()) {
+      sc.frame(gbooster.wrapper(), index);
+      ++index;
+    }
+    loop.schedule_after(ms(50), tick);
+  };
+  tick();
+  loop.run_until(seconds(sc.run_until_s));
+
+  result.user = gbooster.stats();
+  for (const auto& service : services) {
+    result.services.push_back(service->stats());
+  }
+  result.services.push_back(target_service->stats());
+  return result;
+}
+
+// Clear-only frames whose colour is set once per phase: a target that misses
+// the phase-change frame's state keeps clearing with the stale colour
+// forever — the divergence only the snapshot transfer can prevent.
+void phase_colored_frame(gles::GlesApi& gl, int index, int change_at) {
+  if (index == 0) gl.glClearColor(0.1f, 0.2f, 0.3f, 1.0f);
+  if (index == change_at) gl.glClearColor(0.8f, 0.3f, 0.1f, 1.0f);
+  gl.glClear(gles::GL_COLOR_BUFFER_BIT);
+  gl.eglSwapBuffers();
+}
+
+void expect_identical_streams(const MigrationScenarioResult& run,
+                              const MigrationScenarioResult& reference) {
+  ASSERT_FALSE(run.displayed.empty());
+  std::uint64_t compared = 0;
+  for (const auto& [sequence, image] : run.displayed) {
+    const auto it = reference.displayed.find(sequence);
+    if (it == reference.displayed.end()) continue;
+    EXPECT_TRUE(image == it->second) << "frame " << sequence << " diverged";
+    ++compared;
+  }
+  EXPECT_GT(compared, 20u);
+}
+
+// The pinned migration determinism test, single-device flavour: the session's
+// only device is live-migrated after the colour-change frame, so the target
+// can learn the current clear colour only from the GL-state snapshot. Every
+// displayed frame — including everything the target renders — must be
+// bit-identical to a run that never migrated.
+TEST(MigrationDeterminism, SingleDeviceLiveMigrationIsBitIdentical) {
+  MigrationScenarioConfig sc;
+  sc.devices = {{100, "origin", 6e9}};
+  sc.frame = [](gles::GlesApi& gl, int index) {
+    phase_colored_frame(gl, index, /*change_at=*/10);  // before the migration
+  };
+
+  MigrationScenarioConfig migrating = sc;
+  migrating.migrate_at_s = 1.2;
+
+  const MigrationScenarioResult reference = run_migration_scenario(sc);
+  const MigrationScenarioResult run = run_migration_scenario(migrating);
+
+  EXPECT_EQ(run.user.migrations, 1u);
+  EXPECT_EQ(run.user.migration_cold_restarts, 0u);
+  EXPECT_GE(run.user.snapshots_sent, 1u);
+  // The headline: the transport redirect did not reset the state epoch and
+  // the viewer lost nothing.
+  EXPECT_EQ(run.user.state_epoch_resets, 0u);
+  EXPECT_EQ(run.user.frames_dropped, 0u);
+  ASSERT_EQ(run.services.size(), 2u);
+  EXPECT_GE(run.services[1].snapshots_installed, 1u);
+  EXPECT_GT(run.services[1].requests_rendered, 0u);
+  // The drain worked: the origin's in-flight frames still displayed, so the
+  // combined render count covers every displayed frame.
+  expect_identical_streams(run, reference);
+}
+
+// Multi-device flavour: the heavy renderer of a two-device session migrates
+// while the light device keeps following the state multicasts. The epoch must
+// survive (the non-migrating replica never notices) and frames stay
+// bit-identical.
+TEST(MigrationDeterminism, MultiDeviceLiveMigrationKeepsStateEpoch) {
+  MigrationScenarioConfig sc;
+  // Device 101 is 50x faster, so Eq. 4 sends it everything; 100 is the
+  // bystander replica that must not observe the migration.
+  sc.devices = {{100, "aux", 1e9}, {101, "main", 50e9}};
+  sc.target = {102, "target", 50e9};
+  sc.frame = [](gles::GlesApi& gl, int index) {
+    phase_colored_frame(gl, index, /*change_at=*/10);
+  };
+
+  MigrationScenarioConfig migrating = sc;
+  migrating.migrate_at_s = 1.2;
+  migrating.migrate_index = 1;
+
+  const MigrationScenarioResult reference = run_migration_scenario(sc);
+  const MigrationScenarioResult run = run_migration_scenario(migrating);
+
+  EXPECT_EQ(run.user.migrations, 1u);
+  EXPECT_EQ(run.user.state_epoch_resets, 0u);
+  EXPECT_EQ(run.user.frames_dropped, 0u);
+  ASSERT_EQ(run.services.size(), 3u);
+  // The bystander replica kept decoding the state stream without a hiccup.
+  EXPECT_EQ(run.services[0].state_decode_poisonings, 0u);
+  // The target took over the render load from the snapshot.
+  EXPECT_GE(run.services[2].snapshots_installed, 1u);
+  EXPECT_GT(run.services[2].requests_rendered, 0u);
+  expect_identical_streams(run, reference);
+}
+
+// Observability across migration: per-frame stage spans must still tile
+// gap-free (serialize..present with no holes) for every displayed frame,
+// including frames drained from the old device and frames rendered by the
+// target — a migration must not tear the pipeline timeline.
+TEST(MigrationDeterminism, TracerStagesTileAcrossMigration) {
+  GB_SKIP_IF_TRACING_COMPILED_OUT();
+  runtime::Tracer tracer;
+  MigrationScenarioConfig sc;
+  sc.devices = {{100, "origin", 6e9}};
+  sc.migrate_at_s = 1.2;
+  sc.tracer = &tracer;
+  sc.frame = [](gles::GlesApi& gl, int index) {
+    phase_colored_frame(gl, index, /*change_at=*/10);
+  };
+  const MigrationScenarioResult run = run_migration_scenario(sc);
+  EXPECT_EQ(run.user.migrations, 1u);
+  EXPECT_EQ(run.user.frames_dropped, 0u);
+
+  std::map<std::uint64_t, std::vector<runtime::TraceSpan>> by_sequence;
+  std::map<std::uint64_t, SimTime> displayed_at;
+  for (const runtime::TraceSpan& span : tracer.spans()) {
+    by_sequence[span.sequence].push_back(span);
+    if (span.stage == runtime::Stage::kPresent) {
+      displayed_at[span.sequence] = span.end;
+    }
+  }
+  ASSERT_GT(displayed_at.size(), 20u);
+  std::uint64_t after_migration = 0;
+  for (const auto& [sequence, end] : displayed_at) {
+    std::vector<runtime::TraceSpan> spans = by_sequence[sequence];
+    std::sort(spans.begin(), spans.end(),
+              [](const runtime::TraceSpan& a, const runtime::TraceSpan& b) {
+                return a.begin < b.begin;
+              });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      ASSERT_EQ(spans[i].begin.us(), spans[i - 1].end.us())
+          << "frame " << sequence << ": gap between "
+          << runtime::stage_name(spans[i - 1].stage) << " and "
+          << runtime::stage_name(spans[i].stage);
+    }
+    if (end.seconds() > 1.2) after_migration++;
+  }
+  // The tiling claim covered frames on both sides of the event.
+  EXPECT_GT(after_migration, 5u);
+}
+
+// --- stale shared-store proof regression (DESIGN.md §14/§15) -----------------
+
+// A client replaying a manifest proof for a record that was evicted after
+// the lease that granted it closed (the post-migration lifecycle: source
+// releases the session, its zero-ref entries fall to capacity pressure) must
+// degrade that one session — never crash the device other tenants share.
+// Pre-fix, the service treated the unresolvable body as a malformed-message
+// invariant violation and died.
+TEST(SharedEviction, StaleProofPoisonsSessionNotDevice) {
+  constexpr std::uint64_t kApp = 42;
+  EventLoop loop;
+  net::MediumConfig mc;
+  mc.loss_rate = 0.0;
+  mc.jitter_ms = 0.0;
+  net::Medium lan(loop, mc, Rng(7), "lan");
+  auto registry =
+      std::make_shared<compress::SharedStoreRegistry>(/*capacity=*/1024);
+  core::ServiceRuntimeConfig service_config = tiny_service_config(nullptr);
+  service_config.shared_store = registry;
+  core::ServiceRuntime service(loop, 100, device::nvidia_shield(),
+                               service_config);
+  service.endpoint().bind(lan, nullptr);
+
+  net::ReliableEndpoint user_a(loop, 1);
+  net::ReliableEndpoint user_b(loop, 2);
+  net::ReliableEndpoint user_c(loop, 3);
+  for (net::ReliableEndpoint* endpoint : {&user_a, &user_b, &user_c}) {
+    endpoint->bind(lan, nullptr);
+    endpoint->set_handler([](net::NodeId, net::NodeId, Bytes) {});
+  }
+
+  // Each client records real GL frames against its own shadow and encodes
+  // them against its own mirror — the runtime's exact discipline.
+  struct Client {
+    std::vector<wire::FrameCommands> frames;
+    std::unique_ptr<wire::CommandRecorder> rec;
+    compress::CommandCache cache;
+    compress::CacheStats stats;
+    std::uint64_t mirror_rev = 0;
+    Client() {
+      rec = std::make_unique<wire::CommandRecorder>(
+          64, 48, [this](wire::FrameCommands f) {
+            frames.push_back(std::move(f));
+            return true;
+          });
+    }
+    Bytes render_message(const compress::SharedManifest* manifest = nullptr) {
+      core::RenderRequestHeader header;
+      header.sequence = frames.back().sequence;
+      header.workload_pixels = 1e6;
+      header.mirror_rev = mirror_rev++;
+      return core::make_render_message(header, frames.back(), cache, stats,
+                                       manifest);
+    }
+  };
+  // A frame whose buffer upload is comfortably above the share floor;
+  // identical calls on any recorder produce byte-identical records (names
+  // allocate deterministically), so client C can reproduce A's record.
+  const auto record_upload_frame = [](Client& client, char fill,
+                                      std::size_t bytes) {
+    wire::CommandRecorder& rec = *client.rec;
+    gles::GLuint vbo = 0;
+    rec.glGenBuffers(1, &vbo);
+    rec.glBindBuffer(gles::GL_ARRAY_BUFFER, vbo);
+    const std::vector<std::uint8_t> payload(bytes,
+                                            static_cast<std::uint8_t>(fill));
+    rec.glBufferData(gles::GL_ARRAY_BUFFER,
+                     static_cast<gles::GLsizeiptr>(payload.size()),
+                     payload.data(), gles::GL_STATIC_DRAW);
+    rec.glClearColor(0.2f, 0.4f, 0.6f, 1.0f);
+    rec.glClear(gles::GL_COLOR_BUFFER_BIT);
+    rec.eglSwapBuffers();
+  };
+
+  Client a;
+  Client b;
+  Client c;
+  // Session B joins first, against the still-empty store: a join grants (and
+  // pins) every resident entry into the joining lease, so B must hold its
+  // lease before X exists for X to ever become evictable.
+  loop.schedule_at(ms(1), [&] {
+    user_b.send(100, core::make_join_message(kApp));
+  });
+  // Session A joins and uploads record X inline; the service publishes it,
+  // ref'd by A's lease alone.
+  loop.schedule_at(ms(5), [&] {
+    user_a.send(100, core::make_join_message(kApp));
+    record_upload_frame(a, 'A', 256);
+    user_a.send(100, a.render_message());
+  });
+  loop.run_until(ms(60));
+  compress::SharedRecordStore& store = registry->store_for(kApp);
+  ASSERT_GE(store.entry_count(), 1u);
+  ASSERT_EQ(service.stats().joins_answered, 2u);
+
+  // A departs: its lease closes and X drops to zero refs — resident, but
+  // fair game for eviction.
+  ASSERT_TRUE(service.release_user(1));
+
+  // Session B's uploads push the store past capacity; the zero-ref X is the
+  // only evictable entry and goes first.
+  loop.schedule_at(ms(70), [&] {
+    for (char fill : {'p', 'q', 'r', 's'}) {
+      record_upload_frame(b, fill, 300);
+      user_b.send(100, b.render_message());
+    }
+  });
+  loop.run_until(ms(200));
+  ASSERT_GE(store.stats().evictions, 1u);
+
+  // Session C replays a stale proof: a self-held manifest entry for X, never
+  // re-validated against a live grant — what a buggy client does with proofs
+  // from a lease that closed when its session migrated away.
+  record_upload_frame(c, 'A', 256);  // reproduces A's record bytes exactly
+  const wire::FrameCommands& c_frame = c.frames.back();
+  compress::SharedManifest stale;
+  for (const wire::CommandRecord& record : c_frame.records) {
+    if (compress::shareable_record(record.bytes.size())) {
+      stale.add(compress::ManifestEntry{
+          compress::record_hash(record.bytes),
+          compress::record_verify_hash(record.bytes), record.bytes.size()});
+    }
+  }
+  ASSERT_GT(stale.size(), 0u);
+  const std::uint64_t rendered_before = service.stats().requests_rendered;
+  loop.schedule_at(ms(210), [&] {
+    user_c.send(100, core::make_join_message(kApp));
+    const Bytes message = c.render_message(&stale);
+    // The wire really carries a shared reference, not an inline upload.
+    EXPECT_GE(c.stats.shared_hits, 1u);
+    user_c.send(100, message);
+  });
+  // B keeps working after C's poison message — the device survives.
+  loop.schedule_at(ms(260), [&] {
+    record_upload_frame(b, 't', 300);
+    user_b.send(100, b.render_message());
+  });
+  loop.run_until(ms(400));
+
+  // C's render was dropped gracefully and its session poisoned; nothing
+  // crashed, and the other tenant kept rendering.
+  EXPECT_EQ(service.stats().renders_dropped_unresolvable, 1u);
+  EXPECT_GT(service.stats().requests_rendered, rendered_before);
+  EXPECT_TRUE(service.has_user(2));
+}
+
+// --- end-to-end fleet scenarios ----------------------------------------------
+
+sim::FleetScenarioConfig base_fleet_config(double duration_s) {
+  sim::FleetScenarioConfig config;
+  config.devices = {device::nvidia_shield(), device::nvidia_shield()};
+  config.duration_s = duration_s;
+  config.seed = 5;
+  return config;
+}
+
+sim::FleetUserSpec fleet_user(const apps::WorkloadSpec& workload,
+                              double arrive_s = 0.0, double depart_s = 0.0) {
+  sim::FleetUserSpec spec;
+  spec.workload = workload;
+  spec.phone = device::lg_g5();
+  spec.arrive_s = arrive_s;
+  spec.depart_s = depart_s;
+  return spec;
+}
+
+TEST(FleetScenario, ChurnKeepsPlacementBookkeepingConsistent) {
+  sim::FleetScenarioConfig config = base_fleet_config(10.0);
+  config.users.push_back(fleet_user(apps::g5_candy_crush(), 0.0));
+  config.users.push_back(fleet_user(apps::g5_candy_crush(), 1.0, 6.0));
+  config.users.push_back(fleet_user(apps::g5_candy_crush(), 2.0));
+  const sim::FleetScenarioResult result = sim::run_fleet_scenario(config);
+
+  EXPECT_EQ(result.fleet.sessions_placed, 3u);
+  EXPECT_EQ(result.fleet.sessions_released, 1u);
+  EXPECT_EQ(result.fleet.placements_rejected, 0u);
+  EXPECT_EQ(result.final_sessions_per_device[0] +
+                result.final_sessions_per_device[1],
+            2u);
+  for (std::size_t u = 0; u < config.users.size(); ++u) {
+    EXPECT_GT(result.frames_displayed_per_user[u], 20u) << "user " << u;
+  }
+  for (std::size_t d = 0; d < config.devices.size(); ++d) {
+    EXPECT_EQ(result.renders_dropped_unresolvable_per_device[d], 0u);
+  }
+}
+
+// The migration A/B the subsystem exists for: the same session, the same
+// scripted hand-off — live snapshot migration versus the disconnect/
+// reconnect-from-scratch baseline. Live must beat cold on both the viewer-
+// perceived blackout and the frames lost for good.
+TEST(FleetScenario, LiveMigrationBeatsColdRestart) {
+  sim::FleetScenarioConfig config = base_fleet_config(12.0);
+  config.users.push_back(fleet_user(apps::g1_gta_san_andreas()));
+  // Cold leaves the slot dark with no healthy device; the governor sheds
+  // those frames void instead of crashing the legacy pick (and gives both
+  // arms the identical pipeline).
+  config.qos.enabled = true;
+  sim::FleetMigrationSpec migration;
+  migration.user_index = 0;
+  migration.at_s = 4.0;
+  config.migrations.push_back(migration);
+
+  sim::FleetScenarioConfig cold_config = config;
+  cold_config.migrations[0].cold = true;
+
+  const sim::FleetScenarioResult live = sim::run_fleet_scenario(config);
+  const sim::FleetScenarioResult cold = sim::run_fleet_scenario(cold_config);
+
+  ASSERT_EQ(live.migrations.size(), 1u);
+  ASSERT_EQ(cold.migrations.size(), 1u);
+  EXPECT_FALSE(live.migrations[0].cold);
+  EXPECT_TRUE(cold.migrations[0].cold);
+  EXPECT_NE(live.migrations[0].from_device, live.migrations[0].to_device);
+
+  std::cout << "[ A/B ] live blackout " << live.migrations[0].blackout_ms
+            << " ms, lost " << live.migrations[0].frames_lost
+            << " | cold blackout " << cold.migrations[0].blackout_ms
+            << " ms, lost " << cold.migrations[0].frames_lost << "\n";
+  // Strictly better on both axes, with real margin: cold pays at least its
+  // dark reconnect window (250 ms) plus a snapshot round-trip, and loses the
+  // frames that were in flight toward the vanished endpoint; live drains
+  // them on the source and hands off within a couple of frame intervals.
+  EXPECT_LT(live.migrations[0].blackout_ms, cold.migrations[0].blackout_ms);
+  EXPECT_LT(live.migrations[0].frames_lost, cold.migrations[0].frames_lost);
+  EXPECT_EQ(live.migrations[0].frames_lost, 0u);
+  EXPECT_GT(cold.migrations[0].blackout_ms, 250.0);
+  EXPECT_LT(live.migrations[0].blackout_ms, 150.0);
+  // The migrated-off device released the drained session.
+  EXPECT_EQ(live.users_released_per_device[live.migrations[0].from_device],
+            1u);
+}
+
+// Shared-store dedup across a live migration: the re-join on the target
+// re-grants manifests from live residency, so the migrated session keeps
+// using shared references without a single unresolvable render.
+TEST(FleetScenario, MigrationRejoinRegrantsManifests) {
+  sim::FleetScenarioConfig config = base_fleet_config(10.0);
+  sim::FleetUserSpec user = fleet_user(apps::g2_modern_combat());
+  user.app_id = 42;
+  config.users.push_back(user);
+  config.shared_dedup = true;
+  config.shared_store = std::make_shared<compress::SharedStoreRegistry>();
+  sim::FleetMigrationSpec migration;
+  migration.user_index = 0;
+  migration.at_s = 4.0;
+  config.migrations.push_back(migration);
+
+  const sim::FleetScenarioResult result = sim::run_fleet_scenario(config);
+
+  ASSERT_EQ(result.migrations.size(), 1u);
+  EXPECT_GT(result.frames_displayed_per_user[0], 50u);
+  // The target answered the migrated session's re-join; the source answered
+  // the original. No session ever replayed a dead proof.
+  EXPECT_GE(result.joins_answered_per_device[result.migrations[0].to_device],
+            1u);
+  EXPECT_GE(
+      result.joins_answered_per_device[result.migrations[0].from_device], 1u);
+  for (std::size_t d = 0; d < config.devices.size(); ++d) {
+    EXPECT_EQ(result.renders_dropped_unresolvable_per_device[d], 0u);
+  }
+  // The store kept the session's records resident across the hand-off.
+  EXPECT_GT(config.shared_store->store_for(42).resident_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gb

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -424,6 +425,54 @@ TEST(Reliable, DeliveryFloorUnsticksReceiverAfterAbandonment) {
   loop.run_until(seconds(4.0));
   ASSERT_EQ(delivered.size(), 1u);
   EXPECT_EQ(delivered[0], Bytes(100, 1));
+}
+
+// Regression (stale-state sweep): forget_receiver() must also clear the
+// forgotten member's Jacobson/Karels RTT estimators. Pre-fix they leaked: a
+// node id reused after a migration inherited the dead peer's srtt/rttvar —
+// its first RTO toward a genuinely different path was whatever the old peer
+// had trained — and rtt_entry_count() grew without bound under id churn.
+TEST(Reliable, ForgetReceiverClearsRtoEstimators) {
+  ReliablePair pair;
+  const SimTime fixed = ReliableConfig{}.retransmit_timeout;
+  for (int i = 0; i < 20; ++i) {
+    pair.sender.send(2, Bytes(2000, static_cast<std::uint8_t>(i)));
+  }
+  pair.loop.run_until(seconds(2.0));
+  ASSERT_EQ(pair.delivered.size(), 20u);
+  ASSERT_GT(pair.sender.stats().rtt_samples, 0u);
+  ASSERT_GT(pair.sender.rtt_entry_count(), 0u);
+  // On this sub-millisecond lossless LAN the adapted RTO sits far below the
+  // 30 ms fixed timer — proof the estimator is live.
+  ASSERT_LT(pair.sender.current_rto(2).us(), fixed.us());
+
+  pair.sender.forget_receiver(2);
+  EXPECT_EQ(pair.sender.rtt_entry_count(), 0u);
+  // A fresh session behind the same node id starts from the configured
+  // timeout, not the dead peer's estimate.
+  EXPECT_EQ(pair.sender.current_rto(2).us(), fixed.us());
+}
+
+TEST(Reliable, RttEntriesDoNotGrowUnderPeerChurn) {
+  EventLoop loop;
+  Medium medium(loop, lossless(), Rng(9), "m");
+  ReliableEndpoint sender(loop, 1);
+  sender.bind(medium, nullptr);
+  std::vector<std::unique_ptr<ReliableEndpoint>> peers;
+  for (NodeId node = 10; node < 18; ++node) {
+    auto peer = std::make_unique<ReliableEndpoint>(loop, node);
+    peer->bind(medium, nullptr);
+    peer->set_handler([](NodeId, NodeId, Bytes) {});
+    peers.push_back(std::move(peer));
+  }
+  // Talk to each peer, then declare it dead — the fleet-churn lifecycle.
+  for (NodeId node = 10; node < 18; ++node) {
+    sender.send(node, Bytes(3000, 7));
+    loop.run_until(loop.now() + seconds(1.0));
+    EXPECT_GT(sender.rtt_entry_count(), 0u);
+    sender.forget_receiver(node);
+  }
+  EXPECT_EQ(sender.rtt_entry_count(), 0u);
 }
 
 TEST(Reliable, UnreliableDatagramDeliveredWithoutState) {

@@ -227,6 +227,63 @@ TEST(QosGovernor, ShedDeadlineDerivesFromTargetWhenUnset) {
   EXPECT_EQ(explicit_deadline.shed_deadline().ms(), 75.0);
 }
 
+// Regression (stale-state sweep): an AIMD raise taken while the proactive
+// capacity ladder was leading is capacity-attributed, and must unwind the
+// moment the forecast recovers — on the forecast's clock, not the AIMD
+// hysteresis clock. Pre-fix the reactive level stayed pinned through
+// recover_windows calm windows plus min_dwell after the capacity dip that
+// caused it had measurably cleared.
+TEST(QosGovernor, CapacityLedRaiseUnwindsOnForecastRecovery) {
+  auto config = governor_config();
+  config.target_fps = 30.0;
+  core::QosGovernor governor(config);
+  // One frame at base quality trains the byte estimate: 30 kB per frame.
+  governor.on_frame_bytes(30000, config.base_quality);
+
+  // Forecast dips: at 600 kB/s only rung 3 (~15.6 kB frames) fits the 85%
+  // headroom budget of ~17 kB — the proactive ladder leads.
+  governor.on_capacity_forecast(600e3);
+  ASSERT_EQ(governor.proactive_level(), 3);
+  ASSERT_EQ(governor.level(), 0);
+
+  // The predicted congestion arrives; the AIMD raise is capacity-led.
+  for (int i = 0; i < 10; ++i) governor.on_frame_displayed(250.0);
+  EXPECT_TRUE(governor.evaluate(seconds(1.0), 0.0, 0));
+  ASSERT_EQ(governor.level(), config.degrade_step);
+
+  // The forecast recovers: the capacity-attributed raise unwinds right
+  // here — no calm windows banked, dwell clock not consulted.
+  governor.on_capacity_forecast(3e6);
+  EXPECT_EQ(governor.proactive_level(), 0);
+  EXPECT_EQ(governor.level(), 0);
+  EXPECT_EQ(governor.effective_level(), 0);
+  EXPECT_EQ(governor.quality(), config.base_quality);
+  EXPECT_EQ(governor.stats().proactive_recoveries, 1u);
+  EXPECT_EQ(governor.stats().level_drops, 1u);
+}
+
+// The guard rail on the fix: a latency-led raise (the forecast predicted
+// nothing — proactive level was not leading when the raise happened) still
+// recovers only through the calm-window path. A generous forecast must not
+// shortcut it.
+TEST(QosGovernor, LatencyLedRaiseIgnoresForecastRecovery) {
+  auto config = governor_config();
+  config.target_fps = 30.0;
+  core::QosGovernor governor(config);
+  governor.on_frame_bytes(30000, config.base_quality);
+  governor.on_capacity_forecast(3e6);  // plenty of capacity all along
+  ASSERT_EQ(governor.proactive_level(), 0);
+
+  for (int i = 0; i < 10; ++i) governor.on_frame_displayed(250.0);
+  EXPECT_TRUE(governor.evaluate(seconds(1.0), 0.0, 0));
+  ASSERT_EQ(governor.level(), config.degrade_step);
+
+  // Capacity was never the cause, so the forecast cannot be the cure.
+  governor.on_capacity_forecast(3e6);
+  EXPECT_EQ(governor.level(), config.degrade_step);
+  EXPECT_EQ(governor.stats().proactive_recoveries, 0u);
+}
+
 // --- Turbo encoder quality plumbing ------------------------------------------
 
 TEST(TurboQuality, MidStreamQualityChangeIsDecoderSafe) {
